@@ -1,0 +1,80 @@
+"""Ablation — loading-buffer pool size and the list scheduler.
+
+Two design knobs behind the paper's pipeline:
+
+* §IV.A sizes the device-side loading buffer "as several times as that
+  of a data chunk" — this bench sweeps the pool from 1 (no overlap) to 4
+  and shows where the returns stop;
+* Fig. 6 runs independent kernels concurrently — the list scheduler
+  quantifies the theoretical makespan at bounded concurrency.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core.oplist import rbm_step_taskgraph
+from repro.phi.pcie import PCIeModel
+from repro.runtime.offload import OffloadPipeline
+from repro.runtime.schedule import list_schedule, makespan_lower_bound
+
+
+def run_buffer_sweep():
+    """A transfer-heavy stream (transfer ≈ ¾ of compute per chunk)."""
+    pcie = PCIeModel(bandwidth=1.0, latency_s=0.0)
+    chunk_bytes = [15.0] * 8
+    compute = [20.0] * 8
+    rows = []
+    for n_buffers in (1, 2, 3, 4):
+        tl = OffloadPipeline(
+            pcie, n_buffers=n_buffers, double_buffering=n_buffers > 1
+        ).run_analytic(chunk_bytes, compute)
+        rows.append(
+            {
+                "n_buffers": n_buffers,
+                "total_s": tl.total_s,
+                "exposed_transfer_s": tl.exposed_transfer_s,
+                "trainer_idle_s": tl.trainer_idle_s,
+            }
+        )
+    return rows
+
+
+def test_buffer_pool_sweep(benchmark, show):
+    rows = benchmark(run_buffer_sweep)
+    show(format_table(rows, title="Ablation: loading-buffer pool size (Fig. 5)"))
+    totals = [r["total_s"] for r in rows]
+    # 1 -> 2 buffers is the big win; beyond that the single link and single
+    # trainer are the bottleneck, so returns must flatten, never regress.
+    assert totals[1] < totals[0]
+    assert all(a >= b - 1e-9 for a, b in zip(totals[1:], totals[2:]))
+    improvement_12 = totals[0] - totals[1]
+    improvement_24 = totals[1] - totals[3]
+    assert improvement_12 > 3 * improvement_24
+
+
+def run_list_schedule_study():
+    g = rbm_step_taskgraph(10_000, 1024, 4096)
+    cost = lambda node: (node.kernel.flops if node.kernel else 0.0) / 1e12
+    rows = []
+    for workers in (1, 2, 3, 4):
+        sched = list_schedule(g, cost, workers)
+        rows.append(
+            {
+                "workers": workers,
+                "makespan_tflop_s": sched.makespan,
+                "lower_bound": makespan_lower_bound(g, cost, workers),
+                "utilisation": sched.utilisation,
+            }
+        )
+    return rows
+
+
+def test_list_schedule_of_cd1_graph(benchmark, show):
+    rows = benchmark(run_list_schedule_study)
+    show(format_table(rows, title="Ablation: Fig. 6 graph under bounded concurrency"))
+    spans = [r["makespan_tflop_s"] for r in rows]
+    assert spans[1] < spans[0]  # a second worker helps
+    # The graph's width is small: beyond ~3 workers nothing improves.
+    assert spans[3] == pytest.approx(spans[2], rel=0.05)
+    for row in rows:
+        assert row["makespan_tflop_s"] >= row["lower_bound"] - 1e-12

@@ -1,0 +1,115 @@
+"""Ablation — SGD vs the §III batch optimizers, on the simulated clock.
+
+The paper's related work argues batch methods (L-BFGS, CG) parallelize
+better than online SGD.  This bench settles it quantitatively for the
+simulated Phi: train the same sparse autoencoder to the same loss
+target with each optimizer, charge every gradient evaluation at its
+batch size, and compare simulated seconds-to-target.
+"""
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.core.oplist import autoencoder_step_levels
+from repro.data.synth_digits import digit_dataset
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.nn.cost import SparseAutoencoderCost
+from repro.optim.lbfgs import lbfgs_minimize
+from repro.optim.sgd import SGD
+from repro.phi.machine import SimulatedMachine
+from repro.phi.spec import XEON_PHI_5110P
+from repro.runtime.backend import OptimizationLevel, backend_for_level
+
+V, H = 144, 48
+TARGET_FRACTION = 0.35  # stop at 35% of the initial loss
+
+
+def _step_seconds(batch_size):
+    machine = SimulatedMachine(
+        XEON_PHI_5110P, backend_for_level(OptimizationLevel.IMPROVED)
+    )
+    machine.execute_levels(autoencoder_step_levels(batch_size, V, H))
+    return machine.clock
+
+
+def run_time_to_loss():
+    x, _ = digit_dataset(512, size=12, seed=4)
+    cost = SparseAutoencoderCost(weight_decay=1e-4)
+    target = None
+    rows = []
+
+    # --- SGD at two batch sizes ------------------------------------------
+    for batch in (32, 256):
+        ae = SparseAutoencoder(V, H, cost=cost, seed=0)
+        loss0 = ae.loss(x)
+        if target is None:
+            target = TARGET_FRACTION * loss0
+        evals = 0
+        theta = ae.get_flat_parameters()
+        sgd = SGD(learning_rate=0.5, seed=0)
+
+        done = {"hit": None}
+
+        def watch(t, loss, th, _batch=batch):
+            nonlocal evals
+            evals = t
+            if done["hit"] is None and loss <= target:
+                done["hit"] = t
+
+        result = sgd.minimize(
+            lambda th, b: ae.flat_loss_and_grad(th, b),
+            theta, x, batch_size=batch, epochs=60, callback=watch,
+        )
+        evals_to_target = done["hit"] if done["hit"] else evals
+        rows.append(
+            {
+                "optimizer": f"SGD batch {batch}",
+                "grad_evals_to_target": evals_to_target,
+                "reached_target": done["hit"] is not None,
+                "sim_seconds": evals_to_target * _step_seconds(batch),
+                "us_per_example": _step_seconds(batch) / batch * 1e6,
+            }
+        )
+
+    # --- L-BFGS (full batch) ----------------------------------------------
+    ae = SparseAutoencoder(V, H, cost=cost, seed=0)
+    evals = {"n": 0, "hit": None}
+
+    def objective(theta):
+        evals["n"] += 1
+        loss, grad = ae.flat_loss_and_grad(theta, x)
+        if evals["hit"] is None and loss <= target:
+            evals["hit"] = evals["n"]
+        return loss, grad
+
+    lbfgs_minimize(objective, ae.get_flat_parameters(), max_iterations=120)
+    n = evals["hit"] if evals["hit"] else evals["n"]
+    rows.append(
+        {
+            "optimizer": "L-BFGS full batch",
+            "grad_evals_to_target": n,
+            "reached_target": evals["hit"] is not None,
+            "sim_seconds": n * _step_seconds(x.shape[0]),
+            "us_per_example": _step_seconds(x.shape[0]) / x.shape[0] * 1e6,
+        }
+    )
+    return rows
+
+
+def test_optimizer_time_to_loss(benchmark, show):
+    rows = benchmark(run_time_to_loss)
+    show(format_table(rows, title="Ablation: simulated seconds to 35% of initial loss"))
+    by_name = {r["optimizer"]: r for r in rows}
+    # Everyone reaches the target.
+    assert all(r["reached_target"] for r in rows)
+    # Hardware side of the §III claim: the per-example cost on the Phi
+    # collapses as the batch grows (fixed per-update costs amortise).
+    assert (
+        by_name["SGD batch 256"]["us_per_example"]
+        < 0.5 * by_name["SGD batch 32"]["us_per_example"]
+    )
+    # And the batch method wins simulated time-to-target outright — the
+    # related work's recommendation realised on this machine.
+    assert by_name["L-BFGS full batch"]["sim_seconds"] == min(
+        r["sim_seconds"] for r in rows
+    )

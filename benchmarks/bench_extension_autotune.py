@@ -1,0 +1,53 @@
+"""Extension — automatic thread tuning (paper future work #1).
+
+"For now, we need to adjust the number of threads manually."  The tuner
+sweeps the thread ladder per workload; the interesting output is how the
+optimum moves with batch size — big batches want all 240 threads, tiny
+batches want far fewer (the granularity cliff of §IV.B.2).
+"""
+
+from repro.bench.report import format_table
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import TrainingConfig
+from repro.phi.spec import XEON_PHI_5110P
+from repro.runtime.autotune import autotune_training_config
+
+
+def run_autotune_sweep():
+    rows = []
+    for batch in (8, 64, 512, 10_000):
+        cfg = TrainingConfig(
+            n_visible=1024,
+            n_hidden=2048,
+            n_examples=max(10_000, batch),
+            batch_size=batch,
+            machine=XEON_PHI_5110P,
+        )
+        result = autotune_training_config(cfg, SparseAutoencoderTrainer)
+        max_threads_time = next(
+            s.seconds
+            for s in result.samples
+            if s.n_threads == XEON_PHI_5110P.max_threads
+        )
+        rows.append(
+            {
+                "batch": batch,
+                "best_threads": result.best_threads,
+                "best_seconds": result.best_seconds,
+                "all_240_threads_s": max_threads_time,
+                "gain_vs_240": max_threads_time / result.best_seconds,
+            }
+        )
+    return rows
+
+
+def test_autotune_thread_counts(benchmark, show):
+    rows = benchmark(run_autotune_sweep)
+    show(format_table(rows, title="Extension: auto-tuned thread counts vs batch size"))
+    # The optimum must be (weakly) increasing in batch size, and hit the
+    # full machine for the paper-scale batch.
+    best = [r["best_threads"] for r in rows]
+    assert best == sorted(best)
+    assert rows[-1]["best_threads"] == XEON_PHI_5110P.max_threads
+    # And tuning must never lose to blindly using 240 threads.
+    assert all(r["gain_vs_240"] >= 1.0 for r in rows)

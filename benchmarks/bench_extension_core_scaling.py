@@ -1,0 +1,55 @@
+"""Extension — core-count scaling and the heterogeneous host+Phi split.
+
+Paper future work: "we need to adjust the number of threads manually"
+(→ core sweep) and "a further combination between Xeon and Intel Xeon
+Phi can bring us higher efficiency" (→ HeterogeneousSplit).
+"""
+
+import pytest
+
+from repro.bench.harness import run_core_scaling
+from repro.bench.report import format_table
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import TrainingConfig
+from repro.core.pipeline import HeterogeneousSplit
+from repro.phi.spec import XEON_E5620_DUAL, XEON_PHI_5110P
+from repro.runtime.backend import optimized_cpu_backend
+
+
+def test_core_scaling(benchmark, show):
+    rows = benchmark(run_core_scaling)
+    show(format_table(rows, title="Extension: Table I workload vs active cores"))
+    times = [r["seconds"] for r in rows]
+    assert times == sorted(times, reverse=True)
+    # Sub-linear scaling 15 -> 60 cores (sync + small-batch starvation).
+    assert 1.5 < times[0] / times[-1] < 4.0
+
+
+def run_heterogeneous_split():
+    base = dict(
+        n_visible=1024, n_hidden=4096, n_examples=500_000, batch_size=1000,
+        chunk_examples=50_000,
+    )
+    split = HeterogeneousSplit(
+        host_trainer=SparseAutoencoderTrainer(
+            TrainingConfig(machine=XEON_E5620_DUAL, backend=optimized_cpu_backend(), **base)
+        ),
+        device_trainer=SparseAutoencoderTrainer(
+            TrainingConfig(machine=XEON_PHI_5110P, **base)
+        ),
+    )
+    combined, host_s, device_s = split.combined_time()
+    return {
+        "device_fraction": split.optimal_device_fraction(),
+        "combined_s": combined,
+        "host_share_s": host_s,
+        "device_share_s": device_s,
+        "speedup_vs_phi_only": split.speedup_vs_device_only(),
+    }
+
+
+def test_heterogeneous_split(benchmark, show):
+    result = benchmark(run_heterogeneous_split)
+    show(format_table([result], title="Extension: host+Phi combined execution"))
+    assert result["speedup_vs_phi_only"] > 1.0
+    assert 0.5 < result["device_fraction"] < 1.0

@@ -1,0 +1,53 @@
+"""Extension — multi-coprocessor data-parallel scaling.
+
+The paper's related work points at Google's distributed deep networks;
+this bench asks what its own scheme buys on a hypothetical multi-Phi
+node: synchronous data-parallel SGD with gradients all-reduced through
+the host.  Strong scaling is compute-rich at batch 10 000 but the
+per-device batch shrinks toward the Fig. 9 cliff; weak scaling keeps
+per-device efficiency and pays only the growing sync.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import TrainingConfig
+from repro.phi.spec import XEON_PHI_5110P
+from repro.runtime.distributed import scaling_rows, simulate_data_parallel
+
+
+def _config():
+    return TrainingConfig(
+        n_visible=1024, n_hidden=4096, n_examples=1_000_000, batch_size=10_000,
+        machine=XEON_PHI_5110P,
+    )
+
+
+def run_scaling():
+    strong = simulate_data_parallel(
+        _config(), SparseAutoencoderTrainer, device_counts=(1, 2, 4, 8)
+    )
+    weak = simulate_data_parallel(
+        _config(), SparseAutoencoderTrainer, device_counts=(1, 2, 4, 8),
+        scaling="weak",
+    )
+    return strong, weak
+
+
+def test_multidevice_scaling(benchmark, show):
+    strong, weak = benchmark(run_scaling)
+    show(format_table(scaling_rows(strong), title="Extension: strong scaling (global batch fixed)"))
+    show(format_table(scaling_rows(weak), title="Extension: weak scaling (per-device batch fixed)"))
+
+    # Strong scaling: real but sub-linear speedups.
+    assert strong[-1].speedup > 2.0
+    assert strong[-1].speedup < 8.0
+    assert all(p.speedup <= p.n_devices for p in strong)
+    # Weak scaling keeps per-update compute flat, so efficiency (per-update
+    # time growth) beats strong scaling's at 8 devices.
+    weak_eff = weak[-1].compute_per_update_s / (
+        weak[-1].compute_per_update_s + weak[-1].sync_per_update_s
+    )
+    strong_eff = strong[-1].efficiency
+    assert weak_eff > strong_eff

@@ -1,0 +1,21 @@
+"""Fig. 10 — Matlab-on-Xeon vs fully-optimized Phi.
+
+SAE with 1 M examples, mini-batch 10 000.  Paper: "It achieved about
+16-fold speed up even if Matlab has an efficient implementation of
+matrix operations."
+"""
+
+from repro.bench.harness import run_fig10
+from repro.bench.report import format_table
+
+
+def test_fig10_matlab_comparison(benchmark, show):
+    result = benchmark(run_fig10)
+    show(
+        format_table(
+            [result],
+            title="Fig. 10: Matlab (Xeon host) vs fully-optimized Phi (paper: ~16x)",
+        )
+    )
+    assert 12 < result["speedup"] < 20
+    assert result["phi_s"] < result["matlab_s"]

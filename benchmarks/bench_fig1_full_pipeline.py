@@ -1,0 +1,95 @@
+"""Fig. 1 completed — the full deep-learning pipeline, timed end to end.
+
+The paper's Fig. 1 shows greedy pre-training; the deep-learning recipe
+it feeds is pre-train → supervised fine-tune.  This bench times both
+phases at Table I's scale on the simulated Phi and on the host, and
+reports where the time goes — including the answer to a question the
+paper leaves open: pre-training dominates the pipeline (3 unsupervised
+layers × 200 iterations vs a short supervised pass).
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core.config import TrainingConfig
+from repro.core.finetune_trainer import FinetuneTrainer
+from repro.core.pretrain import (
+    DeepPretrainer,
+    TABLE1_BATCH_SIZE,
+    TABLE1_ITERATIONS_PER_LAYER,
+    TABLE1_LAYER_SIZES,
+)
+from repro.phi.spec import XEON_E5620_DUAL, XEON_PHI_5110P
+from repro.runtime.backend import optimized_cpu_backend
+
+FINETUNE_EPOCHS = 50  # supervised passes over the (one-chunk) batch
+N_CLASSES = 10
+
+
+def _phase_times(machine, backend=None):
+    base = TrainingConfig(
+        n_visible=TABLE1_LAYER_SIZES[0],
+        n_hidden=TABLE1_LAYER_SIZES[1],
+        n_examples=TABLE1_BATCH_SIZE,
+        batch_size=TABLE1_BATCH_SIZE,
+        machine=machine,
+        backend=backend,
+    )
+    pretrain_s = (
+        DeepPretrainer(
+            base,
+            layer_sizes=TABLE1_LAYER_SIZES,
+            iterations_per_layer=TABLE1_ITERATIONS_PER_LAYER,
+        )
+        .simulate()
+        .total_seconds
+    )
+    finetune_cfg = TrainingConfig(
+        n_visible=TABLE1_LAYER_SIZES[0],
+        n_hidden=TABLE1_LAYER_SIZES[1],
+        n_examples=TABLE1_BATCH_SIZE,
+        batch_size=TABLE1_BATCH_SIZE,
+        epochs=FINETUNE_EPOCHS,
+        machine=machine,
+        backend=backend,
+        chunk_examples=TABLE1_BATCH_SIZE,
+    )
+    finetune_s = (
+        FinetuneTrainer(
+            finetune_cfg, layer_sizes=list(TABLE1_LAYER_SIZES) + [N_CLASSES]
+        )
+        .simulate()
+        .simulated_seconds
+    )
+    return pretrain_s, finetune_s
+
+
+def run_full_pipeline():
+    rows = []
+    for name, machine, backend in (
+        ("phi_improved", XEON_PHI_5110P, None),
+        ("xeon_dual", XEON_E5620_DUAL, optimized_cpu_backend()),
+    ):
+        pretrain_s, finetune_s = _phase_times(machine, backend)
+        rows.append(
+            {
+                "machine": name,
+                "pretrain_s": pretrain_s,
+                "finetune_s": finetune_s,
+                "total_s": pretrain_s + finetune_s,
+                "pretrain_share": pretrain_s / (pretrain_s + finetune_s),
+            }
+        )
+    return rows
+
+
+def test_fig1_full_pipeline(benchmark, show):
+    rows = benchmark(run_full_pipeline)
+    show(format_table(rows, title="Fig. 1 completed: pre-train + fine-tune, end to end"))
+    by_name = {r["machine"]: r for r in rows}
+    phi, cpu = by_name["phi_improved"], by_name["xeon_dual"]
+    # Pre-training dominates the pipeline on both machines.
+    assert phi["pretrain_share"] > 0.5
+    assert cpu["pretrain_share"] > 0.5
+    # The Phi's end-to-end advantage matches the per-phase story.
+    assert 4.0 < cpu["total_s"] / phi["total_s"] < 15.0

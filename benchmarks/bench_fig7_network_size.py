@@ -1,0 +1,33 @@
+"""Fig. 7 — training time vs network size (SAE and RBM).
+
+Regenerates both panels: Phi (fully optimized) vs a single Xeon core,
+SAE with 1 M examples / batch 1000 and RBM with 100 k examples /
+batch 200, across the 576×1024 → 4096×16384 ladder.
+
+Shape assertions mirror the paper's stated findings; the benchmark times
+the harness itself (the simulation is deterministic, so pytest-benchmark
+measures simulator throughput).
+"""
+
+import pytest
+
+from repro.bench.harness import run_fig7
+from repro.bench.report import format_table
+from repro.bench.workloads import FIG7_NETWORKS
+
+
+@pytest.mark.parametrize("model", ["autoencoder", "rbm"])
+def test_fig7_network_size(benchmark, show, model):
+    rows = benchmark(run_fig7, model)
+    show(format_table(rows, title=f"Fig. 7 ({model}): time vs network size"))
+
+    assert len(rows) == len(FIG7_NETWORKS)
+    # Paper: CPU time "increases almost linearly"; Phi growth is "mild";
+    # the gap is smallest at the smallest network.
+    cpu_growth = rows[-1]["cpu1_s"] / rows[0]["cpu1_s"]
+    phi_growth = rows[-1]["phi_s"] / rows[0]["phi_s"]
+    weight_growth = rows[-1]["weights"] / rows[0]["weights"]
+    assert cpu_growth == pytest.approx(weight_growth, rel=0.3)
+    assert phi_growth < cpu_growth
+    assert min(r["speedup"] for r in rows) == rows[0]["speedup"]
+    assert all(r["phi_s"] < r["cpu1_s"] for r in rows)

@@ -1,0 +1,31 @@
+"""Fig. 8 — training time vs dataset size (SAE and RBM).
+
+Network fixed at 1024×4096, batch 1000, dataset 10 k → 1 M examples.
+Paper finding: "the time cost by single CPU core increases much faster
+than Intel Xeon Phi … Intel Xeon Phi works much better when dealing with
+large dataset size."
+"""
+
+import pytest
+
+from repro.bench.harness import run_fig8
+from repro.bench.report import format_table
+from repro.bench.workloads import FIG8_DATASET_SIZES
+
+
+@pytest.mark.parametrize("model", ["autoencoder", "rbm"])
+def test_fig8_dataset_size(benchmark, show, model):
+    rows = benchmark(run_fig8, model)
+    show(format_table(rows, title=f"Fig. 8 ({model}): time vs dataset size"))
+
+    assert len(rows) == len(FIG8_DATASET_SIZES)
+    # CPU scales ~linearly with examples.
+    example_ratio = rows[-1]["examples"] / rows[0]["examples"]
+    assert rows[-1]["cpu1_s"] / rows[0]["cpu1_s"] == pytest.approx(
+        example_ratio, rel=0.2
+    )
+    # The absolute CPU-vs-Phi gap widens monotonically with dataset size.
+    gaps = [r["cpu1_s"] - r["phi_s"] for r in rows]
+    assert gaps == sorted(gaps)
+    # And at 1M examples the Phi advantage is large.
+    assert rows[-1]["speedup"] > 20

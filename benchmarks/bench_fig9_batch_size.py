@@ -1,0 +1,27 @@
+"""Fig. 9 — training time vs mini-batch size (SAE and RBM).
+
+Network 1024×4096, dataset 100 k, batch 200 → 10000.  Paper findings:
+Phi time drops by ≈two-thirds across the sweep (fewer, larger updates
+keep 240 threads fed); the single-CPU decrease is mild ("not obvious"
+for the RBM); Phi stays far below the CPU at every batch size.
+"""
+
+import pytest
+
+from repro.bench.harness import run_fig9
+from repro.bench.report import format_table
+from repro.bench.workloads import FIG9_BATCH_SIZES
+
+
+@pytest.mark.parametrize("model", ["autoencoder", "rbm"])
+def test_fig9_batch_size(benchmark, show, model):
+    rows = benchmark(run_fig9, model)
+    show(format_table(rows, title=f"Fig. 9 ({model}): time vs batch size"))
+
+    assert len(rows) == len(FIG9_BATCH_SIZES)
+    phi_drop = 1.0 - rows[-1]["phi_s"] / rows[0]["phi_s"]
+    cpu_drop = 1.0 - rows[-1]["cpu1_s"] / rows[0]["cpu1_s"]
+    assert 0.5 < phi_drop < 0.85  # "decreases by two thirds"
+    assert cpu_drop < 0.3  # "not obvious"
+    # Phi maintains "at a low level" everywhere.
+    assert all(r["phi_s"] < 0.2 * r["cpu1_s"] for r in rows)

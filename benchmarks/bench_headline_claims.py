@@ -1,0 +1,28 @@
+"""The abstract's headline claims, regenerated in one place.
+
+* ">300-fold speedup on parallelized Sparse Autoencoder compared with the
+  original sequential algorithm on the Intel Xeon Phi coprocessor";
+* "7 to 10 times faster than the Intel Xeon CPU" (the dual-socket host);
+* "16 times faster than the Matlab implementation".
+"""
+
+from repro.bench.harness import run_headline_claims
+from repro.bench.report import format_table
+
+
+def test_headline_claims(benchmark, show):
+    claims = benchmark(run_headline_claims)
+    rows = [
+        {
+            "claim": name,
+            "speedup": report.speedup,
+            "candidate_s": report.candidate_seconds,
+            "baseline_s": report.baseline_seconds,
+        }
+        for name, report in claims.items()
+    ]
+    show(format_table(rows, title="Headline claims (paper: >300x, 7-10x, ~16x)"))
+
+    assert claims["vs_baseline"].speedup > 300
+    assert 6.0 <= claims["vs_xeon"].speedup <= 11.0
+    assert 12.0 <= claims["vs_matlab"].speedup <= 20.0

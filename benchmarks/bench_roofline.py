@@ -1,0 +1,49 @@
+"""Analysis — roofline classification of one SAE training step.
+
+Quantifies *why* the paper's optimizations are the right ones: the five
+GEMMs sit far right of the Phi's ridge point (compute-bound — hence
+MKL), while every element-wise/reduction kernel sits far left
+(bandwidth-bound — hence fusion, which cuts their traffic, not their
+flops).
+"""
+
+from repro.bench.report import format_table
+from repro.core.oplist import autoencoder_step_kernels
+from repro.phi.kernels import KernelKind
+from repro.phi.roofline import analyze_kernels, ridge_point, roofline_report
+from repro.phi.spec import XEON_PHI_5110P
+from repro.runtime.backend import OptimizationLevel, backend_for_level
+
+
+def run_roofline():
+    kernels = autoencoder_step_kernels(10_000, 1024, 4096)
+    backend = backend_for_level(OptimizationLevel.IMPROVED)
+    points = analyze_kernels(kernels, XEON_PHI_5110P, backend)
+    return kernels, points
+
+
+def test_sae_step_roofline(benchmark, show):
+    kernels, points = benchmark(run_roofline)
+    show(
+        format_table(
+            roofline_report(points),
+            title=(
+                "Roofline: SAE step (m=10000, 1024x4096) on the Phi "
+                f"(ridge {ridge_point(XEON_PHI_5110P):.1f} flops/byte)"
+            ),
+        )
+    )
+    by_name = {p.name: p for p in points}
+    gemm_names = [k.name for k in kernels if k.kind is KernelKind.GEMM]
+    stream_names = [
+        k.name
+        for k in kernels
+        if k.kind in (KernelKind.ELEMENTWISE, KernelKind.REDUCE) and k.flops > 0
+    ]
+    # Every GEMM compute-bound, every streaming kernel memory-bound.
+    assert all(by_name[n].bound == "compute" for n in gemm_names)
+    assert all(by_name[n].bound == "memory" for n in stream_names)
+    # GEMMs dwarf everything in arithmetic intensity.
+    min_gemm_ai = min(by_name[n].intensity for n in gemm_names)
+    max_stream_ai = max(by_name[n].intensity for n in stream_names)
+    assert min_gemm_ai > 20 * max_stream_ai

@@ -1,0 +1,20 @@
+"""§IV.A — the transfer-overlap measurement (paper Fig. 5).
+
+The paper's constants: 13 s to stage a 10,000×4096 chunk, ≈68 s to train
+it — "about 17% of the total time is spent on transferring training
+data" — and a loading thread + multi-chunk buffer that hides it.
+"""
+
+import pytest
+
+from repro.bench.harness import run_transfer_overlap
+from repro.bench.report import format_table
+
+
+def test_transfer_overlap(benchmark, show):
+    result = benchmark(run_transfer_overlap)
+    show(format_table([result], title="§IV.A transfer overlap (paper: 17% -> ~0)"))
+
+    assert result["transfer_fraction_serial"] == pytest.approx(0.17, abs=0.02)
+    assert result["transfer_fraction_overlapped"] < 0.03
+    assert result["overlapped_total_s"] < result["serial_total_s"]

@@ -1,0 +1,21 @@
+"""Shared reporting helper for the benchmark suite.
+
+Every bench prints the rows/series it regenerates (the paper-figure
+content) in addition to pytest-benchmark's timing of the harness itself.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a rendered table through pytest's capture (-s to display)."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show

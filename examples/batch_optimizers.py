@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Batch optimizers vs online SGD (paper §III).
+
+The paper's related work argues that batch methods (L-BFGS, CG) are
+"easier to parallelize" than online SGD because each update consumes a
+large batch of gradient work, while SGD's small sequential updates leave
+a many-core machine starved.  This example quantifies both halves:
+
+* functional: train the same sparse autoencoder with SGD, L-BFGS and CG
+  and compare losses per gradient evaluation;
+* timing: charge each optimizer's gradient work to the simulated Phi and
+  compare simulated wall time to a common loss target.
+
+Run:  python examples/batch_optimizers.py
+"""
+
+import numpy as np
+
+from repro import (
+    SparseAutoencoder,
+    SparseAutoencoderCost,
+    TrainingConfig,
+    XEON_PHI_5110P,
+    digit_dataset,
+    format_table,
+)
+from repro.core.oplist import autoencoder_step_levels
+from repro.optim import SGD, lbfgs_minimize, nonlinear_conjugate_gradient
+from repro.phi.machine import SimulatedMachine
+from repro.runtime.backend import OptimizationLevel, backend_for_level
+
+
+def gradient_step_seconds(batch_size, v, h):
+    """Simulated Phi cost of one full-batch gradient evaluation."""
+    machine = SimulatedMachine(
+        XEON_PHI_5110P, backend_for_level(OptimizationLevel.IMPROVED)
+    )
+    machine.execute_levels(autoencoder_step_levels(batch_size, v, h))
+    return machine.clock
+
+
+def main():
+    x, _ = digit_dataset(512, size=12, seed=4)
+    v, h = 144, 48
+    cost = SparseAutoencoderCost(weight_decay=1e-4)
+
+    rows = []
+
+    # ---- online SGD: many small updates --------------------------------
+    sgd_batch = 32
+    ae = SparseAutoencoder(v, h, cost=cost, seed=0)
+    sgd = SGD(learning_rate=0.5, seed=0)
+    result = sgd.minimize(
+        lambda theta, batch: ae.flat_loss_and_grad(theta, batch),
+        ae.get_flat_parameters(),
+        x,
+        batch_size=sgd_batch,
+        epochs=10,
+    )
+    ae.set_flat_parameters(result.theta)
+    sgd_evals = result.n_updates
+    rows.append(
+        {
+            "optimizer": f"SGD (batch {sgd_batch})",
+            "grad_evals": sgd_evals,
+            "final_loss": ae.loss(x),
+            "sim_seconds": sgd_evals * gradient_step_seconds(sgd_batch, v, h),
+        }
+    )
+
+    # ---- L-BFGS: few full-batch updates ---------------------------------
+    ae = SparseAutoencoder(v, h, cost=cost, seed=0)
+    evals = [0]
+
+    def counting_objective(theta):
+        evals[0] += 1
+        return ae.flat_loss_and_grad(theta, x)
+
+    lb = lbfgs_minimize(counting_objective, ae.get_flat_parameters(), max_iterations=40)
+    ae.set_flat_parameters(lb.theta)
+    rows.append(
+        {
+            "optimizer": "L-BFGS (full batch)",
+            "grad_evals": evals[0],
+            "final_loss": ae.loss(x),
+            "sim_seconds": evals[0] * gradient_step_seconds(x.shape[0], v, h),
+        }
+    )
+
+    # ---- CG: few full-batch updates -------------------------------------
+    ae = SparseAutoencoder(v, h, cost=cost, seed=0)
+    evals = [0]
+    cg = nonlinear_conjugate_gradient(
+        counting_objective, ae.get_flat_parameters(), max_iterations=40
+    )
+    ae.set_flat_parameters(cg.theta)
+    rows.append(
+        {
+            "optimizer": "CG (full batch)",
+            "grad_evals": evals[0],
+            "final_loss": ae.loss(x),
+            "sim_seconds": evals[0] * gradient_step_seconds(x.shape[0], v, h),
+        }
+    )
+
+    print(format_table(rows, title="SGD vs batch optimizers on the simulated Phi"))
+    print(
+        "\nNote the paper's trade-off: the batch methods do more flops per "
+        "update\nbut feed the 240 threads far better (large GEMMs), while "
+        "SGD's small\nbatches run at a fraction of peak."
+    )
+
+
+if __name__ == "__main__":
+    main()

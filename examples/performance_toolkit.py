@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The performance-engineering toolkit: roofline, auto-tuning, energy,
+and timeline export on one workload.
+
+Walks the analysis loop a systems engineer would run on the paper's
+Fig. 8 workload: classify the kernels on the roofline, auto-tune the
+thread count, compare energy-to-solution across machines, and dump a
+Chrome-trace timeline of one training step.
+
+Run:  python examples/performance_toolkit.py
+"""
+
+import json
+from pathlib import Path
+
+from repro import (
+    TrainingConfig,
+    SparseAutoencoderTrainer,
+    XEON_E5620_DUAL,
+    XEON_PHI_5110P,
+    backend_for_level,
+    format_table,
+    format_timeline,
+    optimized_cpu_backend,
+)
+from repro.core.oplist import autoencoder_step_levels
+from repro.core.pipeline import ChunkedTrainingPipeline
+from repro.phi.energy import energy_for_run
+from repro.phi.machine import SimulatedMachine
+from repro.phi.roofline import analyze_kernels, ridge_point, roofline_report
+from repro.runtime.autotune import autotune_training_config
+from repro.runtime.backend import OptimizationLevel
+
+
+WORKLOAD = dict(
+    n_visible=1024, n_hidden=4096, n_examples=200_000, batch_size=1000,
+    chunk_examples=50_000,
+)
+
+
+def roofline_section():
+    print(f"=== roofline (ridge point {ridge_point(XEON_PHI_5110P):.1f} flops/byte) ===")
+    kernels = [
+        k for level in autoencoder_step_levels(1000, 1024, 4096) for k in level
+    ]
+    points = analyze_kernels(
+        kernels, XEON_PHI_5110P, backend_for_level(OptimizationLevel.IMPROVED)
+    )
+    rows = roofline_report(points)
+    print(format_table(rows[:8], title="first kernels of one SAE step"))
+    bound = {"compute": 0, "memory": 0}
+    for p in points:
+        bound[p.bound] += 1
+    print(f"{bound['compute']} compute-bound kernels, {bound['memory']} memory-bound\n")
+
+
+def autotune_section():
+    print("=== thread auto-tuning (paper future work #1) ===")
+    cfg = TrainingConfig(machine=XEON_PHI_5110P, **WORKLOAD)
+    tuning = autotune_training_config(cfg, SparseAutoencoderTrainer)
+    rows = [
+        {"threads": s.n_threads, "sim_seconds": s.seconds} for s in tuning.samples
+    ]
+    print(format_table(sorted(rows, key=lambda r: r["threads"])))
+    print(
+        f"best: {tuning.best_threads} threads "
+        f"({tuning.speedup_vs_worst:.1f}x over the worst setting)\n"
+    )
+
+
+def energy_section():
+    print("=== energy to solution ===")
+    rows = []
+    for name, machine, backend in (
+        ("phi", XEON_PHI_5110P, None),
+        ("xeon_dual", XEON_E5620_DUAL, optimized_cpu_backend()),
+    ):
+        cfg = TrainingConfig(machine=machine, backend=backend, **WORKLOAD)
+        result = SparseAutoencoderTrainer(cfg).simulate()
+        report = energy_for_run(result)
+        rows.append(
+            {
+                "machine": name,
+                "seconds": result.simulated_seconds,
+                "avg_watts": report.average_watts,
+                "watt_hours": report.watt_hours,
+            }
+        )
+    print(format_table(rows))
+    print()
+
+
+def timeline_section():
+    print("=== Fig. 5 pipeline timeline + Chrome trace export ===")
+    cfg = TrainingConfig(machine=XEON_PHI_5110P, **WORKLOAD)
+    study = ChunkedTrainingPipeline(SparseAutoencoderTrainer(cfg)).overlap_study()
+    print(format_timeline(study.overlapped, width=64, title="double-buffered"))
+    print(format_timeline(study.serial, width=64, title="serial staging"))
+    print(f"loading thread hides {study.hidden_fraction:.0%} of the transfer time")
+
+    machine = SimulatedMachine(
+        XEON_PHI_5110P,
+        backend_for_level(OptimizationLevel.IMPROVED),
+        record_trace=True,
+    )
+    machine.execute_levels(autoencoder_step_levels(1000, 1024, 4096))
+    out = Path("sae_step_trace.json")
+    out.write_text(json.dumps(machine.trace.to_chrome_trace(), indent=1))
+    print(f"wrote {out} ({len(machine.trace)} kernels) — open in ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    roofline_section()
+    autotune_section()
+    energy_section()
+    timeline_section()

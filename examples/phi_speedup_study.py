@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Coprocessor performance study: regenerate the paper's evaluation
+figures from the timing simulator, plus the future-work extensions.
+
+Covers: Fig. 7 (network size), Fig. 8 (dataset size), Fig. 9 (batch
+size), Fig. 10 (Matlab), Table I, the §IV.A transfer-overlap study,
+core-count scaling, and the host+Phi heterogeneous split.
+
+Run:  python examples/phi_speedup_study.py
+"""
+
+from repro import format_table
+from repro.bench.harness import (
+    run_core_scaling,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_headline_claims,
+    run_table1,
+    run_transfer_overlap,
+)
+
+
+def main():
+    print(format_table(run_fig7("autoencoder"), "Fig. 7a — SAE time vs network size"))
+    print()
+    print(format_table(run_fig7("rbm"), "Fig. 7b — RBM time vs network size"))
+    print()
+    print(format_table(run_fig8("autoencoder"), "Fig. 8a — SAE time vs dataset size"))
+    print()
+    print(format_table(run_fig8("rbm"), "Fig. 8b — RBM time vs dataset size"))
+    print()
+    print(format_table(run_fig9("autoencoder"), "Fig. 9a — SAE time vs batch size"))
+    print()
+    print(format_table(run_fig9("rbm"), "Fig. 9b — RBM time vs batch size"))
+    print()
+    print(format_table([run_fig10()], "Fig. 10 — Matlab vs Phi (paper: ~16x)"))
+    print()
+    print(format_table(run_table1(), "Table I — optimization steps (paper anchors: 16042s -> 53s/81s)"))
+    print()
+    print(format_table([run_transfer_overlap()], "§IV.A — transfer overlap (paper: 17% -> hidden)"))
+    print()
+    print(format_table(run_core_scaling(), "Extension — active-core scaling"))
+    print()
+    print("Headline claims:")
+    for name, report in run_headline_claims().items():
+        print(f"  {name}: {report}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""RBM / Deep Belief Network feature learning (paper §II.B.2).
+
+Trains an RBM with CD-1 on binarised synthetic digits, stacks two of
+them into a DBN, and measures how much class structure the learned
+features keep (nearest-centroid accuracy) while compressing 144 pixels
+down to 32 units.
+
+Run:  python examples/rbm_dbn_features.py
+"""
+
+import numpy as np
+
+from repro import (
+    DeepBeliefNetwork,
+    LayerSpec,
+    RBMTrainer,
+    TrainingConfig,
+    XEON_PHI_5110P,
+    digit_dataset,
+)
+
+
+def nearest_centroid_accuracy(features, labels, n_train):
+    """Fit per-class centroids on the first n_train rows, test on the rest."""
+    train_f, train_y = features[:n_train], labels[:n_train]
+    test_f, test_y = features[n_train:], labels[n_train:]
+    centroids = {
+        d: train_f[train_y == d].mean(axis=0)
+        for d in range(10)
+        if (train_y == d).any()
+    }
+    correct = sum(
+        1
+        for f, y in zip(test_f, test_y)
+        if min(centroids, key=lambda d: np.linalg.norm(f - centroids[d])) == y
+    )
+    return correct / len(test_y)
+
+
+def main():
+    x, labels = digit_dataset(600, size=12, seed=2)
+    binary = (x > 0.5).astype(np.float64)
+    n_train = 480
+    print(f"dataset: {binary.shape}, binarised")
+
+    # --- single RBM, trained with the simulated-Phi trainer -------------
+    config = TrainingConfig(
+        n_visible=144,
+        n_hidden=64,
+        n_examples=binary.shape[0],
+        batch_size=50,
+        epochs=25,
+        learning_rate=0.1,
+        machine=XEON_PHI_5110P,
+        seed=2,
+    )
+    trainer = RBMTrainer(config)
+    result = trainer.fit(binary)
+    print(
+        "RBM reconstruction error: "
+        f"{result.reconstruction_errors[0]:.3f} -> {result.reconstruction_errors[-1]:.3f} "
+        f"({result.n_updates} CD-1 updates, {result.simulated_seconds:.3f} simulated s)"
+    )
+
+    # --- stack two RBMs into a DBN --------------------------------------
+    dbn = DeepBeliefNetwork(
+        144,
+        [
+            LayerSpec(64, learning_rate=0.1, epochs=25, batch_size=50),
+            LayerSpec(32, learning_rate=0.1, epochs=25, batch_size=50),
+        ],
+        seed=3,
+    ).pretrain(binary)
+    dbn_features = dbn.transform(binary)
+    print(f"DBN features: {dbn_features.shape}")
+
+    # --- do the learned features help? ----------------------------------
+    acc_pixels = nearest_centroid_accuracy(binary, labels, n_train)
+    acc_rbm = nearest_centroid_accuracy(trainer.model.transform(binary), labels, n_train)
+    acc_dbn = nearest_centroid_accuracy(dbn_features, labels, n_train)
+    print(f"nearest-centroid accuracy on raw pixels (144-d):  {acc_pixels:.2%}")
+    print(f"nearest-centroid accuracy on RBM features (64-d): {acc_rbm:.2%}")
+    print(f"nearest-centroid accuracy on DBN features (32-d): {acc_dbn:.2%}")
+    print(
+        "\nThe unsupervised features trade a little accuracy for a 4.5x "
+        "compression\n(the paper's 'code' use-case, §I) — chance level is 10%."
+    )
+
+
+if __name__ == "__main__":
+    main()

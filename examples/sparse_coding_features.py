@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Sparse coding on natural-image patches (paper §I's third building
+block; Olshausen & Field's classic experiment on the paper's second data
+source).
+
+Learns an overcomplete dictionary over whitened 8x8 patches of synthetic
+1/f natural images with FISTA inference, and reports the objective
+trajectory, code sparsity, and the localised structure of the learned
+atoms.
+
+Run:  python examples/sparse_coding_features.py
+"""
+
+import numpy as np
+
+from repro import (
+    extract_patches,
+    format_table,
+    make_natural_images,
+    whiten_patches,
+)
+from repro.nn.sparse_coding import SparseCoder
+
+
+def atom_locality(dictionary, patch_side):
+    """Spatial concentration of each atom: fraction of its energy inside
+    the quarter of pixels where it is strongest.  Localised (edge-like)
+    atoms score high; diffuse noise scores ~0.25."""
+    energies = dictionary**2
+    k = energies.shape[1] // 4
+    top = np.sort(energies, axis=1)[:, -k:]
+    return top.sum(axis=1) / energies.sum(axis=1)
+
+
+def main():
+    images = make_natural_images(8, size=96, spectral_exponent=1.0, seed=0)
+    patches = extract_patches(images, patch_size=8, n_patches=2000, seed=1)
+    patches = whiten_patches(patches, epsilon=1e-2)
+    print(f"patches: {patches.shape} (whitened)")
+
+    coder = SparseCoder(n_features=64, n_atoms=96, lam=0.3, seed=2)
+    initial = coder.objective(patches[:500])
+    coder.fit(patches, epochs=6, batch_size=200, learning_rate=0.8, seed=2)
+
+    rows = [
+        {
+            "epoch": i + 1,
+            "objective": obj,
+            "fraction_zero_codes": sp,
+        }
+        for i, (obj, sp) in enumerate(
+            zip(coder.history.objectives, coder.history.sparsity)
+        )
+    ]
+    print(format_table(rows, title=f"dictionary learning (initial objective {initial:.3f})"))
+
+    locality = atom_locality(coder.dictionary, 8)
+    print(
+        f"\nlearned atoms: {coder.dictionary.shape[0]} "
+        f"(overcomplete over {coder.dictionary.shape[1]} pixels)"
+    )
+    print(
+        f"median atom locality: {np.median(locality):.2f} "
+        "(diffuse noise ~ 0.25; localised edge-like filters score higher)"
+    )
+    codes = coder.encode(patches[:200])
+    used = np.abs(codes) > 0
+    print(
+        f"codes: {used.mean():.1%} of coefficients active; "
+        f"{used.sum(axis=1).mean():.1f} atoms per patch on average"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP
+660 editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-build-isolation`` take the legacy ``setup.py
+develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

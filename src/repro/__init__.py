@@ -1,0 +1,183 @@
+"""repro — reproduction of "Training Large Scale Deep Neural Networks on
+the Intel Xeon Phi Many-core Coprocessor" (Jin et al., IPDPSW 2014).
+
+The package pairs *functional* NumPy implementations of the paper's
+networks (sparse autoencoder, RBM, greedy deep pre-training) with a
+*simulated* many-core coprocessor (roofline cost model + discrete-event
+offload pipeline) so the paper's parallelization study — Table I's
+optimization ladder, Figs. 7–10's sweeps, the Fig. 5 transfer overlap —
+can be regenerated on any machine.
+
+Quick tour::
+
+    from repro import TrainingConfig, SparseAutoencoderTrainer, digit_dataset
+
+    x, _ = digit_dataset(512, size=16, seed=0)
+    cfg = TrainingConfig(n_visible=256, n_hidden=64,
+                         n_examples=512, batch_size=64, epochs=20)
+    result = SparseAutoencoderTrainer(cfg).fit(x)
+    print(result.reconstruction_errors[-1], result.simulated_seconds)
+
+Sub-packages:
+
+* :mod:`repro.nn` — the networks (real numerics);
+* :mod:`repro.optim` — SGD, schedules, L-BFGS, CG;
+* :mod:`repro.data` — synthetic digits / natural images, patches, chunks;
+* :mod:`repro.phi` — the simulated Xeon Phi / Xeon machines;
+* :mod:`repro.runtime` — backends, parallel-for, task graphs, fusion,
+  the offload pipeline;
+* :mod:`repro.core` — the paper's trainers and pre-training driver;
+* :mod:`repro.bench` — workloads + harness for every table and figure.
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    DeviceMemoryError,
+    ReproError,
+    SchedulingError,
+    ShapeError,
+    SimulationError,
+)
+
+# networks
+from repro.nn import (
+    RBM,
+    DeepBeliefNetwork,
+    LayerSpec,
+    SparseAutoencoder,
+    SparseAutoencoderCost,
+    StackedAutoencoder,
+)
+
+# data
+from repro.data import (
+    Dataset,
+    digit_dataset,
+    extract_patches,
+    make_digit_images,
+    make_natural_images,
+    normalize_patches,
+    plan_chunks,
+    whiten_patches,
+)
+
+# machines
+from repro.phi import (
+    MachineSpec,
+    PCIeModel,
+    SimulatedMachine,
+    XEON_E5620,
+    XEON_E5620_DUAL,
+    XEON_E5620_SINGLE_CORE,
+    XEON_PHI_5110P,
+    XEON_PHI_5110P_30C,
+    get_machine,
+    phi_with_cores,
+)
+
+# runtime
+from repro.runtime import (
+    ExecutionBackend,
+    OffloadPipeline,
+    OptimizationLevel,
+    TaskGraph,
+    backend_for_level,
+    fuse_elementwise,
+    matlab_backend,
+    optimized_cpu_backend,
+    rbm_cd1_taskgraph,
+)
+
+# the paper's trainers
+from repro.core import (
+    ChunkedTrainingPipeline,
+    DeepPretrainer,
+    HeterogeneousSplit,
+    RBMTrainer,
+    SparseAutoencoderTrainer,
+    SpeedupReport,
+    TrainingConfig,
+    TrainingRunResult,
+)
+
+# bench harness conveniences
+from repro.bench import (
+    format_series,
+    format_table,
+    format_timeline,
+    simulate_seconds,
+    sweep,
+    table1_pretrainer,
+    write_csv,
+    write_json,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "ConvergenceError",
+    "DeviceMemoryError",
+    "SimulationError",
+    "SchedulingError",
+    # networks
+    "SparseAutoencoder",
+    "SparseAutoencoderCost",
+    "RBM",
+    "StackedAutoencoder",
+    "DeepBeliefNetwork",
+    "LayerSpec",
+    # data
+    "Dataset",
+    "digit_dataset",
+    "make_digit_images",
+    "make_natural_images",
+    "extract_patches",
+    "normalize_patches",
+    "whiten_patches",
+    "plan_chunks",
+    # machines
+    "MachineSpec",
+    "XEON_PHI_5110P",
+    "XEON_PHI_5110P_30C",
+    "XEON_E5620",
+    "XEON_E5620_SINGLE_CORE",
+    "XEON_E5620_DUAL",
+    "phi_with_cores",
+    "get_machine",
+    "SimulatedMachine",
+    "PCIeModel",
+    # runtime
+    "OptimizationLevel",
+    "ExecutionBackend",
+    "backend_for_level",
+    "optimized_cpu_backend",
+    "matlab_backend",
+    "TaskGraph",
+    "rbm_cd1_taskgraph",
+    "fuse_elementwise",
+    "OffloadPipeline",
+    # trainers
+    "TrainingConfig",
+    "TrainingRunResult",
+    "SpeedupReport",
+    "SparseAutoencoderTrainer",
+    "RBMTrainer",
+    "DeepPretrainer",
+    "ChunkedTrainingPipeline",
+    "HeterogeneousSplit",
+    # bench
+    "format_table",
+    "format_series",
+    "format_timeline",
+    "write_csv",
+    "write_json",
+    "sweep",
+    "simulate_seconds",
+    "table1_pretrainer",
+    "__version__",
+]

@@ -1,0 +1,265 @@
+"""Experiment drivers: regenerate every table and figure of the paper.
+
+Each ``run_*`` function executes the corresponding workload on the
+simulated machines and returns the rows/series the paper reports.  They
+are deterministic and fast (the trainers memoize per-update kernel
+execution), so the pytest-benchmark wrappers can call them repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench import workloads as wl
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.rbm_trainer import RBMTrainer
+from repro.core.results import SpeedupReport
+from repro.phi.pcie import PCIeModel, PAPER_CHUNK_BYTES
+from repro.phi.spec import (
+    XEON_E5620_DUAL,
+    XEON_E5620_SINGLE_CORE,
+    XEON_PHI_5110P,
+    phi_with_cores,
+)
+from repro.runtime.backend import (
+    OptimizationLevel,
+    matlab_backend,
+    optimized_cpu_backend,
+)
+from repro.runtime.offload import OffloadPipeline
+
+
+def _cpu1_backend():
+    return optimized_cpu_backend(1)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — time vs network size (a: SAE, b: RBM)
+# ---------------------------------------------------------------------------
+
+def run_fig7(model: str = "autoencoder") -> List[Dict[str, object]]:
+    """Phi vs single Xeon core across the network-size ladder."""
+    make = wl.fig7_autoencoder_config if model == "autoencoder" else wl.fig7_rbm_config
+    trainer_cls = SparseAutoencoderTrainer if model == "autoencoder" else RBMTrainer
+    rows = []
+    for network in wl.FIG7_NETWORKS:
+        phi = trainer_cls(make(network, machine=XEON_PHI_5110P)).simulate()
+        cpu = trainer_cls(
+            make(network, machine=XEON_E5620_SINGLE_CORE, backend=_cpu1_backend())
+        ).simulate()
+        rows.append(
+            {
+                "network": f"{network[0]}x{network[1]}",
+                "weights": network[0] * network[1],
+                "phi_s": phi.simulated_seconds,
+                "cpu1_s": cpu.simulated_seconds,
+                "speedup": cpu.simulated_seconds / phi.simulated_seconds,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — time vs dataset size
+# ---------------------------------------------------------------------------
+
+def run_fig8(model: str = "autoencoder") -> List[Dict[str, object]]:
+    """Phi vs single Xeon core across the dataset-size ladder."""
+    make = wl.fig8_autoencoder_config if model == "autoencoder" else wl.fig8_rbm_config
+    trainer_cls = SparseAutoencoderTrainer if model == "autoencoder" else RBMTrainer
+    rows = []
+    for n in wl.FIG8_DATASET_SIZES:
+        phi = trainer_cls(make(n, machine=XEON_PHI_5110P)).simulate()
+        cpu = trainer_cls(
+            make(n, machine=XEON_E5620_SINGLE_CORE, backend=_cpu1_backend())
+        ).simulate()
+        rows.append(
+            {
+                "examples": n,
+                "phi_s": phi.simulated_seconds,
+                "cpu1_s": cpu.simulated_seconds,
+                "speedup": cpu.simulated_seconds / phi.simulated_seconds,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — time vs batch size
+# ---------------------------------------------------------------------------
+
+def run_fig9(model: str = "autoencoder") -> List[Dict[str, object]]:
+    """Phi vs single Xeon core across the batch-size ladder."""
+    make = wl.fig9_autoencoder_config if model == "autoencoder" else wl.fig9_rbm_config
+    trainer_cls = SparseAutoencoderTrainer if model == "autoencoder" else RBMTrainer
+    rows = []
+    for b in wl.FIG9_BATCH_SIZES:
+        phi = trainer_cls(make(b, machine=XEON_PHI_5110P)).simulate()
+        cpu = trainer_cls(
+            make(b, machine=XEON_E5620_SINGLE_CORE, backend=_cpu1_backend())
+        ).simulate()
+        rows.append(
+            {
+                "batch": b,
+                "phi_s": phi.simulated_seconds,
+                "cpu1_s": cpu.simulated_seconds,
+                "speedup": cpu.simulated_seconds / phi.simulated_seconds,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — Matlab vs Phi
+# ---------------------------------------------------------------------------
+
+def run_fig10() -> Dict[str, float]:
+    """The Matlab-on-Xeon vs fully-optimized-Phi comparison (≈16×)."""
+    phi = SparseAutoencoderTrainer(wl.fig10_config(machine=XEON_PHI_5110P)).simulate()
+    matlab = SparseAutoencoderTrainer(
+        wl.fig10_config(machine=XEON_E5620_DUAL, backend=matlab_backend())
+    ).simulate()
+    return {
+        "phi_s": phi.simulated_seconds,
+        "matlab_s": matlab.simulated_seconds,
+        "speedup": matlab.simulated_seconds / phi.simulated_seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table I — optimization-step ablation
+# ---------------------------------------------------------------------------
+
+#: The paper's Table I, seconds.  Rows marked uncertain are OCR-damaged in
+#: the supplied text; DESIGN.md records the adopted readings.
+TABLE1_PAPER_SECONDS = {
+    (OptimizationLevel.BASELINE, 60): 16042.0,
+    (OptimizationLevel.BASELINE, 30): 15960.0,
+    (OptimizationLevel.OPENMP, 60): 892.0,  # uncertain reading
+    (OptimizationLevel.OPENMP, 30): 1221.0,  # uncertain reading
+    (OptimizationLevel.OPENMP_MKL, 60): 97.0,
+    (OptimizationLevel.OPENMP_MKL, 30): 120.0,  # uncertain reading
+    (OptimizationLevel.IMPROVED, 60): 53.0,
+    (OptimizationLevel.IMPROVED, 30): 81.0,
+}
+
+
+def run_table1(core_counts: Sequence[int] = (60, 30)) -> List[Dict[str, object]]:
+    """The full Table I grid plus the paper's values for comparison."""
+    rows = []
+    for level in OptimizationLevel:
+        row: Dict[str, object] = {"step": level.value}
+        for cores in core_counts:
+            machine = XEON_PHI_5110P if cores == 60 else phi_with_cores(cores)
+            result = wl.table1_pretrainer(machine, level).simulate()
+            row[f"{cores}c_s"] = result.total_seconds
+            paper = TABLE1_PAPER_SECONDS.get((level, cores))
+            if paper is not None:
+                row[f"{cores}c_paper_s"] = paper
+        rows.append(row)
+    # Final row: fully-optimized speedup vs baseline, the paper's last line.
+    speedups: Dict[str, object] = {"step": "speedup_vs_baseline"}
+    for cores in core_counts:
+        base = next(r for r in rows if r["step"] == OptimizationLevel.BASELINE.value)
+        best = next(r for r in rows if r["step"] == OptimizationLevel.IMPROVED.value)
+        speedups[f"{cores}c_s"] = base[f"{cores}c_s"] / best[f"{cores}c_s"]
+        if f"{cores}c_paper_s" in base:
+            speedups[f"{cores}c_paper_s"] = (
+                base[f"{cores}c_paper_s"] / best[f"{cores}c_paper_s"]
+            )
+    rows.append(speedups)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# §IV.A — transfer overlap (the 13 s / 68 s / 17 % measurement)
+# ---------------------------------------------------------------------------
+
+def run_transfer_overlap(n_chunks: int = 10) -> Dict[str, float]:
+    """Reproduce the loading-thread study with the paper's own constants.
+
+    Each chunk: 13 s to stage (paper-calibrated end-to-end rate), 68 s to
+    train.  Reports the un-overlapped transfer share (paper: ≈17 %) and
+    the share left visible once the loading thread runs (≈0).
+    """
+    pcie = PCIeModel.paper_calibrated()
+    chunk_bytes = [float(PAPER_CHUNK_BYTES)] * n_chunks
+    compute = [68.0] * n_chunks
+    serial = OffloadPipeline(pcie, n_buffers=1, double_buffering=False).run_analytic(
+        chunk_bytes, compute
+    )
+    overlapped = OffloadPipeline(pcie, n_buffers=2, double_buffering=True).run_analytic(
+        chunk_bytes, compute
+    )
+    return {
+        "serial_total_s": serial.total_s,
+        "overlapped_total_s": overlapped.total_s,
+        "transfer_fraction_serial": serial.transfer_fraction_unoverlapped,
+        "transfer_fraction_overlapped": overlapped.transfer_fraction_exposed,
+        "seconds_saved": serial.total_s - overlapped.total_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# headline claims (abstract)
+# ---------------------------------------------------------------------------
+
+def run_headline_claims() -> Dict[str, SpeedupReport]:
+    """The abstract's three numbers: >300× vs sequential baseline on Phi,
+    7–10× vs the Xeon host, ≈16× vs Matlab."""
+    baseline = wl.table1_pretrainer(XEON_PHI_5110P, OptimizationLevel.BASELINE).simulate()
+    improved = wl.table1_pretrainer(XEON_PHI_5110P, OptimizationLevel.IMPROVED).simulate()
+    vs_baseline = SpeedupReport(
+        "sequential baseline on Phi",
+        "fully-optimized Phi",
+        baseline.total_seconds,
+        improved.total_seconds,
+    )
+
+    phi = SparseAutoencoderTrainer(wl.fig10_config(machine=XEON_PHI_5110P)).simulate()
+    xeon = SparseAutoencoderTrainer(
+        wl.fig10_config(machine=XEON_E5620_DUAL, backend=optimized_cpu_backend())
+    ).simulate()
+    vs_xeon = SpeedupReport(
+        "optimized code on the Xeon host",
+        "fully-optimized Phi",
+        xeon.simulated_seconds,
+        phi.simulated_seconds,
+    )
+
+    matlab = SparseAutoencoderTrainer(
+        wl.fig10_config(machine=XEON_E5620_DUAL, backend=matlab_backend())
+    ).simulate()
+    vs_matlab = SpeedupReport(
+        "Matlab on the Xeon host",
+        "fully-optimized Phi",
+        matlab.simulated_seconds,
+        phi.simulated_seconds,
+    )
+    return {"vs_baseline": vs_baseline, "vs_xeon": vs_xeon, "vs_matlab": vs_matlab}
+
+
+# ---------------------------------------------------------------------------
+# extension: core-count scaling (paper future work #1 — thread tuning)
+# ---------------------------------------------------------------------------
+
+def run_core_scaling(
+    core_counts: Sequence[int] = (15, 30, 45, 60),
+    level: OptimizationLevel = OptimizationLevel.IMPROVED,
+) -> List[Dict[str, object]]:
+    """Table I's workload across active-core counts."""
+    rows = []
+    reference: Optional[float] = None
+    for cores in core_counts:
+        machine = phi_with_cores(cores)
+        seconds = wl.table1_pretrainer(machine, level).simulate().total_seconds
+        if reference is None:
+            reference = seconds
+        rows.append(
+            {
+                "cores": cores,
+                "seconds": seconds,
+                "scaling_vs_first": reference / seconds,
+            }
+        )
+    return rows

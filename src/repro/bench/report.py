@@ -1,0 +1,120 @@
+"""Rendering and export of benchmark rows/series (paper-style output).
+
+Text tables for the terminal, CSV/JSON for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict-rows as an aligned text table (keys of the first row
+    define the columns)."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(rows[0].keys())
+    rendered = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(rows: Sequence[Dict[str, object]], path) -> Path:
+    """Write dict-rows to a CSV file; the union of keys defines columns
+    (missing cells are left empty).  Returns the path written."""
+    path = Path(path)
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_json(rows: Sequence[Dict[str, object]], path, title: str = "") -> Path:
+    """Write rows (plus an optional title) as a JSON document."""
+    path = Path(path)
+    payload = {"title": title, "rows": list(rows)}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+    return path
+
+
+def format_timeline(timeline, width: int = 72, title: str = "") -> str:
+    """ASCII Gantt chart of an :class:`~repro.runtime.offload.OffloadTimeline`.
+
+    Two lanes — the loading thread and the training thread — with one
+    character per time bucket: digits mark which chunk occupies the lane
+    (chunk index mod 10), ``.`` marks idle.  Makes the Fig. 5 overlap
+    visible at a glance.
+    """
+    total = timeline.total_s
+    if total <= 0 or width < 8:
+        return "(empty timeline)"
+    scale = width / total
+
+    def lane(selector) -> str:
+        cells = ["."] * width
+        for event in timeline.chunks:
+            start, end = selector(event)
+            lo = int(start * scale)
+            hi = max(lo + 1, int(end * scale))
+            for i in range(lo, min(hi, width)):
+                cells[i] = str(event.index % 10)
+        return "".join(cells)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("load  |" + lane(lambda e: (e.transfer_start, e.transfer_end)) + "|")
+    lines.append("train |" + lane(lambda e: (e.compute_start, e.compute_end)) + "|")
+    lines.append(f"       0{'s':<{width - 8}}{total:.1f}s")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Number],
+    series: Dict[str, Sequence[Number]],
+    title: str = "",
+) -> str:
+    """Render named series over a shared x axis (a figure as text)."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i]
+        rows.append(row)
+    return format_table(rows, title=title)

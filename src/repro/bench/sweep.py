@@ -1,0 +1,77 @@
+"""Generic parameter sweeps over simulated training runs.
+
+The figure harnesses in :mod:`repro.bench.harness` are fixed to the
+paper's workloads; :func:`sweep` is the general tool for exploring any
+cross-product of configuration overrides — the "what if the paper had
+varied X" questions the ablation benches ask.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import TrainingConfig
+from repro.errors import ConfigurationError
+
+
+def sweep(
+    base_config: TrainingConfig,
+    grid: Dict[str, Sequence],
+    run: Callable[[TrainingConfig], Dict[str, object]],
+    derive: Optional[Callable[[TrainingConfig, Dict[str, object]], TrainingConfig]] = None,
+) -> List[Dict[str, object]]:
+    """Evaluate ``run`` over the cross-product of ``grid`` overrides.
+
+    Parameters
+    ----------
+    base_config:
+        Template; each grid point is ``dataclasses.replace``-d onto it.
+    grid:
+        Mapping of TrainingConfig field name → values to try.  Fields
+        must exist on :class:`TrainingConfig`.
+    run:
+        Maps the derived config to a result-row dict; grid values are
+        merged into the returned row (grid keys win on collision).
+    derive:
+        Optional hook to fix up the config after substitution (e.g.
+        clamp ``chunk_examples`` when ``n_examples`` shrinks).
+
+    Returns one row per grid point, in lexicographic grid order.
+    """
+    if not grid:
+        raise ConfigurationError("sweep grid must not be empty")
+    valid_fields = set(TrainingConfig.__dataclass_fields__)
+    unknown = set(grid) - valid_fields
+    if unknown:
+        raise ConfigurationError(
+            f"unknown TrainingConfig fields in grid: {sorted(unknown)}"
+        )
+    keys = list(grid)
+    rows: List[Dict[str, object]] = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        point = dict(zip(keys, values))
+        config = replace(base_config, **point)
+        if derive is not None:
+            config = derive(config, point)
+        row = dict(run(config))
+        row.update(point)
+        rows.append(row)
+    return rows
+
+
+def simulate_seconds(trainer_cls) -> Callable[[TrainingConfig], Dict[str, object]]:
+    """A ready-made ``run`` callback: simulate and report core metrics."""
+
+    def _run(config: TrainingConfig) -> Dict[str, object]:
+        result = trainer_cls(config).simulate()
+        return {
+            "machine": result.machine_name,
+            "sim_seconds": result.simulated_seconds,
+            "updates": result.n_updates,
+            "sync_s": result.breakdown.sync_s,
+            "transfer_exposed_s": result.transfer_seconds_exposed,
+        }
+
+    return _run

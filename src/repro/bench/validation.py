@@ -1,0 +1,177 @@
+"""Programmatic verification of every reproduced paper claim.
+
+``python -m repro verify`` (or :func:`verify_all`) evaluates each claim
+from EXPERIMENTS.md against the simulator and reports PASS/FAIL with the
+measured value — the one-shot answer to "does this reproduction still
+hold after my change?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """One verified claim."""
+
+    claim_id: str
+    description: str
+    paper_value: str
+    measured: float
+    passed: bool
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "claim": self.claim_id,
+            "paper": self.paper_value,
+            "measured": self.measured,
+            "status": "PASS" if self.passed else "FAIL",
+            "description": self.description,
+        }
+
+
+def _within(value: float, lo: float, hi: float) -> bool:
+    return lo <= value <= hi
+
+
+def verify_all() -> List[ClaimResult]:
+    """Evaluate every claim; returns the full report (never raises on a
+    failing claim — the caller inspects ``passed``)."""
+    from repro.bench.harness import (
+        run_fig9,
+        run_fig10,
+        run_headline_claims,
+        run_table1,
+        run_transfer_overlap,
+    )
+
+    results: List[ClaimResult] = []
+
+    def check(claim_id, description, paper_value, measured, lo, hi):
+        results.append(
+            ClaimResult(
+                claim_id=claim_id,
+                description=description,
+                paper_value=paper_value,
+                measured=float(measured),
+                passed=_within(float(measured), lo, hi),
+            )
+        )
+
+    table1 = {row["step"]: row for row in run_table1()}
+    check(
+        "table1.baseline.60c",
+        "sequential baseline on the Phi, 4-layer stack",
+        "16042 s",
+        table1["baseline"]["60c_s"],
+        16042 * 0.85,
+        16042 * 1.15,
+    )
+    check(
+        "table1.improved.60c",
+        "fully-optimized stack, 60 cores",
+        "53 s",
+        table1["improved_openmp_mkl"]["60c_s"],
+        53 * 0.65,
+        53 * 1.35,
+    )
+    check(
+        "table1.improved.30c",
+        "fully-optimized stack, 30 cores",
+        "81 s",
+        table1["improved_openmp_mkl"]["30c_s"],
+        81 * 0.65,
+        81 * 1.35,
+    )
+
+    headline = run_headline_claims()
+    check(
+        "abstract.speedup_vs_baseline",
+        "fully-optimized vs sequential baseline",
+        ">300x",
+        headline["vs_baseline"].speedup,
+        300,
+        500,
+    )
+    check(
+        "abstract.speedup_vs_xeon",
+        "Phi vs the (dual-socket) Xeon host",
+        "7-10x",
+        headline["vs_xeon"].speedup,
+        6.0,
+        11.0,
+    )
+    check(
+        "abstract.speedup_vs_matlab",
+        "Phi vs Matlab R2012a on the host",
+        "~16x",
+        headline["vs_matlab"].speedup,
+        12.0,
+        20.0,
+    )
+
+    check(
+        "fig10.matlab",
+        "Fig. 10 SAE, 1M examples, batch 10000",
+        "~16x",
+        run_fig10()["speedup"],
+        12.0,
+        20.0,
+    )
+
+    overlap = run_transfer_overlap()
+    check(
+        "sec4a.transfer_share",
+        "un-overlapped transfer share of wall time",
+        "about 17%",
+        overlap["transfer_fraction_serial"],
+        0.15,
+        0.19,
+    )
+    check(
+        "sec4a.overlap_hides",
+        "exposed transfer share with the loading thread",
+        "hidden",
+        overlap["transfer_fraction_overlapped"],
+        0.0,
+        0.03,
+    )
+
+    fig9_ae = run_fig9("autoencoder")
+    check(
+        "fig9.ae_phi_drop",
+        "SAE Phi time drop, batch 200 -> 10000",
+        "two thirds",
+        1.0 - fig9_ae[-1]["phi_s"] / fig9_ae[0]["phi_s"],
+        0.55,
+        0.80,
+    )
+    fig9_rbm = run_fig9("rbm")
+    check(
+        "fig9.rbm_phi_drop",
+        "RBM Phi time drop, batch 200 -> 10000",
+        "about two thirds",
+        1.0 - fig9_rbm[-1]["phi_s"] / fig9_rbm[0]["phi_s"],
+        0.55,
+        0.80,
+    )
+    check(
+        "fig9.rbm_cpu_flat",
+        "RBM single-core CPU drop ('not obvious')",
+        "small",
+        1.0 - fig9_rbm[-1]["cpu1_s"] / fig9_rbm[0]["cpu1_s"],
+        0.0,
+        0.30,
+    )
+
+    return results
+
+
+def verification_report(
+    results: Optional[List[ClaimResult]] = None,
+) -> Tuple[List[Dict[str, object]], bool]:
+    """(rows for format_table, all_passed) for the CLI."""
+    results = verify_all() if results is None else results
+    return [r.as_row() for r in results], all(r.passed for r in results)

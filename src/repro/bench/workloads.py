@@ -1,0 +1,162 @@
+"""The paper's evaluation workloads, parameterised exactly (§V.B).
+
+* Fig. 7 — network-size sweep.  SAE: "The size of the training dataset
+  … is about 1 million training examples … batches of [1000] examples";
+  RBM: "total size of training examples and batch size … are 100,000 and
+  200 respectively".  The sweep runs 576×1024 → 4096×16384 per the
+  paper's text (the 4096×16384 float64 working set — 2.1 GB of
+  parameters + staging buffers — still fits the 5110P's 8 GB, which the
+  device-memory model verifies).
+* Fig. 8 — dataset-size sweep: "network size … 1024×4096 … dataset
+  varies … batch size equals 1000".
+* Fig. 9 — batch-size sweep: "network size to 1024×4096 and the dataset
+  size to 100,000 … batch size … varies from 200 to 10000".
+* Fig. 10 — Matlab comparison: "1 million examples and the mini batch …
+  10,000 examples"; network unstated, we use Fig. 8/9's 1024×4096.
+* Table I — stacked SAE 1024-512-256-128, batch 10,000, 200 iterations
+  per layer, at 60 and 30 cores, four optimization steps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import TrainingConfig
+from repro.core.pretrain import (
+    DeepPretrainer,
+    TABLE1_BATCH_SIZE,
+    TABLE1_ITERATIONS_PER_LAYER,
+    TABLE1_LAYER_SIZES,
+)
+from repro.phi.spec import MachineSpec, XEON_PHI_5110P
+from repro.runtime.backend import ExecutionBackend, OptimizationLevel
+
+#: Fig. 7's (visible, hidden) ladder.
+FIG7_NETWORKS: List[Tuple[int, int]] = [
+    (576, 1024),
+    (1024, 2048),
+    (1024, 4096),
+    (2048, 4096),
+    (2048, 8192),
+    (4096, 16384),
+]
+
+#: Fig. 8's dataset-size ladder (examples).
+FIG8_DATASET_SIZES: List[int] = [10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000]
+
+#: Fig. 9's batch-size ladder.
+FIG9_BATCH_SIZES: List[int] = [200, 500, 1000, 2000, 5000, 10_000]
+
+#: Device-side staging chunk used across the figure configs; 50k examples
+#: of a 4096-wide net is 1.6 GB — two buffers plus the largest net's
+#: parameters fit the 8 GB card.
+_CHUNK_EXAMPLES = 50_000
+
+
+def _config(
+    n_visible: int,
+    n_hidden: int,
+    n_examples: int,
+    batch_size: int,
+    machine: MachineSpec,
+    backend: Optional[ExecutionBackend],
+) -> TrainingConfig:
+    return TrainingConfig(
+        n_visible=n_visible,
+        n_hidden=n_hidden,
+        n_examples=n_examples,
+        batch_size=batch_size,
+        chunk_examples=min(_CHUNK_EXAMPLES, n_examples),
+        machine=machine,
+        backend=backend,
+        level=OptimizationLevel.IMPROVED,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7: network size
+# ---------------------------------------------------------------------------
+
+def fig7_autoencoder_config(
+    network: Tuple[int, int], machine: MachineSpec = XEON_PHI_5110P,
+    backend: Optional[ExecutionBackend] = None,
+) -> TrainingConfig:
+    """SAE at one Fig. 7 network point: 1 M examples, batch 1000."""
+    v, h = network
+    return _config(v, h, 1_000_000, 1000, machine, backend)
+
+
+def fig7_rbm_config(
+    network: Tuple[int, int], machine: MachineSpec = XEON_PHI_5110P,
+    backend: Optional[ExecutionBackend] = None,
+) -> TrainingConfig:
+    """RBM at one Fig. 7 network point: 100 k examples, batch 200."""
+    v, h = network
+    return _config(v, h, 100_000, 200, machine, backend)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8: dataset size (network fixed at 1024x4096, batch 1000)
+# ---------------------------------------------------------------------------
+
+def fig8_autoencoder_config(
+    n_examples: int, machine: MachineSpec = XEON_PHI_5110P,
+    backend: Optional[ExecutionBackend] = None,
+) -> TrainingConfig:
+    return _config(1024, 4096, n_examples, min(1000, n_examples), machine, backend)
+
+
+def fig8_rbm_config(
+    n_examples: int, machine: MachineSpec = XEON_PHI_5110P,
+    backend: Optional[ExecutionBackend] = None,
+) -> TrainingConfig:
+    return _config(1024, 4096, n_examples, min(1000, n_examples), machine, backend)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: batch size (network 1024x4096, dataset 100k)
+# ---------------------------------------------------------------------------
+
+def fig9_autoencoder_config(
+    batch_size: int, machine: MachineSpec = XEON_PHI_5110P,
+    backend: Optional[ExecutionBackend] = None,
+) -> TrainingConfig:
+    return _config(1024, 4096, 100_000, batch_size, machine, backend)
+
+
+def fig9_rbm_config(
+    batch_size: int, machine: MachineSpec = XEON_PHI_5110P,
+    backend: Optional[ExecutionBackend] = None,
+) -> TrainingConfig:
+    return _config(1024, 4096, 100_000, batch_size, machine, backend)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: Matlab comparison (1M examples, batch 10000)
+# ---------------------------------------------------------------------------
+
+def fig10_config(
+    machine: MachineSpec = XEON_PHI_5110P, backend: Optional[ExecutionBackend] = None
+) -> TrainingConfig:
+    return _config(1024, 4096, 1_000_000, 10_000, machine, backend)
+
+
+# ---------------------------------------------------------------------------
+# Table I: optimization-step ablation on the 4-layer stack
+# ---------------------------------------------------------------------------
+
+def table1_pretrainer(machine: MachineSpec, level: OptimizationLevel) -> DeepPretrainer:
+    """The Table I cell for (machine, level)."""
+    base = TrainingConfig(
+        n_visible=TABLE1_LAYER_SIZES[0],
+        n_hidden=TABLE1_LAYER_SIZES[1],
+        n_examples=TABLE1_BATCH_SIZE,
+        batch_size=TABLE1_BATCH_SIZE,
+        machine=machine,
+        level=level,
+    )
+    return DeepPretrainer(
+        base,
+        layer_sizes=TABLE1_LAYER_SIZES,
+        iterations_per_layer=TABLE1_ITERATIONS_PER_LAYER,
+    )

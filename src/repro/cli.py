@@ -1,0 +1,124 @@
+"""Command-line interface: regenerate the paper's artefacts from a shell.
+
+    python -m repro table1                 # Table I grid
+    python -m repro fig7 --model rbm       # Fig. 7b series
+    python -m repro fig8 | fig9 | fig10
+    python -m repro overlap                # §IV.A transfer study
+    python -m repro headline               # the abstract's three claims
+    python -m repro cores                  # core-count scaling extension
+    python -m repro roofline               # roofline of one SAE step
+    python -m repro all                    # everything
+    python -m repro table1 --csv out.csv   # export rows
+
+Exit status 0 on success; harness errors propagate as non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _rows_for(command: str, model: str):
+    """Dispatch a command name to its harness rows + title."""
+    from repro.bench import harness
+
+    if command == "table1":
+        return harness.run_table1(), "Table I: optimization steps (seconds)"
+    if command == "fig7":
+        return harness.run_fig7(model), f"Fig. 7 ({model}): time vs network size"
+    if command == "fig8":
+        return harness.run_fig8(model), f"Fig. 8 ({model}): time vs dataset size"
+    if command == "fig9":
+        return harness.run_fig9(model), f"Fig. 9 ({model}): time vs batch size"
+    if command == "fig10":
+        return [harness.run_fig10()], "Fig. 10: Matlab vs Phi"
+    if command == "overlap":
+        return [harness.run_transfer_overlap()], "§IV.A transfer overlap"
+    if command == "headline":
+        rows = [
+            {
+                "claim": name,
+                "speedup": report.speedup,
+                "candidate_s": report.candidate_seconds,
+                "baseline_s": report.baseline_seconds,
+            }
+            for name, report in harness.run_headline_claims().items()
+        ]
+        return rows, "Headline claims (paper: >300x, 7-10x, ~16x)"
+    if command == "cores":
+        return harness.run_core_scaling(), "Core-count scaling (extension)"
+    if command == "roofline":
+        from repro.core.oplist import autoencoder_step_kernels
+        from repro.phi.roofline import analyze_kernels, roofline_report
+        from repro.phi.spec import XEON_PHI_5110P
+        from repro.runtime.backend import OptimizationLevel, backend_for_level
+
+        points = analyze_kernels(
+            autoencoder_step_kernels(10_000, 1024, 4096),
+            XEON_PHI_5110P,
+            backend_for_level(OptimizationLevel.IMPROVED),
+        )
+        return roofline_report(points), "Roofline: one SAE step on the Phi"
+    if command == "verify":
+        from repro.bench.validation import verification_report
+
+        rows, _ = verification_report()
+        return rows, "Claim verification (EXPERIMENTS.md)"
+    raise ValueError(f"unknown command {command!r}")
+
+
+_COMMANDS = [
+    "table1", "fig7", "fig8", "fig9", "fig10", "overlap", "headline",
+    "cores", "roofline", "verify", "all",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation of 'Training Large Scale Deep Neural "
+            "Networks on the Intel Xeon Phi Many-core Coprocessor' "
+            "(IPDPSW 2014) on the simulated machines."
+        ),
+    )
+    parser.add_argument("command", choices=_COMMANDS, help="artefact to regenerate")
+    parser.add_argument(
+        "--model",
+        choices=["autoencoder", "rbm"],
+        default="autoencoder",
+        help="which panel for figs 7-9 (default: autoencoder)",
+    )
+    parser.add_argument("--csv", metavar="PATH", help="also write the rows as CSV")
+    parser.add_argument("--json", metavar="PATH", help="also write the rows as JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    from repro.bench.report import format_table, write_csv, write_json
+
+    commands = (
+        [c for c in _COMMANDS if c != "all"] if args.command == "all" else [args.command]
+    )
+    all_rows = []
+    status = 0
+    for command in commands:
+        rows, title = _rows_for(command, args.model)
+        print(format_table(rows, title=title))
+        print()
+        all_rows.extend(rows)
+        if command == "verify" and any(r.get("status") == "FAIL" for r in rows):
+            status = 1
+    if args.csv:
+        print(f"wrote {write_csv(all_rows, args.csv)}")
+    if args.json:
+        print(f"wrote {write_json(all_rows, args.json, title=args.command)}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

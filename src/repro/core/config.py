@@ -1,0 +1,124 @@
+"""Training-run configuration.
+
+A :class:`TrainingConfig` pins down everything a simulated training run
+needs: the problem shape, the mini-batch/chunk decomposition of
+Algorithm 1, the machine, and the Table I optimization level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.phi.spec import MachineSpec, XEON_PHI_5110P
+from repro.runtime.backend import (
+    ExecutionBackend,
+    OptimizationLevel,
+    backend_for_level,
+)
+from repro.utils.validation import check_int, check_positive
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """One simulated training run.
+
+    Attributes
+    ----------
+    n_visible, n_hidden:
+        Network shape ("network size v×h" in Figs. 7–9).
+    n_examples:
+        Dataset size (Fig. 8's sweep variable).
+    batch_size:
+        Mini-batch per parameter update (Fig. 9's sweep variable).
+    epochs:
+        Full passes over the dataset.
+    chunk_examples:
+        Host→device staging chunk (Fig. 5); ``None`` stages everything
+        in one chunk.
+    machine:
+        Hardware to simulate on.
+    level:
+        Table I optimization step; ignored when ``backend`` is given.
+    backend:
+        Explicit backend override (Matlab / optimized-CPU references).
+    learning_rate:
+        Step size for the functional update.
+    sparsity:
+        Include the KL sparsity machinery in the SAE op stream.
+    double_buffering / n_buffers:
+        The Fig. 5 loading-thread overlap and its buffer pool.
+    seed:
+        Reproducible functional math.
+    """
+
+    n_visible: int
+    n_hidden: int
+    n_examples: int
+    batch_size: int
+    epochs: int = 1
+    chunk_examples: Optional[int] = None
+    machine: MachineSpec = XEON_PHI_5110P
+    level: OptimizationLevel = OptimizationLevel.IMPROVED
+    backend: Optional[ExecutionBackend] = None
+    learning_rate: float = 0.1
+    sparsity: bool = True
+    double_buffering: bool = True
+    n_buffers: int = 2
+    seed: Optional[int] = 0
+
+    def __post_init__(self):
+        check_int(self.n_visible, "n_visible", minimum=1)
+        check_int(self.n_hidden, "n_hidden", minimum=1)
+        check_int(self.n_examples, "n_examples", minimum=1)
+        check_int(self.batch_size, "batch_size", minimum=1)
+        check_int(self.epochs, "epochs", minimum=1)
+        check_int(self.n_buffers, "n_buffers", minimum=1)
+        check_positive(self.learning_rate, "learning_rate")
+        if self.batch_size > self.n_examples:
+            raise ConfigurationError(
+                f"batch_size {self.batch_size} exceeds n_examples {self.n_examples}"
+            )
+        if self.chunk_examples is not None:
+            check_int(self.chunk_examples, "chunk_examples", minimum=1)
+            if self.chunk_examples < self.batch_size:
+                raise ConfigurationError(
+                    f"chunk_examples {self.chunk_examples} smaller than "
+                    f"batch_size {self.batch_size}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_backend(self) -> ExecutionBackend:
+        """The backend actually used (explicit override or the level's)."""
+        return self.backend if self.backend is not None else backend_for_level(self.level)
+
+    @property
+    def effective_chunk_examples(self) -> int:
+        """Chunk size with the single-chunk default resolved."""
+        return self.chunk_examples if self.chunk_examples is not None else self.n_examples
+
+    @property
+    def batches_per_epoch(self) -> int:
+        """Parameter updates per pass (ceil division; last batch short)."""
+        return (self.n_examples + self.batch_size - 1) // self.batch_size
+
+    @property
+    def total_updates(self) -> int:
+        return self.batches_per_epoch * self.epochs
+
+    def with_machine(self, machine: MachineSpec) -> "TrainingConfig":
+        """Same run on different hardware."""
+        return replace(self, machine=machine)
+
+    def with_level(self, level: OptimizationLevel) -> "TrainingConfig":
+        """Same run at a different Table I step (clears backend override)."""
+        return replace(self, level=level, backend=None)
+
+    def with_backend(self, backend: ExecutionBackend) -> "TrainingConfig":
+        """Same run under an explicit backend."""
+        return replace(self, backend=backend)
+
+
+__all__ = ["TrainingConfig", "OptimizationLevel"]

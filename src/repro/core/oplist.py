@@ -1,0 +1,205 @@
+"""Kernel streams for one training step (the machine's view of §IV.B).
+
+Each function maps a problem shape (batch m, visible v, hidden h) to the
+kernels one gradient step performs, organised as dependency *levels*:
+kernels within a level are independent (paper Fig. 6), levels run in
+order.  Flattened streams are also provided for backends that serialise
+everything.
+
+The element-wise flop weights: a vectorised sigmoid costs ≈5 flops/elt
+(exp via polynomial + divide), deltas 3, AXPY-style updates 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.phi.kernels import Kernel, elementwise, gemm, reduction, sample
+from repro.runtime.fusion import fuse_elementwise
+from repro.runtime.taskgraph import TaskGraph, rbm_cd1_taskgraph
+
+Levels = List[List[Kernel]]
+
+
+def _check_dims(m: int, v: int, h: int) -> None:
+    if min(m, v, h) < 1:
+        raise ConfigurationError(f"batch/visible/hidden must be >= 1, got ({m}, {v}, {h})")
+
+
+# ---------------------------------------------------------------------------
+# Sparse Autoencoder: one back-propagation step (paper §II.B.1 / §IV.B.2)
+# ---------------------------------------------------------------------------
+
+def autoencoder_step_levels(m: int, v: int, h: int, sparsity: bool = True) -> Levels:
+    """Dependency levels of one SAE mini-batch gradient step.
+
+    Forward: Z1 = X·W1ᵀ → y = s(Z1) → Z2 = y·W2ᵀ → z = s(Z2).
+    Backward: δ3 = (z−x)⊙s'(z);   back = δ3·W2;  δ2 = (back+β·KL')⊙s'(y);
+    Grads:    gW2 = δ3ᵀ·y,  gW1 = δ2ᵀ·x,  gb2 = meanᵢδ3,  gb1 = meanᵢδ2;
+    Update:   axpy over (W1, W2, b1, b2) with weight decay folded in.
+
+    Independent pairs that share a level: {ρ̂ reduction, Z2 GEMM} (both
+    need only y), {gW2, gb2, back-GEMM} (need only δ3), {gW1, gb1} (δ2),
+    and the four parameter updates.
+    """
+    _check_dims(m, v, h)
+    levels: Levels = [
+        [gemm(m, h, v, name="fwd1:X*W1T")],
+        [elementwise(m * h, 5, name="sigmoid:y")],
+        [gemm(m, v, h, name="fwd2:y*W2T")]
+        + ([reduction(m * h, outputs=h, name="rho_hat")] if sparsity else []),
+        [elementwise(m * v, 5, name="sigmoid:z")],
+        [elementwise(m * v, 3, reads_per_element=2, name="delta3")],
+        [
+            gemm(m, h, v, name="back:delta3*W2"),
+            gemm(v, h, m, name="gradW2:delta3T*y"),
+            reduction(m * v, outputs=v, name="gradb2"),
+        ],
+        (
+            [elementwise(m * h, 4, reads_per_element=2, name="delta2+sparsity")]
+            if sparsity
+            else [elementwise(m * h, 3, reads_per_element=2, name="delta2")]
+        ),
+        [
+            gemm(h, v, m, name="gradW1:delta2T*x"),
+            reduction(m * h, outputs=h, name="gradb1"),
+        ],
+        [
+            elementwise(v * h, 4, reads_per_element=2, name="updateW1+decay"),
+            elementwise(v * h, 4, reads_per_element=2, name="updateW2+decay"),
+            elementwise(h, 2, reads_per_element=2, name="updateb1"),
+            elementwise(v, 2, reads_per_element=2, name="updateb2"),
+        ],
+    ]
+    return levels
+
+
+def autoencoder_step_kernels(
+    m: int, v: int, h: int, sparsity: bool = True, fused: bool = False
+) -> List[Kernel]:
+    """Flattened SAE step; ``fused=True`` applies the loop-fusion pass."""
+    flat = [k for level in autoencoder_step_levels(m, v, h, sparsity) for k in level]
+    return fuse_elementwise(flat) if fused else flat
+
+
+# ---------------------------------------------------------------------------
+# RBM: one CD-1 step (paper §II.B.2, Fig. 6)
+# ---------------------------------------------------------------------------
+
+def rbm_cd1_kernels(m: int, v: int, h: int) -> Dict[str, Kernel]:
+    """The Fig. 6 node kernels for a batch of m examples.
+
+    V1 — hidden drive of the clamped data: GEMM (m×v)·(vᵀ→h) + sigmoid
+         + Bernoulli sampling (folded into one SAMPLE-weighted kernel
+         stream per node to keep the figure's granularity);
+    H1 — hidden probabilities/samples feed both the reconstruction and
+         the positive statistics C1 = h₀ᵀ·v₀;
+    V2 — reconstruction GEMM + sigmoid;  H2 — second hidden GEMM+sigmoid;
+    C2 — negative statistics h₁ᵀ·v₁;  Vb/Vc — bias gradients;
+    Vw — ΔW = C1 − C2 plus the weight update.
+    """
+    _check_dims(m, v, h)
+    return {
+        "V1": gemm(m, h, v, name="V1:v0*WT"),
+        "H1": sample(m * h, name="H1:sigmoid+sample"),
+        "V2": gemm(m, v, h, name="V2:h1*W"),
+        "C1": gemm(h, v, m, name="C1:h0T*v0"),
+        "H2": gemm(m, h, v, name="H2:v1*WT"),
+        "Vb": reduction(m * v, outputs=v, name="Vb:mean(v0-v1)"),
+        "C2": gemm(h, v, m, name="C2:h1T*v1"),
+        "Vc": reduction(m * h, outputs=h, name="Vc:mean(h0-h1)"),
+        "Vw": elementwise(v * h, 3, reads_per_element=3, name="Vw:update"),
+    }
+
+
+def rbm_step_taskgraph(m: int, v: int, h: int) -> TaskGraph:
+    """Fig. 6 as a :class:`TaskGraph` with kernels attached."""
+    return rbm_cd1_taskgraph(rbm_cd1_kernels(m, v, h))
+
+
+def rbm_step_levels(m: int, v: int, h: int) -> Levels:
+    """Dependency levels of one CD-1 step, including the element-wise
+    sigmoid/sampling companions of each GEMM node."""
+    _check_dims(m, v, h)
+    k = rbm_cd1_kernels(m, v, h)
+    return [
+        [k["V1"]],
+        [k["H1"]],
+        [k["V2"], k["C1"]],
+        [elementwise(m * v, 5, name="sigmoid:v1")],
+        [k["H2"], k["Vb"]],
+        [elementwise(m * h, 5, name="sigmoid:h1")],
+        [k["C2"], k["Vc"]],
+        [k["Vw"], elementwise(v + h, 2, reads_per_element=2, name="update:b,c")],
+    ]
+
+
+def rbm_step_kernels(m: int, v: int, h: int, fused: bool = False) -> List[Kernel]:
+    """Flattened CD-1 step; ``fused=True`` applies the loop-fusion pass."""
+    flat = [kern for level in rbm_step_levels(m, v, h) for kern in level]
+    return fuse_elementwise(flat) if fused else flat
+
+
+# ---------------------------------------------------------------------------
+# Deep network: one supervised back-propagation step (fine-tuning)
+# ---------------------------------------------------------------------------
+
+def mlp_step_levels(m: int, layer_sizes) -> Levels:
+    """Dependency levels of one supervised backprop step through a deep
+    network of ``layer_sizes = [n_in, h1, …, n_out]``.
+
+    Per layer i: forward GEMM + activation; backward: delta back-GEMM +
+    elementwise; weight-gradient GEMM + bias reduction; parameter update.
+    The softmax head's extra exp/normalise is folded into the last
+    activation's flop weight.
+    """
+    sizes = [int(s) for s in layer_sizes]
+    if len(sizes) < 2 or min(sizes) < 1 or m < 1:
+        raise ConfigurationError(f"bad MLP shape m={m}, layer_sizes={layer_sizes}")
+    levels: Levels = []
+    # forward
+    for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+        levels.append([gemm(m, n_out, n_in, name=f"fwd{i}:a{i}*W{i}T")])
+        flops = 8 if i == len(sizes) - 2 else 5  # softmax head costs more
+        levels.append([elementwise(m * n_out, flops, name=f"act{i}")])
+    # output delta
+    levels.append(
+        [elementwise(m * sizes[-1], 2, reads_per_element=2, name="delta:out")]
+    )
+    # backward sweep: per layer, {gradW, gradb, back-GEMM} are independent.
+    for i in range(len(sizes) - 2, -1, -1):
+        n_in, n_out = sizes[i], sizes[i + 1]
+        level = [
+            gemm(n_out, n_in, m, name=f"gradW{i}"),
+            reduction(m * n_out, outputs=n_out, name=f"gradb{i}"),
+        ]
+        if i > 0:
+            level.append(gemm(m, n_in, n_out, name=f"back{i}:delta*W{i}"))
+        levels.append(level)
+        if i > 0:
+            levels.append(
+                [elementwise(m * n_in, 3, reads_per_element=2, name=f"delta{i}")]
+            )
+    # updates: all independent
+    levels.append(
+        [
+            elementwise(n_in * n_out + n_out, 4, reads_per_element=2, name=f"update{i}")
+            for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:]))
+        ]
+    )
+    return levels
+
+
+# ---------------------------------------------------------------------------
+# work accounting helpers (used by benches and docs)
+# ---------------------------------------------------------------------------
+
+def step_flops(levels: Levels) -> float:
+    """Total flops of one step."""
+    return sum(k.flops for level in levels for k in level)
+
+
+def step_bytes(levels: Levels) -> float:
+    """Total minimal memory traffic of one step."""
+    return sum(k.bytes_total for level in levels for k in level)

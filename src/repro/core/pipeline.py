@@ -1,0 +1,134 @@
+"""Chunked offload orchestration and the heterogeneous host+device split.
+
+* :class:`ChunkedTrainingPipeline` exposes the Fig. 5 overlap study for
+  an arbitrary trainer: how much of the staging cost is visible with and
+  without the loading thread.
+* :class:`HeterogeneousSplit` implements the paper's future-work item #2
+  ("a further combination between Xeon and Intel Xeon Phi can bring us
+  higher efficiency"): chunks are divided between the host CPU and the
+  coprocessor in proportion to their measured throughputs, and only the
+  coprocessor's share crosses PCIe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core._simbase import SimulatedTrainerBase
+from repro.errors import ConfigurationError
+from repro.phi.pcie import PCIeModel
+from repro.runtime.offload import OffloadPipeline, OffloadTimeline
+
+
+@dataclass(frozen=True)
+class OverlapStudy:
+    """Fig. 5 outcome: the same run with and without the loading thread."""
+
+    serial: OffloadTimeline
+    overlapped: OffloadTimeline
+
+    @property
+    def seconds_saved(self) -> float:
+        return self.serial.total_s - self.overlapped.total_s
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of total transfer time the loading thread hides."""
+        total = self.serial.transfer_total_s
+        if total <= 0:
+            return 0.0
+        return 1.0 - self.overlapped.exposed_transfer_s / total
+
+
+class ChunkedTrainingPipeline:
+    """Runs a trainer's chunk stream through the offload pipeline."""
+
+    def __init__(self, trainer: SimulatedTrainerBase):
+        if not trainer.config.machine.is_coprocessor:
+            raise ConfigurationError(
+                "offload pipelining only applies to coprocessor machines"
+            )
+        self.trainer = trainer
+
+    def overlap_study(self) -> OverlapStudy:
+        """Compare double-buffered staging against strictly serial staging."""
+        compute_s, _, _ = self.trainer._simulate_compute()
+        cfg = self.trainer.config
+        from repro.data.datasets import plan_chunks
+
+        plan = plan_chunks(
+            cfg.n_examples, cfg.n_visible, cfg.effective_chunk_examples, cfg.batch_size
+        )
+        chunk_bytes = [plan.chunk_bytes(i) for i in range(plan.n_chunks)]
+        per_chunk = [compute_s * s / plan.n_examples for s in plan.chunk_sizes]
+        pcie = self.trainer.machine.cost_model.pcie or PCIeModel.paper_calibrated()
+        serial = OffloadPipeline(pcie, n_buffers=1, double_buffering=False).run_analytic(
+            chunk_bytes, per_chunk
+        )
+        overlapped = OffloadPipeline(
+            pcie, n_buffers=cfg.n_buffers, double_buffering=cfg.double_buffering
+        ).run_analytic(chunk_bytes, per_chunk)
+        return OverlapStudy(serial=serial, overlapped=overlapped)
+
+
+@dataclass(frozen=True)
+class HeterogeneousSplit:
+    """Static work division between a host trainer and a device trainer.
+
+    Both trainers must describe the *same* workload on different
+    machines.  The split ratio equalises finishing times given each
+    side's simulated throughput; the device side still pays (pipelined)
+    staging for its share.
+    """
+
+    host_trainer: SimulatedTrainerBase
+    device_trainer: SimulatedTrainerBase
+
+    def optimal_device_fraction(self) -> float:
+        """Fraction of examples sent to the coprocessor.
+
+        With host rate r_h and device rate r_d (examples/s), finishing
+        times equalise at f = r_d / (r_h + r_d).
+        """
+        host_s, _, _ = self.host_trainer._simulate_compute()
+        device_s, _, _ = self.device_trainer._simulate_compute()
+        if host_s <= 0 or device_s <= 0:
+            raise ConfigurationError("both sides must have positive compute time")
+        host_rate = 1.0 / host_s
+        device_rate = 1.0 / device_s
+        return device_rate / (host_rate + device_rate)
+
+    def combined_time(self, device_fraction: Optional[float] = None) -> Tuple[float, float, float]:
+        """(combined_seconds, host_seconds, device_seconds) for a split.
+
+        ``device_fraction`` defaults to :meth:`optimal_device_fraction`.
+        The device side's share includes its staging timeline; the
+        combined time is the slower of the two sides (they run
+        concurrently — the future-work "combination").
+        """
+        f = self.optimal_device_fraction() if device_fraction is None else device_fraction
+        if not 0.0 <= f <= 1.0:
+            raise ConfigurationError(f"device_fraction must lie in [0, 1], got {f}")
+        host_s, _, _ = self.host_trainer._simulate_compute()
+        host_share = host_s * (1.0 - f)
+        if f == 0.0:
+            return host_share, host_share, 0.0
+        device_compute, _, _ = self.device_trainer._simulate_compute()
+        timeline = self.device_trainer._simulate_transfers(device_compute * f)
+        device_share = timeline.total_s if timeline is not None else device_compute * f
+        # The transfer model scales with the staged bytes; approximate the
+        # fractional staging by scaling the full-dataset timeline's exposed
+        # transfer share.
+        if timeline is not None and f < 1.0:
+            exposed = timeline.exposed_transfer_s * f
+            device_share = device_compute * f + exposed
+        return max(host_share, device_share), host_share, device_share
+
+    def speedup_vs_device_only(self) -> float:
+        """How much the combination beats the coprocessor working alone."""
+        device_compute, _, _ = self.device_trainer._simulate_compute()
+        timeline = self.device_trainer._simulate_transfers(device_compute)
+        device_only = timeline.total_s if timeline is not None else device_compute
+        combined, _, _ = self.combined_time()
+        return device_only / combined if combined > 0 else float("inf")

@@ -1,0 +1,150 @@
+"""Greedy deep pre-training driver (paper Fig. 1; Table I's workload).
+
+Table I trains a four-layer stack — layer widths 1024, 512, 256, 128 —
+layer by layer: "the training examples of higher layer come from the
+output of the previous layer.  The batch size we used to train each
+layer is [10,000] examples and each layer ran 200 iterations."
+
+:class:`DeepPretrainer` reproduces that schedule on any machine/backend
+combination, in timing-only or functional+timed mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import TrainingConfig
+from repro.core.rbm_trainer import RBMTrainer
+from repro.core.results import TrainingRunResult
+from repro.errors import ConfigurationError
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.nn.rbm import RBM
+from repro.phi.trace import TimingBreakdown
+
+#: Table I's network: 1024 visible, then hidden layers 512, 256, 128.
+TABLE1_LAYER_SIZES = (1024, 512, 256, 128)
+TABLE1_BATCH_SIZE = 10_000
+TABLE1_ITERATIONS_PER_LAYER = 200
+
+
+@dataclass
+class LayerResult:
+    """One building block's outcome within the stack."""
+
+    layer_index: int
+    n_visible: int
+    n_hidden: int
+    result: TrainingRunResult
+
+
+@dataclass
+class PretrainResult:
+    """Whole-stack outcome."""
+
+    layers: List[LayerResult] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(l.result.simulated_seconds for l in self.layers)
+
+    @property
+    def breakdown(self) -> TimingBreakdown:
+        total = TimingBreakdown()
+        for layer in self.layers:
+            total = total + layer.result.breakdown
+        return total
+
+    @property
+    def total_updates(self) -> int:
+        return sum(l.result.n_updates for l in self.layers)
+
+
+class DeepPretrainer:
+    """Greedy layer-wise pre-training on a simulated machine.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[n_visible, h1, h2, …]`` — Table I uses (1024, 512, 256, 128).
+    base_config:
+        Template config; per-layer configs derive from it with the
+        layer's (visible, hidden) substituted.  ``n_examples`` ×
+        ``epochs`` must equal ``batch_size`` × ``iterations_per_layer``
+        semantics: we set ``n_examples = batch_size`` and
+        ``epochs = iterations_per_layer`` so each "iteration" is one
+        batch update, matching the paper's counting.
+    block:
+        ``"autoencoder"`` (Table I) or ``"rbm"`` (DBN pre-training).
+    """
+
+    def __init__(
+        self,
+        base_config: TrainingConfig,
+        layer_sizes: Sequence[int] = TABLE1_LAYER_SIZES,
+        iterations_per_layer: int = TABLE1_ITERATIONS_PER_LAYER,
+        block: str = "autoencoder",
+    ):
+        if len(layer_sizes) < 2:
+            raise ConfigurationError("layer_sizes needs at least [visible, hidden]")
+        if any(s < 1 for s in layer_sizes):
+            raise ConfigurationError(f"layer sizes must be >= 1: {layer_sizes}")
+        if iterations_per_layer < 1:
+            raise ConfigurationError("iterations_per_layer must be >= 1")
+        if block not in ("autoencoder", "rbm"):
+            raise ConfigurationError(f"block must be 'autoencoder' or 'rbm', got {block!r}")
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.iterations_per_layer = int(iterations_per_layer)
+        self.block = block
+        self.base_config = base_config
+
+    # ------------------------------------------------------------------
+    def _layer_config(self, n_visible: int, n_hidden: int) -> TrainingConfig:
+        cfg = self.base_config
+        return replace(
+            cfg,
+            n_visible=n_visible,
+            n_hidden=n_hidden,
+            n_examples=cfg.batch_size,
+            epochs=self.iterations_per_layer,
+            chunk_examples=cfg.batch_size,
+        )
+
+    def _make_trainer(self, config: TrainingConfig):
+        if self.block == "autoencoder":
+            return SparseAutoencoderTrainer(config)
+        return RBMTrainer(config)
+
+    # ------------------------------------------------------------------
+    def simulate(self) -> PretrainResult:
+        """Timing-only pre-training of the whole stack (Table I's cell)."""
+        out = PretrainResult()
+        for i, (v, h) in enumerate(zip(self.layer_sizes[:-1], self.layer_sizes[1:])):
+            trainer = self._make_trainer(self._layer_config(v, h))
+            out.layers.append(LayerResult(i, v, h, trainer.simulate()))
+        return out
+
+    def fit(self, x: np.ndarray, seed: Optional[int] = None) -> PretrainResult:
+        """Functional + timed pre-training: each layer trains for real and
+        feeds its hidden representation to the next (paper Fig. 1)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.layer_sizes[0]:
+            raise ConfigurationError(
+                f"x must be (n, {self.layer_sizes[0]}), got {x.shape}"
+            )
+        out = PretrainResult()
+        current = x
+        for i, (v, h) in enumerate(zip(self.layer_sizes[:-1], self.layer_sizes[1:])):
+            config = self._layer_config(v, h)
+            trainer = self._make_trainer(config)
+            result = trainer.fit(current)
+            out.layers.append(LayerResult(i, v, h, result))
+            model = trainer.model
+            if isinstance(model, SparseAutoencoder):
+                current = model.encode(current)
+            elif isinstance(model, RBM):
+                current = model.transform(current)
+        return out

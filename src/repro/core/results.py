@@ -1,0 +1,76 @@
+"""Result records for simulated training runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.phi.trace import TimingBreakdown
+
+
+@dataclass
+class TrainingRunResult:
+    """What one simulated training run produced.
+
+    ``simulated_seconds`` is the machine-clock outcome (the quantity the
+    paper's figures plot); ``losses`` is the functional training curve
+    when functional math was enabled; ``breakdown`` attributes the
+    simulated time to compute/memory/sync/transfer.
+    """
+
+    machine_name: str
+    backend_name: str
+    simulated_seconds: float
+    breakdown: TimingBreakdown
+    n_updates: int
+    losses: List[float] = field(default_factory=list)
+    reconstruction_errors: List[float] = field(default_factory=list)
+    transfer_seconds_total: float = 0.0
+    transfer_seconds_exposed: float = 0.0
+    device_memory_peak: int = 0
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self.losses[-1] if self.losses else None
+
+    @property
+    def seconds_per_update(self) -> float:
+        return self.simulated_seconds / self.n_updates if self.n_updates else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for table printing."""
+        return {
+            "machine": self.machine_name,
+            "backend": self.backend_name,
+            "sim_seconds": self.simulated_seconds,
+            "updates": self.n_updates,
+            "busy_s": self.breakdown.busy_s,
+            "sync_s": self.breakdown.sync_s,
+            "transfer_exposed_s": self.transfer_seconds_exposed,
+        }
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """A baseline-vs-candidate comparison (the paper's headline numbers)."""
+
+    baseline_name: str
+    candidate_name: str
+    baseline_seconds: float
+    candidate_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """baseline / candidate — >1 means the candidate is faster."""
+        return (
+            self.baseline_seconds / self.candidate_seconds
+            if self.candidate_seconds > 0
+            else float("inf")
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.candidate_name} is {self.speedup:.1f}x faster than "
+            f"{self.baseline_name} ({self.candidate_seconds:.1f}s vs "
+            f"{self.baseline_seconds:.1f}s)"
+        )

@@ -1,0 +1,47 @@
+"""Dataset substrate.
+
+The paper trains on patches randomly extracted from "a large [set] of
+handwritten digit images and natural images" [27, 3].  Neither corpus is
+available offline, so this package synthesises statistically similar
+stand-ins (stroke-rendered digits; 1/f-spectrum natural images) and
+implements the same patch-extraction pipeline.  The paper itself notes the
+optimization results are "irrelevant to specific data type and data
+distribution", so any dense patches of the right shape exercise the same
+code paths.
+"""
+
+from repro.data.synth_digits import render_digit, make_digit_images, digit_dataset
+from repro.data.natural_images import make_natural_images, whiten_patches
+from repro.data.patches import extract_patches, normalize_patches
+from repro.data.datasets import (
+    Dataset,
+    minibatch_indices,
+    ChunkPlan,
+    plan_chunks,
+    train_test_split,
+)
+from repro.data.mnist_io import (
+    export_synthetic_digits,
+    load_image_label_pair,
+    read_idx,
+    write_idx,
+)
+
+__all__ = [
+    "render_digit",
+    "make_digit_images",
+    "digit_dataset",
+    "make_natural_images",
+    "whiten_patches",
+    "extract_patches",
+    "normalize_patches",
+    "Dataset",
+    "minibatch_indices",
+    "ChunkPlan",
+    "plan_chunks",
+    "train_test_split",
+    "read_idx",
+    "write_idx",
+    "load_image_label_pair",
+    "export_synthetic_digits",
+]

@@ -1,0 +1,195 @@
+"""Dataset container, mini-batch iteration, and chunk planning.
+
+The paper streams training data host→device in large chunks, then splits
+each chunk into mini-batches on the device (Algorithm 1, lines 3–4).
+:func:`plan_chunks` computes that two-level decomposition; the actual
+transfer/overlap simulation lives in :mod:`repro.runtime.offload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_2d, check_int
+
+
+class Dataset:
+    """An in-memory design matrix with reproducible mini-batch iteration."""
+
+    def __init__(self, x: np.ndarray, labels: Optional[np.ndarray] = None):
+        self.x = check_2d(x, "x")
+        if labels is not None:
+            labels = np.asarray(labels)
+            if labels.shape[0] != self.x.shape[0]:
+                raise ConfigurationError(
+                    f"labels length {labels.shape[0]} != n_examples {self.x.shape[0]}"
+                )
+        self.labels = labels
+
+    @property
+    def n_examples(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the raw design matrix in bytes (drives transfer models)."""
+        return self.x.nbytes
+
+    def minibatches(
+        self, batch_size: int, shuffle: bool = True, seed: SeedLike = None
+    ) -> Iterator[np.ndarray]:
+        """Yield mini-batch views for one epoch."""
+        check_int(batch_size, "batch_size", minimum=1)
+        order = (
+            as_generator(seed).permutation(self.n_examples)
+            if shuffle
+            else np.arange(self.n_examples)
+        )
+        for start in range(0, self.n_examples, batch_size):
+            yield self.x[order[start : start + batch_size]]
+
+    def subset(self, indices) -> "Dataset":
+        """Row-subset as a new Dataset (copies)."""
+        labels = None if self.labels is None else self.labels[indices]
+        return Dataset(self.x[indices].copy(), labels)
+
+    def __len__(self) -> int:
+        return self.n_examples
+
+    def __repr__(self) -> str:
+        return f"Dataset(n_examples={self.n_examples}, n_features={self.n_features})"
+
+
+def minibatch_indices(
+    n_examples: int, batch_size: int, shuffle: bool = True, seed: SeedLike = None
+) -> List[np.ndarray]:
+    """Index arrays for one epoch of mini-batches (last batch may be short)."""
+    check_int(n_examples, "n_examples", minimum=1)
+    check_int(batch_size, "batch_size", minimum=1)
+    order = (
+        as_generator(seed).permutation(n_examples) if shuffle else np.arange(n_examples)
+    )
+    return [order[s : s + batch_size] for s in range(0, n_examples, batch_size)]
+
+
+def train_test_split(
+    x: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+):
+    """Shuffled train/test split.
+
+    Returns ``(x_train, x_test)`` or ``(x_train, y_train, x_test,
+    y_test)`` when labels are given.  Both sides are guaranteed
+    non-empty (``test_fraction`` is clamped so at least one example
+    lands on each side).
+    """
+    x = check_2d(x, "x")
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError(
+            f"test_fraction must lie in (0, 1), got {test_fraction}"
+        )
+    n = x.shape[0]
+    if n < 2:
+        raise ConfigurationError("need at least 2 examples to split")
+    n_test = min(max(int(round(n * test_fraction)), 1), n - 1)
+    order = as_generator(seed).permutation(n)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if labels is None:
+        return x[train_idx], x[test_idx]
+    labels = np.asarray(labels)
+    if labels.shape[0] != n:
+        raise ConfigurationError(
+            f"labels length {labels.shape[0]} != n_examples {n}"
+        )
+    return x[train_idx], labels[train_idx], x[test_idx], labels[test_idx]
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """The two-level chunk/batch decomposition of one training pass.
+
+    Attributes
+    ----------
+    n_examples, n_features:
+        Dataset dimensions.
+    chunk_sizes:
+        Examples per chunk, in transfer order (last may be short).
+    batch_size:
+        Mini-batch size used on the device inside each chunk.
+    bytes_per_example:
+        Row size in bytes (features × itemsize) — drives the PCIe model.
+    """
+
+    n_examples: int
+    n_features: int
+    chunk_sizes: tuple
+    batch_size: int
+    bytes_per_example: int
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_sizes)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_examples * self.bytes_per_example
+
+    def chunk_bytes(self, index: int) -> int:
+        """Transfer size of chunk ``index`` in bytes."""
+        return self.chunk_sizes[index] * self.bytes_per_example
+
+    def batches_in_chunk(self, index: int) -> int:
+        """Number of device-side mini-batches chunk ``index`` decomposes into."""
+        size = self.chunk_sizes[index]
+        return (size + self.batch_size - 1) // self.batch_size
+
+    @property
+    def total_batches(self) -> int:
+        return sum(self.batches_in_chunk(i) for i in range(self.n_chunks))
+
+
+def plan_chunks(
+    n_examples: int,
+    n_features: int,
+    chunk_examples: int,
+    batch_size: int,
+    itemsize: int = 8,
+) -> ChunkPlan:
+    """Decompose a dataset into device-sized chunks of mini-batches.
+
+    Mirrors Algorithm 1: "get a chunk of data from the buffer area in global
+    memory / split the chunk into many smaller training batches".
+    """
+    check_int(n_examples, "n_examples", minimum=1)
+    check_int(n_features, "n_features", minimum=1)
+    check_int(chunk_examples, "chunk_examples", minimum=1)
+    check_int(batch_size, "batch_size", minimum=1)
+    check_int(itemsize, "itemsize", minimum=1)
+    if batch_size > chunk_examples:
+        raise ConfigurationError(
+            f"batch_size {batch_size} cannot exceed chunk_examples {chunk_examples}"
+        )
+    sizes = []
+    remaining = n_examples
+    while remaining > 0:
+        take = min(chunk_examples, remaining)
+        sizes.append(take)
+        remaining -= take
+    return ChunkPlan(
+        n_examples=n_examples,
+        n_features=n_features,
+        chunk_sizes=tuple(sizes),
+        batch_size=batch_size,
+        bytes_per_example=n_features * itemsize,
+    )

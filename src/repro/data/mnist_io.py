@@ -1,0 +1,130 @@
+"""IDX file I/O — the on-disk format of the MNIST handwritten digits.
+
+The paper samples from handwritten-digit images (ref [14], LeCun et
+al.).  No network access means no MNIST download here, but a downstream
+user *with* the files should not have to write a parser, and our
+synthetic digits can be exported in the same format for tool
+interoperability.  The IDX format (from the MNIST distribution):
+
+    [0x00 0x00] [type byte] [n_dims byte] [dim sizes as big-endian u32…]
+    followed by the array data in C order.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import BinaryIO, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: IDX type byte → numpy dtype (big-endian where multi-byte).
+_IDX_TYPES = {
+    0x08: np.dtype(np.uint8),
+    0x09: np.dtype(np.int8),
+    0x0B: np.dtype(">i2"),
+    0x0C: np.dtype(">i4"),
+    0x0D: np.dtype(">f4"),
+    0x0E: np.dtype(">f8"),
+}
+_TYPE_BYTES = {dtype: code for code, dtype in _IDX_TYPES.items()}
+
+PathLike = Union[str, Path]
+
+
+def _open(path: PathLike, mode: str) -> BinaryIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def read_idx(path: PathLike) -> np.ndarray:
+    """Read an IDX file (``.gz`` transparently) into a numpy array."""
+    with _open(path, "rb") as fh:
+        magic = fh.read(4)
+        if len(magic) != 4 or magic[0] != 0 or magic[1] != 0:
+            raise ConfigurationError(f"{path}: not an IDX file (bad magic {magic!r})")
+        type_byte, n_dims = magic[2], magic[3]
+        if type_byte not in _IDX_TYPES:
+            raise ConfigurationError(f"{path}: unknown IDX type byte 0x{type_byte:02x}")
+        dims = struct.unpack(f">{n_dims}I", fh.read(4 * n_dims))
+        dtype = _IDX_TYPES[type_byte]
+        count = int(np.prod(dims)) if dims else 0
+        raw = fh.read(count * dtype.itemsize)
+        if len(raw) != count * dtype.itemsize:
+            raise ConfigurationError(
+                f"{path}: truncated IDX payload ({len(raw)} bytes for shape {dims})"
+            )
+        return np.frombuffer(raw, dtype=dtype).reshape(dims).astype(dtype.newbyteorder("="))
+
+
+def write_idx(path: PathLike, array: np.ndarray) -> None:
+    """Write ``array`` as an IDX file (``.gz`` suffix compresses)."""
+    array = np.asarray(array)
+    if array.ndim == 0 or array.ndim > 255:
+        raise ConfigurationError(f"IDX supports 1-255 dimensions, got {array.ndim}")
+    # Pick the matching IDX type; default float64 for floats, uint8 for
+    # unsigned bytes, int32 for other integers.
+    if array.dtype == np.uint8:
+        dtype = np.dtype(np.uint8)
+    elif array.dtype == np.int8:
+        dtype = np.dtype(np.int8)
+    elif np.issubdtype(array.dtype, np.floating):
+        dtype = np.dtype(">f8") if array.dtype.itemsize == 8 else np.dtype(">f4")
+    elif np.issubdtype(array.dtype, np.integer):
+        dtype = np.dtype(">i4")
+    else:
+        raise ConfigurationError(f"cannot store dtype {array.dtype} in IDX")
+    with _open(path, "wb") as fh:
+        fh.write(bytes([0, 0, _TYPE_BYTES[dtype], array.ndim]))
+        fh.write(struct.pack(f">{array.ndim}I", *array.shape))
+        fh.write(np.ascontiguousarray(array, dtype=dtype).tobytes())
+
+
+def load_image_label_pair(
+    images_path: PathLike, labels_path: PathLike, normalize: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Load an MNIST-style (images, labels) pair.
+
+    Returns a flattened float design matrix — scaled to [0, 1] when
+    ``normalize`` and the source is uint8 — plus the label vector.
+    """
+    images = read_idx(images_path)
+    labels = read_idx(labels_path)
+    if images.ndim < 2:
+        raise ConfigurationError(f"images file has ndim={images.ndim}, expected >= 2")
+    if labels.ndim != 1:
+        raise ConfigurationError(f"labels file has ndim={labels.ndim}, expected 1")
+    if images.shape[0] != labels.shape[0]:
+        raise ConfigurationError(
+            f"{images.shape[0]} images but {labels.shape[0]} labels"
+        )
+    flat = images.reshape(images.shape[0], -1).astype(np.float64)
+    if normalize and images.dtype == np.uint8:
+        flat /= 255.0
+    return flat, labels.astype(np.int64)
+
+
+def export_synthetic_digits(
+    directory: PathLike, n_examples: int, size: int = 28, seed=0, gzip_files: bool = True
+) -> Tuple[Path, Path]:
+    """Export our synthetic digits as an MNIST-style IDX pair.
+
+    Returns the (images_path, labels_path) written.  Useful for feeding
+    the synthetic corpus to external MNIST tooling.
+    """
+    from repro.data.synth_digits import make_digit_images
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    images, labels = make_digit_images(n_examples, size=size, seed=seed)
+    suffix = ".gz" if gzip_files else ""
+    images_path = directory / f"synthetic-images-idx3-ubyte{suffix}"
+    labels_path = directory / f"synthetic-labels-idx1-ubyte{suffix}"
+    write_idx(images_path, (images * 255).astype(np.uint8))
+    write_idx(labels_path, labels.astype(np.uint8))
+    return images_path, labels_path

@@ -1,0 +1,81 @@
+"""Random patch extraction (the paper's training-example sampling).
+
+"We obtain the training examples by randomly extracting patches of
+required sizes from these images" (paper §V.A.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_int
+
+
+def extract_patches(
+    images: np.ndarray,
+    patch_size: int,
+    n_patches: int,
+    seed: SeedLike = None,
+    flatten: bool = True,
+) -> np.ndarray:
+    """Sample ``n_patches`` square patches uniformly from a stack of images.
+
+    Parameters
+    ----------
+    images:
+        Array of shape (n_images, height, width).
+    patch_size:
+        Side length of the square patches.
+    flatten:
+        Return (n_patches, patch_size²) when True, else
+        (n_patches, patch_size, patch_size).
+    """
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 3:
+        raise ShapeError(f"images must be 3-D (n, h, w), got ndim={images.ndim}")
+    n_images, height, width = images.shape
+    check_int(patch_size, "patch_size", minimum=1)
+    check_int(n_patches, "n_patches", minimum=1)
+    if patch_size > height or patch_size > width:
+        raise ShapeError(
+            f"patch_size {patch_size} exceeds image size {height}x{width}"
+        )
+    rng = as_generator(seed)
+    img_idx = rng.integers(0, n_images, size=n_patches)
+    ys = rng.integers(0, height - patch_size + 1, size=n_patches)
+    xs = rng.integers(0, width - patch_size + 1, size=n_patches)
+    patches = np.empty((n_patches, patch_size, patch_size), dtype=np.float64)
+    for k in range(n_patches):
+        patches[k] = images[
+            img_idx[k], ys[k] : ys[k] + patch_size, xs[k] : xs[k] + patch_size
+        ]
+    if flatten:
+        return patches.reshape(n_patches, patch_size * patch_size)
+    return patches
+
+
+def normalize_patches(
+    patches: np.ndarray, clip_std: float = 3.0, output_range: tuple = (0.1, 0.9)
+) -> np.ndarray:
+    """Squash real-valued patches into a sigmoid-friendly range.
+
+    The CS294A preprocessing the paper's autoencoder setup follows: remove
+    the per-patch DC component, clip at ±``clip_std`` standard deviations,
+    then map linearly into ``output_range`` (default [0.1, 0.9]).
+    """
+    x = np.asarray(patches, dtype=np.float64)
+    if x.ndim != 2:
+        raise ShapeError("patches must be 2-D (n_patches x n_pixels)")
+    lo, hi = output_range
+    if not lo < hi:
+        raise ValueError(f"output_range must be increasing, got {output_range}")
+    x = x - x.mean(axis=1, keepdims=True)
+    scale = clip_std * x.std()
+    if scale <= 0:
+        return np.full_like(x, 0.5 * (lo + hi))
+    x = np.clip(x, -scale, scale) / scale  # now in [-1, 1]
+    return lo + (hi - lo) * (x + 1.0) / 2.0

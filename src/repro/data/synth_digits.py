@@ -1,0 +1,124 @@
+"""Synthetic handwritten-digit images.
+
+Substitute for the MNIST-style corpus the paper samples from (ref [14]'s
+handwritten digits).  Digits are rendered as anti-aliased polyline strokes
+on an N×N grid with random affine jitter (shift, scale, rotation, stroke
+width), which yields the properties the autoencoder experiments rely on:
+values in [0, 1], strong spatial correlation, and a low-dimensional class
+structure an encoder can compress.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_int
+
+# Each digit is a list of strokes; each stroke is a list of (x, y) control
+# points in a unit box with (0,0) top-left, connected by straight segments.
+_DIGIT_STROKES = {
+    0: [[(0.5, 0.1), (0.8, 0.3), (0.8, 0.7), (0.5, 0.9), (0.2, 0.7), (0.2, 0.3), (0.5, 0.1)]],
+    1: [[(0.35, 0.25), (0.55, 0.1), (0.55, 0.9)]],
+    2: [[(0.2, 0.3), (0.4, 0.1), (0.7, 0.15), (0.75, 0.4), (0.3, 0.7), (0.2, 0.9), (0.8, 0.9)]],
+    3: [[(0.25, 0.15), (0.7, 0.2), (0.5, 0.45), (0.75, 0.65), (0.55, 0.9), (0.25, 0.85)]],
+    4: [[(0.65, 0.9), (0.65, 0.1), (0.2, 0.65), (0.85, 0.65)]],
+    5: [[(0.75, 0.1), (0.3, 0.1), (0.25, 0.45), (0.65, 0.45), (0.75, 0.7), (0.55, 0.9), (0.25, 0.85)]],
+    6: [[(0.7, 0.12), (0.35, 0.35), (0.25, 0.7), (0.5, 0.9), (0.72, 0.7), (0.55, 0.5), (0.3, 0.62)]],
+    7: [[(0.2, 0.12), (0.8, 0.12), (0.45, 0.9)]],
+    8: [
+        [(0.5, 0.1), (0.72, 0.27), (0.5, 0.48), (0.28, 0.27), (0.5, 0.1)],
+        [(0.5, 0.48), (0.75, 0.7), (0.5, 0.92), (0.25, 0.7), (0.5, 0.48)],
+    ],
+    9: [[(0.7, 0.38), (0.45, 0.5), (0.28, 0.3), (0.5, 0.1), (0.72, 0.3), (0.68, 0.65), (0.5, 0.9)]],
+}
+
+
+def _segment_distance(px, py, ax, ay, bx, by):
+    """Distance from grid points (px, py) to segment (a, b), vectorised."""
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq < 1e-12:
+        return np.hypot(px - ax, py - ay)
+    t = np.clip(((px - ax) * dx + (py - ay) * dy) / length_sq, 0.0, 1.0)
+    return np.hypot(px - (ax + t * dx), py - (ay + t * dy))
+
+
+def render_digit(
+    digit: int,
+    size: int = 16,
+    stroke_width: float = 0.06,
+    shift: Tuple[float, float] = (0.0, 0.0),
+    scale: float = 1.0,
+    rotation: float = 0.0,
+) -> np.ndarray:
+    """Render one digit as a ``size``×``size`` float image in [0, 1].
+
+    ``stroke_width``, ``shift``, ``scale`` and ``rotation`` are in unit-box
+    coordinates / radians; intensities fall off smoothly at stroke edges so
+    the images are anti-aliased (no binary artifacts).
+    """
+    if digit not in _DIGIT_STROKES:
+        raise ConfigurationError(f"digit must be 0-9, got {digit}")
+    check_int(size, "size", minimum=4)
+    ys, xs = np.mgrid[0:size, 0:size]
+    px = (xs + 0.5) / size
+    py = (ys + 0.5) / size
+
+    cos_r, sin_r = np.cos(rotation), np.sin(rotation)
+    image = np.zeros((size, size), dtype=np.float64)
+    for stroke in _DIGIT_STROKES[digit]:
+        pts = []
+        for (x, y) in stroke:
+            # centre, scale, rotate, shift back
+            cx, cy = x - 0.5, y - 0.5
+            rx = cos_r * cx - sin_r * cy
+            ry = sin_r * cx + cos_r * cy
+            pts.append((0.5 + scale * rx + shift[0], 0.5 + scale * ry + shift[1]))
+        for (ax, ay), (bx, by) in zip(pts[:-1], pts[1:]):
+            dist = _segment_distance(px, py, ax, ay, bx, by)
+            # Smooth falloff: 1 inside the stroke, linear ramp one pixel wide.
+            ramp = 1.0 / size
+            intensity = np.clip(1.0 - (dist - stroke_width) / ramp, 0.0, 1.0)
+            np.maximum(image, intensity, out=image)
+    return image
+
+
+def make_digit_images(
+    n_images: int,
+    size: int = 16,
+    seed: SeedLike = None,
+    jitter: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate ``n_images`` jittered digits; returns (images, labels).
+
+    ``images`` has shape (n_images, size, size); ``labels`` the digit ids.
+    """
+    check_int(n_images, "n_images", minimum=1)
+    rng = as_generator(seed)
+    images = np.empty((n_images, size, size), dtype=np.float64)
+    labels = rng.integers(0, 10, size=n_images)
+    for i, digit in enumerate(labels):
+        if jitter:
+            shift = tuple(rng.uniform(-0.08, 0.08, size=2))
+            scale = rng.uniform(0.8, 1.1)
+            rotation = rng.uniform(-0.25, 0.25)
+            width = rng.uniform(0.04, 0.09)
+        else:
+            shift, scale, rotation, width = (0.0, 0.0), 1.0, 0.0, 0.06
+        images[i] = render_digit(
+            int(digit), size=size, stroke_width=width, shift=shift, scale=scale,
+            rotation=rotation,
+        )
+    return images, labels
+
+
+def digit_dataset(
+    n_examples: int, size: int = 16, seed: SeedLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flattened digit dataset: (n_examples, size²) matrix in [0,1] + labels."""
+    images, labels = make_digit_images(n_examples, size=size, seed=seed)
+    return images.reshape(n_examples, size * size), labels

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything this package produces with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or out-of-range values."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has the wrong shape, dtype, or dimensionality."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative optimizer failed to make progress within its budget."""
+
+
+class DeviceMemoryError(ReproError):
+    """A simulated device allocation exceeded the device's memory capacity."""
+
+
+class SimulationError(ReproError):
+    """The machine simulator was driven into an invalid state."""
+
+
+class SchedulingError(ReproError):
+    """A task graph is malformed (cycle, unknown dependency, double-run)."""

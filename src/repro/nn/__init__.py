@@ -1,0 +1,102 @@
+"""Neural-network substrate: the paper's building blocks with real numerics.
+
+This package is the *functional* half of the reproduction: exact NumPy
+implementations of the Sparse Autoencoder (paper §II.B.1), the Restricted
+Boltzmann Machine with contrastive divergence (paper §II.B.2), and the
+greedy layer-wise stacking procedure (paper Fig. 1).  Timing/parallelism is
+handled separately by :mod:`repro.phi` and :mod:`repro.runtime`.
+"""
+
+from repro.nn.activations import Sigmoid, Identity, Tanh, get_activation
+from repro.nn.init import uniform_fanin_init, normal_init, zeros_init
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.autoencoder import SparseAutoencoder, AutoencoderGradients
+from repro.nn.rbm import RBM, CDStatistics
+from repro.nn.stacked import StackedAutoencoder, DeepBeliefNetwork, LayerSpec
+from repro.nn.gradcheck import numerical_gradient, check_gradients, relative_error
+from repro.nn.mlp import DeepNetwork, one_hot, softmax
+from repro.nn.finetune import (
+    FinetuneResult,
+    compare_pretrained_vs_random,
+    finetune,
+    pretrain_then_finetune,
+)
+from repro.nn.sparse_coding import (
+    SparseCoder,
+    fista_inference,
+    lasso_objective,
+    soft_threshold,
+)
+from repro.nn.gaussian_rbm import GaussianBernoulliRBM, standardize
+from repro.nn.denoising import (
+    DenoisingAutoencoder,
+    corrupt_gaussian,
+    corrupt_masking,
+    corrupt_salt_pepper,
+)
+from repro.nn.ais import AISResult, ais_log_partition, estimate_log_likelihood
+from repro.nn.filters import (
+    filter_sparsity_profile,
+    receptive_fields,
+    render_filter,
+    render_filter_grid,
+)
+from repro.nn.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    macro_f1,
+    mean_squared_reconstruction,
+    peak_signal_to_noise,
+    per_class_report,
+)
+
+__all__ = [
+    "Sigmoid",
+    "Identity",
+    "Tanh",
+    "get_activation",
+    "uniform_fanin_init",
+    "normal_init",
+    "zeros_init",
+    "SparseAutoencoderCost",
+    "SparseAutoencoder",
+    "AutoencoderGradients",
+    "RBM",
+    "CDStatistics",
+    "StackedAutoencoder",
+    "DeepBeliefNetwork",
+    "LayerSpec",
+    "numerical_gradient",
+    "check_gradients",
+    "relative_error",
+    "DeepNetwork",
+    "one_hot",
+    "softmax",
+    "FinetuneResult",
+    "finetune",
+    "pretrain_then_finetune",
+    "compare_pretrained_vs_random",
+    "SparseCoder",
+    "fista_inference",
+    "lasso_objective",
+    "soft_threshold",
+    "GaussianBernoulliRBM",
+    "standardize",
+    "DenoisingAutoencoder",
+    "corrupt_masking",
+    "corrupt_salt_pepper",
+    "corrupt_gaussian",
+    "AISResult",
+    "ais_log_partition",
+    "estimate_log_likelihood",
+    "receptive_fields",
+    "render_filter",
+    "render_filter_grid",
+    "filter_sparsity_profile",
+    "confusion_matrix",
+    "accuracy_score",
+    "per_class_report",
+    "macro_f1",
+    "mean_squared_reconstruction",
+    "peak_signal_to_noise",
+]

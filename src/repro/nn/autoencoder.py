@@ -1,0 +1,238 @@
+"""Sparse Autoencoder (paper §II.B.1, Eqs. 1–6).
+
+A three-layer network: visible → hidden → reconstruction,
+
+    y = s(W₁x + b₁)            (Eq. 1, encode)
+    z = s'(W₂y + b₂)           (Eq. 2, decode; s' may be linear)
+
+trained to minimise :class:`repro.nn.cost.SparseAutoencoderCost` by
+back-propagation.  All array math is mini-batch vectorised: rows are
+examples, so the forward pass is two GEMMs and the backward pass four —
+exactly the operations the paper hands to MKL on the coprocessor.
+
+The gradient includes the KL-sparsity correction, where the mean hidden
+activation ρ̂ is computed over the mini-batch (the CS294A convention the
+paper follows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import Activation, Sigmoid, get_activation
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.init import uniform_fanin_init, zeros_init
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_int, check_matrix_shapes
+
+
+@dataclass
+class AutoencoderGradients:
+    """Container for one gradient evaluation (∂J/∂W₁, ∂J/∂b₁, ∂J/∂W₂, ∂J/∂b₂)."""
+
+    w1: np.ndarray
+    b1: np.ndarray
+    w2: np.ndarray
+    b2: np.ndarray
+
+    def scaled(self, factor: float) -> "AutoencoderGradients":
+        """Return a copy with every component multiplied by ``factor``."""
+        return AutoencoderGradients(
+            self.w1 * factor, self.b1 * factor, self.w2 * factor, self.b2 * factor
+        )
+
+    def norm(self) -> float:
+        """Euclidean norm over all components (used for convergence checks)."""
+        return float(
+            np.sqrt(
+                np.sum(self.w1**2)
+                + np.sum(self.b1**2)
+                + np.sum(self.w2**2)
+                + np.sum(self.b2**2)
+            )
+        )
+
+
+class SparseAutoencoder:
+    """The paper's Sparse Autoencoder building block.
+
+    Parameters
+    ----------
+    n_visible, n_hidden:
+        Layer widths.  The output layer always has ``n_visible`` units.
+    cost:
+        Objective hyper-parameters (λ, ρ, β).  Defaults to a mild weight
+        decay with the sparsity penalty switched off.
+    output_activation:
+        ``"sigmoid"`` for data in [0, 1] (digit images) or ``"identity"``
+        for real-valued patches (natural images).
+    seed:
+        Reproducible weight initialisation.
+    """
+
+    def __init__(
+        self,
+        n_visible: int,
+        n_hidden: int,
+        cost: Optional[SparseAutoencoderCost] = None,
+        output_activation="sigmoid",
+        hidden_activation="sigmoid",
+        seed: SeedLike = None,
+    ):
+        self.n_visible = check_int(n_visible, "n_visible", minimum=1)
+        self.n_hidden = check_int(n_hidden, "n_hidden", minimum=1)
+        self.cost = cost if cost is not None else SparseAutoencoderCost()
+        self.hidden_activation: Activation = get_activation(hidden_activation)
+        self.output_activation: Activation = get_activation(output_activation)
+        if self.cost.sparsity_weight > 0 and not isinstance(
+            self.hidden_activation, Sigmoid
+        ):
+            raise ConfigurationError(
+                "the KL sparsity penalty assumes sigmoid hidden units"
+            )
+        rng = as_generator(seed)
+        self.w1 = uniform_fanin_init(self.n_visible, self.n_hidden, rng)
+        self.b1 = zeros_init(self.n_hidden)
+        self.w2 = uniform_fanin_init(self.n_hidden, self.n_visible, rng)
+        self.b2 = zeros_init(self.n_visible)
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Hidden representation y = s(W₁x + b₁) for a batch (Eq. 1)."""
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        return self.hidden_activation.forward(x @ self.w1.T + self.b1)
+
+    def decode(self, y: np.ndarray) -> np.ndarray:
+        """Reconstruction z = s'(W₂y + b₂) for a batch of codes (Eq. 2)."""
+        y = check_matrix_shapes(y, self.n_hidden, "y")
+        return self.output_activation.forward(y @ self.w2.T + self.b2)
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        """Full encode→decode round trip."""
+        return self.decode(self.encode(x))
+
+    def reconstruction_error(self, x: np.ndarray) -> float:
+        """Mean squared reconstruction error of the current parameters."""
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        return self.cost.reconstruction(self.reconstruct(x), x)
+
+    # ------------------------------------------------------------------
+    # objective and gradient
+    # ------------------------------------------------------------------
+    def loss(self, x: np.ndarray) -> float:
+        """Total objective J(W, b, ρ) evaluated on batch ``x`` (Eq. 5)."""
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        hidden = self.encode(x)
+        recon = self.decode(hidden)
+        rho_hat = hidden.mean(axis=0)
+        return self.cost.total(recon, x, self.w1, self.w2, rho_hat)
+
+    def gradients(self, x: np.ndarray) -> Tuple[float, AutoencoderGradients]:
+        """Back-propagation gradient of the objective on batch ``x``.
+
+        Returns ``(loss, grads)``.  The four GEMMs here (two forward, the
+        delta back-projection, and the two outer-product weight gradients)
+        are the kernels the paper's Fig. 6-style dependency analysis
+        schedules on the coprocessor.
+        """
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        m = x.shape[0]
+
+        # forward
+        hidden = self.hidden_activation.forward(x @ self.w1.T + self.b1)
+        recon = self.output_activation.forward(hidden @ self.w2.T + self.b2)
+        rho_hat = hidden.mean(axis=0)
+        loss = self.cost.total(recon, x, self.w1, self.w2, rho_hat)
+
+        # output deltas: δ₃ = (z − x) ⊙ s'(z)
+        delta3 = (recon - x) * self.output_activation.grad_from_output(recon)
+
+        # hidden deltas: δ₂ = (δ₃W₂ + sparsity term) ⊙ s'(y)
+        back = delta3 @ self.w2
+        sparse_term = self.cost.sparsity_delta(rho_hat)  # per-unit, batch mean
+        delta2 = (back + sparse_term) * self.hidden_activation.grad_from_output(hidden)
+
+        grad_w2 = delta3.T @ hidden / m + self.cost.weight_decay * self.w2
+        grad_b2 = delta3.mean(axis=0)
+        grad_w1 = delta2.T @ x / m + self.cost.weight_decay * self.w1
+        grad_b1 = delta2.mean(axis=0)
+        return loss, AutoencoderGradients(grad_w1, grad_b1, grad_w2, grad_b2)
+
+    def apply_update(self, grads: AutoencoderGradients, learning_rate: float) -> None:
+        """In-place gradient-descent step (the paper's vectorised Eqs. 16–18)."""
+        self.w1 -= learning_rate * grads.w1
+        self.b1 -= learning_rate * grads.b1
+        self.w2 -= learning_rate * grads.w2
+        self.b2 -= learning_rate * grads.b2
+
+    # ------------------------------------------------------------------
+    # flat-parameter interface for batch optimizers (L-BFGS / CG, §III)
+    # ------------------------------------------------------------------
+    @property
+    def n_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return (
+            self.w1.size + self.b1.size + self.w2.size + self.b2.size
+        )
+
+    def get_flat_parameters(self) -> np.ndarray:
+        """Concatenate (W₁, b₁, W₂, b₂) into one vector (copy)."""
+        return np.concatenate(
+            [self.w1.ravel(), self.b1.ravel(), self.w2.ravel(), self.b2.ravel()]
+        )
+
+    def set_flat_parameters(self, theta: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by an optimizer."""
+        theta = np.asarray(theta, dtype=np.float64).ravel()
+        if theta.size != self.n_parameters:
+            raise ConfigurationError(
+                f"flat parameter vector has {theta.size} entries, "
+                f"model needs {self.n_parameters}"
+            )
+        h, v = self.n_hidden, self.n_visible
+        idx = 0
+        self.w1 = theta[idx : idx + h * v].reshape(h, v).copy()
+        idx += h * v
+        self.b1 = theta[idx : idx + h].copy()
+        idx += h
+        self.w2 = theta[idx : idx + v * h].reshape(v, h).copy()
+        idx += v * h
+        self.b2 = theta[idx : idx + v].copy()
+
+    def flat_loss_and_grad(self, theta: np.ndarray, x: np.ndarray):
+        """(loss, flat gradient) at parameters ``theta`` — optimizer callback."""
+        saved = self.get_flat_parameters()
+        try:
+            self.set_flat_parameters(theta)
+            loss, g = self.gradients(x)
+        finally:
+            self.set_flat_parameters(saved)
+        flat = np.concatenate([g.w1.ravel(), g.b1.ravel(), g.w2.ravel(), g.b2.ravel()])
+        return loss, flat
+
+    def copy(self) -> "SparseAutoencoder":
+        """Deep copy with identical parameters and hyper-parameters."""
+        clone = SparseAutoencoder(
+            self.n_visible,
+            self.n_hidden,
+            cost=self.cost,
+            output_activation=self.output_activation,
+            hidden_activation=self.hidden_activation,
+        )
+        clone.w1 = self.w1.copy()
+        clone.b1 = self.b1.copy()
+        clone.w2 = self.w2.copy()
+        clone.b2 = self.b2.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseAutoencoder(n_visible={self.n_visible}, n_hidden={self.n_hidden}, "
+            f"beta={self.cost.sparsity_weight}, rho={self.cost.sparsity_target})"
+        )

@@ -1,0 +1,70 @@
+"""The sparse-autoencoder cost function (paper Eqs. 3–6).
+
+The total objective for a dataset of m examples is
+
+    J(W, b) = (1/m) Σᵢ ½‖zⁱ − xⁱ‖²                    (reconstruction, Eq. 3–4)
+            + (λ/2) (‖W₁‖² + ‖W₂‖²)                   (weight decay, Eq. 4)
+            + β Σⱼ KL(ρ ‖ ρ̂ⱼ)                          (sparsity, Eqs. 5–6)
+
+with ρ̂ⱼ the mean activation of hidden unit j over the m examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.mathx import kl_bernoulli, kl_bernoulli_grad
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class SparseAutoencoderCost:
+    """Hyper-parameters of the objective.
+
+    Attributes
+    ----------
+    weight_decay:
+        λ of Eq. 4 — strength of the L2 penalty on both weight matrices
+        (biases are not regularised, following the paper's Eq. 4).
+    sparsity_target:
+        ρ of Eq. 5 — desired mean hidden activation.
+    sparsity_weight:
+        β of Eq. 5 — strength of the KL sparsity penalty.
+    """
+
+    weight_decay: float = 1e-4
+    sparsity_target: float = 0.05
+    sparsity_weight: float = 0.0
+
+    def __post_init__(self):
+        check_positive(self.weight_decay, "weight_decay", strict=False)
+        check_probability(self.sparsity_target, "sparsity_target")
+        check_positive(self.sparsity_weight, "sparsity_weight", strict=False)
+
+    # --- term evaluations -------------------------------------------------
+    def reconstruction(self, z: np.ndarray, x: np.ndarray) -> float:
+        """Mean squared reconstruction error, ½ mean_i ‖zⁱ − xⁱ‖²."""
+        diff = z - x
+        return 0.5 * float(np.sum(diff * diff)) / x.shape[0]
+
+    def decay(self, w1: np.ndarray, w2: np.ndarray) -> float:
+        """The (λ/2)(‖W₁‖² + ‖W₂‖²) term."""
+        return 0.5 * self.weight_decay * (float(np.sum(w1 * w1)) + float(np.sum(w2 * w2)))
+
+    def sparsity(self, rho_hat: np.ndarray) -> float:
+        """β Σⱼ KL(ρ‖ρ̂ⱼ); zero when the penalty is disabled."""
+        if self.sparsity_weight == 0.0:
+            return 0.0
+        return self.sparsity_weight * float(np.sum(kl_bernoulli(self.sparsity_target, rho_hat)))
+
+    def sparsity_delta(self, rho_hat: np.ndarray) -> np.ndarray:
+        """β·∂KL/∂ρ̂ⱼ — the extra term added to hidden-layer deltas."""
+        if self.sparsity_weight == 0.0:
+            return np.zeros_like(rho_hat)
+        return self.sparsity_weight * kl_bernoulli_grad(self.sparsity_target, rho_hat)
+
+    def total(self, z, x, w1, w2, rho_hat) -> float:
+        """Full objective J(W, b, ρ) of Eq. 5."""
+        return self.reconstruction(z, x) + self.decay(w1, w2) + self.sparsity(rho_hat)

@@ -1,0 +1,157 @@
+"""Denoising autoencoder — the robustness-oriented sibling of the sparse
+autoencoder ("many variations of them are usually used as the
+unsupervised building block", paper §I).
+
+Instead of a sparsity penalty, the encoder sees a *corrupted* copy of
+the input and must reconstruct the clean original (Vincent et al. 2008).
+The parameterisation, forward pass and back-propagation reuse
+:class:`repro.nn.autoencoder.SparseAutoencoder` wholesale — only the
+gradient's input differs — so the kernel stream (and therefore the
+timing model) is identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.autoencoder import AutoencoderGradients, SparseAutoencoder
+from repro.nn.cost import SparseAutoencoderCost
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_matrix_shapes, check_probability
+
+
+def corrupt_masking(x: np.ndarray, corruption: float, rng) -> np.ndarray:
+    """Masking noise: each entry independently zeroed with prob ``corruption``."""
+    gen = as_generator(rng)
+    keep = gen.random(x.shape) >= corruption
+    return x * keep
+
+
+def corrupt_salt_pepper(x: np.ndarray, corruption: float, rng) -> np.ndarray:
+    """Salt-and-pepper: corrupted entries flip to 0 or 1 with equal odds."""
+    gen = as_generator(rng)
+    hit = gen.random(x.shape) < corruption
+    salt = gen.random(x.shape) < 0.5
+    out = x.copy()
+    out[hit] = salt[hit].astype(np.float64)
+    return out
+
+
+def corrupt_gaussian(x: np.ndarray, corruption: float, rng) -> np.ndarray:
+    """Additive Gaussian noise with std ``corruption``."""
+    gen = as_generator(rng)
+    return x + corruption * gen.normal(size=x.shape)
+
+
+_CORRUPTIONS = {
+    "masking": corrupt_masking,
+    "salt_pepper": corrupt_salt_pepper,
+    "gaussian": corrupt_gaussian,
+}
+
+
+class DenoisingAutoencoder(SparseAutoencoder):
+    """A sparse autoencoder trained on corrupted inputs.
+
+    Parameters
+    ----------
+    corruption:
+        Corruption level: masking/salt-pepper probability, or Gaussian σ.
+    noise:
+        ``"masking"`` (default), ``"salt_pepper"`` or ``"gaussian"``.
+    Everything else as :class:`~repro.nn.autoencoder.SparseAutoencoder`
+    (the sparsity penalty may be combined with denoising).
+    """
+
+    def __init__(
+        self,
+        n_visible: int,
+        n_hidden: int,
+        corruption: float = 0.3,
+        noise: str = "masking",
+        cost: Optional[SparseAutoencoderCost] = None,
+        output_activation="sigmoid",
+        seed: SeedLike = None,
+    ):
+        if noise not in _CORRUPTIONS:
+            raise ConfigurationError(
+                f"noise must be one of {sorted(_CORRUPTIONS)}, got {noise!r}"
+            )
+        if noise != "gaussian":
+            check_probability(corruption, "corruption", open_interval=False)
+        elif corruption < 0:
+            raise ConfigurationError("gaussian corruption (sigma) must be >= 0")
+        cost = cost if cost is not None else SparseAutoencoderCost(sparsity_weight=0.0)
+        super().__init__(
+            n_visible, n_hidden, cost=cost, output_activation=output_activation,
+            seed=seed,
+        )
+        self.corruption = float(corruption)
+        self.noise = noise
+        self._noise_rng = as_generator(seed)
+
+    # ------------------------------------------------------------------
+    def corrupt(self, x: np.ndarray, rng=None) -> np.ndarray:
+        """Apply this model's corruption process to a batch."""
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        gen = self._noise_rng if rng is None else as_generator(rng)
+        return _CORRUPTIONS[self.noise](x, self.corruption, gen)
+
+    def denoising_gradients(
+        self, x: np.ndarray, rng=None
+    ) -> Tuple[float, AutoencoderGradients]:
+        """Backprop against the *clean* target from a *corrupted* input.
+
+        The denoising objective: encode corrupt(x), decode, compare to x.
+        Implemented by running the standard forward/backward with the
+        corrupted input on the encoder path and the clean input as the
+        reconstruction target.
+        """
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        corrupted = self.corrupt(x, rng)
+        m = x.shape[0]
+
+        hidden = self.hidden_activation.forward(corrupted @ self.w1.T + self.b1)
+        recon = self.output_activation.forward(hidden @ self.w2.T + self.b2)
+        rho_hat = hidden.mean(axis=0)
+        loss = self.cost.total(recon, x, self.w1, self.w2, rho_hat)
+
+        delta3 = (recon - x) * self.output_activation.grad_from_output(recon)
+        back = delta3 @ self.w2
+        sparse_term = self.cost.sparsity_delta(rho_hat)
+        delta2 = (back + sparse_term) * self.hidden_activation.grad_from_output(hidden)
+
+        grad_w2 = delta3.T @ hidden / m + self.cost.weight_decay * self.w2
+        grad_b2 = delta3.mean(axis=0)
+        grad_w1 = delta2.T @ corrupted / m + self.cost.weight_decay * self.w1
+        grad_b1 = delta2.mean(axis=0)
+        return loss, AutoencoderGradients(grad_w1, grad_b1, grad_w2, grad_b2)
+
+    def fit_denoising(
+        self,
+        x: np.ndarray,
+        learning_rate: float = 0.5,
+        batch_size: int = 64,
+        epochs: int = 10,
+        seed: SeedLike = None,
+    ) -> list:
+        """Mini-batch denoising training; returns per-epoch clean
+        reconstruction errors."""
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        rng = as_generator(seed)
+        errors = []
+        for _ in range(epochs):
+            order = rng.permutation(x.shape[0])
+            for start in range(0, x.shape[0], batch_size):
+                batch = x[order[start : start + batch_size]]
+                _, grads = self.denoising_gradients(batch, rng)
+                self.apply_update(grads, learning_rate)
+            errors.append(self.reconstruction_error(x))
+        return errors
+
+    def denoise(self, x_noisy: np.ndarray) -> np.ndarray:
+        """Clean up already-corrupted inputs (the model's use-case)."""
+        return self.reconstruct(x_noisy)

@@ -1,0 +1,120 @@
+"""Inspecting learned features: receptive-field extraction and terminal
+rendering.
+
+The classic sanity check for every building block in this library is
+*looking at the filters* — the paper's cited works (Olshausen & Field,
+Ng's CS294A) judge success by edge-like receptive fields.  These helpers
+pull the input-space weight vectors out of any trained model and render
+them as ASCII intensity maps for terminals and doctests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+#: Dark-to-bright ASCII intensity ramp.
+_RAMP = " .:-=+*#%@"
+
+
+def receptive_fields(model) -> np.ndarray:
+    """The input-space weight vectors of a trained model, one per row.
+
+    Supports SparseAutoencoder / DenoisingAutoencoder (rows of W₁), RBM
+    and GaussianBernoulliRBM (rows of W), SparseCoder (dictionary rows),
+    and DeepNetwork (first layer's rows).
+    """
+    for attribute in ("w1", "w", "dictionary"):
+        weights = getattr(model, attribute, None)
+        if isinstance(weights, np.ndarray) and weights.ndim == 2:
+            return weights
+    layers = getattr(model, "layers", None)
+    if layers:
+        return layers[0].w
+    raise ConfigurationError(
+        f"cannot extract receptive fields from {type(model).__name__}"
+    )
+
+
+def render_filter(weights: np.ndarray, side: Optional[int] = None) -> str:
+    """Render one flattened filter as an ASCII intensity square.
+
+    ``side`` defaults to √len (the filter must be square-able).  Each
+    filter is normalised to its own [min, max] range, Olshausen-style.
+    """
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if side is None:
+        side = int(round(np.sqrt(weights.size)))
+    if side * side != weights.size:
+        raise ShapeError(
+            f"filter of length {weights.size} is not a {side}x{side} square"
+        )
+    lo, hi = weights.min(), weights.max()
+    span = hi - lo if hi > lo else 1.0
+    levels = ((weights - lo) / span * (len(_RAMP) - 1)).astype(int)
+    grid = levels.reshape(side, side)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in grid)
+
+
+def render_filter_grid(
+    model_or_weights,
+    n_filters: int = 9,
+    side: Optional[int] = None,
+    columns: int = 3,
+    order: str = "norm",
+) -> str:
+    """Render several filters side by side.
+
+    Parameters
+    ----------
+    model_or_weights:
+        A trained model (see :func:`receptive_fields`) or a 2-D array.
+    n_filters / columns:
+        How many filters and the grid width.
+    order:
+        ``"norm"`` shows the strongest filters first; ``"index"`` keeps
+        the model's order.
+    """
+    if isinstance(model_or_weights, np.ndarray):
+        weights = model_or_weights
+    else:
+        weights = receptive_fields(model_or_weights)
+    if order not in ("norm", "index"):
+        raise ConfigurationError(f"order must be 'norm' or 'index', got {order!r}")
+    if order == "norm":
+        ranking = np.argsort(-np.linalg.norm(weights, axis=1))
+    else:
+        ranking = np.arange(weights.shape[0])
+    chosen = ranking[: min(n_filters, weights.shape[0])]
+
+    rendered = [render_filter(weights[i], side=side).splitlines() for i in chosen]
+    height = len(rendered[0])
+    lines = []
+    for start in range(0, len(rendered), columns):
+        block = rendered[start : start + columns]
+        for row in range(height):
+            lines.append("  ".join(f[row] for f in block))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def filter_sparsity_profile(weights: np.ndarray, top_fraction: float = 0.25) -> np.ndarray:
+    """Energy concentration per filter: share of squared weight mass in
+    the strongest ``top_fraction`` of pixels.  Localised (edge-like)
+    filters score near 1, diffuse noise near ``top_fraction``."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ShapeError("weights must be 2-D (n_filters x n_pixels)")
+    if not 0.0 < top_fraction < 1.0:
+        raise ConfigurationError(
+            f"top_fraction must lie in (0, 1), got {top_fraction}"
+        )
+    energy = weights**2
+    k = max(1, int(round(weights.shape[1] * top_fraction)))
+    top = np.sort(energy, axis=1)[:, -k:]
+    total = energy.sum(axis=1)
+    total[total == 0] = 1.0
+    return top.sum(axis=1) / total

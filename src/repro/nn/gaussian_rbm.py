@@ -1,0 +1,133 @@
+"""Gaussian–Bernoulli RBM for real-valued inputs.
+
+The paper's natural-image patches are real-valued; the standard RBM for
+them (Hinton's practical guide [15] §13.2) keeps binary hidden units but
+makes the visibles Gaussian with unit variance:
+
+    E(v, h) = ½‖v − b‖² − cᵀh − hᵀWv
+    p(h=1|v) = s(c + Wv)                (unchanged)
+    v | h    ~ N(b + Wᵀh, I)            (linear mean, unit variance)
+
+CD-k carries over with the visible reconstruction drawn from (or set to
+the mean of) the Gaussian.  Data should be standardised to zero mean and
+unit variance per component — :func:`standardize` does that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.init import normal_init, zeros_init
+from repro.nn.rbm import CDStatistics
+from repro.utils.mathx import logistic_log1pexp, sigmoid
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_int, check_matrix_shapes, check_positive
+
+
+def standardize(x: np.ndarray, epsilon: float = 1e-8) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-feature standardisation; returns (standardised, mean, std)."""
+    x = np.asarray(x, dtype=np.float64)
+    mean = x.mean(axis=0)
+    std = x.std(axis=0)
+    std = np.where(std < epsilon, 1.0, std)
+    return (x - mean) / std, mean, std
+
+
+class GaussianBernoulliRBM:
+    """Gaussian-visible, Bernoulli-hidden RBM trained with CD-k."""
+
+    def __init__(
+        self,
+        n_visible: int,
+        n_hidden: int,
+        weight_scale: float = 0.01,
+        seed: SeedLike = None,
+    ):
+        self.n_visible = check_int(n_visible, "n_visible", minimum=1)
+        self.n_hidden = check_int(n_hidden, "n_hidden", minimum=1)
+        check_positive(weight_scale, "weight_scale")
+        self._rng = as_generator(seed)
+        self.w = normal_init(self.n_visible, self.n_hidden, weight_scale, self._rng)
+        self.b = zeros_init(self.n_visible)  # visible (Gaussian mean) bias
+        self.c = zeros_init(self.n_hidden)
+
+    # ------------------------------------------------------------------
+    def hidden_probabilities(self, v: np.ndarray) -> np.ndarray:
+        """p(h=1|v) = s(c + Wv) — identical to the binary RBM."""
+        v = check_matrix_shapes(v, self.n_visible, "v")
+        return sigmoid(v @ self.w.T + self.c)
+
+    def visible_mean(self, h: np.ndarray) -> np.ndarray:
+        """E[v|h] = b + Wᵀh — the Gaussian conditional's mean."""
+        h = check_matrix_shapes(h, self.n_hidden, "h")
+        return h @ self.w + self.b
+
+    def sample_hidden(self, v: np.ndarray, rng=None):
+        gen = self._rng if rng is None else as_generator(rng)
+        probs = self.hidden_probabilities(v)
+        return probs, (gen.random(probs.shape) < probs).astype(np.float64)
+
+    def sample_visible(self, h: np.ndarray, rng=None):
+        """Draw v ~ N(b + Wᵀh, I); returns (mean, samples)."""
+        gen = self._rng if rng is None else as_generator(rng)
+        mean = self.visible_mean(h)
+        return mean, mean + gen.normal(size=mean.shape)
+
+    # ------------------------------------------------------------------
+    def free_energy(self, v: np.ndarray) -> np.ndarray:
+        """F(v) = ½‖v − b‖² − Σⱼ softplus(cⱼ + Wⱼ·v), per row."""
+        v = check_matrix_shapes(v, self.n_visible, "v")
+        quadratic = 0.5 * np.sum((v - self.b) ** 2, axis=1)
+        pre = v @ self.w.T + self.c
+        return quadratic - logistic_log1pexp(pre).sum(axis=1)
+
+    def contrastive_divergence(
+        self,
+        v0: np.ndarray,
+        k: int = 1,
+        rng=None,
+        sample_visible: bool = False,
+    ) -> CDStatistics:
+        """CD-k with Gaussian reconstructions (mean-field by default)."""
+        v0 = check_matrix_shapes(v0, self.n_visible, "v0")
+        check_int(k, "k", minimum=1)
+        gen = self._rng if rng is None else as_generator(rng)
+        m = v0.shape[0]
+
+        h0_probs, h_samples = self.sample_hidden(v0, gen)
+        vk = v0
+        hk_probs = h0_probs
+        for _ in range(k):
+            mean = self.visible_mean(h_samples)
+            vk = mean + gen.normal(size=mean.shape) if sample_visible else mean
+            hk_probs = self.hidden_probabilities(vk)
+            h_samples = (gen.random(hk_probs.shape) < hk_probs).astype(np.float64)
+
+        grad_w = (h0_probs.T @ v0 - hk_probs.T @ vk) / m
+        grad_b = (v0 - vk).mean(axis=0)
+        grad_c = (h0_probs - hk_probs).mean(axis=0)
+        err = float(np.mean(np.sum((v0 - vk) ** 2, axis=1)))
+        return CDStatistics(grad_w, grad_b, grad_c, err)
+
+    def apply_update(self, stats: CDStatistics, learning_rate: float) -> None:
+        """In-place ascent step (identical form to the binary RBM)."""
+        self.w += learning_rate * stats.grad_w
+        self.b += learning_rate * stats.grad_b
+        self.c += learning_rate * stats.grad_c
+
+    # ------------------------------------------------------------------
+    def transform(self, v: np.ndarray) -> np.ndarray:
+        """Feature extraction p(h=1|v)."""
+        return self.hidden_probabilities(v)
+
+    def reconstruct(self, v: np.ndarray) -> np.ndarray:
+        """One mean-field down-up pass."""
+        return self.visible_mean(self.hidden_probabilities(v))
+
+    def __repr__(self) -> str:
+        return (
+            f"GaussianBernoulliRBM(n_visible={self.n_visible}, "
+            f"n_hidden={self.n_hidden})"
+        )

@@ -1,0 +1,84 @@
+"""Finite-difference gradient verification (paper §II.B.1's back-propagation).
+
+Back-propagation bugs are silent — training still "works", just worse — so
+the test suite checks every analytic gradient against central differences:
+
+    ∂J/∂θᵢ ≈ (J(θ + εeᵢ) − J(θ − εeᵢ)) / 2ε
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+
+def numerical_gradient(
+    f: Callable[[np.ndarray], float],
+    theta: np.ndarray,
+    epsilon: float = 1e-5,
+    indices: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` at ``theta``.
+
+    ``indices`` restricts the computation to a subset of coordinates (the
+    rest of the returned vector is zero) — essential for spot-checking
+    large parameter vectors.
+    """
+    theta = np.asarray(theta, dtype=np.float64).ravel().copy()
+    grad = np.zeros_like(theta)
+    idx = np.arange(theta.size) if indices is None else np.asarray(indices)
+    for i in idx:
+        orig = theta[i]
+        theta[i] = orig + epsilon
+        f_plus = f(theta)
+        theta[i] = orig - epsilon
+        f_minus = f(theta)
+        theta[i] = orig
+        grad[i] = (f_plus - f_minus) / (2.0 * epsilon)
+    return grad
+
+
+def relative_error(a: np.ndarray, b: np.ndarray) -> float:
+    """‖a−b‖ / max(‖a‖+‖b‖, tiny) — the standard gradient-check metric."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    denom = max(np.linalg.norm(a) + np.linalg.norm(b), 1e-30)
+    return float(np.linalg.norm(a - b) / denom)
+
+
+def check_gradients(
+    f: Callable[[np.ndarray], float],
+    analytic_grad: np.ndarray,
+    theta: np.ndarray,
+    epsilon: float = 1e-5,
+    tolerance: float = 1e-6,
+    n_checks: Optional[int] = None,
+    rng=None,
+) -> float:
+    """Compare ``analytic_grad`` against finite differences of ``f``.
+
+    Returns the relative error over the checked coordinates and raises
+    ``AssertionError`` when it exceeds ``tolerance``.  ``n_checks`` samples
+    that many random coordinates instead of checking all of them.
+    """
+    theta = np.asarray(theta, dtype=np.float64).ravel()
+    analytic = np.asarray(analytic_grad, dtype=np.float64).ravel()
+    if analytic.size != theta.size:
+        raise ValueError(
+            f"gradient has {analytic.size} entries but theta has {theta.size}"
+        )
+    indices = None
+    if n_checks is not None and n_checks < theta.size:
+        gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        indices = gen.choice(theta.size, size=n_checks, replace=False)
+    numeric = numerical_gradient(f, theta, epsilon=epsilon, indices=indices)
+    if indices is not None:
+        err = relative_error(analytic[indices], numeric[indices])
+    else:
+        err = relative_error(analytic, numeric)
+    if err > tolerance:
+        raise AssertionError(
+            f"gradient check failed: relative error {err:.3e} > tolerance {tolerance:.1e}"
+        )
+    return err

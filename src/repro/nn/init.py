@@ -1,0 +1,34 @@
+"""Weight initialisation schemes.
+
+The paper does not specify an initialiser; we use the standard symmetric
+uniform fan-in rule from the sparse-autoencoder lecture notes the paper
+cites (Ng, CS294A [10]): W ~ U(−r, r) with r = sqrt(6 / (fan_in + fan_out + 1)),
+biases zero.  A plain Gaussian initialiser is provided for RBMs, following
+Hinton's practical guide [15] (N(0, 0.01)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def uniform_fanin_init(fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """Symmetric uniform init with the CS294A radius; shape (fan_out, fan_in)."""
+    gen = as_generator(rng)
+    r = np.sqrt(6.0 / (fan_in + fan_out + 1.0))
+    return gen.uniform(-r, r, size=(fan_out, fan_in))
+
+
+def normal_init(
+    fan_in: int, fan_out: int, scale: float = 0.01, rng: SeedLike = None
+) -> np.ndarray:
+    """Gaussian init N(0, scale²) used for RBM weights (Hinton's guide §8)."""
+    gen = as_generator(rng)
+    return gen.normal(0.0, scale, size=(fan_out, fan_in))
+
+
+def zeros_init(n: int) -> np.ndarray:
+    """Zero bias vector of length ``n``."""
+    return np.zeros(n, dtype=np.float64)

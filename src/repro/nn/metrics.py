@@ -1,0 +1,101 @@
+"""Classification and reconstruction metrics.
+
+Small, dependency-free evaluation helpers for the supervised fine-tuning
+results: confusion matrices, per-class precision/recall, and the
+reconstruction metrics the unsupervised blocks report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+def confusion_matrix(
+    true_labels: np.ndarray, predicted: np.ndarray, n_classes: Optional[int] = None
+) -> np.ndarray:
+    """C[i, j] = count of examples with true class i predicted as j."""
+    true_labels = np.asarray(true_labels).ravel()
+    predicted = np.asarray(predicted).ravel()
+    if true_labels.shape != predicted.shape:
+        raise ShapeError(
+            f"{true_labels.shape[0]} labels vs {predicted.shape[0]} predictions"
+        )
+    if true_labels.size == 0:
+        raise ConfigurationError("cannot build a confusion matrix from no examples")
+    if n_classes is None:
+        n_classes = int(max(true_labels.max(), predicted.max())) + 1
+    if true_labels.min() < 0 or predicted.min() < 0:
+        raise ConfigurationError("labels must be non-negative integers")
+    if true_labels.max() >= n_classes or predicted.max() >= n_classes:
+        raise ConfigurationError(f"labels exceed n_classes={n_classes}")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (true_labels.astype(int), predicted.astype(int)), 1)
+    return matrix
+
+
+def accuracy_score(true_labels: np.ndarray, predicted: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    matrix = confusion_matrix(true_labels, predicted)
+    return float(np.trace(matrix) / matrix.sum())
+
+
+def per_class_report(true_labels: np.ndarray, predicted: np.ndarray) -> Dict[int, Dict[str, float]]:
+    """Per-class precision / recall / F1 / support.
+
+    Classes absent from both truth and predictions are omitted; empty
+    denominators yield 0 (the sklearn convention).
+    """
+    matrix = confusion_matrix(true_labels, predicted)
+    report: Dict[int, Dict[str, float]] = {}
+    for cls in range(matrix.shape[0]):
+        tp = float(matrix[cls, cls])
+        support = float(matrix[cls].sum())
+        predicted_count = float(matrix[:, cls].sum())
+        if support == 0 and predicted_count == 0:
+            continue
+        precision = tp / predicted_count if predicted_count > 0 else 0.0
+        recall = tp / support if support > 0 else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        report[cls] = {
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+            "support": support,
+        }
+    return report
+
+
+def macro_f1(true_labels: np.ndarray, predicted: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    report = per_class_report(true_labels, predicted)
+    if not report:
+        return 0.0
+    return float(np.mean([row["f1"] for row in report.values()]))
+
+
+def mean_squared_reconstruction(x: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Per-element mean squared error between data and reconstruction."""
+    x = np.asarray(x, dtype=np.float64)
+    reconstruction = np.asarray(reconstruction, dtype=np.float64)
+    if x.shape != reconstruction.shape:
+        raise ShapeError(f"shape mismatch: {x.shape} vs {reconstruction.shape}")
+    return float(np.mean((x - reconstruction) ** 2))
+
+
+def peak_signal_to_noise(x: np.ndarray, reconstruction: np.ndarray, peak: float = 1.0) -> float:
+    """PSNR in dB (∞ for perfect reconstruction) — the image-quality view
+    of the autoencoder's output."""
+    if peak <= 0:
+        raise ConfigurationError(f"peak must be > 0, got {peak}")
+    mse = mean_squared_reconstruction(x, reconstruction)
+    if mse == 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / mse))

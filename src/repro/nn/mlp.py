@@ -1,0 +1,303 @@
+"""Deep feed-forward network with full back-propagation.
+
+The pay-off of the paper's pre-training (Fig. 1) is a deep network whose
+layers are initialised from the unsupervised blocks and then fine-tuned
+supervised.  :class:`DeepNetwork` is that network: arbitrary depth,
+sigmoid/tanh/linear hidden layers, and either a linear/sigmoid
+regression head (squared error) or a softmax classification head
+(cross-entropy).
+
+The implementation is batch-vectorised exactly like the building blocks:
+each layer is one GEMM + one element-wise map, so the timing model's
+kernel vocabulary covers fine-tuning too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import Activation, get_activation
+from repro.nn.init import uniform_fanin_init, zeros_init
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_matrix_shapes
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax."""
+    z = np.asarray(z, dtype=np.float64)
+    shifted = z - z.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer labels → one-hot rows."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ConfigurationError(f"labels must be 1-D, got ndim={labels.ndim}")
+    if labels.min() < 0 or labels.max() >= n_classes:
+        raise ConfigurationError(
+            f"labels must lie in [0, {n_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.size, n_classes), dtype=np.float64)
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+@dataclass
+class Layer:
+    """One dense layer: weights (n_out × n_in), bias, activation."""
+
+    w: np.ndarray
+    b: np.ndarray
+    activation: Activation
+
+    @property
+    def n_in(self) -> int:
+        return self.w.shape[1]
+
+    @property
+    def n_out(self) -> int:
+        return self.w.shape[0]
+
+
+class DeepNetwork:
+    """A feed-forward network of dense sigmoid-style layers.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[n_in, h1, …, n_out]``.
+    hidden_activation:
+        Activation of every hidden layer.
+    head:
+        ``"softmax"`` — classification with cross-entropy loss;
+        ``"sigmoid"`` / ``"identity"`` — regression with squared error.
+    weight_decay:
+        L2 penalty on all weight matrices (biases excluded).
+    seed:
+        Reproducible initialisation.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        hidden_activation="sigmoid",
+        head: str = "softmax",
+        weight_decay: float = 1e-4,
+        seed: SeedLike = None,
+    ):
+        if len(layer_sizes) < 2:
+            raise ConfigurationError("need at least [n_in, n_out]")
+        if any(int(s) < 1 for s in layer_sizes):
+            raise ConfigurationError(f"layer sizes must be >= 1: {layer_sizes}")
+        if head not in ("softmax", "sigmoid", "identity"):
+            raise ConfigurationError(
+                f"head must be 'softmax', 'sigmoid' or 'identity', got {head!r}"
+            )
+        if weight_decay < 0:
+            raise ConfigurationError("weight_decay must be >= 0")
+        self.layer_sizes = [int(s) for s in layer_sizes]
+        self.head = head
+        self.weight_decay = float(weight_decay)
+        hidden = get_activation(hidden_activation)
+        rng = as_generator(seed)
+        self.layers: List[Layer] = []
+        for n_in, n_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            self.layers.append(
+                Layer(
+                    w=uniform_fanin_init(n_in, n_out, rng),
+                    b=zeros_init(n_out),
+                    activation=hidden,
+                )
+            )
+        # The output layer's activation is the head (softmax applied in loss).
+        if head != "softmax":
+            self.layers[-1].activation = get_activation(head)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_in(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def n_out(self) -> int:
+        return self.layer_sizes[-1]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @classmethod
+    def from_pretrained_stack(
+        cls,
+        stack,
+        n_classes: int,
+        weight_decay: float = 1e-4,
+        seed: SeedLike = None,
+    ) -> "DeepNetwork":
+        """Build a classifier from a pre-trained stack (Fig. 1's pay-off).
+
+        Hidden layers copy the stack's encoder weights (SAE blocks use
+        (W₁, b₁); RBM blocks use (W, c)); a randomly-initialised softmax
+        layer is appended.
+        """
+        if not getattr(stack, "blocks", None):
+            raise ConfigurationError("stack has not been pre-trained")
+        sizes = list(stack.layer_sizes) + [int(n_classes)]
+        net = cls(sizes, head="softmax", weight_decay=weight_decay, seed=seed)
+        for layer, block in zip(net.layers, stack.blocks):
+            if hasattr(block, "w1"):  # SparseAutoencoder
+                layer.w = block.w1.copy()
+                layer.b = block.b1.copy()
+            elif hasattr(block, "c"):  # RBM
+                layer.w = block.w.copy()
+                layer.b = block.c.copy()
+            else:  # pragma: no cover - defensive
+                raise ConfigurationError(f"unknown block type {type(block).__name__}")
+        return net
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def _forward(self, x: np.ndarray) -> List[np.ndarray]:
+        """All layer activations, input first; softmax head returns
+        probabilities as the last entry."""
+        activations = [x]
+        out = x
+        for i, layer in enumerate(self.layers):
+            z = out @ layer.w.T + layer.b
+            if self.head == "softmax" and i == self.n_layers - 1:
+                out = softmax(z)
+            else:
+                out = layer.activation.forward(z)
+            activations.append(out)
+        return activations
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Network outputs (class probabilities for the softmax head)."""
+        x = check_matrix_shapes(x, self.n_in, "x")
+        return self._forward(x)[-1]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Argmax class labels (softmax head) or raw outputs otherwise."""
+        proba = self.predict_proba(x)
+        if self.head == "softmax":
+            return np.argmax(proba, axis=1)
+        return proba
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy against integer labels."""
+        if self.head != "softmax":
+            raise ConfigurationError("accuracy requires the softmax head")
+        return float(np.mean(self.predict(x) == np.asarray(labels)))
+
+    # ------------------------------------------------------------------
+    # loss + gradients
+    # ------------------------------------------------------------------
+    def loss(self, x: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss + L2 penalty.  ``targets`` is one-hot / real-valued
+        rows matching ``n_out`` (use :func:`one_hot` for labels)."""
+        x = check_matrix_shapes(x, self.n_in, "x")
+        targets = check_matrix_shapes(targets, self.n_out, "targets")
+        out = self._forward(x)[-1]
+        m = x.shape[0]
+        if self.head == "softmax":
+            data_loss = -float(np.sum(targets * np.log(np.clip(out, 1e-12, None)))) / m
+        else:
+            diff = out - targets
+            data_loss = 0.5 * float(np.sum(diff * diff)) / m
+        decay = 0.5 * self.weight_decay * sum(float(np.sum(l.w * l.w)) for l in self.layers)
+        return data_loss + decay
+
+    def gradients(self, x: np.ndarray, targets: np.ndarray):
+        """(loss, [(dW, db) per layer]) by back-propagation.
+
+        For the softmax head the output delta is the classic ``p − t``;
+        for regression heads it is ``(out − t)·s'(out)``.
+        """
+        x = check_matrix_shapes(x, self.n_in, "x")
+        targets = check_matrix_shapes(targets, self.n_out, "targets")
+        m = x.shape[0]
+        activations = self._forward(x)
+        out = activations[-1]
+
+        if self.head == "softmax":
+            loss = -float(np.sum(targets * np.log(np.clip(out, 1e-12, None)))) / m
+            delta = (out - targets) / m
+        else:
+            diff = out - targets
+            loss = 0.5 * float(np.sum(diff * diff)) / m
+            delta = diff * self.layers[-1].activation.grad_from_output(out) / m
+        loss += 0.5 * self.weight_decay * sum(
+            float(np.sum(l.w * l.w)) for l in self.layers
+        )
+
+        grads: List[Tuple[np.ndarray, np.ndarray]] = [None] * self.n_layers
+        for i in range(self.n_layers - 1, -1, -1):
+            layer = self.layers[i]
+            a_prev = activations[i]
+            grads[i] = (
+                delta.T @ a_prev + self.weight_decay * layer.w,
+                delta.sum(axis=0),
+            )
+            if i > 0:
+                back = delta @ layer.w
+                delta = back * self.layers[i - 1].activation.grad_from_output(
+                    activations[i]
+                )
+        return loss, grads
+
+    def apply_update(self, grads, learning_rate: float) -> None:
+        """In-place gradient-descent step."""
+        for layer, (dw, db) in zip(self.layers, grads):
+            layer.w -= learning_rate * dw
+            layer.b -= learning_rate * db
+
+    # ------------------------------------------------------------------
+    # flat interface (shared with the batch optimizers)
+    # ------------------------------------------------------------------
+    @property
+    def n_parameters(self) -> int:
+        return sum(l.w.size + l.b.size for l in self.layers)
+
+    def get_flat_parameters(self) -> np.ndarray:
+        return np.concatenate(
+            [np.concatenate([l.w.ravel(), l.b.ravel()]) for l in self.layers]
+        )
+
+    def set_flat_parameters(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=np.float64).ravel()
+        if theta.size != self.n_parameters:
+            raise ConfigurationError(
+                f"flat vector has {theta.size} entries, model needs {self.n_parameters}"
+            )
+        idx = 0
+        for layer in self.layers:
+            w_size = layer.w.size
+            layer.w = theta[idx : idx + w_size].reshape(layer.w.shape).copy()
+            idx += w_size
+            b_size = layer.b.size
+            layer.b = theta[idx : idx + b_size].copy()
+            idx += b_size
+
+    def flat_loss_and_grad(self, theta: np.ndarray, x: np.ndarray, targets: np.ndarray):
+        """Optimizer callback: (loss, flat grad) at parameters ``theta``."""
+        saved = self.get_flat_parameters()
+        try:
+            self.set_flat_parameters(theta)
+            loss, grads = self.gradients(x, targets)
+        finally:
+            self.set_flat_parameters(saved)
+        flat = np.concatenate(
+            [np.concatenate([dw.ravel(), db.ravel()]) for dw, db in grads]
+        )
+        return loss, flat
+
+    def __repr__(self) -> str:
+        return f"DeepNetwork(layer_sizes={self.layer_sizes}, head={self.head!r})"

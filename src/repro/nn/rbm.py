@@ -1,0 +1,219 @@
+"""Restricted Boltzmann Machine with contrastive divergence (paper §II.B.2).
+
+Binary-binary RBM over visible units v and hidden units h with energy
+
+    E(v, h) = −bᵀv − cᵀh − hᵀWv                        (Eq. 7)
+
+conditionals
+
+    p(vᵢ=1|h) = s(bᵢ + Wᵀ⋅ᵢ h)                          (Eq. 8)
+    p(hⱼ=1|v) = s(cⱼ + Wⱼ⋅ v)                           (Eq. 9)
+
+and the CD-k weight update (Eq. 13 for k=1)
+
+    ΔW = η(⟨vh⟩_data − ⟨vh⟩_sample).
+
+The Gibbs chain follows Hinton's practical guide: hidden states are sampled
+binary; the reconstruction and final statistics use probabilities
+(mean-field) to reduce sampling noise, with a switch to sample everything
+when exact CD semantics are wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.init import normal_init, zeros_init
+from repro.utils.mathx import logistic_log1pexp, sigmoid
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_int, check_matrix_shapes, check_positive
+
+
+@dataclass
+class CDStatistics:
+    """Sufficient statistics of one contrastive-divergence evaluation.
+
+    ``grad_*`` follow the *ascent* convention of Eqs. 10–12 (they point in
+    the direction of increasing log-likelihood); trainers add
+    ``learning_rate * grad`` (Eq. 13).
+    """
+
+    grad_w: np.ndarray
+    grad_b: np.ndarray  # visible biases
+    grad_c: np.ndarray  # hidden biases
+    reconstruction_error: float
+
+    def norm(self) -> float:
+        """Euclidean norm over all gradient components."""
+        return float(
+            np.sqrt(
+                np.sum(self.grad_w**2)
+                + np.sum(self.grad_b**2)
+                + np.sum(self.grad_c**2)
+            )
+        )
+
+
+class RBM:
+    """Binary-binary Restricted Boltzmann Machine.
+
+    Parameters
+    ----------
+    n_visible, n_hidden:
+        Layer widths.  ``W`` has shape (n_hidden, n_visible), matching
+        Eq. 9's ``Wv``.
+    weight_scale:
+        Std-dev of the Gaussian weight init (Hinton's guide: 0.01).
+    seed:
+        Reproducible initialisation and Gibbs sampling.
+    """
+
+    def __init__(
+        self,
+        n_visible: int,
+        n_hidden: int,
+        weight_scale: float = 0.01,
+        seed: SeedLike = None,
+    ):
+        self.n_visible = check_int(n_visible, "n_visible", minimum=1)
+        self.n_hidden = check_int(n_hidden, "n_hidden", minimum=1)
+        check_positive(weight_scale, "weight_scale")
+        self._rng = as_generator(seed)
+        self.w = normal_init(self.n_visible, self.n_hidden, weight_scale, self._rng)
+        self.b = zeros_init(self.n_visible)  # visible bias
+        self.c = zeros_init(self.n_hidden)  # hidden bias
+
+    # ------------------------------------------------------------------
+    # conditionals (Eqs. 8-9), batch vectorised — the paper's Eqs. 14-15
+    # ------------------------------------------------------------------
+    def hidden_probabilities(self, v: np.ndarray) -> np.ndarray:
+        """p(h=1|v) for a batch of visibles (Eq. 9 / vector Eq. 15)."""
+        v = check_matrix_shapes(v, self.n_visible, "v")
+        return sigmoid(v @ self.w.T + self.c)
+
+    def visible_probabilities(self, h: np.ndarray) -> np.ndarray:
+        """p(v=1|h) for a batch of hiddens (Eq. 8 / vector Eq. 14)."""
+        h = check_matrix_shapes(h, self.n_hidden, "h")
+        return sigmoid(h @ self.w + self.b)
+
+    def sample_hidden(self, v: np.ndarray, rng=None) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample binary hidden states; returns (probabilities, samples)."""
+        gen = self._rng if rng is None else as_generator(rng)
+        probs = self.hidden_probabilities(v)
+        return probs, (gen.random(probs.shape) < probs).astype(np.float64)
+
+    def sample_visible(self, h: np.ndarray, rng=None) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample binary visible states; returns (probabilities, samples)."""
+        gen = self._rng if rng is None else as_generator(rng)
+        probs = self.visible_probabilities(h)
+        return probs, (gen.random(probs.shape) < probs).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # energies
+    # ------------------------------------------------------------------
+    def energy(self, v: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Joint energy E(v, h) per row (Eq. 7)."""
+        v = check_matrix_shapes(v, self.n_visible, "v")
+        h = check_matrix_shapes(h, self.n_hidden, "h")
+        return -(v @ self.b) - (h @ self.c) - np.einsum("ij,ij->i", h @ self.w, v)
+
+    def free_energy(self, v: np.ndarray) -> np.ndarray:
+        """F(v) = −bᵀv − Σⱼ log(1 + exp(cⱼ + Wⱼ·v)), per row.
+
+        Monotone tracking quantity: CD training should (noisily) lower the
+        free energy of the training data.
+        """
+        v = check_matrix_shapes(v, self.n_visible, "v")
+        pre = v @ self.w.T + self.c
+        return -(v @ self.b) - logistic_log1pexp(pre).sum(axis=1)
+
+    def log_partition_exact(self) -> float:
+        """Exact log Z by enumerating all visible configurations.
+
+        Exponential in ``n_visible`` — test-sized models only (≤ ~16 units).
+        Summing over hiddens analytically keeps it 2^n_visible, not
+        2^(n_visible+n_hidden).
+        """
+        if self.n_visible > 20:
+            raise ValueError("exact partition function is intractable beyond 20 visibles")
+        n = self.n_visible
+        configs = ((np.arange(2**n)[:, None] >> np.arange(n)[None, :]) & 1).astype(
+            np.float64
+        )
+        from repro.utils.mathx import log_sum_exp
+
+        return float(log_sum_exp(-self.free_energy(configs)))
+
+    # ------------------------------------------------------------------
+    # contrastive divergence (Eqs. 10-13)
+    # ------------------------------------------------------------------
+    def contrastive_divergence(
+        self,
+        v0: np.ndarray,
+        k: int = 1,
+        rng=None,
+        sample_visible: bool = False,
+    ) -> CDStatistics:
+        """CD-k sufficient statistics for a mini-batch ``v0``.
+
+        Parameters
+        ----------
+        k:
+            Number of Gibbs steps (the paper uses k=1).
+        sample_visible:
+            When True the reconstruction is sampled binary instead of the
+            mean-field probabilities (Hinton's guide recommends
+            probabilities; exact-CD tests use samples).
+        """
+        v0 = check_matrix_shapes(v0, self.n_visible, "v0")
+        k = check_int(k, "k", minimum=1)
+        gen = self._rng if rng is None else as_generator(rng)
+        m = v0.shape[0]
+
+        h0_probs, h_samples = self.sample_hidden(v0, gen)
+        vk = v0
+        hk_probs = h0_probs
+        for _ in range(k):
+            v_probs = self.visible_probabilities(h_samples)
+            if sample_visible:
+                vk = (gen.random(v_probs.shape) < v_probs).astype(np.float64)
+            else:
+                vk = v_probs
+            hk_probs = self.hidden_probabilities(vk)
+            h_samples = (gen.random(hk_probs.shape) < hk_probs).astype(np.float64)
+
+        # positive/negative phase statistics, normalised by batch size
+        grad_w = (h0_probs.T @ v0 - hk_probs.T @ vk) / m
+        grad_b = (v0 - vk).mean(axis=0)
+        grad_c = (h0_probs - hk_probs).mean(axis=0)
+        err = float(np.mean(np.sum((v0 - vk) ** 2, axis=1)))
+        return CDStatistics(grad_w, grad_b, grad_c, err)
+
+    def apply_update(self, stats: CDStatistics, learning_rate: float) -> None:
+        """In-place ascent step Δθ = η·grad (Eq. 13 / vector Eqs. 16–18)."""
+        self.w += learning_rate * stats.grad_w
+        self.b += learning_rate * stats.grad_b
+        self.c += learning_rate * stats.grad_c
+
+    # ------------------------------------------------------------------
+    def transform(self, v: np.ndarray) -> np.ndarray:
+        """Feature extraction: p(h=1|v), the DBN's layer-to-layer mapping."""
+        return self.hidden_probabilities(v)
+
+    def reconstruct(self, v: np.ndarray) -> np.ndarray:
+        """One mean-field down-up pass (for monitoring reconstruction)."""
+        return self.visible_probabilities(self.hidden_probabilities(v))
+
+    def copy(self) -> "RBM":
+        """Deep copy with identical parameters (fresh RNG stream)."""
+        clone = RBM(self.n_visible, self.n_hidden)
+        clone.w = self.w.copy()
+        clone.b = self.b.copy()
+        clone.c = self.c.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        return f"RBM(n_visible={self.n_visible}, n_hidden={self.n_hidden})"

@@ -1,0 +1,211 @@
+"""Greedy layer-wise pre-training containers (paper §II.A, Fig. 1).
+
+A deep network of L+1 layers is decomposed into L unsupervised building
+blocks.  Block i is trained on the hidden representation produced by the
+already-trained blocks 1..i−1; the original data feeds block 1.  Both
+flavours from the paper are provided:
+
+* :class:`StackedAutoencoder` — blocks are sparse autoencoders;
+* :class:`DeepBeliefNetwork` — blocks are RBMs (Hinton's DBN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.rbm import RBM
+from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.validation import check_matrix_shapes
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Training hyper-parameters for one building block of the stack."""
+
+    n_hidden: int
+    learning_rate: float = 0.1
+    epochs: int = 5
+    batch_size: int = 100
+
+    def __post_init__(self):
+        if self.n_hidden < 1:
+            raise ConfigurationError(f"n_hidden must be >= 1, got {self.n_hidden}")
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ConfigurationError("epochs and batch_size must be >= 1")
+
+
+def _minibatches(x: np.ndarray, batch_size: int, rng: np.random.Generator):
+    """Yield shuffled mini-batch views of ``x`` for one epoch."""
+    order = rng.permutation(x.shape[0])
+    for start in range(0, x.shape[0], batch_size):
+        yield x[order[start : start + batch_size]]
+
+
+class _GreedyStack:
+    """Shared machinery for layer-wise stacks; subclasses plug in the block type."""
+
+    def __init__(self, n_visible: int, layer_specs: Sequence[LayerSpec], seed: SeedLike = None):
+        if not layer_specs:
+            raise ConfigurationError("a stack needs at least one layer")
+        self.n_visible = int(n_visible)
+        self.layer_specs: List[LayerSpec] = list(layer_specs)
+        self._seed = seed
+        self.blocks: list = []
+        self.layer_errors: List[List[float]] = []
+
+    @property
+    def layer_sizes(self) -> List[int]:
+        """[n_visible, h₁, h₂, …] — the deep network's layer widths."""
+        return [self.n_visible] + [s.n_hidden for s in self.layer_specs]
+
+    @property
+    def is_trained(self) -> bool:
+        return len(self.blocks) == len(self.layer_specs)
+
+    def _make_block(self, n_in: int, spec: LayerSpec, rng):
+        raise NotImplementedError
+
+    def _train_block(self, block, x, spec: LayerSpec, rng) -> List[float]:
+        raise NotImplementedError
+
+    def _block_transform(self, block, x) -> np.ndarray:
+        raise NotImplementedError
+
+    def pretrain(
+        self,
+        x: np.ndarray,
+        callback: Optional[Callable[[int, object, List[float]], None]] = None,
+    ) -> "_GreedyStack":
+        """Run the greedy layer-wise procedure of paper Fig. 1.
+
+        ``callback(layer_index, block, per_epoch_errors)`` fires after each
+        block finishes, letting callers monitor the cascade.
+        """
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        self.blocks = []
+        self.layer_errors = []
+        rngs = spawn_generators(self._seed, 2 * len(self.layer_specs))
+        current = x
+        n_in = self.n_visible
+        for i, spec in enumerate(self.layer_specs):
+            block = self._make_block(n_in, spec, rngs[2 * i])
+            errors = self._train_block(block, current, spec, rngs[2 * i + 1])
+            self.blocks.append(block)
+            self.layer_errors.append(errors)
+            if callback is not None:
+                callback(i, block, errors)
+            # The output dataset of this block becomes the next training set
+            # (paper: "the output dataset is then used as the input training
+            # set of the second Autoencoder").
+            current = self._block_transform(block, current)
+            n_in = spec.n_hidden
+        return self
+
+    def transform(self, x: np.ndarray, n_layers: Optional[int] = None) -> np.ndarray:
+        """Propagate ``x`` through the first ``n_layers`` trained blocks."""
+        if not self.blocks:
+            raise ConfigurationError("stack has not been pre-trained yet")
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        depth = len(self.blocks) if n_layers is None else n_layers
+        if not 0 <= depth <= len(self.blocks):
+            raise ConfigurationError(
+                f"n_layers must be in [0, {len(self.blocks)}], got {n_layers}"
+            )
+        out = x
+        for block in self.blocks[:depth]:
+            out = self._block_transform(block, out)
+        return out
+
+
+class StackedAutoencoder(_GreedyStack):
+    """Stack of sparse autoencoders (the paper's Table I workload shape).
+
+    Parameters
+    ----------
+    n_visible:
+        Input dimensionality.
+    layer_specs:
+        One :class:`LayerSpec` per autoencoder in the stack.
+    cost:
+        Shared objective hyper-parameters for every block.
+    """
+
+    def __init__(
+        self,
+        n_visible: int,
+        layer_specs: Sequence[LayerSpec],
+        cost: Optional[SparseAutoencoderCost] = None,
+        seed: SeedLike = None,
+    ):
+        super().__init__(n_visible, layer_specs, seed)
+        self.cost = cost if cost is not None else SparseAutoencoderCost()
+
+    def _make_block(self, n_in, spec, rng):
+        return SparseAutoencoder(n_in, spec.n_hidden, cost=self.cost, seed=rng)
+
+    def _train_block(self, block: SparseAutoencoder, x, spec, rng):
+        errors = []
+        for _ in range(spec.epochs):
+            for batch in _minibatches(x, spec.batch_size, rng):
+                _, grads = block.gradients(batch)
+                block.apply_update(grads, spec.learning_rate)
+            errors.append(block.reconstruction_error(x))
+        return errors
+
+    def _block_transform(self, block: SparseAutoencoder, x):
+        return block.encode(x)
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        """Encode through the full stack, then decode back layer by layer."""
+        if not self.blocks:
+            raise ConfigurationError("stack has not been pre-trained yet")
+        code = self.transform(x)
+        out = code
+        for block in reversed(self.blocks):
+            out = block.decode(out)
+        return out
+
+
+class DeepBeliefNetwork(_GreedyStack):
+    """Stack of RBMs trained with CD-1 — Hinton's DBN (paper §I)."""
+
+    def __init__(
+        self,
+        n_visible: int,
+        layer_specs: Sequence[LayerSpec],
+        cd_k: int = 1,
+        seed: SeedLike = None,
+    ):
+        super().__init__(n_visible, layer_specs, seed)
+        if cd_k < 1:
+            raise ConfigurationError(f"cd_k must be >= 1, got {cd_k}")
+        self.cd_k = int(cd_k)
+
+    def _make_block(self, n_in, spec, rng):
+        return RBM(n_in, spec.n_hidden, seed=rng)
+
+    def _train_block(self, block: RBM, x, spec, rng):
+        errors = []
+        for _ in range(spec.epochs):
+            epoch_err = 0.0
+            n_batches = 0
+            for batch in _minibatches(x, spec.batch_size, rng):
+                stats = block.contrastive_divergence(batch, k=self.cd_k, rng=rng)
+                block.apply_update(stats, spec.learning_rate)
+                epoch_err += stats.reconstruction_error
+                n_batches += 1
+            errors.append(epoch_err / max(n_batches, 1))
+        return errors
+
+    def _block_transform(self, block: RBM, x):
+        return block.transform(x)

@@ -1,0 +1,35 @@
+"""Optimizer substrate.
+
+The paper trains with mini-batch gradient descent (its Algorithm 1) and, in
+§III, discusses the batch alternatives that parallelize better — L-BFGS and
+conjugate gradient.  All are implemented here against a single flat-vector
+interface: ``f(theta) -> (loss, grad)``.
+"""
+
+from repro.optim.sgd import SGD, SGDResult
+from repro.optim.schedules import (
+    ConstantSchedule,
+    InverseTimeDecaySchedule,
+    ExponentialDecaySchedule,
+    AdaGradSchedule,
+    get_schedule,
+)
+from repro.optim.linesearch import backtracking_line_search, wolfe_line_search
+from repro.optim.cg import nonlinear_conjugate_gradient, CGResult
+from repro.optim.lbfgs import lbfgs_minimize, LBFGSResult
+
+__all__ = [
+    "SGD",
+    "SGDResult",
+    "ConstantSchedule",
+    "InverseTimeDecaySchedule",
+    "ExponentialDecaySchedule",
+    "AdaGradSchedule",
+    "get_schedule",
+    "backtracking_line_search",
+    "wolfe_line_search",
+    "nonlinear_conjugate_gradient",
+    "CGResult",
+    "lbfgs_minimize",
+    "LBFGSResult",
+]

@@ -1,0 +1,124 @@
+"""Limited-memory BFGS (paper §III, ref [24] Liu & Nocedal).
+
+Two-loop recursion with a strong-Wolfe line search and curvature-pair
+screening (pairs with sᵀy ≤ ε‖s‖‖y‖ are dropped so the implicit Hessian
+stays positive definite).  This is the batch method the paper's related
+work recommends for parallel deep-learning training.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.optim.linesearch import wolfe_line_search
+from repro.utils.validation import check_int, check_positive
+
+
+@dataclass
+class LBFGSResult:
+    """Outcome of an L-BFGS run."""
+
+    theta: np.ndarray
+    loss: float
+    grad_norm: float
+    n_iterations: int
+    converged: bool
+    losses: List[float] = field(default_factory=list)
+
+
+def _two_loop_direction(grad, s_list, y_list, rho_list):
+    """Compute −H·grad via the standard two-loop recursion."""
+    q = grad.copy()
+    alphas = []
+    for s, y, rho in zip(reversed(s_list), reversed(y_list), reversed(rho_list)):
+        a = rho * np.dot(s, q)
+        alphas.append(a)
+        q -= a * y
+    if s_list:
+        s, y = s_list[-1], y_list[-1]
+        gamma = np.dot(s, y) / max(np.dot(y, y), 1e-300)
+        q *= gamma
+    for (s, y, rho), a in zip(zip(s_list, y_list, rho_list), reversed(alphas)):
+        b = rho * np.dot(y, q)
+        q += (a - b) * s
+    return -q
+
+
+def lbfgs_minimize(
+    f: Callable[[np.ndarray], Tuple[float, np.ndarray]],
+    theta0: np.ndarray,
+    memory: int = 10,
+    max_iterations: int = 100,
+    grad_tolerance: float = 1e-5,
+    loss_tolerance: float = 0.0,
+) -> LBFGSResult:
+    """Minimise ``f(theta) -> (loss, grad)`` with L-BFGS.
+
+    Parameters
+    ----------
+    memory:
+        Number of curvature pairs retained (the "limited" in L-BFGS).
+    loss_tolerance:
+        Optional early stop when the relative loss decrease falls below
+        this value; 0 disables it.
+    """
+    check_int(memory, "memory", minimum=1)
+    check_int(max_iterations, "max_iterations", minimum=1)
+    check_positive(grad_tolerance, "grad_tolerance")
+    theta = np.asarray(theta0, dtype=np.float64).ravel().copy()
+
+    loss, grad = f(theta)
+    grad = np.asarray(grad, dtype=np.float64).ravel()
+    losses = [float(loss)]
+    s_hist: deque = deque(maxlen=memory)
+    y_hist: deque = deque(maxlen=memory)
+    rho_hist: deque = deque(maxlen=memory)
+
+    for it in range(max_iterations):
+        gnorm = float(np.linalg.norm(grad))
+        if gnorm <= grad_tolerance:
+            return LBFGSResult(theta, float(loss), gnorm, it, True, losses)
+
+        direction = _two_loop_direction(grad, list(s_hist), list(y_hist), list(rho_hist))
+        if float(np.dot(direction, grad)) >= 0:
+            direction = -grad  # Hessian approximation degraded; restart.
+            s_hist.clear(), y_hist.clear(), rho_hist.clear()
+
+        try:
+            alpha, new_loss, new_grad = wolfe_line_search(
+                f, theta, direction, float(loss), grad, alpha0=1.0
+            )
+        except ConvergenceError:
+            direction = -grad
+            s_hist.clear(), y_hist.clear(), rho_hist.clear()
+            alpha, new_loss, new_grad = wolfe_line_search(
+                f, theta, direction, float(loss), grad, alpha0=1.0
+            )
+
+        new_theta = theta + alpha * direction
+        new_grad = np.asarray(new_grad, dtype=np.float64).ravel()
+        s = new_theta - theta
+        y = new_grad - grad
+        sy = float(np.dot(s, y))
+        # Screen non-positive curvature pairs (keeps H positive definite).
+        if sy > 1e-10 * float(np.linalg.norm(s)) * float(np.linalg.norm(y)):
+            s_hist.append(s)
+            y_hist.append(y)
+            rho_hist.append(1.0 / sy)
+
+        rel_decrease = (loss - new_loss) / max(abs(loss), 1e-300)
+        theta, loss, grad = new_theta, new_loss, new_grad
+        losses.append(float(loss))
+        if loss_tolerance > 0 and 0 <= rel_decrease < loss_tolerance:
+            return LBFGSResult(
+                theta, float(loss), float(np.linalg.norm(grad)), it + 1, True, losses
+            )
+
+    return LBFGSResult(
+        theta, float(loss), float(np.linalg.norm(grad)), max_iterations, False, losses
+    )

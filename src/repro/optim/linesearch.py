@@ -1,0 +1,107 @@
+"""Line searches for the batch optimizers (CG and L-BFGS, paper §III).
+
+Two standard searches over φ(α) = f(θ + α·d):
+
+* :func:`backtracking_line_search` — Armijo sufficient decrease only; cheap
+  and robust, used by CG.
+* :func:`wolfe_line_search` — strong Wolfe conditions via the classic
+  bracket/zoom procedure (Nocedal & Wright Alg. 3.5/3.6), required by
+  L-BFGS so the curvature pairs stay positive-definite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+
+def backtracking_line_search(
+    f: Callable[[np.ndarray], Tuple[float, np.ndarray]],
+    theta: np.ndarray,
+    direction: np.ndarray,
+    loss0: float,
+    grad0: np.ndarray,
+    alpha0: float = 1.0,
+    shrink: float = 0.5,
+    c1: float = 1e-4,
+    max_steps: int = 50,
+) -> Tuple[float, float, np.ndarray]:
+    """Armijo backtracking; returns (alpha, loss, grad) at the accepted point.
+
+    Requires ``direction`` to be a descent direction (gᵀd < 0); raises
+    :class:`ConvergenceError` when no step satisfies sufficient decrease.
+    """
+    slope = float(np.dot(grad0, direction))
+    if slope >= 0:
+        raise ConvergenceError(f"not a descent direction (gᵀd = {slope:.3e} >= 0)")
+    alpha = float(alpha0)
+    for _ in range(max_steps):
+        loss, grad = f(theta + alpha * direction)
+        if np.isfinite(loss) and loss <= loss0 + c1 * alpha * slope:
+            return alpha, float(loss), np.asarray(grad)
+        alpha *= shrink
+    raise ConvergenceError(
+        f"backtracking failed to find sufficient decrease after {max_steps} halvings"
+    )
+
+
+def wolfe_line_search(
+    f: Callable[[np.ndarray], Tuple[float, np.ndarray]],
+    theta: np.ndarray,
+    direction: np.ndarray,
+    loss0: float,
+    grad0: np.ndarray,
+    c1: float = 1e-4,
+    c2: float = 0.9,
+    alpha0: float = 1.0,
+    alpha_max: float = 100.0,
+    max_iters: int = 30,
+) -> Tuple[float, float, np.ndarray]:
+    """Strong-Wolfe line search; returns (alpha, loss, grad).
+
+    Satisfies  f(θ+αd) ≤ f₀ + c₁·α·g₀ᵀd  and  |g(θ+αd)ᵀd| ≤ c₂·|g₀ᵀd|.
+    """
+    slope0 = float(np.dot(grad0, direction))
+    if slope0 >= 0:
+        raise ConvergenceError(f"not a descent direction (gᵀd = {slope0:.3e} >= 0)")
+
+    def phi(alpha):
+        loss, grad = f(theta + alpha * direction)
+        return float(loss), np.asarray(grad), float(np.dot(grad, direction))
+
+    def zoom(alo, ahi, flo):
+        for _ in range(max_iters):
+            a = 0.5 * (alo + ahi)
+            fa, ga, sa = phi(a)
+            if fa > loss0 + c1 * a * slope0 or fa >= flo:
+                ahi = a
+            else:
+                if abs(sa) <= -c2 * slope0:
+                    return a, fa, ga
+                if sa * (ahi - alo) >= 0:
+                    ahi = alo
+                alo, flo = a, fa
+        # Bracket collapsed without meeting the curvature condition; the
+        # Armijo point is still a safe decrease step.
+        fa, ga, _ = phi(alo)
+        return alo, fa, ga
+
+    a_prev, f_prev = 0.0, loss0
+    a = float(alpha0)
+    for i in range(max_iters):
+        fa, ga, sa = phi(a)
+        if fa > loss0 + c1 * a * slope0 or (i > 0 and fa >= f_prev):
+            return zoom(a_prev, a, f_prev)
+        if abs(sa) <= -c2 * slope0:
+            return a, fa, ga
+        if sa >= 0:
+            return zoom(a, a_prev, fa)
+        a_prev, f_prev = a, fa
+        a = min(2.0 * a, alpha_max)
+        if a >= alpha_max:
+            fa, ga, _ = phi(alpha_max)
+            return alpha_max, fa, ga
+    raise ConvergenceError(f"Wolfe line search failed after {max_iters} expansions")

@@ -1,0 +1,134 @@
+"""Learning-rate schedules (paper §III, first category of speedups).
+
+The paper notes that "using changing learning rate instead of constant
+learning rate has reduced the iterations needed to converge" [20–22].  Each
+schedule maps an update index (and, for AdaGrad, the gradient) to a
+per-update learning rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+class Schedule:
+    """Interface: ``rate(t, grad)`` returns the step size for update ``t`` (0-based)."""
+
+    def rate(self, t: int, grad=None):
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any accumulated state (AdaGrad); default is stateless."""
+
+
+class ConstantSchedule(Schedule):
+    """η(t) = η₀ — the paper's own setting."""
+
+    def __init__(self, base_rate: float):
+        check_positive(base_rate, "base_rate")
+        self.base_rate = float(base_rate)
+
+    def rate(self, t: int, grad=None) -> float:
+        return self.base_rate
+
+    def __repr__(self):
+        return f"ConstantSchedule({self.base_rate})"
+
+
+class InverseTimeDecaySchedule(Schedule):
+    """η(t) = η₀ / (1 + t/τ) — the classic Robbins–Monro-compatible decay."""
+
+    def __init__(self, base_rate: float, decay_steps: float = 100.0):
+        check_positive(base_rate, "base_rate")
+        check_positive(decay_steps, "decay_steps")
+        self.base_rate = float(base_rate)
+        self.decay_steps = float(decay_steps)
+
+    def rate(self, t: int, grad=None) -> float:
+        return self.base_rate / (1.0 + t / self.decay_steps)
+
+    def __repr__(self):
+        return f"InverseTimeDecaySchedule({self.base_rate}, tau={self.decay_steps})"
+
+
+class ExponentialDecaySchedule(Schedule):
+    """η(t) = η₀ · γ^(t/τ) with 0 < γ < 1."""
+
+    def __init__(self, base_rate: float, gamma: float = 0.95, decay_steps: float = 100.0):
+        check_positive(base_rate, "base_rate")
+        if not 0.0 < gamma < 1.0:
+            raise ConfigurationError(f"gamma must lie in (0,1), got {gamma}")
+        check_positive(decay_steps, "decay_steps")
+        self.base_rate = float(base_rate)
+        self.gamma = float(gamma)
+        self.decay_steps = float(decay_steps)
+
+    def rate(self, t: int, grad=None) -> float:
+        return self.base_rate * self.gamma ** (t / self.decay_steps)
+
+    def __repr__(self):
+        return (
+            f"ExponentialDecaySchedule({self.base_rate}, gamma={self.gamma}, "
+            f"tau={self.decay_steps})"
+        )
+
+
+class AdaGradSchedule(Schedule):
+    """Per-coordinate adaptive rates η₀ / sqrt(ε + Σ g²) (adaptive SGD [21]).
+
+    Unlike the scalar schedules, ``rate`` returns an array matched to the
+    gradient's shape; callers multiply elementwise.
+    """
+
+    def __init__(self, base_rate: float, epsilon: float = 1e-8):
+        check_positive(base_rate, "base_rate")
+        # epsilon=0 is legal: the accumulator is charged before dividing, so
+        # the denominator is only zero where the gradient itself is zero.
+        check_positive(epsilon, "epsilon", strict=False)
+        self.base_rate = float(base_rate)
+        self.epsilon = float(epsilon)
+        self._accum = None
+
+    def rate(self, t: int, grad=None):
+        if grad is None:
+            raise ConfigurationError("AdaGradSchedule.rate requires the gradient")
+        g = np.asarray(grad, dtype=np.float64)
+        if self._accum is None:
+            self._accum = np.zeros_like(g)
+        if self._accum.shape != g.shape:
+            raise ConfigurationError(
+                f"gradient shape changed from {self._accum.shape} to {g.shape}"
+            )
+        self._accum += g * g
+        return self.base_rate / np.sqrt(self.epsilon + self._accum)
+
+    def reset(self) -> None:
+        self._accum = None
+
+    def __repr__(self):
+        return f"AdaGradSchedule({self.base_rate})"
+
+
+_BY_NAME = {
+    "constant": ConstantSchedule,
+    "inverse_time": InverseTimeDecaySchedule,
+    "exponential": ExponentialDecaySchedule,
+    "adagrad": AdaGradSchedule,
+}
+
+
+def get_schedule(spec, base_rate: float = 0.1) -> Schedule:
+    """Coerce a name or instance into a :class:`Schedule`."""
+    if isinstance(spec, Schedule):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _BY_NAME[spec](base_rate)
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown schedule {spec!r}; choose from {sorted(_BY_NAME)}"
+            ) from None
+    raise ConfigurationError(f"cannot interpret {spec!r} as a schedule")

@@ -1,0 +1,138 @@
+"""Mini-batch stochastic gradient descent (the paper's Algorithm 1 core).
+
+Operates on the flat-vector interface: the objective callback receives the
+parameter vector and a mini-batch and returns ``(loss, grad)``.  Momentum
+and learning-rate schedules are optional extras the paper's related-work
+section motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.optim.schedules import ConstantSchedule, Schedule, get_schedule
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_int, check_positive
+
+
+@dataclass
+class SGDResult:
+    """Outcome of an SGD run."""
+
+    theta: np.ndarray
+    losses: List[float] = field(default_factory=list)  # per-update losses
+    epoch_losses: List[float] = field(default_factory=list)  # mean per epoch
+    n_updates: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class SGD:
+    """Mini-batch SGD with optional momentum and schedule.
+
+    Parameters
+    ----------
+    learning_rate:
+        Base step size (may be wrapped by ``schedule``).
+    momentum:
+        Momentum coefficient in [0, 1); 0 disables it.
+    nesterov:
+        Use Nesterov's accelerated variant (gradient evaluated after the
+        momentum look-ahead, implemented in the standard rearranged
+        form); requires ``momentum > 0``.
+    schedule:
+        A :class:`repro.optim.schedules.Schedule` or name; scalar schedules
+        scale the step, AdaGrad returns per-coordinate steps.
+    shuffle:
+        Reshuffle example order every epoch (paper draws random batches).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        schedule=None,
+        shuffle: bool = True,
+        seed: SeedLike = None,
+    ):
+        check_positive(learning_rate, "learning_rate")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must lie in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ConfigurationError("nesterov requires momentum > 0")
+        self.learning_rate = float(learning_rate)
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self.schedule: Schedule = (
+            ConstantSchedule(learning_rate)
+            if schedule is None
+            else get_schedule(schedule, learning_rate)
+        )
+        self.shuffle = bool(shuffle)
+        self._rng = as_generator(seed)
+
+    def minimize(
+        self,
+        objective: Callable[[np.ndarray, np.ndarray], tuple],
+        theta0: np.ndarray,
+        data: np.ndarray,
+        batch_size: int,
+        epochs: int,
+        callback: Optional[Callable[[int, float, np.ndarray], None]] = None,
+    ) -> SGDResult:
+        """Run ``epochs`` passes of mini-batch SGD over ``data``.
+
+        ``objective(theta, batch)`` must return ``(loss, grad)`` with
+        ``grad`` already averaged over the batch.  ``callback(update_index,
+        loss, theta)`` fires after every update.
+        """
+        check_int(batch_size, "batch_size", minimum=1)
+        check_int(epochs, "epochs", minimum=1)
+        theta = np.asarray(theta0, dtype=np.float64).ravel().copy()
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ConfigurationError("data must be 2-D (samples x features)")
+        velocity = np.zeros_like(theta)
+        self.schedule.reset()
+
+        result = SGDResult(theta=theta)
+        t = 0
+        n = data.shape[0]
+        for _epoch in range(epochs):
+            order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+            epoch_losses = []
+            for start in range(0, n, batch_size):
+                batch = data[order[start : start + batch_size]]
+                loss, grad = objective(theta, batch)
+                grad = np.asarray(grad, dtype=np.float64).ravel()
+                if grad.shape != theta.shape:
+                    raise ConfigurationError(
+                        f"objective returned gradient of shape {grad.shape}, "
+                        f"expected {theta.shape}"
+                    )
+                step = self.schedule.rate(t, grad) * grad
+                if self.momentum > 0.0:
+                    velocity = self.momentum * velocity - step
+                    if self.nesterov:
+                        # Rearranged NAG: apply momentum look-ahead directly.
+                        theta += self.momentum * velocity - step
+                    else:
+                        theta += velocity
+                else:
+                    theta -= step
+                result.losses.append(float(loss))
+                epoch_losses.append(float(loss))
+                t += 1
+                if callback is not None:
+                    callback(t, float(loss), theta)
+            result.epoch_losses.append(float(np.mean(epoch_losses)))
+        result.theta = theta
+        result.n_updates = t
+        return result

@@ -1,0 +1,80 @@
+"""Simulated many-core hardware substrate.
+
+The paper's experiments ran on an Intel Xeon Phi 5110P coprocessor and an
+Intel Xeon E5620 host.  Neither is available (nor useful under Python's
+GIL), so this package implements the standard architecture-simulation
+split: *functional* results come from NumPy, *timing* comes from a
+calibrated analytic + discrete-event model of the machines —
+
+* :mod:`repro.phi.spec` — machine parameter catalogue;
+* :mod:`repro.phi.kernels` — the kernel vocabulary (GEMM, elementwise,
+  reduction, sampling, transfers, barriers);
+* :mod:`repro.phi.costmodel` — roofline timing of a kernel on a machine;
+* :mod:`repro.phi.memory` — device-memory allocator (the 8 GB GDDR5 cap);
+* :mod:`repro.phi.ring` — ring-interconnect latency model;
+* :mod:`repro.phi.pcie` — host↔device transfer model;
+* :mod:`repro.phi.events` — discrete-event engine for overlap studies;
+* :mod:`repro.phi.machine` — the simulated machine executing kernel streams;
+* :mod:`repro.phi.trace` — execution traces and per-category breakdowns.
+"""
+
+from repro.phi.spec import (
+    MachineSpec,
+    XEON_PHI_5110P,
+    XEON_PHI_5110P_30C,
+    XEON_E5620,
+    XEON_E5620_SINGLE_CORE,
+    XEON_E5620_DUAL,
+    phi_with_cores,
+    get_machine,
+)
+from repro.phi.kernels import Kernel, KernelKind, gemm, elementwise, reduction, sample, transfer, barrier
+from repro.phi.costmodel import CostModel, KernelTiming
+from repro.phi.memory import DeviceMemory, Allocation
+from repro.phi.ring import RingBus
+from repro.phi.pcie import PCIeModel
+from repro.phi.events import EventSimulator, Event
+from repro.phi.machine import SimulatedMachine
+from repro.phi.trace import Trace, TimingBreakdown
+from repro.phi.energy import (
+    EnergyReport,
+    PowerSpec,
+    energy_for_run,
+    energy_to_solution,
+    power_spec_for,
+)
+
+__all__ = [
+    "MachineSpec",
+    "XEON_PHI_5110P",
+    "XEON_PHI_5110P_30C",
+    "XEON_E5620",
+    "XEON_E5620_SINGLE_CORE",
+    "XEON_E5620_DUAL",
+    "phi_with_cores",
+    "get_machine",
+    "Kernel",
+    "KernelKind",
+    "gemm",
+    "elementwise",
+    "reduction",
+    "sample",
+    "transfer",
+    "barrier",
+    "CostModel",
+    "KernelTiming",
+    "DeviceMemory",
+    "Allocation",
+    "RingBus",
+    "PCIeModel",
+    "EventSimulator",
+    "Event",
+    "SimulatedMachine",
+    "Trace",
+    "TimingBreakdown",
+    "EnergyReport",
+    "PowerSpec",
+    "energy_for_run",
+    "energy_to_solution",
+    "power_spec_for",
+]

@@ -1,0 +1,132 @@
+"""Roofline cost model: kernel × machine × backend → seconds.
+
+The timing half of the reproduction.  Every kernel's duration is
+
+    busy   = max(compute_time, memory_time)         (roofline)
+    total  = busy + sync + dispatch_overhead        (+ transfer for PCIe ops)
+
+with the compute and memory terms depending on the backend's software
+choices (threads, SIMD, MKL, fusion) and the machine's physical limits.
+Calibration anchors are the paper's Table I and §IV.A measurements — see
+DESIGN.md §2 and ``tests/phi/test_calibration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.phi.kernels import Kernel, KernelKind
+from repro.phi.pcie import PCIeModel
+from repro.phi.spec import MachineSpec
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.blas import gemm_time_components
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Cost-model verdict for one kernel."""
+
+    compute_s: float
+    memory_s: float
+    sync_s: float
+    overhead_s: float
+    transfer_s: float
+
+    @property
+    def busy_s(self) -> float:
+        """Roofline occupancy — whichever resource binds."""
+        return max(self.compute_s, self.memory_s)
+
+    @property
+    def total_s(self) -> float:
+        """Wall time charged to the simulated clock."""
+        return self.busy_s + self.sync_s + self.overhead_s + self.transfer_s
+
+
+class CostModel:
+    """Times kernels on one (machine, backend) pair.
+
+    Parameters
+    ----------
+    spec:
+        The hardware description.
+    backend:
+        The software configuration (one of Table I's steps, or a
+        reference backend).
+    pcie:
+        Transfer model for staging kernels; defaults to the machine's
+        link capability for coprocessors and is unused on hosts.  Pass
+        :meth:`repro.phi.pcie.PCIeModel.paper_calibrated` to reproduce
+        the paper's measured (much slower) end-to-end staging path.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        backend: ExecutionBackend,
+        pcie: Optional[PCIeModel] = None,
+    ):
+        self.spec = spec
+        self.backend = backend
+        if pcie is None and spec.is_coprocessor:
+            pcie = PCIeModel.for_spec(spec)
+        self.pcie = pcie
+        self.threads = backend.threads_for(spec)
+
+    # ------------------------------------------------------------------
+    def time(self, kernel: Kernel) -> KernelTiming:
+        """Roofline timing of ``kernel`` under this model."""
+        kind = kernel.kind
+        if kind is KernelKind.GEMM:
+            return self._time_gemm(kernel)
+        if kind in (KernelKind.ELEMENTWISE, KernelKind.SAMPLE, KernelKind.REDUCE):
+            return self._time_streaming(kernel)
+        if kernel.is_transfer:
+            return self._time_transfer(kernel)
+        if kind is KernelKind.BARRIER:
+            return KernelTiming(0.0, 0.0, self.spec.barrier_cost(self.threads), 0.0, 0.0)
+        raise ConfigurationError(f"cost model cannot time kernel kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _time_gemm(self, kernel: Kernel) -> KernelTiming:
+        m, n, k = kernel.gemm_shape
+        compute, memory = gemm_time_components(self.spec, self.backend, m, n, k)
+        sync = self.spec.barrier_cost(self.threads)
+        return KernelTiming(compute, memory, sync, self.backend.per_op_overhead_s, 0.0)
+
+    def _time_streaming(self, kernel: Kernel) -> KernelTiming:
+        """Element-wise / sampling / reduction kernels are bandwidth creatures.
+
+        The compute term uses the SIMD peak when the backend vectorised
+        these loops (the paper's Eq. 14–18 rewrite), else the scalar issue
+        rate; the memory term pays the backend's streaming efficiency and
+        temporary-array traffic multiplier.
+        """
+        backend = self.backend
+        spec = self.spec
+        peak = spec.peak_flops_threads(self.threads, simd=backend.use_simd)
+        if self.threads > 1 and not backend.use_mkl:
+            # Naive (non-vectorised) parallel loops scale as poorly here
+            # as they do inside the naive GEMM.
+            peak *= backend.naive_parallel_efficiency
+        compute = kernel.flops / peak
+        traffic = kernel.bytes_total * backend.temp_traffic_factor
+        bandwidth = spec.bandwidth_threads(self.threads) * backend.elementwise_bw_efficiency
+        memory = traffic / bandwidth
+        # Fork/join cost per parallel region.  A fused kernel is one region;
+        # an unfused backend leaves each loop at its natural granularity and
+        # pays the barrier once per fine-grained region (capped by the
+        # number of iterations that exist to split).
+        regions = min(self.backend.unfused_region_count, max(kernel.n_elements, 1))
+        sync = self.spec.barrier_cost(self.threads) * regions
+        overhead = backend.per_op_overhead_s * kernel.fused_ops
+        return KernelTiming(compute, memory, sync, overhead, 0.0)
+
+    def _time_transfer(self, kernel: Kernel) -> KernelTiming:
+        if self.pcie is None:
+            # Hosts "transfer" by pointer; charge a memcpy over DRAM.
+            memcpy = kernel.bytes_read / self.spec.bandwidth_threads(self.threads)
+            return KernelTiming(0.0, memcpy, 0.0, 0.0, 0.0)
+        return KernelTiming(0.0, 0.0, 0.0, 0.0, self.pcie.time(kernel.bytes_read))

@@ -1,0 +1,142 @@
+"""Power and energy-to-solution model.
+
+The paper argues the Phi's merit in time; the natural follow-up a systems
+reader asks is energy.  A simple two-state power model per machine:
+
+    P(t) = P_idle + utilisation · (P_tdp − P_idle)
+
+integrated over a run's timing breakdown: busy intervals count as fully
+utilised, synchronisation/overhead intervals as idle-spin (near idle
+draw), exposed transfer intervals charge both endpoints' idle power plus
+the link.  TDP/idle values come from the public component datasheets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.phi.trace import TimingBreakdown
+
+#: Nameplate power (watts): thermal design power and realistic idle draw.
+POWER_CATALOGUE: Dict[str, "PowerSpec"] = {}
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Power envelope of one machine."""
+
+    name: str
+    tdp_w: float
+    idle_w: float
+
+    def __post_init__(self):
+        if self.tdp_w <= 0 or self.idle_w < 0:
+            raise ConfigurationError("tdp must be > 0 and idle >= 0")
+        if self.idle_w >= self.tdp_w:
+            raise ConfigurationError("idle power must be below TDP")
+
+
+def _register(spec: PowerSpec) -> PowerSpec:
+    POWER_CATALOGUE[spec.name] = spec
+    return spec
+
+
+#: Xeon Phi 5110P: 225 W TDP card; idles around 100 W with GDDR5 active.
+PHI_POWER = _register(PowerSpec("xeon_phi_5110p", tdp_w=225.0, idle_w=100.0))
+#: One E5620 socket: 80 W TDP, ~25 W idle.
+XEON_POWER = _register(PowerSpec("xeon_e5620", tdp_w=80.0, idle_w=25.0))
+#: Dual-socket host.
+XEON_DUAL_POWER = _register(PowerSpec("xeon_e5620_dual", tdp_w=160.0, idle_w=50.0))
+
+
+def power_spec_for(machine_name: str) -> PowerSpec:
+    """Look up the power envelope for a machine-spec name.
+
+    Derived names (``xeon_phi_5110p_30c``, ``xeon_e5620_1c``) resolve to
+    their base machine — restricting active cores does not change the
+    card you plugged in (a pessimistic but honest simplification; idle
+    cores still leak).
+    """
+    if machine_name in POWER_CATALOGUE:
+        return POWER_CATALOGUE[machine_name]
+    # Longest matching base wins, so xeon_e5620_1c -> xeon_e5620 while an
+    # exact xeon_e5620_dual entry is preferred over the xeon_e5620 prefix.
+    matches = [
+        spec
+        for base, spec in POWER_CATALOGUE.items()
+        if machine_name.startswith(base + "_")
+    ]
+    if matches:
+        return max(matches, key=lambda spec: len(spec.name))
+    raise ConfigurationError(
+        f"no power envelope registered for machine {machine_name!r}"
+    )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one run."""
+
+    machine_name: str
+    seconds: float
+    busy_seconds: float
+    energy_joules: float
+
+    @property
+    def average_watts(self) -> float:
+        return self.energy_joules / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def watt_hours(self) -> float:
+        return self.energy_joules / 3600.0
+
+
+def energy_to_solution(
+    machine_name: str,
+    breakdown: TimingBreakdown,
+    total_seconds: float,
+    utilisation_busy: float = 0.9,
+) -> EnergyReport:
+    """Integrate the power model over a run.
+
+    Parameters
+    ----------
+    machine_name:
+        Resolved against :data:`POWER_CATALOGUE`.
+    breakdown:
+        The run's :class:`~repro.phi.trace.TimingBreakdown` (busy vs
+        overhead attribution).
+    total_seconds:
+        Wall time of the run (≥ breakdown busy time; the difference is
+        charged at idle power — waiting on transfers, sync, …).
+    utilisation_busy:
+        Fraction of TDP drawn while busy (vector units rarely pin TDP
+        exactly).
+    """
+    if total_seconds < 0:
+        raise ConfigurationError("total_seconds must be >= 0")
+    if not 0.0 < utilisation_busy <= 1.0:
+        raise ConfigurationError("utilisation_busy must lie in (0, 1]")
+    spec = power_spec_for(machine_name)
+    busy = min(breakdown.busy_s, total_seconds)
+    idle_time = max(0.0, total_seconds - busy)
+    busy_power = spec.idle_w + utilisation_busy * (spec.tdp_w - spec.idle_w)
+    energy = busy * busy_power + idle_time * spec.idle_w
+    return EnergyReport(
+        machine_name=machine_name,
+        seconds=total_seconds,
+        busy_seconds=busy,
+        energy_joules=energy,
+    )
+
+
+def energy_for_run(result, utilisation_busy: float = 0.9) -> EnergyReport:
+    """Convenience wrapper for a :class:`~repro.core.results.TrainingRunResult`."""
+    return energy_to_solution(
+        result.machine_name,
+        result.breakdown,
+        result.simulated_seconds,
+        utilisation_busy=utilisation_busy,
+    )

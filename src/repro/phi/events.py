@@ -1,0 +1,96 @@
+"""Minimal discrete-event simulation engine.
+
+Used by the offload pipeline (paper Fig. 5) to simulate the loading
+thread running concurrently with the training thread, and by tests to
+cross-check the analytic overlap formulas.  Events are (time, sequence)
+ordered so same-time events fire in schedule order — deterministic runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; comparable by (time, seq) for the heap."""
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventSimulator:
+    """A classic event-queue simulator with a monotonic clock."""
+
+    def __init__(self):
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args) -> Event:
+        """Schedule ``callback(*args)`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = Event(time=float(time), seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the queue (optionally stopping at time ``until``).
+
+        Returns the final clock.  ``max_events`` guards against runaway
+        self-rescheduling callbacks.
+        """
+        count = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            count += 1
+            if count > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+        return self._now

@@ -1,0 +1,201 @@
+"""Kernel vocabulary of the simulated machines.
+
+Training decomposes into a short list of kernel kinds — exactly the
+operations the paper hands to MKL / OpenMP / the VPU:
+
+* ``GEMM``        — dense matrix multiply (the dominant cost, §IV.B);
+* ``ELEMENTWISE`` — map over n elements (sigmoid, deltas, updates);
+* ``REDUCE``      — reduction over n elements (bias grads, ρ̂ means);
+* ``SAMPLE``      — RNG draw + compare (the RBM sampling step, Eq. 14–15);
+* ``TRANSFER_H2D`` / ``TRANSFER_D2H`` — PCIe staging (Fig. 5);
+* ``BARRIER``     — explicit synchronisation points.
+
+A :class:`Kernel` carries its *work description* (flops, bytes touched,
+element count); the cost model turns that into time for a given machine
+and backend.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+_F64 = 8  # bytes per float64
+
+
+class KernelKind(enum.Enum):
+    """The kernel taxonomy used by the cost model."""
+
+    GEMM = "gemm"
+    ELEMENTWISE = "elementwise"
+    REDUCE = "reduce"
+    SAMPLE = "sample"
+    TRANSFER_H2D = "transfer_h2d"
+    TRANSFER_D2H = "transfer_d2h"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    kind:
+        Taxonomy entry controlling which cost formula applies.
+    name:
+        Human-readable label (appears in traces).
+    flops:
+        Floating-point operations performed.
+    bytes_read / bytes_written:
+        Memory traffic assuming perfect reuse of on-chip data *within*
+        the kernel (GEMM blocking effects are the cost model's job).
+    n_elements:
+        Element count for map/reduce/sample kernels (0 for GEMM).
+    gemm_shape:
+        (m, n, k) for GEMM kernels, else ``None``.
+    fused_ops:
+        How many logical element-wise operations were merged into this
+        kernel (1 for unfused); fusion keeps flops but removes the
+        intermediate reads/writes and the extra parallel regions.
+    """
+
+    kind: KernelKind
+    name: str
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    n_elements: int = 0
+    gemm_shape: Optional[Tuple[int, int, int]] = None
+    fused_ops: int = 1
+
+    def __post_init__(self):
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ConfigurationError("kernel work quantities must be non-negative")
+        if self.fused_ops < 1:
+            raise ConfigurationError("fused_ops must be >= 1")
+        if self.kind is KernelKind.GEMM and self.gemm_shape is None:
+            raise ConfigurationError("GEMM kernels require gemm_shape")
+
+    @property
+    def bytes_total(self) -> float:
+        """Total memory traffic."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def is_transfer(self) -> bool:
+        return self.kind in (KernelKind.TRANSFER_H2D, KernelKind.TRANSFER_D2H)
+
+    def scaled(self, repeat: int) -> "Kernel":
+        """The same kernel repeated ``repeat`` times back-to-back."""
+        if repeat < 1:
+            raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+        return replace(
+            self,
+            flops=self.flops * repeat,
+            bytes_read=self.bytes_read * repeat,
+            bytes_written=self.bytes_written * repeat,
+            n_elements=self.n_elements * repeat,
+        )
+
+
+# ---------------------------------------------------------------------------
+# constructors
+# ---------------------------------------------------------------------------
+
+def gemm(m: int, n: int, k: int, name: str = "gemm", itemsize: int = _F64) -> Kernel:
+    """C(m×n) += A(m×k)·B(k×n): 2mnk flops; traffic counts each operand once.
+
+    The cost model layers cache-blocking (or the lack of it, for the naive
+    backend) on top of this minimal traffic.
+    """
+    if min(m, n, k) < 1:
+        raise ConfigurationError(f"GEMM dims must be >= 1, got ({m}, {n}, {k})")
+    return Kernel(
+        kind=KernelKind.GEMM,
+        name=name,
+        flops=2.0 * m * n * k,
+        bytes_read=float(itemsize) * (m * k + k * n),
+        bytes_written=float(itemsize) * m * n,
+        gemm_shape=(int(m), int(n), int(k)),
+    )
+
+
+def elementwise(
+    n: int,
+    flops_per_element: float = 1.0,
+    reads_per_element: int = 1,
+    writes_per_element: int = 1,
+    name: str = "elementwise",
+    itemsize: int = _F64,
+) -> Kernel:
+    """Map over ``n`` elements (sigmoid ≈ 5 flops/elt, axpy ≈ 2, …)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return Kernel(
+        kind=KernelKind.ELEMENTWISE,
+        name=name,
+        flops=float(n) * flops_per_element,
+        bytes_read=float(n) * reads_per_element * itemsize,
+        bytes_written=float(n) * writes_per_element * itemsize,
+        n_elements=int(n),
+    )
+
+
+def reduction(
+    n: int,
+    outputs: int = 1,
+    flops_per_element: float = 1.0,
+    name: str = "reduce",
+    itemsize: int = _F64,
+) -> Kernel:
+    """Reduce ``n`` elements down to ``outputs`` (means, norms, bias grads)."""
+    if n < 1 or outputs < 1:
+        raise ConfigurationError("n and outputs must be >= 1")
+    return Kernel(
+        kind=KernelKind.REDUCE,
+        name=name,
+        flops=float(n) * flops_per_element,
+        bytes_read=float(n) * itemsize,
+        bytes_written=float(outputs) * itemsize,
+        n_elements=int(n),
+    )
+
+
+def sample(n: int, name: str = "sample", itemsize: int = _F64) -> Kernel:
+    """Bernoulli sampling of ``n`` units: RNG draw + compare + store.
+
+    ~10 flops/element covers a counter-based PRNG plus the compare — the
+    vectorisable loop the paper rewrites in vector form (Eqs. 14–15).
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return Kernel(
+        kind=KernelKind.SAMPLE,
+        name=name,
+        flops=10.0 * n,
+        bytes_read=float(n) * itemsize,
+        bytes_written=float(n) * itemsize,
+        n_elements=int(n),
+    )
+
+
+def transfer(nbytes: float, to_device: bool = True, name: Optional[str] = None) -> Kernel:
+    """PCIe transfer of ``nbytes`` (host→device by default)."""
+    if nbytes <= 0:
+        raise ConfigurationError(f"nbytes must be > 0, got {nbytes}")
+    kind = KernelKind.TRANSFER_H2D if to_device else KernelKind.TRANSFER_D2H
+    return Kernel(
+        kind=kind,
+        name=name or kind.value,
+        bytes_read=float(nbytes),
+        bytes_written=float(nbytes),
+    )
+
+
+def barrier(name: str = "barrier") -> Kernel:
+    """An explicit synchronisation point (costed as one fork/join)."""
+    return Kernel(kind=KernelKind.BARRIER, name=name)

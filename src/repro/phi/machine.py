@@ -1,0 +1,154 @@
+"""The simulated machine: executes kernel streams and advances a clock.
+
+:class:`SimulatedMachine` is the object the trainers drive.  It owns a
+cost model, a device-memory allocator, a trace, and a monotonically
+advancing simulated clock.  Functional NumPy math happens elsewhere; the
+machine only answers "how long would this work have taken on the Phi /
+the Xeon under backend X".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.phi.costmodel import CostModel, KernelTiming
+from repro.phi.kernels import Kernel
+from repro.phi.memory import DeviceMemory
+from repro.phi.pcie import PCIeModel
+from repro.phi.spec import MachineSpec
+from repro.phi.trace import TimingBreakdown, Trace
+from repro.runtime.backend import ExecutionBackend
+
+
+class SimulatedMachine:
+    """A machine instance: spec + backend + clock + memory + trace.
+
+    Parameters
+    ----------
+    spec / backend:
+        Hardware and software configuration.
+    pcie:
+        Optional transfer-model override (tests calibrate this).
+    record_trace:
+        Keep per-kernel entries (memory-hungry for million-kernel runs;
+        breakdown counters are maintained regardless).
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        backend: ExecutionBackend,
+        pcie: Optional[PCIeModel] = None,
+        record_trace: bool = False,
+    ):
+        self.spec = spec
+        self.backend = backend
+        self.cost_model = CostModel(spec, backend, pcie)
+        self.memory = DeviceMemory(spec.mem_capacity)
+        self.trace = Trace(enabled=record_trace)
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Simulated seconds elapsed since construction / last reset."""
+        return self._clock
+
+    @property
+    def threads(self) -> int:
+        return self.cost_model.threads
+
+    def execute(self, kernel: Kernel) -> KernelTiming:
+        """Run one kernel to completion; advances the clock."""
+        timing = self.cost_model.time(kernel)
+        start = self._clock
+        self._clock += timing.total_s
+        self.trace.record(
+            kernel,
+            start,
+            self._clock,
+            timing.compute_s,
+            timing.memory_s,
+            timing.sync_s,
+            timing.overhead_s,
+            timing.transfer_s,
+        )
+        return timing
+
+    def execute_stream(self, kernels: Iterable[Kernel]) -> float:
+        """Run kernels back-to-back; returns the elapsed simulated seconds."""
+        start = self._clock
+        for kernel in kernels:
+            self.execute(kernel)
+        return self._clock - start
+
+    def execute_wavefront(self, kernels: Sequence[Kernel]) -> float:
+        """Run a set of *independent* kernels (one dependency-graph level).
+
+        With ``backend.overlap_independent`` (the paper's Fig. 6
+        scheduling) the level costs the slowest member's busy time plus a
+        single join; otherwise the kernels serialise.  Returns elapsed
+        simulated seconds.
+        """
+        if not kernels:
+            return 0.0
+        if len(kernels) == 1 or not self.backend.overlap_independent:
+            return self.execute_stream(kernels)
+
+        start = self._clock
+        timings: List[KernelTiming] = [self.cost_model.time(k) for k in kernels]
+        # Concurrent kernels share the machine: model the level as the sum
+        # of busy times divided by... no — independent kernels here are
+        # *different* matrix ops each already using all threads, so they
+        # cannot truly run simultaneously at full width.  What overlap buys
+        # (and what the paper exploits) is eliminating the per-kernel
+        # fork/join gaps: the level pays every kernel's busy time but only
+        # ONE synchronisation, and dispatch overheads hide under the busy
+        # work of the neighbours.
+        busy = sum(t.busy_s for t in timings)
+        sync = max(t.sync_s for t in timings)
+        transfer = sum(t.transfer_s for t in timings)
+        overhead = max(t.overhead_s for t in timings)
+        level_total = busy + sync + transfer + overhead
+        # Record each member against the shared interval so the breakdown
+        # still attributes compute/memory correctly.
+        elapsed_each = level_total / len(kernels)
+        clock = start
+        for kernel, t in zip(kernels, timings):
+            self.trace.record(
+                kernel,
+                clock,
+                clock + elapsed_each,
+                t.compute_s,
+                t.memory_s,
+                sync / len(kernels),
+                overhead / len(kernels),
+                t.transfer_s,
+            )
+            clock += elapsed_each
+        self._clock = start + level_total
+        return level_total
+
+    def execute_levels(self, levels: Sequence[Sequence[Kernel]]) -> float:
+        """Run a dependency graph given as topological levels."""
+        start = self._clock
+        for level in levels:
+            self.execute_wavefront(list(level))
+        return self._clock - start
+
+    # ------------------------------------------------------------------
+    def breakdown(self) -> TimingBreakdown:
+        """Aggregate timing of everything executed so far."""
+        return self.trace.breakdown()
+
+    def reset(self) -> None:
+        """Zero the clock and trace; device memory allocations persist
+        (the paper keeps parameters resident across chunks)."""
+        self._clock = 0.0
+        self.trace.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedMachine(spec={self.spec.name!r}, backend={self.backend.name!r}, "
+            f"clock={self._clock:.3f}s)"
+        )

@@ -1,0 +1,117 @@
+"""Simulated device-memory allocator.
+
+The Xeon Phi 5110P carries 8 GB of GDDR5; the paper keeps the model
+parameters, temporaries, and a multi-chunk loading buffer resident in it
+permanently (§IV.B.1: "we keep all the parameters including W, b, c in
+our global memory permanently … to avoid unnecessary reallocation and
+release").  This allocator enforces the capacity and tracks the peak so
+trainers can verify their working set fits — the paper's future-work
+section notes "the transferring cost can be intolerable when the model
+becomes large", and the capacity check is what trips first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, DeviceMemoryError
+
+
+@dataclass
+class Allocation:
+    """A live device-memory block."""
+
+    alloc_id: int
+    name: str
+    nbytes: int
+    freed: bool = False
+
+
+class DeviceMemory:
+    """Capacity-limited bump allocator with peak tracking.
+
+    ``capacity=None`` disables the limit (host DRAM).
+    """
+
+    def __init__(self, capacity: Optional[int]):
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0 or None, got {capacity}")
+        self.capacity = capacity
+        self._live: Dict[int, Allocation] = {}
+        self._in_use = 0
+        self._peak = 0
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Bytes currently allocated."""
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        """High-water mark in bytes."""
+        return self._peak
+
+    @property
+    def available(self) -> Optional[int]:
+        """Bytes still free, or ``None`` when uncapped."""
+        if self.capacity is None:
+            return None
+        return self.capacity - self._in_use
+
+    def allocate(self, name: str, nbytes: int) -> Allocation:
+        """Reserve ``nbytes``; raises :class:`DeviceMemoryError` on overflow."""
+        if nbytes <= 0:
+            raise ConfigurationError(f"allocation size must be > 0, got {nbytes}")
+        if self.capacity is not None and self._in_use + nbytes > self.capacity:
+            raise DeviceMemoryError(
+                f"allocating {nbytes} bytes for {name!r} exceeds device capacity: "
+                f"{self._in_use} in use of {self.capacity}"
+            )
+        alloc = Allocation(next(self._ids), name, int(nbytes))
+        self._live[alloc.alloc_id] = alloc
+        self._in_use += alloc.nbytes
+        self._peak = max(self._peak, self._in_use)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a block; double frees raise."""
+        if alloc.freed or alloc.alloc_id not in self._live:
+            raise DeviceMemoryError(f"double free of allocation {alloc.name!r}")
+        del self._live[alloc.alloc_id]
+        alloc.freed = True
+        self._in_use -= alloc.nbytes
+
+    def live_allocations(self) -> Dict[str, int]:
+        """Mapping of live allocation names to sizes (leak diagnostics)."""
+        return {a.name: a.nbytes for a in self._live.values()}
+
+    def reset(self) -> None:
+        """Free everything and clear the peak."""
+        for alloc in list(self._live.values()):
+            self.free(alloc)
+        self._peak = self._in_use
+
+    # ------------------------------------------------------------------
+    class _Scoped:
+        def __init__(self, memory: "DeviceMemory", name: str, nbytes: int):
+            self._memory = memory
+            self._name = name
+            self._nbytes = nbytes
+            self.allocation: Optional[Allocation] = None
+
+        def __enter__(self) -> Allocation:
+            self.allocation = self._memory.allocate(self._name, self._nbytes)
+            return self.allocation
+
+        def __exit__(self, exc_type, exc, tb):
+            if self.allocation is not None and not self.allocation.freed:
+                self._memory.free(self.allocation)
+            return False
+
+    def scoped(self, name: str, nbytes: int) -> "DeviceMemory._Scoped":
+        """Context-managed allocation: freed on exit even under exceptions."""
+        return DeviceMemory._Scoped(self, name, nbytes)

@@ -1,0 +1,79 @@
+"""Host ↔ coprocessor transfer model (paper §IV.A).
+
+"The transferring speed between the host and Intel Xeon Phi is relatively
+slow.  Our test shows that it costs 13 s to transfer 10,000×4096 samples
+from the host to Intel Xeon Phi and our training time is about 68 s" —
+i.e. ≈17 % of un-overlapped wall time.  The paper hides this with a
+loading thread and a multi-chunk device buffer (Fig. 5).
+
+Two calibrations are provided:
+
+* :meth:`PCIeModel.for_spec` — the link's physical capability (PCIe
+  gen2 ×16 ≈ 6 GB/s with protocol efficiency);
+* :meth:`PCIeModel.paper_calibrated` — the *end-to-end* staging rate the
+  paper measured (which includes host-side marshalling), anchored to the
+  13 s / 10,000×4096-sample observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: The paper's measured staging anchor: 10,000 samples × 4096 features of
+#: float64 in 13 seconds.
+PAPER_CHUNK_BYTES = 10_000 * 4096 * 8
+PAPER_CHUNK_SECONDS = 13.0
+
+
+@dataclass(frozen=True)
+class PCIeModel:
+    """Latency + bandwidth transfer model.
+
+    ``time(nbytes) = latency_s + nbytes / (bandwidth × efficiency)``
+    """
+
+    bandwidth: float  # bytes/s, link peak
+    latency_s: float = 20e-6
+    efficiency: float = 1.0
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.latency_s < 0:
+            raise ConfigurationError(f"latency_s must be >= 0, got {self.latency_s}")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(f"efficiency must lie in (0, 1], got {self.efficiency}")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained bytes/s after protocol/marshalling losses."""
+        return self.bandwidth * self.efficiency
+
+    def time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across the link."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.effective_bandwidth
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_spec(cls, spec) -> "PCIeModel":
+        """The raw link capability of ``spec`` (85 % protocol efficiency)."""
+        if spec.pcie_bandwidth is None:
+            raise ConfigurationError(
+                f"machine {spec.name!r} is a host; it has no PCIe staging link"
+            )
+        return cls(bandwidth=spec.pcie_bandwidth, latency_s=spec.pcie_latency_s, efficiency=0.85)
+
+    @classmethod
+    def paper_calibrated(cls) -> "PCIeModel":
+        """End-to-end staging rate anchored to the paper's 13 s measurement."""
+        return cls(
+            bandwidth=PAPER_CHUNK_BYTES / PAPER_CHUNK_SECONDS,
+            latency_s=1e-3,  # host-side call overhead, negligible vs 13 s
+            efficiency=1.0,
+        )

@@ -1,0 +1,86 @@
+"""Bidirectional ring-interconnect model (paper Fig. 4).
+
+"All the computing cores [are] connected by a ring bus."  The ring's
+reach matters to the cost model in one place: synchronisation.  A barrier
+is at best two traversals of half the ring (gather + release), which is
+where the :class:`~repro.phi.spec.MachineSpec` barrier constants come
+from; this module makes that derivation explicit and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RingBus:
+    """A bidirectional ring with ``n_stops`` equally spaced agents.
+
+    Attributes
+    ----------
+    n_stops:
+        Ring stops (cores + memory controllers; we count cores).
+    hop_latency_s:
+        Per-hop forwarding latency.
+    link_bandwidth:
+        Bytes/s of one ring link in one direction.
+    """
+
+    n_stops: int
+    hop_latency_s: float
+    link_bandwidth: float = 100e9
+
+    def __post_init__(self):
+        if self.n_stops < 2:
+            raise ConfigurationError(f"a ring needs >= 2 stops, got {self.n_stops}")
+        if self.hop_latency_s <= 0 or self.link_bandwidth <= 0:
+            raise ConfigurationError("hop latency and link bandwidth must be > 0")
+
+    # ------------------------------------------------------------------
+    def hops(self, src: int, dst: int) -> int:
+        """Shortest hop count between two stops (bidirectional ring)."""
+        for node in (src, dst):
+            if not 0 <= node < self.n_stops:
+                raise ConfigurationError(
+                    f"stop index {node} outside [0, {self.n_stops})"
+                )
+        clockwise = (dst - src) % self.n_stops
+        return min(clockwise, self.n_stops - clockwise)
+
+    def latency(self, src: int, dst: int) -> float:
+        """Point-to-point message latency."""
+        return self.hops(src, dst) * self.hop_latency_s
+
+    @property
+    def max_hops(self) -> int:
+        """Ring diameter (half the stops, rounded down)."""
+        return self.n_stops // 2
+
+    @property
+    def average_hops(self) -> float:
+        """Mean shortest-path hops over all ordered distinct pairs."""
+        total = sum(
+            self.hops(0, d) for d in range(1, self.n_stops)
+        )  # symmetric: fix src=0
+        return total / (self.n_stops - 1)
+
+    def broadcast_time(self) -> float:
+        """One-to-all time: the message must reach the farthest stop."""
+        return self.max_hops * self.hop_latency_s
+
+    def barrier_time(self) -> float:
+        """Gather-then-release barrier: two half-ring traversals."""
+        return 2.0 * self.broadcast_time()
+
+    def transfer_time(self, nbytes: float, src: int, dst: int) -> float:
+        """Latency + serialisation for a point-to-point bulk transfer."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency(src, dst) + nbytes / self.link_bandwidth
+
+    @classmethod
+    def for_spec(cls, spec) -> "RingBus":
+        """The ring implied by a machine spec (one stop per core)."""
+        return cls(n_stops=max(spec.n_cores, 2), hop_latency_s=spec.ring_hop_latency_s)

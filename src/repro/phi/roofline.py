@@ -1,0 +1,94 @@
+"""Roofline analysis of kernel streams.
+
+Answers the performance-engineering questions behind the paper's
+optimization choices: what is each kernel's arithmetic intensity, where
+does the machine's ridge point sit, and which kernels are compute- vs
+memory-bound under a given backend?  The GEMMs' high intensity (why MKL
+pays off, §IV.B) and the element-wise ops' low intensity (why fusion
+pays off) fall straight out of this analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.phi.costmodel import CostModel
+from repro.phi.kernels import Kernel
+from repro.phi.spec import MachineSpec
+
+
+def arithmetic_intensity(kernel: Kernel) -> float:
+    """Flops per byte of memory traffic (∞ for traffic-free kernels)."""
+    if kernel.bytes_total <= 0:
+        return float("inf")
+    return kernel.flops / kernel.bytes_total
+
+
+def ridge_point(spec: MachineSpec, simd: bool = True, threads: int = None) -> float:
+    """The machine's balance point in flops/byte: intensity above which
+    peak compute, not bandwidth, limits performance."""
+    threads = spec.max_threads if threads is None else threads
+    return spec.peak_flops_threads(threads, simd=simd) / spec.bandwidth_threads(threads)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the roofline."""
+
+    name: str
+    intensity: float  # flops/byte
+    attainable_flops: float  # roofline ceiling at this intensity
+    modeled_flops: float  # what the cost model actually grants
+    bound: str  # "compute" or "memory"
+
+    @property
+    def roofline_fraction(self) -> float:
+        """Modeled performance as a share of the roofline ceiling."""
+        if self.attainable_flops <= 0:
+            return 0.0
+        return self.modeled_flops / self.attainable_flops
+
+
+def analyze_kernels(
+    kernels: Sequence[Kernel], spec: MachineSpec, backend
+) -> List[RooflinePoint]:
+    """Roofline classification of every flop-carrying kernel in a stream."""
+    model = CostModel(spec, backend)
+    threads = backend.threads_for(spec)
+    peak = spec.peak_flops_threads(threads, simd=backend.use_simd)
+    bandwidth = spec.bandwidth_threads(threads)
+    points = []
+    for kernel in kernels:
+        if kernel.flops <= 0:
+            continue
+        intensity = arithmetic_intensity(kernel)
+        ceiling = min(peak, intensity * bandwidth) if intensity != float("inf") else peak
+        timing = model.time(kernel)
+        modeled = kernel.flops / timing.busy_s if timing.busy_s > 0 else peak
+        bound = "compute" if timing.compute_s >= timing.memory_s else "memory"
+        points.append(
+            RooflinePoint(
+                name=kernel.name,
+                intensity=intensity,
+                attainable_flops=ceiling,
+                modeled_flops=modeled,
+                bound=bound,
+            )
+        )
+    return points
+
+
+def roofline_report(points: Iterable[RooflinePoint]) -> List[dict]:
+    """Rows for :func:`repro.bench.report.format_table`."""
+    return [
+        {
+            "kernel": p.name,
+            "flops_per_byte": p.intensity,
+            "bound": p.bound,
+            "gflops_modeled": p.modeled_flops / 1e9,
+            "gflops_roofline": p.attainable_flops / 1e9,
+            "roof_fraction": p.roofline_fraction,
+        }
+        for p in points
+    ]

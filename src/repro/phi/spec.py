@@ -1,0 +1,257 @@
+"""Machine parameter catalogue.
+
+Two physical machines from the paper (§V.A.1) plus derived variants:
+
+* **Intel Xeon Phi 5110P** — 60 in-order cores @ 1.053 GHz, 4 hardware
+  threads/core, 512-bit VPU (8 float64 lanes) with FMA, 8 GB GDDR5 at
+  320 GB/s, cores connected by a bidirectional ring bus, PCIe link to the
+  host.  Peak ≈ 1.01 Tflop/s double precision ("1.2 teraflops" single).
+* **Intel Xeon E5620** — Westmere-EP host CPU, 4 cores @ 2.4 GHz, SSE
+  (2 float64 lanes, separate add+mul pipes → 4 flops/cycle/core),
+  ~25.6 GB/s memory bandwidth.
+
+Numbers not printed in the paper come from the public component
+datasheets; free parameters of the *cost model* (efficiencies, sync
+costs) live in :mod:`repro.phi.costmodel` and are calibrated against the
+paper's Table I anchors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static hardware description consumed by the cost model.
+
+    Attributes
+    ----------
+    name:
+        Catalogue key, e.g. ``"xeon_phi_5110p"``.
+    n_cores, threads_per_core, frequency_hz:
+        Core count, hardware threads per core, and clock.
+    vector_lanes_f64:
+        SIMD lanes per core for float64 (8 for the 512-bit Phi VPU,
+        2 for SSE).
+    fma:
+        Whether one lane retires a fused multiply-add (2 flops/cycle/lane)
+        or separate add/mul pipes achieve the same dual issue.
+    scalar_flops_per_cycle:
+        Sustained scalar (non-vectorised) float64 flops per cycle per
+        thread — low on the in-order Phi core, higher on the
+        out-of-order Xeon.
+    in_order:
+        In-order cores need ≥2 threads/core to hide latency; the cost
+        model derates single-thread throughput accordingly.
+    mem_bandwidth:
+        Aggregate device/global memory bandwidth, bytes/s.
+    single_thread_bw_fraction:
+        Fraction of ``mem_bandwidth`` one thread can drive on its own
+        (a single Phi thread cannot saturate GDDR5).
+    mem_capacity:
+        Device memory size in bytes (the paper's 8 GB), ``None`` for the
+        host's practically-unbounded DRAM.
+    l2_cache_per_core:
+        Per-core L2 size in bytes (drives GEMM blocking efficiency).
+    ring_hop_latency_s:
+        Per-hop latency of the ring interconnect, seconds.
+    barrier_base_s / barrier_per_log2_thread_s:
+        Fork/join barrier cost model: base + per-log2(threads) term.
+    pcie_bandwidth / pcie_latency_s:
+        Host link peak bandwidth and per-transfer latency; ``None`` for
+        machines that *are* the host.
+    is_coprocessor:
+        True when training data must be staged over PCIe.
+    """
+
+    name: str
+    n_cores: int
+    threads_per_core: int
+    frequency_hz: float
+    vector_lanes_f64: int
+    fma: bool
+    scalar_flops_per_cycle: float
+    in_order: bool
+    mem_bandwidth: float
+    single_thread_bw_fraction: float
+    mem_capacity: Optional[int]
+    l2_cache_per_core: int
+    ring_hop_latency_s: float
+    barrier_base_s: float
+    barrier_per_log2_thread_s: float
+    pcie_bandwidth: Optional[float]
+    pcie_latency_s: float
+    is_coprocessor: bool
+
+    def __post_init__(self):
+        if self.n_cores < 1 or self.threads_per_core < 1:
+            raise ConfigurationError("core/thread counts must be >= 1")
+        if self.frequency_hz <= 0 or self.mem_bandwidth <= 0:
+            raise ConfigurationError("frequency and bandwidth must be > 0")
+        if self.vector_lanes_f64 < 1:
+            raise ConfigurationError("vector_lanes_f64 must be >= 1")
+        if not 0 < self.single_thread_bw_fraction <= 1:
+            raise ConfigurationError("single_thread_bw_fraction must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def max_threads(self) -> int:
+        """Total hardware threads."""
+        return self.n_cores * self.threads_per_core
+
+    @property
+    def flops_per_cycle_per_core_simd(self) -> float:
+        """Vectorised flops/cycle/core (lanes × 2 for FMA or dual pipes)."""
+        return self.vector_lanes_f64 * (2.0 if self.fma else 2.0)
+
+    @property
+    def peak_flops(self) -> float:
+        """Machine peak float64 flop/s with full vectorisation."""
+        return self.n_cores * self.frequency_hz * self.flops_per_cycle_per_core_simd
+
+    def peak_flops_threads(self, n_threads: int, simd: bool) -> float:
+        """Peak flop/s for ``n_threads`` threads, vectorised or scalar.
+
+        Threads beyond one per core add nothing to the raw pipe width,
+        but an *in-order* core cannot fill its vector pipeline from a
+        single thread (no out-of-order window to hide FMA latency): with
+        fewer than two threads per used core, the vectorised peak is
+        halved — the reason KNC codes run 2-4 threads/core.  The scalar
+        rate is left alone; ``scalar_flops_per_cycle`` is calibrated from
+        single-thread measurements and already includes the stall
+        behaviour.
+        """
+        if n_threads < 1:
+            raise ConfigurationError(f"n_threads must be >= 1, got {n_threads}")
+        cores_used = min(self.n_cores, n_threads)
+        per_core = (
+            self.flops_per_cycle_per_core_simd if simd else self.scalar_flops_per_cycle
+        )
+        peak = cores_used * self.frequency_hz * per_core
+        if simd and self.in_order:
+            # Pipeline utilisation ramps from 1/2 at one thread/core to
+            # full at four (KNC's SMT depth).
+            threads_per_core = n_threads / cores_used
+            peak *= min(1.0, 0.5 + 0.5 * (threads_per_core - 1.0) / 3.0)
+        return peak
+
+    def bandwidth_threads(self, n_threads: int) -> float:
+        """Achievable memory bandwidth with ``n_threads`` reader threads."""
+        if n_threads < 1:
+            raise ConfigurationError(f"n_threads must be >= 1, got {n_threads}")
+        frac = min(1.0, self.single_thread_bw_fraction * n_threads)
+        return self.mem_bandwidth * frac
+
+    def barrier_cost(self, n_threads: int) -> float:
+        """Fork/join barrier time for a parallel region of ``n_threads``."""
+        if n_threads <= 1:
+            return 0.0
+        import math
+
+        return self.barrier_base_s + self.barrier_per_log2_thread_s * math.log2(n_threads)
+
+    def with_cores(self, n_cores: int, name: Optional[str] = None) -> "MachineSpec":
+        """Derived spec with a different active-core count (Table I's 30-core
+        column restricts the Phi to half its cores); bandwidth scales with
+        the active fraction of the ring's memory controllers only mildly, so
+        it is left unchanged."""
+        if not 1 <= n_cores <= self.n_cores:
+            raise ConfigurationError(
+                f"n_cores must be in [1, {self.n_cores}], got {n_cores}"
+            )
+        return dataclasses.replace(
+            self, n_cores=n_cores, name=name or f"{self.name}_{n_cores}c"
+        )
+
+
+# ---------------------------------------------------------------------------
+# catalogue
+# ---------------------------------------------------------------------------
+
+XEON_PHI_5110P = MachineSpec(
+    name="xeon_phi_5110p",
+    n_cores=60,
+    threads_per_core=4,
+    frequency_hz=1.053e9,
+    vector_lanes_f64=8,
+    fma=True,
+    # In-order Pentium-derived core: modest sustained scalar issue rate.
+    scalar_flops_per_cycle=0.82,
+    in_order=True,
+    mem_bandwidth=320e9,
+    single_thread_bw_fraction=0.02,  # one thread drives ~6.4 GB/s of GDDR5
+    mem_capacity=8 * 1024**3,
+    l2_cache_per_core=512 * 1024,
+    ring_hop_latency_s=5e-9,
+    barrier_base_s=4e-6,
+    barrier_per_log2_thread_s=2.5e-6,
+    pcie_bandwidth=6.0e9,  # PCIe gen2 x16 practical peak
+    pcie_latency_s=20e-6,
+    is_coprocessor=True,
+)
+
+XEON_PHI_5110P_30C = XEON_PHI_5110P.with_cores(30, "xeon_phi_5110p_30c")
+
+XEON_E5620 = MachineSpec(
+    name="xeon_e5620",
+    n_cores=4,
+    threads_per_core=2,
+    frequency_hz=2.4e9,
+    vector_lanes_f64=2,
+    fma=False,  # separate SSE add + mul pipes still dual-issue (2 flops/lane)
+    scalar_flops_per_cycle=1.6,  # out-of-order core sustains near dual issue
+    in_order=False,
+    mem_bandwidth=25.6e9,
+    single_thread_bw_fraction=0.45,
+    mem_capacity=None,
+    l2_cache_per_core=256 * 1024,
+    ring_hop_latency_s=2e-9,
+    barrier_base_s=1e-6,
+    barrier_per_log2_thread_s=0.5e-6,
+    pcie_bandwidth=None,
+    pcie_latency_s=0.0,
+    is_coprocessor=False,
+)
+
+XEON_E5620_SINGLE_CORE = XEON_E5620.with_cores(1, "xeon_e5620_1c")
+
+# The host of a Xeon Phi system is typically dual-socket; the abstract's
+# "expensive Intel Xeon CPU" comparison (7-10x) is against the whole host:
+# 2 x E5620 = 8 cores, two memory controllers.
+XEON_E5620_DUAL = dataclasses.replace(
+    XEON_E5620,
+    name="xeon_e5620_dual",
+    n_cores=8,
+    mem_bandwidth=2 * 25.6e9,
+)
+
+_CATALOGUE: Dict[str, MachineSpec] = {
+    spec.name: spec
+    for spec in (
+        XEON_PHI_5110P,
+        XEON_PHI_5110P_30C,
+        XEON_E5620,
+        XEON_E5620_SINGLE_CORE,
+        XEON_E5620_DUAL,
+    )
+}
+
+
+def phi_with_cores(n_cores: int) -> MachineSpec:
+    """A Xeon Phi 5110P restricted to ``n_cores`` active cores."""
+    return XEON_PHI_5110P.with_cores(n_cores)
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine by catalogue name."""
+    try:
+        return _CATALOGUE[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; choose from {sorted(_CATALOGUE)}"
+        ) from None

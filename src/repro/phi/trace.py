@@ -1,0 +1,201 @@
+"""Execution traces and timing breakdowns.
+
+A :class:`Trace` records every kernel the simulated machine executed with
+its cost-model timing, and aggregates where the time went — the numbers
+behind "about 17 % of the total time is spent on transferring training
+data" and "the time cost in synchronization accounts most of the total
+time" are exactly these categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.phi.kernels import Kernel, KernelKind
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Where a run's simulated seconds went.
+
+    ``busy_s`` is max(compute, memory) per kernel, summed — the roofline
+    occupancy; ``total_s`` adds synchronisation, dispatch overhead, and
+    un-overlapped transfers.
+    """
+
+    total_s: float = 0.0
+    compute_s: float = 0.0
+    memory_s: float = 0.0
+    busy_s: float = 0.0
+    sync_s: float = 0.0
+    overhead_s: float = 0.0
+    transfer_s: float = 0.0
+    n_kernels: int = 0
+
+    def __add__(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        return TimingBreakdown(
+            total_s=self.total_s + other.total_s,
+            compute_s=self.compute_s + other.compute_s,
+            memory_s=self.memory_s + other.memory_s,
+            busy_s=self.busy_s + other.busy_s,
+            sync_s=self.sync_s + other.sync_s,
+            overhead_s=self.overhead_s + other.overhead_s,
+            transfer_s=self.transfer_s + other.transfer_s,
+            n_kernels=self.n_kernels + other.n_kernels,
+        )
+
+    def scaled(self, factor: float) -> "TimingBreakdown":
+        """Every duration multiplied by ``factor`` (kernel count scales too).
+
+        Used to extrapolate a representative iteration to a full run.
+        """
+        return TimingBreakdown(
+            total_s=self.total_s * factor,
+            compute_s=self.compute_s * factor,
+            memory_s=self.memory_s * factor,
+            busy_s=self.busy_s * factor,
+            sync_s=self.sync_s * factor,
+            overhead_s=self.overhead_s * factor,
+            transfer_s=self.transfer_s * factor,
+            n_kernels=int(round(self.n_kernels * factor)),
+        )
+
+    def fraction(self, component: str) -> float:
+        """Share of ``total_s`` spent in a named component ('sync_s' etc.)."""
+        value = getattr(self, component)
+        return value / self.total_s if self.total_s > 0 else 0.0
+
+
+@dataclass
+class TraceEntry:
+    """One executed kernel with its timing and clock interval."""
+
+    kernel: Kernel
+    start_s: float
+    end_s: float
+    compute_s: float
+    memory_s: float
+    sync_s: float
+    overhead_s: float
+    transfer_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Trace:
+    """Accumulates executed kernels; cheap to keep off (``enabled=False``)
+    because the breakdown counters are always maintained."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.entries: List[TraceEntry] = []
+        self._totals = dict(
+            total_s=0.0,
+            compute_s=0.0,
+            memory_s=0.0,
+            busy_s=0.0,
+            sync_s=0.0,
+            overhead_s=0.0,
+            transfer_s=0.0,
+            n_kernels=0,
+        )
+        self._by_kind: Dict[KernelKind, float] = {}
+
+    def record(
+        self,
+        kernel: Kernel,
+        start_s: float,
+        end_s: float,
+        compute_s: float,
+        memory_s: float,
+        sync_s: float,
+        overhead_s: float,
+        transfer_s: float,
+    ) -> None:
+        """Account one executed kernel."""
+        duration = end_s - start_s
+        t = self._totals
+        t["total_s"] += duration
+        t["compute_s"] += compute_s
+        t["memory_s"] += memory_s
+        t["busy_s"] += max(compute_s, memory_s)
+        t["sync_s"] += sync_s
+        t["overhead_s"] += overhead_s
+        t["transfer_s"] += transfer_s
+        t["n_kernels"] += 1
+        self._by_kind[kernel.kind] = self._by_kind.get(kernel.kind, 0.0) + duration
+        if self.enabled:
+            self.entries.append(
+                TraceEntry(
+                    kernel, start_s, end_s, compute_s, memory_s, sync_s, overhead_s,
+                    transfer_s,
+                )
+            )
+
+    def breakdown(self) -> TimingBreakdown:
+        """Aggregate totals as an immutable snapshot."""
+        return TimingBreakdown(**self._totals)
+
+    def time_by_kind(self) -> Dict[str, float]:
+        """Wall seconds per kernel kind (keys are the enum values)."""
+        return {kind.value: seconds for kind, seconds in self._by_kind.items()}
+
+    def reset(self) -> None:
+        """Drop all recorded data."""
+        self.entries.clear()
+        for key in self._totals:
+            self._totals[key] = 0 if key == "n_kernels" else 0.0
+        self._by_kind.clear()
+
+    def to_chrome_trace(self, process_name: str = "simulated-machine") -> dict:
+        """Export recorded entries in Chrome trace-event format.
+
+        Load the returned dict (dumped as JSON) in ``chrome://tracing``
+        or Perfetto to see the kernel timeline.  Requires the trace to
+        have been recorded with ``enabled=True``.  One lane per kernel
+        kind; durations in microseconds per the format.
+        """
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "args": {"name": process_name},
+            }
+        ]
+        lanes = {}
+        for entry in self.entries:
+            kind = entry.kernel.kind.value
+            if kind not in lanes:
+                lanes[kind] = len(lanes) + 1
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 1,
+                        "tid": lanes[kind],
+                        "args": {"name": kind},
+                    }
+                )
+            events.append(
+                {
+                    "name": entry.kernel.name,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": lanes[kind],
+                    "ts": entry.start_s * 1e6,
+                    "dur": entry.duration_s * 1e6,
+                    "args": {
+                        "flops": entry.kernel.flops,
+                        "bytes": entry.kernel.bytes_total,
+                        "sync_s": entry.sync_s,
+                    },
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def __len__(self) -> int:
+        return self._totals["n_kernels"]

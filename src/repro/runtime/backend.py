@@ -1,0 +1,237 @@
+"""Execution backends — the paper's Table I optimization steps as objects.
+
+The paper optimizes its coprocessor code in four cumulative steps:
+
+1. **Baseline** — straight sequential C code: one thread, no
+   vectorisation, naive triple-loop matrix multiply.
+2. **OpenMP** — "we then used OpenMP to parallelize all the loops":
+   all hardware threads, still scalar, still naive GEMM.
+3. **OpenMP+MKL** — GEMMs go to MKL and the sampling/update loops are
+   vectorised (Eqs. 14–18), but every small loop is its own parallel
+   region: "the loop body is relatively small and the time cost in
+   synchronization accounts most of the total time".
+4. **Improved OpenMP+MKL** — "we finally combine several loops together
+   to make the granularity more suitable": element-wise ops are fused,
+   independent kernels are overlapped per the Fig. 6 dependency graph.
+
+An :class:`ExecutionBackend` captures the *software* knobs of a run; the
+machine's physical limits live in :class:`repro.phi.spec.MachineSpec`.
+The free parameters here (efficiency factors) are calibrated against the
+paper's measured anchors — see DESIGN.md §2 and the calibration tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class OptimizationLevel(enum.Enum):
+    """Table I's rows, in cumulative order."""
+
+    BASELINE = "baseline"
+    OPENMP = "openmp"
+    OPENMP_MKL = "openmp_mkl"
+    IMPROVED = "improved_openmp_mkl"
+
+    @property
+    def rank(self) -> int:
+        """Position in the cumulative optimization order (0 = baseline)."""
+        return list(OptimizationLevel).index(self)
+
+
+@dataclass(frozen=True)
+class ExecutionBackend:
+    """Software configuration of a simulated run.
+
+    Attributes
+    ----------
+    name:
+        Display label.
+    level:
+        Which Table I step this corresponds to (``None`` for the Matlab
+        and optimized-CPU references).
+    use_simd:
+        Vectorised element-wise/sampling loops (the VPU rewrite,
+        Eqs. 14–15).
+    use_mkl:
+        GEMM via the optimized BLAS path instead of the naive loops.
+    use_all_threads:
+        Spawn one software thread per hardware thread; False = sequential.
+    fused_elementwise:
+        Element-wise kernels merged into few parallel regions (step 4).
+    overlap_independent:
+        Execute independent kernels of a dependency-graph wavefront
+        concurrently (Fig. 6 scheduling; step 4).
+    naive_parallel_efficiency:
+        Thread-scaling efficiency of *naive* (non-MKL) loops — OpenMP
+        over an unblocked GEMM suffers load imbalance and pipe
+        contention on 4-way SMT in-order cores.
+    gemm_eff_max:
+        Asymptotic fraction of machine peak the GEMM path reaches for
+        large matrices (MKL-on-Phi ≈ 0.75 of double peak at these
+        shapes; single-core MKL on the Xeon ≈ 0.85; Matlab ≈ 0.55
+        because of interpreter-side copies).
+    elementwise_bw_efficiency:
+        Fraction of achievable bandwidth element-wise regions reach.
+        Unfused fine-grained regions waste most of it (≈0.1); fused
+        streaming loops come close to STREAM (≈0.6).
+    temp_traffic_factor:
+        Multiplier on element-wise memory traffic for temporaries the
+        runtime materialises (Matlab's expression evaluation ≈ 3×).
+    per_op_overhead_s:
+        Fixed per-kernel dispatch overhead (interpreter cost for Matlab,
+        ~0 for compiled code).
+    unfused_region_count:
+        Parallel regions one element-wise kernel decomposes into when the
+        loops are left at their natural (too fine) granularity — the
+        paper's §IV.B.2 observation that "the loop body is relatively
+        small and the time cost in synchronization accounts most of the
+        total time".  1 for fused / sequential code.
+    threads_override:
+        Exact software thread count, overriding ``use_all_threads``.
+    """
+
+    name: str
+    level: Optional[OptimizationLevel]
+    use_simd: bool
+    use_mkl: bool
+    use_all_threads: bool
+    fused_elementwise: bool
+    overlap_independent: bool
+    naive_parallel_efficiency: float = 0.28
+    gemm_eff_max: float = 0.75
+    elementwise_bw_efficiency: float = 0.6
+    temp_traffic_factor: float = 1.0
+    per_op_overhead_s: float = 0.0
+    unfused_region_count: int = 1
+    threads_override: Optional[int] = None
+
+    def __post_init__(self):
+        for field_name in ("naive_parallel_efficiency", "gemm_eff_max", "elementwise_bw_efficiency"):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{field_name} must lie in (0, 1], got {value}")
+        if self.temp_traffic_factor < 1.0:
+            raise ConfigurationError("temp_traffic_factor must be >= 1")
+        if self.per_op_overhead_s < 0.0:
+            raise ConfigurationError("per_op_overhead_s must be >= 0")
+        if self.unfused_region_count < 1:
+            raise ConfigurationError("unfused_region_count must be >= 1")
+        if self.threads_override is not None and self.threads_override < 1:
+            raise ConfigurationError("threads_override must be >= 1")
+
+    def threads_for(self, spec) -> int:
+        """Software threads this backend launches on ``spec``."""
+        if self.threads_override is not None:
+            return min(self.threads_override, spec.max_threads)
+        return spec.max_threads if self.use_all_threads else 1
+
+    def with_threads(self, n_threads: int) -> "ExecutionBackend":
+        """Copy of this backend pinned to ``n_threads`` software threads."""
+        return replace(self, threads_override=n_threads)
+
+
+# ---------------------------------------------------------------------------
+# the Table I ladder
+# ---------------------------------------------------------------------------
+
+_LEVEL_BACKENDS = {
+    OptimizationLevel.BASELINE: ExecutionBackend(
+        name="baseline-sequential",
+        level=OptimizationLevel.BASELINE,
+        use_simd=False,
+        use_mkl=False,
+        use_all_threads=False,
+        fused_elementwise=False,
+        overlap_independent=False,
+    ),
+    OptimizationLevel.OPENMP: ExecutionBackend(
+        name="openmp",
+        level=OptimizationLevel.OPENMP,
+        use_simd=False,
+        use_mkl=False,
+        use_all_threads=True,
+        fused_elementwise=False,
+        overlap_independent=False,
+        naive_parallel_efficiency=0.28,
+        elementwise_bw_efficiency=0.1,
+        unfused_region_count=200,
+    ),
+    OptimizationLevel.OPENMP_MKL: ExecutionBackend(
+        name="openmp+mkl",
+        level=OptimizationLevel.OPENMP_MKL,
+        use_simd=True,
+        use_mkl=True,
+        use_all_threads=True,
+        fused_elementwise=False,
+        overlap_independent=False,
+        gemm_eff_max=0.68,
+        elementwise_bw_efficiency=0.1,
+        unfused_region_count=200,
+    ),
+    OptimizationLevel.IMPROVED: ExecutionBackend(
+        name="improved-openmp+mkl",
+        level=OptimizationLevel.IMPROVED,
+        use_simd=True,
+        use_mkl=True,
+        use_all_threads=True,
+        fused_elementwise=True,
+        overlap_independent=True,
+        gemm_eff_max=0.68,
+        elementwise_bw_efficiency=0.6,
+    ),
+}
+
+
+def backend_for_level(level: OptimizationLevel) -> ExecutionBackend:
+    """The backend corresponding to one of Table I's optimization steps."""
+    if not isinstance(level, OptimizationLevel):
+        raise ConfigurationError(f"level must be an OptimizationLevel, got {level!r}")
+    return _LEVEL_BACKENDS[level]
+
+
+def optimized_cpu_backend(n_threads: Optional[int] = None) -> ExecutionBackend:
+    """The fully-optimized code compiled for the Xeon host.
+
+    ``n_threads=1`` models the paper's "sequential [algorithm] on single
+    CPU core on host" reference of Figs. 7–9; ``None`` uses the whole chip
+    (the abstract's 7–10× comparison).
+    """
+    return ExecutionBackend(
+        name="optimized-cpu" if n_threads is None else f"optimized-cpu-{n_threads}t",
+        level=None,
+        use_simd=True,
+        use_mkl=True,
+        use_all_threads=n_threads is None,
+        fused_elementwise=True,
+        overlap_independent=False,
+        gemm_eff_max=0.85,
+        elementwise_bw_efficiency=0.6,
+        threads_override=n_threads,
+    )
+
+
+def matlab_backend() -> ExecutionBackend:
+    """Matlab R2012a on the host (paper Fig. 10).
+
+    Matlab calls a multithreaded BLAS for the GEMMs ("Matlab has its own
+    optimization of matrix operations") but evaluates element-wise
+    expressions through the interpreter, materialising temporaries.
+    """
+    return ExecutionBackend(
+        name="matlab-r2012a",
+        level=None,
+        use_simd=True,
+        use_mkl=True,
+        use_all_threads=True,
+        fused_elementwise=False,
+        overlap_independent=False,
+        gemm_eff_max=0.44,
+        elementwise_bw_efficiency=0.5,
+        temp_traffic_factor=3.0,
+        per_op_overhead_s=1e-3,
+    )

@@ -1,0 +1,101 @@
+"""GEMM performance models: MKL-like blocked code vs. naive triple loops.
+
+The paper's single most important optimization is routing matrix products
+through MKL (§IV.B: without it "the eventual optimizing effect would be
+very limited").  Two models:
+
+* :func:`mkl_gemm_efficiency` — fraction of machine peak a blocked,
+  vectorised GEMM reaches as a function of the problem shape.  Small
+  dimensions cannot fill the pipeline/thread pool, which is what makes
+  small networks and small mini-batches slow on the Phi (Figs. 7 and 9).
+* :func:`naive_gemm_traffic` — memory traffic of an unblocked triple
+  loop, which re-streams operands from memory with only cache-line reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+_F64 = 8
+
+
+def _saturation(x: float, half: float) -> float:
+    """x / (x + half): 0→0, half→0.5, ∞→1.  The standard soft-knee."""
+    return x / (x + half)
+
+
+def mkl_gemm_efficiency(spec, backend, m: int, n: int, k: int) -> float:
+    """Fraction of ``spec`` peak an MKL-like GEMM of shape (m,n,k) achieves.
+
+    The efficiency saturates toward ``backend.gemm_eff_max`` as every
+    dimension grows.  Half-saturation points scale with the machine's
+    parallel width: the m dimension (rows, which MKL splits across
+    threads) needs ~2.5 rows per software thread; n and k need a few
+    vector registers' worth of columns per core.
+    """
+    if min(m, n, k) < 1:
+        raise ConfigurationError(f"GEMM dims must be >= 1, got ({m}, {n}, {k})")
+    threads = backend.threads_for(spec)
+    m_half = max(32.0, 2.5 * threads)
+    nk_half = max(32.0, 16.0 * spec.vector_lanes_f64)
+    eff = (
+        backend.gemm_eff_max
+        * _saturation(float(m), m_half)
+        * _saturation(float(n), nk_half)
+        * _saturation(float(k), nk_half)
+    )
+    # A GEMM can never beat ~1 % of peak no matter how degenerate — the
+    # model's floor keeps tiny test problems from producing absurd times.
+    return max(eff, 1e-2 * backend.gemm_eff_max)
+
+
+def naive_gemm_traffic(m: int, n: int, k: int, l2_cache_bytes: int) -> float:
+    """Memory bytes moved by an unblocked i-j-k triple loop.
+
+    Per (i, j) inner product the loop streams the B column (k elements);
+    A rows stay cached.  Cache lines give ~8 float64 of spatial reuse,
+    and whatever fraction of B fits in L2 is reused across i iterations.
+    """
+    if min(m, n, k) < 1:
+        raise ConfigurationError(f"GEMM dims must be >= 1, got ({m}, {n}, {k})")
+    if l2_cache_bytes < 1:
+        raise ConfigurationError("l2_cache_bytes must be >= 1")
+    b_bytes = float(k) * n * _F64
+    cached_fraction = min(1.0, l2_cache_bytes / b_bytes)
+    line_reuse = 8.0
+    # B streamed once per row of A, minus cache hits; A and C streamed once.
+    b_traffic = m * b_bytes * (1.0 - cached_fraction) / line_reuse + b_bytes
+    ac_traffic = float(m) * k * _F64 + 2.0 * float(m) * n * _F64
+    return b_traffic + ac_traffic
+
+
+def gemm_time_components(spec, backend, m: int, n: int, k: int) -> Tuple[float, float]:
+    """(compute_seconds, memory_seconds) for one GEMM on ``spec``/``backend``.
+
+    The caller takes ``max`` of the two (roofline).  Dispatches on
+    ``backend.use_mkl``:
+
+    * MKL path — compute-limited by ``peak × efficiency``; memory traffic
+      is the minimal operand traffic (blocked code achieves near-perfect
+      reuse).
+    * naive path — compute-limited by the scalar issue rate times the
+      naive thread-scaling efficiency; memory traffic from
+      :func:`naive_gemm_traffic`.
+    """
+    threads = backend.threads_for(spec)
+    flops = 2.0 * m * n * k
+    operand_bytes = _F64 * (m * k + k * n + m * n)
+    if backend.use_mkl:
+        eff = mkl_gemm_efficiency(spec, backend, m, n, k)
+        compute = flops / (spec.peak_flops_threads(threads, simd=True) * eff)
+        memory = operand_bytes / spec.bandwidth_threads(threads)
+    else:
+        peak = spec.peak_flops_threads(threads, simd=False)
+        if threads > 1:
+            peak *= backend.naive_parallel_efficiency
+        compute = flops / peak
+        traffic = naive_gemm_traffic(m, n, k, spec.l2_cache_per_core)
+        memory = traffic / spec.bandwidth_threads(threads)
+    return compute, memory

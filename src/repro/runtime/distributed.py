@@ -1,0 +1,152 @@
+"""Data-parallel scaling across multiple coprocessors.
+
+The paper's related work contrasts its single-card approach with
+Google's distributed deep networks; the natural multi-card extension of
+its scheme is **synchronous data-parallel SGD**: each of N coprocessors
+holds a model replica, processes 1/N of every mini-batch, and gradients
+are all-reduced through the host between updates.
+
+The model per update:
+
+    compute  = per-device step time at batch m/N   (from the trainers'
+               cost machinery — small per-device batches starve the
+               240 threads, which is what kills strong scaling)
+    sync     = 2 · param_bytes · N / host_bw + 2N · latency
+               (gather gradients + scatter parameters through one host
+               PCIe complex)
+    update   = max(compute) + sync          (synchronous SGD barrier)
+
+Weak vs strong scaling both fall out: strong scaling shrinks the
+per-device batch, weak scaling keeps it fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.errors import ConfigurationError
+from repro.phi.pcie import PCIeModel
+from repro.utils.validation import check_int
+
+# NOTE: repro.core imports this package's siblings at import time, so the
+# TrainingConfig import must stay inside the function to avoid a cycle.
+
+_F64 = 8
+
+
+@dataclass(frozen=True)
+class DataParallelPoint:
+    """Scaling measurement at one device count."""
+
+    n_devices: int
+    per_device_batch: int
+    compute_per_update_s: float
+    sync_per_update_s: float
+    total_seconds: float
+    speedup: float  # vs n_devices=1
+    efficiency: float  # speedup / n_devices
+
+    @property
+    def sync_fraction(self) -> float:
+        per_update = self.compute_per_update_s + self.sync_per_update_s
+        return self.sync_per_update_s / per_update if per_update > 0 else 0.0
+
+
+def _gradient_bytes(trainer) -> float:
+    """Bytes exchanged per device per update: the full gradient (half of
+    the trainer's resident params+grads allocation)."""
+    return trainer.parameter_bytes() / 2.0
+
+
+def simulate_data_parallel(
+    config,
+    trainer_cls: Type,
+    device_counts: Sequence[int] = (1, 2, 4, 8),
+    host_link: Optional[PCIeModel] = None,
+    scaling: str = "strong",
+) -> List[DataParallelPoint]:
+    """Scaling curve of synchronous data-parallel training.
+
+    Parameters
+    ----------
+    config:
+        The single-device workload.  ``strong`` scaling divides its
+        batch across devices (same global batch, same update count);
+        ``weak`` scaling keeps the per-device batch and multiplies the
+        global batch (same update count, N× the data per update).
+    trainer_cls:
+        :class:`~repro.core.ae_trainer.SparseAutoencoderTrainer` or the
+        RBM/fine-tuning trainers.
+    host_link:
+        PCIe model for the gradient exchange; defaults to the device's
+        link capability.
+    """
+    from repro.core.config import TrainingConfig
+
+    if scaling not in ("strong", "weak"):
+        raise ConfigurationError(f"scaling must be 'strong' or 'weak', got {scaling!r}")
+    for n in device_counts:
+        check_int(n, "n_devices", minimum=1)
+    if not config.machine.is_coprocessor:
+        raise ConfigurationError("data-parallel scaling models coprocessor clusters")
+    link = host_link if host_link is not None else PCIeModel.for_spec(config.machine)
+
+    updates = config.total_updates
+    points: List[DataParallelPoint] = []
+    baseline_total: Optional[float] = None
+    for n in sorted(set(int(n) for n in device_counts)):
+        if scaling == "strong":
+            per_device_batch = max(1, config.batch_size // n)
+        else:
+            per_device_batch = config.batch_size
+        probe_cfg = TrainingConfig(
+            n_visible=config.n_visible,
+            n_hidden=config.n_hidden,
+            n_examples=max(per_device_batch, 1),
+            batch_size=per_device_batch,
+            machine=config.machine,
+            level=config.level,
+            backend=config.backend,
+        )
+        trainer = trainer_cls(probe_cfg)
+        compute_s, _ = trainer._update_cost(per_device_batch)
+        if n == 1:
+            sync_s = 0.0
+        else:
+            grad_bytes = _gradient_bytes(trainer)
+            sync_s = 2.0 * grad_bytes * n / link.effective_bandwidth + (
+                2.0 * n * link.latency_s
+            )
+        total = updates * (compute_s + sync_s)
+        if baseline_total is None:
+            baseline_total = total
+        speedup = baseline_total / total if total > 0 else float("inf")
+        points.append(
+            DataParallelPoint(
+                n_devices=n,
+                per_device_batch=per_device_batch,
+                compute_per_update_s=compute_s,
+                sync_per_update_s=sync_s,
+                total_seconds=total,
+                speedup=speedup,
+                efficiency=speedup / n,
+            )
+        )
+    return points
+
+
+def scaling_rows(points: Sequence[DataParallelPoint]) -> List[Dict[str, object]]:
+    """Rows for :func:`repro.bench.report.format_table`."""
+    return [
+        {
+            "devices": p.n_devices,
+            "per_device_batch": p.per_device_batch,
+            "compute_ms": p.compute_per_update_s * 1e3,
+            "sync_ms": p.sync_per_update_s * 1e3,
+            "total_s": p.total_seconds,
+            "speedup": p.speedup,
+            "efficiency": p.efficiency,
+        }
+        for p in points
+    ]

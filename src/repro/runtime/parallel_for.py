@@ -1,0 +1,131 @@
+"""OpenMP-style parallel-loop model (paper §IV.B.2).
+
+The paper's granularity lesson — "the loop body is relatively small and
+the time cost in synchronization accounts most of the total time.  We
+finally combine several loops together to make the granularity more
+suitable" — is a statement about this model: a parallel-for of n
+iterations × b seconds of body across T threads costs
+
+    max over threads of (its chunk's body time) + fork/join barrier
+
+so speedup collapses when n·b is small relative to the barrier.  This
+module makes that trade-off explicit and testable; the cost model's
+per-kernel sync charges are the same phenomenon folded into kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ParallelForTiming:
+    """Result of simulating one parallel loop."""
+
+    body_s: float  # per-thread busy time (max chunk)
+    sync_s: float  # fork/join cost
+    serial_s: float  # what a single thread would have taken
+
+    @property
+    def total_s(self) -> float:
+        return self.body_s + self.sync_s
+
+    @property
+    def speedup(self) -> float:
+        """Serial time over parallel time."""
+        return self.serial_s / self.total_s if self.total_s > 0 else float("inf")
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per thread actually needed to achieve it."""
+        if self.body_s <= 0:
+            return 0.0
+        implied_threads = self.serial_s / self.body_s
+        return self.speedup / implied_threads if implied_threads > 0 else 0.0
+
+
+def simulate_parallel_for(
+    n_iterations: int,
+    body_seconds: float,
+    spec,
+    n_threads: Optional[int] = None,
+    schedule: str = "static",
+    chunk_size: Optional[int] = None,
+) -> ParallelForTiming:
+    """Time an OpenMP-style ``parallel for`` on machine ``spec``.
+
+    Parameters
+    ----------
+    n_iterations / body_seconds:
+        Loop trip count and per-iteration body cost.
+    n_threads:
+        Defaults to all hardware threads.
+    schedule:
+        ``"static"`` — iterations pre-split into ⌈n/T⌉ blocks;
+        ``"dynamic"`` — work-stealing with per-chunk dispatch cost, using
+        ``chunk_size`` (default 1);
+        ``"guided"`` — OpenMP's geometric schedule: chunk sizes start at
+        n/T and halve toward ``chunk_size`` (default 1), giving dynamic
+        balancing with ~T·log₂(n/T) dispatches instead of n.
+    """
+    if n_iterations < 1:
+        raise ConfigurationError(f"n_iterations must be >= 1, got {n_iterations}")
+    if body_seconds < 0:
+        raise ConfigurationError(f"body_seconds must be >= 0, got {body_seconds}")
+    threads = spec.max_threads if n_threads is None else n_threads
+    if threads < 1:
+        raise ConfigurationError(f"n_threads must be >= 1, got {threads}")
+    threads = min(threads, spec.max_threads)
+
+    serial = n_iterations * body_seconds
+    if threads == 1:
+        return ParallelForTiming(body_s=serial, sync_s=0.0, serial_s=serial)
+
+    if schedule == "static":
+        chunk = math.ceil(n_iterations / threads)
+        body = chunk * body_seconds
+        sync = spec.barrier_cost(threads)
+    elif schedule == "dynamic":
+        size = 1 if chunk_size is None else max(1, int(chunk_size))
+        n_chunks = math.ceil(n_iterations / size)
+        # Dynamic scheduling balances perfectly but pays a dispatch
+        # (queue lock) per chunk, serialised through one counter.
+        dispatch = 0.25 * spec.barrier_cost(2)  # one lock op, not a full barrier
+        body = serial / threads + math.ceil(n_chunks / threads) * dispatch
+        sync = spec.barrier_cost(threads) + dispatch * (n_chunks % threads)
+    elif schedule == "guided":
+        minimum = 1 if chunk_size is None else max(1, int(chunk_size))
+        # Count the geometric chunk sequence: each grab takes
+        # ceil(remaining / threads), floored at `minimum`.
+        remaining = n_iterations
+        n_chunks = 0
+        while remaining > 0:
+            grab = max(minimum, math.ceil(remaining / threads))
+            remaining -= min(grab, remaining)
+            n_chunks += 1
+        dispatch = 0.25 * spec.barrier_cost(2)
+        body = serial / threads + math.ceil(n_chunks / threads) * dispatch
+        sync = spec.barrier_cost(threads)
+    else:
+        raise ConfigurationError(f"unknown schedule {schedule!r}")
+    return ParallelForTiming(body_s=body, sync_s=sync, serial_s=serial)
+
+
+def fused_loop_advantage(
+    n_loops: int, n_iterations: int, body_seconds: float, spec, n_threads: Optional[int] = None
+) -> float:
+    """Seconds saved by fusing ``n_loops`` identical parallel loops into one.
+
+    The fused loop runs the same total body work but pays one barrier
+    instead of ``n_loops`` — the quantitative content of the paper's
+    "Improved OpenMP+MKL" step.
+    """
+    if n_loops < 1:
+        raise ConfigurationError(f"n_loops must be >= 1, got {n_loops}")
+    separate = simulate_parallel_for(n_iterations, body_seconds, spec, n_threads)
+    fused = simulate_parallel_for(n_iterations, body_seconds * n_loops, spec, n_threads)
+    return n_loops * separate.total_s - fused.total_s

@@ -1,0 +1,38 @@
+"""Shared utilities: RNG management, stable math, validation, logging."""
+
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.mathx import (
+    sigmoid,
+    sigmoid_grad,
+    logistic_log1pexp,
+    kl_bernoulli,
+    kl_bernoulli_grad,
+    log_sum_exp,
+)
+from repro.utils.validation import (
+    check_2d,
+    check_matrix_shapes,
+    check_positive,
+    check_probability,
+    check_in_range,
+)
+from repro.utils.serialization import save_model, load_model
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "sigmoid",
+    "sigmoid_grad",
+    "logistic_log1pexp",
+    "kl_bernoulli",
+    "kl_bernoulli_grad",
+    "log_sum_exp",
+    "check_2d",
+    "check_matrix_shapes",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "save_model",
+    "load_model",
+]

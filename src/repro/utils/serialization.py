@@ -1,0 +1,142 @@
+"""Model persistence: save/load the library's models as ``.npz`` archives.
+
+Each archive stores a ``__model__`` tag, a format version, the
+constructor hyper-parameters, and the parameter arrays, so loading
+rebuilds an equivalent object without pickling code objects (safe to
+share between machines/versions).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_FORMAT_VERSION = 1
+PathLike = Union[str, Path]
+
+
+def _pack(path: PathLike, kind: str, meta: dict, **arrays) -> Path:
+    path = Path(path)
+    header = json.dumps(
+        {"model": kind, "version": _FORMAT_VERSION, "meta": meta}
+    )
+    np.savez(path, __header__=np.frombuffer(header.encode(), dtype=np.uint8), **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def _unpack(path: PathLike):
+    with np.load(Path(path), allow_pickle=False) as data:
+        if "__header__" not in data:
+            raise ConfigurationError(f"{path}: not a repro model archive")
+        header = json.loads(bytes(data["__header__"].tobytes()).decode())
+        if header.get("version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path}: unsupported archive version {header.get('version')}"
+            )
+        arrays = {k: data[k] for k in data.files if k != "__header__"}
+    return header["model"], header["meta"], arrays
+
+
+def save_model(model, path: PathLike) -> Path:
+    """Save a SparseAutoencoder, RBM, GaussianBernoulliRBM, or DeepNetwork."""
+    from repro.nn.autoencoder import SparseAutoencoder
+    from repro.nn.gaussian_rbm import GaussianBernoulliRBM
+    from repro.nn.mlp import DeepNetwork
+    from repro.nn.rbm import RBM
+
+    if isinstance(model, SparseAutoencoder):
+        return _pack(
+            path,
+            "sparse_autoencoder",
+            {
+                "n_visible": model.n_visible,
+                "n_hidden": model.n_hidden,
+                "weight_decay": model.cost.weight_decay,
+                "sparsity_target": model.cost.sparsity_target,
+                "sparsity_weight": model.cost.sparsity_weight,
+                "hidden_activation": model.hidden_activation.name,
+                "output_activation": model.output_activation.name,
+            },
+            w1=model.w1, b1=model.b1, w2=model.w2, b2=model.b2,
+        )
+    if isinstance(model, GaussianBernoulliRBM):
+        return _pack(
+            path,
+            "gaussian_rbm",
+            {"n_visible": model.n_visible, "n_hidden": model.n_hidden},
+            w=model.w, b=model.b, c=model.c,
+        )
+    if isinstance(model, RBM):
+        return _pack(
+            path,
+            "rbm",
+            {"n_visible": model.n_visible, "n_hidden": model.n_hidden},
+            w=model.w, b=model.b, c=model.c,
+        )
+    if isinstance(model, DeepNetwork):
+        arrays = {}
+        for i, layer in enumerate(model.layers):
+            arrays[f"w{i}"] = layer.w
+            arrays[f"b{i}"] = layer.b
+        return _pack(
+            path,
+            "deep_network",
+            {
+                "layer_sizes": model.layer_sizes,
+                "head": model.head,
+                "weight_decay": model.weight_decay,
+                "hidden_activation": model.layers[0].activation.name
+                if model.n_layers > 1
+                else "sigmoid",
+            },
+            **arrays,
+        )
+    raise ConfigurationError(f"cannot serialise model of type {type(model).__name__}")
+
+
+def load_model(path: PathLike):
+    """Load any archive written by :func:`save_model`."""
+    from repro.nn.autoencoder import SparseAutoencoder
+    from repro.nn.cost import SparseAutoencoderCost
+    from repro.nn.gaussian_rbm import GaussianBernoulliRBM
+    from repro.nn.mlp import DeepNetwork
+    from repro.nn.rbm import RBM
+
+    kind, meta, arrays = _unpack(path)
+    if kind == "sparse_autoencoder":
+        model = SparseAutoencoder(
+            meta["n_visible"],
+            meta["n_hidden"],
+            cost=SparseAutoencoderCost(
+                weight_decay=meta["weight_decay"],
+                sparsity_target=meta["sparsity_target"],
+                sparsity_weight=meta["sparsity_weight"],
+            ),
+            hidden_activation=meta["hidden_activation"],
+            output_activation=meta["output_activation"],
+        )
+        model.w1, model.b1 = arrays["w1"], arrays["b1"]
+        model.w2, model.b2 = arrays["w2"], arrays["b2"]
+        return model
+    if kind in ("rbm", "gaussian_rbm"):
+        cls = RBM if kind == "rbm" else GaussianBernoulliRBM
+        model = cls(meta["n_visible"], meta["n_hidden"])
+        model.w, model.b, model.c = arrays["w"], arrays["b"], arrays["c"]
+        return model
+    if kind == "deep_network":
+        model = DeepNetwork(
+            meta["layer_sizes"],
+            hidden_activation=meta["hidden_activation"],
+            head=meta["head"],
+            weight_decay=meta["weight_decay"],
+        )
+        for i, layer in enumerate(model.layers):
+            layer.w = arrays[f"w{i}"]
+            layer.b = arrays[f"b{i}"]
+        return model
+    raise ConfigurationError(f"{path}: unknown model kind {kind!r}")

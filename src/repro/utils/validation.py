@@ -1,0 +1,75 @@
+"""Argument validation helpers.
+
+Public API entry points validate eagerly and raise :class:`repro.errors`
+exceptions with actionable messages; internal hot loops skip validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError, ConfigurationError
+
+
+def check_2d(x: np.ndarray, name: str = "array") -> np.ndarray:
+    """Require a 2-D float array (n_samples × n_features); return float64 view."""
+    arr = np.asarray(x)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D (samples x features), got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(np.float64)
+    return arr
+
+
+def check_matrix_shapes(x: np.ndarray, n_features: int, name: str = "X") -> np.ndarray:
+    """Require ``x`` to be 2-D with exactly ``n_features`` columns."""
+    arr = check_2d(x, name)
+    if arr.shape[1] != n_features:
+        raise ShapeError(
+            f"{name} has {arr.shape[1]} features but the model expects {n_features}"
+        )
+    return arr
+
+
+def check_positive(value, name: str, strict: bool = True):
+    """Require a positive (or non-negative when ``strict=False``) scalar."""
+    if value is None or not np.isscalar(value) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a numeric scalar, got {value!r}")
+    if strict and not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value, name: str, *, open_interval: bool = True):
+    """Require a probability; ``open_interval`` excludes the endpoints 0 and 1."""
+    if not np.isscalar(value) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a numeric scalar, got {value!r}")
+    if open_interval:
+        if not (0.0 < value < 1.0):
+            raise ConfigurationError(f"{name} must lie in (0, 1), got {value}")
+    else:
+        if not (0.0 <= value <= 1.0):
+            raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(value, name: str, lo, hi):
+    """Require ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ConfigurationError(f"{name} must lie in [{lo}, {hi}], got {value}")
+    return value
+
+
+def check_int(value, name: str, minimum: Optional[int] = None) -> int:
+    """Require an integer, optionally bounded below."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)

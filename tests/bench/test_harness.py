@@ -1,0 +1,193 @@
+"""Tests for repro.bench — workloads and the experiment harness.
+
+These assert the *shape* claims of each figure, i.e. the paper's stated
+findings, on top of the calibration anchors tested in
+tests/phi/test_calibration.py.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    run_core_scaling,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+)
+from repro.bench.workloads import (
+    FIG7_NETWORKS,
+    FIG8_DATASET_SIZES,
+    FIG9_BATCH_SIZES,
+    fig7_autoencoder_config,
+    fig7_rbm_config,
+    fig9_autoencoder_config,
+    table1_pretrainer,
+)
+from repro.core.config import OptimizationLevel
+from repro.phi.spec import XEON_PHI_5110P
+
+
+class TestWorkloadDefinitions:
+    def test_fig7_parameters_match_paper(self):
+        cfg = fig7_autoencoder_config(FIG7_NETWORKS[0])
+        assert cfg.n_examples == 1_000_000  # "about 1 million training examples"
+        assert cfg.batch_size == 1000
+        rbm = fig7_rbm_config(FIG7_NETWORKS[0])
+        assert rbm.n_examples == 100_000  # "100,000 and 200 respectively"
+        assert rbm.batch_size == 200
+
+    def test_fig7_ladder_spans_paper_range(self):
+        assert FIG7_NETWORKS[0] == (576, 1024)
+        assert FIG7_NETWORKS[-1] == (4096, 16384)
+
+    def test_fig9_parameters_match_paper(self):
+        cfg = fig9_autoencoder_config(200)
+        assert cfg.n_visible == 1024 and cfg.n_hidden == 4096
+        assert cfg.n_examples == 100_000
+        assert FIG9_BATCH_SIZES[0] == 200 and FIG9_BATCH_SIZES[-1] == 10_000
+
+    def test_table1_workload(self):
+        pre = table1_pretrainer(XEON_PHI_5110P, OptimizationLevel.IMPROVED)
+        assert pre.layer_sizes == (1024, 512, 256, 128)
+        assert pre.iterations_per_layer == 200
+
+
+@pytest.fixture(scope="module")
+def fig7_ae():
+    return run_fig7("autoencoder")
+
+
+@pytest.fixture(scope="module")
+def fig7_rbm():
+    return run_fig7("rbm")
+
+
+class TestFig7Shapes:
+    """Paper: 'when the size of the network goes larger … the time costs
+    of single CPU core … increases sharply.  However, the time growth of
+    our implementation on Intel Xeon Phi is mild. … the difference between
+    single CPU core and Intel Xeon Phi is small when the size of network
+    is small.'"""
+
+    def test_row_per_network(self, fig7_ae):
+        assert len(fig7_ae) == len(FIG7_NETWORKS)
+
+    def test_cpu_grows_almost_linearly_in_weights(self, fig7_ae):
+        first, last = fig7_ae[0], fig7_ae[-1]
+        weight_ratio = last["weights"] / first["weights"]
+        time_ratio = last["cpu1_s"] / first["cpu1_s"]
+        assert time_ratio == pytest.approx(weight_ratio, rel=0.25)
+
+    def test_phi_growth_is_milder_than_cpu(self, fig7_ae):
+        first, last = fig7_ae[0], fig7_ae[-1]
+        cpu_growth = last["cpu1_s"] / first["cpu1_s"]
+        phi_growth = last["phi_s"] / first["phi_s"]
+        assert phi_growth < 0.8 * cpu_growth
+
+    def test_gap_smallest_at_smallest_network(self, fig7_ae):
+        speedups = [row["speedup"] for row in fig7_ae]
+        assert speedups[0] == min(speedups)
+
+    def test_phi_always_wins(self, fig7_ae, fig7_rbm):
+        for row in fig7_ae + fig7_rbm:
+            assert row["phi_s"] < row["cpu1_s"]
+
+    def test_rbm_shows_same_shape(self, fig7_rbm):
+        speedups = [row["speedup"] for row in fig7_rbm]
+        assert speedups[0] == min(speedups)
+        assert speedups[-1] == max(speedups)
+
+
+class TestFig8Shapes:
+    """Paper: 'When the size of dataset increases, the time cost by single
+    CPU core increases much faster than Intel Xeon Phi'."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig8("autoencoder")
+
+    def test_row_per_size(self, rows):
+        assert len(rows) == len(FIG8_DATASET_SIZES)
+
+    def test_cpu_linear_in_examples(self, rows):
+        r0, r1 = rows[0], rows[-1]
+        assert r1["cpu1_s"] / r0["cpu1_s"] == pytest.approx(
+            r1["examples"] / r0["examples"], rel=0.15
+        )
+
+    def test_absolute_gap_widens_with_dataset(self, rows):
+        gaps = [r["cpu1_s"] - r["phi_s"] for r in rows]
+        assert gaps == sorted(gaps)
+        assert gaps[-1] > 100 * gaps[0] / (
+            FIG8_DATASET_SIZES[-1] / FIG8_DATASET_SIZES[0]
+        )  # gap grows ~linearly, so ratio to first tracks dataset ratio
+
+    def test_phi_much_better_at_large_data(self, rows):
+        assert rows[-1]["speedup"] > 30
+
+
+class TestFig9Shapes:
+    """Paper: Autoencoder time 'decreases by two thirds when the batch size
+    increases from 200 to 10,000'; for RBM the Phi drop is ≈2/3 while the
+    single-CPU decrease is 'not obvious'."""
+
+    @pytest.fixture(scope="class")
+    def ae_rows(self):
+        return run_fig9("autoencoder")
+
+    @pytest.fixture(scope="class")
+    def rbm_rows(self):
+        return run_fig9("rbm")
+
+    def test_phi_ae_drops_about_two_thirds(self, ae_rows):
+        drop = 1.0 - ae_rows[-1]["phi_s"] / ae_rows[0]["phi_s"]
+        assert 0.55 < drop < 0.8
+
+    def test_phi_rbm_drops_about_two_thirds(self, rbm_rows):
+        drop = 1.0 - rbm_rows[-1]["phi_s"] / rbm_rows[0]["phi_s"]
+        assert 0.55 < drop < 0.8
+
+    def test_cpu_decrease_not_obvious(self, rbm_rows):
+        drop = 1.0 - rbm_rows[-1]["cpu1_s"] / rbm_rows[0]["cpu1_s"]
+        assert drop < 0.3
+
+    def test_phi_time_monotone_in_batch(self, ae_rows):
+        times = [r["phi_s"] for r in ae_rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_phi_stays_far_below_cpu_at_every_batch(self, ae_rows):
+        """'No matter what the batch size is, the time cost by Intel Xeon
+        Phi maintains at a low level'."""
+        for row in ae_rows:
+            assert row["phi_s"] < 0.1 * row["cpu1_s"]
+
+
+class TestFig10AndTable1:
+    def test_fig10_speedup_band(self):
+        assert 12 < run_fig10()["speedup"] < 20
+
+    def test_table1_rows_complete(self):
+        rows = run_table1()
+        steps = [r["step"] for r in rows]
+        assert steps == [
+            "baseline",
+            "openmp",
+            "openmp_mkl",
+            "improved_openmp_mkl",
+            "speedup_vs_baseline",
+        ]
+        for row in rows:
+            assert "60c_s" in row and "30c_s" in row
+
+
+class TestCoreScaling:
+    def test_monotone_improvement(self):
+        rows = run_core_scaling(core_counts=(15, 30, 60))
+        times = [r["seconds"] for r in rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_scaling_factors_relative_to_first(self):
+        rows = run_core_scaling(core_counts=(15, 60))
+        assert rows[0]["scaling_vs_first"] == 1.0
+        assert rows[1]["scaling_vs_first"] > 1.5

@@ -1,0 +1,54 @@
+"""Additional harness coverage: custom core grids, paper-value columns,
+and CLI export paths."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import TABLE1_PAPER_SECONDS, run_table1
+from repro.cli import main
+from repro.runtime.backend import OptimizationLevel
+
+
+class TestRunTable1Extras:
+    def test_custom_core_counts(self):
+        rows = run_table1(core_counts=(60, 45, 15))
+        for row in rows:
+            assert {"60c_s", "45c_s", "15c_s"} <= set(row)
+        # Paper columns only exist where the paper published a value.
+        improved = next(r for r in rows if r["step"] == "improved_openmp_mkl")
+        assert "60c_paper_s" in improved
+        assert "45c_paper_s" not in improved
+
+    def test_fewer_cores_never_faster(self):
+        rows = run_table1(core_counts=(60, 30, 15))
+        improved = next(r for r in rows if r["step"] == "improved_openmp_mkl")
+        assert improved["60c_s"] < improved["30c_s"] < improved["15c_s"]
+
+    def test_paper_values_table_complete(self):
+        for level in OptimizationLevel:
+            for cores in (60, 30):
+                assert (level, cores) in TABLE1_PAPER_SECONDS
+
+    def test_speedup_row_consistent_with_components(self):
+        rows = run_table1()
+        by_step = {r["step"]: r for r in rows}
+        expected = (
+            by_step["baseline"]["60c_s"] / by_step["improved_openmp_mkl"]["60c_s"]
+        )
+        assert by_step["speedup_vs_baseline"]["60c_s"] == pytest.approx(expected)
+
+
+class TestCliExports:
+    def test_verify_json_export(self, tmp_path, capsys):
+        path = tmp_path / "verify.json"
+        assert main(["verify", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert all(row["status"] == "PASS" for row in payload["rows"])
+        assert len(payload["rows"]) >= 12
+
+    def test_table1_csv_includes_paper_columns(self, tmp_path, capsys):
+        path = tmp_path / "t1.csv"
+        assert main(["table1", "--csv", str(path)]) == 0
+        header = path.read_text().splitlines()[0]
+        assert "60c_paper_s" in header

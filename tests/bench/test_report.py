@@ -1,0 +1,38 @@
+"""Tests for repro.bench.report — text table rendering."""
+
+from repro.bench.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_includes_headers_and_values(self):
+        rows = [{"name": "a", "seconds": 1.5}, {"name": "b", "seconds": 20.25}]
+        text = format_table(rows, title="Demo")
+        assert "Demo" in text
+        assert "name" in text and "seconds" in text
+        assert "1.5" in text and "20.2" in text
+
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_alignment_consistent_width(self):
+        rows = [{"x": 1, "y": 100000}, {"x": 22, "y": 3}]
+        lines = format_table(rows).splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line padded to the same width
+
+    def test_large_numbers_get_thousands_separator(self):
+        text = format_table([{"t": 16042.0}])
+        assert "16,042" in text
+
+    def test_missing_key_rendered_empty(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert text  # must not raise
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "batch", [200, 10000], {"phi": [22.8, 7.9], "cpu": [632.0, 538.0]}
+        )
+        assert "batch" in text and "phi" in text and "cpu" in text
+        assert "200" in text and "10000" in text

@@ -1,0 +1,44 @@
+"""Tests for CSV/JSON export in repro.bench.report."""
+
+import csv
+import json
+
+from repro.bench.report import write_csv, write_json
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = write_csv(rows, tmp_path / "out.csv")
+        with open(path) as fh:
+            back = list(csv.DictReader(fh))
+        assert back == [{"a": "1", "b": "2.5"}, {"a": "3", "b": "4.5"}]
+
+    def test_union_of_columns(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 9}]
+        path = write_csv(rows, tmp_path / "out.csv")
+        with open(path) as fh:
+            reader = csv.DictReader(fh)
+            assert reader.fieldnames == ["a", "b"]
+            back = list(reader)
+        assert back[0]["b"] == ""
+
+    def test_empty_rows(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == "\n" or path.read_text() == "\r\n" or path.read_text() == ""
+
+
+class TestWriteJson:
+    def test_round_trip_with_title(self, tmp_path):
+        rows = [{"step": "baseline", "seconds": 16042.0}]
+        path = write_json(rows, tmp_path / "out.json", title="Table I")
+        payload = json.loads(path.read_text())
+        assert payload["title"] == "Table I"
+        assert payload["rows"] == rows
+
+    def test_numpy_values_serialised(self, tmp_path):
+        import numpy as np
+
+        rows = [{"x": np.float64(1.5)}]
+        path = write_json(rows, tmp_path / "np.json")
+        assert json.loads(path.read_text())["rows"][0]["x"] == 1.5

@@ -1,0 +1,87 @@
+"""Tests for repro.bench.sweep — parameter sweeps, and format_timeline."""
+
+import pytest
+
+from repro.bench.report import format_timeline
+from repro.bench.sweep import simulate_seconds, sweep
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import TrainingConfig
+from repro.errors import ConfigurationError
+from repro.phi.pcie import PCIeModel
+from repro.runtime.offload import OffloadPipeline
+
+
+@pytest.fixture
+def base():
+    return TrainingConfig(n_visible=128, n_hidden=64, n_examples=1000, batch_size=100)
+
+
+class TestSweep:
+    def test_cross_product_order_and_merge(self, base):
+        rows = sweep(
+            base,
+            {"batch_size": [50, 100], "n_hidden": [32, 64]},
+            run=lambda cfg: {"updates": cfg.total_updates},
+        )
+        assert len(rows) == 4
+        assert [(r["batch_size"], r["n_hidden"]) for r in rows] == [
+            (50, 32), (50, 64), (100, 32), (100, 64),
+        ]
+        assert rows[0]["updates"] == 20
+
+    def test_simulate_seconds_runner(self, base):
+        rows = sweep(
+            base, {"batch_size": [100, 500]}, run=simulate_seconds(SparseAutoencoderTrainer)
+        )
+        assert all("sim_seconds" in r for r in rows)
+        assert rows[0]["sim_seconds"] > rows[1]["sim_seconds"]  # small batches slower
+
+    def test_derive_hook(self, base):
+        seen = []
+
+        def derive(cfg, point):
+            seen.append(point)
+            return cfg
+
+        sweep(base, {"epochs": [1, 2]}, run=lambda c: {}, derive=derive)
+        assert seen == [{"epochs": 1}, {"epochs": 2}]
+
+    def test_unknown_field_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            sweep(base, {"frobnicate": [1]}, run=lambda c: {})
+
+    def test_empty_grid_rejected(self, base):
+        with pytest.raises(ConfigurationError):
+            sweep(base, {}, run=lambda c: {})
+
+
+class TestFormatTimeline:
+    def test_renders_two_lanes(self):
+        pcie = PCIeModel(bandwidth=1.0, latency_s=0.0)
+        tl = OffloadPipeline(pcie, n_buffers=2).run_analytic([5.0] * 3, [10.0] * 3)
+        text = format_timeline(tl, width=40, title="Fig. 5")
+        lines = text.splitlines()
+        assert lines[0] == "Fig. 5"
+        assert lines[1].startswith("load  |")
+        assert lines[2].startswith("train |")
+        # Chunk digits appear in both lanes.
+        assert "0" in lines[1] and "2" in lines[2]
+
+    def test_overlap_visible(self):
+        """While chunk 1 loads, chunk 0 trains: the lanes overlap in time."""
+        pcie = PCIeModel(bandwidth=1.0, latency_s=0.0)
+        tl = OffloadPipeline(pcie, n_buffers=2).run_analytic([10.0] * 2, [10.0] * 2)
+        text = format_timeline(tl, width=30)
+        load_lane = text.splitlines()[0][7:-1]
+        train_lane = text.splitlines()[1][7:-1]
+        overlap = [
+            i for i in range(30) if load_lane[i] == "1" and train_lane[i] == "0"
+        ]
+        assert overlap  # double buffering in action
+
+    def test_degenerate_inputs(self):
+        class Empty:
+            total_s = 0.0
+            chunks = []
+
+        assert "empty" in format_timeline(Empty())

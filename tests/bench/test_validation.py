@@ -1,0 +1,52 @@
+"""Tests for repro.bench.validation — the claim-verification harness."""
+
+import pytest
+
+from repro.bench.validation import ClaimResult, verification_report, verify_all
+
+
+@pytest.fixture(scope="module")
+def results():
+    return verify_all()
+
+
+class TestVerifyAll:
+    def test_every_claim_passes(self, results):
+        failing = [r.claim_id for r in results if not r.passed]
+        assert failing == [], f"claims failing: {failing}"
+
+    def test_covers_every_claim_family(self, results):
+        ids = {r.claim_id for r in results}
+        families = {i.split(".")[0] for i in ids}
+        assert {"table1", "abstract", "fig10", "sec4a", "fig9"} <= families
+
+    def test_at_least_a_dozen_claims(self, results):
+        assert len(results) >= 12
+
+    def test_measured_values_finite(self, results):
+        import math
+
+        assert all(math.isfinite(r.measured) for r in results)
+
+    def test_rows_and_flag(self, results):
+        rows, all_passed = verification_report(results)
+        assert all_passed
+        assert len(rows) == len(results)
+        assert all(row["status"] == "PASS" for row in rows)
+
+    def test_failing_claim_detected(self):
+        bad = [
+            ClaimResult("x", "demo", "1", measured=100.0, passed=False),
+        ]
+        rows, all_passed = verification_report(bad)
+        assert not all_passed
+        assert rows[0]["status"] == "FAIL"
+
+
+class TestCliVerify:
+    def test_cli_verify_exit_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out

@@ -1,0 +1,75 @@
+"""Feasibility tests: every paper workload must fit the simulated hardware.
+
+The benches assume the configured chunkings respect the 5110P's 8 GB;
+these tests make that assumption explicit so a future workload edit that
+overflows the card fails here, not inside a bench.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    FIG7_NETWORKS,
+    FIG8_DATASET_SIZES,
+    FIG9_BATCH_SIZES,
+    fig7_autoencoder_config,
+    fig7_rbm_config,
+    fig8_autoencoder_config,
+    fig9_rbm_config,
+    fig10_config,
+    table1_pretrainer,
+)
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.rbm_trainer import RBMTrainer
+from repro.phi.spec import XEON_PHI_5110P
+from repro.runtime.backend import OptimizationLevel
+
+
+class TestDeviceMemoryFeasibility:
+    @pytest.mark.parametrize("network", FIG7_NETWORKS)
+    def test_fig7_ae_fits_the_card(self, network):
+        trainer = SparseAutoencoderTrainer(fig7_autoencoder_config(network))
+        result = trainer.simulate()
+        assert result.device_memory_peak <= XEON_PHI_5110P.mem_capacity
+
+    @pytest.mark.parametrize("network", FIG7_NETWORKS)
+    def test_fig7_rbm_fits_the_card(self, network):
+        trainer = RBMTrainer(fig7_rbm_config(network))
+        result = trainer.simulate()
+        assert result.device_memory_peak <= XEON_PHI_5110P.mem_capacity
+
+    def test_largest_network_uses_substantial_memory(self):
+        """4096x16384 in float64 is a real squeeze: > 2 GB resident."""
+        trainer = SparseAutoencoderTrainer(fig7_autoencoder_config((4096, 16384)))
+        result = trainer.simulate()
+        assert result.device_memory_peak > 2 * 1024**3
+
+    def test_fig10_and_table1_fit(self):
+        assert (
+            SparseAutoencoderTrainer(fig10_config()).simulate().device_memory_peak
+            <= XEON_PHI_5110P.mem_capacity
+        )
+        result = table1_pretrainer(XEON_PHI_5110P, OptimizationLevel.IMPROVED).simulate()
+        for layer in result.layers:
+            assert layer.result.device_memory_peak <= XEON_PHI_5110P.mem_capacity
+
+
+class TestWorkloadEdgeCases:
+    def test_fig8_smallest_dataset_clamps_batch(self):
+        """The 10 k-example point keeps batch <= dataset."""
+        cfg = fig8_autoencoder_config(min(FIG8_DATASET_SIZES))
+        assert cfg.batch_size <= cfg.n_examples
+
+    def test_fig8_chunk_never_exceeds_dataset(self):
+        for n in FIG8_DATASET_SIZES:
+            cfg = fig8_autoencoder_config(n)
+            assert cfg.effective_chunk_examples <= max(n, cfg.batch_size)
+
+    def test_fig9_batches_divide_dataset_reasonably(self):
+        for b in FIG9_BATCH_SIZES:
+            cfg = fig9_rbm_config(b)
+            assert cfg.batches_per_epoch == -(-cfg.n_examples // b)
+
+    def test_all_workloads_deterministic(self):
+        a = SparseAutoencoderTrainer(fig10_config()).simulate().simulated_seconds
+        b = SparseAutoencoderTrainer(fig10_config()).simulate().simulated_seconds
+        assert a == b

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synth_digits import digit_dataset
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.rbm import RBM
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def digits_25():
+    """Small flattened digit dataset: 64 examples of 5x5 images in [0,1]."""
+    x, _ = digit_dataset(64, size=5, seed=7)
+    return x
+
+
+@pytest.fixture
+def digits_64():
+    """Flattened digit dataset: 128 examples of 8x8 images in [0,1]."""
+    x, _ = digit_dataset(128, size=8, seed=11)
+    return x
+
+
+@pytest.fixture
+def small_ae():
+    """A 25→9 sparse autoencoder with the sparsity penalty active."""
+    cost = SparseAutoencoderCost(
+        weight_decay=1e-3, sparsity_target=0.1, sparsity_weight=0.5
+    )
+    return SparseAutoencoder(25, 9, cost=cost, seed=3)
+
+
+@pytest.fixture
+def small_rbm():
+    """A 12→7 RBM for functional tests."""
+    return RBM(12, 7, seed=5)
+
+
+@pytest.fixture
+def binary_batch(rng):
+    """A 40x12 binary matrix for RBM training tests."""
+    return (rng.random((40, 12)) < 0.4).astype(np.float64)

@@ -1,0 +1,77 @@
+"""Tests for repro.core.config — TrainingConfig."""
+
+import pytest
+
+from repro.core.config import OptimizationLevel, TrainingConfig
+from repro.errors import ConfigurationError
+from repro.phi.spec import XEON_E5620, XEON_PHI_5110P
+from repro.runtime.backend import backend_for_level, matlab_backend
+
+
+def make(**overrides):
+    base = dict(n_visible=64, n_hidden=32, n_examples=1000, batch_size=100)
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestValidation:
+    def test_valid_defaults(self):
+        cfg = make()
+        assert cfg.machine is XEON_PHI_5110P
+        assert cfg.level is OptimizationLevel.IMPROVED
+
+    def test_batch_cannot_exceed_examples(self):
+        with pytest.raises(ConfigurationError):
+            make(batch_size=2000)
+
+    def test_chunk_cannot_be_smaller_than_batch(self):
+        with pytest.raises(ConfigurationError):
+            make(chunk_examples=50, batch_size=100)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            make(n_visible=0)
+        with pytest.raises(ConfigurationError):
+            make(epochs=0)
+        with pytest.raises(ConfigurationError):
+            make(learning_rate=0.0)
+
+
+class TestDerivedProperties:
+    def test_batches_per_epoch_rounds_up(self):
+        assert make(n_examples=1050, batch_size=100).batches_per_epoch == 11
+
+    def test_total_updates(self):
+        assert make(epochs=3).total_updates == 30
+
+    def test_chunk_default_is_whole_dataset(self):
+        assert make().effective_chunk_examples == 1000
+        assert make(chunk_examples=200).effective_chunk_examples == 200
+
+    def test_effective_backend_from_level(self):
+        cfg = make(level=OptimizationLevel.OPENMP)
+        assert cfg.effective_backend == backend_for_level(OptimizationLevel.OPENMP)
+
+    def test_backend_override_wins(self):
+        cfg = make(backend=matlab_backend())
+        assert cfg.effective_backend.name == "matlab-r2012a"
+
+
+class TestDerivation:
+    def test_with_machine(self):
+        cfg = make().with_machine(XEON_E5620)
+        assert cfg.machine is XEON_E5620
+        assert cfg.n_visible == 64
+
+    def test_with_level_clears_backend(self):
+        cfg = make(backend=matlab_backend()).with_level(OptimizationLevel.BASELINE)
+        assert cfg.backend is None
+        assert cfg.effective_backend.level is OptimizationLevel.BASELINE
+
+    def test_with_backend(self):
+        cfg = make().with_backend(matlab_backend())
+        assert cfg.effective_backend.per_op_overhead_s > 0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make().n_visible = 10

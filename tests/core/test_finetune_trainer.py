@@ -1,0 +1,138 @@
+"""Tests for repro.core.finetune_trainer and the MLP op stream."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationLevel, TrainingConfig
+from repro.core.finetune_trainer import FinetuneTrainer
+from repro.core.oplist import mlp_step_levels
+from repro.data.synth_digits import digit_dataset
+from repro.errors import ConfigurationError
+from repro.nn.mlp import DeepNetwork
+from repro.phi.kernels import KernelKind
+from repro.phi.spec import XEON_PHI_5110P
+
+
+def config(**overrides):
+    base = dict(
+        n_visible=64, n_hidden=32, n_examples=256, batch_size=32, epochs=3,
+        machine=XEON_PHI_5110P, learning_rate=0.5,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestMlpStepLevels:
+    def test_gemm_flops_match_functional_math(self):
+        """Forward + back-GEMMs + weight grads = (3L−1) GEMMs of 2·m·nin·nout."""
+        m, sizes = 17, [10, 8, 6, 4]
+        levels = mlp_step_levels(m, sizes)
+        gemm_flops = sum(
+            k.flops for lvl in levels for k in lvl if k.kind is KernelKind.GEMM
+        )
+        per_layer = [a * b for a, b in zip(sizes[:-1], sizes[1:])]
+        # forward: all layers; gradW: all layers; back: all but layer 0.
+        expected = 2 * m * (2 * sum(per_layer) + sum(per_layer[1:]))
+        assert gemm_flops == expected
+
+    def test_one_update_level_per_layer(self):
+        levels = mlp_step_levels(8, [6, 5, 4])
+        assert len(levels[-1]) == 2  # two layers, two parameter updates
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            mlp_step_levels(0, [4, 2])
+        with pytest.raises(ConfigurationError):
+            mlp_step_levels(4, [4])
+
+
+class TestFinetuneTrainerTiming:
+    def test_simulate(self):
+        trainer = FinetuneTrainer(config(), layer_sizes=[64, 32, 10])
+        result = trainer.simulate()
+        assert result.simulated_seconds > 0
+        assert result.n_updates == 8 * 3
+
+    def test_layer_sizes_must_match_visible(self):
+        with pytest.raises(ConfigurationError):
+            FinetuneTrainer(config(), layer_sizes=[32, 10])
+
+    def test_deeper_network_costs_more(self):
+        shallow = FinetuneTrainer(config(), layer_sizes=[64, 10]).simulate()
+        deep = FinetuneTrainer(config(), layer_sizes=[64, 48, 32, 10]).simulate()
+        assert deep.simulated_seconds > shallow.simulated_seconds
+
+    def test_optimization_levels_ordered_at_paper_scale(self):
+        big = config(
+            n_visible=1024, n_hidden=512, n_examples=10_000, batch_size=10_000,
+            epochs=1,
+        )
+        times = [
+            FinetuneTrainer(
+                big.with_level(lvl), layer_sizes=[1024, 512, 10]
+            ).simulate().simulated_seconds
+            for lvl in OptimizationLevel
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_tiny_networks_invert_the_ordering(self):
+        """The paper's small-network caveat taken to its limit: on a
+        64-unit network with batch 32, 240-thread parallel regions cost
+        more than they save, and the sequential baseline wins."""
+        tiny = config(epochs=1)
+        baseline = FinetuneTrainer(
+            tiny.with_level(OptimizationLevel.BASELINE), layer_sizes=[64, 32, 10]
+        ).simulate()
+        openmp = FinetuneTrainer(
+            tiny.with_level(OptimizationLevel.OPENMP), layer_sizes=[64, 32, 10]
+        ).simulate()
+        assert baseline.simulated_seconds < openmp.simulated_seconds
+
+
+class TestFinetuneTrainerFunctional:
+    @pytest.fixture(scope="class")
+    def digits(self):
+        return digit_dataset(256, size=8, seed=3)
+
+    def test_fit_trains_classifier(self, digits):
+        x, y = digits
+        trainer = FinetuneTrainer(config(epochs=15), layer_sizes=[64, 32, 10])
+        result = trainer.fit(x, y)
+        assert result.losses[-1] < result.losses[0]
+        # reconstruction_errors carries per-epoch accuracy for classifiers
+        assert result.reconstruction_errors[-1] > result.reconstruction_errors[0]
+        assert result.simulated_seconds > 0
+
+    def test_fit_with_pretrained_network(self, digits):
+        x, y = digits
+        net = DeepNetwork([64, 32, 10], seed=9)
+        trainer = FinetuneTrainer(config(epochs=2), layer_sizes=[64, 32, 10])
+        result = trainer.fit(x, y, network=net)
+        assert trainer.network is net
+        assert result.n_updates == 8 * 2
+
+    def test_fit_rejects_mismatched_network(self, digits):
+        x, y = digits
+        net = DeepNetwork([64, 16, 10], seed=0)
+        trainer = FinetuneTrainer(config(), layer_sizes=[64, 32, 10])
+        with pytest.raises(ConfigurationError):
+            trainer.fit(x, y, network=net)
+
+    def test_full_pipeline_pretrain_then_timed_finetune(self, digits):
+        """Fig. 1 end-to-end with timing: greedy pre-train (timed) then
+        supervised fine-tune (timed) on the same machine."""
+        from repro.core.pretrain import DeepPretrainer
+        from repro.nn.mlp import DeepNetwork
+
+        x, y = digits
+        base = config(epochs=5)
+        pre = DeepPretrainer(base, layer_sizes=(64, 32, 16), iterations_per_layer=10)
+        pre_result = pre.fit(x)
+
+        # Build the classifier from the functional stack weights.
+        net = DeepNetwork([64, 32, 16, 10], seed=0)
+        trainer = FinetuneTrainer(base, layer_sizes=[64, 32, 16, 10])
+        ft_result = trainer.fit(x, y, network=net)
+        total = pre_result.total_seconds + ft_result.simulated_seconds
+        assert total > 0
+        assert ft_result.losses[-1] < ft_result.losses[0]

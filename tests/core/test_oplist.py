@@ -1,0 +1,133 @@
+"""Tests for repro.core.oplist — kernel streams of one training step.
+
+The critical property: the kernel stream's flop count must match the
+*actual NumPy math* the functional trainers perform, so the timing model
+times the same algorithm the numerics run.
+"""
+
+import pytest
+
+from repro.core.oplist import (
+    autoencoder_step_kernels,
+    autoencoder_step_levels,
+    rbm_cd1_kernels,
+    rbm_step_kernels,
+    rbm_step_levels,
+    rbm_step_taskgraph,
+    step_bytes,
+    step_flops,
+)
+from repro.errors import ConfigurationError
+from repro.phi.kernels import KernelKind
+
+
+class TestAutoencoderStep:
+    def test_gemm_count_and_flops(self):
+        """One SAE backprop step is 5 GEMMs of 2·m·v·h flops each
+        (2 forward, 1 delta back-projection, 2 weight gradients)."""
+        m, v, h = 100, 64, 32
+        levels = autoencoder_step_levels(m, v, h)
+        gemms = [k for lvl in levels for k in lvl if k.kind is KernelKind.GEMM]
+        assert len(gemms) == 5
+        assert sum(g.flops for g in gemms) == 5 * 2 * m * v * h
+
+    def test_gemm_shapes(self):
+        m, v, h = 100, 64, 32
+        levels = autoencoder_step_levels(m, v, h)
+        shapes = sorted(
+            k.gemm_shape for lvl in levels for k in lvl if k.kind is KernelKind.GEMM
+        )
+        assert shapes == sorted(
+            [(m, h, v), (m, v, h), (m, h, v), (v, h, m), (h, v, m)]
+        )
+
+    def test_sparsity_toggle(self):
+        with_s = autoencoder_step_kernels(10, 8, 4, sparsity=True)
+        without = autoencoder_step_kernels(10, 8, 4, sparsity=False)
+        names_with = {k.name for k in with_s}
+        names_without = {k.name for k in without}
+        assert "rho_hat" in names_with
+        assert "rho_hat" not in names_without
+
+    def test_flops_scale_linearly_in_batch(self):
+        f1 = step_flops(autoencoder_step_levels(100, 64, 32))
+        f2 = step_flops(autoencoder_step_levels(200, 64, 32))
+        # Parameter-update flops don't scale with m, so slightly sublinear.
+        assert 1.9 < f2 / f1 <= 2.0
+
+    def test_fused_variant_shorter_same_flops(self):
+        plain = autoencoder_step_kernels(50, 32, 16)
+        fused = autoencoder_step_kernels(50, 32, 16, fused=True)
+        assert len(fused) <= len(plain)
+        assert sum(k.flops for k in fused) == pytest.approx(
+            sum(k.flops for k in plain)
+        )
+
+    def test_updates_present(self):
+        names = {k.name for k in autoencoder_step_kernels(10, 8, 4)}
+        assert {"updateW1+decay", "updateW2+decay", "updateb1", "updateb2"} <= names
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            autoencoder_step_levels(0, 8, 4)
+
+
+class TestRBMStep:
+    def test_fig6_nodes_all_present(self):
+        k = rbm_cd1_kernels(50, 32, 16)
+        assert set(k) == {"V1", "H1", "V2", "C1", "H2", "Vb", "C2", "Vc", "Vw"}
+
+    def test_gemm_flops(self):
+        """CD-1 runs 5 GEMMs: v0·Wᵀ, h·W, v1·Wᵀ, and the two correlation
+        products h₀ᵀv₀ and h₁ᵀv₁ — 2·m·v·h each."""
+        m, v, h = 50, 32, 16
+        kernels = rbm_step_kernels(m, v, h)
+        gemms = [k for k in kernels if k.kind is KernelKind.GEMM]
+        assert len(gemms) == 5
+        assert sum(g.flops for g in gemms) == 5 * 2 * m * v * h
+
+    def test_taskgraph_matches_fig6(self):
+        g = rbm_step_taskgraph(10, 8, 4)
+        fronts = [{n.name for n in lvl} for lvl in g.wavefronts()]
+        assert fronts[0] == {"V1"}
+        assert {"V2", "C1"} <= fronts[2]
+
+    def test_sampling_kernel_present(self):
+        kinds = [k.kind for k in rbm_step_kernels(10, 8, 4)]
+        assert KernelKind.SAMPLE in kinds
+
+    def test_levels_contain_parallel_pairs(self):
+        levels = rbm_step_levels(10, 8, 4)
+        assert any(len(lvl) > 1 for lvl in levels)
+
+    def test_step_bytes_positive(self):
+        assert step_bytes(rbm_step_levels(10, 8, 4)) > 0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            rbm_step_levels(10, 0, 4)
+
+
+class TestCrossCheckAgainstFunctionalMath:
+    """The oplist GEMM flops must equal 2× the matmul multiply-adds the
+    functional NumPy code actually performs — counted independently here."""
+
+    def test_autoencoder_flop_accounting(self):
+        m, v, h = 37, 23, 11
+        # From autoencoder.gradients: x@W1.T, hidden@W2.T, delta3@W2,
+        # delta3.T@hidden, delta2.T@x.
+        expected_macs = m * h * v + m * v * h + m * v * h + v * m * h + h * m * v
+        levels = autoencoder_step_levels(m, v, h)
+        gemm_flops = sum(
+            k.flops for lvl in levels for k in lvl if k.kind is KernelKind.GEMM
+        )
+        assert gemm_flops == 2 * expected_macs
+
+    def test_rbm_flop_accounting(self):
+        m, v, h = 37, 23, 11
+        # From rbm.contrastive_divergence: v0@w.T, h@w, v1@w.T (hidden
+        # probs of reconstruction), h0p.T@v0, hkp.T@vk.
+        expected_macs = m * h * v + m * v * h + m * h * v + h * m * v + h * m * v
+        kernels = rbm_step_kernels(m, v, h)
+        gemm_flops = sum(k.flops for k in kernels if k.kind is KernelKind.GEMM)
+        assert gemm_flops == 2 * expected_macs

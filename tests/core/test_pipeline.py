@@ -1,0 +1,87 @@
+"""Tests for repro.core.pipeline — overlap study + heterogeneous split."""
+
+import pytest
+
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import TrainingConfig
+from repro.core.pipeline import ChunkedTrainingPipeline, HeterogeneousSplit
+from repro.errors import ConfigurationError
+from repro.phi.spec import XEON_E5620_DUAL, XEON_PHI_5110P
+from repro.runtime.backend import optimized_cpu_backend
+
+
+def phi_trainer(**overrides):
+    base = dict(
+        n_visible=1024,
+        n_hidden=4096,
+        n_examples=200_000,
+        batch_size=1000,
+        chunk_examples=50_000,
+        machine=XEON_PHI_5110P,
+    )
+    base.update(overrides)
+    return SparseAutoencoderTrainer(TrainingConfig(**base))
+
+
+def host_trainer(**overrides):
+    base = dict(
+        n_visible=1024,
+        n_hidden=4096,
+        n_examples=200_000,
+        batch_size=1000,
+        machine=XEON_E5620_DUAL,
+        backend=optimized_cpu_backend(),
+    )
+    base.update(overrides)
+    return SparseAutoencoderTrainer(TrainingConfig(**base))
+
+
+class TestOverlapStudy:
+    def test_overlap_never_slower(self):
+        study = ChunkedTrainingPipeline(phi_trainer()).overlap_study()
+        assert study.overlapped.total_s <= study.serial.total_s
+        assert study.seconds_saved >= 0
+
+    def test_hidden_fraction_high_when_compute_dominates(self):
+        study = ChunkedTrainingPipeline(phi_trainer()).overlap_study()
+        assert study.hidden_fraction > 0.5
+
+    def test_rejects_host_trainer(self):
+        with pytest.raises(ConfigurationError, match="coprocessor"):
+            ChunkedTrainingPipeline(host_trainer())
+
+
+class TestHeterogeneousSplit:
+    @pytest.fixture
+    def split(self):
+        return HeterogeneousSplit(
+            host_trainer=host_trainer(), device_trainer=phi_trainer()
+        )
+
+    def test_optimal_fraction_favours_the_faster_device(self, split):
+        f = split.optimal_device_fraction()
+        assert 0.5 < f < 1.0  # the Phi is faster, but the host contributes
+
+    def test_combination_beats_device_alone(self, split):
+        """The paper's future-work claim: host+Phi beats Phi alone."""
+        assert split.speedup_vs_device_only() > 1.0
+
+    def test_combined_time_balances_sides(self, split):
+        combined, host_s, device_s = split.combined_time()
+        assert combined == pytest.approx(max(host_s, device_s))
+        # Near-optimal split: the two sides finish within ~20 % of each other.
+        assert abs(host_s - device_s) / combined < 0.2
+
+    def test_device_fraction_zero_is_host_only(self, split):
+        combined, host_s, device_s = split.combined_time(device_fraction=0.0)
+        assert device_s == 0.0
+        assert combined == pytest.approx(host_s)
+
+    def test_device_fraction_one_is_device_only(self, split):
+        combined, host_s, device_s = split.combined_time(device_fraction=1.0)
+        assert host_s == 0.0
+        assert combined == pytest.approx(device_s)
+
+    def test_bad_fraction_rejected(self, split):
+        with pytest.raises(ConfigurationError):
+            split.combined_time(device_fraction=1.5)

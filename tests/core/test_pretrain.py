@@ -1,0 +1,115 @@
+"""Tests for repro.core.pretrain — the greedy deep pre-training driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationLevel, TrainingConfig
+from repro.core.pretrain import (
+    DeepPretrainer,
+    TABLE1_BATCH_SIZE,
+    TABLE1_ITERATIONS_PER_LAYER,
+    TABLE1_LAYER_SIZES,
+)
+from repro.errors import ConfigurationError
+from repro.phi.spec import XEON_PHI_5110P
+
+
+def small_base(**overrides):
+    base = dict(
+        n_visible=25, n_hidden=16, n_examples=64, batch_size=16,
+        machine=XEON_PHI_5110P, learning_rate=0.5,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestConstruction:
+    def test_table1_constants(self):
+        assert TABLE1_LAYER_SIZES == (1024, 512, 256, 128)
+        assert TABLE1_BATCH_SIZE == 10_000
+        assert TABLE1_ITERATIONS_PER_LAYER == 200
+
+    def test_rejects_too_few_layers(self):
+        with pytest.raises(ConfigurationError):
+            DeepPretrainer(small_base(), layer_sizes=[25])
+
+    def test_rejects_unknown_block(self):
+        with pytest.raises(ConfigurationError):
+            DeepPretrainer(small_base(), layer_sizes=[25, 16], block="cnn")
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ConfigurationError):
+            DeepPretrainer(small_base(), layer_sizes=[25, 16], iterations_per_layer=0)
+
+
+class TestSimulate:
+    def test_one_result_per_block(self):
+        pre = DeepPretrainer(
+            small_base(), layer_sizes=[25, 16, 9], iterations_per_layer=5
+        )
+        result = pre.simulate()
+        assert len(result.layers) == 2
+        assert result.layers[0].n_visible == 25 and result.layers[0].n_hidden == 16
+        assert result.layers[1].n_visible == 16 and result.layers[1].n_hidden == 9
+
+    def test_total_is_sum_of_layers(self):
+        pre = DeepPretrainer(small_base(), layer_sizes=[25, 16, 9], iterations_per_layer=5)
+        result = pre.simulate()
+        assert result.total_seconds == pytest.approx(
+            sum(l.result.simulated_seconds for l in result.layers)
+        )
+
+    def test_iterations_counted_as_updates(self):
+        pre = DeepPretrainer(small_base(), layer_sizes=[25, 16], iterations_per_layer=7)
+        result = pre.simulate()
+        assert result.layers[0].result.n_updates == 7
+
+    def test_earlier_layers_cost_more(self):
+        """Layer widths shrink down the stack, so should per-layer time."""
+        pre = DeepPretrainer(
+            small_base(n_visible=1024, n_hidden=512, n_examples=1000, batch_size=1000),
+            layer_sizes=[1024, 512, 256, 128],
+            iterations_per_layer=10,
+        )
+        times = [l.result.simulated_seconds for l in pre.simulate().layers]
+        assert times[0] > times[1] > times[2]
+
+    def test_rbm_block_variant(self):
+        pre = DeepPretrainer(
+            small_base(), layer_sizes=[25, 16], iterations_per_layer=3, block="rbm"
+        )
+        result = pre.simulate()
+        assert result.total_seconds > 0
+
+    def test_breakdown_aggregates(self):
+        pre = DeepPretrainer(small_base(), layer_sizes=[25, 16, 9], iterations_per_layer=2)
+        result = pre.simulate()
+        assert result.breakdown.n_kernels > 0
+        assert result.total_updates == 4
+
+
+class TestFit:
+    def test_functional_cascade(self, digits_25):
+        pre = DeepPretrainer(
+            small_base(batch_size=16), layer_sizes=[25, 16, 9], iterations_per_layer=20
+        )
+        result = pre.fit(digits_25)
+        assert len(result.layers) == 2
+        for layer in result.layers:
+            assert layer.result.losses[-1] < layer.result.losses[0]
+
+    def test_fit_rejects_wrong_width(self, digits_25):
+        pre = DeepPretrainer(small_base(), layer_sizes=[30, 16])
+        with pytest.raises(ConfigurationError):
+            pre.fit(digits_25)
+
+    def test_rbm_fit_cascade(self, binary_batch):
+        pre = DeepPretrainer(
+            small_base(n_visible=12, n_hidden=8, batch_size=10),
+            layer_sizes=[12, 8, 5],
+            iterations_per_layer=10,
+            block="rbm",
+        )
+        result = pre.fit(binary_batch)
+        assert len(result.layers) == 2
+        assert result.total_seconds > 0

@@ -1,0 +1,49 @@
+"""Tests for repro.core.results — result records."""
+
+import pytest
+
+from repro.core.results import SpeedupReport, TrainingRunResult
+from repro.phi.trace import TimingBreakdown
+
+
+class TestTrainingRunResult:
+    def _result(self, **overrides):
+        base = dict(
+            machine_name="m",
+            backend_name="b",
+            simulated_seconds=10.0,
+            breakdown=TimingBreakdown(total_s=10.0),
+            n_updates=4,
+        )
+        base.update(overrides)
+        return TrainingRunResult(**base)
+
+    def test_final_loss_none_for_timing_only(self):
+        assert self._result().final_loss is None
+
+    def test_final_loss(self):
+        assert self._result(losses=[3.0, 2.0, 1.0]).final_loss == 1.0
+
+    def test_seconds_per_update(self):
+        assert self._result().seconds_per_update == 2.5
+
+    def test_seconds_per_update_no_updates(self):
+        assert self._result(n_updates=0).seconds_per_update == 0.0
+
+    def test_summary_keys(self):
+        s = self._result().summary()
+        assert {"machine", "backend", "sim_seconds", "updates"} <= set(s)
+
+
+class TestSpeedupReport:
+    def test_speedup(self):
+        r = SpeedupReport("base", "cand", 100.0, 10.0)
+        assert r.speedup == pytest.approx(10.0)
+
+    def test_zero_candidate(self):
+        assert SpeedupReport("a", "b", 1.0, 0.0).speedup == float("inf")
+
+    def test_str_readable(self):
+        text = str(SpeedupReport("baseline", "phi", 300.0, 3.0))
+        assert "100.0x" in text
+        assert "phi" in text and "baseline" in text

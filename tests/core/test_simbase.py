@@ -1,0 +1,86 @@
+"""Tests for the shared trainer machinery (repro.core._simbase)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import TrainingConfig
+from repro.phi.spec import XEON_PHI_5110P
+
+
+def config(**overrides):
+    base = dict(
+        n_visible=256, n_hidden=128, n_examples=4000, batch_size=500,
+        machine=XEON_PHI_5110P,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestUpdateCostMemoization:
+    def test_same_batch_size_same_object(self):
+        trainer = SparseAutoencoderTrainer(config())
+        a = trainer._update_cost(500)
+        b = trainer._update_cost(500)
+        assert a is b  # cached tuple, not recomputed
+
+    def test_distinct_batch_sizes_distinct_costs(self):
+        trainer = SparseAutoencoderTrainer(config())
+        full, _ = trainer._update_cost(500)
+        tail, _ = trainer._update_cost(123)
+        assert tail < full
+
+    def test_epoch_batch_sizes_with_tail(self):
+        trainer = SparseAutoencoderTrainer(config(n_examples=4100))
+        sizes = trainer._epoch_batch_sizes()
+        assert sizes == [(500, 8), (100, 1)]
+
+    def test_epoch_batch_sizes_exact_division(self):
+        trainer = SparseAutoencoderTrainer(config())
+        assert trainer._epoch_batch_sizes() == [(500, 8)]
+
+    def test_compute_scales_with_epochs_exactly(self):
+        one = SparseAutoencoderTrainer(config(epochs=1))._simulate_compute()
+        five = SparseAutoencoderTrainer(config(epochs=5))._simulate_compute()
+        assert five[0] == pytest.approx(5 * one[0])
+        assert five[2] == 5 * one[2]
+
+
+class TestTransferAccounting:
+    def test_resident_pool_stages_dataset_once(self):
+        """Chunk pool >= dataset: epochs reuse resident chunks, so the
+        transfer total equals one dataset crossing regardless of epochs."""
+        cfg = config(chunk_examples=2000, n_buffers=2, epochs=4)
+        result = SparseAutoencoderTrainer(cfg).simulate()
+        one_epoch = SparseAutoencoderTrainer(
+            replace(cfg, epochs=1)
+        ).simulate()
+        assert result.transfer_seconds_total == pytest.approx(
+            one_epoch.transfer_seconds_total
+        )
+
+    def test_overflowing_pool_restages_per_epoch(self):
+        """Chunk pool < dataset: every epoch re-crosses PCIe."""
+        cfg = config(chunk_examples=1000, n_buffers=2, epochs=3)
+        three = SparseAutoencoderTrainer(cfg).simulate()
+        one = SparseAutoencoderTrainer(
+            replace(cfg, epochs=1)
+        ).simulate()
+        assert three.transfer_seconds_total == pytest.approx(
+            3 * one.transfer_seconds_total
+        )
+
+    def test_transfer_exposed_at_most_total(self):
+        result = SparseAutoencoderTrainer(config(chunk_examples=1000)).simulate()
+        assert 0 <= result.transfer_seconds_exposed <= result.transfer_seconds_total
+
+    def test_resident_allocations_once(self):
+        trainer = SparseAutoencoderTrainer(config(chunk_examples=1000))
+        trainer.simulate()
+        first_peak = trainer.machine.memory.peak
+        trainer.simulate()  # second run must not double-allocate
+        assert trainer.machine.memory.peak == first_peak
+        names = trainer.machine.memory.live_allocations()
+        assert "autoencoder:parameters" in names
+        assert "loading_buffer" in names

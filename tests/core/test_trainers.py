@@ -1,0 +1,165 @@
+"""Tests for repro.core.ae_trainer and repro.core.rbm_trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import OptimizationLevel, TrainingConfig
+from repro.core.rbm_trainer import RBMTrainer
+from repro.errors import DeviceMemoryError, ShapeError
+from repro.phi.spec import XEON_E5620, XEON_PHI_5110P
+from repro.runtime.backend import optimized_cpu_backend
+
+
+def phi_config(**overrides):
+    base = dict(
+        n_visible=25,
+        n_hidden=9,
+        n_examples=64,
+        batch_size=16,
+        epochs=2,
+        machine=XEON_PHI_5110P,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestSimulateOnly:
+    def test_result_fields(self):
+        result = SparseAutoencoderTrainer(phi_config()).simulate()
+        assert result.simulated_seconds > 0
+        assert result.n_updates == 8  # 4 batches × 2 epochs
+        assert result.machine_name == "xeon_phi_5110p"
+        assert result.losses == []  # timing-only
+        assert result.device_memory_peak > 0
+
+    def test_update_count_with_ragged_tail(self):
+        result = SparseAutoencoderTrainer(
+            phi_config(n_examples=70, batch_size=16, epochs=1)
+        ).simulate()
+        assert result.n_updates == 5  # 4 full + 1 tail
+
+    def test_simulation_deterministic(self):
+        a = SparseAutoencoderTrainer(phi_config()).simulate()
+        b = SparseAutoencoderTrainer(phi_config()).simulate()
+        assert a.simulated_seconds == b.simulated_seconds
+
+    def test_more_epochs_more_time(self):
+        t1 = SparseAutoencoderTrainer(phi_config(epochs=1)).simulate().simulated_seconds
+        t4 = SparseAutoencoderTrainer(phi_config(epochs=4)).simulate().simulated_seconds
+        assert t4 > 2.5 * t1
+
+    def test_host_machine_has_no_transfers(self):
+        cfg = phi_config(machine=XEON_E5620, backend=optimized_cpu_backend())
+        result = SparseAutoencoderTrainer(cfg).simulate()
+        assert result.transfer_seconds_total == 0.0
+
+    def test_coprocessor_pays_transfers(self):
+        result = SparseAutoencoderTrainer(phi_config()).simulate()
+        assert result.transfer_seconds_total > 0
+
+    def test_breakdown_consistency(self):
+        result = SparseAutoencoderTrainer(phi_config()).simulate()
+        bd = result.breakdown
+        assert bd.busy_s <= bd.total_s + 1e-12
+        assert bd.n_kernels > 0
+
+    def test_rbm_simulate(self):
+        result = RBMTrainer(phi_config()).simulate()
+        assert result.simulated_seconds > 0
+        assert result.n_updates == 8
+
+    def test_rbm_cd_k_scales_time(self):
+        t1 = RBMTrainer(phi_config(), cd_k=1).simulate().simulated_seconds
+        t3 = RBMTrainer(phi_config(), cd_k=3).simulate().simulated_seconds
+        assert t3 > 1.5 * t1
+
+    def test_device_memory_overflow_raises(self):
+        """A float64 net of 16384x32768 (17 GB of parameters alone) cannot
+        fit the 8 GB card — the memory model must say so instead of
+        silently 'running' it."""
+        cfg = phi_config(
+            n_visible=16384, n_hidden=32768, n_examples=10_000, batch_size=1000
+        )
+        with pytest.raises(DeviceMemoryError):
+            SparseAutoencoderTrainer(cfg).simulate()
+
+    def test_oversized_staging_buffers_also_raise(self):
+        """The paper's future-work warning: big model + big chunks blow the
+        8 GB budget through the loading buffers."""
+        cfg = phi_config(
+            n_visible=4096,
+            n_hidden=16384,
+            n_examples=200_000,
+            batch_size=1000,
+            chunk_examples=100_000,  # 2 x 3.3 GB buffers + 2.1 GB of weights
+        )
+        with pytest.raises(DeviceMemoryError):
+            SparseAutoencoderTrainer(cfg).simulate()
+
+    def test_host_never_overflows(self):
+        cfg = phi_config(
+            n_visible=4096,
+            n_hidden=16384,
+            n_examples=10_000,
+            batch_size=1000,
+            machine=XEON_E5620,
+            backend=optimized_cpu_backend(),
+        )
+        result = SparseAutoencoderTrainer(cfg).simulate()
+        assert result.simulated_seconds > 0
+
+
+class TestOptimizationLevelsOrdering:
+    @pytest.mark.parametrize("trainer_cls", [SparseAutoencoderTrainer, RBMTrainer])
+    def test_each_level_is_faster(self, trainer_cls):
+        cfg = dict(
+            n_visible=1024, n_hidden=512, n_examples=10_000, batch_size=10_000
+        )
+        times = [
+            trainer_cls(TrainingConfig(level=lvl, **cfg)).simulate().simulated_seconds
+            for lvl in OptimizationLevel
+        ]
+        assert times == sorted(times, reverse=True)
+
+
+class TestFunctionalFit:
+    def test_ae_fit_trains_and_times(self, digits_25):
+        trainer = SparseAutoencoderTrainer(phi_config(epochs=30))
+        result = trainer.fit(digits_25)
+        assert result.n_updates == 30 * 4
+        assert len(result.losses) == result.n_updates
+        assert result.losses[-1] < result.losses[0]
+        assert result.simulated_seconds > 0
+        assert len(result.reconstruction_errors) == 30
+        assert result.reconstruction_errors[-1] < result.reconstruction_errors[0]
+
+    def test_ae_fit_rejects_wrong_width(self, digits_25):
+        trainer = SparseAutoencoderTrainer(phi_config(n_visible=30))
+        with pytest.raises(ShapeError):
+            trainer.fit(digits_25)
+
+    def test_ae_fit_exposes_model(self, digits_25):
+        trainer = SparseAutoencoderTrainer(phi_config(epochs=1))
+        trainer.fit(digits_25)
+        assert trainer.model.n_visible == 25
+
+    def test_ae_fit_seed_reproducible(self, digits_25):
+        r1 = SparseAutoencoderTrainer(phi_config(epochs=2, seed=5)).fit(digits_25)
+        r2 = SparseAutoencoderTrainer(phi_config(epochs=2, seed=5)).fit(digits_25)
+        np.testing.assert_allclose(r1.losses, r2.losses)
+
+    def test_rbm_fit_reduces_reconstruction_error(self, binary_batch):
+        cfg = phi_config(n_visible=12, n_hidden=8, n_examples=40, batch_size=10, epochs=40)
+        result = RBMTrainer(cfg).fit(binary_batch)
+        assert result.reconstruction_errors[-1] < result.reconstruction_errors[0]
+        assert result.simulated_seconds > 0
+
+    def test_functional_and_simulated_updates_charged_identically(self, digits_25):
+        """fit() must charge the same per-update simulated cost simulate()
+        charges for equal batch shapes."""
+        cfg = phi_config(epochs=1)
+        sim = SparseAutoencoderTrainer(cfg).simulate()
+        fit = SparseAutoencoderTrainer(cfg).fit(digits_25)
+        assert fit.n_updates == sim.n_updates
+        assert fit.simulated_seconds == pytest.approx(sim.simulated_seconds)

@@ -1,0 +1,95 @@
+"""Tests for repro.data.datasets — Dataset, mini-batches, chunk planning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.data.datasets import ChunkPlan, Dataset, minibatch_indices, plan_chunks
+
+
+class TestDataset:
+    def test_properties(self, rng):
+        ds = Dataset(rng.random((30, 7)))
+        assert ds.n_examples == 30
+        assert ds.n_features == 7
+        assert len(ds) == 30
+        assert ds.nbytes == 30 * 7 * 8
+
+    def test_labels_length_checked(self, rng):
+        with pytest.raises(ConfigurationError):
+            Dataset(rng.random((10, 3)), labels=np.zeros(9))
+
+    def test_minibatches_cover_everything_once(self, rng):
+        x = np.arange(20, dtype=float).reshape(10, 2)
+        ds = Dataset(x)
+        seen = np.concatenate([b[:, 0] for b in ds.minibatches(3, seed=0)])
+        assert sorted(seen) == sorted(x[:, 0])
+
+    def test_minibatch_sizes(self, rng):
+        ds = Dataset(rng.random((10, 2)))
+        sizes = [len(b) for b in ds.minibatches(4, seed=0)]
+        assert sizes == [4, 4, 2]
+
+    def test_no_shuffle_keeps_order(self):
+        x = np.arange(12, dtype=float).reshape(6, 2)
+        ds = Dataset(x)
+        first = next(iter(ds.minibatches(2, shuffle=False)))
+        np.testing.assert_array_equal(first, x[:2])
+
+    def test_subset(self, rng):
+        ds = Dataset(rng.random((10, 2)), labels=np.arange(10))
+        sub = ds.subset([1, 3, 5])
+        assert sub.n_examples == 3
+        np.testing.assert_array_equal(sub.labels, [1, 3, 5])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            Dataset(np.zeros(5))
+
+
+class TestMinibatchIndices:
+    def test_partition(self):
+        batches = minibatch_indices(10, 3, seed=0)
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        assert sorted(np.concatenate(batches)) == list(range(10))
+
+    def test_deterministic(self):
+        a = minibatch_indices(20, 5, seed=2)
+        b = minibatch_indices(20, 5, seed=2)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestPlanChunks:
+    def test_even_split(self):
+        plan = plan_chunks(100, 8, chunk_examples=25, batch_size=5)
+        assert plan.chunk_sizes == (25, 25, 25, 25)
+        assert plan.n_chunks == 4
+        assert plan.total_bytes == 100 * 8 * 8
+
+    def test_ragged_tail(self):
+        plan = plan_chunks(90, 4, chunk_examples=40, batch_size=10)
+        assert plan.chunk_sizes == (40, 40, 10)
+
+    def test_chunk_bytes(self):
+        plan = plan_chunks(90, 4, 40, 10)
+        assert plan.chunk_bytes(0) == 40 * 4 * 8
+        assert plan.chunk_bytes(2) == 10 * 4 * 8
+
+    def test_batches_in_chunk(self):
+        plan = plan_chunks(90, 4, 40, 15)
+        assert plan.batches_in_chunk(0) == 3  # ceil(40/15)
+        assert plan.batches_in_chunk(2) == 1  # ceil(10/15)
+        assert plan.total_batches == 7
+
+    def test_single_chunk(self):
+        plan = plan_chunks(50, 4, 1000, 10)
+        assert plan.chunk_sizes == (50,)
+
+    def test_batch_larger_than_chunk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_chunks(100, 4, chunk_examples=10, batch_size=20)
+
+    def test_itemsize_respected(self):
+        plan = plan_chunks(10, 4, 10, 2, itemsize=4)
+        assert plan.bytes_per_example == 16

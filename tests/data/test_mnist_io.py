@@ -1,0 +1,100 @@
+"""Tests for repro.data.mnist_io — IDX format round trips."""
+
+import numpy as np
+import pytest
+
+from repro.data.mnist_io import (
+    export_synthetic_digits,
+    load_image_label_pair,
+    read_idx,
+    write_idx,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(24, dtype=np.uint8).reshape(2, 3, 4),
+            np.arange(10, dtype=np.uint8),
+            (np.random.default_rng(0).random((5, 6)) * 100).astype(np.float64),
+            np.arange(-5, 5, dtype=np.int32).reshape(2, 5),
+            np.array([1.5, -2.5], dtype=np.float32),
+            np.array([-1, 0, 1], dtype=np.int8),
+        ],
+    )
+    def test_write_read_preserves_values(self, tmp_path, array):
+        path = tmp_path / "data.idx"
+        write_idx(path, array)
+        out = read_idx(path)
+        assert out.shape == array.shape
+        np.testing.assert_allclose(out, array)
+
+    def test_gzip_round_trip(self, tmp_path):
+        array = np.arange(100, dtype=np.uint8).reshape(10, 10)
+        path = tmp_path / "data.idx.gz"
+        write_idx(path, array)
+        np.testing.assert_array_equal(read_idx(path), array)
+        # Really gzip: magic bytes.
+        assert open(path, "rb").read(2) == b"\x1f\x8b"
+
+    def test_native_byte_order_on_read(self, tmp_path):
+        path = tmp_path / "x.idx"
+        write_idx(path, np.arange(6, dtype=np.int32).reshape(2, 3))
+        out = read_idx(path)
+        assert out.dtype.byteorder in ("=", "<", ">")[:2] or out.dtype.byteorder == "|"
+
+
+class TestValidation:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.idx"
+        path.write_bytes(b"\x01\x02\x03\x04rest")
+        with pytest.raises(ConfigurationError, match="magic"):
+            read_idx(path)
+
+    def test_unknown_type_byte_rejected(self, tmp_path):
+        path = tmp_path / "junk.idx"
+        path.write_bytes(bytes([0, 0, 0x42, 1]) + (4).to_bytes(4, "big") + b"abcd")
+        with pytest.raises(ConfigurationError, match="type byte"):
+            read_idx(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "short.idx"
+        write_idx(path, np.arange(10, dtype=np.uint8))
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(ConfigurationError, match="truncated"):
+            read_idx(path)
+
+    def test_unsupported_dtype_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_idx(tmp_path / "x.idx", np.array([True, False]))
+
+
+class TestImageLabelPair:
+    def test_load_pair(self, tmp_path):
+        images = (np.random.default_rng(1).random((7, 4, 4)) * 255).astype(np.uint8)
+        labels = np.arange(7, dtype=np.uint8)
+        write_idx(tmp_path / "img.idx", images)
+        write_idx(tmp_path / "lbl.idx", labels)
+        x, y = load_image_label_pair(tmp_path / "img.idx", tmp_path / "lbl.idx")
+        assert x.shape == (7, 16)
+        assert x.max() <= 1.0  # normalised from uint8
+        np.testing.assert_array_equal(y, labels)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        write_idx(tmp_path / "img.idx", np.zeros((5, 2, 2), dtype=np.uint8))
+        write_idx(tmp_path / "lbl.idx", np.zeros(6, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            load_image_label_pair(tmp_path / "img.idx", tmp_path / "lbl.idx")
+
+
+class TestExportSynthetic:
+    def test_export_and_reload(self, tmp_path):
+        img_path, lbl_path = export_synthetic_digits(tmp_path, 20, size=10, seed=0)
+        assert img_path.exists() and lbl_path.exists()
+        x, y = load_image_label_pair(img_path, lbl_path)
+        assert x.shape == (20, 100)
+        assert set(np.unique(y)) <= set(range(10))
+        assert x.max() <= 1.0 and x.min() >= 0.0

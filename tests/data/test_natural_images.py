@@ -1,0 +1,79 @@
+"""Tests for repro.data.natural_images — 1/f synthetic natural images."""
+
+import numpy as np
+import pytest
+
+from repro.data.natural_images import make_natural_images, whiten_patches
+
+
+class TestMakeNaturalImages:
+    def test_shape(self):
+        imgs = make_natural_images(5, size=32, seed=0)
+        assert imgs.shape == (5, 32, 32)
+
+    def test_standardised(self):
+        imgs = make_natural_images(3, size=64, seed=1)
+        for img in imgs:
+            assert abs(img.mean()) < 1e-10
+            assert img.std() == pytest.approx(1.0)
+
+    def test_seed_reproducible(self):
+        a = make_natural_images(2, size=16, seed=7)
+        b = make_natural_images(2, size=16, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spectrum_falls_with_frequency(self):
+        """The defining property: radially averaged power decreasing in f."""
+        imgs = make_natural_images(8, size=64, spectral_exponent=1.0, seed=3)
+        power = np.zeros((64, 64))
+        for img in imgs:
+            power += np.abs(np.fft.fft2(img)) ** 2
+        fy = np.fft.fftfreq(64)[:, None]
+        fx = np.fft.fftfreq(64)[None, :]
+        freq = np.hypot(fy, fx).ravel()
+        p = power.ravel()
+        low = p[(freq > 0.02) & (freq < 0.08)].mean()
+        high = p[(freq > 0.3) & (freq < 0.5)].mean()
+        assert low > 10 * high
+
+    def test_exponent_zero_is_white_noise(self):
+        imgs = make_natural_images(8, size=64, spectral_exponent=0.0, seed=4)
+        power = np.zeros((64, 64))
+        for img in imgs:
+            power += np.abs(np.fft.fft2(img)) ** 2
+        fy = np.fft.fftfreq(64)[:, None]
+        fx = np.fft.fftfreq(64)[None, :]
+        freq = np.hypot(fy, fx).ravel()
+        p = power.ravel()
+        low = p[(freq > 0.02) & (freq < 0.1)].mean()
+        high = p[(freq > 0.3) & (freq < 0.5)].mean()
+        assert 0.5 < low / high < 2.0  # flat spectrum
+
+    def test_spatial_correlation_present(self):
+        img = make_natural_images(1, size=64, seed=5)[0]
+        neighbour_corr = np.corrcoef(img[:, :-1].ravel(), img[:, 1:].ravel())[0, 1]
+        assert neighbour_corr > 0.5
+
+
+class TestWhitenPatches:
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(200, 16))
+        assert whiten_patches(x).shape == (200, 16)
+
+    def test_whitened_covariance_near_identity(self, rng):
+        # Correlated data in, ~identity covariance out.
+        base = rng.normal(size=(5000, 4))
+        mix = rng.normal(size=(4, 8))
+        x = base @ mix + rng.normal(scale=0.5, size=(5000, 8))
+        w = whiten_patches(x, epsilon=1e-6)
+        cov = w.T @ w / w.shape[0]
+        np.testing.assert_allclose(cov, np.eye(8), atol=0.1)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            whiten_patches(np.zeros((2, 2, 2)))
+
+    def test_epsilon_regularises_degenerate_data(self, rng):
+        x = np.tile(rng.normal(size=(1, 6)), (50, 1))  # rank-0 after centering
+        w = whiten_patches(x, epsilon=0.1)
+        assert np.isfinite(w).all()

@@ -1,0 +1,86 @@
+"""Tests for repro.data.patches — random patch extraction + normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.data.patches import extract_patches, normalize_patches
+
+
+class TestExtractPatches:
+    @pytest.fixture
+    def images(self, rng):
+        return rng.random((4, 20, 20))
+
+    def test_flattened_shape(self, images):
+        p = extract_patches(images, patch_size=5, n_patches=30, seed=0)
+        assert p.shape == (30, 25)
+
+    def test_unflattened_shape(self, images):
+        p = extract_patches(images, 5, 30, seed=0, flatten=False)
+        assert p.shape == (30, 5, 5)
+
+    def test_patches_are_actual_subwindows(self, rng):
+        # With one image and unique values we can locate each patch exactly.
+        img = np.arange(100, dtype=float).reshape(1, 10, 10)
+        patches = extract_patches(img, 3, 20, seed=1, flatten=False)
+        for p in patches:
+            top_left = p[0, 0]
+            r, c = int(top_left) // 10, int(top_left) % 10
+            np.testing.assert_array_equal(p, img[0, r : r + 3, c : c + 3])
+
+    def test_seed_reproducible(self, images):
+        a = extract_patches(images, 4, 10, seed=3)
+        b = extract_patches(images, 4, 10, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_full_image_patch(self, images):
+        p = extract_patches(images, 20, 5, seed=0, flatten=False)
+        assert p.shape == (5, 20, 20)
+
+    def test_rejects_oversize_patch(self, images):
+        with pytest.raises(ShapeError):
+            extract_patches(images, 21, 5)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ShapeError):
+            extract_patches(np.zeros((10, 10)), 3, 5)
+
+
+class TestNormalizePatches:
+    def test_output_range(self, rng):
+        x = rng.normal(scale=5.0, size=(100, 16))
+        out = normalize_patches(x)
+        assert out.min() >= 0.1 - 1e-12
+        assert out.max() <= 0.9 + 1e-12
+
+    def test_custom_range(self, rng):
+        x = rng.normal(size=(50, 9))
+        out = normalize_patches(x, output_range=(0.0, 1.0))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_per_patch_dc_removed_before_scaling(self):
+        # Two patches identical up to a DC offset must normalise identically.
+        base = np.linspace(-1, 1, 8)
+        x = np.vstack([base, base + 100.0])
+        out = normalize_patches(x)
+        np.testing.assert_allclose(out[0], out[1])
+
+    def test_constant_patches_map_to_midpoint(self):
+        x = np.full((3, 4), 7.0)
+        out = normalize_patches(x)
+        np.testing.assert_allclose(out, 0.5)
+
+    def test_clipping_bounds_extremes(self, rng):
+        x = rng.normal(size=(200, 10))
+        x[0, 0] = 1e6  # a huge outlier
+        out = normalize_patches(x, clip_std=3.0)
+        assert out[0, 0] == pytest.approx(0.9)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            normalize_patches(np.zeros(5))
+
+    def test_rejects_bad_range(self, rng):
+        with pytest.raises(ValueError):
+            normalize_patches(rng.normal(size=(5, 5)), output_range=(0.9, 0.1))

@@ -1,0 +1,77 @@
+"""Tests for repro.data.datasets.train_test_split and SGD's Nesterov flag."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import train_test_split
+from repro.errors import ConfigurationError
+from repro.optim.sgd import SGD
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        x = rng.random((100, 4))
+        train, test = train_test_split(x, test_fraction=0.2, seed=0)
+        assert train.shape == (80, 4)
+        assert test.shape == (20, 4)
+
+    def test_partition_is_exact(self, rng):
+        x = np.arange(50, dtype=float).reshape(25, 2)
+        train, test = train_test_split(x, test_fraction=0.4, seed=1)
+        combined = sorted(np.concatenate([train[:, 0], test[:, 0]]))
+        assert combined == sorted(x[:, 0])
+
+    def test_labels_follow_rows(self, rng):
+        x = np.arange(20, dtype=float).reshape(10, 2)
+        labels = np.arange(10)
+        x_tr, y_tr, x_te, y_te = train_test_split(x, labels, test_fraction=0.3, seed=2)
+        np.testing.assert_array_equal(x_tr[:, 0] // 2, y_tr)
+        np.testing.assert_array_equal(x_te[:, 0] // 2, y_te)
+
+    def test_both_sides_nonempty_for_extreme_fractions(self, rng):
+        x = rng.random((5, 2))
+        train, test = train_test_split(x, test_fraction=0.01, seed=0)
+        assert len(test) == 1 and len(train) == 4
+        train, test = train_test_split(x, test_fraction=0.99, seed=0)
+        assert len(train) == 1 and len(test) == 4
+
+    def test_seed_reproducible(self, rng):
+        x = rng.random((30, 3))
+        a = train_test_split(x, test_fraction=0.3, seed=9)
+        b = train_test_split(x, test_fraction=0.3, seed=9)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            train_test_split(rng.random((10, 2)), test_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            train_test_split(rng.random((1, 2)), test_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            train_test_split(rng.random((10, 2)), labels=np.zeros(9))
+
+
+class TestNesterov:
+    def _objective(self, theta, batch):
+        diff = theta[None, :] - batch
+        return 0.5 * float(np.mean(np.sum(diff**2, axis=1))), diff.mean(axis=0)
+
+    def test_requires_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD(nesterov=True, momentum=0.0)
+
+    def test_converges(self, rng):
+        data = rng.normal(loc=2.0, size=(200, 3))
+        result = SGD(learning_rate=0.05, momentum=0.9, nesterov=True, seed=0).minimize(
+            self._objective, np.zeros(3), data, batch_size=25, epochs=40
+        )
+        np.testing.assert_allclose(result.theta, data.mean(axis=0), atol=0.2)
+
+    def test_differs_from_classical_momentum(self, rng):
+        data = rng.normal(size=(100, 2))
+        classical = SGD(learning_rate=0.1, momentum=0.9, seed=0).minimize(
+            self._objective, np.full(2, 5.0), data, batch_size=20, epochs=2
+        )
+        nesterov = SGD(
+            learning_rate=0.1, momentum=0.9, nesterov=True, seed=0
+        ).minimize(self._objective, np.full(2, 5.0), data, batch_size=20, epochs=2)
+        assert not np.allclose(classical.theta, nesterov.theta)

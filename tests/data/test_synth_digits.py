@@ -1,0 +1,83 @@
+"""Tests for repro.data.synth_digits — stroke-rendered digit images."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.data.synth_digits import digit_dataset, make_digit_images, render_digit
+
+
+class TestRenderDigit:
+    def test_shape_and_range(self):
+        img = render_digit(3, size=16)
+        assert img.shape == (16, 16)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_nonempty(self):
+        for d in range(10):
+            assert render_digit(d, size=16).sum() > 0, f"digit {d} rendered blank"
+
+    def test_digits_are_distinct(self):
+        imgs = [render_digit(d, size=16) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.allclose(imgs[i], imgs[j]), f"{i} and {j} identical"
+
+    def test_rejects_bad_digit(self):
+        with pytest.raises(ConfigurationError):
+            render_digit(10)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ConfigurationError):
+            render_digit(1, size=2)
+
+    def test_shift_moves_mass(self):
+        base = render_digit(1, size=24)
+        shifted = render_digit(1, size=24, shift=(0.2, 0.0))
+        cy_base = (np.arange(24)[None, :] * base).sum() / base.sum()
+        cy_shift = (np.arange(24)[None, :] * shifted).sum() / shifted.sum()
+        assert cy_shift > cy_base + 2  # moved right by ~0.2*24 pixels
+
+    def test_stroke_width_increases_mass(self):
+        thin = render_digit(0, size=24, stroke_width=0.03)
+        thick = render_digit(0, size=24, stroke_width=0.1)
+        assert thick.sum() > thin.sum()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(render_digit(5, size=12), render_digit(5, size=12))
+
+
+class TestMakeDigitImages:
+    def test_shapes(self):
+        imgs, labels = make_digit_images(20, size=10, seed=0)
+        assert imgs.shape == (20, 10, 10)
+        assert labels.shape == (20,)
+        assert set(np.unique(labels)) <= set(range(10))
+
+    def test_seed_reproducible(self):
+        a, la = make_digit_images(10, size=8, seed=4)
+        b, lb = make_digit_images(10, size=8, seed=4)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_jitter_varies_same_digit(self):
+        imgs, labels = make_digit_images(200, size=12, seed=1)
+        ones = imgs[labels == 1]
+        assert len(ones) > 2
+        assert not np.allclose(ones[0], ones[1])
+
+    def test_no_jitter_is_canonical(self):
+        imgs, labels = make_digit_images(50, size=12, seed=2, jitter=False)
+        for img, d in zip(imgs, labels):
+            np.testing.assert_array_equal(img, render_digit(int(d), size=12))
+
+
+class TestDigitDataset:
+    def test_flattened_shape(self):
+        x, labels = digit_dataset(30, size=6, seed=0)
+        assert x.shape == (30, 36)
+        assert (x >= 0).all() and (x <= 1).all()
+
+    def test_rows_vary(self):
+        x, _ = digit_dataset(30, size=6, seed=0)
+        assert np.std(x, axis=0).max() > 0.05

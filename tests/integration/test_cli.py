@@ -1,0 +1,78 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_model_choice(self):
+        args = build_parser().parse_args(["fig7", "--model", "rbm"])
+        assert args.model == "rbm"
+
+
+class TestCommands:
+    def test_table1_prints_grid(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "baseline" in out and "improved_openmp_mkl" in out
+        assert "16,0" in out  # the ~16042 s anchor
+
+    def test_fig9_rbm_panel(self, capsys):
+        assert main(["fig9", "--model", "rbm"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9 (rbm)" in out
+        assert "10000" in out
+
+    def test_overlap(self, capsys):
+        assert main(["overlap"]) == 0
+        assert "transfer" in capsys.readouterr().out
+
+    def test_headline(self, capsys):
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "vs_baseline" in out and "vs_matlab" in out
+
+    def test_roofline(self, capsys):
+        assert main(["roofline"]) == 0
+        out = capsys.readouterr().out
+        assert "Roofline" in out
+        assert "compute" in out and "memory" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "rows.csv"
+        assert main(["cores", "--csv", str(path)]) == 0
+        text = path.read_text()
+        assert "cores" in text.splitlines()[0]
+        assert len(text.splitlines()) >= 4
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "rows.json"
+        assert main(["fig10", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["rows"][0]["speedup"] > 10
+
+    def test_module_invocation(self):
+        """python -m repro must work as an entry point."""
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fig10"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "Matlab" in proc.stdout

@@ -1,0 +1,29 @@
+"""Smoke test: the CLI's `all` command regenerates every artefact."""
+
+from repro.cli import main
+
+
+class TestCliAll:
+    def test_all_command_runs_every_artefact(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        for marker in (
+            "Table I",
+            "Fig. 7",
+            "Fig. 8",
+            "Fig. 9",
+            "Fig. 10",
+            "transfer overlap",
+            "Headline claims",
+            "Core-count scaling",
+            "Roofline",
+            "Claim verification",
+        ):
+            assert marker in out, f"missing section: {marker}"
+        assert "FAIL" not in out
+
+    def test_all_with_exports(self, tmp_path, capsys):
+        csv = tmp_path / "all.csv"
+        assert main(["all", "--csv", str(csv)]) == 0
+        text = csv.read_text()
+        assert len(text.splitlines()) > 30  # every artefact's rows landed

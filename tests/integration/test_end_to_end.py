@@ -1,0 +1,143 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise the library the way the examples do: synthetic data →
+functional training on a simulated machine → timing + quality checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import OptimizationLevel, TrainingConfig
+from repro.core.pretrain import DeepPretrainer
+from repro.core.rbm_trainer import RBMTrainer
+from repro.data.natural_images import make_natural_images
+from repro.data.patches import extract_patches, normalize_patches
+from repro.data.synth_digits import digit_dataset
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.stacked import LayerSpec, StackedAutoencoder
+from repro.phi.spec import XEON_E5620_SINGLE_CORE, XEON_PHI_5110P
+from repro.runtime.backend import optimized_cpu_backend
+
+
+class TestDigitsToFeaturesPipeline:
+    """Quickstart path: digits → sparse autoencoder → compressed code."""
+
+    @pytest.fixture(scope="class")
+    def digits(self):
+        x, labels = digit_dataset(256, size=8, seed=0)
+        return x, labels
+
+    def test_autoencoder_compresses_digits(self, digits):
+        x, _ = digits
+        cfg = TrainingConfig(
+            n_visible=64, n_hidden=25, n_examples=256, batch_size=32, epochs=40,
+            machine=XEON_PHI_5110P, learning_rate=0.5,
+        )
+        trainer = SparseAutoencoderTrainer(cfg)
+        result = trainer.fit(x)
+        assert result.reconstruction_errors[-1] < 0.5 * result.reconstruction_errors[0]
+        code = trainer.model.encode(x)
+        assert code.shape == (256, 25)
+
+    def test_learned_code_is_informative(self, digits):
+        """A nearest-centroid classifier on the learned code must beat
+        chance clearly — the code preserves class structure."""
+        x, labels = digits
+        cfg = TrainingConfig(
+            n_visible=64, n_hidden=30, n_examples=256, batch_size=32, epochs=60,
+            machine=XEON_PHI_5110P, learning_rate=0.5, seed=1,
+        )
+        trainer = SparseAutoencoderTrainer(cfg)
+        trainer.fit(x)
+        code = trainer.model.encode(x)
+        train_idx, test_idx = np.arange(0, 200), np.arange(200, 256)
+        centroids = {}
+        for d in range(10):
+            members = code[train_idx][labels[train_idx] == d]
+            if len(members):
+                centroids[d] = members.mean(axis=0)
+        correct = 0
+        for i in test_idx:
+            dists = {d: np.linalg.norm(code[i] - c) for d, c in centroids.items()}
+            if min(dists, key=dists.get) == labels[i]:
+                correct += 1
+        accuracy = correct / len(test_idx)
+        assert accuracy > 0.3  # chance is 0.1
+
+
+class TestNaturalImagePipeline:
+    """The paper's second data source: natural images → patches → SAE."""
+
+    def test_patch_pipeline_trains(self):
+        images = make_natural_images(6, size=64, seed=0)
+        patches = extract_patches(images, patch_size=8, n_patches=400, seed=1)
+        patches = normalize_patches(patches)
+        assert patches.shape == (400, 64)
+        cfg = TrainingConfig(
+            n_visible=64, n_hidden=16, n_examples=400, batch_size=50, epochs=30,
+            machine=XEON_PHI_5110P, learning_rate=0.5,
+        )
+        trainer = SparseAutoencoderTrainer(
+            cfg, cost=SparseAutoencoderCost(sparsity_target=0.05, sparsity_weight=0.5)
+        )
+        result = trainer.fit(patches)
+        assert result.reconstruction_errors[-1] < result.reconstruction_errors[0]
+
+
+class TestDeepPretrainingEndToEnd:
+    def test_four_layer_stack_functional_and_timed(self, digits_64):
+        """A miniature Table I: same 4-layer shape ratio, functional math
+        plus simulated timing, on both machines."""
+        base = TrainingConfig(
+            n_visible=64, n_hidden=32, n_examples=128, batch_size=32,
+            machine=XEON_PHI_5110P, learning_rate=0.5,
+        )
+        pre = DeepPretrainer(base, layer_sizes=(64, 32, 16, 8), iterations_per_layer=25)
+        result = pre.fit(digits_64)
+        assert len(result.layers) == 3
+        # The cascade must produce progressively narrower representations
+        # and each layer must actually learn.
+        for layer in result.layers:
+            assert layer.result.losses[-1] < layer.result.losses[0]
+        assert result.total_seconds > 0
+
+    def test_phi_beats_single_core_on_same_functional_run(self, digits_64):
+        base = dict(
+            n_visible=64, n_hidden=32, n_examples=128, batch_size=128, epochs=5,
+            learning_rate=0.5,
+        )
+        phi = SparseAutoencoderTrainer(
+            TrainingConfig(machine=XEON_PHI_5110P, **base)
+        ).fit(digits_64)
+        cpu = SparseAutoencoderTrainer(
+            TrainingConfig(
+                machine=XEON_E5620_SINGLE_CORE, backend=optimized_cpu_backend(1), **base
+            )
+        ).fit(digits_64)
+        # Identical functional trajectory (same seed/order)...
+        np.testing.assert_allclose(phi.losses, cpu.losses)
+        # ...different simulated clock.
+        assert phi.simulated_seconds != cpu.simulated_seconds
+
+
+class TestDBNEndToEnd:
+    def test_rbm_then_stack(self, binary_batch):
+        cfg = TrainingConfig(
+            n_visible=12, n_hidden=6, n_examples=40, batch_size=10, epochs=30,
+            machine=XEON_PHI_5110P, learning_rate=0.2,
+        )
+        trainer = RBMTrainer(cfg)
+        result = trainer.fit(binary_batch)
+        features = trainer.model.transform(binary_batch)
+        assert features.shape == (40, 6)
+        assert result.reconstruction_errors[-1] <= result.reconstruction_errors[0]
+
+    def test_functional_stack_agrees_with_nn_layer(self, digits_25):
+        """nn.stacked and core.pretrain must build equivalent cascades."""
+        stack = StackedAutoencoder(
+            25,
+            [LayerSpec(12, learning_rate=0.5, epochs=5, batch_size=16)],
+            seed=3,
+        ).pretrain(digits_25)
+        assert stack.transform(digits_25).shape == (digits_25.shape[0], 12)

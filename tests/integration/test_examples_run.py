@@ -1,0 +1,52 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the two fastest examples run as subprocesses here (the full set is
+exercised manually / in CI); the goal is to catch API drift that would
+break the README's first-contact experience.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Phi speedup" in out
+        assert "strongest learned filters" in out
+
+    def test_deep_pretraining(self):
+        out = run_example("deep_pretraining.py")
+        assert "Table I" in out
+        assert "16,0" in out  # the baseline anchor
+
+    def test_examples_directory_complete(self):
+        """README promises at least these examples on disk."""
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "deep_pretraining.py",
+            "rbm_dbn_features.py",
+            "phi_speedup_study.py",
+            "batch_optimizers.py",
+            "supervised_finetuning.py",
+            "sparse_coding_features.py",
+            "performance_toolkit.py",
+        } <= names

@@ -1,0 +1,57 @@
+"""Tests for repro.nn.activations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import Identity, Sigmoid, Tanh, get_activation
+
+
+@pytest.mark.parametrize("cls", [Sigmoid, Identity, Tanh])
+class TestForwardGradConsistency:
+    def test_grad_matches_finite_difference(self, cls):
+        act = cls()
+        z = np.linspace(-3, 3, 25)
+        eps = 1e-6
+        numeric = (act.forward(z + eps) - act.forward(z - eps)) / (2 * eps)
+        analytic = act.grad_from_output(act.forward(z))
+        np.testing.assert_allclose(analytic, numeric, atol=1e-8)
+
+    def test_forward_preserves_shape(self, cls):
+        z = np.zeros((4, 6))
+        assert cls().forward(z).shape == (4, 6)
+
+
+class TestSpecificValues:
+    def test_sigmoid_bounds(self):
+        out = Sigmoid().forward(np.array([-100.0, 100.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-30)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_identity_is_identity(self):
+        z = np.array([[1.5, -2.0]])
+        np.testing.assert_array_equal(Identity().forward(z), z)
+        np.testing.assert_array_equal(Identity().grad_from_output(z), np.ones_like(z))
+
+    def test_tanh_odd(self):
+        z = np.linspace(-2, 2, 9)
+        np.testing.assert_allclose(Tanh().forward(z), -Tanh().forward(-z))
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_activation("sigmoid"), Sigmoid)
+        assert isinstance(get_activation("identity"), Identity)
+        assert isinstance(get_activation("tanh"), Tanh)
+
+    def test_instance_passthrough(self):
+        act = Sigmoid()
+        assert get_activation(act) is act
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="sigmoid"):
+            get_activation("relu")
+
+    def test_non_string_non_activation_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_activation(42)

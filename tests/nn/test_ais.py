@@ -1,0 +1,100 @@
+"""Tests for repro.nn.ais — annealed importance sampling for RBM log Z.
+
+The gold standard: on small RBMs the exact partition function is
+computable by enumeration, so AIS can be validated directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.ais import ais_log_partition, estimate_log_likelihood
+from repro.nn.rbm import RBM
+from repro.utils.mathx import log_sum_exp
+
+
+def trained_small_rbm(seed=0, n_visible=8, n_hidden=5):
+    """An RBM with non-trivial weights (trained briefly on structured data)."""
+    rng = np.random.default_rng(seed)
+    modes = np.array(
+        [[1, 1, 1, 1, 0, 0, 0, 0], [0, 0, 0, 0, 1, 1, 1, 1]], dtype=float
+    )[:, :n_visible]
+    data = modes[rng.integers(0, 2, 300)]
+    data = np.abs(data - (rng.random(data.shape) < 0.05))
+    rbm = RBM(n_visible, n_hidden, seed=seed)
+    gen = np.random.default_rng(seed + 1)
+    for _ in range(200):
+        stats = rbm.contrastive_divergence(data[gen.integers(0, 300, 40)], rng=gen)
+        rbm.apply_update(stats, 0.2)
+    return rbm, data
+
+
+class TestAISAgainstExact:
+    def test_untrained_rbm(self):
+        """Near-zero weights: AIS must nail log Z almost exactly."""
+        rbm = RBM(8, 5, seed=0)
+        exact = rbm.log_partition_exact()
+        result = ais_log_partition(rbm, n_particles=50, n_temperatures=200, seed=1)
+        assert result.log_z == pytest.approx(exact, abs=0.05)
+
+    def test_trained_rbm(self):
+        """Structured weights: AIS within a small tolerance of exact."""
+        rbm, data = trained_small_rbm()
+        exact = rbm.log_partition_exact()
+        result = ais_log_partition(
+            rbm, n_particles=200, n_temperatures=2000, data=data, seed=2
+        )
+        assert result.log_z == pytest.approx(exact, abs=0.3)
+
+    def test_confidence_band_contains_exact(self):
+        rbm, data = trained_small_rbm(seed=3)
+        exact = rbm.log_partition_exact()
+        result = ais_log_partition(
+            rbm, n_particles=300, n_temperatures=2000, data=data, seed=4
+        )
+        lo, hi = result.log_z_confidence(z_sigma=4.0)
+        assert lo <= result.log_z <= hi
+        assert lo - 0.5 <= exact <= hi + 0.5
+
+    def test_more_temperatures_tighter(self):
+        """Variance of the AIS weights shrinks with annealing resolution."""
+        rbm, data = trained_small_rbm(seed=5)
+        coarse = ais_log_partition(rbm, 100, 50, data=data, seed=6)
+        fine = ais_log_partition(rbm, 100, 2000, data=data, seed=6)
+        assert np.var(fine.log_weights) < np.var(coarse.log_weights)
+
+    def test_effective_sample_size_bounds(self):
+        rbm, data = trained_small_rbm(seed=7)
+        result = ais_log_partition(rbm, 100, 500, data=data, seed=8)
+        assert 1.0 <= result.effective_sample_size <= 100.0
+
+
+class TestLogLikelihood:
+    def test_matches_exact_likelihood(self):
+        rbm, data = trained_small_rbm(seed=9)
+        exact_ll = float(
+            np.mean(-rbm.free_energy(data)) - rbm.log_partition_exact()
+        )
+        ais_ll = estimate_log_likelihood(
+            rbm, data, n_particles=200, n_temperatures=2000, seed=10
+        )
+        assert ais_ll == pytest.approx(exact_ll, abs=0.3)
+
+    def test_trained_model_beats_untrained_on_its_data(self):
+        rbm, data = trained_small_rbm(seed=11)
+        fresh = RBM(rbm.n_visible, rbm.n_hidden, seed=99)
+        ll_trained = estimate_log_likelihood(rbm, data, 100, 1000, seed=12)
+        ll_fresh = estimate_log_likelihood(fresh, data, 100, 1000, seed=12)
+        assert ll_trained > ll_fresh + 0.5
+
+    def test_data_shape_validated(self):
+        rbm = RBM(8, 4, seed=0)
+        with pytest.raises(ConfigurationError):
+            ais_log_partition(rbm, 10, 10, data=np.zeros((5, 9)))
+
+    def test_argument_validation(self):
+        rbm = RBM(4, 3, seed=0)
+        with pytest.raises(ConfigurationError):
+            ais_log_partition(rbm, 0, 10)
+        with pytest.raises(ConfigurationError):
+            ais_log_partition(rbm, 10, 0)

@@ -1,0 +1,150 @@
+"""Tests for repro.nn.autoencoder — the sparse autoencoder building block."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.nn.cost import SparseAutoencoderCost
+
+
+class TestConstruction:
+    def test_shapes(self):
+        ae = SparseAutoencoder(20, 8, seed=0)
+        assert ae.w1.shape == (8, 20)
+        assert ae.b1.shape == (8,)
+        assert ae.w2.shape == (20, 8)
+        assert ae.b2.shape == (20,)
+
+    def test_seed_reproducible(self):
+        a = SparseAutoencoder(10, 4, seed=1)
+        b = SparseAutoencoder(10, 4, seed=1)
+        np.testing.assert_array_equal(a.w1, b.w1)
+        np.testing.assert_array_equal(a.w2, b.w2)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            SparseAutoencoder(0, 5)
+        with pytest.raises(ConfigurationError):
+            SparseAutoencoder(5, 0)
+
+    def test_sparsity_requires_sigmoid_hidden(self):
+        cost = SparseAutoencoderCost(sparsity_weight=1.0)
+        with pytest.raises(ConfigurationError, match="sigmoid"):
+            SparseAutoencoder(5, 3, cost=cost, hidden_activation="tanh")
+
+    def test_n_parameters(self):
+        ae = SparseAutoencoder(6, 4, seed=0)
+        assert ae.n_parameters == 6 * 4 * 2 + 6 + 4
+
+
+class TestForward:
+    def test_encode_shape_and_range(self, small_ae, digits_25):
+        y = small_ae.encode(digits_25)
+        assert y.shape == (digits_25.shape[0], 9)
+        assert (y > 0).all() and (y < 1).all()
+
+    def test_decode_shape(self, small_ae, digits_25):
+        z = small_ae.decode(small_ae.encode(digits_25))
+        assert z.shape == digits_25.shape
+
+    def test_reconstruct_equals_encode_decode(self, small_ae, digits_25):
+        np.testing.assert_array_equal(
+            small_ae.reconstruct(digits_25),
+            small_ae.decode(small_ae.encode(digits_25)),
+        )
+
+    def test_encode_rejects_wrong_width(self, small_ae):
+        with pytest.raises(ShapeError):
+            small_ae.encode(np.ones((3, 7)))
+
+    def test_linear_decoder_variant(self):
+        ae = SparseAutoencoder(6, 3, output_activation="identity", seed=0)
+        x = np.random.default_rng(0).normal(size=(10, 6))
+        z = ae.reconstruct(x)
+        # A linear decoder can leave [0,1]; a sigmoid one cannot.
+        assert z.shape == x.shape
+
+
+class TestGradients:
+    def test_loss_matches_gradients_loss(self, small_ae, digits_25):
+        loss_direct = small_ae.loss(digits_25)
+        loss_from_grad, _ = small_ae.gradients(digits_25)
+        assert loss_direct == pytest.approx(loss_from_grad)
+
+    def test_gradient_shapes(self, small_ae, digits_25):
+        _, g = small_ae.gradients(digits_25)
+        assert g.w1.shape == small_ae.w1.shape
+        assert g.b1.shape == small_ae.b1.shape
+        assert g.w2.shape == small_ae.w2.shape
+        assert g.b2.shape == small_ae.b2.shape
+
+    def test_apply_update_descends(self, small_ae, digits_25):
+        loss0, g = small_ae.gradients(digits_25)
+        small_ae.apply_update(g, learning_rate=0.05)
+        loss1 = small_ae.loss(digits_25)
+        assert loss1 < loss0
+
+    def test_gradients_scaled(self, small_ae, digits_25):
+        _, g = small_ae.gradients(digits_25)
+        h = g.scaled(2.0)
+        np.testing.assert_allclose(h.w1, 2 * g.w1)
+        assert h.norm() == pytest.approx(2 * g.norm())
+
+    def test_training_reduces_reconstruction_error(self, digits_25):
+        ae = SparseAutoencoder(25, 12, seed=0)
+        err0 = ae.reconstruction_error(digits_25)
+        for _ in range(150):
+            _, g = ae.gradients(digits_25)
+            ae.apply_update(g, 0.5)
+        assert ae.reconstruction_error(digits_25) < 0.5 * err0
+
+    def test_sparsity_drives_mean_activation_down(self, digits_25):
+        rho = 0.05
+        sparse_cost = SparseAutoencoderCost(
+            weight_decay=1e-4, sparsity_target=rho, sparsity_weight=2.0
+        )
+        dense = SparseAutoencoder(25, 12, seed=0)
+        sparse = SparseAutoencoder(25, 12, cost=sparse_cost, seed=0)
+        for _ in range(300):
+            for ae in (dense, sparse):
+                _, g = ae.gradients(digits_25)
+                ae.apply_update(g, 0.5)
+        rho_dense = dense.encode(digits_25).mean()
+        rho_sparse = sparse.encode(digits_25).mean()
+        assert rho_sparse < rho_dense
+        assert abs(rho_sparse - rho) < abs(rho_dense - rho)
+
+
+class TestFlatParameterInterface:
+    def test_round_trip(self, small_ae):
+        theta = small_ae.get_flat_parameters()
+        clone = small_ae.copy()
+        clone.set_flat_parameters(theta)
+        np.testing.assert_array_equal(clone.w1, small_ae.w1)
+        np.testing.assert_array_equal(clone.b2, small_ae.b2)
+
+    def test_wrong_length_raises(self, small_ae):
+        with pytest.raises(ConfigurationError):
+            small_ae.set_flat_parameters(np.zeros(3))
+
+    def test_flat_loss_and_grad_restores_params(self, small_ae, digits_25):
+        theta0 = small_ae.get_flat_parameters()
+        perturbed = theta0 + 0.1
+        small_ae.flat_loss_and_grad(perturbed, digits_25)
+        np.testing.assert_array_equal(small_ae.get_flat_parameters(), theta0)
+
+    def test_flat_grad_matches_structured(self, small_ae, digits_25):
+        theta = small_ae.get_flat_parameters()
+        loss_flat, grad_flat = small_ae.flat_loss_and_grad(theta, digits_25)
+        loss, g = small_ae.gradients(digits_25)
+        assert loss_flat == pytest.approx(loss)
+        expected = np.concatenate(
+            [g.w1.ravel(), g.b1.ravel(), g.w2.ravel(), g.b2.ravel()]
+        )
+        np.testing.assert_allclose(grad_flat, expected)
+
+    def test_copy_is_independent(self, small_ae):
+        clone = small_ae.copy()
+        clone.w1 += 1.0
+        assert not np.allclose(clone.w1, small_ae.w1)

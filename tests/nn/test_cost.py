@@ -1,0 +1,105 @@
+"""Tests for repro.nn.cost — the sparse-autoencoder objective (Eqs. 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.cost import SparseAutoencoderCost
+
+
+class TestConstruction:
+    def test_defaults_valid(self):
+        cost = SparseAutoencoderCost()
+        assert cost.sparsity_weight == 0.0
+
+    def test_rejects_negative_decay(self):
+        with pytest.raises(ConfigurationError):
+            SparseAutoencoderCost(weight_decay=-1.0)
+
+    def test_rejects_target_outside_open_interval(self):
+        with pytest.raises(ConfigurationError):
+            SparseAutoencoderCost(sparsity_target=0.0)
+        with pytest.raises(ConfigurationError):
+            SparseAutoencoderCost(sparsity_target=1.0)
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ConfigurationError):
+            SparseAutoencoderCost(sparsity_weight=-0.1)
+
+    def test_frozen(self):
+        cost = SparseAutoencoderCost()
+        with pytest.raises(Exception):
+            cost.weight_decay = 1.0
+
+
+class TestReconstruction:
+    def test_zero_for_perfect_reconstruction(self):
+        cost = SparseAutoencoderCost()
+        x = np.random.default_rng(0).random((6, 4))
+        assert cost.reconstruction(x, x) == 0.0
+
+    def test_known_value(self):
+        cost = SparseAutoencoderCost()
+        x = np.zeros((2, 3))
+        z = np.ones((2, 3))
+        # 0.5 * sum(1) / m = 0.5 * 6 / 2
+        assert cost.reconstruction(z, x) == pytest.approx(1.5)
+
+    def test_scales_inverse_with_batch(self):
+        cost = SparseAutoencoderCost()
+        x = np.zeros((4, 3))
+        z = np.ones((4, 3))
+        half = cost.reconstruction(z[:2], x[:2])
+        full = cost.reconstruction(z, x)
+        assert half == pytest.approx(full)  # per-example mean is batch invariant
+
+
+class TestDecay:
+    def test_known_value(self):
+        cost = SparseAutoencoderCost(weight_decay=0.2)
+        w1 = np.ones((2, 2))
+        w2 = 2 * np.ones((1, 2))
+        # 0.5*0.2*(4 + 8)
+        assert cost.decay(w1, w2) == pytest.approx(1.2)
+
+    def test_zero_decay(self):
+        cost = SparseAutoencoderCost(weight_decay=0.0)
+        assert cost.decay(np.ones((3, 3)), np.ones((3, 3))) == 0.0
+
+
+class TestSparsity:
+    def test_disabled_when_beta_zero(self):
+        cost = SparseAutoencoderCost(sparsity_weight=0.0)
+        assert cost.sparsity(np.array([0.9, 0.9])) == 0.0
+        assert (cost.sparsity_delta(np.array([0.9])) == 0).all()
+
+    def test_zero_at_target(self):
+        cost = SparseAutoencoderCost(sparsity_target=0.2, sparsity_weight=3.0)
+        assert cost.sparsity(np.full(5, 0.2)) == pytest.approx(0.0, abs=1e-10)
+
+    def test_positive_off_target(self):
+        cost = SparseAutoencoderCost(sparsity_target=0.05, sparsity_weight=1.0)
+        assert cost.sparsity(np.array([0.5])) > 0
+
+    def test_delta_scales_with_beta(self):
+        c1 = SparseAutoencoderCost(sparsity_target=0.05, sparsity_weight=1.0)
+        c2 = SparseAutoencoderCost(sparsity_target=0.05, sparsity_weight=2.0)
+        rho_hat = np.array([0.3, 0.7])
+        np.testing.assert_allclose(
+            2 * c1.sparsity_delta(rho_hat), c2.sparsity_delta(rho_hat)
+        )
+
+
+class TestTotal:
+    def test_total_is_sum_of_terms(self):
+        cost = SparseAutoencoderCost(
+            weight_decay=0.01, sparsity_target=0.1, sparsity_weight=0.5
+        )
+        rng = np.random.default_rng(1)
+        x = rng.random((5, 4))
+        z = rng.random((5, 4))
+        w1 = rng.random((3, 4))
+        w2 = rng.random((4, 3))
+        rho = rng.uniform(0.05, 0.9, 3)
+        expected = cost.reconstruction(z, x) + cost.decay(w1, w2) + cost.sparsity(rho)
+        assert cost.total(z, x, w1, w2, rho) == pytest.approx(expected)

@@ -1,0 +1,125 @@
+"""Tests for repro.nn.denoising — the denoising autoencoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.denoising import (
+    DenoisingAutoencoder,
+    corrupt_gaussian,
+    corrupt_masking,
+    corrupt_salt_pepper,
+)
+from repro.nn.gradcheck import check_gradients
+
+
+class TestCorruptions:
+    def test_masking_zeroes_expected_fraction(self, rng):
+        x = np.ones((100, 50))
+        out = corrupt_masking(x, 0.3, rng)
+        assert np.mean(out == 0) == pytest.approx(0.3, abs=0.03)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_masking_zero_level_is_identity(self, rng):
+        x = rng.random((5, 5))
+        np.testing.assert_array_equal(corrupt_masking(x, 0.0, rng), x)
+
+    def test_salt_pepper_hits_expected_fraction(self, rng):
+        x = np.full((100, 50), 0.5)
+        out = corrupt_salt_pepper(x, 0.4, rng)
+        changed = np.mean(out != 0.5)
+        assert changed == pytest.approx(0.4, abs=0.04)
+        assert set(np.unique(out)) <= {0.0, 0.5, 1.0}
+
+    def test_gaussian_noise_scale(self, rng):
+        x = np.zeros((200, 50))
+        out = corrupt_gaussian(x, 0.2, rng)
+        assert out.std() == pytest.approx(0.2, abs=0.02)
+
+
+class TestConstruction:
+    def test_rejects_unknown_noise(self):
+        with pytest.raises(ConfigurationError):
+            DenoisingAutoencoder(10, 5, noise="dropout")
+
+    def test_rejects_bad_corruption_level(self):
+        with pytest.raises(ConfigurationError):
+            DenoisingAutoencoder(10, 5, corruption=1.5)
+        with pytest.raises(ConfigurationError):
+            DenoisingAutoencoder(10, 5, corruption=-0.1, noise="gaussian")
+
+    def test_inherits_autoencoder_interface(self, digits_25):
+        dae = DenoisingAutoencoder(25, 9, seed=0)
+        assert dae.encode(digits_25).shape == (digits_25.shape[0], 9)
+
+
+class TestGradients:
+    def test_zero_corruption_matches_plain_gradients(self, digits_25):
+        """With no noise, the denoising gradient IS the plain gradient."""
+        dae = DenoisingAutoencoder(25, 9, corruption=0.0, seed=0)
+        loss_d, g_d = dae.denoising_gradients(digits_25, rng=0)
+        loss_p, g_p = dae.gradients(digits_25)
+        assert loss_d == pytest.approx(loss_p)
+        np.testing.assert_allclose(g_d.w1, g_p.w1)
+        np.testing.assert_allclose(g_d.w2, g_p.w2)
+
+    def test_gradient_correct_for_fixed_corruption(self, rng):
+        """Check the backprop against finite differences with the
+        corruption pattern held fixed (same seed per evaluation)."""
+        dae = DenoisingAutoencoder(7, 4, corruption=0.3, seed=1)
+        x = rng.random((6, 7))
+
+        def loss_at(theta):
+            saved = dae.get_flat_parameters()
+            dae.set_flat_parameters(theta)
+            # Fixed corruption stream: rng=99 every call.
+            corrupted = dae.corrupt(x, rng=99)
+            hidden = dae.hidden_activation.forward(corrupted @ dae.w1.T + dae.b1)
+            recon = dae.output_activation.forward(hidden @ dae.w2.T + dae.b2)
+            value = dae.cost.total(recon, x, dae.w1, dae.w2, hidden.mean(axis=0))
+            dae.set_flat_parameters(saved)
+            return value
+
+        # Analytic grads with the same fixed pattern.
+        corrupted = dae.corrupt(x, rng=99)
+        m = x.shape[0]
+        hidden = dae.hidden_activation.forward(corrupted @ dae.w1.T + dae.b1)
+        recon = dae.output_activation.forward(hidden @ dae.w2.T + dae.b2)
+        delta3 = (recon - x) * dae.output_activation.grad_from_output(recon)
+        delta2 = (delta3 @ dae.w2 + dae.cost.sparsity_delta(hidden.mean(axis=0))) * (
+            dae.hidden_activation.grad_from_output(hidden)
+        )
+        flat = np.concatenate(
+            [
+                (delta2.T @ corrupted / m + dae.cost.weight_decay * dae.w1).ravel(),
+                delta2.mean(axis=0),
+                (delta3.T @ hidden / m + dae.cost.weight_decay * dae.w2).ravel(),
+                delta3.mean(axis=0),
+            ]
+        )
+        check_gradients(loss_at, flat, dae.get_flat_parameters(), tolerance=1e-6)
+
+
+class TestDenoisingTraining:
+    def test_training_reduces_clean_error(self, digits_25):
+        dae = DenoisingAutoencoder(25, 16, corruption=0.25, seed=0)
+        errors = dae.fit_denoising(
+            digits_25, epochs=60, batch_size=16, learning_rate=0.8, seed=0
+        )
+        assert errors[-1] < 0.6 * errors[0]
+
+    def test_trained_model_actually_denoises(self, digits_25):
+        """After training, reconstructions of corrupted digits must be
+        closer to the clean originals than the corrupted inputs are."""
+        dae = DenoisingAutoencoder(25, 20, corruption=0.25, seed=1)
+        dae.fit_denoising(digits_25, epochs=60, batch_size=16, learning_rate=0.8, seed=1)
+        noisy = dae.corrupt(digits_25, rng=7)
+        denoised = dae.denoise(noisy)
+        err_noisy = float(np.mean((noisy - digits_25) ** 2))
+        err_denoised = float(np.mean((denoised - digits_25) ** 2))
+        assert err_denoised < err_noisy
+
+    def test_gaussian_variant_trains(self, digits_25):
+        dae = DenoisingAutoencoder(25, 12, corruption=0.2, noise="gaussian", seed=0)
+        errors = dae.fit_denoising(digits_25, epochs=10, batch_size=16, seed=0)
+        assert errors[-1] < errors[0]

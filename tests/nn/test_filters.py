@@ -1,0 +1,117 @@
+"""Tests for repro.nn.filters — receptive-field inspection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.nn.filters import (
+    filter_sparsity_profile,
+    receptive_fields,
+    render_filter,
+    render_filter_grid,
+)
+from repro.nn.mlp import DeepNetwork
+from repro.nn.rbm import RBM
+from repro.nn.sparse_coding import SparseCoder
+
+
+class TestReceptiveFields:
+    def test_autoencoder_w1(self):
+        ae = SparseAutoencoder(16, 4, seed=0)
+        assert receptive_fields(ae) is ae.w1
+
+    def test_rbm_w(self):
+        rbm = RBM(16, 4, seed=0)
+        assert receptive_fields(rbm) is rbm.w
+
+    def test_sparse_coder_dictionary(self):
+        coder = SparseCoder(16, 8, seed=0)
+        assert receptive_fields(coder) is coder.dictionary
+
+    def test_deep_network_first_layer(self):
+        net = DeepNetwork([16, 8, 3], seed=0)
+        assert receptive_fields(net) is net.layers[0].w
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            receptive_fields(object())
+
+
+class TestRenderFilter:
+    def test_square_output(self):
+        text = render_filter(np.arange(16, dtype=float))
+        rows = text.splitlines()
+        assert len(rows) == 4
+        assert all(len(r) == 4 for r in rows)
+
+    def test_intensity_mapping(self):
+        text = render_filter(np.array([0.0, 0.0, 1.0, 1.0]), side=2)
+        rows = text.splitlines()
+        assert rows[0] == "  "  # minimum -> darkest (space)
+        assert rows[1] == "@@"  # maximum -> brightest
+
+    def test_constant_filter_renders(self):
+        text = render_filter(np.zeros(9))
+        assert len(text.splitlines()) == 3  # no division-by-zero
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            render_filter(np.zeros(10))
+
+
+class TestRenderGrid:
+    def test_grid_dimensions(self):
+        weights = np.random.default_rng(0).normal(size=(10, 16))
+        text = render_filter_grid(weights, n_filters=6, columns=3)
+        blocks = text.split("\n\n")
+        assert len(blocks) == 2  # 6 filters / 3 columns
+
+    def test_model_input(self):
+        ae = SparseAutoencoder(25, 6, seed=0)
+        text = render_filter_grid(ae, n_filters=4, columns=2)
+        assert text  # renders without error
+
+    def test_norm_order_puts_strongest_first(self):
+        weights = np.zeros((3, 4))
+        weights[1] = [0.0, 10.0, 0.0, 10.0]  # the loudest filter
+        weights[0] = [0.0, 1.0, 0.0, 1.0]
+        text_norm = render_filter_grid(weights, n_filters=1, columns=1, order="norm")
+        assert text_norm == render_filter(weights[1], side=2)
+        text_index = render_filter_grid(weights, n_filters=1, columns=1, order="index")
+        assert text_index == render_filter(weights[0], side=2)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_filter_grid(np.zeros((2, 4)), order="random")
+
+
+class TestSparsityProfile:
+    def test_localised_beats_diffuse(self, rng):
+        localized = np.zeros((5, 64))
+        localized[:, :4] = rng.normal(size=(5, 4))  # all energy in 4 pixels
+        diffuse = rng.normal(size=(5, 64))
+        assert filter_sparsity_profile(localized).mean() > 0.99
+        # Top-quartile share of i.i.d. Gaussian energy sits around 0.6-0.7.
+        assert filter_sparsity_profile(diffuse).mean() < 0.75
+
+    def test_zero_filters_safe(self):
+        profile = filter_sparsity_profile(np.zeros((3, 16)))
+        assert np.isfinite(profile).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            filter_sparsity_profile(np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            filter_sparsity_profile(np.zeros((2, 4)), top_fraction=1.5)
+
+    def test_trained_autoencoder_filters_localise(self, digits_64):
+        """Training on digits should concentrate filter energy relative
+        to the random initialisation."""
+        ae = SparseAutoencoder(64, 16, seed=0)
+        before = filter_sparsity_profile(ae.w1).mean()
+        for _ in range(200):
+            _, g = ae.gradients(digits_64)
+            ae.apply_update(g, 0.5)
+        after = filter_sparsity_profile(ae.w1).mean()
+        assert after > before

@@ -1,0 +1,116 @@
+"""Tests for repro.nn.gaussian_rbm — the real-valued-visible RBM."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gaussian_rbm import GaussianBernoulliRBM, standardize
+
+
+@pytest.fixture
+def patches(rng):
+    """Correlated real-valued data with non-trivial structure."""
+    latent = rng.normal(size=(80, 3))
+    mix = rng.normal(size=(3, 10))
+    return latent @ mix + 0.1 * rng.normal(size=(80, 10))
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self, patches):
+        z, mean, std = standardize(patches)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_feature_handled(self):
+        x = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        z, mean, std = standardize(x)
+        assert np.isfinite(z).all()
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_invertible(self, patches):
+        z, mean, std = standardize(patches)
+        np.testing.assert_allclose(z * std + mean, patches, atol=1e-10)
+
+
+class TestConditionals:
+    def test_hidden_matches_binary_form(self, patches):
+        rbm = GaussianBernoulliRBM(10, 6, seed=0)
+        z, _, _ = standardize(patches)
+        from repro.utils.mathx import sigmoid
+
+        np.testing.assert_allclose(
+            rbm.hidden_probabilities(z), sigmoid(z @ rbm.w.T + rbm.c)
+        )
+
+    def test_visible_mean_is_linear(self, rng):
+        rbm = GaussianBernoulliRBM(10, 6, seed=0)
+        h = (rng.random((5, 6)) < 0.5).astype(float)
+        np.testing.assert_allclose(rbm.visible_mean(h), h @ rbm.w + rbm.b)
+
+    def test_visible_samples_scatter_around_mean(self, rng):
+        rbm = GaussianBernoulliRBM(4, 3, seed=0)
+        h = np.tile((rng.random(3) < 0.5).astype(float), (5000, 1))
+        mean, samples = rbm.sample_visible(h, rng=1)
+        np.testing.assert_allclose(samples.mean(axis=0), mean[0], atol=0.05)
+        np.testing.assert_allclose(samples.std(axis=0), 1.0, atol=0.05)
+
+
+class TestFreeEnergy:
+    def test_quadratic_in_visibles_when_unconnected(self):
+        """With W=0, c=0: F(v) = ½‖v−b‖² − h·log 2."""
+        rbm = GaussianBernoulliRBM(4, 3, seed=0)
+        rbm.w[:] = 0.0
+        rbm.b[:] = 1.0
+        v = np.array([[1.0, 1.0, 1.0, 1.0], [2.0, 1.0, 1.0, 1.0]])
+        f = rbm.free_energy(v)
+        assert f[0] == pytest.approx(-3 * np.log(2.0))
+        assert f[1] == pytest.approx(0.5 - 3 * np.log(2.0))
+
+    def test_training_grows_gap_to_noise(self, patches, rng):
+        z, _, _ = standardize(patches)
+        rbm = GaussianBernoulliRBM(10, 8, seed=1)
+        noise = rng.normal(size=z.shape)
+        gap0 = rbm.free_energy(noise).mean() - rbm.free_energy(z).mean()
+        gen = np.random.default_rng(0)
+        for _ in range(300):
+            stats = rbm.contrastive_divergence(z, rng=gen)
+            rbm.apply_update(stats, 0.01)
+        gap1 = rbm.free_energy(noise).mean() - rbm.free_energy(z).mean()
+        assert gap1 > gap0
+
+
+class TestCD:
+    def test_training_reduces_reconstruction_error(self, patches):
+        z, _, _ = standardize(patches)
+        rbm = GaussianBernoulliRBM(10, 8, seed=2)
+        gen = np.random.default_rng(3)
+        first = rbm.contrastive_divergence(z, rng=gen).reconstruction_error
+        for _ in range(800):
+            stats = rbm.contrastive_divergence(z, rng=gen)
+            rbm.apply_update(stats, 0.02)
+        last = rbm.contrastive_divergence(z, rng=gen).reconstruction_error
+        assert last < 0.5 * first
+
+    def test_reconstruction_captures_correlations(self, patches):
+        """After training, reconstructions of held-out rows should be much
+        closer than the model's initial reconstructions."""
+        z, _, _ = standardize(patches)
+        train, test = z[:60], z[60:]
+        rbm = GaussianBernoulliRBM(10, 8, seed=4)
+        err0 = float(np.mean((rbm.reconstruct(test) - test) ** 2))
+        gen = np.random.default_rng(5)
+        for _ in range(400):
+            stats = rbm.contrastive_divergence(train, rng=gen)
+            rbm.apply_update(stats, 0.01)
+        err1 = float(np.mean((rbm.reconstruct(test) - test) ** 2))
+        assert err1 < 0.7 * err0
+
+    def test_cd_k_runs(self, patches):
+        z, _, _ = standardize(patches)
+        rbm = GaussianBernoulliRBM(10, 4, seed=0)
+        stats = rbm.contrastive_divergence(z, k=3, rng=0, sample_visible=True)
+        assert np.isfinite(stats.grad_w).all()
+
+    def test_transform_shape(self, patches):
+        z, _, _ = standardize(patches)
+        rbm = GaussianBernoulliRBM(10, 5, seed=0)
+        assert rbm.transform(z).shape == (80, 5)

@@ -1,0 +1,130 @@
+"""Tests for repro.nn.gradcheck and the SAE/RBM analytic gradients.
+
+The back-propagation correctness tests here are the core functional
+verification of the reproduction (a wrong gradient still 'trains', just
+badly — only finite differences catch it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.gradcheck import check_gradients, numerical_gradient, relative_error
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        f = lambda t: float(np.sum(t**2))
+        theta = np.array([1.0, -2.0, 3.0])
+        np.testing.assert_allclose(numerical_gradient(f, theta), 2 * theta, atol=1e-7)
+
+    def test_subset_indices(self):
+        f = lambda t: float(np.sum(t**3))
+        theta = np.array([1.0, 2.0, 3.0])
+        grad = numerical_gradient(f, theta, indices=np.array([1]))
+        assert grad[0] == 0.0 and grad[2] == 0.0
+        assert grad[1] == pytest.approx(12.0, rel=1e-6)
+
+    def test_does_not_mutate_theta(self):
+        theta = np.array([1.0, 2.0])
+        numerical_gradient(lambda t: float(t.sum()), theta)
+        np.testing.assert_array_equal(theta, [1.0, 2.0])
+
+
+class TestRelativeError:
+    def test_identical_is_zero(self):
+        a = np.array([1.0, 2.0])
+        assert relative_error(a, a) == 0.0
+
+    def test_scale_invariant(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert relative_error(a, b) == pytest.approx(relative_error(10 * a, 10 * b))
+
+    def test_zero_vectors(self):
+        assert relative_error(np.zeros(3), np.zeros(3)) == 0.0
+
+
+class TestCheckGradients:
+    def test_passes_correct_gradient(self):
+        theta = np.array([0.5, -0.5])
+        f = lambda t: float(np.sum(t**2))
+        err = check_gradients(f, 2 * theta, theta)
+        assert err < 1e-8
+
+    def test_fails_wrong_gradient(self):
+        theta = np.array([0.5, -0.5])
+        f = lambda t: float(np.sum(t**2))
+        with pytest.raises(AssertionError, match="gradient check failed"):
+            check_gradients(f, 3 * theta, theta)
+
+    def test_sampled_subset(self):
+        theta = np.linspace(-1, 1, 50)
+        f = lambda t: float(np.sum(np.sin(t)))
+        err = check_gradients(f, np.cos(theta), theta, n_checks=10, rng=0)
+        assert err < 1e-8
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            check_gradients(lambda t: 0.0, np.zeros(3), np.zeros(5))
+
+
+@pytest.mark.parametrize(
+    "beta,decay,output_activation",
+    [
+        (0.0, 0.0, "sigmoid"),     # pure reconstruction
+        (0.0, 1e-2, "sigmoid"),    # + weight decay
+        (0.7, 1e-3, "sigmoid"),    # + sparsity (full Eq. 5)
+        (0.0, 1e-3, "identity"),   # linear decoder variant
+    ],
+)
+class TestAutoencoderBackprop:
+    """The paper's Eq. 5 objective, verified against central differences."""
+
+    def test_gradient_correct(self, beta, decay, output_activation):
+        rng = np.random.default_rng(42)
+        cost = SparseAutoencoderCost(
+            weight_decay=decay, sparsity_target=0.1, sparsity_weight=beta
+        )
+        ae = SparseAutoencoder(
+            7, 5, cost=cost, output_activation=output_activation, seed=rng
+        )
+        x = rng.random((12, 7))
+        theta = ae.get_flat_parameters()
+        _, grad = ae.flat_loss_and_grad(theta, x)
+        err = check_gradients(
+            lambda t: ae.flat_loss_and_grad(t, x)[0],
+            grad,
+            theta,
+            epsilon=1e-5,
+            tolerance=1e-6,
+        )
+        assert err < 1e-6
+
+
+class TestAutoencoderBackpropEdgeCases:
+    def test_single_example_batch(self):
+        ae = SparseAutoencoder(5, 3, seed=0)
+        x = np.random.default_rng(1).random((1, 5))
+        theta = ae.get_flat_parameters()
+        _, grad = ae.flat_loss_and_grad(theta, x)
+        check_gradients(lambda t: ae.flat_loss_and_grad(t, x)[0], grad, theta)
+
+    def test_overcomplete_hidden_layer(self):
+        # n_hidden > n_visible: "over-complete feature representations".
+        ae = SparseAutoencoder(4, 9, seed=0)
+        x = np.random.default_rng(2).random((8, 4))
+        theta = ae.get_flat_parameters()
+        _, grad = ae.flat_loss_and_grad(theta, x)
+        check_gradients(lambda t: ae.flat_loss_and_grad(t, x)[0], grad, theta)
+
+    def test_far_from_init(self):
+        # Gradients must stay correct for saturated units too.
+        ae = SparseAutoencoder(5, 4, seed=0)
+        x = np.random.default_rng(3).random((6, 5))
+        theta = ae.get_flat_parameters() * 8.0  # push toward saturation
+        _, grad = ae.flat_loss_and_grad(theta, x)
+        check_gradients(
+            lambda t: ae.flat_loss_and_grad(t, x)[0], grad, theta, tolerance=1e-5
+        )

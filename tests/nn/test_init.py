@@ -1,0 +1,49 @@
+"""Tests for repro.nn.init — weight initialisation."""
+
+import numpy as np
+
+from repro.nn.init import normal_init, uniform_fanin_init, zeros_init
+
+
+class TestUniformFanin:
+    def test_shape(self):
+        assert uniform_fanin_init(10, 6, rng=0).shape == (6, 10)
+
+    def test_radius_bound(self):
+        w = uniform_fanin_init(20, 30, rng=1)
+        r = np.sqrt(6.0 / (20 + 30 + 1))
+        assert np.abs(w).max() <= r
+
+    def test_radius_is_tight(self):
+        # Enough samples should approach the bound.
+        w = uniform_fanin_init(100, 100, rng=2)
+        r = np.sqrt(6.0 / 201)
+        assert np.abs(w).max() > 0.9 * r
+
+    def test_roughly_zero_mean(self):
+        w = uniform_fanin_init(200, 200, rng=3)
+        assert abs(w.mean()) < 1e-3
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(
+            uniform_fanin_init(5, 5, rng=9), uniform_fanin_init(5, 5, rng=9)
+        )
+
+
+class TestNormalInit:
+    def test_shape_and_scale(self):
+        w = normal_init(500, 400, scale=0.01, rng=0)
+        assert w.shape == (400, 500)
+        assert 0.008 < w.std() < 0.012
+
+    def test_scale_parameter(self):
+        w = normal_init(300, 300, scale=0.1, rng=1)
+        assert 0.08 < w.std() < 0.12
+
+
+class TestZerosInit:
+    def test_zeros(self):
+        b = zeros_init(7)
+        assert b.shape == (7,)
+        assert (b == 0).all()
+        assert b.dtype == np.float64

@@ -1,0 +1,134 @@
+"""Tests for repro.nn.metrics and the guided parallel-for schedule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    macro_f1,
+    mean_squared_reconstruction,
+    peak_signal_to_noise,
+    per_class_report,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction_is_diagonal(self):
+        y = np.array([0, 1, 2, 1, 0])
+        m = confusion_matrix(y, y)
+        assert (m == np.diag([2, 2, 1])).all()
+
+    def test_known_errors(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 1, 1])
+        m = confusion_matrix(true, pred)
+        assert m[0, 0] == 1 and m[0, 1] == 1 and m[1, 1] == 2
+
+    def test_explicit_n_classes(self):
+        m = confusion_matrix(np.array([0]), np.array([0]), n_classes=5)
+        assert m.shape == (5, 5)
+
+    def test_total_count_preserved(self, rng):
+        true = rng.integers(0, 4, 100)
+        pred = rng.integers(0, 4, 100)
+        assert confusion_matrix(true, pred).sum() == 100
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            confusion_matrix(np.zeros(3), np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            confusion_matrix(np.array([-1]), np.array([0]))
+        with pytest.raises(ConfigurationError):
+            confusion_matrix(np.array([5]), np.array([0]), n_classes=3)
+        with pytest.raises(ConfigurationError):
+            confusion_matrix(np.array([]), np.array([]))
+
+
+class TestScores:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_per_class_report_values(self):
+        true = np.array([0, 0, 1, 1, 1])
+        pred = np.array([0, 1, 1, 1, 0])
+        report = per_class_report(true, pred)
+        assert report[0]["recall"] == pytest.approx(0.5)
+        assert report[0]["precision"] == pytest.approx(0.5)
+        assert report[1]["recall"] == pytest.approx(2 / 3)
+        assert report[1]["precision"] == pytest.approx(2 / 3)
+        assert report[0]["support"] == 2
+
+    def test_absent_class_omitted(self):
+        report = per_class_report(np.array([0, 0]), np.array([0, 0]))
+        assert set(report) == {0}
+
+    def test_macro_f1_perfect(self):
+        y = np.array([0, 1, 2])
+        assert macro_f1(y, y) == pytest.approx(1.0)
+
+    def test_macro_f1_degenerate(self):
+        # Predicting only class 0: class 1 F1 = 0, macro averages down.
+        true = np.array([0, 1])
+        pred = np.array([0, 0])
+        assert 0.0 < macro_f1(true, pred) < 1.0
+
+
+class TestReconstructionMetrics:
+    def test_mse(self):
+        x = np.zeros((2, 2))
+        r = np.ones((2, 2))
+        assert mean_squared_reconstruction(x, r) == 1.0
+
+    def test_psnr_perfect_is_infinite(self):
+        x = np.random.default_rng(0).random((3, 3))
+        assert peak_signal_to_noise(x, x) == float("inf")
+
+    def test_psnr_known_value(self):
+        x = np.zeros((1, 4))
+        r = np.full((1, 4), 0.1)  # mse = 0.01 -> psnr = 20 dB at peak 1
+        assert peak_signal_to_noise(x, r) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            mean_squared_reconstruction(np.zeros((2, 2)), np.zeros((2, 3)))
+        with pytest.raises(ConfigurationError):
+            peak_signal_to_noise(np.zeros((1, 1)), np.zeros((1, 1)), peak=0)
+
+
+class TestGuidedSchedule:
+    def test_guided_between_static_and_dynamic_dispatch(self):
+        """Guided pays far fewer dispatches than dynamic chunk=1 while
+        keeping dynamic's balancing."""
+        from repro.phi.spec import XEON_PHI_5110P
+        from repro.runtime.parallel_for import simulate_parallel_for
+
+        n, body = 100_000, 1e-7
+        static = simulate_parallel_for(n, body, XEON_PHI_5110P, schedule="static")
+        guided = simulate_parallel_for(n, body, XEON_PHI_5110P, schedule="guided")
+        dynamic = simulate_parallel_for(
+            n, body, XEON_PHI_5110P, schedule="dynamic", chunk_size=1
+        )
+        assert guided.total_s < dynamic.total_s
+        # Guided's dispatch overhead is modest vs static's zero.
+        assert guided.total_s < 2.0 * static.total_s
+
+    def test_guided_single_thread_serial(self):
+        from repro.phi.spec import XEON_PHI_5110P
+        from repro.runtime.parallel_for import simulate_parallel_for
+
+        t = simulate_parallel_for(100, 1e-3, XEON_PHI_5110P, n_threads=1, schedule="guided")
+        assert t.total_s == pytest.approx(0.1)
+
+    def test_guided_respects_min_chunk(self):
+        from repro.phi.spec import XEON_PHI_5110P
+        from repro.runtime.parallel_for import simulate_parallel_for
+
+        fine = simulate_parallel_for(
+            10_000, 1e-7, XEON_PHI_5110P, schedule="guided", chunk_size=1
+        )
+        coarse = simulate_parallel_for(
+            10_000, 1e-7, XEON_PHI_5110P, schedule="guided", chunk_size=512
+        )
+        assert coarse.total_s <= fine.total_s + 1e-12

@@ -1,0 +1,144 @@
+"""Tests for repro.nn.mlp — the deep network used in fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.gradcheck import check_gradients
+from repro.nn.mlp import DeepNetwork, one_hot, softmax
+from repro.nn.stacked import LayerSpec, StackedAutoencoder
+
+
+class TestSoftmaxAndOneHot:
+    def test_softmax_rows_sum_to_one(self, rng):
+        p = softmax(rng.normal(size=(10, 5)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+        assert (p > 0).all()
+
+    def test_softmax_stable_for_huge_logits(self):
+        p = softmax(np.array([[1e4, 0.0], [-1e4, 0.0]]))
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_softmax_shift_invariant(self, rng):
+        z = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0))
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            one_hot(np.array([0, 3]), 3)
+
+
+class TestConstruction:
+    def test_layer_shapes(self):
+        net = DeepNetwork([10, 6, 4, 3], seed=0)
+        assert [(l.n_in, l.n_out) for l in net.layers] == [(10, 6), (6, 4), (4, 3)]
+        assert net.n_parameters == (10 * 6 + 6) + (6 * 4 + 4) + (4 * 3 + 3)
+
+    def test_rejects_short_spec(self):
+        with pytest.raises(ConfigurationError):
+            DeepNetwork([5])
+
+    def test_rejects_bad_head(self):
+        with pytest.raises(ConfigurationError):
+            DeepNetwork([5, 3], head="relu")
+
+    def test_from_pretrained_stack_copies_encoders(self, digits_25):
+        stack = StackedAutoencoder(
+            25, [LayerSpec(12, epochs=2, batch_size=16, learning_rate=0.5)], seed=0
+        ).pretrain(digits_25)
+        net = DeepNetwork.from_pretrained_stack(stack, n_classes=10, seed=0)
+        np.testing.assert_array_equal(net.layers[0].w, stack.blocks[0].w1)
+        np.testing.assert_array_equal(net.layers[0].b, stack.blocks[0].b1)
+        assert net.layer_sizes == [25, 12, 10]
+
+    def test_from_untrained_stack_rejected(self):
+        stack = StackedAutoencoder(25, [LayerSpec(12)], seed=0)
+        with pytest.raises(ConfigurationError):
+            DeepNetwork.from_pretrained_stack(stack, 10)
+
+
+class TestForward:
+    def test_predict_proba_shape_and_normalisation(self, rng):
+        net = DeepNetwork([8, 5, 3], seed=0)
+        x = rng.random((6, 8))
+        p = net.predict_proba(x)
+        assert p.shape == (6, 3)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_predict_labels(self, rng):
+        net = DeepNetwork([8, 5, 3], seed=0)
+        labels = net.predict(rng.random((6, 8)))
+        assert labels.shape == (6,)
+        assert set(labels) <= {0, 1, 2}
+
+    def test_accuracy_requires_softmax(self, rng):
+        net = DeepNetwork([4, 2], head="identity", seed=0)
+        with pytest.raises(ConfigurationError):
+            net.accuracy(rng.random((3, 4)), np.zeros(3))
+
+
+@pytest.mark.parametrize(
+    "sizes,head",
+    [
+        ([6, 4, 3], "softmax"),
+        ([6, 5, 4, 3], "softmax"),   # deeper
+        ([6, 4, 3], "sigmoid"),
+        ([6, 4, 2], "identity"),
+    ],
+)
+class TestGradientCorrectness:
+    def test_backprop_matches_finite_differences(self, sizes, head, rng):
+        net = DeepNetwork(sizes, head=head, weight_decay=1e-3, seed=1)
+        x = rng.random((9, sizes[0]))
+        if head == "softmax":
+            targets = one_hot(rng.integers(0, sizes[-1], 9), sizes[-1])
+        else:
+            targets = rng.random((9, sizes[-1]))
+        theta = net.get_flat_parameters()
+        _, grad = net.flat_loss_and_grad(theta, x, targets)
+        check_gradients(
+            lambda t: net.flat_loss_and_grad(t, x, targets)[0],
+            grad,
+            theta,
+            tolerance=1e-6,
+        )
+
+
+class TestTraining:
+    def test_gradient_descent_reduces_loss(self, rng):
+        net = DeepNetwork([6, 8, 3], seed=2)
+        x = rng.random((60, 6))
+        targets = one_hot(rng.integers(0, 3, 60), 3)
+        loss0 = net.loss(x, targets)
+        for _ in range(80):
+            _, grads = net.gradients(x, targets)
+            net.apply_update(grads, 1.0)
+        assert net.loss(x, targets) < loss0
+
+    def test_learns_linearly_separable_problem(self, rng):
+        x = rng.normal(size=(200, 4))
+        labels = (x[:, 0] + x[:, 1] > 0).astype(int)
+        net = DeepNetwork([4, 8, 2], weight_decay=0.0, seed=3)
+        targets = one_hot(labels, 2)
+        for _ in range(300):
+            _, grads = net.gradients(x, targets)
+            net.apply_update(grads, 2.0)
+        assert net.accuracy(x, labels) > 0.95
+
+    def test_flat_round_trip(self):
+        net = DeepNetwork([5, 4, 3], seed=0)
+        theta = net.get_flat_parameters()
+        net.set_flat_parameters(theta * 2.0)
+        np.testing.assert_allclose(net.get_flat_parameters(), theta * 2.0)
+
+    def test_flat_wrong_size(self):
+        net = DeepNetwork([5, 4, 3], seed=0)
+        with pytest.raises(ConfigurationError):
+            net.set_flat_parameters(np.zeros(3))

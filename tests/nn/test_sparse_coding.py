@@ -1,0 +1,144 @@
+"""Tests for repro.nn.sparse_coding — FISTA + dictionary learning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.sparse_coding import (
+    SparseCoder,
+    fista_inference,
+    lasso_objective,
+    soft_threshold,
+)
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        x = np.array([-3.0, -0.5, 0.0, 0.5, 3.0])
+        out = soft_threshold(x, 1.0)
+        np.testing.assert_allclose(out, [-2.0, 0.0, 0.0, 0.0, 2.0])
+
+    def test_zero_threshold_is_identity(self, rng):
+        x = rng.normal(size=20)
+        np.testing.assert_array_equal(soft_threshold(x, 0.0), x)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigurationError):
+            soft_threshold(np.zeros(3), -1.0)
+
+    def test_is_l1_prox(self, rng):
+        """soft_threshold(v, t) minimises ½‖a−v‖² + t‖a‖₁ — verify against
+        a grid search per coordinate."""
+        v, t = 1.3, 0.4
+        candidates = np.linspace(-3, 3, 2001)
+        objective = 0.5 * (candidates - v) ** 2 + t * np.abs(candidates)
+        best = candidates[np.argmin(objective)]
+        assert soft_threshold(np.array([v]), t)[0] == pytest.approx(best, abs=1e-2)
+
+
+class TestFistaInference:
+    def test_orthonormal_dictionary_closed_form(self):
+        """With D = I the lasso solution is soft_threshold(x, λ)."""
+        n = 6
+        d = np.eye(n)
+        x = np.array([[2.0, -0.05, 0.5, -1.5, 0.0, 0.2]])
+        lam = 0.3
+        codes = fista_inference(x, d, lam, n_iterations=500)
+        np.testing.assert_allclose(codes, soft_threshold(x, lam), atol=1e-6)
+
+    def test_objective_below_initial(self, rng):
+        d = rng.normal(size=(12, 8))
+        x = rng.normal(size=(5, 8))
+        lam = 0.2
+        codes = fista_inference(x, d, lam, n_iterations=300)
+        start = lasso_objective(x, np.zeros((5, 12)), d, lam)
+        end = lasso_objective(x, codes, d, lam)
+        assert end < start
+
+    def test_sparser_with_larger_lambda(self, rng):
+        d = rng.normal(size=(20, 10))
+        d /= np.linalg.norm(d, axis=1, keepdims=True)
+        x = rng.normal(size=(8, 10))
+        loose = fista_inference(x, d, 0.01, 300)
+        tight = fista_inference(x, d, 1.0, 300)
+        assert np.mean(tight == 0) > np.mean(loose == 0)
+
+    def test_huge_lambda_kills_all_codes(self, rng):
+        d = rng.normal(size=(6, 4))
+        x = rng.normal(size=(3, 4))
+        codes = fista_inference(x, d, 1e6, 50)
+        np.testing.assert_array_equal(codes, 0.0)
+
+    def test_zero_lambda_is_least_squares(self, rng):
+        """λ=0 reduces to min ‖x − aD‖²; compare against lstsq."""
+        d = rng.normal(size=(4, 8))  # under-complete: unique LS solution
+        x = rng.normal(size=(3, 8))
+        codes = fista_inference(x, d, 0.0, n_iterations=3000, tolerance=1e-12)
+        expected = np.linalg.lstsq(d.T, x.T, rcond=None)[0].T
+        np.testing.assert_allclose(codes, expected, atol=1e-4)
+
+    def test_recovers_sparse_generating_codes(self, rng):
+        """Signals made from 2 atoms of a well-separated dictionary should
+        be coded using (mostly) those atoms."""
+        n_atoms, n_features = 8, 32
+        d = rng.normal(size=(n_atoms, n_features))
+        d /= np.linalg.norm(d, axis=1, keepdims=True)
+        true_codes = np.zeros((4, n_atoms))
+        for i in range(4):
+            atoms = rng.choice(n_atoms, size=2, replace=False)
+            true_codes[i, atoms] = rng.uniform(1.0, 2.0, size=2)
+        x = true_codes @ d
+        codes = fista_inference(x, d, 0.05, 500)
+        # The two truly-active atoms must carry the largest coefficients.
+        for i in range(4):
+            top2 = set(np.argsort(np.abs(codes[i]))[-2:])
+            assert top2 == set(np.flatnonzero(true_codes[i]))
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            fista_inference(rng.normal(size=(2, 5)), rng.normal(size=(3, 4)), 0.1)
+
+
+class TestSparseCoder:
+    def test_dictionary_rows_unit_norm(self):
+        coder = SparseCoder(16, 32, seed=0)
+        np.testing.assert_allclose(
+            np.linalg.norm(coder.dictionary, axis=1), 1.0, atol=1e-12
+        )
+
+    def test_fit_reduces_objective(self, rng):
+        # Data genuinely generated from a sparse code.
+        true_dict = rng.normal(size=(10, 16))
+        true_dict /= np.linalg.norm(true_dict, axis=1, keepdims=True)
+        codes = rng.random((120, 10)) * (rng.random((120, 10)) < 0.2)
+        x = codes @ true_dict + 0.01 * rng.normal(size=(120, 16))
+
+        coder = SparseCoder(16, 10, lam=0.05, seed=1)
+        obj0 = coder.objective(x)
+        coder.fit(x, epochs=8, batch_size=40, learning_rate=0.8, seed=1)
+        assert coder.history.objectives[-1] < obj0
+        # Norms stay unit through learning.
+        np.testing.assert_allclose(
+            np.linalg.norm(coder.dictionary, axis=1), 1.0, atol=1e-10
+        )
+
+    def test_history_tracks_epochs(self, rng):
+        x = rng.normal(size=(40, 8))
+        coder = SparseCoder(8, 12, lam=0.1, seed=0).fit(x, epochs=3, batch_size=20)
+        assert len(coder.history.objectives) == 3
+        assert len(coder.history.sparsity) == 3
+        assert all(0.0 <= s <= 1.0 for s in coder.history.sparsity)
+
+    def test_encode_decode_shapes(self, rng):
+        coder = SparseCoder(8, 12, seed=0)
+        x = rng.normal(size=(5, 8))
+        codes = coder.encode(x)
+        assert codes.shape == (5, 12)
+        assert coder.decode(codes).shape == (5, 8)
+        assert coder.reconstruct(x).shape == (5, 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SparseCoder(0, 4)
+        with pytest.raises(ConfigurationError):
+            SparseCoder(4, 4, lam=0.0)

@@ -1,0 +1,123 @@
+"""Tests for repro.optim.cg and repro.optim.lbfgs — the paper's §III batch
+optimizers, including their use on the actual sparse autoencoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.optim.cg import nonlinear_conjugate_gradient
+from repro.optim.lbfgs import lbfgs_minimize
+
+
+def quadratic(theta):
+    """Convex quadratic with condition number ~50."""
+    scales = np.linspace(1.0, 50.0, theta.size)
+    loss = 0.5 * float(np.sum(scales * theta**2))
+    return loss, scales * theta
+
+
+def rosenbrock(theta):
+    x, y = theta
+    loss = (1 - x) ** 2 + 100 * (y - x**2) ** 2
+    grad = np.array([-2 * (1 - x) - 400 * x * (y - x**2), 200 * (y - x**2)])
+    return float(loss), grad
+
+
+class TestConjugateGradient:
+    def test_quadratic_converges(self):
+        result = nonlinear_conjugate_gradient(quadratic, np.ones(10), max_iterations=200)
+        assert result.converged
+        assert result.grad_norm < 1e-5
+        np.testing.assert_allclose(result.theta, 0.0, atol=1e-5)
+
+    def test_losses_monotone_nonincreasing(self):
+        result = nonlinear_conjugate_gradient(quadratic, np.ones(10))
+        diffs = np.diff(result.losses)
+        assert (diffs <= 1e-12).all()
+
+    def test_rosenbrock(self):
+        result = nonlinear_conjugate_gradient(
+            rosenbrock, np.array([-1.2, 1.0]), max_iterations=2000
+        )
+        # CG with an inexact (Wolfe) line search is famously slow through
+        # Rosenbrock's valley; near-convergence is the realistic bar.
+        np.testing.assert_allclose(result.theta, [1.0, 1.0], atol=1e-2)
+
+    def test_iteration_budget_respected(self):
+        result = nonlinear_conjugate_gradient(quadratic, np.ones(50), max_iterations=3)
+        assert result.n_iterations == 3
+        assert not result.converged
+
+    def test_already_at_minimum(self):
+        result = nonlinear_conjugate_gradient(quadratic, np.zeros(4))
+        assert result.converged
+        assert result.n_iterations == 0
+
+
+class TestLBFGS:
+    def test_quadratic_converges_fast(self):
+        result = lbfgs_minimize(quadratic, np.ones(10), max_iterations=100)
+        assert result.converged
+        assert result.grad_norm < 1e-5
+
+    def test_rosenbrock(self):
+        result = lbfgs_minimize(rosenbrock, np.array([-1.2, 1.0]), max_iterations=300)
+        np.testing.assert_allclose(result.theta, [1.0, 1.0], atol=1e-4)
+
+    def test_beats_gradient_descent_iteration_count(self):
+        """On an ill-conditioned quadratic, L-BFGS needs far fewer iterations
+        than plain steepest descent would (the paper's case for batch methods)."""
+        result = lbfgs_minimize(quadratic, np.ones(20), max_iterations=100)
+        assert result.converged
+        assert result.n_iterations < 60  # steepest descent needs O(kappa·ln) ≈ hundreds
+
+    def test_memory_one_still_works(self):
+        result = lbfgs_minimize(quadratic, np.ones(5), memory=1, max_iterations=200)
+        assert result.converged
+
+    def test_loss_tolerance_early_stop(self):
+        result = lbfgs_minimize(
+            quadratic, np.ones(5), loss_tolerance=0.5, max_iterations=100
+        )
+        assert result.converged
+
+    def test_losses_monotone_nonincreasing(self):
+        result = lbfgs_minimize(rosenbrock, np.array([-1.2, 1.0]))
+        assert (np.diff(result.losses) <= 1e-12).all()
+
+
+class TestBatchOptimizersOnAutoencoder:
+    """§III: 'the batch methods like L-BFGS or CG … make it easier to
+    parallelize' — verify they actually train the paper's model."""
+
+    @pytest.fixture
+    def problem(self, digits_25):
+        ae = SparseAutoencoder(25, 9, seed=0)
+        f = lambda theta: ae.flat_loss_and_grad(theta, digits_25)
+        return ae, f
+
+    def test_lbfgs_trains_autoencoder(self, problem, digits_25):
+        ae, f = problem
+        loss0 = ae.loss(digits_25)
+        result = lbfgs_minimize(f, ae.get_flat_parameters(), max_iterations=50)
+        ae.set_flat_parameters(result.theta)
+        assert ae.loss(digits_25) < 0.5 * loss0
+
+    def test_cg_trains_autoencoder(self, problem, digits_25):
+        ae, f = problem
+        loss0 = ae.loss(digits_25)
+        result = nonlinear_conjugate_gradient(
+            f, ae.get_flat_parameters(), max_iterations=50
+        )
+        ae.set_flat_parameters(result.theta)
+        assert ae.loss(digits_25) < 0.5 * loss0
+
+    def test_lbfgs_converges_in_fewer_iterations_than_cg(self, problem):
+        """The usual ordering on this objective — and the reason the
+        related work prefers L-BFGS."""
+        ae, f = problem
+        theta0 = ae.get_flat_parameters()
+        target = None
+        lb = lbfgs_minimize(f, theta0, max_iterations=60)
+        cg = nonlinear_conjugate_gradient(f, theta0, max_iterations=60)
+        assert lb.losses[-1] <= cg.losses[-1] * 1.05

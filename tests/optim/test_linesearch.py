@@ -1,0 +1,111 @@
+"""Tests for repro.optim.linesearch — Armijo and strong-Wolfe searches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.optim.linesearch import backtracking_line_search, wolfe_line_search
+
+
+def make_quadratic(center):
+    center = np.asarray(center, dtype=float)
+
+    def f(theta):
+        d = theta - center
+        return 0.5 * float(d @ d), d
+
+    return f
+
+
+class TestBacktracking:
+    def test_finds_decrease(self):
+        f = make_quadratic([0.0, 0.0])
+        theta = np.array([2.0, 0.0])
+        loss0, grad0 = f(theta)
+        alpha, loss, grad = backtracking_line_search(f, theta, -grad0, loss0, grad0)
+        assert loss < loss0
+        assert alpha > 0
+
+    def test_full_step_on_nice_quadratic(self):
+        f = make_quadratic([1.0])
+        theta = np.array([3.0])
+        loss0, grad0 = f(theta)
+        alpha, loss, _ = backtracking_line_search(f, theta, -grad0, loss0, grad0)
+        assert alpha == 1.0  # exact minimiser for unit-Hessian quadratic
+        assert loss == pytest.approx(0.0)
+
+    def test_rejects_ascent_direction(self):
+        f = make_quadratic([0.0])
+        theta = np.array([1.0])
+        loss0, grad0 = f(theta)
+        with pytest.raises(ConvergenceError, match="descent"):
+            backtracking_line_search(f, theta, +grad0, loss0, grad0)
+
+    def test_shrinks_for_steep_function(self):
+        def f(theta):
+            x = theta[0]
+            return float(x**4), np.array([4 * x**3])
+
+        theta = np.array([2.0])
+        loss0, grad0 = f(theta)
+        alpha, loss, _ = backtracking_line_search(
+            f, theta, -grad0, loss0, grad0, alpha0=1.0
+        )
+        assert alpha < 1.0
+        assert loss < loss0
+
+    def test_failure_raises(self):
+        # A function that always increases along the direction (misreported
+        # gradient) exhausts the halvings.
+        def f(theta):
+            return float(np.sum(theta**2)), -np.ones_like(theta)
+
+        theta = np.ones(2)
+        with pytest.raises(ConvergenceError):
+            backtracking_line_search(f, theta, np.ones(2), 2.0, -np.ones(2), max_steps=5)
+
+
+class TestWolfe:
+    def test_satisfies_strong_wolfe_on_quadratic(self):
+        f = make_quadratic([0.0, 0.0])
+        theta = np.array([4.0, -2.0])
+        loss0, grad0 = f(theta)
+        d = -grad0
+        c1, c2 = 1e-4, 0.9
+        alpha, loss, grad = wolfe_line_search(f, theta, d, loss0, grad0, c1=c1, c2=c2)
+        slope0 = grad0 @ d
+        assert loss <= loss0 + c1 * alpha * slope0
+        assert abs(grad @ d) <= c2 * abs(slope0)
+
+    def test_satisfies_wolfe_on_rosenbrock(self):
+        def rosen(theta):
+            x, y = theta
+            loss = (1 - x) ** 2 + 100 * (y - x**2) ** 2
+            grad = np.array(
+                [-2 * (1 - x) - 400 * x * (y - x**2), 200 * (y - x**2)]
+            )
+            return float(loss), grad
+
+        theta = np.array([-1.2, 1.0])
+        loss0, grad0 = rosen(theta)
+        d = -grad0
+        alpha, loss, grad = wolfe_line_search(rosen, theta, d, loss0, grad0)
+        slope0 = grad0 @ d
+        assert loss <= loss0 + 1e-4 * alpha * slope0
+
+    def test_rejects_ascent_direction(self):
+        f = make_quadratic([0.0])
+        theta = np.array([1.0])
+        loss0, grad0 = f(theta)
+        with pytest.raises(ConvergenceError):
+            wolfe_line_search(f, theta, +grad0, loss0, grad0)
+
+    def test_expands_small_initial_step(self):
+        # Minimiser far along the ray: alpha must grow past alpha0.
+        f = make_quadratic([100.0])
+        theta = np.array([0.0])
+        loss0, grad0 = f(theta)
+        d = np.array([1.0])  # descent: slope = -100
+        alpha, loss, _ = wolfe_line_search(f, theta, d, loss0, grad0, alpha0=1.0)
+        assert alpha > 1.0
+        assert loss < loss0

@@ -1,0 +1,94 @@
+"""Tests for repro.optim.schedules — learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.optim.schedules import (
+    AdaGradSchedule,
+    ConstantSchedule,
+    ExponentialDecaySchedule,
+    InverseTimeDecaySchedule,
+    get_schedule,
+)
+
+
+class TestConstant:
+    def test_constant(self):
+        s = ConstantSchedule(0.3)
+        assert s.rate(0) == s.rate(1000) == 0.3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(0.0)
+
+
+class TestInverseTime:
+    def test_starts_at_base(self):
+        assert InverseTimeDecaySchedule(0.5, decay_steps=10).rate(0) == 0.5
+
+    def test_halves_at_tau(self):
+        s = InverseTimeDecaySchedule(0.5, decay_steps=10)
+        assert s.rate(10) == pytest.approx(0.25)
+
+    def test_monotone_decreasing(self):
+        s = InverseTimeDecaySchedule(1.0, decay_steps=5)
+        rates = [s.rate(t) for t in range(50)]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+
+class TestExponential:
+    def test_starts_at_base(self):
+        assert ExponentialDecaySchedule(0.2, gamma=0.5, decay_steps=10).rate(0) == 0.2
+
+    def test_gamma_after_one_period(self):
+        s = ExponentialDecaySchedule(0.2, gamma=0.5, decay_steps=10)
+        assert s.rate(10) == pytest.approx(0.1)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDecaySchedule(0.2, gamma=1.5)
+
+
+class TestAdaGrad:
+    def test_requires_gradient(self):
+        with pytest.raises(ConfigurationError):
+            AdaGradSchedule(0.1).rate(0)
+
+    def test_per_coordinate_shrinkage(self):
+        s = AdaGradSchedule(1.0, epsilon=0.0)
+        g = np.array([1.0, 2.0])
+        r1 = s.rate(0, g)
+        np.testing.assert_allclose(r1, [1.0, 0.5])
+        r2 = s.rate(1, g)
+        np.testing.assert_allclose(r2, 1.0 / np.sqrt([2.0, 8.0]))
+
+    def test_reset_clears_accumulator(self):
+        s = AdaGradSchedule(1.0, epsilon=0.0)
+        g = np.array([2.0])
+        first = s.rate(0, g).copy()
+        s.rate(1, g)
+        s.reset()
+        np.testing.assert_allclose(s.rate(0, g), first)
+
+    def test_shape_change_raises(self):
+        s = AdaGradSchedule(1.0)
+        s.rate(0, np.ones(3))
+        with pytest.raises(ConfigurationError):
+            s.rate(1, np.ones(4))
+
+
+class TestRegistry:
+    def test_names(self):
+        assert isinstance(get_schedule("constant", 0.1), ConstantSchedule)
+        assert isinstance(get_schedule("inverse_time", 0.1), InverseTimeDecaySchedule)
+        assert isinstance(get_schedule("exponential", 0.1), ExponentialDecaySchedule)
+        assert isinstance(get_schedule("adagrad", 0.1), AdaGradSchedule)
+
+    def test_passthrough(self):
+        s = ConstantSchedule(0.1)
+        assert get_schedule(s) is s
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_schedule("cosine")

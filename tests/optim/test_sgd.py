@@ -1,0 +1,108 @@
+"""Tests for repro.optim.sgd — mini-batch SGD."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.optim.sgd import SGD
+
+
+def quadratic_objective(theta, batch):
+    """Least squares against per-row targets: f = mean ||theta - row||^2/2."""
+    diff = theta[None, :] - batch
+    loss = 0.5 * float(np.mean(np.sum(diff**2, axis=1)))
+    grad = diff.mean(axis=0)
+    return loss, grad
+
+
+class TestSGDBasics:
+    def test_converges_to_data_mean(self, rng):
+        data = rng.normal(loc=3.0, size=(200, 4))
+        sgd = SGD(learning_rate=0.2, seed=0)
+        result = sgd.minimize(quadratic_objective, np.zeros(4), data, batch_size=20, epochs=40)
+        np.testing.assert_allclose(result.theta, data.mean(axis=0), atol=0.15)
+
+    def test_loss_decreases(self, rng):
+        data = rng.normal(size=(100, 3))
+        result = SGD(learning_rate=0.1, seed=0).minimize(
+            quadratic_objective, np.full(3, 5.0), data, batch_size=10, epochs=10
+        )
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_update_count(self, rng):
+        data = rng.normal(size=(50, 2))
+        result = SGD(seed=0).minimize(
+            quadratic_objective, np.zeros(2), data, batch_size=20, epochs=3
+        )
+        assert result.n_updates == 3 * 3  # ceil(50/20) = 3 batches/epoch
+
+    def test_callback_invoked_per_update(self, rng):
+        data = rng.normal(size=(40, 2))
+        seen = []
+        SGD(seed=0).minimize(
+            quadratic_objective,
+            np.zeros(2),
+            data,
+            batch_size=10,
+            epochs=2,
+            callback=lambda t, loss, theta: seen.append(t),
+        )
+        assert seen == list(range(1, 9))
+
+    def test_momentum_accepted_and_converges(self, rng):
+        data = rng.normal(loc=-2.0, size=(200, 3))
+        result = SGD(learning_rate=0.05, momentum=0.9, seed=0).minimize(
+            quadratic_objective, np.zeros(3), data, batch_size=25, epochs=40
+        )
+        np.testing.assert_allclose(result.theta, data.mean(axis=0), atol=0.2)
+
+    def test_adagrad_schedule_integration(self, rng):
+        data = rng.normal(loc=1.0, size=(100, 2))
+        result = SGD(learning_rate=0.5, schedule="adagrad", seed=0).minimize(
+            quadratic_objective, np.zeros(2), data, batch_size=10, epochs=30
+        )
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_no_shuffle_is_deterministic_order(self, rng):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        batches_seen = []
+
+        def spy(theta, batch):
+            batches_seen.append(batch[0, 0])
+            return quadratic_objective(theta, batch)
+
+        SGD(seed=0, shuffle=False).minimize(spy, np.zeros(2), data, batch_size=2, epochs=1)
+        assert batches_seen == [0.0, 4.0, 8.0, 12.0, 16.0]
+
+    def test_seed_reproducible(self, rng):
+        data = rng.normal(size=(60, 2))
+        a = SGD(learning_rate=0.1, seed=9).minimize(
+            quadratic_objective, np.zeros(2), data, batch_size=8, epochs=3
+        )
+        b = SGD(learning_rate=0.1, seed=9).minimize(
+            quadratic_objective, np.zeros(2), data, batch_size=8, epochs=3
+        )
+        np.testing.assert_array_equal(a.theta, b.theta)
+
+
+class TestSGDValidation:
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD(momentum=1.0)
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            SGD(learning_rate=0.0)
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ConfigurationError):
+            SGD().minimize(quadratic_objective, np.zeros(2), np.zeros(5), 2, 1)
+
+    def test_rejects_gradient_shape_mismatch(self, rng):
+        data = rng.normal(size=(10, 2))
+
+        def bad(theta, batch):
+            return 0.0, np.zeros(3)
+
+        with pytest.raises(ConfigurationError, match="shape"):
+            SGD().minimize(bad, np.zeros(2), data, batch_size=5, epochs=1)

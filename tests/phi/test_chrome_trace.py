@@ -1,0 +1,65 @@
+"""Tests for Trace.to_chrome_trace — Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.phi.kernels import elementwise, gemm, transfer
+from repro.phi.machine import SimulatedMachine
+from repro.phi.spec import XEON_PHI_5110P
+from repro.runtime.backend import OptimizationLevel, backend_for_level
+
+
+@pytest.fixture
+def machine():
+    m = SimulatedMachine(
+        XEON_PHI_5110P,
+        backend_for_level(OptimizationLevel.IMPROVED),
+        record_trace=True,
+    )
+    m.execute_stream([gemm(256, 128, 128), elementwise(10_000), transfer(1_000_000)])
+    return m
+
+
+class TestChromeTrace:
+    def test_valid_json(self, machine):
+        doc = machine.trace.to_chrome_trace()
+        text = json.dumps(doc)  # must be serialisable
+        assert json.loads(text)["displayTimeUnit"] == "ms"
+
+    def test_one_duration_event_per_kernel(self, machine):
+        doc = machine.trace.to_chrome_trace()
+        duration_events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(duration_events) == 3
+
+    def test_lanes_per_kernel_kind(self, machine):
+        doc = machine.trace.to_chrome_trace()
+        thread_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert {"gemm", "elementwise", "transfer_h2d"} == thread_names
+
+    def test_timestamps_in_microseconds_and_ordered(self, machine):
+        doc = machine.trace.to_chrome_trace()
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        # Clock is seconds; export is µs.
+        assert events[-1]["ts"] + events[-1]["dur"] == pytest.approx(
+            machine.clock * 1e6
+        )
+        starts = [e["ts"] for e in events]
+        assert starts == sorted(starts)
+
+    def test_process_name_metadata(self, machine):
+        doc = machine.trace.to_chrome_trace(process_name="phi-run")
+        meta = next(e for e in doc["traceEvents"] if e.get("name") == "process_name")
+        assert meta["args"]["name"] == "phi-run"
+
+    def test_empty_trace(self):
+        m = SimulatedMachine(
+            XEON_PHI_5110P, backend_for_level(OptimizationLevel.IMPROVED),
+            record_trace=True,
+        )
+        doc = m.trace.to_chrome_trace()
+        assert [e for e in doc["traceEvents"] if e.get("ph") == "X"] == []

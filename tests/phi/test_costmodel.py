@@ -1,0 +1,143 @@
+"""Tests for repro.phi.costmodel — roofline kernel timing."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.costmodel import CostModel
+from repro.phi.kernels import Kernel, KernelKind, barrier, elementwise, gemm, sample, transfer
+from repro.phi.pcie import PCIeModel
+from repro.phi.spec import XEON_E5620, XEON_PHI_5110P
+from repro.runtime.backend import (
+    OptimizationLevel,
+    backend_for_level,
+    matlab_backend,
+    optimized_cpu_backend,
+)
+
+BASELINE = backend_for_level(OptimizationLevel.BASELINE)
+OPENMP = backend_for_level(OptimizationLevel.OPENMP)
+MKL = backend_for_level(OptimizationLevel.OPENMP_MKL)
+IMPROVED = backend_for_level(OptimizationLevel.IMPROVED)
+
+
+class TestGemmTiming:
+    def test_all_times_nonnegative(self):
+        model = CostModel(XEON_PHI_5110P, IMPROVED)
+        t = model.time(gemm(1000, 500, 200))
+        for field in ("compute_s", "memory_s", "sync_s", "overhead_s", "transfer_s"):
+            assert getattr(t, field) >= 0
+
+    def test_total_is_busy_plus_overheads(self):
+        model = CostModel(XEON_PHI_5110P, IMPROVED)
+        t = model.time(gemm(1000, 500, 200))
+        assert t.total_s == pytest.approx(
+            max(t.compute_s, t.memory_s) + t.sync_s + t.overhead_s + t.transfer_s
+        )
+
+    def test_mkl_beats_naive_dramatically(self):
+        k = gemm(2000, 1000, 1000)
+        naive = CostModel(XEON_PHI_5110P, BASELINE).time(k).total_s
+        mkl = CostModel(XEON_PHI_5110P, IMPROVED).time(k).total_s
+        assert naive / mkl > 100
+
+    def test_openmp_beats_baseline(self):
+        k = gemm(2000, 1000, 1000)
+        base = CostModel(XEON_PHI_5110P, BASELINE).time(k).total_s
+        omp = CostModel(XEON_PHI_5110P, OPENMP).time(k).total_s
+        assert base / omp > 5
+
+    def test_time_monotone_in_batch(self):
+        model = CostModel(XEON_PHI_5110P, IMPROVED)
+        times = [model.time(gemm(m, 512, 1024)).total_s for m in (100, 1000, 10000)]
+        assert times[0] < times[1] < times[2]
+
+    def test_small_gemm_less_efficient_on_phi(self):
+        """Fig. 7's small-network effect: flops/s drop for small shapes."""
+        model = CostModel(XEON_PHI_5110P, IMPROVED)
+        small = gemm(100, 64, 64)
+        big = gemm(10000, 4096, 1024)
+        small_rate = small.flops / model.time(small).busy_s
+        big_rate = big.flops / model.time(big).busy_s
+        assert big_rate / small_rate > 5
+
+    def test_cpu_less_shape_sensitive_than_phi(self):
+        """A single Xeon core keeps its efficiency at small shapes —
+        the reason the Phi advantage shrinks for small networks."""
+        phi = CostModel(XEON_PHI_5110P, IMPROVED)
+        cpu = CostModel(XEON_E5620, optimized_cpu_backend(1))
+
+        def efficiency_drop(model):
+            small, big = gemm(200, 256, 256), gemm(10000, 4096, 1024)
+            rate = lambda k: k.flops / model.time(k).busy_s
+            return rate(big) / rate(small)
+
+        assert efficiency_drop(phi) > 2 * efficiency_drop(cpu)
+
+
+class TestStreamingTiming:
+    def test_simd_speeds_up_compute_bound_elementwise(self):
+        # Heavy per-element flops => compute bound; SIMD must matter.
+        k = elementwise(10_000_000, flops_per_element=200)
+        scalar = CostModel(XEON_PHI_5110P, OPENMP).time(k)
+        vector = CostModel(XEON_PHI_5110P, MKL).time(k)
+        assert scalar.compute_s / vector.compute_s > 5
+
+    def test_unfused_backend_pays_many_barriers(self):
+        k = elementwise(1_000_000)
+        fused = CostModel(XEON_PHI_5110P, IMPROVED).time(k)
+        unfused = CostModel(XEON_PHI_5110P, MKL).time(k)
+        assert unfused.sync_s == pytest.approx(200 * fused.sync_s)
+
+    def test_region_count_capped_by_elements(self):
+        k = elementwise(3)  # fewer iterations than the region count
+        t = CostModel(XEON_PHI_5110P, MKL).time(k)
+        assert t.sync_s == pytest.approx(3 * XEON_PHI_5110P.barrier_cost(240))
+
+    def test_matlab_temp_traffic_inflates_memory_time(self):
+        k = elementwise(1_000_000)
+        c = CostModel(XEON_E5620, optimized_cpu_backend()).time(k)
+        m = CostModel(XEON_E5620, matlab_backend()).time(k)
+        assert m.memory_s > 2 * c.memory_s
+
+    def test_matlab_per_op_overhead(self):
+        k = elementwise(10)
+        t = CostModel(XEON_E5620, matlab_backend()).time(k)
+        assert t.overhead_s == pytest.approx(1e-3)
+
+    def test_sample_kernel_timed(self):
+        t = CostModel(XEON_PHI_5110P, IMPROVED).time(sample(1_000_000))
+        assert t.total_s > 0
+
+    def test_single_thread_no_sync(self):
+        t = CostModel(XEON_PHI_5110P, BASELINE).time(elementwise(1000))
+        assert t.sync_s == 0.0
+
+
+class TestTransferTiming:
+    def test_coprocessor_pays_pcie(self):
+        model = CostModel(XEON_PHI_5110P, IMPROVED)
+        t = model.time(transfer(1_000_000_000))
+        assert t.transfer_s == pytest.approx(model.pcie.time(1_000_000_000))
+
+    def test_custom_pcie_model_respected(self):
+        slow = PCIeModel(bandwidth=1e6)
+        model = CostModel(XEON_PHI_5110P, IMPROVED, pcie=slow)
+        assert model.time(transfer(1e6)).transfer_s == pytest.approx(slow.time(1e6))
+
+    def test_host_transfer_is_memcpy(self):
+        model = CostModel(XEON_E5620, optimized_cpu_backend())
+        t = model.time(transfer(1_000_000_000))
+        assert t.transfer_s == 0.0
+        assert t.memory_s > 0
+
+    def test_barrier_kernel(self):
+        t = CostModel(XEON_PHI_5110P, IMPROVED).time(barrier())
+        assert t.sync_s == pytest.approx(XEON_PHI_5110P.barrier_cost(240))
+
+    def test_unknown_kind_rejected(self):
+        model = CostModel(XEON_PHI_5110P, IMPROVED)
+        bogus = dataclasses.replace(elementwise(10), kind="nonsense")
+        with pytest.raises(ConfigurationError):
+            model.time(bogus)

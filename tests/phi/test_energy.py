@@ -1,0 +1,93 @@
+"""Tests for repro.phi.energy — the power/energy-to-solution model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.energy import (
+    PHI_POWER,
+    XEON_DUAL_POWER,
+    XEON_POWER,
+    EnergyReport,
+    PowerSpec,
+    energy_for_run,
+    energy_to_solution,
+    power_spec_for,
+)
+from repro.phi.trace import TimingBreakdown
+
+
+class TestPowerSpec:
+    def test_catalogue_values(self):
+        assert PHI_POWER.tdp_w == 225.0
+        assert XEON_POWER.tdp_w == 80.0
+        assert XEON_DUAL_POWER.tdp_w == 2 * XEON_POWER.tdp_w
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec("bad", tdp_w=0, idle_w=0)
+        with pytest.raises(ConfigurationError):
+            PowerSpec("bad", tdp_w=10, idle_w=20)
+
+    def test_lookup_base_and_derived_names(self):
+        assert power_spec_for("xeon_phi_5110p") is PHI_POWER
+        assert power_spec_for("xeon_phi_5110p_30c") is PHI_POWER
+        assert power_spec_for("xeon_e5620_1c") is XEON_POWER
+        assert power_spec_for("xeon_e5620_dual") is XEON_DUAL_POWER
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(ConfigurationError):
+            power_spec_for("gpu_k20")
+
+
+class TestEnergyToSolution:
+    def test_fully_busy_run(self):
+        bd = TimingBreakdown(total_s=10.0, busy_s=10.0)
+        report = energy_to_solution("xeon_phi_5110p", bd, 10.0, utilisation_busy=1.0)
+        assert report.energy_joules == pytest.approx(10.0 * 225.0)
+        assert report.average_watts == pytest.approx(225.0)
+
+    def test_fully_idle_run(self):
+        bd = TimingBreakdown(total_s=10.0, busy_s=0.0)
+        report = energy_to_solution("xeon_phi_5110p", bd, 10.0)
+        assert report.energy_joules == pytest.approx(10.0 * 100.0)
+
+    def test_mixed_run(self):
+        bd = TimingBreakdown(total_s=10.0, busy_s=4.0)
+        report = energy_to_solution("xeon_e5620", bd, 10.0, utilisation_busy=1.0)
+        assert report.energy_joules == pytest.approx(4 * 80.0 + 6 * 25.0)
+
+    def test_busy_clamped_to_wall_time(self):
+        bd = TimingBreakdown(total_s=2.0, busy_s=5.0)  # overlapped accounting
+        report = energy_to_solution("xeon_e5620", bd, 2.0, utilisation_busy=1.0)
+        assert report.busy_seconds == 2.0
+
+    def test_watt_hours(self):
+        bd = TimingBreakdown(busy_s=3600.0)
+        report = energy_to_solution("xeon_e5620", bd, 3600.0, utilisation_busy=1.0)
+        assert report.watt_hours == pytest.approx(80.0)
+
+    def test_validation(self):
+        bd = TimingBreakdown()
+        with pytest.raises(ConfigurationError):
+            energy_to_solution("xeon_e5620", bd, -1.0)
+        with pytest.raises(ConfigurationError):
+            energy_to_solution("xeon_e5620", bd, 1.0, utilisation_busy=0.0)
+
+
+class TestEnergyForTrainingRuns:
+    def test_phi_wins_energy_despite_higher_power(self):
+        """The Phi draws ~3x a socket but finishes ~8x sooner than the
+        dual host — energy-to-solution must favour it."""
+        from repro.bench.workloads import fig10_config
+        from repro.core.ae_trainer import SparseAutoencoderTrainer
+        from repro.phi.spec import XEON_E5620_DUAL, XEON_PHI_5110P
+        from repro.runtime.backend import optimized_cpu_backend
+
+        phi = SparseAutoencoderTrainer(fig10_config(machine=XEON_PHI_5110P)).simulate()
+        cpu = SparseAutoencoderTrainer(
+            fig10_config(machine=XEON_E5620_DUAL, backend=optimized_cpu_backend())
+        ).simulate()
+        e_phi = energy_for_run(phi)
+        e_cpu = energy_for_run(cpu)
+        assert e_phi.energy_joules < e_cpu.energy_joules
+        assert e_phi.average_watts > e_cpu.average_watts  # but it burns hotter

@@ -1,0 +1,61 @@
+"""Additional energy-model coverage: trainer integration across machines
+and the fine-tuning phase."""
+
+import pytest
+
+from repro.core.config import OptimizationLevel, TrainingConfig
+from repro.core.finetune_trainer import FinetuneTrainer
+from repro.phi.energy import energy_for_run, power_spec_for
+from repro.phi.spec import XEON_PHI_5110P, phi_with_cores
+
+
+class TestEnergyAcrossScenarios:
+    def test_derived_core_counts_share_the_card_envelope(self):
+        assert power_spec_for(phi_with_cores(15).name) is power_spec_for(
+            XEON_PHI_5110P.name
+        )
+
+    def test_fewer_cores_cost_more_energy_for_same_work(self):
+        """Halving active cores nearly doubles wall time while the card
+        keeps leaking idle power — energy to solution must rise."""
+        from repro.bench.workloads import table1_pretrainer
+
+        full = table1_pretrainer(XEON_PHI_5110P, OptimizationLevel.IMPROVED).simulate()
+        half = table1_pretrainer(phi_with_cores(30), OptimizationLevel.IMPROVED).simulate()
+
+        def pipeline_energy(result):
+            total = 0.0
+            for layer in result.layers:
+                total += energy_for_run(layer.result).energy_joules
+            return total
+
+        assert pipeline_energy(half) > pipeline_energy(full)
+
+    def test_finetune_runs_account_energy(self):
+        cfg = TrainingConfig(
+            n_visible=1024, n_hidden=512, n_examples=10_000, batch_size=10_000,
+            epochs=20, machine=XEON_PHI_5110P,
+        )
+        result = FinetuneTrainer(cfg, layer_sizes=[1024, 512, 10]).simulate()
+        report = energy_for_run(result)
+        assert report.energy_joules > 0
+        spec = power_spec_for(result.machine_name)
+        assert spec.idle_w <= report.average_watts <= spec.tdp_w
+
+    def test_baseline_burns_orders_of_magnitude_more_energy(self):
+        """The >300x speedup is also a >100x energy win: the idle draw of
+        16000 sequential seconds dwarfs 44 busy ones."""
+        from repro.bench.workloads import table1_pretrainer
+
+        def pipeline_energy(result):
+            return sum(
+                energy_for_run(l.result).energy_joules for l in result.layers
+            )
+
+        baseline = table1_pretrainer(
+            XEON_PHI_5110P, OptimizationLevel.BASELINE
+        ).simulate()
+        improved = table1_pretrainer(
+            XEON_PHI_5110P, OptimizationLevel.IMPROVED
+        ).simulate()
+        assert pipeline_energy(baseline) > 100 * pipeline_energy(improved)

@@ -1,0 +1,100 @@
+"""Tests for repro.phi.events — the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.phi.events import EventSimulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = EventSimulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = EventSimulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = EventSimulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = EventSimulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = EventSimulator()
+        fired = []
+        ev = sim.schedule(1.0, fired.append, "dead")
+        sim.schedule(2.0, fired.append, "alive")
+        ev.cancel()
+        sim.run()
+        assert fired == ["alive"]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_step_returns_false_when_empty(self):
+        assert EventSimulator().step() is False
+
+    def test_runaway_guard(self):
+        sim = EventSimulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = EventSimulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

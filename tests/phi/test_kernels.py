@@ -1,0 +1,101 @@
+"""Tests for repro.phi.kernels — the kernel vocabulary."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.kernels import (
+    Kernel,
+    KernelKind,
+    barrier,
+    elementwise,
+    gemm,
+    reduction,
+    sample,
+    transfer,
+)
+
+
+class TestGemm:
+    def test_flops(self):
+        k = gemm(10, 20, 30)
+        assert k.flops == 2 * 10 * 20 * 30
+        assert k.gemm_shape == (10, 20, 30)
+
+    def test_traffic_counts_each_operand_once(self):
+        k = gemm(10, 20, 30)
+        assert k.bytes_read == 8 * (10 * 30 + 30 * 20)
+        assert k.bytes_written == 8 * 10 * 20
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ConfigurationError):
+            gemm(0, 5, 5)
+
+    def test_kernel_requires_shape(self):
+        with pytest.raises(ConfigurationError):
+            Kernel(kind=KernelKind.GEMM, name="bad")
+
+
+class TestElementwise:
+    def test_work_quantities(self):
+        k = elementwise(100, flops_per_element=5, reads_per_element=2, writes_per_element=1)
+        assert k.flops == 500
+        assert k.bytes_read == 100 * 2 * 8
+        assert k.bytes_written == 100 * 8
+        assert k.n_elements == 100
+
+    def test_bytes_total(self):
+        k = elementwise(10)
+        assert k.bytes_total == k.bytes_read + k.bytes_written
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            elementwise(0)
+
+
+class TestReductionAndSample:
+    def test_reduction_writes_outputs_only(self):
+        k = reduction(1000, outputs=10)
+        assert k.bytes_written == 80
+        assert k.bytes_read == 8000
+
+    def test_sample_cost_per_element(self):
+        k = sample(50)
+        assert k.kind is KernelKind.SAMPLE
+        assert k.flops == 500  # 10 flops/elt: PRNG + compare
+
+
+class TestTransferAndBarrier:
+    def test_transfer_directions(self):
+        assert transfer(100, to_device=True).kind is KernelKind.TRANSFER_H2D
+        assert transfer(100, to_device=False).kind is KernelKind.TRANSFER_D2H
+        assert transfer(64).is_transfer
+
+    def test_transfer_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            transfer(0)
+
+    def test_barrier_is_workless(self):
+        b = barrier()
+        assert b.flops == 0 and b.bytes_total == 0
+
+
+class TestScaled:
+    def test_scaled_multiplies_work(self):
+        k = elementwise(10, flops_per_element=2)
+        s = k.scaled(5)
+        assert s.flops == 5 * k.flops
+        assert s.bytes_read == 5 * k.bytes_read
+        assert s.n_elements == 50
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            elementwise(10).scaled(0)
+
+    def test_kernels_are_frozen(self):
+        k = elementwise(10)
+        with pytest.raises(Exception):
+            k.flops = 99
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Kernel(kind=KernelKind.ELEMENTWISE, name="x", flops=-1)

@@ -1,0 +1,102 @@
+"""Tests for repro.phi.machine — the simulated machine."""
+
+import pytest
+
+from repro.phi.kernels import elementwise, gemm
+from repro.phi.machine import SimulatedMachine
+from repro.phi.spec import XEON_E5620, XEON_PHI_5110P
+from repro.runtime.backend import (
+    OptimizationLevel,
+    backend_for_level,
+    optimized_cpu_backend,
+)
+
+IMPROVED = backend_for_level(OptimizationLevel.IMPROVED)
+MKL = backend_for_level(OptimizationLevel.OPENMP_MKL)
+
+
+@pytest.fixture
+def machine():
+    return SimulatedMachine(XEON_PHI_5110P, IMPROVED, record_trace=True)
+
+
+class TestExecute:
+    def test_clock_advances_by_kernel_total(self, machine):
+        timing = machine.execute(gemm(1000, 500, 500))
+        assert machine.clock == pytest.approx(timing.total_s)
+
+    def test_stream_accumulates(self, machine):
+        kernels = [gemm(100, 100, 100), elementwise(10_000)]
+        elapsed = machine.execute_stream(kernels)
+        assert machine.clock == pytest.approx(elapsed)
+        assert len(machine.trace) == 2
+
+    def test_breakdown_total_matches_clock(self, machine):
+        machine.execute_stream([gemm(500, 200, 300), elementwise(5000), gemm(64, 64, 64)])
+        assert machine.breakdown().total_s == pytest.approx(machine.clock)
+
+    def test_reset_zeroes_clock_keeps_memory(self, machine):
+        machine.memory.allocate("params", 1024)
+        machine.execute(gemm(64, 64, 64))
+        machine.reset()
+        assert machine.clock == 0.0
+        assert len(machine.trace) == 0
+        assert machine.memory.in_use == 1024  # parameters stay resident
+
+    def test_threads_property(self, machine):
+        assert machine.threads == 240
+        single = SimulatedMachine(XEON_E5620, optimized_cpu_backend(1))
+        assert single.threads == 1
+
+
+class TestWavefronts:
+    def test_wavefront_of_one_equals_stream(self):
+        a = SimulatedMachine(XEON_PHI_5110P, IMPROVED)
+        b = SimulatedMachine(XEON_PHI_5110P, IMPROVED)
+        k = gemm(256, 256, 256)
+        a.execute_wavefront([k])
+        b.execute_stream([k])
+        assert a.clock == pytest.approx(b.clock)
+
+    def test_overlap_saves_sync_not_busy(self):
+        """Fig. 6 scheduling: a level of independent kernels pays every
+        kernel's busy time but only one join."""
+        kernels = [gemm(512, 256, 256), gemm(512, 256, 256), elementwise(100_000)]
+        overlapping = SimulatedMachine(XEON_PHI_5110P, IMPROVED)
+        serial = SimulatedMachine(XEON_PHI_5110P, MKL)  # no overlap_independent
+        t_overlap = overlapping.execute_wavefront(list(kernels))
+        t_serial = serial.execute_wavefront(list(kernels))
+        assert t_overlap < t_serial
+        # Busy time is preserved, only sync/overhead collapse.
+        assert overlapping.breakdown().busy_s == pytest.approx(
+            sum(overlapping.cost_model.time(k).busy_s for k in kernels)
+        )
+
+    def test_empty_wavefront_is_free(self):
+        m = SimulatedMachine(XEON_PHI_5110P, IMPROVED)
+        assert m.execute_wavefront([]) == 0.0
+        assert m.clock == 0.0
+
+    def test_execute_levels(self):
+        m = SimulatedMachine(XEON_PHI_5110P, IMPROVED)
+        levels = [[gemm(64, 64, 64)], [elementwise(1000), elementwise(1000)]]
+        elapsed = m.execute_levels(levels)
+        assert m.clock == pytest.approx(elapsed)
+        assert len(m.trace) == 3
+
+    def test_wavefront_trace_entries_cover_interval(self):
+        m = SimulatedMachine(XEON_PHI_5110P, IMPROVED, record_trace=True)
+        m.execute_wavefront([gemm(128, 128, 128), gemm(128, 128, 128)])
+        entries = m.trace.entries
+        assert entries[0].start_s == 0.0
+        assert entries[-1].end_s == pytest.approx(m.clock)
+
+
+class TestDeviceMemoryIntegration:
+    def test_coprocessor_has_capacity(self):
+        m = SimulatedMachine(XEON_PHI_5110P, IMPROVED)
+        assert m.memory.capacity == 8 * 1024**3
+
+    def test_host_is_uncapped(self):
+        m = SimulatedMachine(XEON_E5620, optimized_cpu_backend())
+        assert m.memory.capacity is None

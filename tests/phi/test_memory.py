@@ -1,0 +1,95 @@
+"""Tests for repro.phi.memory — the 8 GB device allocator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeviceMemoryError
+from repro.phi.memory import DeviceMemory
+
+
+class TestAllocate:
+    def test_tracks_in_use_and_peak(self):
+        mem = DeviceMemory(1000)
+        a = mem.allocate("a", 400)
+        b = mem.allocate("b", 300)
+        assert mem.in_use == 700
+        mem.free(a)
+        assert mem.in_use == 300
+        assert mem.peak == 700
+        mem.free(b)
+        assert mem.in_use == 0
+        assert mem.peak == 700
+
+    def test_overflow_raises_with_context(self):
+        mem = DeviceMemory(1000)
+        mem.allocate("params", 800)
+        with pytest.raises(DeviceMemoryError, match="loading_buffer"):
+            mem.allocate("loading_buffer", 300)
+
+    def test_exactly_full_is_allowed(self):
+        mem = DeviceMemory(1000)
+        mem.allocate("all", 1000)
+        assert mem.available == 0
+
+    def test_uncapped_memory(self):
+        mem = DeviceMemory(None)
+        mem.allocate("huge", 10**15)
+        assert mem.available is None
+
+    def test_rejects_nonpositive_alloc(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMemory(100).allocate("x", 0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMemory(0)
+
+
+class TestFree:
+    def test_double_free_raises(self):
+        mem = DeviceMemory(100)
+        a = mem.allocate("a", 10)
+        mem.free(a)
+        with pytest.raises(DeviceMemoryError, match="double free"):
+            mem.free(a)
+
+    def test_freed_space_is_reusable(self):
+        mem = DeviceMemory(100)
+        a = mem.allocate("a", 100)
+        mem.free(a)
+        mem.allocate("b", 100)  # must not raise
+
+
+class TestDiagnostics:
+    def test_live_allocations(self):
+        mem = DeviceMemory(100)
+        mem.allocate("w", 40)
+        mem.allocate("buf", 20)
+        assert mem.live_allocations() == {"w": 40, "buf": 20}
+
+    def test_reset_frees_everything(self):
+        mem = DeviceMemory(100)
+        mem.allocate("a", 60)
+        mem.reset()
+        assert mem.in_use == 0
+        assert mem.live_allocations() == {}
+
+
+class TestScoped:
+    def test_scoped_frees_on_exit(self):
+        mem = DeviceMemory(100)
+        with mem.scoped("tmp", 50):
+            assert mem.in_use == 50
+        assert mem.in_use == 0
+
+    def test_scoped_frees_on_exception(self):
+        mem = DeviceMemory(100)
+        with pytest.raises(RuntimeError):
+            with mem.scoped("tmp", 50):
+                raise RuntimeError("boom")
+        assert mem.in_use == 0
+
+    def test_scoped_overflow_propagates(self):
+        mem = DeviceMemory(10)
+        with pytest.raises(DeviceMemoryError):
+            with mem.scoped("big", 100):
+                pass

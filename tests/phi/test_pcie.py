@@ -1,0 +1,58 @@
+"""Tests for repro.phi.pcie — the host↔device transfer model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.pcie import PAPER_CHUNK_BYTES, PAPER_CHUNK_SECONDS, PCIeModel
+from repro.phi.spec import XEON_E5620, XEON_PHI_5110P
+
+
+class TestBasics:
+    def test_time_formula(self):
+        model = PCIeModel(bandwidth=1e9, latency_s=1e-3, efficiency=0.5)
+        assert model.time(5e8) == pytest.approx(1e-3 + 5e8 / 5e8)
+
+    def test_zero_bytes_is_free(self):
+        assert PCIeModel(bandwidth=1e9).time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCIeModel(bandwidth=1e9).time(-1)
+
+    def test_time_monotone_in_bytes(self):
+        model = PCIeModel(bandwidth=1e9)
+        assert model.time(2e6) > model.time(1e6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PCIeModel(bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            PCIeModel(bandwidth=1e9, efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            PCIeModel(bandwidth=1e9, latency_s=-1.0)
+
+
+class TestCalibrations:
+    def test_paper_calibrated_reproduces_13_seconds(self):
+        """§IV.A: 'it costs 13s to transfer 10,000*4096 samples'."""
+        model = PCIeModel.paper_calibrated()
+        assert model.time(PAPER_CHUNK_BYTES) == pytest.approx(
+            PAPER_CHUNK_SECONDS, rel=0.01
+        )
+
+    def test_for_spec_uses_link_capability(self):
+        model = PCIeModel.for_spec(XEON_PHI_5110P)
+        assert model.effective_bandwidth == pytest.approx(6.0e9 * 0.85)
+        # The same chunk crosses the raw link in well under a second.
+        assert model.time(PAPER_CHUNK_BYTES) < 0.1
+
+    def test_for_spec_rejects_hosts(self):
+        with pytest.raises(ConfigurationError, match="host"):
+            PCIeModel.for_spec(XEON_E5620)
+
+    def test_paper_rate_is_far_below_link_rate(self):
+        """The measured staging path is orders of magnitude slower than the
+        link — the reason DESIGN.md splits the two calibrations."""
+        paper = PCIeModel.paper_calibrated().effective_bandwidth
+        link = PCIeModel.for_spec(XEON_PHI_5110P).effective_bandwidth
+        assert link / paper > 100

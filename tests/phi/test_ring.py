@@ -1,0 +1,77 @@
+"""Tests for repro.phi.ring — the bidirectional ring interconnect."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.ring import RingBus
+from repro.phi.spec import XEON_PHI_5110P
+
+
+@pytest.fixture
+def ring():
+    return RingBus(n_stops=8, hop_latency_s=1e-9)
+
+
+class TestHops:
+    def test_adjacent(self, ring):
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(1, 0) == 1
+
+    def test_wraparound_shortcut(self, ring):
+        assert ring.hops(0, 7) == 1  # backwards around the ring
+
+    def test_diameter(self, ring):
+        assert ring.hops(0, 4) == 4
+        assert ring.max_hops == 4
+
+    def test_self_distance_zero(self, ring):
+        assert ring.hops(3, 3) == 0
+
+    def test_symmetry(self, ring):
+        for i in range(8):
+            for j in range(8):
+                assert ring.hops(i, j) == ring.hops(j, i)
+
+    def test_out_of_range_raises(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.hops(0, 8)
+
+    def test_average_hops_closed_form(self, ring):
+        # For 8 stops: distances from 0 are [1,2,3,4,3,2,1] -> mean 16/7.
+        assert ring.average_hops == pytest.approx(16 / 7)
+
+
+class TestTimes:
+    def test_latency(self, ring):
+        assert ring.latency(0, 2) == pytest.approx(2e-9)
+
+    def test_broadcast_reaches_farthest(self, ring):
+        assert ring.broadcast_time() == pytest.approx(4e-9)
+
+    def test_barrier_two_traversals(self, ring):
+        assert ring.barrier_time() == pytest.approx(8e-9)
+
+    def test_transfer_adds_serialisation(self, ring):
+        t = ring.transfer_time(1e9, 0, 1)
+        assert t == pytest.approx(1e-9 + 1e9 / ring.link_bandwidth)
+
+    def test_rejects_negative_bytes(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.transfer_time(-1, 0, 1)
+
+
+class TestForSpec:
+    def test_phi_ring(self):
+        ring = RingBus.for_spec(XEON_PHI_5110P)
+        assert ring.n_stops == 60
+        assert ring.hop_latency_s == XEON_PHI_5110P.ring_hop_latency_s
+
+    def test_barrier_time_below_spec_barrier_cost(self):
+        """The spec's modeled software barrier must dominate the raw ring
+        traversal (software overhead >> wire latency)."""
+        ring = RingBus.for_spec(XEON_PHI_5110P)
+        assert ring.barrier_time() < XEON_PHI_5110P.barrier_cost(240)
+
+    def test_needs_two_stops(self):
+        with pytest.raises(ConfigurationError):
+            RingBus(n_stops=1, hop_latency_s=1e-9)

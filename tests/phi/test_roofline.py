@@ -1,0 +1,82 @@
+"""Tests for repro.phi.roofline — roofline analysis."""
+
+import pytest
+
+from repro.core.oplist import autoencoder_step_kernels
+from repro.phi.kernels import barrier, elementwise, gemm
+from repro.phi.roofline import (
+    analyze_kernels,
+    arithmetic_intensity,
+    ridge_point,
+    roofline_report,
+)
+from repro.phi.spec import XEON_E5620, XEON_PHI_5110P
+from repro.runtime.backend import OptimizationLevel, backend_for_level
+
+IMPROVED = backend_for_level(OptimizationLevel.IMPROVED)
+
+
+class TestArithmeticIntensity:
+    def test_gemm_intensity_grows_with_size(self):
+        # AI of an n^3 GEMM ≈ n/12 flops/byte: bigger is more compute-rich.
+        small = arithmetic_intensity(gemm(64, 64, 64))
+        big = arithmetic_intensity(gemm(1024, 1024, 1024))
+        assert big > 10 * small
+
+    def test_elementwise_intensity_is_constant_and_low(self):
+        a = arithmetic_intensity(elementwise(1000, flops_per_element=5))
+        b = arithmetic_intensity(elementwise(10_000_000, flops_per_element=5))
+        assert a == pytest.approx(b)
+        assert a < 1.0  # fewer flops than bytes
+
+    def test_workless_kernel_infinite(self):
+        import dataclasses
+
+        k = dataclasses.replace(elementwise(10), bytes_read=0.0, bytes_written=0.0)
+        assert arithmetic_intensity(k) == float("inf")
+
+
+class TestRidgePoint:
+    def test_phi_ridge_higher_than_xeon(self):
+        """1 Tflop/s on 320 GB/s needs ~3 flops/byte; the Xeon's ridge is
+        lower — the Phi punishes low-intensity code harder."""
+        assert ridge_point(XEON_PHI_5110P) > ridge_point(XEON_E5620)
+
+    def test_phi_ridge_plausible(self):
+        r = ridge_point(XEON_PHI_5110P)
+        assert 2.0 < r < 5.0
+
+    def test_scalar_ridge_lower(self):
+        assert ridge_point(XEON_PHI_5110P, simd=False) < ridge_point(
+            XEON_PHI_5110P, simd=True
+        )
+
+
+class TestAnalyzeKernels:
+    @pytest.fixture
+    def points(self):
+        kernels = autoencoder_step_kernels(10_000, 1024, 4096)
+        return analyze_kernels(kernels, XEON_PHI_5110P, IMPROVED)
+
+    def test_gemms_compute_bound_elementwise_memory_bound(self, points):
+        by_name = {p.name: p for p in points}
+        assert by_name["fwd1:X*W1T"].bound == "compute"
+        assert by_name["sigmoid:y"].bound == "memory"
+
+    def test_modeled_never_beats_roofline_for_streaming(self, points):
+        for p in points:
+            if p.bound == "memory":
+                assert p.modeled_flops <= p.attainable_flops * (1 + 1e-9)
+
+    def test_fraction_in_unit_interval(self, points):
+        for p in points:
+            assert 0.0 < p.roofline_fraction <= 1.0 + 1e-9
+
+    def test_workless_kernels_skipped(self):
+        points = analyze_kernels([barrier()], XEON_PHI_5110P, IMPROVED)
+        assert points == []
+
+    def test_report_rows(self, points):
+        rows = roofline_report(points)
+        assert len(rows) == len(points)
+        assert {"kernel", "bound", "gflops_modeled", "roof_fraction"} <= set(rows[0])

@@ -1,0 +1,123 @@
+"""Tests for repro.phi.spec — the machine catalogue."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.spec import (
+    XEON_E5620,
+    XEON_E5620_DUAL,
+    XEON_E5620_SINGLE_CORE,
+    XEON_PHI_5110P,
+    XEON_PHI_5110P_30C,
+    get_machine,
+    phi_with_cores,
+)
+
+
+class TestPhiSpec:
+    def test_paper_parameters(self):
+        """§V.A.1: 60 active cores at ~1.053 GHz, 8 GB global memory."""
+        assert XEON_PHI_5110P.n_cores == 60
+        assert XEON_PHI_5110P.threads_per_core == 4
+        assert XEON_PHI_5110P.max_threads == 240
+        assert XEON_PHI_5110P.mem_capacity == 8 * 1024**3
+        assert XEON_PHI_5110P.is_coprocessor
+
+    def test_peak_flops_near_one_teraflop(self):
+        """60 cores × 1.053 GHz × 8 lanes × 2 (FMA) ≈ 1.01 Tflop/s DP."""
+        assert XEON_PHI_5110P.peak_flops == pytest.approx(1.011e12, rel=0.01)
+
+    def test_scalar_peak_much_lower(self):
+        scalar = XEON_PHI_5110P.peak_flops_threads(1, simd=False)
+        simd = XEON_PHI_5110P.peak_flops_threads(1, simd=True)
+        assert simd / scalar > 8  # the 512-bit VPU's reason to exist
+
+    def test_smt_needed_to_fill_the_vector_pipeline(self):
+        """In-order cores: one thread/core reaches only half the SIMD
+        peak; four threads/core reach all of it (KNC's SMT design)."""
+        at_cores = XEON_PHI_5110P.peak_flops_threads(60, simd=True)
+        at_max = XEON_PHI_5110P.peak_flops_threads(240, simd=True)
+        assert at_max == pytest.approx(2 * at_cores)
+        assert at_max == pytest.approx(XEON_PHI_5110P.peak_flops)
+
+    def test_out_of_order_cpu_needs_no_smt(self):
+        one_per_core = XEON_E5620.peak_flops_threads(4, simd=True)
+        smt = XEON_E5620.peak_flops_threads(8, simd=True)
+        assert one_per_core == smt
+
+    def test_bandwidth_saturates(self):
+        one = XEON_PHI_5110P.bandwidth_threads(1)
+        many = XEON_PHI_5110P.bandwidth_threads(240)
+        assert many == XEON_PHI_5110P.mem_bandwidth
+        assert one < 0.05 * many  # a single Phi thread can't drive GDDR5
+
+    def test_barrier_grows_with_threads(self):
+        assert XEON_PHI_5110P.barrier_cost(1) == 0.0
+        assert XEON_PHI_5110P.barrier_cost(240) > XEON_PHI_5110P.barrier_cost(4) > 0
+
+    def test_barrier_log_scaling(self):
+        b60 = XEON_PHI_5110P.barrier_cost(64)
+        b120 = XEON_PHI_5110P.barrier_cost(128)
+        expected_delta = XEON_PHI_5110P.barrier_per_log2_thread_s
+        assert b120 - b60 == pytest.approx(expected_delta)
+
+
+class TestXeonSpec:
+    def test_host_has_no_capacity_limit(self):
+        assert XEON_E5620.mem_capacity is None
+        assert not XEON_E5620.is_coprocessor
+
+    def test_single_core_variant(self):
+        assert XEON_E5620_SINGLE_CORE.n_cores == 1
+        assert XEON_E5620_SINGLE_CORE.frequency_hz == XEON_E5620.frequency_hz
+
+    def test_dual_socket_doubles_cores_and_bandwidth(self):
+        assert XEON_E5620_DUAL.n_cores == 2 * XEON_E5620.n_cores
+        assert XEON_E5620_DUAL.mem_bandwidth == 2 * XEON_E5620.mem_bandwidth
+
+    def test_phi_peak_dwarfs_one_xeon_core(self):
+        phi = XEON_PHI_5110P.peak_flops
+        core = XEON_E5620_SINGLE_CORE.peak_flops
+        assert phi / core > 80
+
+
+class TestWithCores:
+    def test_30_core_variant(self):
+        assert XEON_PHI_5110P_30C.n_cores == 30
+        assert XEON_PHI_5110P_30C.max_threads == 120
+        assert XEON_PHI_5110P_30C.peak_flops == pytest.approx(
+            XEON_PHI_5110P.peak_flops / 2
+        )
+
+    def test_phi_with_cores_naming(self):
+        assert phi_with_cores(15).name == "xeon_phi_5110p_15c"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            XEON_PHI_5110P.with_cores(0)
+        with pytest.raises(ConfigurationError):
+            XEON_PHI_5110P.with_cores(61)
+
+
+class TestCatalogue:
+    def test_lookup(self):
+        assert get_machine("xeon_phi_5110p") is XEON_PHI_5110P
+        assert get_machine("xeon_e5620_dual") is XEON_E5620_DUAL
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="xeon_phi_5110p"):
+            get_machine("knights_landing")
+
+    def test_validation(self):
+        import dataclasses
+
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(XEON_PHI_5110P, n_cores=0)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(XEON_PHI_5110P, single_thread_bw_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            XEON_PHI_5110P.peak_flops_threads(0, simd=True)
+        with pytest.raises(ConfigurationError):
+            XEON_PHI_5110P.bandwidth_threads(0)

@@ -1,0 +1,78 @@
+"""Tests for repro.phi.trace — traces and timing breakdowns."""
+
+import pytest
+
+from repro.phi.kernels import KernelKind, elementwise, gemm
+from repro.phi.trace import TimingBreakdown, Trace
+
+
+def _record(trace, kernel, start, compute, memory, sync=0.0, overhead=0.0, transfer=0.0):
+    duration = max(compute, memory) + sync + overhead + transfer
+    trace.record(kernel, start, start + duration, compute, memory, sync, overhead, transfer)
+    return start + duration
+
+
+class TestTimingBreakdown:
+    def test_addition(self):
+        a = TimingBreakdown(total_s=1.0, compute_s=0.5, n_kernels=2)
+        b = TimingBreakdown(total_s=2.0, compute_s=1.0, n_kernels=3)
+        c = a + b
+        assert c.total_s == 3.0
+        assert c.compute_s == 1.5
+        assert c.n_kernels == 5
+
+    def test_scaled(self):
+        a = TimingBreakdown(total_s=1.0, sync_s=0.25, n_kernels=4)
+        s = a.scaled(10)
+        assert s.total_s == 10.0
+        assert s.sync_s == 2.5
+        assert s.n_kernels == 40
+
+    def test_fraction(self):
+        a = TimingBreakdown(total_s=4.0, sync_s=1.0)
+        assert a.fraction("sync_s") == 0.25
+
+    def test_fraction_of_empty(self):
+        assert TimingBreakdown().fraction("sync_s") == 0.0
+
+
+class TestTrace:
+    def test_records_entries_when_enabled(self):
+        trace = Trace(enabled=True)
+        t = _record(trace, gemm(10, 10, 10), 0.0, 1.0, 0.2)
+        _record(trace, elementwise(5), t, 0.1, 0.4)
+        assert len(trace) == 2
+        assert len(trace.entries) == 2
+        assert trace.entries[0].duration_s == pytest.approx(1.0)
+
+    def test_counters_without_entries_when_disabled(self):
+        trace = Trace(enabled=False)
+        _record(trace, gemm(10, 10, 10), 0.0, 1.0, 0.2)
+        assert len(trace) == 1
+        assert trace.entries == []
+        assert trace.breakdown().compute_s == 1.0
+
+    def test_breakdown_busy_is_max_per_kernel(self):
+        trace = Trace()
+        t = _record(trace, gemm(10, 10, 10), 0.0, 1.0, 0.2)   # busy 1.0
+        _record(trace, elementwise(5), t, 0.1, 0.4)           # busy 0.4
+        bd = trace.breakdown()
+        assert bd.busy_s == pytest.approx(1.4)
+        assert bd.compute_s == pytest.approx(1.1)
+        assert bd.memory_s == pytest.approx(0.6)
+
+    def test_time_by_kind(self):
+        trace = Trace()
+        t = _record(trace, gemm(10, 10, 10), 0.0, 1.0, 0.2)
+        _record(trace, elementwise(5), t, 0.1, 0.4)
+        by_kind = trace.time_by_kind()
+        assert by_kind[KernelKind.GEMM.value] == pytest.approx(1.0)
+        assert by_kind[KernelKind.ELEMENTWISE.value] == pytest.approx(0.4)
+
+    def test_reset(self):
+        trace = Trace()
+        _record(trace, gemm(10, 10, 10), 0.0, 1.0, 0.2)
+        trace.reset()
+        assert len(trace) == 0
+        assert trace.breakdown().total_s == 0.0
+        assert trace.time_by_kind() == {}

@@ -1,0 +1,96 @@
+"""Property-based tests for the fusion pass and data pipeline invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import plan_chunks
+from repro.phi.kernels import KernelKind, elementwise, gemm, reduction
+from repro.runtime.fusion import fuse_elementwise
+
+
+def kernel_strategy():
+    elementwise_k = st.builds(
+        elementwise,
+        st.sampled_from([64, 256, 1024]),
+        flops_per_element=st.integers(min_value=1, max_value=8),
+        reads_per_element=st.integers(min_value=1, max_value=3),
+    )
+    gemm_k = st.builds(
+        gemm,
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+    )
+    reduce_k = st.builds(reduction, st.integers(min_value=1, max_value=4096))
+    return st.one_of(elementwise_k, gemm_k, reduce_k)
+
+
+class TestFusionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(kernel_strategy(), min_size=0, max_size=20))
+    def test_flops_always_preserved(self, kernels):
+        fused = fuse_elementwise(kernels)
+        assert sum(k.flops for k in fused) == pytest.approx(
+            sum(k.flops for k in kernels)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(kernel_strategy(), min_size=0, max_size=20))
+    def test_never_more_kernels_or_traffic(self, kernels):
+        fused = fuse_elementwise(kernels)
+        assert len(fused) <= len(kernels)
+        assert sum(k.bytes_total for k in fused) <= sum(
+            k.bytes_total for k in kernels
+        ) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(kernel_strategy(), min_size=0, max_size=20))
+    def test_fences_preserved_in_order(self, kernels):
+        """Non-fusable kernels appear in the output unchanged and in order."""
+        fused = fuse_elementwise(kernels)
+        fences_in = [k.name for k in kernels if k.kind in (KernelKind.GEMM, KernelKind.REDUCE)]
+        fences_out = [k.name for k in fused if k.kind in (KernelKind.GEMM, KernelKind.REDUCE)]
+        assert fences_in == fences_out
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(kernel_strategy(), min_size=0, max_size=20))
+    def test_idempotent(self, kernels):
+        once = fuse_elementwise(kernels)
+        twice = fuse_elementwise(once)
+        assert [k.name for k in once] == [k.name for k in twice]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(kernel_strategy(), min_size=0, max_size=20))
+    def test_fused_ops_accounting(self, kernels):
+        """Σ fused_ops over the output equals the number of inputs
+        (every logical op is represented exactly once)."""
+        fused = fuse_elementwise(kernels)
+        assert sum(k.fused_ops for k in fused) == sum(k.fused_ops for k in kernels)
+
+
+class TestChunkPlanProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10**6),
+        chunk=st.integers(min_value=1, max_value=10**5),
+        features=st.integers(min_value=1, max_value=8192),
+    )
+    def test_chunks_partition_dataset_exactly(self, n, chunk, features):
+        batch = min(chunk, n, 64)
+        plan = plan_chunks(n, features, max(chunk, batch), batch)
+        assert sum(plan.chunk_sizes) == n
+        assert all(s >= 1 for s in plan.chunk_sizes)
+        assert max(plan.chunk_sizes) <= max(chunk, batch)
+        assert sum(plan.chunk_bytes(i) for i in range(plan.n_chunks)) == plan.total_bytes
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10**5),
+        batch=st.integers(min_value=1, max_value=500),
+    )
+    def test_batch_count_consistent(self, n, batch):
+        batch = min(batch, n)
+        plan = plan_chunks(n, 16, n, batch)
+        assert plan.total_batches == (n + batch - 1) // batch

@@ -1,0 +1,90 @@
+"""Property-based tests for the deep network and fine-tuning invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.gradcheck import check_gradients
+from repro.nn.mlp import DeepNetwork, one_hot, softmax
+
+sizes = st.integers(min_value=1, max_value=7)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+heads = st.sampled_from(["softmax", "sigmoid", "identity"])
+
+
+class TestSoftmaxProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=10),
+        seeds,
+    )
+    def test_rows_always_normalised(self, m, k, seed):
+        z = np.random.default_rng(seed).normal(scale=50, size=(m, k))
+        p = softmax(z)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+        assert (p >= 0).all()
+
+    @given(st.integers(min_value=2, max_value=8), seeds)
+    def test_argmax_preserved(self, k, seed):
+        z = np.random.default_rng(seed).normal(size=(5, k))
+        np.testing.assert_array_equal(
+            np.argmax(z, axis=1), np.argmax(softmax(z), axis=1)
+        )
+
+
+class TestDeepNetworkProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_in=sizes, h=sizes, n_out=st.integers(min_value=2, max_value=5),
+        m=st.integers(min_value=1, max_value=10), head=heads, seed=seeds,
+    )
+    def test_gradients_always_correct(self, n_in, h, n_out, m, head, seed):
+        rng = np.random.default_rng(seed)
+        net = DeepNetwork([n_in, h, n_out], head=head, weight_decay=1e-3, seed=int(seed))
+        x = rng.random((m, n_in))
+        if head == "softmax":
+            targets = one_hot(rng.integers(0, n_out, m), n_out)
+        else:
+            targets = rng.random((m, n_out))
+        theta = net.get_flat_parameters()
+        _, grad = net.flat_loss_and_grad(theta, x, targets)
+        check_gradients(
+            lambda t: net.flat_loss_and_grad(t, x, targets)[0],
+            grad,
+            theta,
+            n_checks=min(20, theta.size),
+            rng=rng,
+            tolerance=1e-5,
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(n_in=sizes, n_out=st.integers(min_value=2, max_value=5), m=st.integers(min_value=1, max_value=8), seed=seeds)
+    def test_loss_nonnegative_finite(self, n_in, n_out, m, seed):
+        rng = np.random.default_rng(seed)
+        net = DeepNetwork([n_in, n_out], seed=int(seed))
+        x = rng.random((m, n_in))
+        targets = one_hot(rng.integers(0, n_out, m), n_out)
+        loss = net.loss(x, targets)
+        assert np.isfinite(loss) and loss >= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(n_in=sizes, h=sizes, n_out=st.integers(min_value=2, max_value=4), seed=seeds)
+    def test_small_step_never_increases_loss(self, n_in, h, n_out, seed):
+        rng = np.random.default_rng(seed)
+        net = DeepNetwork([n_in, h, n_out], seed=int(seed))
+        x = rng.random((6, n_in))
+        targets = one_hot(rng.integers(0, n_out, 6), n_out)
+        loss0, grads = net.gradients(x, targets)
+        net.apply_update(grads, 1e-4)
+        assert net.loss(x, targets) <= loss0 + 1e-10
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_flat_round_trip_identity(self, seed):
+        net = DeepNetwork([5, 4, 3], seed=int(seed))
+        theta = net.get_flat_parameters()
+        probs_before = net.predict_proba(np.random.default_rng(0).random((4, 5)))
+        net.set_flat_parameters(theta)
+        probs_after = net.predict_proba(np.random.default_rng(0).random((4, 5)))
+        np.testing.assert_array_equal(probs_before, probs_after)

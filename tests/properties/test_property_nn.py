@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the neural-network substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.gradcheck import check_gradients
+from repro.nn.rbm import RBM
+from repro.utils.mathx import kl_bernoulli, sigmoid
+
+dims = st.integers(min_value=1, max_value=9)
+batches = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestSigmoidProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_output_in_unit_interval(self, xs):
+        out = sigmoid(np.array(xs))
+        assert ((out >= 0) & (out <= 1)).all()
+
+    @given(st.floats(min_value=-700, max_value=700))
+    def test_complementarity(self, x):
+        assert sigmoid(np.array([x]))[0] + sigmoid(np.array([-x]))[0] == 1.0 or abs(
+            sigmoid(np.array([x]))[0] + sigmoid(np.array([-x]))[0] - 1.0
+        ) < 1e-12
+
+
+class TestKLProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20),
+    )
+    def test_kl_nonnegative(self, rho, rho_hats):
+        vals = kl_bernoulli(rho, np.array(rho_hats))
+        assert (vals >= -1e-12).all()
+        assert np.isfinite(vals).all()
+
+
+class TestAutoencoderProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(v=dims, h=dims, m=batches, seed=seeds)
+    def test_backprop_gradient_always_correct(self, v, h, m, seed):
+        """Finite-difference agreement over random shapes and data."""
+        rng = np.random.default_rng(seed)
+        cost = SparseAutoencoderCost(
+            weight_decay=1e-3, sparsity_target=0.1, sparsity_weight=0.3
+        )
+        ae = SparseAutoencoder(v, h, cost=cost, seed=int(seed))
+        x = rng.random((m, v))
+        theta = ae.get_flat_parameters()
+        _, grad = ae.flat_loss_and_grad(theta, x)
+        # Spot-check up to 25 coordinates for speed.
+        check_gradients(
+            lambda t: ae.flat_loss_and_grad(t, x)[0],
+            grad,
+            theta,
+            n_checks=min(25, theta.size),
+            rng=rng,
+            tolerance=1e-5,
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(v=dims, h=dims, m=batches, seed=seeds)
+    def test_loss_nonnegative_and_finite(self, v, h, m, seed):
+        ae = SparseAutoencoder(v, h, seed=int(seed))
+        x = np.random.default_rng(seed).random((m, v))
+        loss = ae.loss(x)
+        assert np.isfinite(loss)
+        assert loss >= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(v=dims, h=dims, m=batches, seed=seeds)
+    def test_flat_parameter_round_trip(self, v, h, m, seed):
+        ae = SparseAutoencoder(v, h, seed=int(seed))
+        theta = ae.get_flat_parameters()
+        ae.set_flat_parameters(theta * 1.7)
+        np.testing.assert_allclose(ae.get_flat_parameters(), theta * 1.7)
+
+    @settings(max_examples=15, deadline=None)
+    @given(v=dims, h=dims, seed=seeds)
+    def test_gradient_step_descends_on_average(self, v, h, seed):
+        """A small enough step along −∇J must not increase J."""
+        rng = np.random.default_rng(seed)
+        ae = SparseAutoencoder(v, h, seed=int(seed))
+        x = rng.random((8, v))
+        loss0, g = ae.gradients(x)
+        ae.apply_update(g, learning_rate=1e-4)
+        assert ae.loss(x) <= loss0 + 1e-9
+
+
+class TestRBMProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(v=dims, h=dims, m=batches, seed=seeds)
+    def test_conditionals_are_probabilities(self, v, h, m, seed):
+        rbm = RBM(v, h, seed=int(seed))
+        data = (np.random.default_rng(seed).random((m, v)) < 0.5).astype(float)
+        ph = rbm.hidden_probabilities(data)
+        assert ((ph > 0) & (ph < 1)).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(v=dims, h=dims, m=batches, seed=seeds)
+    def test_cd_statistics_finite_and_shaped(self, v, h, m, seed):
+        rbm = RBM(v, h, seed=int(seed))
+        data = (np.random.default_rng(seed).random((m, v)) < 0.5).astype(float)
+        stats = rbm.contrastive_divergence(data, rng=int(seed))
+        assert stats.grad_w.shape == (h, v)
+        assert np.isfinite(stats.grad_w).all()
+        assert np.isfinite(stats.reconstruction_error)
+        assert stats.reconstruction_error >= 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(v=st.integers(min_value=1, max_value=6), h=st.integers(min_value=1, max_value=5), seed=seeds)
+    def test_free_energy_consistent_with_exact_partition(self, v, h, seed):
+        """p(v) from free energy and exact Z always sums to 1."""
+        rbm = RBM(v, h, seed=int(seed))
+        rng = np.random.default_rng(seed)
+        rbm.w = rng.normal(scale=0.7, size=(h, v))
+        rbm.b = rng.normal(scale=0.7, size=v)
+        rbm.c = rng.normal(scale=0.7, size=h)
+        log_z = rbm.log_partition_exact()
+        all_v = ((np.arange(2**v)[:, None] >> np.arange(v)[None, :]) & 1).astype(float)
+        total = float(np.sum(np.exp(-rbm.free_energy(all_v) - log_z)))
+        assert abs(total - 1.0) < 1e-8

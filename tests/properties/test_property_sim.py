@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for the simulator substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phi.costmodel import CostModel
+from repro.phi.kernels import elementwise, gemm
+from repro.phi.pcie import PCIeModel
+from repro.phi.ring import RingBus
+from repro.phi.spec import XEON_PHI_5110P, phi_with_cores
+from repro.runtime.backend import OptimizationLevel, backend_for_level
+from repro.runtime.offload import OffloadPipeline
+
+gemm_dims = st.integers(min_value=1, max_value=5000)
+levels = st.sampled_from(list(OptimizationLevel))
+
+
+class TestCostModelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(m=gemm_dims, n=gemm_dims, k=gemm_dims, level=levels)
+    def test_gemm_time_positive_and_finite(self, m, n, k, level):
+        model = CostModel(XEON_PHI_5110P, backend_for_level(level))
+        t = model.time(gemm(m, n, k))
+        assert np.isfinite(t.total_s)
+        assert t.total_s > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(m=gemm_dims, n=gemm_dims, k=gemm_dims, level=levels)
+    def test_never_faster_than_machine_peak(self, m, n, k, level):
+        """No kernel may beat the speed of light: flops/total ≤ peak."""
+        model = CostModel(XEON_PHI_5110P, backend_for_level(level))
+        k_obj = gemm(m, n, k)
+        rate = k_obj.flops / model.time(k_obj).total_s
+        assert rate <= XEON_PHI_5110P.peak_flops * (1 + 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(m=gemm_dims, n=gemm_dims, k=gemm_dims)
+    def test_doubling_batch_never_reduces_time(self, m, n, k):
+        model = CostModel(XEON_PHI_5110P, backend_for_level(OptimizationLevel.IMPROVED))
+        t1 = model.time(gemm(m, n, k)).total_s
+        t2 = model.time(gemm(2 * m, n, k)).total_s
+        assert t2 >= t1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10**8),
+        level=levels,
+    )
+    def test_elementwise_time_monotone_in_size(self, n, level):
+        model = CostModel(XEON_PHI_5110P, backend_for_level(level))
+        assert model.time(elementwise(2 * n)).busy_s >= model.time(elementwise(n)).busy_s
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        cores=st.integers(min_value=1, max_value=60),
+        m=st.integers(min_value=64, max_value=4096),
+    )
+    def test_more_cores_never_slower(self, cores, m):
+        k_obj = gemm(m, 512, 512)
+        few = CostModel(phi_with_cores(max(1, cores // 2)), backend_for_level(OptimizationLevel.IMPROVED))
+        many = CostModel(phi_with_cores(cores), backend_for_level(OptimizationLevel.IMPROVED))
+        assert many.time(k_obj).busy_s <= few.time(k_obj).busy_s * (1 + 1e-9)
+
+
+class TestMachineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shapes=st.lists(
+            st.tuples(gemm_dims, gemm_dims, gemm_dims), min_size=1, max_size=6
+        ),
+        level=levels,
+    )
+    def test_stream_time_is_sum_of_kernel_times(self, shapes, level):
+        """Sequential execution must be exactly additive."""
+        from repro.phi.machine import SimulatedMachine
+
+        machine = SimulatedMachine(XEON_PHI_5110P, backend_for_level(level))
+        kernels = [gemm(m, n, k) for (m, n, k) in shapes]
+        elapsed = machine.execute_stream(kernels)
+        expected = sum(machine.cost_model.time(k).total_s for k in kernels)
+        assert elapsed == pytest.approx(expected)
+        assert machine.clock == pytest.approx(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shapes=st.lists(
+            st.tuples(gemm_dims, gemm_dims, gemm_dims), min_size=1, max_size=5
+        ),
+    )
+    def test_wavefront_never_slower_than_serial(self, shapes):
+        """Overlapping a level can only remove sync/overhead, never add."""
+        from repro.phi.machine import SimulatedMachine
+
+        backend = backend_for_level(OptimizationLevel.IMPROVED)
+        kernels = [gemm(m, n, k) for (m, n, k) in shapes]
+        overlapped = SimulatedMachine(XEON_PHI_5110P, backend)
+        t_overlap = overlapped.execute_wavefront(list(kernels))
+        serial = SimulatedMachine(XEON_PHI_5110P, backend)
+        t_serial = serial.execute_stream(kernels)
+        assert t_overlap <= t_serial + 1e-12
+        # Breakdown totals stay consistent with the clock.
+        assert overlapped.breakdown().total_s == pytest.approx(overlapped.clock)
+
+
+class TestRingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=120),
+        i=st.integers(min_value=0, max_value=119),
+        j=st.integers(min_value=0, max_value=119),
+    )
+    def test_triangle_inequality_and_bounds(self, n, i, j):
+        ring = RingBus(n_stops=n, hop_latency_s=1e-9)
+        i, j = i % n, j % n
+        d = ring.hops(i, j)
+        assert 0 <= d <= n // 2
+        assert d == ring.hops(j, i)
+
+
+class TestOffloadProperties:
+    seconds = st.floats(min_value=0.1, max_value=100.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        chunks=st.lists(seconds, min_size=1, max_size=8),
+        computes=st.lists(seconds, min_size=8, max_size=8),
+        n_buffers=st.integers(min_value=1, max_value=4),
+    )
+    def test_event_sim_always_matches_analytic(self, chunks, computes, n_buffers):
+        """The two Fig. 5 implementations agree for arbitrary inputs."""
+        computes = computes[: len(chunks)]
+        pcie = PCIeModel(bandwidth=1.0, latency_s=0.0)
+        pipe = OffloadPipeline(pcie, n_buffers=n_buffers)
+        a = pipe.run_analytic(chunks, computes)
+        e = pipe.run_event_driven(chunks, computes)
+        assert e.total_s == pytest.approx(a.total_s)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        chunks=st.lists(seconds, min_size=1, max_size=8),
+        computes=st.lists(seconds, min_size=8, max_size=8),
+    )
+    def test_overlap_bounded_by_serial_and_critical_path(self, chunks, computes):
+        """total ∈ [max(Σtransfer, Σcompute) rough lower bound, serial sum]."""
+        computes = computes[: len(chunks)]
+        pcie = PCIeModel(bandwidth=1.0, latency_s=0.0)
+        overlapped = OffloadPipeline(pcie, n_buffers=2).run_analytic(chunks, computes)
+        serial = OffloadPipeline(pcie, double_buffering=False).run_analytic(
+            chunks, computes
+        )
+        assert overlapped.total_s <= serial.total_s + 1e-9
+        lower = max(sum(chunks), sum(computes))
+        assert overlapped.total_s >= lower - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        chunks=st.lists(seconds, min_size=2, max_size=6),
+        computes=st.lists(seconds, min_size=6, max_size=6),
+    )
+    def test_chunk_timeline_is_causally_ordered(self, chunks, computes):
+        computes = computes[: len(chunks)]
+        pcie = PCIeModel(bandwidth=1.0, latency_s=0.0)
+        tl = OffloadPipeline(pcie, n_buffers=2).run_analytic(chunks, computes)
+        for ev in tl.chunks:
+            assert ev.transfer_start <= ev.transfer_end <= ev.compute_start <= ev.compute_end
+        for prev, cur in zip(tl.chunks, tl.chunks[1:]):
+            assert cur.transfer_start >= prev.transfer_end - 1e-9  # one link
+            assert cur.compute_start >= prev.compute_end - 1e-9  # one trainer

@@ -1,0 +1,102 @@
+"""Tests for repro.runtime.backend — the Table I optimization ladder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.spec import XEON_E5620, XEON_PHI_5110P
+from repro.runtime.backend import (
+    ExecutionBackend,
+    OptimizationLevel,
+    backend_for_level,
+    matlab_backend,
+    optimized_cpu_backend,
+)
+
+
+class TestOptimizationLevel:
+    def test_cumulative_order(self):
+        ranks = [lvl.rank for lvl in OptimizationLevel]
+        assert ranks == [0, 1, 2, 3]
+
+    def test_values(self):
+        assert OptimizationLevel.BASELINE.value == "baseline"
+        assert OptimizationLevel.IMPROVED.value == "improved_openmp_mkl"
+
+
+class TestLevelBackends:
+    def test_baseline_is_sequential_scalar(self):
+        b = backend_for_level(OptimizationLevel.BASELINE)
+        assert not b.use_simd and not b.use_mkl and not b.use_all_threads
+        assert b.threads_for(XEON_PHI_5110P) == 1
+
+    def test_openmp_adds_threads_only(self):
+        b = backend_for_level(OptimizationLevel.OPENMP)
+        assert b.use_all_threads and not b.use_mkl and not b.use_simd
+        assert b.threads_for(XEON_PHI_5110P) == 240
+
+    def test_mkl_adds_blas_and_simd(self):
+        b = backend_for_level(OptimizationLevel.OPENMP_MKL)
+        assert b.use_mkl and b.use_simd
+        assert not b.fused_elementwise
+
+    def test_improved_adds_fusion_and_overlap(self):
+        b = backend_for_level(OptimizationLevel.IMPROVED)
+        assert b.fused_elementwise and b.overlap_independent
+        assert b.unfused_region_count == 1
+
+    def test_cumulative_features_never_regress(self):
+        """Each step keeps every feature the previous step had."""
+        features = ["use_all_threads", "use_simd", "use_mkl", "fused_elementwise"]
+        prev = backend_for_level(OptimizationLevel.BASELINE)
+        for level in list(OptimizationLevel)[1:]:
+            cur = backend_for_level(level)
+            for f in features:
+                assert getattr(cur, f) >= getattr(prev, f), (level, f)
+            prev = cur
+
+    def test_rejects_non_level(self):
+        with pytest.raises(ConfigurationError):
+            backend_for_level("improved")
+
+
+class TestReferenceBackends:
+    def test_optimized_cpu_single_thread(self):
+        b = optimized_cpu_backend(1)
+        assert b.threads_for(XEON_E5620) == 1
+
+    def test_optimized_cpu_whole_chip(self):
+        b = optimized_cpu_backend()
+        assert b.threads_for(XEON_E5620) == XEON_E5620.max_threads
+
+    def test_matlab_profile(self):
+        b = matlab_backend()
+        assert b.use_mkl  # Matlab's BLAS is real
+        assert b.temp_traffic_factor > 1  # interpreter temporaries
+        assert b.per_op_overhead_s > 0
+        assert not b.fused_elementwise
+
+
+class TestThreadControl:
+    def test_with_threads(self):
+        b = backend_for_level(OptimizationLevel.IMPROVED).with_threads(8)
+        assert b.threads_for(XEON_PHI_5110P) == 8
+
+    def test_threads_capped_by_hardware(self):
+        b = backend_for_level(OptimizationLevel.IMPROVED).with_threads(10_000)
+        assert b.threads_for(XEON_PHI_5110P) == 240
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            backend_for_level(OptimizationLevel.IMPROVED).with_threads(0)
+        with pytest.raises(ConfigurationError):
+            ExecutionBackend(
+                name="bad", level=None, use_simd=True, use_mkl=True,
+                use_all_threads=True, fused_elementwise=True,
+                overlap_independent=False, gemm_eff_max=1.5,
+            )
+        with pytest.raises(ConfigurationError):
+            ExecutionBackend(
+                name="bad", level=None, use_simd=True, use_mkl=True,
+                use_all_threads=True, fused_elementwise=True,
+                overlap_independent=False, temp_traffic_factor=0.5,
+            )

@@ -1,0 +1,99 @@
+"""Tests for repro.runtime.blas — GEMM efficiency curves."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.spec import XEON_E5620_SINGLE_CORE, XEON_PHI_5110P
+from repro.runtime.backend import (
+    OptimizationLevel,
+    backend_for_level,
+    optimized_cpu_backend,
+)
+from repro.runtime.blas import (
+    gemm_time_components,
+    mkl_gemm_efficiency,
+    naive_gemm_traffic,
+)
+
+IMPROVED = backend_for_level(OptimizationLevel.IMPROVED)
+BASELINE = backend_for_level(OptimizationLevel.BASELINE)
+
+
+class TestMklEfficiency:
+    def test_bounded_by_eff_max(self):
+        eff = mkl_gemm_efficiency(XEON_PHI_5110P, IMPROVED, 10**6, 10**6, 10**6)
+        assert eff <= IMPROVED.gemm_eff_max
+        assert eff > 0.9 * IMPROVED.gemm_eff_max
+
+    def test_monotone_in_every_dimension(self):
+        base = mkl_gemm_efficiency(XEON_PHI_5110P, IMPROVED, 1000, 512, 512)
+        assert mkl_gemm_efficiency(XEON_PHI_5110P, IMPROVED, 2000, 512, 512) > base
+        assert mkl_gemm_efficiency(XEON_PHI_5110P, IMPROVED, 1000, 1024, 512) > base
+        assert mkl_gemm_efficiency(XEON_PHI_5110P, IMPROVED, 1000, 512, 1024) > base
+
+    def test_floor_for_degenerate_shapes(self):
+        eff = mkl_gemm_efficiency(XEON_PHI_5110P, IMPROVED, 1, 1, 1)
+        assert eff >= 1e-2 * IMPROVED.gemm_eff_max
+
+    def test_single_core_cpu_efficient_at_small_m(self):
+        """Why the CPU reference barely cares about batch size (Fig. 9)."""
+        cpu = optimized_cpu_backend(1)
+        small = mkl_gemm_efficiency(XEON_E5620_SINGLE_CORE, cpu, 200, 1024, 1024)
+        large = mkl_gemm_efficiency(XEON_E5620_SINGLE_CORE, cpu, 10_000, 1024, 1024)
+        assert small > 0.65 * large
+
+    def test_phi_inefficient_at_small_m(self):
+        """Why the Phi needs big batches (Fig. 9): 240 threads starve."""
+        small = mkl_gemm_efficiency(XEON_PHI_5110P, IMPROVED, 200, 1024, 1024)
+        large = mkl_gemm_efficiency(XEON_PHI_5110P, IMPROVED, 10_000, 1024, 1024)
+        assert small < 0.4 * large
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            mkl_gemm_efficiency(XEON_PHI_5110P, IMPROVED, 0, 10, 10)
+
+
+class TestNaiveTraffic:
+    def test_at_least_operand_traffic(self):
+        m, n, k = 500, 400, 300
+        traffic = naive_gemm_traffic(m, n, k, 512 * 1024)
+        minimal = 8 * (m * k + k * n + 2 * m * n)
+        assert traffic >= 0.9 * minimal
+
+    def test_small_b_fully_cached(self):
+        """When B fits L2, the naive loop streams it once, not m times."""
+        big_cache = naive_gemm_traffic(1000, 32, 32, 10**7)
+        tiny_cache = naive_gemm_traffic(1000, 32, 32, 1024)
+        assert big_cache < tiny_cache
+
+    def test_traffic_grows_with_m(self):
+        assert naive_gemm_traffic(2000, 512, 512, 512 * 1024) > naive_gemm_traffic(
+            1000, 512, 512, 512 * 1024
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            naive_gemm_traffic(10, 10, 0, 1024)
+        with pytest.raises(ConfigurationError):
+            naive_gemm_traffic(10, 10, 10, 0)
+
+
+class TestGemmTimeComponents:
+    def test_mkl_path_much_faster(self):
+        c_mkl, m_mkl = gemm_time_components(XEON_PHI_5110P, IMPROVED, 2000, 1024, 1024)
+        c_naive, m_naive = gemm_time_components(XEON_PHI_5110P, BASELINE, 2000, 1024, 1024)
+        assert max(c_naive, m_naive) / max(c_mkl, m_mkl) > 100
+
+    def test_components_nonnegative(self):
+        c, m = gemm_time_components(XEON_PHI_5110P, IMPROVED, 64, 64, 64)
+        assert c > 0 and m > 0
+
+    def test_naive_single_thread_is_compute_bound(self):
+        """The Table I baseline's defining property: one scalar thread
+        cannot outrun even its own cache-starved memory stream."""
+        c, m = gemm_time_components(XEON_PHI_5110P, BASELINE, 10_000, 512, 1024)
+        assert c > m
+
+    def test_mkl_large_gemm_is_compute_bound(self):
+        c, m = gemm_time_components(XEON_PHI_5110P, IMPROVED, 10_000, 4096, 1024)
+        assert c > m

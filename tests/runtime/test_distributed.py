@@ -1,0 +1,126 @@
+"""Tests for repro.runtime.distributed — data-parallel scaling model."""
+
+import pytest
+
+from repro.core.ae_trainer import SparseAutoencoderTrainer
+from repro.core.config import TrainingConfig
+from repro.errors import ConfigurationError
+from repro.phi.pcie import PCIeModel
+from repro.phi.spec import XEON_E5620, XEON_PHI_5110P
+from repro.runtime.backend import optimized_cpu_backend
+from repro.runtime.distributed import scaling_rows, simulate_data_parallel
+
+
+def big_config(**overrides):
+    base = dict(
+        n_visible=1024, n_hidden=4096, n_examples=100_000, batch_size=10_000,
+        machine=XEON_PHI_5110P,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestStrongScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return simulate_data_parallel(
+            big_config(), SparseAutoencoderTrainer, device_counts=(1, 2, 4, 8)
+        )
+
+    def test_baseline_has_no_sync(self, points):
+        assert points[0].n_devices == 1
+        assert points[0].sync_per_update_s == 0.0
+        assert points[0].speedup == 1.0
+
+    def test_speedup_bounded_by_devices(self, points):
+        for p in points:
+            assert p.speedup <= p.n_devices + 1e-9
+
+    def test_efficiency_decreases(self, points):
+        effs = [p.efficiency for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
+
+    def test_sync_fraction_grows(self, points):
+        fracs = [p.sync_fraction for p in points[1:]]
+        assert all(a <= b + 1e-9 for a, b in zip(fracs, fracs[1:]))
+
+    def test_big_batches_scale_usefully(self, points):
+        assert points[1].speedup > 1.3  # 2 devices clearly help at batch 10k
+
+    def test_per_device_batch_divides(self, points):
+        assert [p.per_device_batch for p in points] == [10_000, 5000, 2500, 1250]
+
+
+class TestScalingLimits:
+    def test_small_batches_scale_poorly(self):
+        """Strong-scaling a batch-256 workload across 8 Phis starves each
+        card — efficiency collapses relative to the batch-10000 case."""
+        small = simulate_data_parallel(
+            big_config(batch_size=256, n_examples=10_240),
+            SparseAutoencoderTrainer,
+            device_counts=(1, 8),
+        )
+        large = simulate_data_parallel(
+            big_config(), SparseAutoencoderTrainer, device_counts=(1, 8)
+        )
+        assert small[1].efficiency < large[1].efficiency
+
+    def test_weak_scaling_keeps_per_device_batch(self):
+        points = simulate_data_parallel(
+            big_config(), SparseAutoencoderTrainer, device_counts=(1, 4),
+            scaling="weak",
+        )
+        assert points[1].per_device_batch == 10_000
+        # Weak scaling's per-update compute stays flat; only sync grows.
+        assert points[1].compute_per_update_s == pytest.approx(
+            points[0].compute_per_update_s
+        )
+        assert points[1].sync_per_update_s > 0
+
+    def test_slower_interconnect_hurts(self):
+        fast = simulate_data_parallel(
+            big_config(), SparseAutoencoderTrainer, device_counts=(1, 8)
+        )
+        slow = simulate_data_parallel(
+            big_config(),
+            SparseAutoencoderTrainer,
+            device_counts=(1, 8),
+            host_link=PCIeModel(bandwidth=1e8),  # 100 MB/s toy link
+        )
+        assert slow[1].speedup < fast[1].speedup
+
+    def test_bigger_models_pay_more_sync(self):
+        small_model = simulate_data_parallel(
+            big_config(n_hidden=512), SparseAutoencoderTrainer, device_counts=(1, 4)
+        )
+        big_model = simulate_data_parallel(
+            big_config(n_hidden=8192), SparseAutoencoderTrainer, device_counts=(1, 4)
+        )
+        assert big_model[1].sync_per_update_s > small_model[1].sync_per_update_s
+
+
+class TestValidationAndRows:
+    def test_rejects_host_machines(self):
+        cfg = big_config(machine=XEON_E5620, backend=optimized_cpu_backend())
+        with pytest.raises(ConfigurationError):
+            simulate_data_parallel(cfg, SparseAutoencoderTrainer)
+
+    def test_rejects_bad_scaling_mode(self):
+        with pytest.raises(ConfigurationError):
+            simulate_data_parallel(
+                big_config(), SparseAutoencoderTrainer, scaling="superlinear"
+            )
+
+    def test_rejects_zero_devices(self):
+        with pytest.raises(ConfigurationError):
+            simulate_data_parallel(
+                big_config(), SparseAutoencoderTrainer, device_counts=(0,)
+            )
+
+    def test_rows(self):
+        points = simulate_data_parallel(
+            big_config(), SparseAutoencoderTrainer, device_counts=(1, 2)
+        )
+        rows = scaling_rows(points)
+        assert len(rows) == 2
+        assert {"devices", "sync_ms", "speedup", "efficiency"} <= set(rows[0])

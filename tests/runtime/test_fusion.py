@@ -1,0 +1,84 @@
+"""Tests for repro.runtime.fusion — the loop-fusion pass."""
+
+import pytest
+
+from repro.phi.kernels import KernelKind, elementwise, gemm, reduction, sample
+from repro.runtime.fusion import fuse_elementwise, fusion_savings
+
+
+class TestFusePairs:
+    def test_adjacent_same_extent_fuse(self):
+        a = elementwise(100, flops_per_element=2, name="add")
+        b = elementwise(100, flops_per_element=5, name="sigmoid")
+        fused = fuse_elementwise([a, b])
+        assert len(fused) == 1
+        assert fused[0].fused_ops == 2
+        assert fused[0].name == "add+sigmoid"
+
+    def test_flops_preserved_exactly(self):
+        kernels = [elementwise(50, flops_per_element=i + 1) for i in range(4)]
+        fused = fuse_elementwise(kernels)
+        assert sum(k.flops for k in fused) == sum(k.flops for k in kernels)
+
+    def test_intermediate_traffic_removed(self):
+        a = elementwise(1000, reads_per_element=1, writes_per_element=1)
+        b = elementwise(1000, reads_per_element=1, writes_per_element=1)
+        fused = fuse_elementwise([a, b])[0]
+        # a's write and b's read of the intermediate both disappear.
+        assert fused.bytes_read == a.bytes_read
+        assert fused.bytes_written == b.bytes_written
+
+    def test_multi_input_second_op_keeps_extra_reads(self):
+        a = elementwise(1000, reads_per_element=1, writes_per_element=1)
+        b = elementwise(1000, reads_per_element=3, writes_per_element=1)
+        fused = fuse_elementwise([a, b])[0]
+        # b read 3 arrays; one was the intermediate, two survive.
+        assert fused.bytes_read == a.bytes_read + 2 * 1000 * 8
+
+    def test_sample_fuses_and_wins_kind(self):
+        chain = [elementwise(64, name="sig"), sample(64)]
+        fused = fuse_elementwise(chain)
+        assert len(fused) == 1
+        assert fused[0].kind is KernelKind.SAMPLE
+
+
+class TestFences:
+    def test_different_extents_do_not_fuse(self):
+        out = fuse_elementwise([elementwise(100), elementwise(200)])
+        assert len(out) == 2
+
+    def test_gemm_is_a_fence(self):
+        out = fuse_elementwise(
+            [elementwise(100), gemm(10, 10, 10), elementwise(100)]
+        )
+        assert len(out) == 3
+
+    def test_reduction_is_a_fence(self):
+        out = fuse_elementwise([elementwise(100), reduction(100), elementwise(100)])
+        assert len(out) == 3
+
+    def test_order_never_changes(self):
+        kernels = [elementwise(10, name="a"), gemm(2, 2, 2, name="g"), elementwise(10, name="b")]
+        names = [k.name for k in fuse_elementwise(kernels)]
+        assert names == ["a", "g", "b"]
+
+    def test_empty_stream(self):
+        assert fuse_elementwise([]) == []
+
+
+class TestChains:
+    def test_long_chain_collapses_to_one(self):
+        chain = [elementwise(32, name=f"op{i}") for i in range(6)]
+        fused = fuse_elementwise(chain)
+        assert len(fused) == 1
+        assert fused[0].fused_ops == 6
+
+    def test_fusion_savings_reporting(self):
+        chain = [elementwise(1000) for _ in range(3)]
+        regions_removed, bytes_removed = fusion_savings(chain)
+        assert regions_removed == 2
+        assert bytes_removed == pytest.approx(2 * 2 * 1000 * 8)  # 2 boundaries × (write+read)
+
+    def test_savings_zero_for_unfusable(self):
+        regions, saved = fusion_savings([gemm(4, 4, 4), reduction(10)])
+        assert regions == 0 and saved == 0

@@ -1,0 +1,120 @@
+"""Tests for repro.runtime.offload — the Fig. 5 double-buffered pipeline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.pcie import PCIeModel
+from repro.runtime.offload import OffloadPipeline
+
+
+@pytest.fixture
+def pcie():
+    # 1 byte/s, zero latency: chunk_bytes are literally transfer seconds.
+    return PCIeModel(bandwidth=1.0, latency_s=0.0)
+
+
+class TestAnalyticPipeline:
+    def test_serial_is_sum_of_everything(self, pcie):
+        p = OffloadPipeline(pcie, double_buffering=False)
+        tl = p.run_analytic([10.0, 10.0, 10.0], [5.0, 5.0, 5.0])
+        assert tl.total_s == pytest.approx(45.0)
+
+    def test_double_buffering_hides_transfers_when_compute_dominates(self, pcie):
+        p = OffloadPipeline(pcie, n_buffers=2)
+        tl = p.run_analytic([5.0] * 4, [20.0] * 4)
+        # First transfer exposed, the rest hidden: 5 + 4*20.
+        assert tl.total_s == pytest.approx(85.0)
+        assert tl.exposed_transfer_s == pytest.approx(5.0)
+
+    def test_transfer_bound_pipeline(self, pcie):
+        p = OffloadPipeline(pcie, n_buffers=2)
+        tl = p.run_analytic([20.0] * 4, [5.0] * 4)
+        # The link is the bottleneck: 4 transfers + final compute.
+        assert tl.total_s == pytest.approx(85.0)
+
+    def test_perfect_balance(self, pcie):
+        p = OffloadPipeline(pcie, n_buffers=2)
+        tl = p.run_analytic([10.0] * 3, [10.0] * 3)
+        assert tl.total_s == pytest.approx(40.0)
+
+    def test_single_chunk_cannot_overlap(self, pcie):
+        p = OffloadPipeline(pcie, n_buffers=2)
+        tl = p.run_analytic([10.0], [5.0])
+        assert tl.total_s == pytest.approx(15.0)
+
+    def test_more_buffers_never_hurt(self, pcie):
+        chunk = [7.0, 13.0, 4.0, 9.0, 11.0]
+        compute = [10.0, 3.0, 12.0, 8.0, 6.0]
+        totals = [
+            OffloadPipeline(pcie, n_buffers=n).run_analytic(chunk, compute).total_s
+            for n in (1, 2, 3, 5)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(totals, totals[1:]))
+
+    def test_buffer_slot_backpressure(self, pcie):
+        """With 2 buffers the loader must wait for slot i−2 to be consumed:
+        transfers cannot run arbitrarily far ahead."""
+        p = OffloadPipeline(pcie, n_buffers=2)
+        tl = p.run_analytic([1.0] * 4, [10.0] * 4)
+        third_transfer = tl.chunks[2]
+        first_compute_end = tl.chunks[0].compute_end
+        assert third_transfer.transfer_start >= first_compute_end - 1e-12
+
+    def test_unoverlapped_fraction(self, pcie):
+        p = OffloadPipeline(pcie, n_buffers=2)
+        tl = p.run_analytic([13.0] * 5, [68.0] * 5)
+        assert tl.transfer_fraction_unoverlapped == pytest.approx(13 / 81)
+
+    def test_trainer_idle_accounting(self, pcie):
+        p = OffloadPipeline(pcie, n_buffers=2)
+        tl = p.run_analytic([5.0] * 3, [20.0] * 3)
+        # Idle only before the first chunk.
+        assert tl.trainer_idle_s == pytest.approx(5.0)
+
+
+class TestEventDrivenCrossCheck:
+    @pytest.mark.parametrize(
+        "chunks,compute,n_buffers",
+        [
+            ([10.0] * 4, [5.0] * 4, 2),
+            ([5.0] * 4, [20.0] * 4, 2),
+            ([7.0, 13.0, 4.0, 9.0], [10.0, 3.0, 12.0, 8.0], 2),
+            ([7.0, 13.0, 4.0, 9.0], [10.0, 3.0, 12.0, 8.0], 3),
+            ([10.0], [5.0], 2),
+            ([3.0, 3.0, 3.0], [3.0, 3.0, 3.0], 1),
+        ],
+    )
+    def test_event_sim_matches_analytic(self, pcie, chunks, compute, n_buffers):
+        """Two independent implementations of Fig. 5 must agree exactly."""
+        p = OffloadPipeline(pcie, n_buffers=n_buffers)
+        analytic = p.run_analytic(chunks, compute)
+        events = p.run_event_driven(chunks, compute)
+        assert events.total_s == pytest.approx(analytic.total_s)
+        for a, e in zip(analytic.chunks, events.chunks):
+            assert e.transfer_start == pytest.approx(a.transfer_start)
+            assert e.compute_end == pytest.approx(a.compute_end)
+
+    def test_serial_mode_agrees_too(self, pcie):
+        p = OffloadPipeline(pcie, double_buffering=False)
+        chunks, compute = [4.0, 6.0, 2.0], [3.0, 1.0, 5.0]
+        assert p.run_event_driven(chunks, compute).total_s == pytest.approx(
+            p.run_analytic(chunks, compute).total_s
+        )
+
+
+class TestValidation:
+    def test_mismatched_lengths(self, pcie):
+        with pytest.raises(ConfigurationError):
+            OffloadPipeline(pcie).run_analytic([1.0], [1.0, 2.0])
+
+    def test_empty_pipeline(self, pcie):
+        with pytest.raises(ConfigurationError):
+            OffloadPipeline(pcie).run_analytic([], [])
+
+    def test_nonpositive_chunk(self, pcie):
+        with pytest.raises(ConfigurationError):
+            OffloadPipeline(pcie).run_analytic([0.0], [1.0])
+
+    def test_bad_buffer_count(self, pcie):
+        with pytest.raises(ConfigurationError):
+            OffloadPipeline(pcie, n_buffers=0)

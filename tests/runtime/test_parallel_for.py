@@ -1,0 +1,102 @@
+"""Tests for repro.runtime.parallel_for — the OpenMP loop model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phi.spec import XEON_E5620, XEON_PHI_5110P
+from repro.runtime.parallel_for import (
+    fused_loop_advantage,
+    simulate_parallel_for,
+)
+
+
+class TestStaticSchedule:
+    def test_single_thread_is_serial(self):
+        t = simulate_parallel_for(100, 1e-3, XEON_PHI_5110P, n_threads=1)
+        assert t.total_s == pytest.approx(0.1)
+        assert t.sync_s == 0.0
+        assert t.speedup == pytest.approx(1.0)
+
+    def test_big_loop_speeds_up_well(self):
+        t = simulate_parallel_for(1_000_000, 1e-6, XEON_PHI_5110P, n_threads=240)
+        assert t.speedup > 100
+
+    def test_tiny_loop_dominated_by_sync(self):
+        """The paper's granularity lesson: small bodies gain nothing."""
+        t = simulate_parallel_for(240, 1e-8, XEON_PHI_5110P, n_threads=240)
+        assert t.sync_s > t.body_s
+        assert t.speedup < 1.0  # slower than serial!
+
+    def test_speedup_bounded_by_threads(self):
+        t = simulate_parallel_for(10_000, 1e-5, XEON_PHI_5110P, n_threads=16)
+        assert t.speedup <= 16.0 + 1e-9
+
+    def test_uneven_division_rounds_up(self):
+        # 10 iterations on 4 threads: max chunk is 3.
+        t = simulate_parallel_for(10, 1.0, XEON_E5620, n_threads=4)
+        assert t.body_s == pytest.approx(3.0)
+
+    def test_threads_capped_by_hardware(self):
+        t = simulate_parallel_for(1000, 1e-6, XEON_E5620, n_threads=10_000)
+        # E5620 has 8 hardware threads: chunk is ceil(1000/8).
+        assert t.body_s == pytest.approx(125e-6)
+
+
+class TestDynamicSchedule:
+    def test_dynamic_balances_but_pays_dispatch(self):
+        static = simulate_parallel_for(
+            10_000, 1e-6, XEON_PHI_5110P, n_threads=240, schedule="static"
+        )
+        dynamic = simulate_parallel_for(
+            10_000, 1e-6, XEON_PHI_5110P, n_threads=240, schedule="dynamic", chunk_size=1
+        )
+        assert dynamic.total_s > 0
+        # Per-iteration dispatch makes fine-grained dynamic slower here.
+        assert dynamic.total_s > static.total_s
+
+    def test_bigger_chunks_cut_dispatch(self):
+        fine = simulate_parallel_for(
+            100_000, 1e-7, XEON_PHI_5110P, schedule="dynamic", chunk_size=1
+        )
+        coarse = simulate_parallel_for(
+            100_000, 1e-7, XEON_PHI_5110P, schedule="dynamic", chunk_size=1000
+        )
+        assert coarse.total_s < fine.total_s
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_parallel_for(10, 1e-6, XEON_PHI_5110P, schedule="runtime")
+
+
+class TestValidation:
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ConfigurationError):
+            simulate_parallel_for(0, 1e-6, XEON_PHI_5110P)
+
+    def test_rejects_negative_body(self):
+        with pytest.raises(ConfigurationError):
+            simulate_parallel_for(10, -1.0, XEON_PHI_5110P)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigurationError):
+            simulate_parallel_for(10, 1e-6, XEON_PHI_5110P, n_threads=0)
+
+
+class TestFusedLoopAdvantage:
+    def test_fusion_saves_barriers(self):
+        """Fusing k loops saves (k-1) barriers — §IV.B.2's 'combine several
+        loops together'."""
+        saved = fused_loop_advantage(5, 1000, 1e-7, XEON_PHI_5110P, n_threads=240)
+        expected = 4 * XEON_PHI_5110P.barrier_cost(240)
+        assert saved == pytest.approx(expected)
+
+    def test_single_loop_saves_nothing(self):
+        assert fused_loop_advantage(1, 1000, 1e-7, XEON_PHI_5110P) == pytest.approx(0.0)
+
+    def test_rejects_zero_loops(self):
+        with pytest.raises(ConfigurationError):
+            fused_loop_advantage(0, 10, 1e-6, XEON_PHI_5110P)
+
+    def test_efficiency_metric(self):
+        t = simulate_parallel_for(10_000, 1e-5, XEON_PHI_5110P, n_threads=32)
+        assert 0.0 < t.efficiency <= 1.0

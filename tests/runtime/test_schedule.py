@@ -1,0 +1,112 @@
+"""Tests for repro.runtime.schedule — list scheduling of task graphs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.schedule import Schedule, list_schedule, makespan_lower_bound
+from repro.runtime.taskgraph import TaskGraph, rbm_cd1_taskgraph
+
+
+def diamond():
+    g = TaskGraph()
+    g.add("src")
+    g.add("left", deps=["src"])
+    g.add("right", deps=["src"])
+    g.add("sink", deps=["left", "right"])
+    return g
+
+
+UNIT = lambda node: 1.0
+
+
+class TestListScheduleBasics:
+    def test_single_worker_serialises(self):
+        sched = list_schedule(diamond(), UNIT, n_workers=1)
+        assert sched.makespan == pytest.approx(4.0)
+        assert all(t.worker == 0 for t in sched.tasks)
+
+    def test_two_workers_exploit_diamond(self):
+        sched = list_schedule(diamond(), UNIT, n_workers=2)
+        assert sched.makespan == pytest.approx(3.0)  # src, {left,right}, sink
+
+    def test_extra_workers_cannot_beat_critical_path(self):
+        sched = list_schedule(diamond(), UNIT, n_workers=16)
+        assert sched.makespan == pytest.approx(3.0)
+
+    def test_dependencies_respected(self):
+        sched = list_schedule(diamond(), UNIT, n_workers=4)
+        by_name = sched.by_name()
+        assert by_name["left"].start >= by_name["src"].end
+        assert by_name["sink"].start >= max(
+            by_name["left"].end, by_name["right"].end
+        )
+
+    def test_no_worker_overlap(self):
+        g = TaskGraph()
+        for i in range(8):
+            g.add(f"t{i}")
+        sched = list_schedule(g, UNIT, n_workers=3)
+        for w in range(3):
+            intervals = sorted(
+                (t.start, t.end) for t in sched.tasks if t.worker == w
+            )
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-12
+
+    def test_priority_prefers_long_chains(self):
+        # One long chain + many independent singletons on one worker:
+        # starting the chain first is necessary for the optimal makespan.
+        g = TaskGraph()
+        g.add("c1")
+        g.add("c2", deps=["c1"])
+        g.add("c3", deps=["c2"])
+        for i in range(3):
+            g.add(f"x{i}")
+        sched = list_schedule(g, UNIT, n_workers=2)
+        assert sched.by_name()["c1"].start == 0.0
+        assert sched.makespan == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            list_schedule(diamond(), UNIT, n_workers=0)
+
+
+class TestBounds:
+    def test_lower_bound_pair(self):
+        g = diamond()
+        assert makespan_lower_bound(g, UNIT, 1) == pytest.approx(4.0)
+        assert makespan_lower_bound(g, UNIT, 2) == pytest.approx(3.0)
+        assert makespan_lower_bound(g, UNIT, 100) == pytest.approx(3.0)
+
+    def test_schedule_within_graham_bound(self):
+        """List scheduling is a (2 − 1/p)-approximation."""
+        g = rbm_cd1_taskgraph()
+        costs = {name: float(i + 1) for i, name in enumerate(g.names)}
+        cost = lambda node: costs[node.name]
+        for p in (1, 2, 3, 4):
+            sched = list_schedule(g, cost, p)
+            lb = makespan_lower_bound(g, cost, p)
+            assert lb <= sched.makespan <= (2 - 1 / p) * lb + 1e-9
+
+
+class TestFig6Schedule:
+    def test_two_workers_suffice_for_cd1(self):
+        """Fig. 6's widest level has 3 independent nodes but the heavy
+        ones pair up; 2 workers already capture most of the benefit."""
+        g = rbm_cd1_taskgraph()
+        serial = list_schedule(g, UNIT, 1).makespan
+        two = list_schedule(g, UNIT, 2).makespan
+        four = list_schedule(g, UNIT, 4).makespan
+        assert two < serial
+        assert four <= two
+        assert four >= g.critical_path_cost(UNIT)
+
+    def test_utilisation_metric(self):
+        sched = list_schedule(diamond(), UNIT, 2)
+        assert 0.0 < sched.utilisation <= 1.0
+        assert sched.utilisation == pytest.approx(4.0 / (3.0 * 2))
+
+    def test_empty_graph(self):
+        sched = list_schedule(TaskGraph(), UNIT, 2)
+        assert sched.makespan == 0.0
+        assert sched.utilisation == 0.0

@@ -1,0 +1,124 @@
+"""Tests for repro.utils.mathx — numerically stable elementwise math."""
+
+import numpy as np
+import pytest
+
+from repro.utils.mathx import (
+    kl_bernoulli,
+    kl_bernoulli_grad,
+    log_sum_exp,
+    logistic_log1pexp,
+    sigmoid,
+    sigmoid_grad,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_matches_naive_in_safe_range(self):
+        x = np.linspace(-30, 30, 301)
+        naive = 1.0 / (1.0 + np.exp(-x))
+        np.testing.assert_allclose(sigmoid(x), naive, rtol=1e-12)
+
+    def test_extreme_positive_saturates_without_overflow(self):
+        out = sigmoid(np.array([1e4]))
+        assert out[0] == pytest.approx(1.0)
+        assert np.isfinite(out).all()
+
+    def test_extreme_negative_saturates_without_overflow(self):
+        with np.errstate(over="raise"):
+            out = sigmoid(np.array([-1e4]))
+        assert out[0] == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        x = np.linspace(-20, 20, 101)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-14)
+
+    def test_monotone(self):
+        x = np.linspace(-50, 50, 500)
+        assert (np.diff(sigmoid(x)) >= 0).all()
+
+    def test_preserves_shape(self):
+        x = np.zeros((3, 4, 5))
+        assert sigmoid(x).shape == (3, 4, 5)
+
+
+class TestSigmoidGrad:
+    def test_matches_finite_difference(self):
+        x = np.linspace(-4, 4, 41)
+        eps = 1e-6
+        numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(sigmoid_grad(sigmoid(x)), numeric, atol=1e-9)
+
+    def test_max_at_half(self):
+        assert sigmoid_grad(np.array([0.5]))[0] == pytest.approx(0.25)
+
+    def test_zero_at_saturation(self):
+        assert sigmoid_grad(np.array([0.0, 1.0])) == pytest.approx([0.0, 0.0])
+
+
+class TestLogisticLog1pexp:
+    def test_matches_naive_in_safe_range(self):
+        x = np.linspace(-30, 30, 301)
+        np.testing.assert_allclose(logistic_log1pexp(x), np.log1p(np.exp(x)), rtol=1e-12)
+
+    def test_large_positive_is_linear(self):
+        assert logistic_log1pexp(np.array([1e3]))[0] == pytest.approx(1e3)
+
+    def test_large_negative_is_zero(self):
+        assert logistic_log1pexp(np.array([-1e3]))[0] == pytest.approx(0.0, abs=1e-300)
+
+    def test_no_overflow_warnings(self):
+        with np.errstate(over="raise"):
+            logistic_log1pexp(np.array([-1e308, 1e308]))
+
+
+class TestKLBernoulli:
+    def test_zero_at_target(self):
+        assert kl_bernoulli(0.3, np.array([0.3]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_away_from_target(self):
+        vals = kl_bernoulli(0.05, np.array([0.01, 0.2, 0.9]))
+        assert (vals > 0).all()
+
+    def test_known_value(self):
+        # KL(0.5||0.25) = 0.5 ln 2 + 0.5 ln(2/3)
+        expected = 0.5 * np.log(0.5 / 0.25) + 0.5 * np.log(0.5 / 0.75)
+        assert kl_bernoulli(0.5, np.array([0.25]))[0] == pytest.approx(expected)
+
+    def test_clipping_keeps_extremes_finite(self):
+        vals = kl_bernoulli(0.05, np.array([0.0, 1.0]))
+        assert np.isfinite(vals).all()
+
+    def test_grad_matches_finite_difference(self):
+        rho = 0.07
+        rho_hat = np.linspace(0.05, 0.9, 20)
+        eps = 1e-7
+        numeric = (kl_bernoulli(rho, rho_hat + eps) - kl_bernoulli(rho, rho_hat - eps)) / (
+            2 * eps
+        )
+        np.testing.assert_allclose(kl_bernoulli_grad(rho, rho_hat), numeric, rtol=1e-5)
+
+    def test_grad_sign(self):
+        # Below the target the penalty pushes activations up (negative grad).
+        assert kl_bernoulli_grad(0.5, np.array([0.1]))[0] < 0
+        assert kl_bernoulli_grad(0.5, np.array([0.9]))[0] > 0
+
+
+class TestLogSumExp:
+    def test_matches_naive_small(self):
+        x = np.array([0.1, 0.2, 0.3])
+        assert log_sum_exp(x) == pytest.approx(np.log(np.sum(np.exp(x))))
+
+    def test_handles_large_values(self):
+        x = np.array([1000.0, 1000.0])
+        assert log_sum_exp(x) == pytest.approx(1000.0 + np.log(2.0))
+
+    def test_axis_reduction(self):
+        x = np.arange(12, dtype=float).reshape(3, 4)
+        out = log_sum_exp(x, axis=1)
+        expected = np.log(np.exp(x).sum(axis=1))
+        np.testing.assert_allclose(out, expected)
+        assert out.shape == (3,)

@@ -1,0 +1,76 @@
+"""Tests for repro.utils.rng — deterministic random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_generator(1).random(8), as_generator(2).random(8))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_zero_children_ok(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_generators(9, 2)
+        assert not np.allclose(a.random(16), b.random(16))
+
+    def test_deterministic_across_calls(self):
+        a1, b1 = spawn_generators(5, 2)
+        a2, b2 = spawn_generators(5, 2)
+        np.testing.assert_array_equal(a1.random(8), a2.random(8))
+        np.testing.assert_array_equal(b1.random(8), b2.random(8))
+
+    def test_spawn_from_generator_parent(self):
+        parent = np.random.default_rng(3)
+        kids = spawn_generators(parent, 3)
+        assert len(kids) == 3
+
+
+class TestRandomState:
+    def test_same_name_same_stream_object(self):
+        state = RandomState(0)
+        assert state.stream("gibbs") is state.stream("gibbs")
+
+    def test_different_names_different_draws(self):
+        state = RandomState(0)
+        a = state.stream("a").random(8)
+        b = state.stream("b").random(8)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_instances(self):
+        a = RandomState(77).stream("loader").random(8)
+        b = RandomState(77).stream("loader").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_seeded_state(self):
+        state = RandomState(np.random.default_rng(1))
+        assert isinstance(state.stream("x"), np.random.Generator)

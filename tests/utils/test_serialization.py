@@ -1,0 +1,85 @@
+"""Tests for repro.utils.serialization — model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.autoencoder import SparseAutoencoder
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.gaussian_rbm import GaussianBernoulliRBM
+from repro.nn.mlp import DeepNetwork
+from repro.nn.rbm import RBM
+from repro.utils.serialization import load_model, save_model
+
+
+class TestSparseAutoencoderRoundTrip:
+    def test_parameters_and_hyperparameters_preserved(self, tmp_path):
+        cost = SparseAutoencoderCost(
+            weight_decay=0.01, sparsity_target=0.2, sparsity_weight=0.7
+        )
+        model = SparseAutoencoder(10, 6, cost=cost, output_activation="identity", seed=0)
+        save_model(model, tmp_path / "ae.npz")
+        loaded = load_model(tmp_path / "ae.npz")
+        assert isinstance(loaded, SparseAutoencoder)
+        np.testing.assert_array_equal(loaded.w1, model.w1)
+        np.testing.assert_array_equal(loaded.b2, model.b2)
+        assert loaded.cost == model.cost
+        assert loaded.output_activation.name == "identity"
+
+    def test_loaded_model_computes_identically(self, tmp_path, rng):
+        model = SparseAutoencoder(8, 5, seed=1)
+        save_model(model, tmp_path / "ae.npz")
+        loaded = load_model(tmp_path / "ae.npz")
+        x = rng.random((7, 8))
+        np.testing.assert_array_equal(loaded.reconstruct(x), model.reconstruct(x))
+        assert loaded.loss(x) == model.loss(x)
+
+
+class TestRBMRoundTrips:
+    def test_binary_rbm(self, tmp_path, binary_batch):
+        model = RBM(12, 7, seed=0)
+        save_model(model, tmp_path / "rbm.npz")
+        loaded = load_model(tmp_path / "rbm.npz")
+        assert isinstance(loaded, RBM) and not isinstance(loaded, GaussianBernoulliRBM)
+        np.testing.assert_array_equal(
+            loaded.hidden_probabilities(binary_batch),
+            model.hidden_probabilities(binary_batch),
+        )
+
+    def test_gaussian_rbm(self, tmp_path, rng):
+        model = GaussianBernoulliRBM(6, 4, seed=0)
+        save_model(model, tmp_path / "grbm.npz")
+        loaded = load_model(tmp_path / "grbm.npz")
+        assert isinstance(loaded, GaussianBernoulliRBM)
+        x = rng.normal(size=(5, 6))
+        np.testing.assert_array_equal(loaded.free_energy(x), model.free_energy(x))
+
+
+class TestDeepNetworkRoundTrip:
+    def test_classifier(self, tmp_path, rng):
+        model = DeepNetwork([8, 6, 4, 3], head="softmax", seed=2)
+        save_model(model, tmp_path / "net.npz")
+        loaded = load_model(tmp_path / "net.npz")
+        assert loaded.layer_sizes == model.layer_sizes
+        x = rng.random((5, 8))
+        np.testing.assert_array_equal(loaded.predict_proba(x), model.predict_proba(x))
+
+    def test_regression_head(self, tmp_path, rng):
+        model = DeepNetwork([4, 3, 2], head="identity", seed=0)
+        save_model(model, tmp_path / "net.npz")
+        loaded = load_model(tmp_path / "net.npz")
+        assert loaded.head == "identity"
+        x = rng.random((3, 4))
+        np.testing.assert_array_equal(loaded.predict(x), model.predict(x))
+
+
+class TestErrors:
+    def test_unknown_model_type_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_model(object(), tmp_path / "x.npz")
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ConfigurationError, match="archive"):
+            load_model(path)

@@ -1,0 +1,103 @@
+"""Tests for repro.utils.validation — argument checking helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.utils.validation import (
+    check_2d,
+    check_in_range,
+    check_int,
+    check_matrix_shapes,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheck2D:
+    def test_passes_float_matrix(self):
+        x = np.ones((3, 4))
+        assert check_2d(x) is x
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError, match="must be 2-D"):
+            check_2d(np.ones(5))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            check_2d(np.ones((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError, match="non-empty"):
+            check_2d(np.empty((0, 4)))
+
+    def test_casts_int_to_float(self):
+        out = check_2d(np.ones((2, 2), dtype=np.int64))
+        assert np.issubdtype(out.dtype, np.floating)
+
+    def test_error_names_argument(self):
+        with pytest.raises(ShapeError, match="patches"):
+            check_2d(np.ones(3), name="patches")
+
+
+class TestCheckMatrixShapes:
+    def test_passes_matching(self):
+        out = check_matrix_shapes(np.ones((5, 7)), 7)
+        assert out.shape == (5, 7)
+
+    def test_rejects_wrong_columns(self):
+        with pytest.raises(ShapeError, match="expects 3"):
+            check_matrix_shapes(np.ones((5, 7)), 3)
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_positive_rejects_zero_when_strict(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(0.0, "x")
+
+    def test_nonneg_accepts_zero(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_positive_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(True, "x")
+
+    def test_positive_rejects_none_and_arrays(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(None, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive(np.ones(3), "x")
+
+    def test_probability_open_interval(self):
+        assert check_probability(0.5, "rho") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability(0.0, "rho")
+        with pytest.raises(ConfigurationError):
+            check_probability(1.0, "rho")
+
+    def test_probability_closed_interval(self):
+        assert check_probability(0.0, "rho", open_interval=False) == 0.0
+        assert check_probability(1.0, "rho", open_interval=False) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, "rho", open_interval=False)
+
+    def test_in_range(self):
+        assert check_in_range(3, "n", 1, 5) == 3
+        with pytest.raises(ConfigurationError):
+            check_in_range(9, "n", 1, 5)
+
+    def test_int_accepts_numpy_integers(self):
+        assert check_int(np.int64(4), "n") == 4
+
+    def test_int_rejects_float_and_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_int(2.0, "n")
+        with pytest.raises(ConfigurationError):
+            check_int(True, "n")
+
+    def test_int_minimum(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            check_int(0, "n", minimum=1)
