@@ -1,0 +1,48 @@
+"""Serving extension — dynamic batching throughput/latency sweep.
+
+The serving analogue of the paper's Fig. 9 batch-size study: a grid of
+batch policy × arrival rate cells, each a deterministic simulated load
+test against a freshly pre-trained stacked autoencoder.  The gate checks
+the headline property of micro-batching: at saturating load, batched
+throughput is at least 2× batch-size-1 throughput.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.serve.benchrun import run_serve_bench, train_demo_servable
+
+SATURATING_RATE = 20_000.0
+
+
+@pytest.fixture(scope="module")
+def servable():
+    return train_demo_servable(n_examples=128, epochs=2, seed=0)
+
+
+def test_serve_throughput_sweep(benchmark, show, servable):
+    rows = benchmark(
+        run_serve_bench,
+        servable=servable,
+        batch_sizes=(1, 8, 32),
+        rates=(500.0, 5_000.0, SATURATING_RATE),
+        duration_s=0.25,
+        seed=0,
+    )
+    show(format_table(rows, title="Serving sweep: batch policy x arrival rate"))
+
+    by_cell = {(r["max_batch"], r["rate_rps"]): r for r in rows}
+    unbatched = by_cell[(1, SATURATING_RATE)]
+    batched = by_cell[(32, SATURATING_RATE)]
+    # The acceptance gate: dynamic batching >= 2x at saturating load.
+    assert batched["throughput_rps"] >= 2.0 * unbatched["throughput_rps"]
+    # The unbatched server saturates (backpressure kicks in)...
+    assert unbatched["rejected"] > 0
+    # ...while batching absorbs the same load with large mean batches.
+    assert batched["mean_batch"] > 4.0
+    # At light load the policies are equivalent: nothing to coalesce.
+    light_1 = by_cell[(1, 500.0)]
+    light_32 = by_cell[(32, 500.0)]
+    assert light_32["throughput_rps"] == pytest.approx(
+        light_1["throughput_rps"], rel=0.05
+    )

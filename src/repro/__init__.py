@@ -36,6 +36,7 @@ from repro.errors import (
     DeviceMemoryError,
     ReproError,
     SchedulingError,
+    ServingError,
     ShapeError,
     SimulationError,
 )
@@ -115,6 +116,36 @@ from repro.bench import (
 
 __version__ = "1.0.0"
 
+# Serving layer (repro.serve) — resolved lazily via __getattr__ below so
+# training-only users pay no import cost for the serving subsystem.
+_SERVE_EXPORTS = frozenset(
+    {
+        "BatchPolicy",
+        "MicroBatcher",
+        "FeatureCache",
+        "ConstantServiceModel",
+        "SimulatedServiceModel",
+        "ServingEngine",
+        "WorkerPool",
+        "PoissonArrivals",
+        "BurstArrivals",
+        "LoadTestHarness",
+        "LoadTestReport",
+        "ServingMetrics",
+        "ModelRegistry",
+        "ServableModel",
+        "run_serve_bench",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        import repro.serve as _serve
+
+        return getattr(_serve, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 __all__ = [
     # errors
     "ReproError",
@@ -124,6 +155,7 @@ __all__ = [
     "DeviceMemoryError",
     "SimulationError",
     "SchedulingError",
+    "ServingError",
     # networks
     "SparseAutoencoder",
     "SparseAutoencoderCost",
@@ -179,5 +211,15 @@ __all__ = [
     "sweep",
     "simulate_seconds",
     "table1_pretrainer",
+    # serving (lazy — see __getattr__)
+    "ModelRegistry",
+    "ServableModel",
+    "ServingEngine",
+    "BatchPolicy",
+    "FeatureCache",
+    "LoadTestHarness",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "run_serve_bench",
     "__version__",
 ]

@@ -7,6 +7,7 @@
     python -m repro headline               # the abstract's three claims
     python -m repro cores                  # core-count scaling extension
     python -m repro roofline               # roofline of one SAE step
+    python -m repro serve-bench            # inference serving sweep
     python -m repro all                    # everything
     python -m repro table1 --csv out.csv   # export rows
 
@@ -20,7 +21,7 @@ import sys
 from typing import List, Optional
 
 
-def _rows_for(command: str, model: str):
+def _rows_for(command: str, model: str, args=None):
     """Dispatch a command name to its harness rows + title."""
     from repro.bench import harness
 
@@ -66,12 +67,21 @@ def _rows_for(command: str, model: str):
 
         rows, _ = verification_report()
         return rows, "Claim verification (EXPERIMENTS.md)"
+    if command == "serve-bench":
+        from repro.serve import run_serve_bench
+
+        duration = getattr(args, "duration", None) or 1.0
+        seed = getattr(args, "seed", None)
+        rows = run_serve_bench(
+            duration_s=duration, seed=0 if seed is None else seed
+        )
+        return rows, "Serving sweep: batch policy x arrival rate (simulated Phi)"
     raise ValueError(f"unknown command {command!r}")
 
 
 _COMMANDS = [
     "table1", "fig7", "fig8", "fig9", "fig10", "overlap", "headline",
-    "cores", "roofline", "verify", "all",
+    "cores", "roofline", "serve-bench", "verify", "all",
 ]
 
 
@@ -93,6 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--csv", metavar="PATH", help="also write the rows as CSV")
     parser.add_argument("--json", metavar="PATH", help="also write the rows as JSON")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve-bench: simulated seconds of traffic per sweep cell (default 1.0)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="serve-bench: workload seed (default 0)",
+    )
     return parser
 
 
@@ -107,7 +129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     all_rows = []
     status = 0
     for command in commands:
-        rows, title = _rows_for(command, args.model)
+        rows, title = _rows_for(command, args.model, args)
         print(format_table(rows, title=title))
         print()
         all_rows.extend(rows)

@@ -34,3 +34,7 @@ class SimulationError(ReproError):
 
 class SchedulingError(ReproError):
     """A task graph is malformed (cycle, unknown dependency, double-run)."""
+
+
+class ServingError(ReproError):
+    """The inference serving engine was misused or driven into an invalid state."""

@@ -1,0 +1,62 @@
+"""repro.serve — micro-batched inference serving on the simulated Phi.
+
+The deployment-time layer of the reproduction: trained models go in
+(via :class:`ModelRegistry`), individual requests arrive, a dynamic
+micro-batcher coalesces them (the serving analogue of the paper's
+Fig. 5 chunked double buffer), workers run real NumPy forward passes
+timed by the simulated machine, and a deterministic load-test harness
+replays seeded Poisson/burst traffic for reproducible
+throughput-vs-latency curves.
+
+Quick tour::
+
+    from repro.serve import (
+        BatchPolicy, LoadTestHarness, ModelRegistry,
+        PoissonArrivals, ServingEngine,
+    )
+
+    registry = ModelRegistry()
+    servable = registry.load("encoder", "encoder.npz")
+    engine = ServingEngine(servable, policy=BatchPolicy(max_batch_size=32))
+    report = LoadTestHarness(engine, PoissonArrivals(2000.0), seed=0).run()
+    print(report.throughput_rps, report.latency_p99_s)
+"""
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher, Request
+from repro.serve.benchrun import run_serve_bench, train_demo_servable
+from repro.serve.cache import FeatureCache
+from repro.serve.engine import (
+    ConstantServiceModel,
+    ServingEngine,
+    SimulatedServiceModel,
+    WorkerPool,
+)
+from repro.serve.loadtest import (
+    BurstArrivals,
+    LoadTestHarness,
+    LoadTestReport,
+    PoissonArrivals,
+)
+from repro.serve.metrics import LatencyHistogram, ServingMetrics
+from repro.serve.registry import ModelRegistry, ServableModel
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "Request",
+    "FeatureCache",
+    "ConstantServiceModel",
+    "SimulatedServiceModel",
+    "ServingEngine",
+    "WorkerPool",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "LoadTestHarness",
+    "LoadTestReport",
+    "LatencyHistogram",
+    "ServingMetrics",
+    "ModelRegistry",
+    "ServableModel",
+    "run_serve_bench",
+    "train_demo_servable",
+]

@@ -1,0 +1,128 @@
+"""Dynamic micro-batching: the serving analogue of the paper's Fig. 5.
+
+Training hides PCIe latency by loading chunk *i* while training chunk
+*i−1*; serving hides per-request overhead by coalescing requests that
+arrive close together into one device batch.  The same two knobs govern
+both: how much work to group (``max_batch_size`` ↔ chunk size) and how
+long the device may sit idle waiting for more (``max_wait_s`` ↔ buffer
+count).  A bounded queue provides admission control — beyond
+``max_queue_depth`` new requests are rejected instead of growing latency
+without bound (backpressure).
+
+:class:`MicroBatcher` is a pure state machine over an external clock: it
+never sleeps and never reads wall time, so the same object serves both a
+real-time driver and the deterministic discrete-event load tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Slack for float time comparisons (event times are exact sums of floats).
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing policy of the micro-batcher.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Largest batch dispatched to a worker; 1 disables batching.
+    max_wait_s:
+        Longest a request may wait for companions before its batch is
+        dispatched anyway (the latency budget spent buying throughput).
+    max_queue_depth:
+        Admission-control bound: requests arriving when this many are
+        already queued are rejected.
+    """
+
+    max_batch_size: int = 32
+    max_wait_s: float = 2e-3
+    max_queue_depth: int = 1024
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ConfigurationError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_s < 0:
+            raise ConfigurationError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.max_queue_depth < 1:
+            raise ConfigurationError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+
+
+@dataclass
+class Request:
+    """One inference request travelling through the engine."""
+
+    id: int
+    payload: np.ndarray
+    arrival_s: float
+    dispatch_s: Optional[float] = None
+    complete_s: Optional[float] = None
+    result: Optional[np.ndarray] = field(default=None, repr=False)
+    cache_hit: bool = False
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        """Queueing delay: arrival → batch dispatch."""
+        if self.dispatch_s is None:
+            return None
+        return self.dispatch_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """End-to-end delay: arrival → result available."""
+        if self.complete_s is None:
+            return None
+        return self.complete_s - self.arrival_s
+
+
+class MicroBatcher:
+    """FIFO request queue with size/deadline batch formation."""
+
+    def __init__(self, policy: Optional[BatchPolicy] = None):
+        self.policy = policy if policy is not None else BatchPolicy()
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def offer(self, request: Request) -> bool:
+        """Enqueue ``request``; False = rejected by admission control."""
+        if len(self._queue) >= self.policy.max_queue_depth:
+            return False
+        self._queue.append(request)
+        return True
+
+    def oldest_deadline(self) -> Optional[float]:
+        """Absolute time the oldest queued request's wait budget expires."""
+        if not self._queue:
+            return None
+        return self._queue[0].arrival_s + self.policy.max_wait_s
+
+    def ready(self, now: float) -> bool:
+        """Should a batch be dispatched at ``now``?
+
+        Yes when a full batch is waiting, or the oldest request has
+        exhausted its ``max_wait_s`` budget.
+        """
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.policy.max_batch_size:
+            return True
+        return now >= self.oldest_deadline() - _EPS
+
+    def next_batch(self) -> List[Request]:
+        """Pop up to ``max_batch_size`` requests, oldest first."""
+        batch: List[Request] = []
+        while self._queue and len(batch) < self.policy.max_batch_size:
+            batch.append(self._queue.popleft())
+        return batch

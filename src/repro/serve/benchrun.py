@@ -1,0 +1,75 @@
+"""The ``serve-bench`` artefact: batch policy × arrival rate sweep.
+
+Pre-trains a small stacked autoencoder on synthetic digits, registers it,
+then replays seeded Poisson workloads against the serving engine for a
+grid of (batch policy, arrival rate) cells.  The output is the serving
+analogue of the paper's Fig. 9 batch-size sweep: throughput rises with
+the batch bound while tail latency pays for the waiting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.engine import ServingEngine, SimulatedServiceModel
+from repro.serve.loadtest import LoadTestHarness, PoissonArrivals
+from repro.serve.registry import ModelRegistry, ServableModel
+
+#: Default sweep: batching off / moderate / aggressive, light → saturating load.
+DEFAULT_BATCH_SIZES = (1, 8, 32)
+DEFAULT_RATES = (200.0, 2000.0, 20000.0)
+
+
+def train_demo_servable(
+    n_examples: int = 256,
+    image_size: int = 16,
+    hidden: Sequence[int] = (64, 32),
+    epochs: int = 3,
+    seed: int = 0,
+) -> ServableModel:
+    """Freshly pre-train a small stacked autoencoder and wrap it."""
+    from repro.data.synth_digits import digit_dataset
+    from repro.nn.stacked import LayerSpec, StackedAutoencoder
+
+    x, _ = digit_dataset(n_examples, size=image_size, seed=seed)
+    stack = StackedAutoencoder(
+        x.shape[1],
+        [LayerSpec(n_hidden=h, epochs=epochs, batch_size=64) for h in hidden],
+        seed=seed,
+    )
+    stack.pretrain(x)
+    registry = ModelRegistry()
+    return registry.register("digits-encoder", stack)
+
+
+def run_serve_bench(
+    servable: Optional[ServableModel] = None,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    rates: Sequence[float] = DEFAULT_RATES,
+    duration_s: float = 1.0,
+    max_wait_s: float = 2e-3,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Sweep batch policy × arrival rate; one table row per cell.
+
+    Every cell gets a fresh engine but the same servable, service model
+    calibration, and workload seed, so rows differ only in policy/rate.
+    """
+    if servable is None:
+        servable = train_demo_servable(seed=seed)
+    rows: List[Dict[str, object]] = []
+    for max_batch in batch_sizes:
+        for rate in rates:
+            policy = BatchPolicy(max_batch_size=max_batch, max_wait_s=max_wait_s)
+            engine = ServingEngine(
+                servable, policy=policy, service_model=SimulatedServiceModel(servable)
+            )
+            harness = LoadTestHarness(
+                engine, PoissonArrivals(rate), duration_s=duration_s, seed=seed
+            )
+            report = harness.run()
+            row: Dict[str, object] = {"max_batch": max_batch, "rate_rps": rate}
+            row.update(report.row())
+            rows.append(row)
+    return rows

@@ -1,0 +1,75 @@
+"""Feature cache: LRU memoisation of forward passes.
+
+Encoder workloads are read-heavy and repetitive — the same item (image,
+document, user vector) is featurised many times.  Caching the encoded
+output turns a GEMM-bound request into a dictionary lookup, exactly the
+kind of memory/compute trade the paper makes when it keeps parameters
+resident on the device across chunks.
+
+Keys are the exact payload bytes (shape + dtype + contents), so the
+cache is only consulted for bit-identical inputs; no tolerance matching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class FeatureCache:
+    """Bounded LRU cache from input vectors to forward-pass outputs."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(payload: np.ndarray) -> bytes:
+        payload = np.ascontiguousarray(payload)
+        return str((payload.shape, payload.dtype.str)).encode() + payload.tobytes()
+
+    def get(self, payload: np.ndarray) -> Optional[np.ndarray]:
+        """Cached result for ``payload``, refreshing its recency."""
+        key = self._key(payload)
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, payload: np.ndarray, value: np.ndarray) -> None:
+        """Insert/update an entry, evicting the least recently used."""
+        key = self._key(payload)
+        self._entries[key] = np.asarray(value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FeatureCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,223 @@
+"""Deterministic load testing through the discrete-event simulator.
+
+Wall-clock load tests are flaky in CI: thread scheduling and machine
+load leak into every latency number.  Here the arrival process, the
+service times, and the clock itself are all simulated — the engine is
+driven through :class:`repro.phi.events.EventSimulator`, so a seed fully
+determines every latency histogram and two runs with the same seed are
+bit-identical.  Forward passes still execute for real; only *time* is
+simulated.
+
+Two arrival processes cover the interesting regimes:
+
+* :class:`PoissonArrivals` — memoryless steady traffic at a fixed rate;
+* :class:`BurstArrivals` — a base rate punctuated by periodic bursts
+  (the flash-crowd shape that stresses admission control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServingError
+from repro.phi.events import EventSimulator
+from repro.serve.engine import ServingEngine
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate_rps`` requests per second."""
+
+    def __init__(self, rate_rps: float):
+        if rate_rps <= 0:
+            raise ConfigurationError(f"rate_rps must be > 0, got {rate_rps}")
+        self.rate_rps = float(rate_rps)
+
+    def _rate_at(self, t: float) -> float:
+        return self.rate_rps
+
+    def arrival_times(self, duration_s: float, rng: np.random.Generator) -> List[float]:
+        """Arrival instants in [0, duration_s), oldest first."""
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration_s must be > 0, got {duration_s}")
+        times: List[float] = []
+        t = float(rng.exponential(1.0 / self._rate_at(0.0)))
+        while t < duration_s:
+            times.append(t)
+            t += rng.exponential(1.0 / self._rate_at(t))
+        return times
+
+
+class BurstArrivals(PoissonArrivals):
+    """Piecewise-Poisson traffic: periodic bursts over a base rate.
+
+    Every ``period_s`` the rate jumps from ``rate_rps`` to ``burst_rps``
+    for ``burst_len_s`` seconds (the burst opens each period).
+    """
+
+    def __init__(self, rate_rps: float, burst_rps: float, period_s: float, burst_len_s: float):
+        super().__init__(rate_rps)
+        if burst_rps < rate_rps:
+            raise ConfigurationError(
+                f"burst_rps ({burst_rps}) must be >= base rate ({rate_rps})"
+            )
+        if period_s <= 0 or not 0 < burst_len_s <= period_s:
+            raise ConfigurationError(
+                "need period_s > 0 and 0 < burst_len_s <= period_s, got "
+                f"period_s={period_s}, burst_len_s={burst_len_s}"
+            )
+        self.burst_rps = float(burst_rps)
+        self.period_s = float(period_s)
+        self.burst_len_s = float(burst_len_s)
+
+    def _rate_at(self, t: float) -> float:
+        return self.burst_rps if (t % self.period_s) < self.burst_len_s else self.rate_rps
+
+
+@dataclass
+class LoadTestReport:
+    """Summary of one load-test run (all times in simulated seconds)."""
+
+    offered: int
+    served: int
+    rejected: int
+    cache_hits: int
+    makespan_s: float
+    throughput_rps: float
+    goodput_fraction: float
+    mean_batch_size: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    mean_wait_s: float
+    mean_service_s: float
+    max_queue_depth: int
+    latency_buckets: tuple
+
+    def row(self) -> Dict[str, object]:
+        """One table row (the sweep benchmarks stack these)."""
+        return {
+            "offered": self.offered,
+            "served": self.served,
+            "rejected": self.rejected,
+            "throughput_rps": self.throughput_rps,
+            "mean_batch": self.mean_batch_size,
+            "p50_ms": self.latency_p50_s * 1e3,
+            "p95_ms": self.latency_p95_s * 1e3,
+            "p99_ms": self.latency_p99_s * 1e3,
+        }
+
+
+class LoadTestHarness:
+    """Replays a seeded arrival process against a serving engine.
+
+    Parameters
+    ----------
+    engine:
+        A fresh :class:`ServingEngine` (one harness run per engine —
+        engines carry metrics state).
+    arrivals:
+        The arrival process generating request instants.
+    duration_s:
+        Length of the arrival window; the run then drains the queue.
+    seed:
+        Master seed; spawns independent streams for arrival times,
+        payload contents, and payload selection.
+    payload_pool:
+        Number of distinct payload vectors requests draw from (reuse is
+        what gives a :class:`~repro.serve.cache.FeatureCache` its hits).
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        arrivals: PoissonArrivals,
+        duration_s: float = 1.0,
+        seed: SeedLike = 0,
+        payload_pool: int = 64,
+        payloads: Optional[np.ndarray] = None,
+    ):
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration_s must be > 0, got {duration_s}")
+        if payload_pool < 1:
+            raise ConfigurationError(f"payload_pool must be >= 1, got {payload_pool}")
+        self.engine = engine
+        self.arrivals = arrivals
+        self.duration_s = float(duration_s)
+        self.seed = seed
+        self.payload_pool = int(payload_pool)
+        self.payloads = payloads
+        self._ran = False
+
+    def run(self) -> LoadTestReport:
+        """Simulate the full workload; returns the summary report."""
+        if self._ran:
+            raise ServingError(
+                "a LoadTestHarness (and its engine) is single-use; "
+                "build a fresh engine+harness per run"
+            )
+        self._ran = True
+        arrival_rng, payload_rng, pick_rng = spawn_generators(self.seed, 3)
+        pool = self.payloads
+        if pool is None:
+            pool = payload_rng.random((self.payload_pool, self.engine.servable.n_inputs))
+        else:
+            pool = np.asarray(pool, dtype=np.float64)
+            if pool.ndim != 2 or pool.shape[1] != self.engine.servable.n_inputs:
+                raise ConfigurationError(
+                    f"payloads must be (n, {self.engine.servable.n_inputs}), "
+                    f"got {pool.shape}"
+                )
+        times = self.arrivals.arrival_times(self.duration_s, arrival_rng)
+        picks = pick_rng.integers(0, pool.shape[0], size=len(times))
+
+        sim = EventSimulator()
+        completed: List = []
+        next_wake = [None]  # earliest pending wakeup time, or None
+
+        def drive():
+            completed.extend(self.engine.poll(sim.now))
+            if next_wake[0] is not None and next_wake[0] <= sim.now + 1e-12:
+                next_wake[0] = None  # that wakeup just fired (or is stale)
+            upcoming = self.engine.next_event_time()
+            if upcoming is None:
+                return
+            upcoming = max(upcoming, sim.now)
+            if next_wake[0] is None or upcoming < next_wake[0] - 1e-12:
+                next_wake[0] = upcoming
+                sim.schedule_at(upcoming, drive)
+
+        def arrive(index: int):
+            self.engine.submit(pool[picks[index]], sim.now)
+            drive()
+
+        for i, t in enumerate(times):
+            sim.schedule_at(t, arrive, i)
+        makespan = sim.run()
+        return self._report(len(times), completed, makespan)
+
+    # ------------------------------------------------------------------
+    def _report(self, offered: int, completed: List, makespan: float) -> LoadTestReport:
+        metrics = self.engine.metrics
+        served = metrics.served
+        makespan = max(makespan, self.duration_s)
+        return LoadTestReport(
+            offered=offered,
+            served=served,
+            rejected=metrics.rejected,
+            cache_hits=metrics.cache_hits,
+            makespan_s=makespan,
+            throughput_rps=served / makespan if makespan > 0 else 0.0,
+            goodput_fraction=served / offered if offered else 0.0,
+            mean_batch_size=metrics.mean_batch_size,
+            latency_p50_s=metrics.latency.percentile(50),
+            latency_p95_s=metrics.latency.percentile(95),
+            latency_p99_s=metrics.latency.percentile(99),
+            mean_wait_s=metrics.wait.mean,
+            mean_service_s=metrics.service.mean,
+            max_queue_depth=metrics.max_queue_depth,
+            latency_buckets=metrics.latency.bucket_counts(),
+        )

@@ -1,0 +1,147 @@
+"""Model registry: trained artefacts behind one ``predict`` interface.
+
+A serving deployment holds many trained models — autoencoder feature
+extractors, DBN encoders, fine-tuned classifiers — that all reduce, at
+inference time, to the same kernel stream the paper optimises: one GEMM
+plus one element-wise map per layer (§IV.B).  :class:`ServableModel`
+wraps any trained model from :mod:`repro.nn` with
+
+* a uniform ``predict(x)`` — real NumPy forward pass, rows are requests;
+* the forward pass's *kernel levels* for the simulated cost model, so the
+  serving engine can charge deterministic device time for a batch.
+
+:class:`ModelRegistry` names servables and loads them from the ``.npz``
+archives written by :mod:`repro.utils.serialization`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.phi.kernels import Kernel, elementwise, gemm
+from repro.utils.validation import check_matrix_shapes
+
+Levels = List[List[Kernel]]
+
+
+def _forward_widths(model) -> List[int]:
+    """[n_in, h₁, …, n_out] of the model's inference pass."""
+    from repro.nn.autoencoder import SparseAutoencoder
+    from repro.nn.gaussian_rbm import GaussianBernoulliRBM
+    from repro.nn.mlp import DeepNetwork
+    from repro.nn.rbm import RBM
+    from repro.nn.stacked import _GreedyStack
+
+    if isinstance(model, SparseAutoencoder):
+        return [model.n_visible, model.n_hidden]
+    if isinstance(model, (RBM, GaussianBernoulliRBM)):
+        return [model.n_visible, model.n_hidden]
+    if isinstance(model, _GreedyStack):
+        if not model.is_trained:
+            raise ServingError("cannot serve an un-pretrained stack")
+        return list(model.layer_sizes)
+    if isinstance(model, DeepNetwork):
+        return list(model.layer_sizes)
+    raise ServingError(f"cannot serve model of type {type(model).__name__}")
+
+
+class ServableModel:
+    """A trained model wrapped for serving.
+
+    ``predict`` dispatches to the model's natural inference method:
+    ``encode`` for autoencoders, ``transform`` for RBMs and pre-trained
+    stacks, ``predict_proba``/``predict`` for fine-tuned networks.
+    """
+
+    def __init__(self, name: str, model):
+        from repro.nn.autoencoder import SparseAutoencoder
+        from repro.nn.mlp import DeepNetwork
+
+        if not name:
+            raise ServingError("a servable needs a non-empty name")
+        self.name = str(name)
+        self.model = model
+        self.widths = _forward_widths(model)
+        if isinstance(model, SparseAutoencoder):
+            self._forward = model.encode
+        elif isinstance(model, DeepNetwork):
+            self._forward = model.predict_proba if model.head == "softmax" else model.predict
+        else:  # RBM, GaussianBernoulliRBM, _GreedyStack
+            self._forward = model.transform
+
+    @property
+    def n_inputs(self) -> int:
+        return self.widths[0]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.widths[-1]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Real forward pass; ``x`` rows are requests."""
+        x = check_matrix_shapes(x, self.n_inputs, "x")
+        return self._forward(x)
+
+    def forward_levels(self, batch_size: int) -> Levels:
+        """Kernel dependency levels of one inference batch of ``batch_size``.
+
+        Each layer is one GEMM (batch × n_out × n_in) followed by one
+        vectorised activation map — the serving-time analogue of the
+        paper's §IV.B kernel streams; levels feed
+        :meth:`repro.phi.machine.SimulatedMachine.execute_levels`.
+        """
+        if batch_size < 1:
+            raise ServingError(f"batch_size must be >= 1, got {batch_size}")
+        m = int(batch_size)
+        levels: Levels = []
+        for i, (n_in, n_out) in enumerate(zip(self.widths[:-1], self.widths[1:])):
+            levels.append([gemm(m, n_out, n_in, name=f"serve:fwd{i}")])
+            levels.append([elementwise(m * n_out, 5, name=f"serve:act{i}")])
+        return levels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arch = "x".join(str(w) for w in self.widths)
+        return f"ServableModel({self.name!r}, {type(self.model).__name__}, {arch})"
+
+
+class ModelRegistry:
+    """Named collection of :class:`ServableModel` instances."""
+
+    def __init__(self):
+        self._models: Dict[str, ServableModel] = {}
+
+    def register(self, name: str, model) -> ServableModel:
+        """Wrap ``model`` and file it under ``name`` (no overwriting)."""
+        if name in self._models:
+            raise ServingError(f"model {name!r} is already registered")
+        servable = model if isinstance(model, ServableModel) else ServableModel(name, model)
+        self._models[name] = servable
+        return servable
+
+    def load(self, name: str, path) -> ServableModel:
+        """Load a :func:`repro.utils.serialization.save_model` archive."""
+        from repro.utils.serialization import load_model
+
+        return self.register(name, load_model(path))
+
+    def get(self, name: str) -> ServableModel:
+        if name not in self._models:
+            known = ", ".join(sorted(self._models)) or "(none)"
+            raise ServingError(f"unknown model {name!r}; registered: {known}")
+        return self._models[name]
+
+    def unregister(self, name: str) -> None:
+        self.get(name)
+        del self._models[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)

@@ -42,13 +42,59 @@ def _unpack(path: PathLike):
     return header["model"], header["meta"], arrays
 
 
+def _layer_spec_meta(specs) -> list:
+    return [
+        {
+            "n_hidden": s.n_hidden,
+            "learning_rate": s.learning_rate,
+            "epochs": s.epochs,
+            "batch_size": s.batch_size,
+        }
+        for s in specs
+    ]
+
+
 def save_model(model, path: PathLike) -> Path:
-    """Save a SparseAutoencoder, RBM, GaussianBernoulliRBM, or DeepNetwork."""
+    """Save a SparseAutoencoder, RBM, GaussianBernoulliRBM, DeepNetwork,
+    or a pre-trained StackedAutoencoder / DeepBeliefNetwork."""
     from repro.nn.autoencoder import SparseAutoencoder
     from repro.nn.gaussian_rbm import GaussianBernoulliRBM
     from repro.nn.mlp import DeepNetwork
     from repro.nn.rbm import RBM
+    from repro.nn.stacked import DeepBeliefNetwork, StackedAutoencoder
 
+    if isinstance(model, (StackedAutoencoder, DeepBeliefNetwork)):
+        if not model.is_trained:
+            raise ConfigurationError(
+                "cannot serialise an un-pretrained stack (no block parameters yet)"
+            )
+        arrays = {}
+        if isinstance(model, StackedAutoencoder):
+            kind = "stacked_autoencoder"
+            meta = {
+                "n_visible": model.n_visible,
+                "layer_specs": _layer_spec_meta(model.layer_specs),
+                "weight_decay": model.cost.weight_decay,
+                "sparsity_target": model.cost.sparsity_target,
+                "sparsity_weight": model.cost.sparsity_weight,
+            }
+            for i, block in enumerate(model.blocks):
+                arrays[f"w1_{i}"] = block.w1
+                arrays[f"b1_{i}"] = block.b1
+                arrays[f"w2_{i}"] = block.w2
+                arrays[f"b2_{i}"] = block.b2
+        else:
+            kind = "deep_belief_network"
+            meta = {
+                "n_visible": model.n_visible,
+                "layer_specs": _layer_spec_meta(model.layer_specs),
+                "cd_k": model.cd_k,
+            }
+            for i, block in enumerate(model.blocks):
+                arrays[f"w_{i}"] = block.w
+                arrays[f"b_{i}"] = block.b
+                arrays[f"c_{i}"] = block.c
+        return _pack(path, kind, meta, **arrays)
     if isinstance(model, SparseAutoencoder):
         return _pack(
             path,
@@ -107,7 +153,41 @@ def load_model(path: PathLike):
     from repro.nn.mlp import DeepNetwork
     from repro.nn.rbm import RBM
 
+    from repro.nn.stacked import DeepBeliefNetwork, LayerSpec, StackedAutoencoder
+
     kind, meta, arrays = _unpack(path)
+    if kind in ("stacked_autoencoder", "deep_belief_network"):
+        specs = [LayerSpec(**s) for s in meta["layer_specs"]]
+        if kind == "stacked_autoencoder":
+            stack = StackedAutoencoder(
+                meta["n_visible"],
+                specs,
+                cost=SparseAutoencoderCost(
+                    weight_decay=meta["weight_decay"],
+                    sparsity_target=meta["sparsity_target"],
+                    sparsity_weight=meta["sparsity_weight"],
+                ),
+            )
+            n_in = stack.n_visible
+            for i, spec in enumerate(specs):
+                block = SparseAutoencoder(n_in, spec.n_hidden, cost=stack.cost)
+                block.w1, block.b1 = arrays[f"w1_{i}"], arrays[f"b1_{i}"]
+                block.w2, block.b2 = arrays[f"w2_{i}"], arrays[f"b2_{i}"]
+                stack.blocks.append(block)
+                n_in = spec.n_hidden
+        else:
+            stack = DeepBeliefNetwork(meta["n_visible"], specs, cd_k=meta["cd_k"])
+            n_in = stack.n_visible
+            for i, spec in enumerate(specs):
+                block = RBM(n_in, spec.n_hidden)
+                block.w, block.b, block.c = (
+                    arrays[f"w_{i}"],
+                    arrays[f"b_{i}"],
+                    arrays[f"c_{i}"],
+                )
+                stack.blocks.append(block)
+                n_in = spec.n_hidden
+        return stack
     if kind == "sparse_autoencoder":
         model = SparseAutoencoder(
             meta["n_visible"],

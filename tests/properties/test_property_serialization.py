@@ -1,0 +1,129 @@
+"""Property-based round-trip tests for repro.utils.serialization.
+
+The serving registry trusts that a *trained* model written to disk comes
+back bit-identical — weights, biases, and constructor hyper-parameters.
+These properties train briefly (so parameters are away from their
+initialisation) and assert exact round trips across randomly drawn
+architectures and seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.nn.mlp import DeepNetwork, one_hot
+from repro.nn.rbm import RBM
+from repro.nn.stacked import DeepBeliefNetwork, LayerSpec, StackedAutoencoder
+from repro.utils.serialization import load_model, save_model
+
+dims = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _roundtrip(model, tmp_path):
+    return load_model(save_model(model, tmp_path / "model.npz"))
+
+
+class TestTrainedRBMRoundTrip:
+    @given(n_visible=dims, n_hidden=dims, seed=seeds)
+    @_settings
+    def test_cd_trained_parameters_survive(self, tmp_path, n_visible, n_hidden, seed):
+        rng = np.random.default_rng(seed)
+        model = RBM(n_visible, n_hidden, seed=seed)
+        v = (rng.random((16, n_visible)) > 0.5).astype(float)
+        for _ in range(3):
+            stats = model.contrastive_divergence(v, rng=rng)
+            model.apply_update(stats, learning_rate=0.1)
+        loaded = _roundtrip(model, tmp_path)
+        np.testing.assert_array_equal(loaded.w, model.w)
+        np.testing.assert_array_equal(loaded.b, model.b)
+        np.testing.assert_array_equal(loaded.c, model.c)
+        np.testing.assert_array_equal(loaded.transform(v), model.transform(v))
+
+
+class TestTrainedStackRoundTrip:
+    @given(
+        n_visible=st.integers(min_value=4, max_value=16),
+        hidden=st.lists(st.integers(min_value=2, max_value=8), min_size=1, max_size=3),
+        seed=seeds,
+    )
+    @_settings
+    def test_pretrained_autoencoder_stack(self, tmp_path, n_visible, hidden, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random((24, n_visible))
+        stack = StackedAutoencoder(
+            n_visible,
+            [LayerSpec(h, epochs=1, batch_size=8) for h in hidden],
+            seed=seed,
+        ).pretrain(x)
+        loaded = _roundtrip(stack, tmp_path)
+        assert isinstance(loaded, StackedAutoencoder)
+        assert loaded.layer_sizes == stack.layer_sizes
+        assert loaded.is_trained
+        assert loaded.cost == stack.cost
+        for orig, back in zip(stack.blocks, loaded.blocks):
+            np.testing.assert_array_equal(back.w1, orig.w1)
+            np.testing.assert_array_equal(back.b1, orig.b1)
+            np.testing.assert_array_equal(back.w2, orig.w2)
+            np.testing.assert_array_equal(back.b2, orig.b2)
+        np.testing.assert_array_equal(loaded.transform(x), stack.transform(x))
+        np.testing.assert_array_equal(loaded.reconstruct(x), stack.reconstruct(x))
+
+    @given(
+        n_visible=st.integers(min_value=4, max_value=12),
+        hidden=st.lists(st.integers(min_value=2, max_value=6), min_size=1, max_size=2),
+        seed=seeds,
+    )
+    @_settings
+    def test_pretrained_dbn(self, tmp_path, n_visible, hidden, seed):
+        rng = np.random.default_rng(seed)
+        v = (rng.random((24, n_visible)) > 0.5).astype(float)
+        dbn = DeepBeliefNetwork(
+            n_visible,
+            [LayerSpec(h, epochs=1, batch_size=8) for h in hidden],
+            seed=seed,
+        ).pretrain(v)
+        loaded = _roundtrip(dbn, tmp_path)
+        assert isinstance(loaded, DeepBeliefNetwork)
+        assert loaded.cd_k == dbn.cd_k
+        assert [s.n_hidden for s in loaded.layer_specs] == [
+            s.n_hidden for s in dbn.layer_specs
+        ]
+        np.testing.assert_array_equal(loaded.transform(v), dbn.transform(v))
+
+
+class TestTrainedNetworkRoundTrip:
+    @given(
+        sizes=st.lists(st.integers(min_value=2, max_value=8), min_size=2, max_size=4),
+        seed=seeds,
+    )
+    @_settings
+    def test_finetuned_network(self, tmp_path, sizes, seed):
+        rng = np.random.default_rng(seed)
+        model = DeepNetwork(sizes, head="softmax", seed=seed)
+        x = rng.random((16, sizes[0]))
+        targets = one_hot(rng.integers(0, sizes[-1], size=16), sizes[-1])
+        for _ in range(2):
+            _, grads = model.gradients(x, targets)
+            model.apply_update(grads, learning_rate=0.1)
+        loaded = _roundtrip(model, tmp_path)
+        for orig, back in zip(model.layers, loaded.layers):
+            np.testing.assert_array_equal(back.w, orig.w)
+            np.testing.assert_array_equal(back.b, orig.b)
+        np.testing.assert_array_equal(loaded.predict_proba(x), model.predict_proba(x))
+
+
+class TestUntrainedStackRejected:
+    def test_save_untrained_stack_fails(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        stack = StackedAutoencoder(8, [LayerSpec(4)])
+        with pytest.raises(ConfigurationError, match="un-pretrained"):
+            save_model(stack, tmp_path / "x.npz")

@@ -102,6 +102,69 @@ class TestEventDrivenCrossCheck:
         )
 
 
+class TestDegenerateRegimes:
+    """Edge cases of the buffer pool, cross-checked between the analytic
+    recurrence and the event simulation."""
+
+    def test_single_buffer_serialises_load_and_train(self, pcie):
+        """n_buffers=1 leaves no spare slot: transfer i+1 cannot start
+        until compute i has consumed the only buffer — no overlap."""
+        p = OffloadPipeline(pcie, n_buffers=1)
+        chunks, compute = [10.0, 10.0, 10.0], [5.0, 5.0, 5.0]
+        tl = p.run_analytic(chunks, compute)
+        assert tl.total_s == pytest.approx(45.0)  # fully serial
+        assert tl.exposed_transfer_s == pytest.approx(30.0)
+        for prev, cur in zip(tl.chunks, tl.chunks[1:]):
+            assert cur.transfer_start >= prev.compute_end - 1e-12
+
+    def test_single_buffer_matches_event_sim(self, pcie):
+        p = OffloadPipeline(pcie, n_buffers=1)
+        chunks, compute = [7.0, 13.0, 4.0, 9.0], [10.0, 3.0, 12.0, 8.0]
+        analytic = p.run_analytic(chunks, compute)
+        events = p.run_event_driven(chunks, compute)
+        assert events.total_s == pytest.approx(analytic.total_s)
+        for a, e in zip(analytic.chunks, events.chunks):
+            assert e.transfer_start == pytest.approx(a.transfer_start)
+            assert e.compute_start == pytest.approx(a.compute_start)
+
+    def test_single_buffer_equals_explicit_serial_mode(self, pcie):
+        """One buffer and double_buffering=False are the same pipeline."""
+        chunks, compute = [7.0, 13.0, 4.0], [10.0, 3.0, 12.0]
+        one_buffer = OffloadPipeline(pcie, n_buffers=1).run_analytic(chunks, compute)
+        serial = OffloadPipeline(pcie, double_buffering=False).run_analytic(chunks, compute)
+        assert one_buffer.total_s == pytest.approx(serial.total_s)
+
+    def test_loader_slower_than_trainer_link_bound(self, pcie):
+        """Loader-slower-than-trainer regime: the link never goes idle,
+        total = all transfers + the final compute, and the trainer idles
+        between every chunk."""
+        p = OffloadPipeline(pcie, n_buffers=2)
+        chunks, compute = [20.0] * 5, [2.0] * 5
+        tl = p.run_analytic(chunks, compute)
+        assert tl.total_s == pytest.approx(5 * 20.0 + 2.0)
+        # Trainer waits for chunk 0, then for every subsequent transfer.
+        assert tl.trainer_idle_s == pytest.approx(tl.total_s - 5 * 2.0)
+        for prev, cur in zip(tl.chunks, tl.chunks[1:]):
+            assert cur.transfer_start == pytest.approx(prev.transfer_end)
+
+    def test_loader_slower_than_trainer_matches_event_sim(self, pcie):
+        p = OffloadPipeline(pcie, n_buffers=2)
+        chunks, compute = [20.0, 25.0, 18.0, 22.0], [2.0, 1.0, 3.0, 2.0]
+        analytic = p.run_analytic(chunks, compute)
+        events = p.run_event_driven(chunks, compute)
+        assert events.total_s == pytest.approx(analytic.total_s)
+        assert events.trainer_idle_s == pytest.approx(analytic.trainer_idle_s)
+
+    def test_extra_buffers_cannot_help_transfer_bound_pipeline(self, pcie):
+        """When the link is the bottleneck, buffer count is irrelevant."""
+        chunks, compute = [20.0] * 4, [2.0] * 4
+        totals = {
+            n: OffloadPipeline(pcie, n_buffers=n).run_analytic(chunks, compute).total_s
+            for n in (2, 3, 8)
+        }
+        assert totals[2] == pytest.approx(totals[3]) == pytest.approx(totals[8])
+
+
 class TestValidation:
     def test_mismatched_lengths(self, pcie):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,79 @@
+"""Tests for repro.serve.batcher — batch policy and queue semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.batcher import BatchPolicy, MicroBatcher, Request
+
+
+def make_request(i, t):
+    return Request(id=i, payload=np.zeros(4), arrival_s=t)
+
+
+class TestBatchPolicy:
+    def test_defaults_valid(self):
+        policy = BatchPolicy()
+        assert policy.max_batch_size >= 1 and policy.max_queue_depth >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_wait_s": -1e-3},
+            {"max_queue_depth": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(**kwargs)
+
+
+class TestMicroBatcher:
+    def test_not_ready_while_empty(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=4, max_wait_s=1.0))
+        assert not batcher.ready(1e9)
+        assert batcher.oldest_deadline() is None
+
+    def test_full_batch_is_ready_immediately(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=3, max_wait_s=10.0))
+        for i in range(3):
+            assert batcher.offer(make_request(i, 0.0))
+        assert batcher.ready(0.0)
+
+    def test_partial_batch_waits_for_deadline(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.5))
+        batcher.offer(make_request(0, 1.0))
+        assert not batcher.ready(1.4)
+        assert batcher.ready(1.5)
+        assert batcher.oldest_deadline() == pytest.approx(1.5)
+
+    def test_zero_wait_dispatches_each_request_alone(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        batcher.offer(make_request(0, 2.0))
+        assert batcher.ready(2.0)
+
+    def test_next_batch_fifo_and_capped(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=2, max_wait_s=0.0))
+        for i in range(5):
+            batcher.offer(make_request(i, 0.0))
+        batch = batcher.next_batch()
+        assert [r.id for r in batch] == [0, 1]
+        assert batcher.queue_depth == 3
+
+    def test_admission_control_rejects_when_full(self):
+        batcher = MicroBatcher(BatchPolicy(max_queue_depth=2))
+        assert batcher.offer(make_request(0, 0.0))
+        assert batcher.offer(make_request(1, 0.0))
+        assert not batcher.offer(make_request(2, 0.0))
+        assert batcher.queue_depth == 2
+
+
+class TestRequestTimings:
+    def test_latency_properties(self):
+        request = make_request(0, 1.0)
+        assert request.wait_s is None and request.latency_s is None
+        request.dispatch_s = 1.5
+        request.complete_s = 2.0
+        assert request.wait_s == pytest.approx(0.5)
+        assert request.latency_s == pytest.approx(1.0)

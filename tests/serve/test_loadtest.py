@@ -1,0 +1,133 @@
+"""Tests for repro.serve.loadtest — arrivals, determinism, batching gains."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ServingError
+from repro.serve.batcher import BatchPolicy
+from repro.serve.cache import FeatureCache
+from repro.serve.engine import ConstantServiceModel, ServingEngine
+from repro.serve.loadtest import BurstArrivals, LoadTestHarness, PoissonArrivals
+from repro.serve.registry import ServableModel
+
+
+@pytest.fixture
+def servable(small_ae):
+    return ServableModel("ae", small_ae)
+
+
+def make_harness(servable, max_batch, rate, duration=0.5, seed=0, **engine_kwargs):
+    engine_kwargs.setdefault(
+        # 1 ms dispatch overhead + 0.05 ms/example: strong batching incentive.
+        "service_model",
+        ConstantServiceModel(base_s=1e-3, per_example_s=5e-5),
+    )
+    engine = ServingEngine(
+        servable,
+        policy=BatchPolicy(max_batch_size=max_batch, max_wait_s=2e-3),
+        **engine_kwargs,
+    )
+    return LoadTestHarness(engine, PoissonArrivals(rate), duration_s=duration, seed=seed)
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_roughly_respected(self):
+        rng = np.random.default_rng(0)
+        times = PoissonArrivals(1000.0).arrival_times(2.0, rng)
+        assert 1600 < len(times) < 2400
+        assert all(0 <= t < 2.0 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_deterministic_given_rng(self):
+        a = PoissonArrivals(500.0).arrival_times(1.0, np.random.default_rng(7))
+        b = PoissonArrivals(500.0).arrival_times(1.0, np.random.default_rng(7))
+        assert a == b
+
+    def test_burst_rate_profile(self):
+        rng = np.random.default_rng(0)
+        arrivals = BurstArrivals(100.0, 5000.0, period_s=1.0, burst_len_s=0.1)
+        times = arrivals.arrival_times(1.0, rng)
+        in_burst = sum(1 for t in times if t < 0.1)
+        assert in_burst > len(times) / 2  # the 10% burst window dominates
+
+    @pytest.mark.parametrize(
+        "ctor",
+        [
+            lambda: PoissonArrivals(0.0),
+            lambda: BurstArrivals(100.0, 50.0, 1.0, 0.1),
+            lambda: BurstArrivals(100.0, 200.0, 1.0, 2.0),
+        ],
+    )
+    def test_invalid_processes(self, ctor):
+        with pytest.raises(ConfigurationError):
+            ctor()
+
+
+class TestLoadTestHarness:
+    def test_report_accounting_consistent(self, servable):
+        report = make_harness(servable, max_batch=8, rate=2000.0).run()
+        assert report.offered == report.served + report.rejected
+        assert report.served > 0
+        assert report.throughput_rps == pytest.approx(report.served / report.makespan_s)
+        assert report.latency_p50_s <= report.latency_p95_s <= report.latency_p99_s
+        assert 1.0 <= report.mean_batch_size <= 8.0
+
+    def test_deterministic_across_runs(self, servable, small_ae):
+        """Same seed ⇒ bit-identical latency histograms and report."""
+        first = make_harness(servable, max_batch=16, rate=3000.0, seed=42).run()
+        second = make_harness(
+            ServableModel("ae2", small_ae), max_batch=16, rate=3000.0, seed=42
+        ).run()
+        assert first.latency_buckets == second.latency_buckets
+        assert first.served == second.served
+        assert first.throughput_rps == second.throughput_rps
+        assert first.latency_p99_s == second.latency_p99_s
+
+    def test_different_seeds_differ(self, servable, small_ae):
+        first = make_harness(servable, max_batch=16, rate=3000.0, seed=1).run()
+        second = make_harness(
+            ServableModel("ae2", small_ae), max_batch=16, rate=3000.0, seed=2
+        ).run()
+        assert first.latency_buckets != second.latency_buckets
+
+    def test_batching_at_least_doubles_saturated_throughput(self, servable, small_ae):
+        """The acceptance gate: at high arrival rate, dynamic batching
+        must deliver ≥ 2× the throughput of batch-size-1 serving."""
+        # base_s=1ms ⇒ batch-1 capacity ≈ 950 rps; offered 8000 rps.
+        unbatched = make_harness(servable, max_batch=1, rate=8000.0).run()
+        batched = make_harness(
+            ServableModel("ae2", small_ae), max_batch=32, rate=8000.0
+        ).run()
+        assert unbatched.rejected > 0  # the unbatched server saturates
+        assert batched.throughput_rps >= 2.0 * unbatched.throughput_rps
+        assert batched.mean_batch_size > 2.0
+
+    def test_cache_accelerates_repetitive_traffic(self, servable):
+        harness = make_harness(servable, max_batch=8, rate=2000.0, cache=FeatureCache())
+        harness.payload_pool = 4  # heavy payload reuse
+        report = harness.run()
+        assert report.cache_hits > report.served / 2
+
+    def test_harness_is_single_use(self, servable):
+        harness = make_harness(servable, max_batch=4, rate=500.0, duration=0.1)
+        harness.run()
+        with pytest.raises(ServingError, match="single-use"):
+            harness.run()
+
+    def test_all_served_requests_carry_results(self, servable):
+        engine = ServingEngine(
+            servable,
+            policy=BatchPolicy(max_batch_size=4, max_wait_s=1e-3),
+            service_model=ConstantServiceModel(base_s=1e-4, per_example_s=1e-5),
+        )
+        harness = LoadTestHarness(engine, PoissonArrivals(500.0), duration_s=0.2, seed=3)
+        report = harness.run()
+        assert report.rejected == 0
+        assert report.goodput_fraction == 1.0
+
+    def test_explicit_payloads_validated(self, servable):
+        engine = ServingEngine(servable, service_model=ConstantServiceModel())
+        with pytest.raises(ConfigurationError, match="payloads"):
+            LoadTestHarness(
+                engine, PoissonArrivals(100.0), payloads=np.zeros((4, 7))
+            ).run()

@@ -1,0 +1,82 @@
+"""Tests for repro.serve.metrics — histograms and the metrics bundle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.metrics import LatencyHistogram, ServingMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.percentile(99) == 0.0
+        assert hist.mean == 0.0
+
+    def test_percentiles_nearest_rank(self):
+        hist = LatencyHistogram()
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]:
+            hist.record(v)
+        assert hist.percentile(50) == 5.0
+        assert hist.percentile(95) == 10.0
+        assert hist.percentile(100) == 10.0
+        assert hist.percentile(0) == 1.0
+
+    def test_mean(self):
+        hist = LatencyHistogram()
+        for v in (1.0, 3.0):
+            hist.record(v)
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_bucket_counts_partition_samples(self):
+        hist = LatencyHistogram()
+        values = [0.0, 1e-9, 3.7e-4, 0.02, 5.0, 1e6]
+        for v in values:
+            hist.record(v)
+        counts = hist.bucket_counts()
+        assert sum(counts) == len(values)
+        assert counts[0] == 2  # 0.0 and 1e-9 underflow
+        assert counts[-1] == 1  # 1e6 overflows
+
+    def test_bucket_edges_consistent_with_samples(self):
+        # Values at awkward float positions must land in exactly one bucket.
+        hist = LatencyHistogram()
+        for exp in range(-6, 3):
+            hist.record(10.0**exp)
+        assert sum(hist.bucket_counts()) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram().record(-1.0)
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram().percentile(101)
+
+
+class TestServingMetrics:
+    def test_counters_roll_up(self):
+        metrics = ServingMetrics()
+        metrics.on_received()
+        metrics.on_received()
+        metrics.on_rejected()
+        metrics.on_batch(4)
+        metrics.on_batch(2)
+        metrics.on_served(0.001, 0.002, 0.003)
+        metrics.on_queue_depth(7)
+        metrics.on_queue_depth(3)
+        assert metrics.received == 2
+        assert metrics.rejected == 1
+        assert metrics.served == 1
+        assert metrics.mean_batch_size == pytest.approx(3.0)
+        assert metrics.max_queue_depth == 7
+
+    def test_rows_render_as_table(self):
+        from repro.bench.report import format_table
+
+        metrics = ServingMetrics()
+        metrics.on_received()
+        metrics.on_served(0.001, 0.002, 0.003)
+        text = format_table(metrics.rows(), title="serving")
+        assert "latency_p99_s" in text
+        assert "requests_served" in text

@@ -1,0 +1,115 @@
+"""Tests for repro.serve.registry — servable wrappers and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError, ShapeError
+from repro.nn.gaussian_rbm import GaussianBernoulliRBM
+from repro.nn.mlp import DeepNetwork
+from repro.nn.rbm import RBM
+from repro.nn.stacked import LayerSpec, StackedAutoencoder
+from repro.phi.kernels import KernelKind
+from repro.serve.registry import ModelRegistry, ServableModel
+from repro.utils.serialization import save_model
+
+
+class TestServableModel:
+    def test_autoencoder_predict_is_encode(self, small_ae, rng):
+        servable = ServableModel("ae", small_ae)
+        x = rng.random((4, 25))
+        np.testing.assert_array_equal(servable.predict(x), small_ae.encode(x))
+        assert (servable.n_inputs, servable.n_outputs) == (25, 9)
+
+    def test_rbm_predict_is_transform(self, rng):
+        model = RBM(10, 6, seed=0)
+        servable = ServableModel("rbm", model)
+        v = (rng.random((3, 10)) > 0.5).astype(float)
+        np.testing.assert_array_equal(servable.predict(v), model.transform(v))
+
+    def test_gaussian_rbm_served(self, rng):
+        model = GaussianBernoulliRBM(5, 4, seed=0)
+        servable = ServableModel("grbm", model)
+        assert servable.predict(rng.normal(size=(2, 5))).shape == (2, 4)
+
+    def test_stack_predict_is_full_transform(self, digits_25):
+        stack = StackedAutoencoder(
+            25, [LayerSpec(9, epochs=1), LayerSpec(4, epochs=1)], seed=0
+        ).pretrain(digits_25)
+        servable = ServableModel("stack", stack)
+        np.testing.assert_array_equal(
+            servable.predict(digits_25), stack.transform(digits_25)
+        )
+        assert servable.widths == [25, 9, 4]
+
+    def test_untrained_stack_rejected(self):
+        stack = StackedAutoencoder(25, [LayerSpec(9)])
+        with pytest.raises(ServingError, match="un-pretrained"):
+            ServableModel("stack", stack)
+
+    def test_softmax_network_serves_probabilities(self, rng):
+        net = DeepNetwork([6, 5, 3], head="softmax", seed=0)
+        servable = ServableModel("clf", net)
+        out = servable.predict(rng.random((4, 6)))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_regression_network_serves_outputs(self, rng):
+        net = DeepNetwork([6, 4, 2], head="identity", seed=0)
+        servable = ServableModel("reg", net)
+        x = rng.random((3, 6))
+        np.testing.assert_array_equal(servable.predict(x), net.predict(x))
+
+    def test_unsupported_model_rejected(self):
+        with pytest.raises(ServingError, match="cannot serve"):
+            ServableModel("x", object())
+
+    def test_wrong_input_width_rejected(self, small_ae, rng):
+        servable = ServableModel("ae", small_ae)
+        with pytest.raises(ShapeError):
+            servable.predict(rng.random((3, 7)))
+
+    def test_forward_levels_one_gemm_per_layer(self, digits_25):
+        stack = StackedAutoencoder(
+            25, [LayerSpec(9, epochs=1), LayerSpec(4, epochs=1)], seed=0
+        ).pretrain(digits_25)
+        levels = ServableModel("stack", stack).forward_levels(16)
+        gemms = [k for level in levels for k in level if k.kind is KernelKind.GEMM]
+        assert len(gemms) == 2
+        # GEMM shape of layer 0: batch x hidden x visible.
+        assert gemms[0].gemm_shape == (16, 9, 25)
+
+    def test_forward_levels_rejects_bad_batch(self, small_ae):
+        with pytest.raises(ServingError):
+            ServableModel("ae", small_ae).forward_levels(0)
+
+
+class TestModelRegistry:
+    def test_register_get_names(self, small_ae):
+        registry = ModelRegistry()
+        servable = registry.register("ae", small_ae)
+        assert registry.get("ae") is servable
+        assert registry.names() == ["ae"]
+        assert "ae" in registry and len(registry) == 1
+
+    def test_double_register_rejected(self, small_ae):
+        registry = ModelRegistry()
+        registry.register("ae", small_ae)
+        with pytest.raises(ServingError, match="already registered"):
+            registry.register("ae", small_ae)
+
+    def test_unknown_name_lists_known(self, small_ae):
+        registry = ModelRegistry()
+        registry.register("ae", small_ae)
+        with pytest.raises(ServingError, match="ae"):
+            registry.get("missing")
+
+    def test_unregister(self, small_ae):
+        registry = ModelRegistry()
+        registry.register("ae", small_ae)
+        registry.unregister("ae")
+        assert len(registry) == 0
+
+    def test_load_from_archive(self, small_ae, tmp_path, rng):
+        path = save_model(small_ae, tmp_path / "ae.npz")
+        servable = ModelRegistry().load("ae", path)
+        x = rng.random((4, 25))
+        np.testing.assert_array_equal(servable.predict(x), small_ae.encode(x))

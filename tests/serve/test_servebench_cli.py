@@ -1,0 +1,52 @@
+"""End-to-end: the `serve-bench` CLI artefact on a freshly trained model."""
+
+import pytest
+
+from repro.cli import main
+from repro.serve.benchrun import run_serve_bench, train_demo_servable
+
+
+class TestServeBenchRows:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        servable = train_demo_servable(n_examples=96, epochs=1, seed=0)
+        return run_serve_bench(
+            servable=servable,
+            batch_sizes=(1, 16),
+            rates=(500.0, 20_000.0),
+            duration_s=0.25,
+            seed=0,
+        )
+
+    def test_grid_shape(self, rows):
+        assert len(rows) == 4
+        assert {(r["max_batch"], r["rate_rps"]) for r in rows} == {
+            (1, 500.0), (1, 20_000.0), (16, 500.0), (16, 20_000.0),
+        }
+
+    def test_rows_have_report_columns(self, rows):
+        for row in rows:
+            for column in ("throughput_rps", "p50_ms", "p95_ms", "p99_ms", "mean_batch"):
+                assert column in row
+            assert row["served"] + row["rejected"] == row["offered"]
+
+    def test_batching_wins_at_saturation(self, rows):
+        by_cell = {(r["max_batch"], r["rate_rps"]): r for r in rows}
+        slow = by_cell[(1, 20_000.0)]
+        fast = by_cell[(16, 20_000.0)]
+        assert fast["throughput_rps"] >= 2.0 * slow["throughput_rps"]
+
+
+class TestServeBenchCli:
+    def test_cli_emits_full_report(self, capsys):
+        assert main(["serve-bench", "--duration", "0.2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving sweep" in out
+        for column in ("throughput_rps", "p50_ms", "p95_ms", "p99_ms", "mean_batch"):
+            assert column in out
+
+    def test_cli_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "serve.csv"
+        assert main(["serve-bench", "--duration", "0.1", "--csv", str(path)]) == 0
+        header = path.read_text().splitlines()[0]
+        assert "max_batch" in header and "throughput_rps" in header
