@@ -39,6 +39,7 @@ from repro.bench.report import (
     write_json,
 )
 from repro.bench.sweep import simulate_seconds, sweep
+from repro.bench.hotpath import run_hotpath_bench
 
 __all__ = [
     "FIG7_NETWORKS",
@@ -67,4 +68,5 @@ __all__ = [
     "format_timeline",
     "sweep",
     "simulate_seconds",
+    "run_hotpath_bench",
 ]

@@ -1,0 +1,242 @@
+"""Wall-clock benchmark for the fused (workspace) training hot path.
+
+Measures the reference allocating kernels against the fused
+zero-allocation kernels (``gradients_into`` / workspace-backed
+``contrastive_divergence``) for the paper's two pre-training models, at
+the paper-scale layer (batch 100, 4096 -> 1024) plus a quick shape for
+CI smoke runs.
+
+Protocol: ref and fused trials are interleaved and the minimum trial
+time is reported, which suppresses thermal / scheduler noise far better
+than a single averaged run.  Each row also records the max absolute
+gradient difference between the two paths so the report doubles as an
+equivalence check.
+
+The JSON report is versioned (``schema``) and CI compares *speedup
+ratios* against a committed baseline — ratios are stable across machines
+even when absolute milliseconds are not.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+SCHEMA_ID = "repro.bench_hotpath/v1"
+
+#: (batch, n_visible, n_hidden) — the paper's 4096→1024 layer, batch 100.
+PAPER_SHAPES: Tuple[Tuple[int, int, int], ...] = ((100, 4096, 1024),)
+
+#: Small shape for CI smoke runs (seconds, not minutes).
+QUICK_SHAPES: Tuple[Tuple[int, int, int], ...] = ((64, 512, 256),)
+
+#: Equivalence gate for the fused kernels (ISSUE acceptance criterion).
+EQUIV_TOL = 1e-10
+
+_ROW_KEYS = ("model", "batch", "n_visible", "n_hidden")
+_ROW_FIELDS = _ROW_KEYS + ("ref_ms", "fused_ms", "speedup", "max_abs_diff")
+
+
+def _bench_pair(ref, fused, trials: int, inner: int) -> Tuple[float, float]:
+    """Interleaved min-of-trials timing of two callables, in ms."""
+    for _ in range(2):  # warm-up: populate workspace buffers, JIT BLAS paths
+        ref()
+        fused()
+    ref_times: List[float] = []
+    fused_times: List[float] = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            ref()
+        ref_times.append((time.perf_counter() - t0) / inner)
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fused()
+        fused_times.append((time.perf_counter() - t0) / inner)
+    return min(ref_times) * 1e3, min(fused_times) * 1e3
+
+
+def _sae_row(
+    batch: int, n_visible: int, n_hidden: int, trials: int, inner: int, seed: int
+) -> Dict:
+    from repro.nn.autoencoder import SparseAutoencoder
+    from repro.runtime.workspace import Workspace
+
+    rng = np.random.default_rng(seed)
+    x = rng.random((batch, n_visible))
+    sae = SparseAutoencoder(n_visible, n_hidden, seed=seed)
+    ws = Workspace(name="bench-sae")
+
+    loss_ref, g_ref = sae.gradients(x)
+    loss_fused, g_fused = sae.gradients_into(x, ws)
+    diff = max(
+        abs(loss_ref - loss_fused),
+        float(np.max(np.abs(g_ref.w1 - g_fused.w1))),
+        float(np.max(np.abs(g_ref.b1 - g_fused.b1))),
+        float(np.max(np.abs(g_ref.w2 - g_fused.w2))),
+        float(np.max(np.abs(g_ref.b2 - g_fused.b2))),
+    )
+
+    lr = 1e-12  # keep parameters effectively fixed across timing reps
+
+    def ref() -> None:
+        _, grads = sae.gradients(x)
+        sae.apply_update(grads, lr)
+
+    def fused() -> None:
+        _, grads = sae.gradients_into(x, ws)
+        sae.apply_update(grads, lr, workspace=ws)
+
+    ref_ms, fused_ms = _bench_pair(ref, fused, trials, inner)
+    return _row("sae", batch, n_visible, n_hidden, ref_ms, fused_ms, diff)
+
+
+def _rbm_row(
+    batch: int, n_visible: int, n_hidden: int, trials: int, inner: int, seed: int
+) -> Dict:
+    from repro.nn.rbm import RBM
+    from repro.runtime.workspace import Workspace
+
+    rng = np.random.default_rng(seed)
+    x = (rng.random((batch, n_visible)) < 0.5).astype(np.float64)
+    rbm = RBM(n_visible, n_hidden, seed=seed)
+    ws = Workspace(name="bench-rbm")
+
+    s_ref = rbm.contrastive_divergence(x, rng=np.random.default_rng(seed))
+    s_fused = rbm.contrastive_divergence(
+        x, rng=np.random.default_rng(seed), workspace=ws
+    )
+    diff = max(
+        float(np.max(np.abs(s_ref.grad_w - s_fused.grad_w))),
+        float(np.max(np.abs(s_ref.grad_b - s_fused.grad_b))),
+        float(np.max(np.abs(s_ref.grad_c - s_fused.grad_c))),
+        abs(s_ref.reconstruction_error - s_fused.reconstruction_error),
+    )
+
+    lr = 1e-12
+    gen_ref = np.random.default_rng(seed + 1)
+    gen_fused = np.random.default_rng(seed + 1)
+
+    def ref() -> None:
+        stats = rbm.contrastive_divergence(x, rng=gen_ref)
+        rbm.apply_update(stats, lr)
+
+    def fused() -> None:
+        stats = rbm.contrastive_divergence(x, rng=gen_fused, workspace=ws)
+        rbm.apply_update(stats, lr, workspace=ws)
+
+    ref_ms, fused_ms = _bench_pair(ref, fused, trials, inner)
+    return _row("rbm", batch, n_visible, n_hidden, ref_ms, fused_ms, diff)
+
+
+def _row(model, batch, n_visible, n_hidden, ref_ms, fused_ms, diff) -> Dict:
+    return {
+        "model": model,
+        "batch": batch,
+        "n_visible": n_visible,
+        "n_hidden": n_hidden,
+        "ref_ms": round(ref_ms, 3),
+        "fused_ms": round(fused_ms, 3),
+        # derived from the rounded fields so the report is self-consistent
+        "speedup": round(round(ref_ms, 3) / round(fused_ms, 3), 4),
+        "max_abs_diff": float(diff),
+    }
+
+
+def run_hotpath_bench(
+    shapes: Optional[Sequence[Tuple[int, int, int]]] = None,
+    trials: int = 8,
+    inner: int = 4,
+    seed: int = 0,
+) -> Dict:
+    """Run the hot-path benchmark and return the versioned report dict."""
+    from repro.runtime.linalg import HAVE_BLAS
+
+    if shapes is None:
+        shapes = PAPER_SHAPES
+    rows: List[Dict] = []
+    for batch, n_visible, n_hidden in shapes:
+        rows.append(_sae_row(batch, n_visible, n_hidden, trials, inner, seed))
+        rows.append(_rbm_row(batch, n_visible, n_hidden, trials, inner, seed))
+    return {
+        "schema": SCHEMA_ID,
+        "have_blas": bool(HAVE_BLAS),
+        "equiv_tol": EQUIV_TOL,
+        "rows": rows,
+    }
+
+
+def validate_report(report: Dict) -> None:
+    """Raise :class:`ConfigurationError` unless ``report`` matches the schema."""
+    if not isinstance(report, dict):
+        raise ConfigurationError("hotpath report must be a dict")
+    if report.get("schema") != SCHEMA_ID:
+        raise ConfigurationError(
+            f"hotpath report schema must be {SCHEMA_ID!r}, "
+            f"got {report.get('schema')!r}"
+        )
+    rows = report.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise ConfigurationError("hotpath report must carry a non-empty 'rows' list")
+    for i, row in enumerate(rows):
+        for field in _ROW_FIELDS:
+            if field not in row:
+                raise ConfigurationError(f"rows[{i}] missing field {field!r}")
+        for field in ("ref_ms", "fused_ms", "speedup"):
+            if not (isinstance(row[field], (int, float)) and row[field] > 0):
+                raise ConfigurationError(
+                    f"rows[{i}][{field!r}] must be a positive number"
+                )
+        if row["max_abs_diff"] > report.get("equiv_tol", EQUIV_TOL):
+            raise ConfigurationError(
+                f"rows[{i}] equivalence violated: max_abs_diff "
+                f"{row['max_abs_diff']:g} > {report.get('equiv_tol', EQUIV_TOL):g}"
+            )
+
+
+def compare_to_baseline(
+    report: Dict, baseline: Dict, max_regression: float = 0.25
+) -> List[str]:
+    """Flag rows whose *speedup ratio* regressed vs the committed baseline.
+
+    Ratios (not milliseconds) are compared, so the check is meaningful on
+    any machine.  Returns a list of human-readable failure strings; an
+    empty list means the report is within ``max_regression`` everywhere.
+    """
+    validate_report(report)
+    validate_report(baseline)
+    base_by_key = {
+        tuple(row[k] for k in _ROW_KEYS): row for row in baseline["rows"]
+    }
+    failures: List[str] = []
+    for row in report["rows"]:
+        key = tuple(row[k] for k in _ROW_KEYS)
+        base = base_by_key.get(key)
+        if base is None:
+            continue  # new shape, nothing to regress against
+        floor = base["speedup"] * (1.0 - max_regression)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['model']} {key[1:]}: speedup {row['speedup']:.2f}x "
+                f"< floor {floor:.2f}x (baseline {base['speedup']:.2f}x, "
+                f"allowed regression {max_regression:.0%})"
+            )
+    return failures
+
+
+def load_report(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_report(report: Dict, path: str) -> str:
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path

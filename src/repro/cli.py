@@ -8,7 +8,8 @@
     python -m repro cores                  # core-count scaling extension
     python -m repro roofline               # roofline of one SAE step
     python -m repro serve-bench            # inference serving sweep
-    python -m repro all                    # everything
+    python -m repro hotpath [--quick]      # fused-kernel wall-clock bench
+    python -m repro all                    # everything (except hotpath)
     python -m repro table1 --csv out.csv   # export rows
 
 Exit status 0 on success; harness errors propagate as non-zero.
@@ -76,13 +77,27 @@ def _rows_for(command: str, model: str, args=None):
             duration_s=duration, seed=0 if seed is None else seed
         )
         return rows, "Serving sweep: batch policy x arrival rate (simulated Phi)"
+    if command == "hotpath":
+        from repro.bench.hotpath import QUICK_SHAPES, run_hotpath_bench
+
+        quick = bool(getattr(args, "quick", False))
+        report = run_hotpath_bench(
+            shapes=QUICK_SHAPES if quick else None,
+            trials=5 if quick else 8,
+            inner=3 if quick else 4,
+            seed=getattr(args, "seed", None) or 0,
+        )
+        return report["rows"], "Hot path: reference vs fused training step (wall clock)"
     raise ValueError(f"unknown command {command!r}")
 
 
 _COMMANDS = [
     "table1", "fig7", "fig8", "fig9", "fig10", "overlap", "headline",
-    "cores", "roofline", "serve-bench", "verify", "all",
+    "cores", "roofline", "serve-bench", "hotpath", "verify", "all",
 ]
+
+#: commands too slow / machine-dependent to fold into ``all``
+_EXCLUDED_FROM_ALL = {"hotpath"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,7 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed",
         type=int,
         default=None,
-        help="serve-bench: workload seed (default 0)",
+        help="serve-bench / hotpath: workload seed (default 0)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="hotpath: small shapes + fewer trials (CI smoke run)",
     )
     return parser
 
@@ -124,7 +144,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.bench.report import format_table, write_csv, write_json
 
     commands = (
-        [c for c in _COMMANDS if c != "all"] if args.command == "all" else [args.command]
+        [c for c in _COMMANDS if c != "all" and c not in _EXCLUDED_FROM_ALL]
+        if args.command == "all"
+        else [args.command]
     )
     all_rows = []
     status = 0

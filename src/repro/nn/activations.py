@@ -11,12 +11,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.utils.mathx import sigmoid
+from repro.utils.mathx import sigmoid, sigmoid_into
 
 
 class Activation:
     """Interface: ``forward`` maps pre-activations, ``grad_from_output`` maps
-    activations to the local derivative used by back-propagation."""
+    activations to the local derivative used by back-propagation.
+
+    The ``*_into`` variants are the fused hot-path forms (paper §IV.B):
+    they write through preallocated buffers and perform no allocations.
+    ``mask`` (bool) and ``scratch`` (float64) match the operand shape;
+    activations that don't need them ignore them.
+    """
 
     name: str = "abstract"
 
@@ -24,6 +30,14 @@ class Activation:
         raise NotImplementedError
 
     def grad_from_output(self, a: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward_into(self, z, out, mask=None, scratch=None) -> np.ndarray:
+        """In-place forward pass; ``out`` may alias ``z``."""
+        raise NotImplementedError
+
+    def mul_grad_into(self, delta, a, scratch=None) -> np.ndarray:
+        """``delta *= s'(a)`` in place, using ``scratch`` for s'(a)."""
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -41,6 +55,17 @@ class Sigmoid(Activation):
     def grad_from_output(self, a: np.ndarray) -> np.ndarray:
         return a * (1.0 - a)
 
+    def forward_into(self, z, out, mask=None, scratch=None) -> np.ndarray:
+        return sigmoid_into(z, out, mask=mask, scratch=scratch)
+
+    def mul_grad_into(self, delta, a, scratch=None) -> np.ndarray:
+        if scratch is None:
+            scratch = np.empty(np.shape(a), dtype=np.float64)
+        np.subtract(1.0, a, out=scratch)
+        scratch *= a
+        delta *= scratch
+        return delta
+
 
 class Identity(Activation):
     """Linear output unit (Gaussian visible layer / linear decoder)."""
@@ -53,6 +78,15 @@ class Identity(Activation):
     def grad_from_output(self, a: np.ndarray) -> np.ndarray:
         return np.ones_like(a)
 
+    def forward_into(self, z, out, mask=None, scratch=None) -> np.ndarray:
+        if out is not z:
+            np.copyto(out, z)
+        return out
+
+    def mul_grad_into(self, delta, a, scratch=None) -> np.ndarray:
+        return delta  # s'(a) ≡ 1
+
+
 class Tanh(Activation):
     """Hyperbolic tangent; derivative 1−a²."""
 
@@ -63,6 +97,17 @@ class Tanh(Activation):
 
     def grad_from_output(self, a: np.ndarray) -> np.ndarray:
         return 1.0 - a * a
+
+    def forward_into(self, z, out, mask=None, scratch=None) -> np.ndarray:
+        return np.tanh(z, out=out)
+
+    def mul_grad_into(self, delta, a, scratch=None) -> np.ndarray:
+        if scratch is None:
+            scratch = np.empty(np.shape(a), dtype=np.float64)
+        np.multiply(a, a, out=scratch)
+        np.subtract(1.0, scratch, out=scratch)
+        delta *= scratch
+        return delta
 
 
 _REGISTRY = {cls.name: cls for cls in (Sigmoid, Identity, Tanh)}

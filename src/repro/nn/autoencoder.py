@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError
 from repro.nn.activations import Activation, Sigmoid, get_activation
 from repro.nn.cost import SparseAutoencoderCost
 from repro.nn.init import uniform_fanin_init, zeros_init
+from repro.runtime.linalg import HAVE_BLAS, axpy_into, dot_self, gemm_into
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_int, check_matrix_shapes
 
@@ -164,12 +165,114 @@ class SparseAutoencoder:
         grad_b1 = delta2.mean(axis=0)
         return loss, AutoencoderGradients(grad_w1, grad_b1, grad_w2, grad_b2)
 
-    def apply_update(self, grads: AutoencoderGradients, learning_rate: float) -> None:
-        """In-place gradient-descent step (the paper's vectorised Eqs. 16–18)."""
-        self.w1 -= learning_rate * grads.w1
-        self.b1 -= learning_rate * grads.b1
-        self.w2 -= learning_rate * grads.w2
-        self.b2 -= learning_rate * grads.b2
+    def gradients_into(
+        self,
+        x: np.ndarray,
+        workspace,
+        out: Optional[AutoencoderGradients] = None,
+    ) -> Tuple[float, AutoencoderGradients]:
+        """Fused, zero-allocation variant of :meth:`gradients` (paper §IV.B).
+
+        Every GEMM runs ``np.dot(..., out=)`` into buffers from
+        ``workspace`` (:class:`repro.runtime.workspace.Workspace`), every
+        element-wise map runs in place, and the loss terms are reduced
+        through scratch buffers — after one warm-up call the step performs
+        no array allocations.  Results match :meth:`gradients` (the
+        reference oracle) to machine precision.
+
+        ``out`` receives the gradients; when omitted they live in workspace
+        buffers that are *overwritten by the next call*, so apply them (or
+        copy) before re-invoking.
+        """
+        ws = workspace
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        if not x.flags["C_CONTIGUOUS"]:
+            x = np.ascontiguousarray(x)
+        m = x.shape[0]
+        h, v = self.n_hidden, self.n_visible
+        if out is None:
+            out = AutoencoderGradients(
+                ws.buf("sae.grad_w1", (h, v)),
+                ws.buf("sae.grad_b1", (h,)),
+                ws.buf("sae.grad_w2", (v, h)),
+                ws.buf("sae.grad_b2", (v,)),
+            )
+
+        hidden = ws.buf("sae.hidden", (m, h))
+        mask_h = ws.buf("sae.mask_h", (m, h), bool)
+        scr_h = ws.buf("sae.scr_h", (m, h))
+        np.dot(x, self.w1.T, out=hidden)
+        hidden += ws.broadcast("sae.b1_full", self.b1, (m, h))
+        self.hidden_activation.forward_into(hidden, hidden, mask=mask_h, scratch=scr_h)
+
+        recon = ws.buf("sae.recon", (m, v))
+        mask_v = ws.buf("sae.mask_v", (m, v), bool)
+        scr_v = ws.buf("sae.scr_v", (m, v))
+        np.dot(hidden, self.w2.T, out=recon)
+        recon += ws.broadcast("sae.b2_full", self.b2, (m, v))
+        self.output_activation.forward_into(recon, recon, mask=mask_v, scratch=scr_v)
+
+        rho_hat = ws.buf("sae.rho", (h,))
+        np.mean(hidden, axis=0, out=rho_hat)
+
+        diff = ws.buf("sae.diff", (m, v))
+        np.subtract(recon, x, out=diff)
+
+        # loss: single-pass BLAS reductions, no temporaries
+        loss = 0.5 * dot_self(diff) / m
+        loss += 0.5 * self.cost.weight_decay * (dot_self(self.w1) + dot_self(self.w2))
+        rho_scr1 = ws.buf("sae.rho_scr1", (h,))
+        rho_scr2 = ws.buf("sae.rho_scr2", (h,))
+        loss += self.cost.sparsity(rho_hat, out=rho_scr1, scratch=rho_scr2)
+
+        # δ₃ = (z − x) ⊙ s'(z), fused into ``diff``
+        self.output_activation.mul_grad_into(diff, recon, scratch=scr_v)
+        delta3 = diff
+
+        # weight-shaped scratch is only materialised for the non-BLAS fallback
+        scr_w1 = None if HAVE_BLAS else ws.buf("sae.scr_w1", (h, v))
+        scr_w2 = None if HAVE_BLAS else ws.buf("sae.scr_w2", (v, h))
+
+        gemm_into(delta3.T, hidden, out.w2, alpha=1.0 / m)
+        axpy_into(self.w2, out.w2, self.cost.weight_decay, scratch=scr_w2)
+        np.mean(delta3, axis=0, out=out.b2)
+
+        # δ₂ = (δ₃W₂ + sparsity term) ⊙ s'(y), fused into ``back``
+        back = ws.buf("sae.back", (m, h))
+        np.dot(delta3, self.w2, out=back)
+        if self.cost.sparsity_weight > 0.0:
+            self.cost.sparsity_delta(rho_hat, out=rho_scr1, scratch=rho_scr2)
+            back += ws.broadcast("sae.rho_full", rho_scr1, (m, h))
+        self.hidden_activation.mul_grad_into(back, hidden, scratch=scr_h)
+        delta2 = back
+
+        gemm_into(delta2.T, x, out.w1, alpha=1.0 / m)
+        axpy_into(self.w1, out.w1, self.cost.weight_decay, scratch=scr_w1)
+        np.mean(delta2, axis=0, out=out.b1)
+        return loss, out
+
+    def apply_update(
+        self, grads: AutoencoderGradients, learning_rate: float, workspace=None
+    ) -> None:
+        """In-place gradient-descent step (the paper's vectorised Eqs. 16–18).
+
+        With ``workspace`` the scaled-gradient temporaries come from the
+        arena, keeping the update allocation-free.
+        """
+        if workspace is None:
+            self.w1 -= learning_rate * grads.w1
+            self.b1 -= learning_rate * grads.b1
+            self.w2 -= learning_rate * grads.w2
+            self.b2 -= learning_rate * grads.b2
+            return
+        for name, param, grad in (
+            ("sae.upd_w1", self.w1, grads.w1),
+            ("sae.upd_b1", self.b1, grads.b1),
+            ("sae.upd_w2", self.w2, grads.w2),
+            ("sae.upd_b2", self.b2, grads.b2),
+        ):
+            scr = None if HAVE_BLAS else workspace.buf(name, param.shape)
+            axpy_into(grad, param, -learning_rate, scratch=scr)
 
     # ------------------------------------------------------------------
     # flat-parameter interface for batch optimizers (L-BFGS / CG, §III)
@@ -181,32 +284,120 @@ class SparseAutoencoder:
             self.w1.size + self.b1.size + self.w2.size + self.b2.size
         )
 
-    def get_flat_parameters(self) -> np.ndarray:
-        """Concatenate (W₁, b₁, W₂, b₂) into one vector (copy)."""
-        return np.concatenate(
-            [self.w1.ravel(), self.b1.ravel(), self.w2.ravel(), self.b2.ravel()]
-        )
+    @property
+    def uses_flat_views(self) -> bool:
+        """True when parameters are views into one flat vector."""
+        return getattr(self, "_flat_theta", None) is not None
+
+    def _flat_blocks(self, vec: np.ndarray) -> "AutoencoderGradients":
+        """(W₁, b₁, W₂, b₂)-shaped views into a flat vector (no copies)."""
+        h, v = self.n_hidden, self.n_visible
+        idx = 0
+        w1 = vec[idx : idx + h * v].reshape(h, v)
+        idx += h * v
+        b1 = vec[idx : idx + h]
+        idx += h
+        w2 = vec[idx : idx + v * h].reshape(v, h)
+        idx += v * h
+        b2 = vec[idx : idx + v]
+        return AutoencoderGradients(w1, b1, w2, b2)
+
+    def enable_flat_views(self) -> "SparseAutoencoder":
+        """Re-home (W₁, b₁, W₂, b₂) as views into one flat vector.
+
+        Afterwards :meth:`set_flat_parameters` copies *into* that vector in
+        place (no per-block ``.copy()``), :meth:`get_flat_parameters`
+        supports ``out=``, and :meth:`flat_loss_and_grad` skips the
+        save/restore round trip entirely — the parameter-churn fix for
+        L-BFGS/CG callbacks.  Idempotent.
+        """
+        if self.uses_flat_views:
+            return self
+        theta = self.get_flat_parameters()
+        views = self._flat_blocks(theta)
+        self._flat_theta = theta
+        self.w1, self.b1, self.w2, self.b2 = views.w1, views.b1, views.w2, views.b2
+        self._flat_grad = np.empty_like(theta)
+        self._flat_grad_views = self._flat_blocks(self._flat_grad)
+        return self
+
+    def get_flat_parameters(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Concatenate (W₁, b₁, W₂, b₂) into one vector.
+
+        Returns a fresh copy, or fills and returns ``out`` without
+        allocating when provided.
+        """
+        if out is None:
+            return np.concatenate(
+                [self.w1.ravel(), self.b1.ravel(), self.w2.ravel(), self.b2.ravel()]
+            )
+        if out.shape != (self.n_parameters,):
+            raise ConfigurationError(
+                f"out must have shape ({self.n_parameters},), got {out.shape}"
+            )
+        if self.uses_flat_views:
+            np.copyto(out, self._flat_theta)
+        else:
+            blocks = self._flat_blocks(out)
+            np.copyto(blocks.w1, self.w1)
+            np.copyto(blocks.b1, self.b1)
+            np.copyto(blocks.w2, self.w2)
+            np.copyto(blocks.b2, self.b2)
+        return out
 
     def set_flat_parameters(self, theta: np.ndarray) -> None:
-        """Load parameters from a flat vector produced by an optimizer."""
+        """Load parameters from a flat vector produced by an optimizer.
+
+        In flat-view mode (:meth:`enable_flat_views`) this is a single
+        in-place copy; otherwise each block is copied out separately.
+        """
         theta = np.asarray(theta, dtype=np.float64).ravel()
         if theta.size != self.n_parameters:
             raise ConfigurationError(
                 f"flat parameter vector has {theta.size} entries, "
                 f"model needs {self.n_parameters}"
             )
-        h, v = self.n_hidden, self.n_visible
-        idx = 0
-        self.w1 = theta[idx : idx + h * v].reshape(h, v).copy()
-        idx += h * v
-        self.b1 = theta[idx : idx + h].copy()
-        idx += h
-        self.w2 = theta[idx : idx + v * h].reshape(v, h).copy()
-        idx += v * h
-        self.b2 = theta[idx : idx + v].copy()
+        if self.uses_flat_views:
+            np.copyto(self._flat_theta, theta)
+            return
+        blocks = self._flat_blocks(theta)
+        self.w1 = blocks.w1.copy()
+        self.b1 = blocks.b1.copy()
+        self.w2 = blocks.w2.copy()
+        self.b2 = blocks.b2.copy()
 
-    def flat_loss_and_grad(self, theta: np.ndarray, x: np.ndarray):
-        """(loss, flat gradient) at parameters ``theta`` — optimizer callback."""
+    def flat_loss_and_grad(
+        self,
+        theta: np.ndarray,
+        x: np.ndarray,
+        workspace=None,
+        grad_out: Optional[np.ndarray] = None,
+    ):
+        """(loss, flat gradient) at parameters ``theta`` — optimizer callback.
+
+        Default mode saves and restores the current parameters around the
+        evaluation (the model is left untouched).  In flat-view mode the
+        model simply *adopts* ``theta`` — no save/restore copies — and the
+        gradient is assembled into flat storage directly; with ``workspace``
+        the whole evaluation is allocation-free apart from the returned
+        vector.  Pass ``grad_out`` to control where the gradient lands
+        (callers that keep gradients across iterations, like L-BFGS's
+        history, must hand in distinct buffers or copy).
+        """
+        if self.uses_flat_views:
+            np.copyto(self._flat_theta, np.asarray(theta, dtype=np.float64).ravel())
+            if workspace is not None:
+                loss, _ = self.gradients_into(x, workspace, out=self._flat_grad_views)
+            else:
+                loss, g = self.gradients(x)
+                np.copyto(self._flat_grad_views.w1, g.w1)
+                np.copyto(self._flat_grad_views.b1, g.b1)
+                np.copyto(self._flat_grad_views.w2, g.w2)
+                np.copyto(self._flat_grad_views.b2, g.b2)
+            if grad_out is None:
+                return loss, self._flat_grad.copy()
+            np.copyto(grad_out, self._flat_grad)
+            return loss, grad_out
         saved = self.get_flat_parameters()
         try:
             self.set_flat_parameters(theta)

@@ -53,17 +53,32 @@ class SparseAutoencoderCost:
         """The (λ/2)(‖W₁‖² + ‖W₂‖²) term."""
         return 0.5 * self.weight_decay * (float(np.sum(w1 * w1)) + float(np.sum(w2 * w2)))
 
-    def sparsity(self, rho_hat: np.ndarray) -> float:
-        """β Σⱼ KL(ρ‖ρ̂ⱼ); zero when the penalty is disabled."""
+    def sparsity(self, rho_hat: np.ndarray, out=None, scratch=None) -> float:
+        """β Σⱼ KL(ρ‖ρ̂ⱼ); zero when the penalty is disabled.
+
+        ``out``/``scratch`` (both shaped like ``rho_hat``) make the
+        evaluation allocation-free for the fused hot path.
+        """
         if self.sparsity_weight == 0.0:
             return 0.0
-        return self.sparsity_weight * float(np.sum(kl_bernoulli(self.sparsity_target, rho_hat)))
+        kl = kl_bernoulli(self.sparsity_target, rho_hat, out=out, scratch=scratch)
+        return self.sparsity_weight * float(np.sum(kl))
 
-    def sparsity_delta(self, rho_hat: np.ndarray) -> np.ndarray:
-        """β·∂KL/∂ρ̂ⱼ — the extra term added to hidden-layer deltas."""
+    def sparsity_delta(self, rho_hat: np.ndarray, out=None, scratch=None) -> np.ndarray:
+        """β·∂KL/∂ρ̂ⱼ — the extra term added to hidden-layer deltas.
+
+        Same optional ``out``/``scratch`` contract as :meth:`sparsity`.
+        """
         if self.sparsity_weight == 0.0:
-            return np.zeros_like(rho_hat)
-        return self.sparsity_weight * kl_bernoulli_grad(self.sparsity_target, rho_hat)
+            if out is None:
+                return np.zeros_like(rho_hat)
+            out.fill(0.0)
+            return out
+        grad = kl_bernoulli_grad(self.sparsity_target, rho_hat, out=out, scratch=scratch)
+        if out is None:
+            return self.sparsity_weight * grad
+        grad *= self.sparsity_weight
+        return grad
 
     def total(self, z, x, w1, w2, rho_hat) -> float:
         """Full objective J(W, b, ρ) of Eq. 5."""

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.mlp import DeepNetwork, one_hot
+from repro.runtime.workspace import Workspace
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_int, check_positive
 
@@ -66,12 +67,15 @@ def finetune(
 
     rng = as_generator(seed)
     result = FinetuneResult(network=network)
+    # Workspace-backed steps: same arithmetic as network.gradients, zero
+    # steady-state allocations (one buffer set per distinct batch shape).
+    ws = Workspace(name="finetune")
     for _epoch in range(epochs):
         order = rng.permutation(x.shape[0])
         for start in range(0, x.shape[0], batch_size):
             idx = order[start : start + batch_size]
-            loss, grads = network.gradients(x[idx], targets[idx])
-            network.apply_update(grads, learning_rate)
+            loss, grads = network.gradients_into(x[idx], targets[idx], ws)
+            network.apply_update(grads, learning_rate, workspace=ws)
             result.losses.append(float(loss))
             result.n_updates += 1
         if network.head == "softmax":

@@ -253,11 +253,110 @@ class DeepNetwork:
                 )
         return loss, grads
 
-    def apply_update(self, grads, learning_rate: float) -> None:
-        """In-place gradient-descent step."""
-        for layer, (dw, db) in zip(self.layers, grads):
-            layer.w -= learning_rate * dw
-            layer.b -= learning_rate * db
+    def gradients_into(self, x: np.ndarray, targets: np.ndarray, workspace):
+        """Fused, zero-allocation variant of :meth:`gradients` (paper §IV.B).
+
+        All GEMMs run ``np.dot(..., out=)`` into ``workspace`` buffers and
+        the element-wise maps (softmax, activations, deltas) run in place;
+        after one warm-up call per batch shape the step allocates nothing.
+        Produces bit-identical losses and gradients to :meth:`gradients`,
+        which stays as the reference oracle.  The returned gradient arrays
+        alias workspace buffers — apply them before the next call.
+        """
+        ws = workspace
+        x = check_matrix_shapes(x, self.n_in, "x")
+        targets = check_matrix_shapes(targets, self.n_out, "targets")
+        if not x.flags["C_CONTIGUOUS"]:
+            x = np.ascontiguousarray(x)
+        m = x.shape[0]
+
+        # forward, one buffer per layer (kept for the backward pass)
+        activations = [x]
+        cur = x
+        for i, layer in enumerate(self.layers):
+            a = ws.buf(f"mlp.a{i}", (m, layer.n_out))
+            np.dot(cur, layer.w.T, out=a)
+            # broadcast operands materialised full-shape: same-shape adds
+            # avoid the temporary NumPy allocates when broadcasting
+            a += ws.broadcast(f"mlp.b{i}_full", layer.b, (m, layer.n_out))
+            if self.head == "softmax" and i == self.n_layers - 1:
+                red = ws.buf("mlp.rowred", (m, 1))
+                np.max(a, axis=1, keepdims=True, out=red)
+                a -= ws.broadcast("mlp.rowred_full", red, (m, layer.n_out))
+                np.exp(a, out=a)
+                np.sum(a, axis=1, keepdims=True, out=red)
+                a /= ws.broadcast("mlp.rowred_full", red, (m, layer.n_out))
+            else:
+                mask = ws.buf(f"mlp.mask{i}", (m, layer.n_out), bool)
+                scr = ws.buf(f"mlp.scr{i}", (m, layer.n_out))
+                layer.activation.forward_into(a, a, mask=mask, scratch=scr)
+            activations.append(a)
+            cur = a
+        out = activations[-1]
+
+        # loss and output delta
+        last = self.n_layers - 1
+        scr_out = ws.buf(f"mlp.scr{last}", (m, self.n_out))
+        delta = ws.buf(f"mlp.delta{last}", (m, self.n_out))
+        if self.head == "softmax":
+            np.clip(out, 1e-12, None, out=scr_out)
+            np.log(scr_out, out=scr_out)
+            scr_out *= targets
+            loss = -float(np.sum(scr_out)) / m
+            np.subtract(out, targets, out=delta)
+            delta /= m
+        else:
+            np.subtract(out, targets, out=delta)
+            np.multiply(delta, delta, out=scr_out)
+            loss = 0.5 * float(np.sum(scr_out)) / m
+            self.layers[-1].activation.mul_grad_into(delta, out, scratch=scr_out)
+            delta /= m
+        decay_sum = 0
+        for i, layer in enumerate(self.layers):
+            scr_w = ws.buf(f"mlp.scr_w{i}", layer.w.shape)
+            np.multiply(layer.w, layer.w, out=scr_w)
+            decay_sum += float(np.sum(scr_w))
+        loss += 0.5 * self.weight_decay * decay_sum
+
+        # backward
+        grads: List[Tuple[np.ndarray, np.ndarray]] = [None] * self.n_layers
+        for i in range(self.n_layers - 1, -1, -1):
+            layer = self.layers[i]
+            gw = ws.buf(f"mlp.gw{i}", layer.w.shape)
+            np.dot(delta.T, activations[i], out=gw)
+            scr_w = ws.buf(f"mlp.scr_w{i}", layer.w.shape)
+            np.multiply(layer.w, self.weight_decay, out=scr_w)
+            gw += scr_w
+            gb = ws.buf(f"mlp.gb{i}", (layer.n_out,))
+            np.sum(delta, axis=0, out=gb)
+            grads[i] = (gw, gb)
+            if i > 0:
+                back = ws.buf(f"mlp.delta{i - 1}", (m, layer.n_in))
+                np.dot(delta, layer.w, out=back)
+                self.layers[i - 1].activation.mul_grad_into(
+                    back, activations[i], scratch=ws.buf(f"mlp.scr{i - 1}", back.shape)
+                )
+                delta = back
+        return loss, grads
+
+    def apply_update(self, grads, learning_rate: float, workspace=None) -> None:
+        """In-place gradient-descent step.
+
+        With ``workspace`` the scaled-gradient temporaries come from the
+        arena, keeping the update allocation-free.
+        """
+        if workspace is None:
+            for layer, (dw, db) in zip(self.layers, grads):
+                layer.w -= learning_rate * dw
+                layer.b -= learning_rate * db
+            return
+        for i, (layer, (dw, db)) in enumerate(zip(self.layers, grads)):
+            scr_w = workspace.buf(f"mlp.upd_w{i}", layer.w.shape)
+            np.multiply(dw, learning_rate, out=scr_w)
+            layer.w -= scr_w
+            scr_b = workspace.buf(f"mlp.upd_b{i}", layer.b.shape)
+            np.multiply(db, learning_rate, out=scr_b)
+            layer.b -= scr_b
 
     # ------------------------------------------------------------------
     # flat interface (shared with the batch optimizers)

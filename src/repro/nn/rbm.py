@@ -27,7 +27,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn.init import normal_init, zeros_init
-from repro.utils.mathx import logistic_log1pexp, sigmoid
+from repro.runtime.linalg import HAVE_BLAS, axpy_into, gemm_into
+from repro.utils.mathx import logistic_log1pexp, sigmoid, sigmoid_into
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_int, check_matrix_shapes, check_positive
 
@@ -89,10 +90,14 @@ class RBM:
     # ------------------------------------------------------------------
     # conditionals (Eqs. 8-9), batch vectorised — the paper's Eqs. 14-15
     # ------------------------------------------------------------------
+    def hidden_preactivation(self, v: np.ndarray) -> np.ndarray:
+        """Wv + c per row — the shared input of Eqs. 7, 9 and the free energy."""
+        v = check_matrix_shapes(v, self.n_visible, "v")
+        return v @ self.w.T + self.c
+
     def hidden_probabilities(self, v: np.ndarray) -> np.ndarray:
         """p(h=1|v) for a batch of visibles (Eq. 9 / vector Eq. 15)."""
-        v = check_matrix_shapes(v, self.n_visible, "v")
-        return sigmoid(v @ self.w.T + self.c)
+        return sigmoid(self.hidden_preactivation(v))
 
     def visible_probabilities(self, h: np.ndarray) -> np.ndarray:
         """p(v=1|h) for a batch of hiddens (Eq. 8 / vector Eq. 14)."""
@@ -115,10 +120,16 @@ class RBM:
     # energies
     # ------------------------------------------------------------------
     def energy(self, v: np.ndarray, h: np.ndarray) -> np.ndarray:
-        """Joint energy E(v, h) per row (Eq. 7)."""
+        """Joint energy E(v, h) per row (Eq. 7).
+
+        Since hᵀWv + hᵀc = Σⱼ hⱼ·(Wv + c)ⱼ, both bilinear terms fuse into
+        one row-wise dot with the hidden pre-activation already provided by
+        :meth:`hidden_preactivation` — one GEMM instead of two matrix
+        products plus a separate bias term.
+        """
         v = check_matrix_shapes(v, self.n_visible, "v")
         h = check_matrix_shapes(h, self.n_hidden, "h")
-        return -(v @ self.b) - (h @ self.c) - np.einsum("ij,ij->i", h @ self.w, v)
+        return -(v @ self.b) - np.einsum("ij,ij->i", h, self.hidden_preactivation(v))
 
     def free_energy(self, v: np.ndarray) -> np.ndarray:
         """F(v) = −bᵀv − Σⱼ log(1 + exp(cⱼ + Wⱼ·v)), per row.
@@ -127,7 +138,7 @@ class RBM:
         free energy of the training data.
         """
         v = check_matrix_shapes(v, self.n_visible, "v")
-        pre = v @ self.w.T + self.c
+        pre = self.hidden_preactivation(v)
         return -(v @ self.b) - logistic_log1pexp(pre).sum(axis=1)
 
     def log_partition_exact(self) -> float:
@@ -156,6 +167,7 @@ class RBM:
         k: int = 1,
         rng=None,
         sample_visible: bool = False,
+        workspace=None,
     ) -> CDStatistics:
         """CD-k sufficient statistics for a mini-batch ``v0``.
 
@@ -167,10 +179,21 @@ class RBM:
             When True the reconstruction is sampled binary instead of the
             mean-field probabilities (Hinton's guide recommends
             probabilities; exact-CD tests use samples).
+        workspace:
+            A :class:`repro.runtime.workspace.Workspace`: the whole chain
+            (GEMMs, sigmoids, sampling, statistics) then runs through
+            preallocated buffers with zero steady-state allocations and a
+            bit-identical Gibbs chain (same RNG stream, same comparisons).
+            The returned statistics alias workspace buffers — apply or copy
+            them before the next call.
         """
         v0 = check_matrix_shapes(v0, self.n_visible, "v0")
         k = check_int(k, "k", minimum=1)
         gen = self._rng if rng is None else as_generator(rng)
+        if workspace is not None:
+            return self._contrastive_divergence_fused(
+                v0, k, gen, sample_visible, workspace
+            )
         m = v0.shape[0]
 
         h0_probs, h_samples = self.sample_hidden(v0, gen)
@@ -192,11 +215,100 @@ class RBM:
         err = float(np.mean(np.sum((v0 - vk) ** 2, axis=1)))
         return CDStatistics(grad_w, grad_b, grad_c, err)
 
-    def apply_update(self, stats: CDStatistics, learning_rate: float) -> None:
-        """In-place ascent step Δθ = η·grad (Eq. 13 / vector Eqs. 16–18)."""
-        self.w += learning_rate * stats.grad_w
-        self.b += learning_rate * stats.grad_b
-        self.c += learning_rate * stats.grad_c
+    def _contrastive_divergence_fused(
+        self, v0: np.ndarray, k: int, gen, sample_visible: bool, ws
+    ) -> CDStatistics:
+        """Workspace-backed CD-k: every kernel writes through ``out=``.
+
+        Mirrors the reference path operation for operation (same RNG draw
+        order, same ``<`` comparisons, same reduction order) so a seeded
+        run produces bit-identical statistics while allocating nothing
+        after warm-up.
+        """
+        if not v0.flags["C_CONTIGUOUS"]:
+            v0 = np.ascontiguousarray(v0)
+        m = v0.shape[0]
+        nv, nh = self.n_visible, self.n_hidden
+
+        h0 = ws.buf("rbm.h0", (m, nh))
+        hk = ws.buf("rbm.hk", (m, nh))
+        hs = ws.buf("rbm.hs", (m, nh))
+        vk = ws.buf("rbm.vk", (m, nv))
+        rand_h = ws.buf("rbm.rand_h", (m, nh))
+        mask_h = ws.buf("rbm.mask_h", (m, nh), bool)
+        scr_h = ws.buf("rbm.scr_h", (m, nh))
+        mask_v = ws.buf("rbm.mask_v", (m, nv), bool)
+        scr_v = ws.buf("rbm.scr_v", (m, nv))
+
+        # bias rows materialised once per call: same-shape adds skip the
+        # temporary NumPy allocates for broadcast operands
+        c_full = ws.broadcast("rbm.c_full", self.c, (m, nh))
+        b_full = ws.broadcast("rbm.b_full", self.b, (m, nv))
+
+        # positive phase: p(h|v0), binary samples
+        np.dot(v0, self.w.T, out=h0)
+        h0 += c_full
+        sigmoid_into(h0, h0, mask=mask_h, scratch=scr_h)
+        gen.random(out=rand_h)
+        np.less(rand_h, h0, out=hs)           # bool result cast into float64
+
+        for _ in range(k):
+            np.dot(hs, self.w, out=vk)
+            vk += b_full
+            sigmoid_into(vk, vk, mask=mask_v, scratch=scr_v)
+            if sample_visible:
+                rand_v = ws.buf("rbm.rand_v", (m, nv))
+                gen.random(out=rand_v)
+                np.less(rand_v, vk, out=vk)
+            np.dot(vk, self.w.T, out=hk)
+            hk += c_full
+            sigmoid_into(hk, hk, mask=mask_h, scratch=scr_h)
+            gen.random(out=rand_h)
+            np.less(rand_h, hk, out=hs)
+
+        # positive phase, then the negative phase *accumulated* into the
+        # same buffer by a β=1 GEMM — one output array, no subtract pass
+        grad_w = ws.buf("rbm.grad_w", (nh, nv))
+        scr_w = None if HAVE_BLAS else ws.buf("rbm.scr_w", (nh, nv))
+        gemm_into(h0.T, v0, grad_w, alpha=1.0 / m)
+        gemm_into(hk.T, vk, grad_w, alpha=-1.0 / m, beta=1.0, scratch=scr_w)
+
+        diff_v = ws.buf("rbm.diff_v", (m, nv))
+        np.subtract(v0, vk, out=diff_v)
+        grad_b = ws.buf("rbm.grad_b", (nv,))
+        np.mean(diff_v, axis=0, out=grad_b)
+
+        diff_h = ws.buf("rbm.diff_h", (m, nh))
+        np.subtract(h0, hk, out=diff_h)
+        grad_c = ws.buf("rbm.grad_c", (nh,))
+        np.mean(diff_h, axis=0, out=grad_c)
+
+        np.multiply(diff_v, diff_v, out=diff_v)
+        row_err = ws.buf("rbm.row_err", (m,))
+        np.sum(diff_v, axis=1, out=row_err)
+        err = float(np.mean(row_err))
+        return CDStatistics(grad_w, grad_b, grad_c, err)
+
+    def apply_update(
+        self, stats: CDStatistics, learning_rate: float, workspace=None
+    ) -> None:
+        """In-place ascent step Δθ = η·grad (Eq. 13 / vector Eqs. 16–18).
+
+        With ``workspace`` the scaled-gradient temporaries come from the
+        arena, keeping the update allocation-free.
+        """
+        if workspace is None:
+            self.w += learning_rate * stats.grad_w
+            self.b += learning_rate * stats.grad_b
+            self.c += learning_rate * stats.grad_c
+            return
+        for name, param, grad in (
+            ("rbm.upd_w", self.w, stats.grad_w),
+            ("rbm.upd_b", self.b, stats.grad_b),
+            ("rbm.upd_c", self.c, stats.grad_c),
+        ):
+            scr = None if HAVE_BLAS else workspace.buf(name, param.shape)
+            axpy_into(grad, param, learning_rate, scratch=scr)
 
     # ------------------------------------------------------------------
     def transform(self, v: np.ndarray) -> np.ndarray:

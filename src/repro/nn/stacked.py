@@ -20,6 +20,7 @@ from repro.errors import ConfigurationError
 from repro.nn.autoencoder import SparseAutoencoder
 from repro.nn.cost import SparseAutoencoderCost
 from repro.nn.rbm import RBM
+from repro.runtime.workspace import Workspace
 from repro.utils.rng import SeedLike, spawn_generators
 from repro.utils.validation import check_matrix_shapes
 
@@ -154,11 +155,14 @@ class StackedAutoencoder(_GreedyStack):
         return SparseAutoencoder(n_in, spec.n_hidden, cost=self.cost, seed=rng)
 
     def _train_block(self, block: SparseAutoencoder, x, spec, rng):
+        # One arena per block: after the first full batch and the first
+        # ragged tail batch every step is allocation-free (paper §IV.B).
+        ws = Workspace(name="sae-pretrain")
         errors = []
         for _ in range(spec.epochs):
             for batch in _minibatches(x, spec.batch_size, rng):
-                _, grads = block.gradients(batch)
-                block.apply_update(grads, spec.learning_rate)
+                _, grads = block.gradients_into(batch, ws)
+                block.apply_update(grads, spec.learning_rate, workspace=ws)
             errors.append(block.reconstruction_error(x))
         return errors
 
@@ -195,13 +199,16 @@ class DeepBeliefNetwork(_GreedyStack):
         return RBM(n_in, spec.n_hidden, seed=rng)
 
     def _train_block(self, block: RBM, x, spec, rng):
+        ws = Workspace(name="rbm-pretrain")
         errors = []
         for _ in range(spec.epochs):
             epoch_err = 0.0
             n_batches = 0
             for batch in _minibatches(x, spec.batch_size, rng):
-                stats = block.contrastive_divergence(batch, k=self.cd_k, rng=rng)
-                block.apply_update(stats, spec.learning_rate)
+                stats = block.contrastive_divergence(
+                    batch, k=self.cd_k, rng=rng, workspace=ws
+                )
+                block.apply_update(stats, spec.learning_rate, workspace=ws)
                 epoch_err += stats.reconstruction_error
                 n_batches += 1
             errors.append(epoch_err / max(n_batches, 1))

@@ -100,6 +100,11 @@ class SGD:
         if data.ndim != 2:
             raise ConfigurationError("data must be 2-D (samples x features)")
         velocity = np.zeros_like(theta)
+        # Flat-vector scratch: the update step (the paper's vectorised
+        # Eqs. 16-18) reuses these every iteration instead of allocating
+        # per-update temporaries for rate*grad and the NAG look-ahead.
+        step = np.empty_like(theta)
+        lookahead = np.empty_like(theta) if self.nesterov else None
         self.schedule.reset()
 
         result = SGDResult(theta=theta)
@@ -117,12 +122,15 @@ class SGD:
                         f"objective returned gradient of shape {grad.shape}, "
                         f"expected {theta.shape}"
                     )
-                step = self.schedule.rate(t, grad) * grad
+                np.multiply(grad, self.schedule.rate(t, grad), out=step)
                 if self.momentum > 0.0:
-                    velocity = self.momentum * velocity - step
+                    velocity *= self.momentum
+                    velocity -= step
                     if self.nesterov:
                         # Rearranged NAG: apply momentum look-ahead directly.
-                        theta += self.momentum * velocity - step
+                        np.multiply(velocity, self.momentum, out=lookahead)
+                        lookahead -= step
+                        theta += lookahead
                     else:
                         theta += velocity
                 else:

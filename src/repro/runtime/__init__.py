@@ -41,6 +41,7 @@ from repro.runtime.distributed import (
     scaling_rows,
     simulate_data_parallel,
 )
+from repro.runtime.workspace import Workspace, WorkspaceFrozenError
 
 __all__ = [
     "OptimizationLevel",
@@ -73,4 +74,6 @@ __all__ = [
     "DataParallelPoint",
     "simulate_data_parallel",
     "scaling_rows",
+    "Workspace",
+    "WorkspaceFrozenError",
 ]

@@ -1,0 +1,185 @@
+"""Preallocated buffer arena for the training hot paths (paper §IV.B).
+
+The paper's coprocessor port wins most of its time back by controlling
+memory traffic: buffers are allocated once, element-wise loops are fused
+and run in place, and the update step never materialises temporaries
+(Eqs. 14–18).  :class:`Workspace` brings the same discipline to the real
+NumPy execution path.  A workspace hands out named, shape-keyed scratch
+buffers that are created on first request and reused verbatim afterwards,
+so a training step that runs entirely through a warmed workspace performs
+*zero* array allocations — a property the test suite pins down with
+``tracemalloc`` and that :meth:`Workspace.freeze` turns into a hard
+runtime guarantee.
+
+Typical use::
+
+    ws = Workspace()
+    for batch in batches:                       # first batch warms the arena
+        loss, grads = model.gradients_into(batch, ws)
+        model.apply_update(grads, lr, workspace=ws)
+    ws.freeze()                                 # further growth is a bug
+
+Buffers are keyed by ``(name, shape, dtype)``: the same kernel running on
+two different mini-batch sizes (e.g. the ragged last batch of an epoch)
+transparently gets one buffer per shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class WorkspaceFrozenError(ConfigurationError):
+    """A frozen workspace was asked to allocate a new buffer."""
+
+
+class Workspace:
+    """Named, shape-keyed arena of reusable scratch arrays.
+
+    Parameters
+    ----------
+    name:
+        Optional label used in error messages (helpful when several
+        workspaces coexist, e.g. one per stack layer).
+    """
+
+    def __init__(self, name: str = "workspace"):
+        self.name = str(name)
+        self._buffers: Dict[Tuple[str, Tuple[int, ...], np.dtype], np.ndarray] = {}
+        self._transposes: Dict[str, np.ndarray] = {}
+        self._frozen = False
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # scratch buffers
+    # ------------------------------------------------------------------
+    def buf(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """Return the C-contiguous buffer registered under ``name``/``shape``.
+
+        The first request for a key allocates (a *miss*); every later
+        request returns the same array object untouched (a *hit* — contents
+        are whatever the previous user left, callers must overwrite).  On a
+        frozen workspace a miss raises :class:`WorkspaceFrozenError`.
+        """
+        key = (name, tuple(int(s) for s in shape), np.dtype(dtype))
+        arr = self._buffers.get(key)
+        if arr is None:
+            if self._frozen:
+                raise WorkspaceFrozenError(
+                    f"{self.name} is frozen but buffer {key[0]!r} "
+                    f"shape={key[1]} dtype={key[2]} was never warmed"
+                )
+            arr = np.empty(key[1], dtype=key[2])
+            self._buffers[key] = arr
+            self.misses += 1
+        else:
+            self.hits += 1
+        return arr
+
+    def zeros(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """Like :meth:`buf` but the buffer is zero-filled on every request."""
+        arr = self.buf(name, shape, dtype)
+        arr.fill(0)
+        return arr
+
+    def broadcast(self, name: str, array: np.ndarray, shape, dtype=np.float64) -> np.ndarray:
+        """``array`` broadcast-materialised to ``shape`` in a cached buffer.
+
+        NumPy's ufunc machinery allocates a temporary whenever a binary op
+        broadcasts an operand (a bias row added to a batch, a row-reduction
+        column divided out of a softmax), which silently breaks the
+        zero-allocation guarantee.  A same-shape operand takes the fast
+        loop instead, so kernels materialise the small operand here first
+        (a broadcast ``np.copyto`` — allocation-free after warm-up) and
+        then run the element-wise op on equal shapes.
+        """
+        buf = self.buf(name, shape, dtype)
+        np.copyto(buf, array)
+        return buf
+
+    # ------------------------------------------------------------------
+    # transpose cache
+    # ------------------------------------------------------------------
+    def transpose(self, name: str, array: np.ndarray, refresh: bool = True) -> np.ndarray:
+        """Contiguous transpose of ``array`` in a cached buffer.
+
+        BLAS consumes ``.T`` views for free inside one GEMM, but kernels
+        that walk a transposed matrix element-wise (or hand it to code
+        requiring contiguity) would otherwise call ``ascontiguousarray``
+        per step.  The cache keeps one C-contiguous buffer per name and
+        refreshes its *contents* in place — no allocation after warm-up.
+        ``refresh=False`` skips the copy when the source is known unchanged
+        since the previous call.
+        """
+        arr = np.asarray(array)
+        if arr.ndim != 2:
+            raise ConfigurationError(
+                f"transpose cache holds matrices, got ndim={arr.ndim} for {name!r}"
+            )
+        cached = self._transposes.get(name)
+        if cached is None or cached.shape != arr.shape[::-1] or cached.dtype != arr.dtype:
+            if self._frozen:
+                raise WorkspaceFrozenError(
+                    f"{self.name} is frozen but transpose {name!r} was never warmed"
+                )
+            cached = np.empty(arr.shape[::-1], dtype=arr.dtype)
+            self._transposes[name] = cached
+            self.misses += 1
+            refresh = True
+        else:
+            self.hits += 1
+        if refresh:
+            np.copyto(cached, arr.T)
+        return cached
+
+    # ------------------------------------------------------------------
+    # steady-state guarantee
+    # ------------------------------------------------------------------
+    def freeze(self) -> "Workspace":
+        """Forbid further buffer creation (reuse stays allowed)."""
+        self._frozen = True
+        return self
+
+    def thaw(self) -> "Workspace":
+        """Allow buffer creation again (e.g. before a new batch shape)."""
+        self._frozen = False
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_buffers(self) -> int:
+        """Number of distinct arrays held (scratch + transpose caches)."""
+        return len(self._buffers) + len(self._transposes)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes resident in the arena."""
+        return sum(a.nbytes for a in self._buffers.values()) + sum(
+            a.nbytes for a in self._transposes.values()
+        )
+
+    def clear(self) -> None:
+        """Drop every buffer (and the frozen flag)."""
+        self._buffers.clear()
+        self._transposes.clear()
+        self._frozen = False
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        state = "frozen" if self._frozen else "open"
+        return (
+            f"Workspace({self.name!r}, {self.n_buffers} buffers, "
+            f"{self.nbytes / 1e6:.1f} MB, {state})"
+        )

@@ -17,12 +17,16 @@ import numpy as np
 _EPS = 1e-12
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
+def sigmoid(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
     """Stable logistic function ``1 / (1 + exp(-x))`` (paper Eq. 1's ``s``).
 
     Uses the two-branch formulation so neither branch ever exponentiates a
-    positive number.
+    positive number.  With ``out`` the computation runs through
+    :func:`sigmoid_into` (same values bitwise, no fancy-indexing temps);
+    ``out`` may alias ``x``.
     """
+    if out is not None:
+        return sigmoid_into(x, out)
     x = np.asarray(x)
     out = np.empty_like(x, dtype=np.float64)
     pos = x >= 0
@@ -30,6 +34,38 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[neg])
     out[neg] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_into(
+    x: np.ndarray,
+    out: np.ndarray,
+    mask: np.ndarray = None,
+    scratch: np.ndarray = None,
+) -> np.ndarray:
+    """Fused in-place sigmoid: the zero-allocation hot-path kernel.
+
+    Computes ``t = exp(-|x|)`` once, then selects ``1/(1+t)`` (x ≥ 0) or
+    ``t/(1+t)`` (x < 0) — bit-for-bit the same values as the two-branch
+    :func:`sigmoid`, with every element-wise pass running ``out=``-style
+    (the paper's §IV.B loop fusion).  ``out`` may alias ``x``.  ``mask``
+    (bool) and ``scratch`` (float64) must match ``x``'s shape; when omitted
+    they are allocated, so steady-state-zero-allocation callers pass
+    workspace buffers.
+    """
+    x = np.asarray(x)
+    if mask is None:
+        mask = np.empty(x.shape, dtype=bool)
+    if scratch is None:
+        scratch = np.empty(x.shape, dtype=np.float64)
+    np.less(x, 0.0, out=mask)          # read x before out may overwrite it
+    np.abs(x, out=scratch)
+    np.negative(scratch, out=scratch)
+    np.exp(scratch, out=scratch)       # t = exp(-|x|)
+    np.add(scratch, 1.0, out=out)      # 1 + t
+    np.divide(scratch, out, out=scratch)   # t / (1 + t)   (x < 0 branch)
+    np.reciprocal(out, out=out)        # 1 / (1 + t)      (x >= 0 branch)
+    np.copyto(out, scratch, where=mask)
     return out
 
 
@@ -43,23 +79,76 @@ def sigmoid_grad(activation: np.ndarray) -> np.ndarray:
     return a * (1.0 - a)
 
 
-def logistic_log1pexp(x: np.ndarray) -> np.ndarray:
-    """Stable ``log(1 + exp(x))`` (softplus), used for RBM free energy."""
+def logistic_log1pexp(
+    x: np.ndarray, out: np.ndarray = None, scratch: np.ndarray = None
+) -> np.ndarray:
+    """Stable ``log(1 + exp(x))`` (softplus), used for RBM free energy.
+
+    With ``out`` every pass runs in place (``out`` may alias ``x``);
+    ``scratch`` must then match ``x``'s shape or is allocated.  Values are
+    bitwise identical to the allocating form for finite inputs.
+    """
     x = np.asarray(x, dtype=np.float64)
-    out = np.where(x > 0, x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    if out is None:
+        return np.where(x > 0, x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    if scratch is None:
+        scratch = np.empty(x.shape, dtype=np.float64)
+    np.abs(x, out=scratch)
+    np.negative(scratch, out=scratch)
+    np.exp(scratch, out=scratch)
+    np.log1p(scratch, out=scratch)     # log1p(exp(-|x|))
+    np.maximum(x, 0.0, out=out)        # max(x, 0) == where(x > 0, x, 0)
+    out += scratch
     return out
 
 
-def kl_bernoulli(rho: float, rho_hat: np.ndarray) -> np.ndarray:
-    """Elementwise KL(ρ‖ρ̂) between Bernoulli means (paper Eq. 6)."""
-    rho_hat = np.clip(np.asarray(rho_hat, dtype=np.float64), _EPS, 1.0 - _EPS)
-    return rho * np.log(rho / rho_hat) + (1.0 - rho) * np.log((1.0 - rho) / (1.0 - rho_hat))
+def kl_bernoulli(
+    rho: float, rho_hat: np.ndarray, out: np.ndarray = None, scratch: np.ndarray = None
+) -> np.ndarray:
+    """Elementwise KL(ρ‖ρ̂) between Bernoulli means (paper Eq. 6).
+
+    With ``out`` (and optional same-shape ``scratch``) no temporaries are
+    allocated; values match the allocating form bitwise.
+    """
+    rho_hat = np.asarray(rho_hat, dtype=np.float64)
+    if out is None:
+        clipped = np.clip(rho_hat, _EPS, 1.0 - _EPS)
+        return rho * np.log(rho / clipped) + (1.0 - rho) * np.log(
+            (1.0 - rho) / (1.0 - clipped)
+        )
+    if scratch is None:
+        scratch = np.empty(rho_hat.shape, dtype=np.float64)
+    np.clip(rho_hat, _EPS, 1.0 - _EPS, out=out)       # ρ̂ clipped
+    np.divide(rho, out, out=scratch)
+    np.log(scratch, out=scratch)
+    scratch *= rho                                     # ρ·log(ρ/ρ̂)
+    np.subtract(1.0, out, out=out)                     # 1 − ρ̂
+    np.divide(1.0 - rho, out, out=out)
+    np.log(out, out=out)
+    out *= 1.0 - rho                                   # (1−ρ)·log((1−ρ)/(1−ρ̂))
+    out += scratch
+    return out
 
 
-def kl_bernoulli_grad(rho: float, rho_hat: np.ndarray) -> np.ndarray:
-    """∂KL(ρ‖ρ̂)/∂ρ̂ — the sparsity term injected into backprop deltas."""
-    rho_hat = np.clip(np.asarray(rho_hat, dtype=np.float64), _EPS, 1.0 - _EPS)
-    return -rho / rho_hat + (1.0 - rho) / (1.0 - rho_hat)
+def kl_bernoulli_grad(
+    rho: float, rho_hat: np.ndarray, out: np.ndarray = None, scratch: np.ndarray = None
+) -> np.ndarray:
+    """∂KL(ρ‖ρ̂)/∂ρ̂ — the sparsity term injected into backprop deltas.
+
+    Same ``out``/``scratch`` contract as :func:`kl_bernoulli`.
+    """
+    rho_hat = np.asarray(rho_hat, dtype=np.float64)
+    if out is None:
+        clipped = np.clip(rho_hat, _EPS, 1.0 - _EPS)
+        return -rho / clipped + (1.0 - rho) / (1.0 - clipped)
+    if scratch is None:
+        scratch = np.empty(rho_hat.shape, dtype=np.float64)
+    np.clip(rho_hat, _EPS, 1.0 - _EPS, out=scratch)
+    np.divide(-rho, scratch, out=out)                  # −ρ/ρ̂
+    np.subtract(1.0, scratch, out=scratch)
+    np.divide(1.0 - rho, scratch, out=scratch)
+    out += scratch
+    return out
 
 
 def log_sum_exp(x: np.ndarray, axis=None) -> np.ndarray:

@@ -94,6 +94,26 @@ class TestEnergies:
         with pytest.raises(ValueError):
             RBM(25, 3, seed=0).log_partition_exact()
 
+    def test_fused_energy_matches_unfused_expression(self, small_rbm, rng):
+        # regression for the pre-activation-reuse refactor: the fused
+        # -v·b - Σ h⊙(vWᵀ+c) must equal the classic three-term energy
+        v = rng.random((9, 12))
+        h = rng.random((9, 7))
+        unfused = -(v @ small_rbm.b) - (h @ small_rbm.c) - np.einsum(
+            "ij,ij->i", h @ small_rbm.w, v
+        )
+        np.testing.assert_allclose(small_rbm.energy(v, h), unfused, atol=1e-10)
+
+    def test_energy_and_probabilities_share_preactivation(self, small_rbm, rng):
+        from repro.utils.mathx import sigmoid
+
+        v = (rng.random((6, 12)) < 0.5).astype(float)
+        pre = small_rbm.hidden_preactivation(v)
+        np.testing.assert_array_equal(
+            small_rbm.hidden_probabilities(v), sigmoid(pre)
+        )
+        np.testing.assert_array_equal(pre, v @ small_rbm.w.T + small_rbm.c)
+
 
 class TestContrastiveDivergence:
     def test_stat_shapes(self, small_rbm, binary_batch):

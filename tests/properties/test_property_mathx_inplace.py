@@ -1,0 +1,90 @@
+"""Property-based tests: the in-place mathx variants are bit-identical.
+
+The sampling chains compare ``rand < sigmoid(pre)``, so the ``out=``
+variants must match the allocating forms *bitwise* (not just to
+tolerance) or fused and reference training would diverge sample by
+sample.  Hypothesis drives the inputs through extreme magnitudes where
+naive reformulations overflow or lose ulps.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.mathx import (
+    kl_bernoulli,
+    kl_bernoulli_grad,
+    logistic_log1pexp,
+    sigmoid,
+    sigmoid_into,
+)
+
+
+def batches(min_value=-750.0, max_value=750.0):
+    return st.lists(
+        st.floats(
+            min_value=min_value,
+            max_value=max_value,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=64,
+    ).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+class TestInPlaceVariantsBitwise:
+    @given(batches())
+    @settings(max_examples=200, deadline=None)
+    def test_sigmoid_out_matches_allocating(self, x):
+        reference = sigmoid(x)
+        out = np.empty_like(x)
+        res = sigmoid(x, out=out)
+        assert res is out
+        np.testing.assert_array_equal(out, reference)
+
+    @given(batches())
+    @settings(max_examples=200, deadline=None)
+    def test_sigmoid_into_may_alias_input(self, x):
+        reference = sigmoid(x)
+        work = x.copy()
+        mask = np.empty_like(x, dtype=bool)
+        scratch = np.empty_like(x)
+        sigmoid_into(work, work, mask=mask, scratch=scratch)
+        np.testing.assert_array_equal(work, reference)
+
+    @given(batches())
+    @settings(max_examples=200, deadline=None)
+    def test_logistic_log1pexp_out_matches_allocating(self, x):
+        reference = logistic_log1pexp(x)
+        out = np.empty_like(x)
+        scratch = np.empty_like(x)
+        res = logistic_log1pexp(x, out=out, scratch=scratch)
+        assert res is out
+        np.testing.assert_array_equal(out, reference)
+
+    @given(
+        batches(min_value=1e-9, max_value=1.0 - 1e-9),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_kl_bernoulli_out_matches_allocating(self, rho_hat, rho):
+        reference = kl_bernoulli(rho, rho_hat)
+        out = np.empty_like(rho_hat)
+        scratch = np.empty_like(rho_hat)
+        np.testing.assert_array_equal(
+            kl_bernoulli(rho, rho_hat, out=out, scratch=scratch), reference
+        )
+
+    @given(
+        batches(min_value=1e-9, max_value=1.0 - 1e-9),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_kl_bernoulli_grad_out_matches_allocating(self, rho_hat, rho):
+        reference = kl_bernoulli_grad(rho, rho_hat)
+        out = np.empty_like(rho_hat)
+        scratch = np.empty_like(rho_hat)
+        np.testing.assert_array_equal(
+            kl_bernoulli_grad(rho, rho_hat, out=out, scratch=scratch), reference
+        )

@@ -1,0 +1,91 @@
+"""Tests for the BLAS shims (repro.runtime.linalg)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import linalg
+from repro.runtime.linalg import axpy_into, dot_self, gemm_into
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestGemmInto:
+    def test_beta_zero_matches_dot(self, rng):
+        a = rng.standard_normal((7, 5))
+        b = rng.standard_normal((5, 9))
+        out = np.empty((7, 9))
+        res = gemm_into(a, b, out)
+        assert res is out
+        np.testing.assert_allclose(out, a @ b, rtol=1e-13, atol=1e-13)
+
+    def test_alpha_scales_product(self, rng):
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 3))
+        out = np.empty((4, 3))
+        gemm_into(a, b, out, alpha=0.25)
+        np.testing.assert_allclose(out, 0.25 * (a @ b), rtol=1e-13, atol=1e-13)
+
+    def test_beta_one_accumulates(self, rng):
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 3))
+        out = rng.standard_normal((4, 3))
+        expected = -0.5 * (a @ b) + out
+        gemm_into(a, b, out, alpha=-0.5, beta=1.0)
+        np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-12)
+
+    def test_transposed_operands_no_copy(self, rng):
+        # the hot-path pattern: gradient = deltaᵀ @ activations
+        delta = rng.standard_normal((16, 4))
+        act = rng.standard_normal((16, 6))
+        out = np.empty((4, 6))
+        gemm_into(delta.T, act, out)
+        np.testing.assert_allclose(out, delta.T @ act, rtol=1e-13, atol=1e-13)
+
+    def test_numpy_fallback_matches(self, rng, monkeypatch):
+        monkeypatch.setattr(linalg, "HAVE_BLAS", False)
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 3))
+        out = rng.standard_normal((4, 3))
+        scratch = np.empty_like(out)
+        expected = 2.0 * (a @ b) + out
+        gemm_into(a, b, out, alpha=2.0, beta=1.0, scratch=scratch)
+        np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-12)
+
+
+class TestAxpyInto:
+    def test_axpy_accumulates_in_place(self, rng):
+        x = rng.standard_normal((5, 4))
+        y = rng.standard_normal((5, 4))
+        expected = y + 0.3 * x
+        res = axpy_into(x, y, 0.3)
+        assert res is y
+        np.testing.assert_allclose(y, expected, rtol=1e-14, atol=1e-14)
+
+    def test_negative_alpha_is_descent_step(self, rng):
+        x = rng.standard_normal((8,))
+        y = rng.standard_normal((8,))
+        expected = y - 0.1 * x
+        axpy_into(x, y, -0.1)
+        np.testing.assert_allclose(y, expected, rtol=1e-14, atol=1e-14)
+
+    def test_numpy_fallback_matches(self, rng, monkeypatch):
+        monkeypatch.setattr(linalg, "HAVE_BLAS", False)
+        x = rng.standard_normal((5, 4))
+        y = rng.standard_normal((5, 4))
+        scratch = np.empty_like(x)
+        expected = y + 1.5 * x
+        axpy_into(x, y, 1.5, scratch=scratch)
+        np.testing.assert_allclose(y, expected, rtol=1e-14, atol=1e-14)
+
+
+class TestDotSelf:
+    def test_matches_frobenius_norm_squared(self, rng):
+        x = rng.standard_normal((6, 7))
+        assert dot_self(x) == pytest.approx(float(np.sum(x * x)), rel=1e-13)
+
+    def test_vector_input(self, rng):
+        x = rng.standard_normal(11)
+        assert dot_self(x) == pytest.approx(float(x @ x), rel=1e-13)

@@ -1,0 +1,107 @@
+"""Tests for the preallocated buffer arena (repro.runtime.workspace)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.workspace import Workspace, WorkspaceFrozenError
+
+
+class TestBuf:
+    def test_buffer_is_reused_across_calls(self):
+        ws = Workspace()
+        a = ws.buf("x", (4, 3))
+        b = ws.buf("x", (4, 3))
+        assert a is b
+        assert ws.hits == 1 and ws.misses == 1
+
+    def test_distinct_names_get_distinct_buffers(self):
+        ws = Workspace()
+        assert ws.buf("a", (2, 2)) is not ws.buf("b", (2, 2))
+
+    def test_new_shape_allocates_new_buffer(self):
+        ws = Workspace()
+        a = ws.buf("x", (4, 3))
+        b = ws.buf("x", (2, 3))
+        assert a is not b
+        assert ws.n_buffers == 2
+
+    def test_dtype_is_part_of_the_key(self):
+        ws = Workspace()
+        f = ws.buf("x", (3,), np.float64)
+        m = ws.buf("x", (3,), np.bool_)
+        assert f.dtype == np.float64 and m.dtype == np.bool_
+        assert f is not m
+
+    def test_buffers_are_c_contiguous(self):
+        ws = Workspace()
+        assert ws.buf("x", (5, 7)).flags["C_CONTIGUOUS"]
+
+    def test_zeros_returns_zeroed_buffer(self):
+        ws = Workspace()
+        a = ws.buf("x", (3,))
+        a[:] = 7.0
+        z = ws.zeros("x", (3,))
+        assert z is a
+        assert np.all(z == 0.0)
+
+    def test_nbytes_counts_all_buffers(self):
+        ws = Workspace()
+        ws.buf("a", (10,), np.float64)
+        ws.buf("b", (5,), np.float64)
+        assert ws.nbytes == 15 * 8
+
+    def test_clear_releases_buffers(self):
+        ws = Workspace()
+        ws.buf("a", (10,))
+        ws.clear()
+        assert ws.n_buffers == 0 and ws.nbytes == 0
+
+
+class TestTranspose:
+    def test_transpose_is_contiguous_copy(self):
+        ws = Workspace()
+        a = np.arange(6.0).reshape(2, 3)
+        t = ws.transpose("a", a)
+        assert t.shape == (3, 2)
+        assert t.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(t, a.T)
+
+    def test_transpose_refreshes_in_place(self):
+        ws = Workspace()
+        a = np.arange(6.0).reshape(2, 3)
+        t1 = ws.transpose("a", a)
+        a[0, 0] = 99.0
+        t2 = ws.transpose("a", a)
+        assert t1 is t2
+        assert t2[0, 0] == 99.0
+
+    def test_transpose_refresh_false_keeps_stale_contents(self):
+        ws = Workspace()
+        a = np.arange(6.0).reshape(2, 3)
+        ws.transpose("a", a)
+        a[0, 0] = 99.0
+        t = ws.transpose("a", a, refresh=False)
+        assert t[0, 0] == 0.0
+
+
+class TestFreeze:
+    def test_frozen_workspace_serves_existing_buffers(self):
+        ws = Workspace()
+        a = ws.buf("x", (3, 3))
+        ws.freeze()
+        assert ws.frozen
+        assert ws.buf("x", (3, 3)) is a
+
+    def test_frozen_workspace_rejects_new_buffers(self):
+        ws = Workspace()
+        ws.freeze()
+        with pytest.raises(WorkspaceFrozenError):
+            ws.buf("x", (3, 3))
+
+    def test_thaw_allows_allocation_again(self):
+        ws = Workspace()
+        ws.freeze()
+        ws.thaw()
+        assert not ws.frozen
+        ws.buf("x", (3, 3))
+        assert ws.n_buffers == 1
