@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark: parallel gradient workers + chunk prefetcher.
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py                # paper scale
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick        # CI smoke
+    PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_parallel.json
+    PYTHONPATH=src python benchmarks/bench_parallel.py --validate BENCH_parallel.json
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick \
+        --min-speedup 1.3 --baseline BENCH_parallel.json --max-regression 0.25
+
+Exit status: 0 on success, 1 on schema violation, failed speedup gate, or
+baseline regression.  The W>=2 speedup gate is skipped (with a notice) on
+single-core machines; the prefetch-overlap gate applies everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+# Pin the BLAS pools before numpy loads: the env-var fallback in
+# repro.runtime.threads only works pre-import when threadpoolctl is absent.
+# The engine's own blas_thread_limit(1) re-asserts this where it can.
+for _var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small shapes + fewer trials (CI smoke run)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run quick AND paper shapes (used to regenerate the baseline)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2],
+        metavar="W",
+        help="worker counts to measure (must include 1; default: 1 2)",
+    )
+    parser.add_argument("--out", metavar="PATH", help="write the JSON report")
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing report against the schema and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed baseline report to compare speedup ratios against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="enforce the speedup floor (e.g. 1.3) on W>=2 and prefetch rows",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.bench.parallel import (
+        PAPER_SHAPES,
+        QUICK_SHAPES,
+        compare_to_baseline,
+        enforce_gates,
+        load_report,
+        run_parallel_bench,
+        validate_report,
+        write_report,
+    )
+    from repro.errors import ConfigurationError
+
+    if args.validate:
+        try:
+            validate_report(load_report(args.validate))
+        except (ConfigurationError, ValueError) as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema OK")
+        return 0
+
+    if args.full:
+        shapes = tuple(QUICK_SHAPES) + tuple(PAPER_SHAPES)
+        trials, inner, n_chunks = 8, 4, 8
+    elif args.quick:
+        shapes, trials, inner, n_chunks = QUICK_SHAPES, 5, 3, 8
+    else:
+        shapes, trials, inner, n_chunks = PAPER_SHAPES, 8, 4, 8
+
+    report = run_parallel_bench(
+        shapes,
+        workers=tuple(args.workers),
+        trials=trials,
+        inner=inner,
+        n_chunks=n_chunks,
+        seed=args.seed,
+    )
+    print(
+        f"cores={report['n_cores']} blas={report['have_blas']} "
+        f"threadpoolctl={report['have_threadpoolctl']}"
+    )
+    header = f"{'row':<34} {'ms':>9} {'speedup':>8} {'max|diff|':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in report["rows"]:
+        if row["kind"] == "workers":
+            label = (
+                f"sae W={row['n_workers']} "
+                f"({row['batch']},{row['n_visible']}->{row['n_hidden']})"
+            )
+            ms = row["ms"]
+        else:
+            label = (
+                f"prefetch {row['n_chunks']}x chunks "
+                f"({row['n_buffers']} buffers)"
+            )
+            ms = row["overlapped_ms"]
+        print(
+            f"{label:<34} {ms:>9.1f} {row['speedup']:>7.2f}x "
+            f"{row['max_abs_diff']:>10.1e}"
+        )
+
+    if args.out:
+        print(f"wrote {write_report(report, args.out)}")
+
+    status = 0
+    if args.min_speedup is not None:
+        failures, skipped = enforce_gates(report, min_speedup=args.min_speedup)
+        for note in skipped:
+            print(f"SKIPPED: {note}")
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        elif not skipped:
+            print(f"speedup gate passed (floor {args.min_speedup:.2f}x)")
+
+    if args.baseline:
+        failures = compare_to_baseline(
+            report, load_report(args.baseline), max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"no speedup regression vs {args.baseline}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

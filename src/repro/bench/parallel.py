@@ -1,0 +1,355 @@
+"""Wall-clock benchmark for the real parallel training executor.
+
+Two families of rows, mirroring the paper's two concurrency mechanisms:
+
+* ``kind="workers"`` — the SAE gradient step through
+  :class:`~repro.runtime.executor.ParallelGradientEngine` at W=1 vs W>1
+  with BLAS pinned to one thread per worker (the honest protocol: the
+  speedup measures *worker-level* data parallelism, not BLAS's own pool).
+  Every row carries the max absolute difference between the reduced
+  parallel gradient and the serial full-batch gradient, so the report
+  doubles as the ≤1e-10 equivalence gate.
+
+* ``kind="prefetch"`` — chunked training with and without the
+  :class:`~repro.runtime.executor.ChunkPrefetcher` background loader.
+  Chunk *loading* is simulated I/O (a sleep calibrated to the measured
+  per-chunk compute time); *compute* is the real fused SAE step.  Because
+  sleeping releases the GIL, the overlap win is real on any core count —
+  this is Fig. 5's "loading thread hides the PCIe transfer" made
+  executable.
+
+Speedup gates are machine-aware: the W≥2 worker gate only binds on
+machines with ≥2 usable cores (a single-core host *cannot* exhibit
+compute-parallel speedup; the committed report records the core count so
+CI — which runs multi-core — still enforces the floor), while the
+prefetch gate binds everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+SCHEMA_ID = "repro.bench_parallel/v1"
+
+#: (batch, n_visible, n_hidden) — paper-scale layer for the full run.
+PAPER_SHAPES: Tuple[Tuple[int, int, int], ...] = ((100, 4096, 1024),)
+
+#: Small shape for CI smoke runs; batch is large enough that splitting
+#: across two workers leaves each shard with meaningful GEMMs.
+QUICK_SHAPES: Tuple[Tuple[int, int, int], ...] = ((128, 512, 256),)
+
+#: Equivalence gate: parallel reduction vs serial gradients (ISSUE 3).
+EQUIV_TOL = 1e-10
+
+#: Speedup floor enforced by the CI gate (W=2 and prefetch rows).
+MIN_SPEEDUP = 1.3
+
+_WORKER_KEYS = ("kind", "model", "batch", "n_visible", "n_hidden", "n_workers")
+_PREFETCH_KEYS = ("kind", "n_chunks", "n_buffers", "batch", "n_visible", "n_hidden")
+
+
+def _time_min(fn, trials: int, inner: int) -> float:
+    """Min-of-trials wall time of ``fn`` in ms (same protocol as hotpath)."""
+    for _ in range(2):  # warm-up: workspaces, thread pools, BLAS paths
+        fn()
+    best = float("inf")
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best * 1e3
+
+
+def _worker_rows(
+    batch: int,
+    n_visible: int,
+    n_hidden: int,
+    workers: Sequence[int],
+    trials: int,
+    inner: int,
+    seed: int,
+) -> List[Dict]:
+    from repro.nn.autoencoder import SparseAutoencoder
+    from repro.runtime.executor import ParallelGradientEngine
+
+    rng = np.random.default_rng(seed)
+    x = rng.random((batch, n_visible))
+    sae = SparseAutoencoder(n_visible, n_hidden, seed=seed)
+    _, g_ref = sae.gradients(x)
+
+    lr = 1e-12  # parameters effectively frozen across timing reps
+    rows: List[Dict] = []
+    ms_w1: Optional[float] = None
+    for w in workers:
+        with ParallelGradientEngine(
+            n_workers=w, blas_threads=1, seed=seed, name=f"bench-w{w}"
+        ) as engine:
+            _, g_par = engine.sae_gradients(sae, x)
+            diff = max(
+                float(np.max(np.abs(g_ref.w1 - g_par.w1))),
+                float(np.max(np.abs(g_ref.b1 - g_par.b1))),
+                float(np.max(np.abs(g_ref.w2 - g_par.w2))),
+                float(np.max(np.abs(g_ref.b2 - g_par.b2))),
+            )
+            ms = _time_min(lambda: engine.sae_step(sae, x, lr), trials, inner)
+        if ms_w1 is None:
+            ms_w1 = ms
+        rows.append(
+            {
+                "kind": "workers",
+                "model": "sae",
+                "batch": batch,
+                "n_visible": n_visible,
+                "n_hidden": n_hidden,
+                "n_workers": w,
+                "ms": round(ms, 3),
+                # ratio of the *rounded* fields so the report is self-consistent
+                "speedup": round(round(ms_w1, 3) / round(ms, 3), 4),
+                "max_abs_diff": diff,
+            }
+        )
+    return rows
+
+
+def _prefetch_row(
+    n_chunks: int,
+    n_buffers: int,
+    batch: int,
+    n_visible: int,
+    n_hidden: int,
+    seed: int,
+) -> Dict:
+    from repro.nn.autoencoder import SparseAutoencoder
+    from repro.runtime.executor import ChunkPrefetcher
+    from repro.runtime.workspace import Workspace
+
+    rng = np.random.default_rng(seed)
+    chunks = [rng.random((batch, n_visible)) for _ in range(n_chunks)]
+    sae = SparseAutoencoder(n_visible, n_hidden, seed=seed)
+    ws = Workspace(name="bench-prefetch")
+    lr = 1e-12
+
+    def compute(chunk: np.ndarray) -> None:
+        _, grads = sae.gradients_into(chunk, ws)
+        sae.apply_update(grads, lr, workspace=ws)
+
+    # Calibrate the simulated host→device staging time to the measured
+    # per-chunk compute time: a balanced pipeline, the regime where
+    # double buffering pays the most (paper Fig. 5).
+    compute(chunks[0])  # warm the workspace
+    t0 = time.perf_counter()
+    compute(chunks[0])
+    load_s = max(time.perf_counter() - t0, 1e-3)
+
+    def load(i: int) -> np.ndarray:
+        time.sleep(load_s)
+        return chunks[i]
+
+    t0 = time.perf_counter()
+    for i in range(n_chunks):  # serial reference: load, then train
+        compute(load(i))
+    serial_ms = (time.perf_counter() - t0) * 1e3
+
+    with ChunkPrefetcher(load, n_chunks=n_chunks, n_buffers=n_buffers) as pf:
+        t0 = time.perf_counter()
+        for chunk in pf:
+            compute(chunk)
+        overlapped_ms = (time.perf_counter() - t0) * 1e3
+    timeline = pf.timeline()
+
+    return {
+        "kind": "prefetch",
+        "n_chunks": n_chunks,
+        "n_buffers": n_buffers,
+        "batch": batch,
+        "n_visible": n_visible,
+        "n_hidden": n_hidden,
+        "load_ms": round(load_s * 1e3, 3),
+        "serial_ms": round(serial_ms, 3),
+        "overlapped_ms": round(overlapped_ms, 3),
+        "speedup": round(round(serial_ms, 3) / round(overlapped_ms, 3), 4),
+        "trainer_idle_ms": round(timeline.trainer_idle_s * 1e3, 3),
+        "max_abs_diff": 0.0,
+    }
+
+
+def run_parallel_bench(
+    shapes: Optional[Sequence[Tuple[int, int, int]]] = None,
+    workers: Sequence[int] = (1, 2),
+    trials: int = 5,
+    inner: int = 3,
+    n_chunks: int = 6,
+    seed: int = 0,
+) -> Dict:
+    """Run the parallel benchmark and return the versioned report dict."""
+    from repro.runtime.linalg import HAVE_BLAS
+    from repro.runtime.threads import HAVE_THREADPOOLCTL, available_cores
+
+    if shapes is None:
+        shapes = PAPER_SHAPES
+    if sorted(set(workers))[:1] != [1]:
+        raise ConfigurationError("workers must include 1 (the speedup baseline)")
+    rows: List[Dict] = []
+    for batch, n_visible, n_hidden in shapes:
+        rows.extend(
+            _worker_rows(batch, n_visible, n_hidden, workers, trials, inner, seed)
+        )
+        rows.append(_prefetch_row(n_chunks, 2, batch, n_visible, n_hidden, seed))
+    return {
+        "schema": SCHEMA_ID,
+        "n_cores": available_cores(),
+        "have_blas": bool(HAVE_BLAS),
+        "have_threadpoolctl": bool(HAVE_THREADPOOLCTL),
+        "blas_threads_per_worker": 1,
+        "equiv_tol": EQUIV_TOL,
+        "rows": rows,
+    }
+
+
+# ---------------------------------------------------------------------------
+# schema validation and gates
+# ---------------------------------------------------------------------------
+
+def _row_key(row: Dict) -> Tuple:
+    keys = _WORKER_KEYS if row.get("kind") == "workers" else _PREFETCH_KEYS
+    return tuple(row.get(k) for k in keys)
+
+
+def validate_report(report: Dict) -> None:
+    """Raise :class:`ConfigurationError` unless ``report`` matches the schema."""
+    if not isinstance(report, dict):
+        raise ConfigurationError("parallel report must be a dict")
+    if report.get("schema") != SCHEMA_ID:
+        raise ConfigurationError(
+            f"parallel report schema must be {SCHEMA_ID!r}, "
+            f"got {report.get('schema')!r}"
+        )
+    if not (isinstance(report.get("n_cores"), int) and report["n_cores"] >= 1):
+        raise ConfigurationError("parallel report must record a positive 'n_cores'")
+    rows = report.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise ConfigurationError("parallel report must carry a non-empty 'rows' list")
+    tol = report.get("equiv_tol", EQUIV_TOL)
+    kinds = set()
+    for i, row in enumerate(rows):
+        kind = row.get("kind")
+        if kind not in ("workers", "prefetch"):
+            raise ConfigurationError(f"rows[{i}] has unknown kind {kind!r}")
+        kinds.add(kind)
+        required = (
+            _WORKER_KEYS + ("ms", "speedup", "max_abs_diff")
+            if kind == "workers"
+            else _PREFETCH_KEYS + ("serial_ms", "overlapped_ms", "speedup", "max_abs_diff")
+        )
+        for field in required:
+            if field not in row:
+                raise ConfigurationError(f"rows[{i}] missing field {field!r}")
+        timing_fields = ("ms",) if kind == "workers" else ("serial_ms", "overlapped_ms")
+        for field in timing_fields + ("speedup",):
+            if not (isinstance(row[field], (int, float)) and row[field] > 0):
+                raise ConfigurationError(
+                    f"rows[{i}][{field!r}] must be a positive number"
+                )
+        if row["max_abs_diff"] > tol:
+            raise ConfigurationError(
+                f"rows[{i}] equivalence violated: max_abs_diff "
+                f"{row['max_abs_diff']:g} > {tol:g}"
+            )
+    if kinds != {"workers", "prefetch"}:
+        raise ConfigurationError(
+            f"parallel report must carry both row kinds, got {sorted(kinds)}"
+        )
+
+
+def enforce_gates(report: Dict, min_speedup: float = MIN_SPEEDUP) -> Tuple[List[str], List[str]]:
+    """Apply the speedup floors; returns ``(failures, skipped_notes)``.
+
+    * prefetch rows must reach ``min_speedup`` on every machine (overlap
+      with a sleeping loader does not need a second core);
+    * ``n_workers >= 2`` rows must reach ``min_speedup`` only when the
+      report was measured on ≥2 cores — on a single-core host the rows
+      are recorded but the gate is reported as skipped.
+    """
+    validate_report(report)
+    failures: List[str] = []
+    skipped: List[str] = []
+    multicore = report["n_cores"] >= 2
+    for row in report["rows"]:
+        if row["kind"] == "workers":
+            if row["n_workers"] < 2:
+                continue
+            label = (
+                f"workers W={row['n_workers']} "
+                f"({row['batch']},{row['n_visible']}->{row['n_hidden']})"
+            )
+            if not multicore:
+                skipped.append(
+                    f"{label}: speedup gate skipped — report measured on "
+                    f"{report['n_cores']} core(s); compute-parallel speedup "
+                    "needs >= 2"
+                )
+            elif row["speedup"] < min_speedup:
+                failures.append(
+                    f"{label}: speedup {row['speedup']:.2f}x < required "
+                    f"{min_speedup:.2f}x"
+                )
+        else:
+            if row["speedup"] < min_speedup:
+                failures.append(
+                    f"prefetch ({row['n_chunks']} chunks, "
+                    f"{row['n_buffers']} buffers): speedup "
+                    f"{row['speedup']:.2f}x < required {min_speedup:.2f}x"
+                )
+    return failures, skipped
+
+
+def compare_to_baseline(
+    report: Dict, baseline: Dict, max_regression: float = 0.25
+) -> List[str]:
+    """Flag rows whose speedup ratio regressed vs the committed baseline.
+
+    Worker rows are only compared when *both* reports were measured on ≥2
+    cores (single-core ratios are ~1.0 by construction and carry no
+    signal); prefetch rows are always compared.  Returns human-readable
+    failure strings, empty when everything is within ``max_regression``.
+    """
+    validate_report(report)
+    validate_report(baseline)
+    both_multicore = report["n_cores"] >= 2 and baseline["n_cores"] >= 2
+    base_by_key = {_row_key(row): row for row in baseline["rows"]}
+    failures: List[str] = []
+    for row in report["rows"]:
+        if row["kind"] == "workers" and not both_multicore:
+            continue
+        base = base_by_key.get(_row_key(row))
+        if base is None:
+            continue  # new shape, nothing to regress against
+        floor = base["speedup"] * (1.0 - max_regression)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['kind']} {_row_key(row)[1:]}: speedup "
+                f"{row['speedup']:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base['speedup']:.2f}x, allowed regression "
+                f"{max_regression:.0%})"
+            )
+    return failures
+
+
+def load_report(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_report(report: Dict, path: str) -> str:
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path

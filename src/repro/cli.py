@@ -9,7 +9,8 @@
     python -m repro roofline               # roofline of one SAE step
     python -m repro serve-bench            # inference serving sweep
     python -m repro hotpath [--quick]      # fused-kernel wall-clock bench
-    python -m repro all                    # everything (except hotpath)
+    python -m repro parallel-bench [--quick]  # thread-parallel executor bench
+    python -m repro all                    # everything (except wall-clock benches)
     python -m repro table1 --csv out.csv   # export rows
 
 Exit status 0 on success; harness errors propagate as non-zero.
@@ -88,16 +89,33 @@ def _rows_for(command: str, model: str, args=None):
             seed=getattr(args, "seed", None) or 0,
         )
         return report["rows"], "Hot path: reference vs fused training step (wall clock)"
+    if command == "parallel-bench":
+        from repro.bench.parallel import QUICK_SHAPES, run_parallel_bench
+
+        quick = bool(getattr(args, "quick", False))
+        report = run_parallel_bench(
+            shapes=QUICK_SHAPES if quick else None,
+            trials=5 if quick else 8,
+            inner=3 if quick else 4,
+            n_chunks=8,
+            seed=getattr(args, "seed", None) or 0,
+        )
+        title = (
+            "Parallel executor: gradient workers + chunk prefetcher "
+            f"(wall clock, {report['n_cores']} core(s))"
+        )
+        return report["rows"], title
     raise ValueError(f"unknown command {command!r}")
 
 
 _COMMANDS = [
     "table1", "fig7", "fig8", "fig9", "fig10", "overlap", "headline",
-    "cores", "roofline", "serve-bench", "hotpath", "verify", "all",
+    "cores", "roofline", "serve-bench", "hotpath", "parallel-bench",
+    "verify", "all",
 ]
 
 #: commands too slow / machine-dependent to fold into ``all``
-_EXCLUDED_FROM_ALL = {"hotpath"}
+_EXCLUDED_FROM_ALL = {"hotpath", "parallel-bench"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,12 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed",
         type=int,
         default=None,
-        help="serve-bench / hotpath: workload seed (default 0)",
+        help="serve-bench / hotpath / parallel-bench: workload seed (default 0)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="hotpath: small shapes + fewer trials (CI smoke run)",
+        help="hotpath / parallel-bench: small shapes + fewer trials (CI smoke run)",
     )
     return parser
 

@@ -165,11 +165,41 @@ class SparseAutoencoder:
         grad_b1 = delta2.mean(axis=0)
         return loss, AutoencoderGradients(grad_w1, grad_b1, grad_w2, grad_b2)
 
+    def mean_hidden_into(
+        self, x: np.ndarray, workspace, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Batch-mean hidden activation ρ̂ through workspace buffers.
+
+        The first phase of the data-parallel sparsity protocol
+        (:class:`repro.runtime.executor.ParallelGradientEngine`): each
+        worker computes its shard's ρ̂ here, the shard means are combined
+        into the global batch mean, and :meth:`gradients_into` is then
+        called with that global ρ̂ so the KL penalty sees the same
+        statistics a serial full-batch step would.
+        """
+        ws = workspace
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        if not x.flags["C_CONTIGUOUS"]:
+            x = np.ascontiguousarray(x)
+        m = x.shape[0]
+        h = self.n_hidden
+        hidden = ws.buf("sae.hidden", (m, h))
+        mask_h = ws.buf("sae.mask_h", (m, h), bool)
+        scr_h = ws.buf("sae.scr_h", (m, h))
+        np.dot(x, self.w1.T, out=hidden)
+        hidden += ws.broadcast("sae.b1_full", self.b1, (m, h))
+        self.hidden_activation.forward_into(hidden, hidden, mask=mask_h, scratch=scr_h)
+        if out is None:
+            out = ws.buf("sae.rho", (h,))
+        np.mean(hidden, axis=0, out=out)
+        return out
+
     def gradients_into(
         self,
         x: np.ndarray,
         workspace,
         out: Optional[AutoencoderGradients] = None,
+        rho_hat: Optional[np.ndarray] = None,
     ) -> Tuple[float, AutoencoderGradients]:
         """Fused, zero-allocation variant of :meth:`gradients` (paper §IV.B).
 
@@ -183,6 +213,12 @@ class SparseAutoencoder:
         ``out`` receives the gradients; when omitted they live in workspace
         buffers that are *overwritten by the next call*, so apply them (or
         copy) before re-invoking.
+
+        ``rho_hat`` optionally *overrides* the batch-mean hidden activation
+        used by the KL sparsity penalty.  Data-parallel workers pass the
+        global batch mean here (combined from per-shard
+        :meth:`mean_hidden_into` results) so that shard gradients reduce to
+        exactly the serial full-batch gradient.
         """
         ws = workspace
         x = check_matrix_shapes(x, self.n_visible, "x")
@@ -212,8 +248,11 @@ class SparseAutoencoder:
         recon += ws.broadcast("sae.b2_full", self.b2, (m, v))
         self.output_activation.forward_into(recon, recon, mask=mask_v, scratch=scr_v)
 
-        rho_hat = ws.buf("sae.rho", (h,))
-        np.mean(hidden, axis=0, out=rho_hat)
+        rho = ws.buf("sae.rho", (h,))
+        if rho_hat is None:
+            np.mean(hidden, axis=0, out=rho)
+        else:
+            np.copyto(rho, rho_hat)
 
         diff = ws.buf("sae.diff", (m, v))
         np.subtract(recon, x, out=diff)
@@ -223,7 +262,7 @@ class SparseAutoencoder:
         loss += 0.5 * self.cost.weight_decay * (dot_self(self.w1) + dot_self(self.w2))
         rho_scr1 = ws.buf("sae.rho_scr1", (h,))
         rho_scr2 = ws.buf("sae.rho_scr2", (h,))
-        loss += self.cost.sparsity(rho_hat, out=rho_scr1, scratch=rho_scr2)
+        loss += self.cost.sparsity(rho, out=rho_scr1, scratch=rho_scr2)
 
         # δ₃ = (z − x) ⊙ s'(z), fused into ``diff``
         self.output_activation.mul_grad_into(diff, recon, scratch=scr_v)
@@ -241,7 +280,7 @@ class SparseAutoencoder:
         back = ws.buf("sae.back", (m, h))
         np.dot(delta3, self.w2, out=back)
         if self.cost.sparsity_weight > 0.0:
-            self.cost.sparsity_delta(rho_hat, out=rho_scr1, scratch=rho_scr2)
+            self.cost.sparsity_delta(rho, out=rho_scr1, scratch=rho_scr2)
             back += ws.broadcast("sae.rho_full", rho_scr1, (m, h))
         self.hidden_activation.mul_grad_into(back, hidden, scratch=scr_h)
         delta2 = back

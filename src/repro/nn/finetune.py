@@ -43,11 +43,18 @@ def finetune(
     batch_size: int = 64,
     epochs: int = 10,
     seed: SeedLike = None,
+    engine=None,
 ) -> FinetuneResult:
     """Mini-batch supervised training of ``network`` on (x, labels).
 
     ``labels`` are integer class ids for the softmax head, or target
     rows for regression heads.
+
+    With ``engine`` (a :class:`repro.runtime.executor.ParallelGradientEngine`)
+    each mini-batch's back-propagation is split across the engine's
+    workers and reduced before the synchronized update; the gradients are
+    deterministic, so the trajectory matches the serial path to floating-
+    point reduction order.  The engine is borrowed — the caller closes it.
     """
     check_positive(learning_rate, "learning_rate")
     check_int(batch_size, "batch_size", minimum=1)
@@ -74,8 +81,13 @@ def finetune(
         order = rng.permutation(x.shape[0])
         for start in range(0, x.shape[0], batch_size):
             idx = order[start : start + batch_size]
-            loss, grads = network.gradients_into(x[idx], targets[idx], ws)
-            network.apply_update(grads, learning_rate, workspace=ws)
+            if engine is not None:
+                loss = engine.supervised_step(
+                    network, x[idx], targets[idx], learning_rate
+                )
+            else:
+                loss, grads = network.gradients_into(x[idx], targets[idx], ws)
+                network.apply_update(grads, learning_rate, workspace=ws)
             result.losses.append(float(loss))
             result.n_updates += 1
         if network.head == "softmax":

@@ -76,7 +76,7 @@ class _GreedyStack:
     def _make_block(self, n_in: int, spec: LayerSpec, rng):
         raise NotImplementedError
 
-    def _train_block(self, block, x, spec: LayerSpec, rng) -> List[float]:
+    def _train_block(self, block, x, spec: LayerSpec, rng, engine=None) -> List[float]:
         raise NotImplementedError
 
     def _block_transform(self, block, x) -> np.ndarray:
@@ -86,11 +86,18 @@ class _GreedyStack:
         self,
         x: np.ndarray,
         callback: Optional[Callable[[int, object, List[float]], None]] = None,
+        engine=None,
     ) -> "_GreedyStack":
         """Run the greedy layer-wise procedure of paper Fig. 1.
 
         ``callback(layer_index, block, per_epoch_errors)`` fires after each
         block finishes, letting callers monitor the cascade.
+
+        ``engine`` — a :class:`repro.runtime.executor.ParallelGradientEngine`
+        — runs every mini-batch update data-parallel across its workers
+        (the paper's synchronized layer-wise multi-core pre-training);
+        omitted, each block trains serially through a private workspace.
+        The engine is borrowed, not owned: the caller closes it.
         """
         x = check_matrix_shapes(x, self.n_visible, "x")
         self.blocks = []
@@ -100,7 +107,7 @@ class _GreedyStack:
         n_in = self.n_visible
         for i, spec in enumerate(self.layer_specs):
             block = self._make_block(n_in, spec, rngs[2 * i])
-            errors = self._train_block(block, current, spec, rngs[2 * i + 1])
+            errors = self._train_block(block, current, spec, rngs[2 * i + 1], engine)
             self.blocks.append(block)
             self.layer_errors.append(errors)
             if callback is not None:
@@ -154,7 +161,14 @@ class StackedAutoencoder(_GreedyStack):
     def _make_block(self, n_in, spec, rng):
         return SparseAutoencoder(n_in, spec.n_hidden, cost=self.cost, seed=rng)
 
-    def _train_block(self, block: SparseAutoencoder, x, spec, rng):
+    def _train_block(self, block: SparseAutoencoder, x, spec, rng, engine=None):
+        if engine is not None:
+            errors = []
+            for _ in range(spec.epochs):
+                for batch in _minibatches(x, spec.batch_size, rng):
+                    engine.sae_step(block, batch, spec.learning_rate)
+                errors.append(block.reconstruction_error(x))
+            return errors
         # One arena per block: after the first full batch and the first
         # ragged tail batch every step is allocation-free (paper §IV.B).
         ws = Workspace(name="sae-pretrain")
@@ -198,7 +212,22 @@ class DeepBeliefNetwork(_GreedyStack):
     def _make_block(self, n_in, spec, rng):
         return RBM(n_in, spec.n_hidden, seed=rng)
 
-    def _train_block(self, block: RBM, x, spec, rng):
+    def _train_block(self, block: RBM, x, spec, rng, engine=None):
+        if engine is not None:
+            # Gibbs sampling draws from the engine's per-worker streams:
+            # reproducible at fixed worker count, ``rng`` only shuffles.
+            errors = []
+            for _ in range(spec.epochs):
+                epoch_err = 0.0
+                n_batches = 0
+                for batch in _minibatches(x, spec.batch_size, rng):
+                    stats = engine.cd_step(
+                        block, batch, spec.learning_rate, k=self.cd_k
+                    )
+                    epoch_err += stats.reconstruction_error
+                    n_batches += 1
+                errors.append(epoch_err / max(n_batches, 1))
+            return errors
         ws = Workspace(name="rbm-pretrain")
         errors = []
         for _ in range(spec.epochs):

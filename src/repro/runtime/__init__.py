@@ -41,7 +41,19 @@ from repro.runtime.distributed import (
     scaling_rows,
     simulate_data_parallel,
 )
-from repro.runtime.workspace import Workspace, WorkspaceFrozenError
+from repro.runtime.workspace import Workspace, WorkspaceFrozenError, WorkspaceThreadError
+from repro.runtime.threads import (
+    HAVE_THREADPOOLCTL,
+    available_cores,
+    blas_thread_limit,
+    recommended_blas_threads,
+)
+from repro.runtime.executor import (
+    ChunkPrefetcher,
+    ExecutorClosedError,
+    ParallelGradientEngine,
+    PrefetchError,
+)
 
 __all__ = [
     "OptimizationLevel",
@@ -76,4 +88,13 @@ __all__ = [
     "scaling_rows",
     "Workspace",
     "WorkspaceFrozenError",
+    "WorkspaceThreadError",
+    "HAVE_THREADPOOLCTL",
+    "available_cores",
+    "blas_thread_limit",
+    "recommended_blas_threads",
+    "ChunkPrefetcher",
+    "ExecutorClosedError",
+    "ParallelGradientEngine",
+    "PrefetchError",
 ]

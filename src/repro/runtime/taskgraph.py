@@ -99,6 +99,67 @@ class TaskGraph:
             for front in self.wavefronts()
         ]
 
+    def execute(
+        self,
+        fns: Optional[Dict[str, Callable[[Dict[str, object]], object]]] = None,
+        pool=None,
+        n_workers: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Run the graph's wavefronts *concurrently* on a thread pool.
+
+        This is the executable counterpart of :meth:`wavefronts`: nodes in
+        the same Kahn level are submitted together and joined before the
+        next level starts — the paper's Fig. 6 schedule ("the computations
+        of V2 and C1 can run in parallel").
+
+        Parameters
+        ----------
+        fns:
+            Callables keyed by node name.  Each is invoked as
+            ``fn(deps)`` where ``deps`` maps dependency names to their
+            results; nodes without a callable yield ``None`` (barrier
+            nodes).  Unknown keys raise :class:`~repro.errors.SchedulingError`.
+        pool:
+            Anything with ``submit(fn, *args) -> future``: a
+            ``concurrent.futures`` executor or a
+            :class:`repro.runtime.executor.ParallelGradientEngine`.  When
+            omitted a private ``ThreadPoolExecutor`` of ``n_workers``
+            threads (default: widest wavefront) is created and torn down.
+
+        Returns the full ``{node name: result}`` mapping.
+        """
+        fns = dict(fns or {})
+        for name in fns:
+            if name not in self._nodes:
+                raise SchedulingError(f"execute() got callable for unknown task {name!r}")
+        fronts = self.wavefronts()
+        own_pool = None
+        if pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            width = max((len(f) for f in fronts), default=1)
+            own_pool = ThreadPoolExecutor(
+                max_workers=n_workers or width, thread_name_prefix="taskgraph"
+            )
+            pool = own_pool
+        results: Dict[str, object] = {}
+        try:
+            for front in fronts:
+                futures = {}
+                for node in front:
+                    fn = fns.get(node.name)
+                    if fn is None:
+                        results[node.name] = None
+                        continue
+                    deps = {d: results[d] for d in node.deps}
+                    futures[node.name] = pool.submit(fn, deps)
+                for name, future in futures.items():
+                    results[name] = future.result()
+        finally:
+            if own_pool is not None:
+                own_pool.shutdown(wait=True)
+        return results
+
     def critical_path(self, cost: Callable[[TaskNode], float]) -> List[str]:
         """The dependency chain with the largest summed ``cost``."""
         best: Dict[str, float] = {}

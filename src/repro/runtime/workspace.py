@@ -22,11 +22,21 @@ Typical use::
 Buffers are keyed by ``(name, shape, dtype)``: the same kernel running on
 two different mini-batch sizes (e.g. the ragged last batch of an epoch)
 transparently gets one buffer per shape.
+
+Workspaces are **single-threaded by construction**: the arena hands out
+the *same* array object on every hit, so two threads sharing a workspace
+would silently compute into each other's scratch memory.  The first
+:meth:`Workspace.buf` call pins the arena to the calling thread and any
+later access from a different thread raises
+:class:`WorkspaceThreadError` — parallel gradient workers must each own a
+private workspace (see :mod:`repro.runtime.executor`, which binds one
+arena per worker thread).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import threading
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +45,10 @@ from repro.errors import ConfigurationError
 
 class WorkspaceFrozenError(ConfigurationError):
     """A frozen workspace was asked to allocate a new buffer."""
+
+
+class WorkspaceThreadError(ConfigurationError):
+    """A workspace was touched from a thread other than its owner."""
 
 
 class Workspace:
@@ -52,8 +66,25 @@ class Workspace:
         self._buffers: Dict[Tuple[str, Tuple[int, ...], np.dtype], np.ndarray] = {}
         self._transposes: Dict[str, np.ndarray] = {}
         self._frozen = False
+        self._owner_ident: Optional[int] = None
+        self._owner_name: Optional[str] = None
         self.hits = 0
         self.misses = 0
+
+    def _check_thread(self) -> None:
+        """Pin the arena to the first accessing thread; reject all others."""
+        ident = threading.get_ident()
+        if self._owner_ident is None:
+            self._owner_ident = ident
+            self._owner_name = threading.current_thread().name
+        elif ident != self._owner_ident:
+            raise WorkspaceThreadError(
+                f"{self.name} is owned by thread {self._owner_name!r} "
+                f"(ident {self._owner_ident}) but was accessed from "
+                f"{threading.current_thread().name!r} (ident {ident}); "
+                "workspace buffers are reused scratch memory — give every "
+                "worker thread its own private Workspace"
+            )
 
     # ------------------------------------------------------------------
     # scratch buffers
@@ -66,6 +97,7 @@ class Workspace:
         are whatever the previous user left, callers must overwrite).  On a
         frozen workspace a miss raises :class:`WorkspaceFrozenError`.
         """
+        self._check_thread()
         key = (name, tuple(int(s) for s in shape), np.dtype(dtype))
         arr = self._buffers.get(key)
         if arr is None:
@@ -116,6 +148,7 @@ class Workspace:
         ``refresh=False`` skips the copy when the source is known unchanged
         since the previous call.
         """
+        self._check_thread()
         arr = np.asarray(array)
         if arr.ndim != 2:
             raise ConfigurationError(
@@ -169,11 +202,18 @@ class Workspace:
             a.nbytes for a in self._transposes.values()
         )
 
+    @property
+    def owner_thread(self) -> Optional[int]:
+        """Thread ident the arena is pinned to (None until first access)."""
+        return self._owner_ident
+
     def clear(self) -> None:
-        """Drop every buffer (and the frozen flag)."""
+        """Drop every buffer (plus the frozen flag and thread pinning)."""
         self._buffers.clear()
         self._transposes.clear()
         self._frozen = False
+        self._owner_ident = None
+        self._owner_name = None
         self.hits = 0
         self.misses = 0
 

@@ -1,6 +1,6 @@
 """Shared utilities: RNG management, stable math, validation, logging."""
 
-from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.rng import RandomState, as_generator, spawn_generators, spawn_streams
 from repro.utils.mathx import (
     sigmoid,
     sigmoid_grad,
@@ -22,6 +22,7 @@ __all__ = [
     "RandomState",
     "as_generator",
     "spawn_generators",
+    "spawn_streams",
     "sigmoid",
     "sigmoid_grad",
     "logistic_log1pexp",

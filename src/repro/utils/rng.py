@@ -10,7 +10,7 @@ own their randomness; we mirror that with spawned child generators).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,6 +43,28 @@ def spawn_generators(seed: SeedLike, n: int) -> Sequence[np.random.Generator]:
         # Derive children by drawing seeds from the parent stream.
         seeds = seed.integers(0, 2**63 - 1, size=n)
         return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def spawn_streams(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """``n`` independent generators with stable :class:`~numpy.random.SeedSequence` lineage.
+
+    Unlike :func:`spawn_generators` (which consumes draws from a parent
+    *generator* when given one), this always routes through a
+    ``SeedSequence`` spawn, so the i-th stream is a pure function of
+    ``(seed, n_index)`` — the property the parallel executor needs to make
+    CD-1 sampling reproducible at a fixed worker count: worker *i* owns
+    stream *i* no matter how the OS schedules the threads.
+
+    ``seed`` may be ``None``/``int``/``SeedSequence``; a ``Generator`` is
+    accepted by deriving one 63-bit root seed from it (which advances the
+    parent stream by a single draw).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of streams: {n}")
+    if isinstance(seed, np.random.Generator):
+        seed = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
     ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in ss.spawn(n)]
 

@@ -1,0 +1,200 @@
+"""Schema, gates, and baseline comparison of repro.bench.parallel."""
+
+import copy
+
+import pytest
+
+from repro.bench import parallel as bp
+from repro.errors import ConfigurationError
+
+
+def _tiny_report():
+    """Real miniature run: 1 shape, W in {1, 2}, few trials."""
+    return bp.run_parallel_bench(
+        shapes=[(16, 12, 8)], workers=(1, 2), trials=1, inner=1, n_chunks=3, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def report():
+    return _tiny_report()
+
+
+class TestRun:
+    def test_schema_and_metadata(self, report):
+        bp.validate_report(report)
+        assert report["schema"] == bp.SCHEMA_ID
+        assert report["n_cores"] >= 1
+        assert report["equiv_tol"] == bp.EQUIV_TOL
+
+    def test_row_kinds_present(self, report):
+        kinds = {row["kind"] for row in report["rows"]}
+        assert kinds == {"workers", "prefetch"}
+
+    def test_equivalence_within_tolerance(self, report):
+        for row in report["rows"]:
+            assert row["max_abs_diff"] <= bp.EQUIV_TOL
+
+    def test_w1_row_is_the_unit_baseline(self, report):
+        w1 = [r for r in report["rows"] if r.get("n_workers") == 1]
+        assert w1 and all(r["speedup"] == 1.0 for r in w1)
+
+    def test_workers_must_include_one(self):
+        with pytest.raises(ConfigurationError):
+            bp.run_parallel_bench(shapes=[(8, 6, 4)], workers=(2, 4), trials=1, inner=1)
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self, report):
+        bad = copy.deepcopy(report)
+        bad["schema"] = "other/v1"
+        with pytest.raises(ConfigurationError, match="schema"):
+            bp.validate_report(bad)
+
+    def test_rejects_missing_cores(self, report):
+        bad = copy.deepcopy(report)
+        del bad["n_cores"]
+        with pytest.raises(ConfigurationError, match="n_cores"):
+            bp.validate_report(bad)
+
+    def test_rejects_unknown_row_kind(self, report):
+        bad = copy.deepcopy(report)
+        bad["rows"][0]["kind"] = "mystery"
+        with pytest.raises(ConfigurationError, match="kind"):
+            bp.validate_report(bad)
+
+    def test_rejects_equivalence_violation(self, report):
+        bad = copy.deepcopy(report)
+        bad["rows"][0]["max_abs_diff"] = 1e-3
+        with pytest.raises(ConfigurationError, match="equivalence"):
+            bp.validate_report(bad)
+
+    def test_rejects_missing_row_kind_coverage(self, report):
+        bad = copy.deepcopy(report)
+        bad["rows"] = [r for r in bad["rows"] if r["kind"] == "workers"]
+        with pytest.raises(ConfigurationError, match="both row kinds"):
+            bp.validate_report(bad)
+
+    def test_rejects_nonpositive_timing(self, report):
+        bad = copy.deepcopy(report)
+        for row in bad["rows"]:
+            if row["kind"] == "workers":
+                row["ms"] = 0.0
+                break
+        with pytest.raises(ConfigurationError, match="positive"):
+            bp.validate_report(bad)
+
+
+class TestGates:
+    def test_single_core_skips_worker_gate(self, report):
+        r = copy.deepcopy(report)
+        r["n_cores"] = 1
+        for row in r["rows"]:
+            row["speedup"] = 2.0  # prefetch safely above the floor
+        for row in r["rows"]:
+            if row["kind"] == "workers" and row["n_workers"] >= 2:
+                row["speedup"] = 0.5  # would fail — but must be skipped
+        failures, skipped = bp.enforce_gates(r, min_speedup=1.3)
+        assert failures == []
+        assert skipped and "1 core" in skipped[0]
+
+    def test_multicore_enforces_worker_floor(self, report):
+        r = copy.deepcopy(report)
+        r["n_cores"] = 4
+        for row in r["rows"]:
+            row["speedup"] = 2.0
+        for row in r["rows"]:
+            if row["kind"] == "workers" and row["n_workers"] >= 2:
+                row["speedup"] = 1.1
+        failures, skipped = bp.enforce_gates(r, min_speedup=1.3)
+        assert skipped == []
+        assert failures and "W=2" in failures[0]
+
+    def test_prefetch_floor_applies_on_any_core_count(self, report):
+        r = copy.deepcopy(report)
+        r["n_cores"] = 1
+        for row in r["rows"]:
+            row["speedup"] = 2.0
+        for row in r["rows"]:
+            if row["kind"] == "prefetch":
+                row["speedup"] = 1.05
+        failures, _ = bp.enforce_gates(r, min_speedup=1.3)
+        assert failures and "prefetch" in failures[0]
+
+    def test_all_gates_pass_on_good_multicore_report(self, report):
+        r = copy.deepcopy(report)
+        r["n_cores"] = 4
+        for row in r["rows"]:
+            if row.get("n_workers") != 1:
+                row["speedup"] = 1.8
+        failures, skipped = bp.enforce_gates(r, min_speedup=1.3)
+        assert failures == [] and skipped == []
+
+
+class TestBaselineComparison:
+    def test_no_regression_against_self(self, report):
+        assert bp.compare_to_baseline(report, report) == []
+
+    def test_flags_prefetch_regression(self, report):
+        current = copy.deepcopy(report)
+        for row in current["rows"]:
+            if row["kind"] == "prefetch":
+                row["speedup"] = row["speedup"] * 0.5
+        failures = bp.compare_to_baseline(current, report, max_regression=0.25)
+        assert failures and "prefetch" in failures[0]
+
+    def test_worker_rows_skipped_when_either_side_single_core(self, report):
+        current = copy.deepcopy(report)
+        current["n_cores"] = 1
+        for row in current["rows"]:
+            if row["kind"] == "workers":
+                row["speedup"] = 0.1  # huge regression — must be ignored
+        failures = bp.compare_to_baseline(current, report, max_regression=0.25)
+        assert all("workers" not in f for f in failures)
+
+    def test_worker_rows_compared_when_both_multicore(self, report):
+        base = copy.deepcopy(report)
+        base["n_cores"] = 4
+        current = copy.deepcopy(base)
+        for row in current["rows"]:
+            if row["kind"] == "workers" and row["n_workers"] >= 2:
+                row["speedup"] = row["speedup"] * 0.1
+        failures = bp.compare_to_baseline(current, base, max_regression=0.25)
+        assert failures
+
+    def test_unknown_shape_is_not_compared(self, report):
+        current = copy.deepcopy(report)
+        for row in current["rows"]:
+            row["n_chunks"] = row.get("n_chunks", 0) + 99
+            row["batch"] = row["batch"] + 99
+        assert bp.compare_to_baseline(current, report) == []
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, report, tmp_path):
+        path = str(tmp_path / "BENCH_parallel.json")
+        assert bp.write_report(report, path) == path
+        loaded = bp.load_report(path)
+        bp.validate_report(loaded)
+        assert loaded == report
+
+    def test_write_rejects_invalid(self, report, tmp_path):
+        bad = copy.deepcopy(report)
+        bad["schema"] = "nope"
+        with pytest.raises(ConfigurationError):
+            bp.write_report(bad, str(tmp_path / "x.json"))
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_valid(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "BENCH_parallel.json"
+        )
+        if not os.path.exists(path):
+            pytest.skip("BENCH_parallel.json not present")
+        report = bp.load_report(path)
+        bp.validate_report(report)
+        failures, _skipped = bp.enforce_gates(report, min_speedup=bp.MIN_SPEEDUP)
+        assert failures == []

@@ -1,0 +1,82 @@
+"""BLAS thread budgeting: recommended splits and the limit context manager."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import threads
+from repro.runtime.threads import (
+    BLAS_ENV_VARS,
+    available_cores,
+    blas_thread_limit,
+    recommended_blas_threads,
+)
+
+
+class TestAvailableCores:
+    def test_at_least_one(self):
+        assert available_cores() >= 1
+
+
+class TestRecommendedBlasThreads:
+    @pytest.mark.parametrize(
+        "workers,cores,expected",
+        [(1, 8, 8), (2, 8, 4), (3, 8, 2), (8, 8, 1), (16, 8, 1), (2, 1, 1)],
+    )
+    def test_budget_split(self, workers, cores, expected):
+        assert recommended_blas_threads(workers, total_cores=cores) == expected
+
+    def test_never_oversubscribes(self):
+        for cores in (1, 4, 7, 61):  # 61 = Phi 5110P core count
+            for workers in range(1, cores + 2):
+                blas = recommended_blas_threads(workers, total_cores=cores)
+                assert blas >= 1
+                assert blas == 1 or workers * blas <= cores
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            recommended_blas_threads(0)
+
+    def test_defaults_to_available_cores(self):
+        assert recommended_blas_threads(1) == available_cores()
+
+
+class TestBlasThreadLimit:
+    def test_none_is_noop(self):
+        before = {var: os.environ.get(var) for var in BLAS_ENV_VARS}
+        with blas_thread_limit(None):
+            assert {var: os.environ.get(var) for var in BLAS_ENV_VARS} == before
+
+    def test_invalid_limit(self):
+        with pytest.raises(ConfigurationError):
+            with blas_thread_limit(0):
+                pass
+
+    def test_env_fallback_sets_and_restores(self, monkeypatch):
+        monkeypatch.setattr(threads, "HAVE_THREADPOOLCTL", False)
+        monkeypatch.setenv("OMP_NUM_THREADS", "7")
+        monkeypatch.delenv("MKL_NUM_THREADS", raising=False)
+        with blas_thread_limit(2):
+            for var in BLAS_ENV_VARS:
+                assert os.environ[var] == "2"
+        assert os.environ["OMP_NUM_THREADS"] == "7"  # pre-existing restored
+        assert "MKL_NUM_THREADS" not in os.environ  # absent stays absent
+
+    def test_env_fallback_restores_on_exception(self, monkeypatch):
+        monkeypatch.setattr(threads, "HAVE_THREADPOOLCTL", False)
+        monkeypatch.setenv("OMP_NUM_THREADS", "5")
+        with pytest.raises(RuntimeError):
+            with blas_thread_limit(3):
+                raise RuntimeError("boom")
+        assert os.environ["OMP_NUM_THREADS"] == "5"
+
+    @pytest.mark.skipif(
+        not threads.HAVE_THREADPOOLCTL, reason="threadpoolctl not installed"
+    )
+    def test_threadpoolctl_path_applies_limit(self):
+        import threadpoolctl
+
+        with blas_thread_limit(1):
+            for info in threadpoolctl.threadpool_info():
+                assert info["num_threads"] == 1

@@ -105,3 +105,75 @@ class TestFreeze:
         assert not ws.frozen
         ws.buf("x", (3, 3))
         assert ws.n_buffers == 1
+
+
+class TestThreadGuard:
+    def test_owner_pinned_on_first_access(self):
+        import threading
+
+        ws = Workspace(name="guarded")
+        assert ws.owner_thread is None
+        ws.buf("x", (2, 2))
+        assert ws.owner_thread == threading.get_ident()
+
+    def test_foreign_thread_access_raises(self):
+        import threading
+
+        from repro.runtime.workspace import WorkspaceThreadError
+
+        ws = Workspace(name="guarded")
+        ws.buf("x", (2, 2))  # pin to this thread
+        caught = []
+
+        def intrude():
+            try:
+                ws.buf("x", (2, 2))
+            except WorkspaceThreadError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=intrude)
+        t.start()
+        t.join()
+        assert len(caught) == 1
+        assert "guarded" in str(caught[0])
+
+    def test_transpose_also_guarded(self):
+        import threading
+
+        from repro.runtime.workspace import WorkspaceThreadError
+
+        ws = Workspace()
+        ws.transpose("a", np.arange(6.0).reshape(2, 3))
+        caught = []
+
+        def intrude():
+            try:
+                ws.transpose("a", np.arange(6.0).reshape(2, 3))
+            except WorkspaceThreadError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=intrude)
+        t.start()
+        t.join()
+        assert len(caught) == 1
+
+    def test_clear_releases_ownership(self):
+        import threading
+
+        ws = Workspace()
+        ws.buf("x", (2, 2))
+        ws.clear()
+        assert ws.owner_thread is None
+        errors = []
+
+        def adopt():
+            try:
+                ws.buf("x", (2, 2))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        t = threading.Thread(target=adopt)
+        t.start()
+        t.join()
+        assert not errors
+        assert ws.owner_thread != threading.get_ident()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.rng import RandomState, as_generator, spawn_generators, spawn_streams
 
 
 class TestAsGenerator:
@@ -74,3 +74,37 @@ class TestRandomState:
     def test_generator_seeded_state(self):
         state = RandomState(np.random.default_rng(1))
         assert isinstance(state.stream("x"), np.random.Generator)
+
+
+class TestSpawnStreams:
+    def test_pure_function_of_seed_and_count(self):
+        a = spawn_streams(11, 4)
+        b = spawn_streams(11, 4)
+        for ga, gb in zip(a, b):
+            np.testing.assert_array_equal(ga.random(8), gb.random(8))
+
+    def test_streams_are_independent(self):
+        streams = spawn_streams(0, 3)
+        draws = [g.random(16) for g in streams]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_prefix_stability(self):
+        # Stream i is the same whether 2 or 5 streams are spawned — worker
+        # i's Gibbs chain does not change when the pool merely grows.
+        small = spawn_streams(7, 2)
+        large = spawn_streams(7, 5)
+        for gs, gl in zip(small, large):
+            np.testing.assert_array_equal(gs.random(8), gl.random(8))
+
+    def test_zero_streams(self):
+        assert spawn_streams(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_streams(0, -1)
+
+    def test_generator_seed_accepted(self):
+        streams = spawn_streams(np.random.default_rng(5), 2)
+        assert len(streams) == 2
+        assert all(isinstance(g, np.random.Generator) for g in streams)
