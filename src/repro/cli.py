@@ -10,6 +10,7 @@
     python -m repro serve-bench            # inference serving sweep
     python -m repro hotpath [--quick]      # fused-kernel wall-clock bench
     python -m repro parallel-bench [--quick]  # thread-parallel executor bench
+    python -m repro chaos [--quick]        # fault-injection + resume drill
     python -m repro all                    # everything (except wall-clock benches)
     python -m repro table1 --csv out.csv   # export rows
 
@@ -105,17 +106,27 @@ def _rows_for(command: str, model: str, args=None):
             f"(wall clock, {report['n_cores']} core(s))"
         )
         return report["rows"], title
+    if command == "chaos":
+        from repro.testing.chaos import run_chaos
+
+        rows = run_chaos(
+            quick=bool(getattr(args, "quick", False)),
+            checkpoint_dir=getattr(args, "checkpoint_dir", None),
+            resume=bool(getattr(args, "resume", False)),
+            seed=getattr(args, "seed", None) or 0,
+        )
+        return rows, "Chaos drill: injected faults, recovery, bit-identical resume"
     raise ValueError(f"unknown command {command!r}")
 
 
 _COMMANDS = [
     "table1", "fig7", "fig8", "fig9", "fig10", "overlap", "headline",
     "cores", "roofline", "serve-bench", "hotpath", "parallel-bench",
-    "verify", "all",
+    "verify", "chaos", "all",
 ]
 
 #: commands too slow / machine-dependent to fold into ``all``
-_EXCLUDED_FROM_ALL = {"hotpath", "parallel-bench"}
+_EXCLUDED_FROM_ALL = {"hotpath", "parallel-bench", "chaos"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,7 +162,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="hotpath / parallel-bench: small shapes + fewer trials (CI smoke run)",
+        help=(
+            "hotpath / parallel-bench / chaos: small shapes + fewer trials "
+            "(CI smoke run)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="chaos: persist drill checkpoints under DIR (default: temp dir)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="chaos: finish an interrupted drill from --checkpoint-dir snapshots",
     )
     return parser
 
@@ -174,6 +199,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         all_rows.extend(rows)
         if command == "verify" and any(r.get("status") == "FAIL" for r in rows):
+            status = 1
+        if command == "chaos" and any(not r.get("ok", False) for r in rows):
             status = 1
     if args.csv:
         print(f"wrote {write_csv(all_rows, args.csv)}")

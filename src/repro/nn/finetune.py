@@ -16,6 +16,15 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.mlp import DeepNetwork, one_hot
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    as_store,
+    capture_rng,
+    load_npz,
+    resolve_resume_path,
+    restore_rng_into,
+)
 from repro.runtime.workspace import Workspace
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_int, check_positive
@@ -35,6 +44,80 @@ class FinetuneResult:
         return self.losses[-1] if self.losses else float("nan")
 
 
+def _network_meta(network: DeepNetwork) -> dict:
+    return {
+        "layer_sizes": list(network.layer_sizes),
+        "head": network.head,
+        "weight_decay": network.weight_decay,
+    }
+
+
+def _save_finetune_checkpoint(
+    store: CheckpointStore,
+    network: DeepNetwork,
+    epochs_done: int,
+    rng: np.random.Generator,
+    engine,
+    result: "FinetuneResult",
+) -> None:
+    header = {
+        "kind": "finetune",
+        "phase": "finetune",
+        "model": _network_meta(network),
+        "epochs_done": epochs_done,
+        "rng_state": capture_rng(rng),
+        "engine": None
+        if engine is None
+        else {"n_workers": engine.n_workers, "streams": engine.capture_rng_streams()},
+        "losses": [float(v) for v in result.losses],
+        "train_accuracy": [float(v) for v in result.train_accuracy],
+        "n_updates": result.n_updates,
+    }
+    arrays = {}
+    for i, layer in enumerate(network.layers):
+        arrays[f"w{i}"] = layer.w
+        arrays[f"b{i}"] = layer.b
+    store.save(header, arrays, tag=f"epoch{epochs_done}")
+
+
+def _restore_finetune(
+    network: DeepNetwork,
+    resume_from,
+    rng: np.random.Generator,
+    engine,
+    result: "FinetuneResult",
+) -> int:
+    path = resolve_resume_path(resume_from)
+    header, arrays = load_npz(path)
+    if header.get("kind") != "finetune":
+        raise CheckpointError(
+            f"{path}: not a finetune checkpoint (kind={header.get('kind')!r})"
+        )
+    if header.get("model") != _network_meta(network):
+        raise CheckpointError(f"{path}: checkpoint does not match this network")
+    engine_meta = header.get("engine")
+    if (engine_meta is None) != (engine is None):
+        raise CheckpointError(
+            "resume must use the same execution mode as the checkpointed run "
+            "(parallel engine vs serial)"
+        )
+    if engine is not None:
+        if engine_meta["n_workers"] != engine.n_workers:
+            raise CheckpointError(
+                f"checkpoint was taken at n_workers={engine_meta['n_workers']} "
+                f"but the engine has {engine.n_workers}"
+            )
+        engine.restore_rng_streams(engine_meta["streams"])
+    restore_rng_into(rng, header["rng_state"])
+    for i, layer in enumerate(network.layers):
+        layer.w = np.ascontiguousarray(arrays[f"w{i}"], dtype=np.float64)
+        layer.b = np.ascontiguousarray(arrays[f"b{i}"], dtype=np.float64)
+    result.losses = [float(v) for v in header["losses"]]
+    result.train_accuracy = [float(v) for v in header["train_accuracy"]]
+    result.n_updates = int(header["n_updates"])
+    return int(header["epochs_done"])
+
+
 def finetune(
     network: DeepNetwork,
     x: np.ndarray,
@@ -44,6 +127,8 @@ def finetune(
     epochs: int = 10,
     seed: SeedLike = None,
     engine=None,
+    checkpoint=None,
+    resume_from=None,
 ) -> FinetuneResult:
     """Mini-batch supervised training of ``network`` on (x, labels).
 
@@ -55,6 +140,15 @@ def finetune(
     workers and reduced before the synchronized update; the gradients are
     deterministic, so the trajectory matches the serial path to floating-
     point reduction order.  The engine is borrowed — the caller closes it.
+
+    ``checkpoint`` (directory path or
+    :class:`~repro.runtime.checkpoint.CheckpointStore`) writes an atomic
+    snapshot — network parameters, the shuffle RNG position, the engine's
+    worker streams, and the loss history — after every epoch;
+    ``resume_from`` (snapshot file or checkpoint directory) restores one
+    and continues, bit-identical to an uninterrupted run at the same
+    seed, execution mode, and worker count.  When ``seed`` is a live
+    ``Generator``, resuming rewinds that generator in place.
     """
     check_positive(learning_rate, "learning_rate")
     check_int(batch_size, "batch_size", minimum=1)
@@ -73,11 +167,15 @@ def finetune(
             )
 
     rng = as_generator(seed)
+    store = as_store(checkpoint)
     result = FinetuneResult(network=network)
+    start_epoch = 0
+    if resume_from is not None:
+        start_epoch = _restore_finetune(network, resume_from, rng, engine, result)
     # Workspace-backed steps: same arithmetic as network.gradients, zero
     # steady-state allocations (one buffer set per distinct batch shape).
     ws = Workspace(name="finetune")
-    for _epoch in range(epochs):
+    for _epoch in range(start_epoch, epochs):
         order = rng.permutation(x.shape[0])
         for start in range(0, x.shape[0], batch_size):
             idx = order[start : start + batch_size]
@@ -92,6 +190,8 @@ def finetune(
             result.n_updates += 1
         if network.head == "softmax":
             result.train_accuracy.append(network.accuracy(x, labels))
+        if store is not None:
+            _save_finetune_checkpoint(store, network, _epoch + 1, rng, engine, result)
     return result
 
 

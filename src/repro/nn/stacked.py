@@ -7,12 +7,20 @@ flavours from the paper are provided:
 
 * :class:`StackedAutoencoder` — blocks are sparse autoencoders;
 * :class:`DeepBeliefNetwork` — blocks are RBMs (Hinton's DBN).
+
+Pre-training is **crash-consistent**: pass ``checkpoint=`` to
+:meth:`~_GreedyStack.pretrain` to write an atomic epoch-granular snapshot
+(parameters of every block so far, all RNG stream positions, per-worker
+engine streams) after each epoch, and ``resume_from=`` to continue a
+killed run.  A resumed run is bit-identical to an uninterrupted one at
+the same seed and worker count — the invariant enforced by
+``tests/chaos/`` (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +28,15 @@ from repro.errors import ConfigurationError
 from repro.nn.autoencoder import SparseAutoencoder
 from repro.nn.cost import SparseAutoencoderCost
 from repro.nn.rbm import RBM
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    as_store,
+    capture_rng,
+    load_npz,
+    resolve_resume_path,
+    restore_rng_into,
+)
 from repro.runtime.workspace import Workspace
 from repro.utils.rng import SeedLike, spawn_generators
 from repro.utils.validation import check_matrix_shapes
@@ -52,8 +69,27 @@ def _minibatches(x: np.ndarray, batch_size: int, rng: np.random.Generator):
         yield x[order[start : start + batch_size]]
 
 
+def _spec_meta(specs: Sequence[LayerSpec]) -> list:
+    return [
+        {
+            "n_hidden": s.n_hidden,
+            "learning_rate": s.learning_rate,
+            "epochs": s.epochs,
+            "batch_size": s.batch_size,
+        }
+        for s in specs
+    ]
+
+
+def _as_param(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
 class _GreedyStack:
     """Shared machinery for layer-wise stacks; subclasses plug in the block type."""
+
+    #: checkpoint archive kind tag (set by subclasses)
+    _ckpt_kind = "stack"
 
     def __init__(self, n_visible: int, layer_specs: Sequence[LayerSpec], seed: SeedLike = None):
         if not layer_specs:
@@ -73,20 +109,113 @@ class _GreedyStack:
     def is_trained(self) -> bool:
         return len(self.blocks) == len(self.layer_specs)
 
+    # -- subclass hooks --------------------------------------------------
     def _make_block(self, n_in: int, spec: LayerSpec, rng):
         raise NotImplementedError
 
-    def _train_block(self, block, x, spec: LayerSpec, rng, engine=None) -> List[float]:
+    def _train_block_epoch(
+        self, block, x, spec: LayerSpec, rng, engine, ws: Workspace
+    ) -> float:
+        """One epoch of mini-batch updates; returns the epoch's error metric."""
         raise NotImplementedError
 
     def _block_transform(self, block, x) -> np.ndarray:
         raise NotImplementedError
 
+    def _ckpt_model_meta(self) -> dict:
+        raise NotImplementedError
+
+    def _block_arrays(self, index: int, block) -> dict:
+        raise NotImplementedError
+
+    def _block_from_arrays(self, n_in: int, spec: LayerSpec, arrays: dict, index: int):
+        raise NotImplementedError
+
+    # -- checkpoint plumbing ---------------------------------------------
+    def _save_pretrain_checkpoint(
+        self,
+        store: CheckpointStore,
+        block_index: int,
+        epochs_done: int,
+        current_errors: List[float],
+        rngs,
+        engine,
+    ) -> None:
+        header = {
+            "kind": self._ckpt_kind,
+            "phase": "pretrain",
+            "model": self._ckpt_model_meta(),
+            "block_index": block_index,
+            "epochs_done": epochs_done,
+            "rng_states": [capture_rng(g) for g in rngs],
+            "engine": None
+            if engine is None
+            else {
+                "n_workers": engine.n_workers,
+                "streams": engine.capture_rng_streams(),
+            },
+            "layer_errors": [list(e) for e in self.layer_errors],
+            "current_errors": [float(e) for e in current_errors],
+        }
+        arrays = {}
+        for j, block in enumerate(self.blocks):
+            arrays.update(self._block_arrays(j, block))
+        store.save(header, arrays, tag=f"block{block_index}-epoch{epochs_done}")
+
+    def _restore_pretrain(self, resume_from, rngs, engine) -> Tuple[int, int, List[float]]:
+        """Rebuild state from a snapshot; returns (block, epoch, current errors)."""
+        path = resolve_resume_path(resume_from)
+        header, arrays = load_npz(path)
+        if header.get("kind") != self._ckpt_kind or header.get("phase") != "pretrain":
+            raise CheckpointError(
+                f"{path}: not a {self._ckpt_kind} pretrain checkpoint "
+                f"(found kind={header.get('kind')!r}, phase={header.get('phase')!r})"
+            )
+        if header.get("model") != self._ckpt_model_meta():
+            raise CheckpointError(
+                f"{path}: checkpoint hyper-parameters do not match this stack"
+            )
+        engine_meta = header.get("engine")
+        if (engine_meta is None) != (engine is None):
+            raise CheckpointError(
+                "resume must use the same execution mode as the checkpointed "
+                "run (parallel engine vs serial)"
+            )
+        if engine is not None:
+            if engine_meta["n_workers"] != engine.n_workers:
+                raise CheckpointError(
+                    f"checkpoint was taken at n_workers="
+                    f"{engine_meta['n_workers']} but the engine has "
+                    f"{engine.n_workers}; bit-identical resume requires the "
+                    f"same worker count"
+                )
+            engine.restore_rng_streams(engine_meta["streams"])
+        states = header["rng_states"]
+        if len(states) != len(rngs):
+            raise CheckpointError(
+                f"checkpoint carries {len(states)} RNG streams, expected {len(rngs)}"
+            )
+        for gen, state in zip(rngs, states):
+            restore_rng_into(gen, state)
+        block_index = int(header["block_index"])
+        epochs_done = int(header["epochs_done"])
+        self.blocks = []
+        n_in = self.n_visible
+        for j in range(block_index + 1):
+            spec = self.layer_specs[j]
+            self.blocks.append(self._block_from_arrays(n_in, spec, arrays, j))
+            n_in = spec.n_hidden
+        self.layer_errors = [list(e) for e in header["layer_errors"]]
+        return block_index, epochs_done, [float(e) for e in header["current_errors"]]
+
+    # -- the greedy cascade ----------------------------------------------
     def pretrain(
         self,
         x: np.ndarray,
         callback: Optional[Callable[[int, object, List[float]], None]] = None,
         engine=None,
+        checkpoint=None,
+        resume_from=None,
     ) -> "_GreedyStack":
         """Run the greedy layer-wise procedure of paper Fig. 1.
 
@@ -98,17 +227,59 @@ class _GreedyStack:
         (the paper's synchronized layer-wise multi-core pre-training);
         omitted, each block trains serially through a private workspace.
         The engine is borrowed, not owned: the caller closes it.
+
+        ``checkpoint`` — a directory path or
+        :class:`~repro.runtime.checkpoint.CheckpointStore` — writes an
+        atomic snapshot after every epoch of every block (parameters of
+        all blocks so far, the positions of every RNG stream including the
+        engine's worker streams, and the error history).
+
+        ``resume_from`` — a snapshot file or checkpoint directory (its
+        newest snapshot) — restores that state and continues.  The resumed
+        run is **bit-identical** to the uninterrupted one provided the
+        stack hyper-parameters, seed, execution mode, and worker count
+        match (all four are validated).  For a block that was checkpointed
+        complete but whose ``callback`` may already have fired before the
+        crash, the callback fires again on resume.
         """
         x = check_matrix_shapes(x, self.n_visible, "x")
+        store = as_store(checkpoint)
+        n_layers = len(self.layer_specs)
+        rngs = spawn_generators(self._seed, 2 * n_layers)
         self.blocks = []
         self.layer_errors = []
-        rngs = spawn_generators(self._seed, 2 * len(self.layer_specs))
+        start_block, start_epoch, current_errors = 0, 0, []
+        if resume_from is not None:
+            start_block, start_epoch, current_errors = self._restore_pretrain(
+                resume_from, rngs, engine
+            )
+        # The input of the resumed block is a pure function of the completed
+        # blocks, so it is recomputed rather than checkpointed.
         current = x
-        n_in = self.n_visible
-        for i, spec in enumerate(self.layer_specs):
-            block = self._make_block(n_in, spec, rngs[2 * i])
-            errors = self._train_block(block, current, spec, rngs[2 * i + 1], engine)
-            self.blocks.append(block)
+        for block in self.blocks[:start_block]:
+            current = self._block_transform(block, current)
+        n_in = self.layer_sizes[start_block]
+        for i in range(start_block, n_layers):
+            spec = self.layer_specs[i]
+            if i == start_block and len(self.blocks) > i:
+                block = self.blocks[i]  # in-progress block from the snapshot
+                errors = current_errors
+            else:
+                block = self._make_block(n_in, spec, rngs[2 * i])
+                self.blocks.append(block)
+                errors = []
+            # One arena per block: after the first full batch and the first
+            # ragged tail batch every serial step is allocation-free.
+            ws = Workspace(name=f"{self._ckpt_kind}-block{i}")
+            first_epoch = start_epoch if i == start_block else 0
+            for epoch in range(first_epoch, spec.epochs):
+                errors.append(
+                    self._train_block_epoch(block, current, spec, rngs[2 * i + 1], engine, ws)
+                )
+                if store is not None:
+                    self._save_pretrain_checkpoint(
+                        store, i, epoch + 1, errors, rngs, engine
+                    )
             self.layer_errors.append(errors)
             if callback is not None:
                 callback(i, block, errors)
@@ -148,6 +319,8 @@ class StackedAutoencoder(_GreedyStack):
         Shared objective hyper-parameters for every block.
     """
 
+    _ckpt_kind = "stacked_autoencoder"
+
     def __init__(
         self,
         n_visible: int,
@@ -161,27 +334,43 @@ class StackedAutoencoder(_GreedyStack):
     def _make_block(self, n_in, spec, rng):
         return SparseAutoencoder(n_in, spec.n_hidden, cost=self.cost, seed=rng)
 
-    def _train_block(self, block: SparseAutoencoder, x, spec, rng, engine=None):
+    def _train_block_epoch(self, block: SparseAutoencoder, x, spec, rng, engine, ws):
         if engine is not None:
-            errors = []
-            for _ in range(spec.epochs):
-                for batch in _minibatches(x, spec.batch_size, rng):
-                    engine.sae_step(block, batch, spec.learning_rate)
-                errors.append(block.reconstruction_error(x))
-            return errors
-        # One arena per block: after the first full batch and the first
-        # ragged tail batch every step is allocation-free (paper §IV.B).
-        ws = Workspace(name="sae-pretrain")
-        errors = []
-        for _ in range(spec.epochs):
             for batch in _minibatches(x, spec.batch_size, rng):
-                _, grads = block.gradients_into(batch, ws)
-                block.apply_update(grads, spec.learning_rate, workspace=ws)
-            errors.append(block.reconstruction_error(x))
-        return errors
+                engine.sae_step(block, batch, spec.learning_rate)
+            return block.reconstruction_error(x)
+        for batch in _minibatches(x, spec.batch_size, rng):
+            _, grads = block.gradients_into(batch, ws)
+            block.apply_update(grads, spec.learning_rate, workspace=ws)
+        return block.reconstruction_error(x)
 
     def _block_transform(self, block: SparseAutoencoder, x):
         return block.encode(x)
+
+    def _ckpt_model_meta(self):
+        return {
+            "n_visible": self.n_visible,
+            "layer_specs": _spec_meta(self.layer_specs),
+            "weight_decay": self.cost.weight_decay,
+            "sparsity_target": self.cost.sparsity_target,
+            "sparsity_weight": self.cost.sparsity_weight,
+        }
+
+    def _block_arrays(self, index, block):
+        return {
+            f"w1_{index}": block.w1,
+            f"b1_{index}": block.b1,
+            f"w2_{index}": block.w2,
+            f"b2_{index}": block.b2,
+        }
+
+    def _block_from_arrays(self, n_in, spec, arrays, index):
+        block = SparseAutoencoder(n_in, spec.n_hidden, cost=self.cost)
+        block.w1 = _as_param(arrays[f"w1_{index}"])
+        block.b1 = _as_param(arrays[f"b1_{index}"])
+        block.w2 = _as_param(arrays[f"w2_{index}"])
+        block.b2 = _as_param(arrays[f"b2_{index}"])
+        return block
 
     def reconstruct(self, x: np.ndarray) -> np.ndarray:
         """Encode through the full stack, then decode back layer by layer."""
@@ -196,6 +385,8 @@ class StackedAutoencoder(_GreedyStack):
 
 class DeepBeliefNetwork(_GreedyStack):
     """Stack of RBMs trained with CD-1 — Hinton's DBN (paper §I)."""
+
+    _ckpt_kind = "deep_belief_network"
 
     def __init__(
         self,
@@ -212,36 +403,46 @@ class DeepBeliefNetwork(_GreedyStack):
     def _make_block(self, n_in, spec, rng):
         return RBM(n_in, spec.n_hidden, seed=rng)
 
-    def _train_block(self, block: RBM, x, spec, rng, engine=None):
+    def _train_block_epoch(self, block: RBM, x, spec, rng, engine, ws):
+        epoch_err = 0.0
+        n_batches = 0
         if engine is not None:
             # Gibbs sampling draws from the engine's per-worker streams:
             # reproducible at fixed worker count, ``rng`` only shuffles.
-            errors = []
-            for _ in range(spec.epochs):
-                epoch_err = 0.0
-                n_batches = 0
-                for batch in _minibatches(x, spec.batch_size, rng):
-                    stats = engine.cd_step(
-                        block, batch, spec.learning_rate, k=self.cd_k
-                    )
-                    epoch_err += stats.reconstruction_error
-                    n_batches += 1
-                errors.append(epoch_err / max(n_batches, 1))
-            return errors
-        ws = Workspace(name="rbm-pretrain")
-        errors = []
-        for _ in range(spec.epochs):
-            epoch_err = 0.0
-            n_batches = 0
             for batch in _minibatches(x, spec.batch_size, rng):
-                stats = block.contrastive_divergence(
-                    batch, k=self.cd_k, rng=rng, workspace=ws
-                )
-                block.apply_update(stats, spec.learning_rate, workspace=ws)
+                stats = engine.cd_step(block, batch, spec.learning_rate, k=self.cd_k)
                 epoch_err += stats.reconstruction_error
                 n_batches += 1
-            errors.append(epoch_err / max(n_batches, 1))
-        return errors
+            return epoch_err / max(n_batches, 1)
+        for batch in _minibatches(x, spec.batch_size, rng):
+            stats = block.contrastive_divergence(
+                batch, k=self.cd_k, rng=rng, workspace=ws
+            )
+            block.apply_update(stats, spec.learning_rate, workspace=ws)
+            epoch_err += stats.reconstruction_error
+            n_batches += 1
+        return epoch_err / max(n_batches, 1)
 
     def _block_transform(self, block: RBM, x):
         return block.transform(x)
+
+    def _ckpt_model_meta(self):
+        return {
+            "n_visible": self.n_visible,
+            "layer_specs": _spec_meta(self.layer_specs),
+            "cd_k": self.cd_k,
+        }
+
+    def _block_arrays(self, index, block):
+        return {
+            f"w_{index}": block.w,
+            f"b_{index}": block.b,
+            f"c_{index}": block.c,
+        }
+
+    def _block_from_arrays(self, n_in, spec, arrays, index):
+        block = RBM(n_in, spec.n_hidden)
+        block.w = _as_param(arrays[f"w_{index}"])
+        block.b = _as_param(arrays[f"b_{index}"])
+        block.c = _as_param(arrays[f"c_{index}"])
+        return block

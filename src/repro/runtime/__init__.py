@@ -54,6 +54,16 @@ from repro.runtime.executor import (
     ParallelGradientEngine,
     PrefetchError,
 )
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    atomic_save_npz,
+    capture_rng,
+    load_npz,
+    restore_rng,
+    resolve_resume_path,
+    retry_transient,
+)
 
 __all__ = [
     "OptimizationLevel",
@@ -97,4 +107,12 @@ __all__ = [
     "ExecutorClosedError",
     "ParallelGradientEngine",
     "PrefetchError",
+    "CheckpointError",
+    "CheckpointStore",
+    "atomic_save_npz",
+    "capture_rng",
+    "load_npz",
+    "restore_rng",
+    "resolve_resume_path",
+    "retry_transient",
 ]

@@ -56,7 +56,23 @@ from repro.runtime.threads import (
     recommended_blas_threads,
 )
 from repro.runtime.workspace import Workspace
+from repro.testing.faults import fault_point, fault_transform, register_fault_site
 from repro.utils.rng import SeedLike, spawn_streams
+
+# Kill points of the executable pipeline (see docs/robustness.md).  The
+# hooks are module-global None checks when no FaultPlan is injected.
+SITE_ENGINE_WORKER = register_fault_site(
+    "engine.worker", "inside a ParallelGradientEngine shard task, before computing"
+)
+SITE_ENGINE_REDUCE = register_fault_site(
+    "engine.reduce", "on the coordinator, after the join and before the daxpy reduction"
+)
+SITE_PREFETCH_LOAD = register_fault_site(
+    "prefetch.load", "on the loader thread, before load_chunk(i) (per attempt)"
+)
+SITE_PREFETCH_CHUNK = register_fault_site(
+    "prefetch.chunk", "on the loader thread, between a successful load and publish"
+)
 
 
 class ExecutorClosedError(ConfigurationError):
@@ -201,6 +217,31 @@ class ParallelGradientEngine:
             raise ExecutorClosedError(f"{self.name} has been closed")
 
     # ------------------------------------------------------------------
+    # RNG stream snapshots (crash-consistent checkpoint/resume)
+    # ------------------------------------------------------------------
+    def capture_rng_streams(self) -> List[dict]:
+        """Exact positions of the W worker streams (JSON-serialisable).
+
+        Saved into training checkpoints so a resumed run draws the same
+        Gibbs samples the uninterrupted run would have — bit-identical
+        resume requires the streams, not just the parameters.
+        """
+        from repro.runtime.checkpoint import capture_streams
+
+        return capture_streams(self._streams)
+
+    def restore_rng_streams(self, states: Sequence[dict]) -> None:
+        """Rewind the worker streams to a :meth:`capture_rng_streams` snapshot.
+
+        The checkpointed worker count must equal ``n_workers`` — resume at
+        a different W would change shard↔stream binding and break the
+        bit-exactness guarantee, so it raises instead.
+        """
+        from repro.runtime.checkpoint import restore_streams_into
+
+        restore_streams_into(self._streams, states)
+
+    # ------------------------------------------------------------------
     # generic submission (used by TaskGraph.execute)
     # ------------------------------------------------------------------
     def submit(self, fn: Callable, *args, **kwargs) -> Future:
@@ -321,6 +362,7 @@ class ParallelGradientEngine:
             for i, (start, stop) in enumerate(shards)
         ]
         results = [f.result() for f in futures]
+        fault_point(SITE_ENGINE_REDUCE, kind="sae")
         loss = float(sum(w * r[0] for w, r in zip(weights, results)))
         self._reduce([r[1].w1 for r in results], weights, out.w1)
         self._reduce([r[1].b1 for r in results], weights, out.b1)
@@ -331,6 +373,7 @@ class ParallelGradientEngine:
 
     @staticmethod
     def _sae_rho_task(slot: _WorkerSlot, model: SparseAutoencoder, shard: np.ndarray):
+        fault_point(SITE_ENGINE_WORKER, worker=slot.index, kind="sae.rho")
         return model.mean_hidden_into(
             shard, slot.workspace, out=slot.out("sae.rho", (model.n_hidden,))
         )
@@ -344,6 +387,7 @@ class ParallelGradientEngine:
     ):
         from repro.nn.autoencoder import AutoencoderGradients
 
+        fault_point(SITE_ENGINE_WORKER, worker=slot.index, kind="sae")
         h, v = model.n_hidden, model.n_visible
         grads = AutoencoderGradients(
             slot.out("sae.gw1", (h, v)),
@@ -417,6 +461,7 @@ class ParallelGradientEngine:
             for i, (start, stop) in enumerate(shards)
         ]
         results = [f.result() for f in futures]
+        fault_point(SITE_ENGINE_REDUCE, kind="rbm")
         nh, nv = rbm.n_hidden, rbm.n_visible
         grad_w = self._reduce([r.grad_w for r in results], weights,
                               self._accumulator("rbm.gw", (nh, nv)))
@@ -439,6 +484,7 @@ class ParallelGradientEngine:
         stream: np.random.Generator,
         sample_visible: bool,
     ) -> CDStatistics:
+        fault_point(SITE_ENGINE_WORKER, worker=slot.index, kind="rbm")
         stats = rbm.contrastive_divergence(
             shard, k=k, rng=stream, sample_visible=sample_visible,
             workspace=slot.workspace,
@@ -501,6 +547,7 @@ class ParallelGradientEngine:
             for i, (start, stop) in enumerate(shards)
         ]
         results = [f.result() for f in futures]
+        fault_point(SITE_ENGINE_REDUCE, kind="mlp")
         loss = float(sum(w * r[0] for w, r in zip(weights, results)))
         reduced: List[Tuple[np.ndarray, np.ndarray]] = []
         for li, layer in enumerate(network.layers):
@@ -518,6 +565,7 @@ class ParallelGradientEngine:
 
     @staticmethod
     def _mlp_task(slot: _WorkerSlot, network, x: np.ndarray, targets: np.ndarray):
+        fault_point(SITE_ENGINE_WORKER, worker=slot.index, kind="mlp")
         loss, grads = network.gradients_into(x, targets, slot.workspace)
         parked = []
         for li, (gw, gb) in enumerate(grads):
@@ -576,9 +624,16 @@ class ChunkPrefetcher:
         tl = pf.timeline()     # measured OffloadTimeline
 
     Loader exceptions surface in the consuming thread as
-    :class:`PrefetchError`; breaking out of the loop early (or an
-    exception in the training code) stops the loader at the next chunk
-    boundary and :meth:`close` joins it.
+    :class:`PrefetchError` — even when the loader dies *between* a slot
+    acquire and the publish (the failure path shuts the pipeline down
+    cleanly instead of leaving the consumer blocked on an empty queue).
+    Breaking out of the loop early (or an exception in the training code)
+    stops the loader at the next chunk boundary and :meth:`close` joins it.
+
+    ``retries`` > 0 re-attempts a failed ``load_chunk(i)`` call with
+    exponential backoff (``retry_backoff_s``, doubling per attempt) before
+    declaring the chunk lost — the paper's PCIe staging link is exactly
+    the kind of level where transient faults are worth absorbing.
     """
 
     def __init__(
@@ -588,15 +643,22 @@ class ChunkPrefetcher:
         n_buffers: int = 2,
         name: str = "prefetch",
         clock: Callable[[], float] = time.perf_counter,
+        retries: int = 0,
+        retry_backoff_s: float = 0.02,
     ):
         if n_chunks < 1:
             raise ConfigurationError(f"n_chunks must be >= 1, got {n_chunks}")
         if n_buffers < 1:
             raise ConfigurationError(f"n_buffers must be >= 1, got {n_buffers}")
+        if retries < 0 or retry_backoff_s < 0:
+            raise ConfigurationError("retries and retry_backoff_s must be >= 0")
         self._load = load_chunk
         self.n_chunks = int(n_chunks)
         self.n_buffers = int(n_buffers)
         self.name = str(name)
+        self.retries = int(retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.load_attempts = 0
         self._clock = clock
         self._slots = threading.Semaphore(self.n_buffers)
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
@@ -625,24 +687,45 @@ class ChunkPrefetcher:
     def _now(self) -> float:
         return self._clock() - self._t0
 
+    def _load_with_retries(self, i: int):
+        """One chunk load with bounded exponential-backoff retries."""
+        delay = self.retry_backoff_s
+        for attempt in range(self.retries + 1):
+            try:
+                fault_point(SITE_PREFETCH_LOAD, chunk=i, attempt=attempt)
+                self.load_attempts += 1
+                return self._load(i)
+            except Exception:
+                # Only plain Exceptions are considered transient; the last
+                # attempt's failure propagates to the consumer unchanged.
+                if attempt == self.retries or self._stop.is_set():
+                    raise
+                time.sleep(delay)
+                delay *= 2.0
+
     def _loader(self) -> None:
-        for i in range(self.n_chunks):
-            # Poll the slot semaphore so close() can interrupt a stalled
-            # loader (consumer gone, all buffers full).
-            while not self._slots.acquire(timeout=0.05):
+        # The whole loop body is guarded: *any* failure on the loader
+        # thread — the load itself, an injected fault between slot-acquire
+        # and publish, even the timestamp clock — must end with the error
+        # sentinel on the queue, never with a silently dead thread while
+        # the consumer blocks on queue.get() forever.
+        try:
+            for i in range(self.n_chunks):
+                # Poll the slot semaphore so close() can interrupt a stalled
+                # loader (consumer gone, all buffers full).
+                while not self._slots.acquire(timeout=0.05):
+                    if self._stop.is_set():
+                        return
                 if self._stop.is_set():
                     return
-            if self._stop.is_set():
-                return
-            self._transfer_start[i] = self._now()
-            try:
-                data = self._load(i)
-            except BaseException as exc:
-                self._error = exc
-                self._queue.put(_SENTINEL_ERROR)
-                return
-            self._transfer_end[i] = self._now()
-            self._queue.put((i, data))
+                self._transfer_start[i] = self._now()
+                data = self._load_with_retries(i)
+                data = fault_transform(SITE_PREFETCH_CHUNK, data, chunk=i)
+                self._transfer_end[i] = self._now()
+                self._queue.put((i, data))
+        except BaseException as exc:
+            self._error = exc
+            self._queue.put(_SENTINEL_ERROR)
 
     def __enter__(self) -> "ChunkPrefetcher":
         return self.start()
@@ -657,10 +740,31 @@ class ChunkPrefetcher:
             self._thread.join()
 
     # ------------------------------------------------------------------
+    def _next_item(self):
+        """Blocking queue get that cannot outlive the loader thread.
+
+        Polls with a timeout and, when the loader is found dead with the
+        queue empty (it should be impossible to die without publishing the
+        error sentinel, but a hard kill can do it), raises
+        :class:`PrefetchError` instead of blocking forever.
+        """
+        while True:
+            try:
+                return self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._thread is not None and not self._thread.is_alive():
+                    try:  # drain a publish that raced with the death check
+                        return self._queue.get_nowait()
+                    except queue.Empty:
+                        raise PrefetchError(
+                            f"{self.name} loader thread died without publishing "
+                            f"chunk {self._consumed}"
+                        ) from self._error
+
     def __iter__(self):
         self.start()
         for _ in range(self.n_chunks):
-            item = self._queue.get()
+            item = self._next_item()
             if item is _SENTINEL_ERROR:
                 raise PrefetchError(
                     f"{self.name} loader failed on chunk "

@@ -23,6 +23,11 @@ from typing import Callable, List, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.phi.events import EventSimulator
 from repro.phi.pcie import PCIeModel
+from repro.testing.faults import fault_point, register_fault_site
+
+SITE_OFFLOAD_CHUNK = register_fault_site(
+    "offload.chunk", "before a chunk enters the simulated offload pipeline"
+)
 
 
 @dataclass(frozen=True)
@@ -112,6 +117,7 @@ class OffloadPipeline:
         compute_free = 0.0
         compute_ends: List[float] = []
         for i in range(n):
+            fault_point(SITE_OFFLOAD_CHUNK, chunk=i)
             slot_free = 0.0
             if i >= self.n_buffers:
                 slot_free = compute_ends[i - self.n_buffers]

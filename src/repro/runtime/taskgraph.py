@@ -18,6 +18,17 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import SchedulingError
 from repro.phi.kernels import Kernel
+from repro.testing.faults import fault_point, register_fault_site
+
+SITE_TASKGRAPH_NODE = register_fault_site(
+    "taskgraph.node", "on a pool thread, before a TaskGraph.execute node runs"
+)
+
+
+def _run_node(fn: Callable, name: str, deps: Dict[str, object]):
+    """Pool-side wrapper so injected faults fire on the worker thread."""
+    fault_point(SITE_TASKGRAPH_NODE, node=name)
+    return fn(deps)
 
 
 @dataclass
@@ -152,7 +163,7 @@ class TaskGraph:
                         results[node.name] = None
                         continue
                     deps = {d: results[d] for d in node.deps}
-                    futures[node.name] = pool.submit(fn, deps)
+                    futures[node.name] = pool.submit(_run_node, fn, node.name, deps)
                 for name, future in futures.items():
                     results[name] = future.result()
         finally:

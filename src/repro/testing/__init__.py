@@ -1,0 +1,43 @@
+"""Robustness test harness: deterministic fault injection + chaos drills.
+
+* :mod:`repro.testing.faults` — named fault points wired through the
+  parallel runtime, :class:`FaultPlan` schedules (fail the Nth prefetch
+  load, kill worker k mid-shard, corrupt a chunk, raise inside a task
+  node) and the seeded schedule-perturbation shim;
+* :mod:`repro.testing.chaos` — the ``repro chaos`` drill: provoke each
+  registered fault, resume from the last crash-consistent checkpoint,
+  and verify bit-identity with an uninterrupted run.
+"""
+
+from repro.testing.faults import (
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fault_point,
+    fault_transform,
+    inject,
+    register_fault_site,
+    registered_sites,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "fault_point",
+    "fault_transform",
+    "inject",
+    "register_fault_site",
+    "registered_sites",
+    "run_chaos",
+]
+
+
+def __getattr__(name: str):
+    if name == "run_chaos":
+        from repro.testing.chaos import run_chaos
+
+        return run_chaos
+    raise AttributeError(f"module 'repro.testing' has no attribute {name!r}")

@@ -1,0 +1,298 @@
+"""The ``repro chaos`` drill: provoke every fault class, then prove recovery.
+
+Each scenario below injects one fault from :mod:`repro.testing.faults`
+into the *executable* training stack, verifies the failure surfaces as a
+clean exception (never a hang), and — for the kill scenarios — resumes
+from the last crash-consistent checkpoint and checks the recovered
+parameters are **bit-identical** to an uninterrupted run at the same
+seed and worker count.  This is the smoke-level version of the
+kill-anywhere invariant that ``tests/chaos/`` pins exhaustively.
+
+Run from the shell::
+
+    python -m repro chaos --quick                     # CI smoke drill
+    python -m repro chaos --checkpoint-dir /tmp/ck    # keep the snapshots
+    python -m repro chaos --checkpoint-dir /tmp/ck --resume
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.synth_digits import digit_dataset
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.finetune import finetune
+from repro.nn.mlp import DeepNetwork
+from repro.nn.stacked import DeepBeliefNetwork, LayerSpec, StackedAutoencoder
+from repro.runtime.checkpoint import CheckpointStore, retry_transient
+from repro.runtime.executor import ChunkPrefetcher, ParallelGradientEngine, PrefetchError
+from repro.runtime.taskgraph import rbm_cd1_taskgraph
+from repro.testing.faults import FaultError, FaultPlan, inject
+
+#: worker count used by every engine drill — resume must match it.
+N_WORKERS = 2
+
+
+def _shapes(quick: bool):
+    if quick:
+        return dict(size=5, n=48, sae=[LayerSpec(10, epochs=2, batch_size=16),
+                                       LayerSpec(6, epochs=2, batch_size=16)],
+                    dbn=[LayerSpec(8, epochs=2, batch_size=12)],
+                    ft_hidden=12, ft_epochs=3)
+    return dict(size=8, n=128, sae=[LayerSpec(32, epochs=3, batch_size=32),
+                                    LayerSpec(16, epochs=2, batch_size=32)],
+                dbn=[LayerSpec(24, epochs=3, batch_size=32)],
+                ft_hidden=24, ft_epochs=5)
+
+
+def _max_diff(blocks_a, blocks_b, arrays) -> float:
+    worst = 0.0
+    for a, b in zip(blocks_a, blocks_b):
+        for name in arrays:
+            worst = max(worst, float(np.abs(getattr(a, name) - getattr(b, name)).max()))
+    return worst
+
+
+def _row(scenario: str, site: str, fired: int, ok: bool, detail: str) -> dict:
+    return {"scenario": scenario, "site": site, "fired": fired,
+            "ok": ok, "detail": detail}
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+def _drill_sae_worker_kill(x, sh, seed, ckpt_root: Path) -> dict:
+    cost = SparseAutoencoderCost(weight_decay=1e-3, sparsity_target=0.1,
+                                 sparsity_weight=0.3)
+
+    def fresh():
+        return StackedAutoencoder(x.shape[1], sh["sae"], cost=cost, seed=seed)
+
+    with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+        baseline = fresh().pretrain(x, engine=eng)
+    store = CheckpointStore(ckpt_root / "sae", keep=2)
+    fired = 0
+    with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+        try:
+            with inject(FaultPlan.kill_worker(1, nth=9)) as plan:
+                fresh().pretrain(x, engine=eng, checkpoint=store)
+        except FaultError:
+            fired = plan.fired()
+    if not fired or store.latest() is None:
+        return _row("SAE pretrain: kill worker 1 mid-shard, resume",
+                    "engine.worker", fired, False, "fault did not fire")
+    with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+        resumed = fresh().pretrain(x, engine=eng, checkpoint=store, resume_from=store.directory)
+    diff = _max_diff(baseline.blocks, resumed.blocks, ("w1", "b1", "w2", "b2"))
+    return _row("SAE pretrain: kill worker 1 mid-shard, resume", "engine.worker",
+                fired, diff == 0.0, f"max |Δparam| after resume = {diff:.1e}")
+
+
+def _drill_dbn_reduce_kill(x, sh, seed, ckpt_root: Path) -> dict:
+    binary = (x > 0.5).astype(np.float64)
+
+    def fresh():
+        return DeepBeliefNetwork(x.shape[1], sh["dbn"], seed=seed)
+
+    with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+        baseline = fresh().pretrain(binary, engine=eng)
+    store = CheckpointStore(ckpt_root / "dbn", keep=2)
+    fired = 0
+    with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+        try:
+            with inject(FaultPlan.fail("engine.reduce", nth=5)) as plan:
+                fresh().pretrain(binary, engine=eng, checkpoint=store)
+        except FaultError:
+            fired = plan.fired()
+    if not fired or store.latest() is None:
+        return _row("DBN pretrain: crash in gradient reduce, resume",
+                    "engine.reduce", fired, False, "fault did not fire")
+    with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+        resumed = fresh().pretrain(binary, engine=eng, checkpoint=store,
+                                   resume_from=store.directory)
+    diff = _max_diff(baseline.blocks, resumed.blocks, ("w", "b", "c"))
+    return _row("DBN pretrain: crash in gradient reduce, resume", "engine.reduce",
+                fired, diff == 0.0, f"max |Δparam| after resume = {diff:.1e}")
+
+
+def _drill_finetune_kill(x, labels, sh, seed, ckpt_root: Path) -> dict:
+    sizes = [x.shape[1], sh["ft_hidden"], 10]
+
+    def run(checkpoint=None, resume_from=None, plan=None):
+        net = DeepNetwork(sizes, head="softmax", seed=seed)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+            if plan is None:
+                finetune(net, x, labels, epochs=sh["ft_epochs"], batch_size=16,
+                         seed=seed, engine=eng, checkpoint=checkpoint,
+                         resume_from=resume_from)
+            else:
+                with inject(plan):
+                    finetune(net, x, labels, epochs=sh["ft_epochs"], batch_size=16,
+                             seed=seed, engine=eng, checkpoint=checkpoint)
+        return net
+
+    baseline = run()
+    store = CheckpointStore(ckpt_root / "finetune", keep=2)
+    fired = 0
+    try:
+        plan = FaultPlan.fail("engine.worker", nth=11, match={"kind": "mlp"})
+        run(checkpoint=store, plan=plan)
+    except FaultError:
+        fired = plan.fired()
+    if not fired or store.latest() is None:
+        return _row("finetune: kill back-prop worker, resume", "engine.worker",
+                    fired, False, "fault did not fire")
+    resumed = run(checkpoint=store, resume_from=store.directory)
+    diff = max(
+        float(np.abs(a.w - b.w).max()) for a, b in zip(baseline.layers, resumed.layers)
+    )
+    return _row("finetune: kill back-prop worker, resume", "engine.worker",
+                fired, diff == 0.0, f"max |Δparam| after resume = {diff:.1e}")
+
+
+def _drill_prefetch_retry(seed) -> dict:
+    rng = np.random.default_rng(seed)
+    chunks = [rng.random((8, 4)) for _ in range(5)]
+    plan = FaultPlan.fail("prefetch.load", nth=2, match={"attempt": 0})
+    with inject(plan):
+        with ChunkPrefetcher(lambda i: chunks[i], n_chunks=5, retries=2,
+                             retry_backoff_s=0.001) as pf:
+            got = [c for c in pf]
+    ok = len(got) == 5 and all(np.array_equal(a, b) for a, b in zip(got, chunks))
+    return _row("prefetcher: transient load fault absorbed by retry",
+                "prefetch.load", plan.fired(), ok and plan.fired() == 1,
+                f"{len(got)}/5 chunks delivered after 1 transient fault")
+
+
+def _drill_prefetch_hard_failure(seed) -> dict:
+    plan = FaultPlan.fail("prefetch.load", nth=1, times=None)
+    surfaced = False
+    with inject(plan):
+        def consume():
+            with ChunkPrefetcher(lambda i: i, n_chunks=4, retries=1,
+                                 retry_backoff_s=0.001) as pf:
+                return list(pf)
+        try:
+            retry_transient(consume, retries=1, backoff_s=0.001)
+        except PrefetchError:
+            surfaced = True
+    return _row("prefetcher: hard load failure surfaces as PrefetchError",
+                "prefetch.load", plan.fired(), surfaced,
+                "loader death propagated cleanly (no hang)")
+
+
+def _drill_chunk_corruption(seed) -> dict:
+    rng = np.random.default_rng(seed)
+    chunks = [rng.random((8, 4)) for _ in range(4)]
+    sums = [float(c.sum()) for c in chunks]
+    plan = FaultPlan.corrupt("prefetch.chunk", lambda v, ctx: np.zeros_like(v), nth=1)
+    detected = 0
+    with inject(plan):
+        with ChunkPrefetcher(lambda i: chunks[i], n_chunks=4) as pf:
+            for i, chunk in enumerate(pf):
+                if float(chunk.sum()) != sums[i]:
+                    detected += 1
+    return _row("prefetcher: corrupted chunk caught by checksum",
+                "prefetch.chunk", plan.fired(), detected == 1 == plan.fired(),
+                f"{detected} corrupted chunk(s) detected")
+
+
+def _drill_taskgraph_node(seed) -> dict:
+    graph = rbm_cd1_taskgraph()
+    fns = {name: (lambda deps, _n=name: _n) for name in graph.names}
+    plan = FaultPlan.fail("taskgraph.node", match={"node": "V2"})
+    surfaced = False
+    with inject(plan):
+        try:
+            graph.execute(fns, n_workers=2)
+        except FaultError:
+            surfaced = True
+    return _row("task graph: node V2 raises mid-wavefront",
+                "taskgraph.node", plan.fired(), surfaced,
+                "failure propagated through the wavefront join")
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def resume_drill(checkpoint_dir, quick: bool = True, seed: int = 0) -> List[dict]:
+    """Finish an interrupted drill run from its on-disk checkpoints.
+
+    Scans the standard sub-stores written by :func:`run_chaos`
+    (``sae/``, ``dbn/``, ``finetune/``) and resumes each one that holds a
+    snapshot, reporting the recovered final training error.
+    """
+    sh = _shapes(quick)
+    x, labels = digit_dataset(sh["n"], size=sh["size"], seed=7)
+    root = Path(checkpoint_dir)
+    rows: List[dict] = []
+    sae_store = root / "sae"
+    if CheckpointStore(sae_store).latest() is not None:
+        cost = SparseAutoencoderCost(weight_decay=1e-3, sparsity_target=0.1,
+                                     sparsity_weight=0.3)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+            stack = StackedAutoencoder(x.shape[1], sh["sae"], cost=cost, seed=seed)
+            stack.pretrain(x, engine=eng, resume_from=sae_store)
+        rows.append(_row("resume SAE pretrain from disk", "-", 0, True,
+                         f"final reconstruction error {stack.layer_errors[-1][-1]:.4f}"))
+    dbn_store = root / "dbn"
+    if CheckpointStore(dbn_store).latest() is not None:
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+            dbn = DeepBeliefNetwork(x.shape[1], sh["dbn"], seed=seed)
+            dbn.pretrain((x > 0.5).astype(np.float64), engine=eng,
+                         resume_from=dbn_store)
+        rows.append(_row("resume DBN pretrain from disk", "-", 0, True,
+                         f"final reconstruction error {dbn.layer_errors[-1][-1]:.4f}"))
+    ft_store = root / "finetune"
+    if CheckpointStore(ft_store).latest() is not None:
+        net = DeepNetwork([x.shape[1], sh["ft_hidden"], 10], head="softmax", seed=seed)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed) as eng:
+            result = finetune(net, x, labels, epochs=sh["ft_epochs"], batch_size=16,
+                              seed=seed, engine=eng, resume_from=ft_store)
+        rows.append(_row("resume finetune from disk", "-", 0, True,
+                         f"final loss {result.final_loss:.4f}"))
+    if not rows:
+        rows.append(_row("resume from disk", "-", 0, False,
+                         f"no checkpoints under {root}"))
+    return rows
+
+
+def run_chaos(
+    quick: bool = True,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    seed: int = 0,
+) -> List[dict]:
+    """Run the full drill; returns one row per scenario (``ok`` per row)."""
+    if resume:
+        if checkpoint_dir is None:
+            return [_row("resume from disk", "-", 0, False,
+                         "--resume requires --checkpoint-dir")]
+        return resume_drill(checkpoint_dir, quick=quick, seed=seed)
+    sh = _shapes(quick)
+    x, labels = digit_dataset(sh["n"], size=sh["size"], seed=7)
+    tmp = None
+    if checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        root = Path(tmp.name)
+    else:
+        root = Path(checkpoint_dir)
+    try:
+        return [
+            _drill_sae_worker_kill(x, sh, seed, root),
+            _drill_dbn_reduce_kill(x, sh, seed, root),
+            _drill_finetune_kill(x, labels, sh, seed, root),
+            _drill_prefetch_retry(seed),
+            _drill_prefetch_hard_failure(seed),
+            _drill_chunk_corruption(seed),
+            _drill_taskgraph_node(seed),
+        ]
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

@@ -1,0 +1,308 @@
+"""Fault injection and deterministic schedule perturbation.
+
+The parallel training stack (the :class:`~repro.runtime.executor.ParallelGradientEngine`
+worker pool, the :class:`~repro.runtime.executor.ChunkPrefetcher` loader
+thread, :meth:`TaskGraph.execute <repro.runtime.taskgraph.TaskGraph.execute>`
+wavefronts and the :class:`~repro.runtime.offload.OffloadPipeline`
+recurrence) exposes named **fault points** — places where a long training
+run can realistically die: a chunk load fails on the PCIe link, a worker
+thread crashes mid-shard, a task-graph node raises, a staged chunk is
+silently corrupted.
+
+This module provides the switchboard.  Production code calls
+:func:`fault_point` / :func:`fault_transform` at each site; both are a
+single module-global ``None`` check when no plan is installed, so the
+instrumentation costs nothing in normal runs.  Tests install a
+:class:`FaultPlan` with :func:`inject` to make a *specific* fault fire at
+a *specific* visit — deterministically, no matter how the OS schedules
+the threads:
+
+    plan = FaultPlan([FaultRule("prefetch.load", nth=3)])
+    with inject(plan):
+        ...   # the 4th chunk load raises FaultError
+
+A plan may also carry **schedule perturbation**: seeded random sleeps at
+the barrier-adjacent sites (worker start, pre-reduce), which shakes out
+interleaving-dependent bugs while the determinism contract of the engine
+(worker *i* owns shard *i* and stream *i*) must keep results bit-equal.
+
+Fault sites self-register via :func:`register_fault_site` when their host
+module is imported, so harnesses can enumerate every kill point with
+:func:`registered_sites` and assert the kill-anywhere invariant over all
+of them.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class FaultError(ReproError):
+    """An injected fault.  Carries the site and visit index that fired."""
+
+    def __init__(self, site: str, visit: int, detail: str = ""):
+        self.site = site
+        self.visit = visit
+        message = f"injected fault at {site!r} (visit {visit})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# site registry — instrumented modules declare their kill points at import
+# ---------------------------------------------------------------------------
+
+_SITES: Dict[str, str] = {}
+
+
+def register_fault_site(site: str, description: str) -> str:
+    """Declare a named fault point (idempotent); returns ``site``."""
+    _SITES.setdefault(site, description)
+    return site
+
+
+def registered_sites() -> Dict[str, str]:
+    """``{site: description}`` for every fault point the runtime declares.
+
+    Importing :mod:`repro.runtime` pulls in all instrumented modules, so
+    after that this is the complete kill-anywhere surface.
+    """
+    return dict(_SITES)
+
+
+# ---------------------------------------------------------------------------
+# fault plans
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaultRule:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    site:
+        Fault-point name, e.g. ``"prefetch.load"``.
+    nth:
+        0-based index of the *matching* visit on which to start firing.
+    times:
+        How many consecutive matching visits fire (``None`` = every one
+        from ``nth`` on).
+    action:
+        ``"raise"`` throws (``exc`` or :class:`FaultError`); ``"corrupt"``
+        replaces the value at a transform site via ``transform``.
+    exc:
+        Zero-argument exception factory for ``action="raise"``.
+    transform:
+        ``transform(value, ctx) -> value`` for ``action="corrupt"``.
+    match:
+        Context filters; the rule only sees visits whose keyword context
+        matches every entry (e.g. ``{"worker": 1}`` or ``{"attempt": 0}``).
+    """
+
+    site: str
+    nth: int = 0
+    times: Optional[int] = 1
+    action: str = "raise"
+    exc: Optional[Callable[[], BaseException]] = None
+    transform: Optional[Callable] = None
+    match: Optional[dict] = None
+
+    def __post_init__(self):
+        if self.action not in ("raise", "corrupt"):
+            raise ValueError(f"action must be 'raise' or 'corrupt', got {self.action!r}")
+        if self.action == "corrupt" and self.transform is None:
+            raise ValueError("action='corrupt' needs a transform callable")
+        if self.nth < 0 or (self.times is not None and self.times < 1):
+            raise ValueError("nth must be >= 0 and times >= 1 (or None)")
+
+    def _matches(self, ctx: dict) -> bool:
+        if not self.match:
+            return True
+        return all(ctx.get(k) == v for k, v in self.match.items())
+
+    def _armed(self, seen: int) -> bool:
+        """Should the rule fire on the ``seen``-th matching visit (0-based)?"""
+        if seen < self.nth:
+            return False
+        return self.times is None or seen < self.nth + self.times
+
+
+class FaultPlan:
+    """A set of :class:`FaultRule`\\ s plus optional schedule perturbation.
+
+    Thread-safe: visit counters are guarded by a lock because fault points
+    are hit concurrently from worker and loader threads.  Counting is by
+    *matching* visit per rule, so ``FaultRule("engine.worker",
+    match={"worker": 1}, nth=2)`` kills worker 1 on its own third task
+    regardless of what the other workers do — this is what makes faults
+    deterministic under arbitrary thread interleaving.
+
+    ``jitter_s`` > 0 adds a seeded random sleep in ``[0, jitter_s]`` at
+    every visited site (or only ``jitter_sites`` when given) *before* the
+    fault check — the schedule-perturbation shim.
+    """
+
+    def __init__(
+        self,
+        rules: Tuple[FaultRule, ...] = (),
+        jitter_s: float = 0.0,
+        jitter_sites: Optional[Tuple[str, ...]] = None,
+        seed: int = 0,
+    ):
+        self.rules: List[FaultRule] = list(rules)
+        self.jitter_s = float(jitter_s)
+        self.jitter_sites = None if jitter_sites is None else frozenset(jitter_sites)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._rule_seen = [0] * len(self.rules)
+        self._visits: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+
+    # -- convenience constructors ---------------------------------------
+    @classmethod
+    def fail(cls, site: str, nth: int = 0, times: Optional[int] = 1,
+             exc: Optional[Callable[[], BaseException]] = None,
+             match: Optional[dict] = None, **kw) -> "FaultPlan":
+        """Plan with a single raise rule at ``site``."""
+        return cls((FaultRule(site, nth=nth, times=times, exc=exc, match=match),), **kw)
+
+    @classmethod
+    def kill_worker(cls, worker: int, nth: int = 0, **kw) -> "FaultPlan":
+        """Kill engine worker ``worker`` on its ``nth``-th shard task."""
+        return cls((FaultRule("engine.worker", nth=nth, match={"worker": worker}),), **kw)
+
+    @classmethod
+    def corrupt(cls, site: str, transform: Callable, nth: int = 0,
+                times: Optional[int] = 1, match: Optional[dict] = None,
+                **kw) -> "FaultPlan":
+        """Plan with a single corrupt rule at a transform site."""
+        return cls(
+            (FaultRule(site, nth=nth, times=times, action="corrupt",
+                       transform=transform, match=match),),
+            **kw,
+        )
+
+    @classmethod
+    def perturb(cls, seed: int = 0, jitter_s: float = 0.002,
+                sites: Optional[Tuple[str, ...]] = None) -> "FaultPlan":
+        """Pure schedule-perturbation plan: no faults, only barrier jitter."""
+        return cls((), jitter_s=jitter_s, jitter_sites=sites, seed=seed)
+
+    # -- bookkeeping -----------------------------------------------------
+    def visits(self, site: str) -> int:
+        """Total visits recorded at ``site``."""
+        with self._lock:
+            return self._visits.get(site, 0)
+
+    def fired(self, site: Optional[str] = None) -> int:
+        """Faults fired at ``site`` (or in total when ``site`` is None)."""
+        with self._lock:
+            if site is None:
+                return sum(self._fired.values())
+            return self._fired.get(site, 0)
+
+    # -- the hot path ----------------------------------------------------
+    def _jitter(self, site: str) -> None:
+        if self.jitter_s <= 0.0:
+            return
+        if self.jitter_sites is not None and site not in self.jitter_sites:
+            return
+        with self._lock:
+            delay = self._rng.uniform(0.0, self.jitter_s)
+        if delay > 0.0:
+            time.sleep(delay)
+
+    def _select(self, site: str, ctx: dict) -> Optional[Tuple[FaultRule, int]]:
+        """Advance counters; return the (rule, visit) that fires, if any."""
+        with self._lock:
+            visit = self._visits.get(site, 0)
+            self._visits[site] = visit + 1
+            chosen = None
+            for i, rule in enumerate(self.rules):
+                if rule.site != site or not rule._matches(ctx):
+                    continue
+                seen = self._rule_seen[i]
+                self._rule_seen[i] = seen + 1
+                if chosen is None and rule._armed(seen):
+                    chosen = (rule, visit)
+            if chosen is not None:
+                self._fired[site] = self._fired.get(site, 0) + 1
+            return chosen
+
+    def visit(self, site: str, ctx: dict) -> None:
+        """Called by :func:`fault_point`; may sleep (jitter) and/or raise."""
+        self._jitter(site)
+        chosen = self._select(site, ctx)
+        if chosen is None:
+            return
+        rule, visit = chosen
+        if rule.action == "corrupt":
+            # A corrupt rule at a plain (non-transform) site has no value
+            # to mutate; treat it as armed-but-inert rather than raising.
+            return
+        raise rule.exc() if rule.exc is not None else FaultError(site, visit)
+
+    def visit_transform(self, site: str, value, ctx: dict):
+        """Called by :func:`fault_transform`; may corrupt ``value`` or raise."""
+        self._jitter(site)
+        chosen = self._select(site, ctx)
+        if chosen is None:
+            return value
+        rule, visit = chosen
+        if rule.action == "raise":
+            raise rule.exc() if rule.exc is not None else FaultError(site, visit)
+        return rule.transform(value, ctx)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan({len(self.rules)} rule(s), jitter_s={self.jitter_s}, "
+            f"fired={self.fired()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the global switch — None means every fault point is a no-op
+# ---------------------------------------------------------------------------
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently injected plan, or ``None`` when faults are disabled."""
+    return _PLAN
+
+
+def fault_point(site: str, **ctx) -> None:
+    """Hook for instrumented code: no-op unless a plan is injected."""
+    plan = _PLAN
+    if plan is not None:
+        plan.visit(site, ctx)
+
+
+def fault_transform(site: str, value, **ctx):
+    """Value-passing hook: returns ``value`` (possibly corrupted by a plan)."""
+    plan = _PLAN
+    if plan is None:
+        return value
+    return plan.visit_transform(site, value, ctx)
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Install ``plan`` for the duration of the block (non-reentrant)."""
+    global _PLAN
+    if _PLAN is not None:
+        raise RuntimeError("a FaultPlan is already injected (inject() does not nest)")
+    _PLAN = plan
+    try:
+        yield plan
+    finally:
+        _PLAN = None

@@ -1,0 +1,119 @@
+"""Regenerate the committed golden checkpoint fixtures.
+
+Run from the repo root after an *intentional* format change::
+
+    PYTHONPATH=src python tests/chaos/golden/make_golden.py
+
+Each model gets two files:
+
+* ``<name>_ckpt.npz``  — a real mid-run checkpoint (the on-disk format
+  under regression; tests fail if a field is renamed, retyped, or lost).
+* ``<name>_final.npz`` — the parameters an uninterrupted run reaches,
+  plus five post-restore RNG draws (exact across platforms; the trained
+  parameters are compared with a small tolerance to absorb BLAS
+  variation).
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synth_digits import digit_dataset
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.finetune import finetune
+from repro.nn.mlp import DeepNetwork
+from repro.nn.stacked import DeepBeliefNetwork, LayerSpec, StackedAutoencoder
+from repro.runtime.checkpoint import CheckpointStore, load_npz, restore_rng
+
+HERE = Path(__file__).parent
+SPECS = [LayerSpec(8, epochs=2, batch_size=16), LayerSpec(5, epochs=2, batch_size=16)]
+
+
+def _data():
+    return digit_dataset(48, size=5, seed=7)
+
+
+def _sae(n_visible):
+    cost = SparseAutoencoderCost(
+        weight_decay=1e-3, sparsity_target=0.1, sparsity_weight=0.3
+    )
+    return StackedAutoencoder(n_visible, SPECS, cost=cost, seed=3)
+
+
+def _dbn(n_visible):
+    return DeepBeliefNetwork(
+        n_visible, [LayerSpec(7, epochs=3, batch_size=12)], seed=3
+    )
+
+
+def _rng_draws(header, key="rng_states"):
+    states = header[key]
+    state = states[0] if isinstance(states, list) else states
+    return restore_rng(state).random(5)
+
+
+def make_sae(x, tmp):
+    store = CheckpointStore(tmp / "sae", keep=100)
+    final = _sae(x.shape[1]).pretrain(x, checkpoint=store)
+    mid = store.list()[1]  # block 0, epoch 2 — mid-run, both phases ahead
+    shutil.copy(mid, HERE / "sae_ckpt.npz")
+    header, _ = load_npz(mid)
+    np.savez(
+        HERE / "sae_final.npz",
+        rng_draws=_rng_draws(header),
+        **{f"w1_{i}": b.w1 for i, b in enumerate(final.blocks)},
+        **{f"b1_{i}": b.b1 for i, b in enumerate(final.blocks)},
+        **{f"w2_{i}": b.w2 for i, b in enumerate(final.blocks)},
+        **{f"b2_{i}": b.b2 for i, b in enumerate(final.blocks)},
+    )
+
+
+def make_dbn(x, tmp):
+    v = (x > 0.5).astype(np.float64)
+    store = CheckpointStore(tmp / "dbn", keep=100)
+    final = _dbn(x.shape[1]).pretrain(v, checkpoint=store)
+    mid = store.list()[0]  # block 0, epoch 1
+    shutil.copy(mid, HERE / "dbn_ckpt.npz")
+    header, _ = load_npz(mid)
+    np.savez(
+        HERE / "dbn_final.npz",
+        rng_draws=_rng_draws(header),
+        **{f"w_{i}": b.w for i, b in enumerate(final.blocks)},
+        **{f"b_{i}": b.b for i, b in enumerate(final.blocks)},
+        **{f"c_{i}": b.c for i, b in enumerate(final.blocks)},
+    )
+
+
+def make_finetune(x, labels, tmp):
+    store = CheckpointStore(tmp / "ft", keep=100)
+    net = DeepNetwork([x.shape[1], 9, 10], head="softmax", seed=2)
+    finetune(net, x, labels, epochs=4, batch_size=16, seed=7, checkpoint=store)
+    mid = store.list()[1]  # epoch 2 of 4
+    shutil.copy(mid, HERE / "finetune_ckpt.npz")
+    header, _ = load_npz(mid)
+    np.savez(
+        HERE / "finetune_final.npz",
+        rng_draws=_rng_draws(header, key="rng_state"),
+        **{f"w{i}": layer.w for i, layer in enumerate(net.layers)},
+        **{f"b{i}": layer.b for i, layer in enumerate(net.layers)},
+    )
+
+
+def main():
+    import tempfile
+
+    x, labels = _data()
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        make_sae(x, tmp)
+        make_dbn(x, tmp)
+        make_finetune(x, labels, tmp)
+    for p in sorted(HERE.glob("*.npz")):
+        print(f"wrote {p} ({p.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,208 @@
+"""The kill-anywhere invariant.
+
+Kill the training stack at any registered fault site, resume from the
+last crash-consistent snapshot, and the final parameters must be
+**bit-identical** (``np.array_equal``, not allclose) to an uninterrupted
+run at the same seed, execution mode, and worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.finetune import finetune
+from repro.nn.mlp import DeepNetwork
+from repro.nn.stacked import DeepBeliefNetwork, LayerSpec, StackedAutoencoder
+from repro.runtime.checkpoint import CheckpointError, CheckpointStore
+from repro.runtime.executor import ParallelGradientEngine
+from repro.testing.faults import FaultError, FaultPlan, inject
+
+N_WORKERS = 2
+SPECS = [LayerSpec(8, epochs=2, batch_size=16), LayerSpec(5, epochs=2, batch_size=16)]
+
+
+@pytest.fixture
+def x(digits_25):
+    return digits_25[:48]
+
+
+def _sae(n_visible, seed=3):
+    cost = SparseAutoencoderCost(
+        weight_decay=1e-3, sparsity_target=0.1, sparsity_weight=0.3
+    )
+    return StackedAutoencoder(n_visible, SPECS, cost=cost, seed=seed)
+
+
+def _dbn(n_visible, seed=3):
+    return DeepBeliefNetwork(n_visible, [LayerSpec(7, epochs=3, batch_size=12)],
+                             seed=seed)
+
+
+def _assert_blocks_equal(a, b, names):
+    for i, (ba, bb) in enumerate(zip(a.blocks, b.blocks)):
+        for name in names:
+            assert np.array_equal(getattr(ba, name), getattr(bb, name)), (
+                f"block {i} array {name!r} not bit-identical after resume"
+            )
+
+
+class TestKillAnywhereSAE:
+    # One kill per engine site, at visits that land in different epochs /
+    # blocks.  With 3 batches per epoch and the two-phase SAE protocol
+    # (rho pass + grad pass) each worker logs 6 visits per epoch, so the
+    # earliest resumable kill is visit 6 (epoch 1's snapshot exists).
+    PLANS = [
+        pytest.param(lambda: FaultPlan.kill_worker(0, nth=8), id="worker0-epoch2"),
+        pytest.param(lambda: FaultPlan.kill_worker(1, nth=11), id="worker1-late"),
+        pytest.param(lambda: FaultPlan.fail("engine.reduce", nth=6), id="reduce"),
+    ]
+
+    def test_crash_before_first_snapshot_leaves_empty_store(self, x, tmp_path):
+        # A kill in the very first epoch predates any snapshot: resume is
+        # impossible (the store is empty and says so); recovery is a
+        # fresh run, which the other tests prove is equivalent.
+        store = CheckpointStore(tmp_path)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            with pytest.raises(FaultError):
+                with inject(FaultPlan.kill_worker(0, nth=2)):
+                    _sae(x.shape[1]).pretrain(x, engine=eng, checkpoint=store)
+        assert store.latest() is None
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            store.load_latest()
+
+    @pytest.mark.parametrize("make_plan", PLANS)
+    def test_engine_kill_then_resume_bit_identical(self, x, tmp_path, make_plan):
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            baseline = _sae(x.shape[1]).pretrain(x, engine=eng)
+        store = CheckpointStore(tmp_path, keep=3)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            with pytest.raises(FaultError):
+                with inject(make_plan()):
+                    _sae(x.shape[1]).pretrain(x, engine=eng, checkpoint=store)
+        assert store.latest() is not None, "crash left no snapshot to resume from"
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            resumed = _sae(x.shape[1]).pretrain(
+                x, engine=eng, checkpoint=store, resume_from=tmp_path
+            )
+        _assert_blocks_equal(baseline, resumed, ("w1", "b1", "w2", "b2"))
+        assert baseline.layer_errors == resumed.layer_errors
+
+
+class TestKillAnywhereDBN:
+    # CD sampling is stochastic — exact resume additionally proves the
+    # engine worker streams are captured and restored bit-for-bit.
+    PLANS = [
+        pytest.param(lambda: FaultPlan.kill_worker(1, nth=4), id="worker1"),
+        pytest.param(lambda: FaultPlan.fail("engine.reduce", nth=9), id="reduce"),
+    ]
+
+    @pytest.mark.parametrize("make_plan", PLANS)
+    def test_engine_kill_then_resume_bit_identical(self, x, tmp_path, make_plan):
+        v = (x > 0.5).astype(np.float64)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            baseline = _dbn(x.shape[1]).pretrain(v, engine=eng)
+        store = CheckpointStore(tmp_path, keep=3)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            with pytest.raises(FaultError):
+                with inject(make_plan()):
+                    _dbn(x.shape[1]).pretrain(v, engine=eng, checkpoint=store)
+        assert store.latest() is not None
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            resumed = _dbn(x.shape[1]).pretrain(
+                v, engine=eng, checkpoint=store, resume_from=tmp_path
+            )
+        _assert_blocks_equal(baseline, resumed, ("w", "b", "c"))
+
+
+class TestSerialResume:
+    def test_resume_from_mid_run_snapshot_matches_full_run(self, x, tmp_path):
+        # Serial mode has no injected kill; emulate a crash by restarting
+        # from an intermediate snapshot file instead of the newest one.
+        store = CheckpointStore(tmp_path, keep=100)
+        baseline = _sae(x.shape[1]).pretrain(x, checkpoint=store)
+        snapshots = store.list()
+        assert len(snapshots) == 4  # 2 blocks x 2 epochs
+        resumed = _sae(x.shape[1]).pretrain(x, resume_from=snapshots[1])
+        _assert_blocks_equal(baseline, resumed, ("w1", "b1", "w2", "b2"))
+
+    def test_finetune_serial_resume(self, x, digits_25, tmp_path):
+        labels = np.arange(48) % 10
+
+        def run(checkpoint=None, resume_from=None, epochs=4):
+            net = DeepNetwork([x.shape[1], 9, 10], head="softmax", seed=2)
+            finetune(net, x, labels, epochs=epochs, batch_size=16, seed=7,
+                     checkpoint=checkpoint, resume_from=resume_from)
+            return net
+
+        store = CheckpointStore(tmp_path)
+        baseline = run(checkpoint=store)
+        resumed = run(resume_from=store.list()[0])
+        for a, b in zip(baseline.layers, resumed.layers):
+            assert np.array_equal(a.w, b.w)
+            assert np.array_equal(a.b, b.b)
+
+
+class TestFinetuneEngineKill:
+    def test_kill_worker_then_resume_bit_identical(self, x, tmp_path):
+        labels = np.arange(48) % 10
+
+        def run(checkpoint=None, resume_from=None, plan=None):
+            net = DeepNetwork([x.shape[1], 9, 10], head="softmax", seed=2)
+            with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+                if plan is not None:
+                    with inject(plan):
+                        finetune(net, x, labels, epochs=4, batch_size=16, seed=7,
+                                 engine=eng, checkpoint=checkpoint)
+                else:
+                    finetune(net, x, labels, epochs=4, batch_size=16, seed=7,
+                             engine=eng, checkpoint=checkpoint,
+                             resume_from=resume_from)
+            return net
+
+        baseline = run()
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(FaultError):
+            run(checkpoint=store,
+                plan=FaultPlan.fail("engine.worker", nth=9, match={"kind": "mlp"}))
+        assert store.latest() is not None
+        resumed = run(checkpoint=store, resume_from=tmp_path)
+        for a, b in zip(baseline.layers, resumed.layers):
+            assert np.array_equal(a.w, b.w)
+            assert np.array_equal(a.b, b.b)
+
+
+class TestResumeValidation:
+    def test_worker_count_mismatch_rejected(self, x, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            with pytest.raises(FaultError):
+                with inject(FaultPlan.kill_worker(0, nth=8)):
+                    _sae(x.shape[1]).pretrain(x, engine=eng, checkpoint=store)
+        with ParallelGradientEngine(3, blas_threads=None, seed=0) as eng:
+            with pytest.raises(CheckpointError, match="n_workers"):
+                _sae(x.shape[1]).pretrain(x, engine=eng, resume_from=tmp_path)
+
+    def test_execution_mode_mismatch_rejected(self, x, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            with pytest.raises(FaultError):
+                with inject(FaultPlan.kill_worker(0, nth=8)):
+                    _sae(x.shape[1]).pretrain(x, engine=eng, checkpoint=store)
+        with pytest.raises(CheckpointError, match="execution mode"):
+            _sae(x.shape[1]).pretrain(x, resume_from=tmp_path)
+
+    def test_wrong_model_rejected(self, x, tmp_path):
+        store = CheckpointStore(tmp_path)
+        _sae(x.shape[1]).pretrain(x, checkpoint=store)
+        other = StackedAutoencoder(
+            x.shape[1], [LayerSpec(6, epochs=2, batch_size=16)], seed=3
+        )
+        with pytest.raises(CheckpointError, match="match"):
+            other.pretrain(x, resume_from=tmp_path)
+
+    def test_wrong_kind_rejected(self, x, tmp_path):
+        store = CheckpointStore(tmp_path)
+        _sae(x.shape[1]).pretrain(x, checkpoint=store)
+        with pytest.raises(CheckpointError, match="kind"):
+            _dbn(x.shape[1]).pretrain((x > 0.5).astype(np.float64),
+                                      resume_from=tmp_path)

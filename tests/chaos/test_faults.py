@@ -1,0 +1,155 @@
+"""FaultPlan mechanics: deterministic counting, matching, arming, no-ops."""
+
+import pytest
+
+from repro.testing.faults import (
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fault_point,
+    fault_transform,
+    inject,
+    registered_sites,
+)
+
+
+class TestRuleValidation:
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultRule("x", action="explode")
+
+    def test_corrupt_needs_transform(self):
+        with pytest.raises(ValueError, match="transform"):
+            FaultRule("x", action="corrupt")
+
+    def test_negative_nth_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", nth=-1)
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", times=0)
+
+
+class TestNthCounting:
+    def test_fires_on_exact_visit(self):
+        plan = FaultPlan.fail("s", nth=3)
+        with inject(plan):
+            for _ in range(3):
+                fault_point("s")
+            with pytest.raises(FaultError) as exc:
+                fault_point("s")
+        assert exc.value.site == "s"
+        assert exc.value.visit == 3
+        assert plan.visits("s") == 4
+        assert plan.fired("s") == 1
+
+    def test_times_window(self):
+        plan = FaultPlan.fail("s", nth=1, times=2)
+        fired = 0
+        with inject(plan):
+            for _ in range(5):
+                try:
+                    fault_point("s")
+                except FaultError:
+                    fired += 1
+        assert fired == 2
+        assert plan.fired() == 2
+
+    def test_times_none_fires_forever(self):
+        plan = FaultPlan.fail("s", nth=2, times=None)
+        fired = 0
+        with inject(plan):
+            for _ in range(6):
+                try:
+                    fault_point("s")
+                except FaultError:
+                    fired += 1
+        assert fired == 4
+
+    def test_match_filter_counts_only_matching_visits(self):
+        # Worker 1's own 3rd task fires, no matter how many tasks the
+        # other workers interleave — the determinism contract.
+        plan = FaultPlan.fail("s", nth=2, match={"worker": 1})
+        with inject(plan):
+            for _ in range(10):
+                fault_point("s", worker=0)
+            fault_point("s", worker=1)
+            fault_point("s", worker=1)
+            with pytest.raises(FaultError):
+                fault_point("s", worker=1)
+        assert plan.visits("s") == 13
+
+    def test_custom_exception_factory(self):
+        class Boom(RuntimeError):
+            pass
+
+        plan = FaultPlan.fail("s", exc=Boom)
+        with inject(plan):
+            with pytest.raises(Boom):
+                fault_point("s")
+
+
+class TestTransforms:
+    def test_corrupt_replaces_value(self):
+        plan = FaultPlan.corrupt("t", lambda v, ctx: v * 0, nth=1)
+        with inject(plan):
+            assert fault_transform("t", 5) == 5
+            assert fault_transform("t", 5) == 0
+            assert fault_transform("t", 5) == 5
+        assert plan.fired("t") == 1
+
+    def test_raise_rule_at_transform_site(self):
+        plan = FaultPlan.fail("t")
+        with inject(plan):
+            with pytest.raises(FaultError):
+                fault_transform("t", 5)
+
+    def test_corrupt_rule_at_plain_site_is_inert(self):
+        plan = FaultPlan.corrupt("s", lambda v, ctx: v)
+        with inject(plan):
+            fault_point("s")  # nothing to corrupt; must not raise
+
+
+class TestGlobalSwitch:
+    def test_disabled_is_noop(self):
+        assert active_plan() is None
+        fault_point("anything", worker=3)
+        assert fault_transform("anything", 42) == 42
+
+    def test_inject_installs_and_removes(self):
+        plan = FaultPlan()
+        with inject(plan) as installed:
+            assert installed is plan
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_inject_does_not_nest(self):
+        with inject(FaultPlan()):
+            with pytest.raises(RuntimeError, match="already injected"):
+                with inject(FaultPlan()):
+                    pass
+
+    def test_inject_clears_on_exception(self):
+        with pytest.raises(ValueError):
+            with inject(FaultPlan()):
+                raise ValueError("boom")
+        assert active_plan() is None
+
+
+class TestSiteRegistry:
+    def test_runtime_registers_all_kill_points(self):
+        import repro.runtime  # noqa: F401 — imports every instrumented module
+
+        sites = registered_sites()
+        for expected in (
+            "engine.worker",
+            "engine.reduce",
+            "prefetch.load",
+            "prefetch.chunk",
+            "taskgraph.node",
+            "offload.chunk",
+        ):
+            assert expected in sites
+            assert sites[expected]  # has a description

@@ -1,0 +1,140 @@
+"""Golden checkpoint fixtures: on-disk format stability + exact resume.
+
+The ``golden/*_ckpt.npz`` files are real mid-run checkpoints committed to
+the repo; ``golden/*_final.npz`` holds the parameters an uninterrupted
+run reaches plus five post-restore RNG draws.  If loading, field names,
+the version tag, RNG restoration, or resume semantics drift, these tests
+fail — regenerate deliberately with ``golden/make_golden.py`` and review
+the diff.
+
+RNG draws compare **exactly** (PCG64 is platform-stable); the trained
+parameters use a tight allclose to absorb BLAS build variation.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.synth_digits import digit_dataset
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.finetune import finetune
+from repro.nn.mlp import DeepNetwork
+from repro.nn.stacked import DeepBeliefNetwork, LayerSpec, StackedAutoencoder
+from repro.runtime.checkpoint import CHECKPOINT_VERSION, load_npz, restore_rng
+
+GOLDEN = Path(__file__).parent / "golden"
+RTOL, ATOL = 1e-7, 1e-9  # trained-parameter tolerance (BLAS variation)
+SPECS = [LayerSpec(8, epochs=2, batch_size=16), LayerSpec(5, epochs=2, batch_size=16)]
+
+
+@pytest.fixture(scope="module")
+def data():
+    # Must match golden/make_golden.py exactly — same examples, same labels.
+    return digit_dataset(48, size=5, seed=7)
+
+
+@pytest.fixture
+def x(data):
+    return data[0]
+
+
+def _raw_payload(path):
+    with np.load(path, allow_pickle=False) as data:
+        return json.loads(bytes(data["__ckpt__"].tobytes()).decode())
+
+
+class TestFormatStability:
+    @pytest.mark.parametrize("name", ["sae", "dbn", "finetune"])
+    def test_version_tag(self, name):
+        payload = _raw_payload(GOLDEN / f"{name}_ckpt.npz")
+        assert payload["version"] == CHECKPOINT_VERSION == 1
+
+    @pytest.mark.parametrize(
+        "name, header_keys, array_keys",
+        [
+            (
+                "sae",
+                {"kind", "phase", "model", "block_index", "epochs_done",
+                 "rng_states", "engine", "layer_errors", "current_errors"},
+                {"w1_0", "b1_0", "w2_0", "b2_0"},
+            ),
+            (
+                "dbn",
+                {"kind", "phase", "model", "block_index", "epochs_done",
+                 "rng_states", "engine", "layer_errors", "current_errors"},
+                {"w_0", "b_0", "c_0"},
+            ),
+            (
+                "finetune",
+                {"kind", "phase", "model", "epochs_done", "rng_state",
+                 "engine", "losses", "train_accuracy", "n_updates"},
+                {"w0", "b0", "w1", "b1"},
+            ),
+        ],
+    )
+    def test_field_inventory(self, name, header_keys, array_keys):
+        header, arrays = load_npz(GOLDEN / f"{name}_ckpt.npz")
+        assert set(header.keys()) == header_keys
+        assert set(arrays.keys()) == array_keys
+        for arr in arrays.values():
+            assert arr.dtype == np.float64
+
+    def test_kinds(self):
+        assert load_npz(GOLDEN / "sae_ckpt.npz")[0]["kind"] == "stacked_autoencoder"
+        assert load_npz(GOLDEN / "dbn_ckpt.npz")[0]["kind"] == "deep_belief_network"
+        assert load_npz(GOLDEN / "finetune_ckpt.npz")[0]["kind"] == "finetune"
+
+
+class TestRNGRestoration:
+    @pytest.mark.parametrize(
+        "name, key", [("sae", "rng_states"), ("dbn", "rng_states"),
+                      ("finetune", "rng_state")]
+    )
+    def test_restored_stream_draws_exactly(self, name, key):
+        header, _ = load_npz(GOLDEN / f"{name}_ckpt.npz")
+        state = header[key][0] if key == "rng_states" else header[key]
+        draws = restore_rng(state).random(5)
+        expected = np.load(GOLDEN / f"{name}_final.npz")["rng_draws"]
+        assert np.array_equal(draws, expected)  # exact, not allclose
+
+
+class TestGoldenResume:
+    def test_sae_resume_reaches_golden_params(self, x):
+        cost = SparseAutoencoderCost(
+            weight_decay=1e-3, sparsity_target=0.1, sparsity_weight=0.3
+        )
+        stack = StackedAutoencoder(x.shape[1], SPECS, cost=cost, seed=3)
+        stack.pretrain(x, resume_from=GOLDEN / "sae_ckpt.npz")
+        final = np.load(GOLDEN / "sae_final.npz")
+        for i, block in enumerate(stack.blocks):
+            for name in ("w1", "b1", "w2", "b2"):
+                np.testing.assert_allclose(
+                    getattr(block, name), final[f"{name}_{i}"],
+                    rtol=RTOL, atol=ATOL,
+                )
+
+    def test_dbn_resume_reaches_golden_params(self, x):
+        dbn = DeepBeliefNetwork(
+            x.shape[1], [LayerSpec(7, epochs=3, batch_size=12)], seed=3
+        )
+        dbn.pretrain((x > 0.5).astype(np.float64),
+                     resume_from=GOLDEN / "dbn_ckpt.npz")
+        final = np.load(GOLDEN / "dbn_final.npz")
+        for i, block in enumerate(dbn.blocks):
+            for name in ("w", "b", "c"):
+                np.testing.assert_allclose(
+                    getattr(block, name), final[f"{name}_{i}"],
+                    rtol=RTOL, atol=ATOL,
+                )
+
+    def test_finetune_resume_reaches_golden_params(self, data):
+        x, labels = data
+        net = DeepNetwork([x.shape[1], 9, 10], head="softmax", seed=2)
+        finetune(net, x, labels, epochs=4, batch_size=16, seed=7,
+                 resume_from=GOLDEN / "finetune_ckpt.npz")
+        final = np.load(GOLDEN / "finetune_final.npz")
+        for i, layer in enumerate(net.layers):
+            np.testing.assert_allclose(layer.w, final[f"w{i}"], rtol=RTOL, atol=ATOL)
+            np.testing.assert_allclose(layer.b, final[f"b{i}"], rtol=RTOL, atol=ATOL)

@@ -1,0 +1,175 @@
+"""ChunkPrefetcher under injected faults: no hangs, clean errors, retries.
+
+The headline regression here: a loader thread that dies *between* the
+buffer-slot acquire and the queue publish used to leave the consumer
+blocked on ``queue.get()`` forever.  Every failure path must now surface
+as :class:`PrefetchError` in the consuming thread.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.executor import ChunkPrefetcher, PrefetchError
+from repro.testing.faults import FaultError, FaultPlan, inject
+
+
+def _chunks(n=5, rows=8, cols=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.random((rows, cols)) for _ in range(n)]
+
+
+def _consume_with_watchdog(fn, timeout=5.0):
+    """Run ``fn`` on a thread; fail the test if it never returns (deadlock)."""
+    box = {}
+
+    def runner():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            box["error"] = exc
+
+    t = threading.Thread(target=runner, daemon=True)
+    t.start()
+    t.join(timeout)
+    if t.is_alive():
+        pytest.fail(f"consumer deadlocked (no result within {timeout}s)")
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+class TestLoaderDeathRegression:
+    def test_death_between_slot_acquire_and_publish_does_not_hang(self):
+        # A raising clock kills the loader on the timestamp call that sits
+        # between the slot acquire and the publish — precisely the window
+        # the old narrow try/except around self._load() did not cover.
+        # Without the whole-body guard + consumer liveness poll this test
+        # deadlocks (the watchdog converts that into a failure).
+        calls = {"n": 0}
+
+        def dying_clock():
+            calls["n"] += 1
+            if calls["n"] > 1:  # first call stamps t0 in start()
+                raise RuntimeError("clock hardware fault")
+            return time.perf_counter()
+
+        def consume():
+            with ChunkPrefetcher(lambda i: i, n_chunks=3, clock=dying_clock) as pf:
+                return list(pf)
+
+        with pytest.raises(PrefetchError):
+            _consume_with_watchdog(consume)
+
+    def test_injected_fault_inside_loader_surfaces_cleanly(self):
+        plan = FaultPlan.fail("prefetch.load", nth=2)
+        with inject(plan):
+            def consume():
+                with ChunkPrefetcher(lambda i: i * 10, n_chunks=5) as pf:
+                    got = []
+                    for chunk in pf:
+                        got.append(chunk)
+                    return got
+
+            with pytest.raises(PrefetchError) as exc:
+                _consume_with_watchdog(consume)
+        assert isinstance(exc.value.__cause__, FaultError)
+        assert plan.fired("prefetch.load") == 1
+
+    def test_plain_loader_exception_still_propagates(self):
+        def load(i):
+            if i == 1:
+                raise OSError("pcie link reset")
+            return i
+
+        def consume():
+            with ChunkPrefetcher(load, n_chunks=3) as pf:
+                return list(pf)
+
+        with pytest.raises(PrefetchError, match="chunk 1"):
+            _consume_with_watchdog(consume)
+
+
+class TestRetries:
+    def test_transient_fault_absorbed(self):
+        chunks = _chunks()
+        # Fail only attempt 0 of the 3rd load; the retry must deliver the
+        # real data and the stream must stay complete and ordered.
+        plan = FaultPlan.fail("prefetch.load", nth=2, match={"attempt": 0})
+        with inject(plan):
+            with ChunkPrefetcher(
+                lambda i: chunks[i], n_chunks=5, retries=2, retry_backoff_s=0.001
+            ) as pf:
+                got = list(pf)
+        assert len(got) == 5
+        for a, b in zip(got, chunks):
+            assert np.array_equal(a, b)
+        assert plan.fired() == 1
+        # The faulted attempt dies before reaching load(); only the real
+        # calls are counted — one per chunk.
+        assert pf.load_attempts == 5
+
+    def test_retries_exhausted_raises(self):
+        plan = FaultPlan.fail("prefetch.load", nth=1, times=None)
+        with inject(plan):
+            def consume():
+                with ChunkPrefetcher(
+                    lambda i: i, n_chunks=4, retries=2, retry_backoff_s=0.001
+                ) as pf:
+                    return list(pf)
+
+            with pytest.raises(PrefetchError):
+                _consume_with_watchdog(consume)
+        # visits: chunk 0 attempt 0 (ok), then chunk 1 attempts 0..2 all fire
+        assert plan.fired("prefetch.load") == 3
+
+    def test_no_retries_by_default(self):
+        attempts = {"n": 0}
+
+        def load(i):
+            attempts["n"] += 1
+            if i == 0:
+                raise ValueError("no second chance")
+            return i
+
+        def consume():
+            with ChunkPrefetcher(load, n_chunks=2) as pf:
+                return list(pf)
+
+        with pytest.raises(PrefetchError):
+            _consume_with_watchdog(consume)
+        assert attempts["n"] == 1
+
+
+class TestCorruption:
+    def test_corrupt_transform_delivers_modified_chunk(self):
+        chunks = _chunks(n=4)
+        plan = FaultPlan.corrupt(
+            "prefetch.chunk", lambda v, ctx: np.zeros_like(v), nth=1
+        )
+        with inject(plan):
+            with ChunkPrefetcher(lambda i: chunks[i], n_chunks=4) as pf:
+                got = list(pf)
+        assert np.array_equal(got[0], chunks[0])
+        assert np.all(got[1] == 0.0)
+        assert np.array_equal(got[2], chunks[2])
+        assert plan.fired("prefetch.chunk") == 1
+
+
+class TestCleanShutdown:
+    def test_early_break_then_close_joins_loader(self):
+        with ChunkPrefetcher(lambda i: i, n_chunks=50, n_buffers=2) as pf:
+            for chunk in pf:
+                break
+        assert pf._thread is not None
+        assert not pf._thread.is_alive()
+
+    def test_full_consumption_unchanged_without_plan(self):
+        chunks = _chunks(n=6)
+        with ChunkPrefetcher(lambda i: chunks[i], n_chunks=6) as pf:
+            got = list(pf)
+        assert len(got) == 6
+        for a, b in zip(got, chunks):
+            assert np.array_equal(a, b)

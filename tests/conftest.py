@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -9,6 +12,35 @@ from repro.data.synth_digits import digit_dataset
 from repro.nn.autoencoder import SparseAutoencoder
 from repro.nn.cost import SparseAutoencoderCost
 from repro.nn.rbm import RBM
+
+
+def _live_nondaemon_threads():
+    return {
+        t for t in threading.enumerate() if t.is_alive() and not t.daemon
+    }
+
+
+@pytest.fixture(autouse=True)
+def _thread_leak_guard():
+    """Fail any test that leaks a live non-daemon thread.
+
+    The chaos suite kills workers mid-task on purpose; this guard proves
+    every executor/prefetcher still tears down cleanly afterwards.  A
+    short grace window lets threads that are already unblocking finish
+    their join.
+    """
+    before = _live_nondaemon_threads()
+    yield
+    deadline = time.monotonic() + 2.0
+    leaked = _live_nondaemon_threads() - before
+    while leaked and time.monotonic() < deadline:
+        time.sleep(0.02)
+        leaked = _live_nondaemon_threads() - before
+    if leaked:
+        pytest.fail(
+            "test leaked non-daemon thread(s): "
+            + ", ".join(sorted(t.name for t in leaked))
+        )
 
 
 @pytest.fixture
