@@ -21,6 +21,7 @@ Quick tour::
 Sub-packages:
 
 * :mod:`repro.nn` — the networks (real numerics);
+* :mod:`repro.train` — the unified training loop, callbacks, events;
 * :mod:`repro.optim` — SGD, schedules, L-BFGS, CG;
 * :mod:`repro.data` — synthetic digits / natural images, patches, chunks;
 * :mod:`repro.phi` — the simulated Xeon Phi / Xeon machines;
@@ -49,6 +50,22 @@ from repro.nn import (
     SparseAutoencoder,
     SparseAutoencoderCost,
     StackedAutoencoder,
+)
+
+# the unified training runtime
+from repro.train import (
+    CallbackList,
+    ChunkSchedule,
+    EarlyStopping,
+    EpochEvent,
+    History,
+    LayerEvent,
+    PhaseTimings,
+    ProgressLogger,
+    TrainLoop,
+    TrainStep,
+    TrainingCallback,
+    UpdateEvent,
 )
 
 # data
@@ -163,6 +180,19 @@ __all__ = [
     "StackedAutoencoder",
     "DeepBeliefNetwork",
     "LayerSpec",
+    # training runtime
+    "TrainLoop",
+    "TrainStep",
+    "ChunkSchedule",
+    "TrainingCallback",
+    "CallbackList",
+    "History",
+    "EarlyStopping",
+    "ProgressLogger",
+    "UpdateEvent",
+    "EpochEvent",
+    "LayerEvent",
+    "PhaseTimings",
     # data
     "Dataset",
     "digit_dataset",

@@ -35,6 +35,7 @@ from repro.core.callbacks import (
     EarlyStopping,
     EpochEvent,
     History,
+    LayerEvent,
     ProgressLogger,
     TrainingCallback,
     UpdateEvent,
@@ -65,4 +66,5 @@ __all__ = [
     "ProgressLogger",
     "UpdateEvent",
     "EpochEvent",
+    "LayerEvent",
 ]

@@ -20,8 +20,48 @@ from repro.phi.pcie import PCIeModel
 from repro.phi.trace import TimingBreakdown
 from repro.runtime.fusion import fuse_elementwise
 from repro.runtime.offload import OffloadPipeline, OffloadTimeline
+from repro.train.callbacks import TrainingCallback
+from repro.train.loop import TrainLoop, TrainStep
 
 _F64 = 8
+
+
+class SimulatedTrainStep(TrainStep):
+    """:class:`~repro.train.loop.TrainStep` base for the simulated trainers.
+
+    Charges the memoized per-update kernel cost of the owning trainer
+    into the loop's simulated clock (and accumulates the per-kernel
+    :class:`~repro.phi.trace.TimingBreakdown` alongside), so functional
+    correctness and Algorithm-1 timing come from the same loop events.
+    """
+
+    def __init__(self, trainer: "SimulatedTrainerBase", x):
+        self.trainer = trainer
+        self.x = x
+        self.breakdown = TimingBreakdown()
+
+    def n_examples(self) -> int:
+        return int(self.x.shape[0])
+
+    def load(self, idx):
+        return self.x[idx]
+
+    def charge(self, n_rows: int) -> float:
+        seconds, bd = self.trainer._update_cost(n_rows)
+        self.breakdown = self.breakdown + bd
+        return seconds
+
+
+class _FitRecorder(TrainingCallback):
+    """Internal: mirrors loop events into the legacy result lists."""
+
+    def __init__(self):
+        self.losses: List[float] = []
+        self.n_updates = 0
+
+    def on_update(self, event) -> None:
+        self.losses.append(event.loss)
+        self.n_updates += 1
 
 
 class SimulatedTrainerBase:
@@ -144,6 +184,53 @@ class SimulatedTrainerBase:
             double_buffering=cfg.double_buffering,
         )
         return pipeline.run_analytic(chunk_bytes, per_chunk_compute)
+
+    # ------------------------------------------------------------------
+    def _run_fit(
+        self,
+        step: SimulatedTrainStep,
+        callbacks,
+        rng,
+        metrics: Optional[List[float]] = None,
+    ) -> Tuple[TrainLoop, _FitRecorder]:
+        """Run the unified loop over ``step`` for this trainer's schedule."""
+        loop = TrainLoop(callbacks=callbacks)
+        recorder = _FitRecorder()
+        loop.monitor.callbacks.append(recorder)
+        cfg = self.config
+        loop.run_epochs(
+            step,
+            epochs=cfg.epochs,
+            batch_size=cfg.batch_size,
+            rng=rng,
+            metrics=metrics,
+        )
+        return loop, recorder
+
+    def _fit_result(
+        self,
+        loop: TrainLoop,
+        step: SimulatedTrainStep,
+        recorder: _FitRecorder,
+        epoch_metrics: List[float],
+    ) -> TrainingRunResult:
+        """Assemble the functional-run result from the loop's totals."""
+        timeline = self._simulate_transfers(loop.simulated_seconds)
+        transfer_total = timeline.transfer_total_s if timeline else 0.0
+        transfer_exposed = timeline.exposed_transfer_s if timeline else 0.0
+        total = timeline.total_s if timeline else loop.simulated_seconds
+        return TrainingRunResult(
+            machine_name=self.config.machine.name,
+            backend_name=self.config.effective_backend.name,
+            simulated_seconds=total,
+            breakdown=step.breakdown,
+            n_updates=recorder.n_updates,
+            losses=recorder.losses,
+            reconstruction_errors=epoch_metrics,
+            transfer_seconds_total=transfer_total,
+            transfer_seconds_exposed=transfer_exposed,
+            device_memory_peak=self.machine.memory.peak,
+        )
 
     # ------------------------------------------------------------------
     def simulate(self) -> TrainingRunResult:

@@ -17,7 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core._simbase import SimulatedTrainerBase, _F64
+from repro.core._simbase import SimulatedTrainerBase, SimulatedTrainStep, _F64
 from repro.core.config import TrainingConfig
 from repro.core.oplist import autoencoder_step_levels
 from repro.core.results import TrainingRunResult
@@ -25,6 +25,26 @@ from repro.errors import ShapeError
 from repro.nn.autoencoder import SparseAutoencoder
 from repro.nn.cost import SparseAutoencoderCost
 from repro.utils.rng import as_generator
+
+
+class _SAEFitStep(SimulatedTrainStep):
+    """Serial SAE kernels + simulated-time charge for the unified loop."""
+
+    kind = "sparse autoencoder"
+
+    def __init__(self, trainer, model, x, learning_rate):
+        super().__init__(trainer, x)
+        self.model = model
+        self.learning_rate = learning_rate
+
+    def compute(self, batch):
+        return self.model.gradients(batch)
+
+    def apply(self, grads) -> None:
+        self.model.apply_update(grads, self.learning_rate)
+
+    def epoch_metric(self, epoch_losses) -> float:
+        return float(self.model.reconstruction_error(self.x))
 
 
 class SparseAutoencoderTrainer(SimulatedTrainerBase):
@@ -89,53 +109,9 @@ class SparseAutoencoderTrainer(SimulatedTrainerBase):
             )
         self._ensure_device_allocations()
         rng = as_generator(cfg.seed)
-        from repro.core.callbacks import EpochEvent, UpdateEvent, as_callback_list
-
-        monitor = as_callback_list(callbacks)
-
-        losses: List[float] = []
+        step = _SAEFitStep(self, model, x, cfg.learning_rate)
         recon_errors: List[float] = []
-        sim_seconds = 0.0
-        n_updates = 0
-        from repro.phi.trace import TimingBreakdown
-
-        breakdown = TimingBreakdown()
-        for epoch in range(cfg.epochs):
-            order = rng.permutation(x.shape[0])
-            for start in range(0, x.shape[0], cfg.batch_size):
-                batch = x[order[start : start + cfg.batch_size]]
-                loss, grads = model.gradients(batch)
-                model.apply_update(grads, cfg.learning_rate)
-                seconds, bd = self._update_cost(batch.shape[0])
-                sim_seconds += seconds
-                breakdown = breakdown + bd
-                losses.append(float(loss))
-                n_updates += 1
-                monitor.on_update(
-                    UpdateEvent(n_updates, epoch, float(loss), sim_seconds)
-                )
-                if monitor.stop_requested:
-                    break
-            recon_errors.append(model.reconstruction_error(x))
-            monitor.on_epoch(EpochEvent(epoch, recon_errors[-1], sim_seconds))
-            if monitor.stop_requested:
-                break
-
-        timeline = self._simulate_transfers(sim_seconds)
-        transfer_total = timeline.transfer_total_s if timeline else 0.0
-        transfer_exposed = timeline.exposed_transfer_s if timeline else 0.0
-        total = timeline.total_s if timeline else sim_seconds
-        result = TrainingRunResult(
-            machine_name=cfg.machine.name,
-            backend_name=cfg.effective_backend.name,
-            simulated_seconds=total,
-            breakdown=breakdown,
-            n_updates=n_updates,
-            losses=losses,
-            reconstruction_errors=recon_errors,
-            transfer_seconds_total=transfer_total,
-            transfer_seconds_exposed=transfer_exposed,
-            device_memory_peak=self.machine.memory.peak,
-        )
+        loop, recorder = self._run_fit(step, callbacks, rng, metrics=recon_errors)
+        result = self._fit_result(loop, step, recorder, recon_errors)
         self.model = model
         return result

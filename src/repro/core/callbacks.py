@@ -1,167 +1,32 @@
-"""Training callbacks: monitoring, early stopping, progress.
+"""Backward-compatible alias of the unified callback surface.
 
-The trainers' functional ``fit`` loops accept a list of callbacks; each
-receives per-update and per-epoch events and may request a stop (early
-stopping on a plateau — the practical answer to "how many of the paper's
-200 iterations per layer were needed?").
+The callback/event vocabulary moved to :mod:`repro.train` when the
+per-trainer loops were unified into :class:`repro.train.loop.TrainLoop`;
+this module re-exports it so existing ``repro.core.callbacks`` imports
+keep working.  New code should import from :mod:`repro.train`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from repro.train.callbacks import (
+    CallbackList,
+    EarlyStopping,
+    History,
+    ProgressLogger,
+    TrainingCallback,
+    as_callback_list,
+)
+from repro.train.events import EpochEvent, LayerEvent, PhaseTimings, UpdateEvent
 
-from repro.errors import ConfigurationError
-from repro.utils.logging import get_logger
-
-
-@dataclass(frozen=True)
-class UpdateEvent:
-    """One parameter update's outcome."""
-
-    step: int  # global update index, 1-based
-    epoch: int  # 0-based epoch
-    loss: float
-    simulated_seconds: float  # cumulative simulated clock
-
-
-@dataclass(frozen=True)
-class EpochEvent:
-    """One epoch's outcome."""
-
-    epoch: int  # 0-based
-    metric: float  # reconstruction error / mean loss / accuracy
-    simulated_seconds: float
-
-
-class TrainingCallback:
-    """Base class; override what you need.  ``stop_requested`` is polled
-    after every update and epoch."""
-
-    stop_requested: bool = False
-
-    def on_update(self, event: UpdateEvent) -> None:  # pragma: no cover - default
-        pass
-
-    def on_epoch(self, event: EpochEvent) -> None:  # pragma: no cover - default
-        pass
-
-
-class CallbackList(TrainingCallback):
-    """Composite: fans events out, stops when any member asks to."""
-
-    def __init__(self, callbacks: Optional[Sequence[TrainingCallback]] = None):
-        self.callbacks: List[TrainingCallback] = list(callbacks or [])
-
-    @property
-    def stop_requested(self) -> bool:  # type: ignore[override]
-        return any(cb.stop_requested for cb in self.callbacks)
-
-    def on_update(self, event: UpdateEvent) -> None:
-        for cb in self.callbacks:
-            cb.on_update(event)
-
-    def on_epoch(self, event: EpochEvent) -> None:
-        for cb in self.callbacks:
-            cb.on_epoch(event)
-
-
-class History(TrainingCallback):
-    """Records every event (the default notebook-style monitor)."""
-
-    def __init__(self):
-        self.updates: List[UpdateEvent] = []
-        self.epochs: List[EpochEvent] = []
-
-    def on_update(self, event: UpdateEvent) -> None:
-        self.updates.append(event)
-
-    def on_epoch(self, event: EpochEvent) -> None:
-        self.epochs.append(event)
-
-    @property
-    def losses(self) -> List[float]:
-        return [e.loss for e in self.updates]
-
-    @property
-    def epoch_metrics(self) -> List[float]:
-        return [e.metric for e in self.epochs]
-
-
-class EarlyStopping(TrainingCallback):
-    """Stop when the epoch metric fails to improve for ``patience`` epochs.
-
-    Parameters
-    ----------
-    patience:
-        Epochs without improvement tolerated before stopping.
-    min_delta:
-        Required improvement (in the minimised metric) to reset patience.
-    mode:
-        ``"min"`` for losses/errors, ``"max"`` for accuracies.
-    """
-
-    def __init__(self, patience: int = 3, min_delta: float = 0.0, mode: str = "min"):
-        if patience < 1:
-            raise ConfigurationError(f"patience must be >= 1, got {patience}")
-        if min_delta < 0:
-            raise ConfigurationError(f"min_delta must be >= 0, got {min_delta}")
-        if mode not in ("min", "max"):
-            raise ConfigurationError(f"mode must be 'min' or 'max', got {mode!r}")
-        self.patience = int(patience)
-        self.min_delta = float(min_delta)
-        self.mode = mode
-        self.best: Optional[float] = None
-        self.stale_epochs = 0
-        self.stopped_epoch: Optional[int] = None
-
-    def _improved(self, metric: float) -> bool:
-        if self.best is None:
-            return True
-        if self.mode == "min":
-            return metric < self.best - self.min_delta
-        return metric > self.best + self.min_delta
-
-    def on_epoch(self, event: EpochEvent) -> None:
-        if self._improved(event.metric):
-            self.best = event.metric
-            self.stale_epochs = 0
-        else:
-            self.stale_epochs += 1
-            if self.stale_epochs >= self.patience:
-                self.stop_requested = True
-                self.stopped_epoch = event.epoch
-
-
-class ProgressLogger(TrainingCallback):
-    """Logs every Nth update through the package logger."""
-
-    def __init__(self, every: int = 100):
-        if every < 1:
-            raise ConfigurationError(f"every must be >= 1, got {every}")
-        self.every = int(every)
-        self._log = get_logger("train")
-
-    def on_update(self, event: UpdateEvent) -> None:
-        if event.step % self.every == 0:
-            self._log.info(
-                "update %d (epoch %d): loss=%.6f sim=%.3fs",
-                event.step, event.epoch, event.loss, event.simulated_seconds,
-            )
-
-    def on_epoch(self, event: EpochEvent) -> None:
-        self._log.info(
-            "epoch %d: metric=%.6f sim=%.3fs",
-            event.epoch, event.metric, event.simulated_seconds,
-        )
-
-
-def as_callback_list(callbacks) -> CallbackList:
-    """Coerce None / a single callback / a sequence into a CallbackList."""
-    if callbacks is None:
-        return CallbackList()
-    if isinstance(callbacks, CallbackList):
-        return callbacks
-    if isinstance(callbacks, TrainingCallback):
-        return CallbackList([callbacks])
-    return CallbackList(list(callbacks))
+__all__ = [
+    "CallbackList",
+    "EarlyStopping",
+    "EpochEvent",
+    "History",
+    "LayerEvent",
+    "PhaseTimings",
+    "ProgressLogger",
+    "TrainingCallback",
+    "UpdateEvent",
+    "as_callback_list",
+]

@@ -13,14 +13,41 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core._simbase import SimulatedTrainerBase, _F64
+from repro.core._simbase import SimulatedTrainerBase, SimulatedTrainStep, _F64
 from repro.core.config import TrainingConfig
 from repro.core.oplist import mlp_step_levels
 from repro.core.results import TrainingRunResult
 from repro.errors import ConfigurationError, ShapeError
 from repro.nn.mlp import DeepNetwork, one_hot
-from repro.phi.trace import TimingBreakdown
 from repro.utils.rng import as_generator
+
+
+class _SupervisedFitStep(SimulatedTrainStep):
+    """Serial back-propagation kernels + simulated-time charge."""
+
+    kind = "deep network"
+
+    def __init__(self, trainer, network, x, targets, labels, learning_rate):
+        super().__init__(trainer, x)
+        self.network = network
+        self.targets = targets
+        self.labels = labels
+        self.learning_rate = learning_rate
+
+    def load(self, idx):
+        return (self.x[idx], self.targets[idx])
+
+    def compute(self, batch):
+        xb, tb = batch
+        return self.network.gradients(xb, tb)
+
+    def apply(self, grads) -> None:
+        self.network.apply_update(grads, self.learning_rate)
+
+    def epoch_metric(self, epoch_losses) -> float:
+        if self.network.head == "softmax":
+            return float(self.network.accuracy(self.x, self.labels))
+        return float(np.mean(epoch_losses)) if epoch_losses else float("nan")
 
 
 class FinetuneTrainer(SimulatedTrainerBase):
@@ -98,53 +125,12 @@ class FinetuneTrainer(SimulatedTrainerBase):
             else np.asarray(labels, dtype=np.float64)
         )
         rng = as_generator(cfg.seed)
-        from repro.core.callbacks import EpochEvent, UpdateEvent, as_callback_list
-
-        monitor = as_callback_list(callbacks)
-
-        losses: List[float] = []
-        sim_seconds = 0.0
-        breakdown = TimingBreakdown()
-        n_updates = 0
+        step = _SupervisedFitStep(self, network, x, targets, labels, cfg.learning_rate)
+        # ``reconstruction_errors`` carries per-epoch accuracy for softmax
+        # heads and stays empty otherwise (historical contract).
         accuracies: List[float] = []
-        for epoch in range(cfg.epochs):
-            order = rng.permutation(x.shape[0])
-            epoch_losses: List[float] = []
-            for start in range(0, x.shape[0], cfg.batch_size):
-                idx = order[start : start + cfg.batch_size]
-                loss, grads = network.gradients(x[idx], targets[idx])
-                network.apply_update(grads, cfg.learning_rate)
-                seconds, bd = self._update_cost(len(idx))
-                sim_seconds += seconds
-                breakdown = breakdown + bd
-                losses.append(float(loss))
-                epoch_losses.append(float(loss))
-                n_updates += 1
-                monitor.on_update(UpdateEvent(n_updates, epoch, float(loss), sim_seconds))
-                if monitor.stop_requested:
-                    break
-            if network.head == "softmax":
-                accuracies.append(network.accuracy(x, labels))
-                metric = accuracies[-1]
-            else:
-                metric = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
-            monitor.on_epoch(EpochEvent(epoch, metric, sim_seconds))
-            if monitor.stop_requested:
-                break
-
-        timeline = self._simulate_transfers(sim_seconds)
-        total = timeline.total_s if timeline else sim_seconds
-        result = TrainingRunResult(
-            machine_name=cfg.machine.name,
-            backend_name=cfg.effective_backend.name,
-            simulated_seconds=total,
-            breakdown=breakdown,
-            n_updates=n_updates,
-            losses=losses,
-            reconstruction_errors=accuracies,  # per-epoch accuracy here
-            transfer_seconds_total=timeline.transfer_total_s if timeline else 0.0,
-            transfer_seconds_exposed=timeline.exposed_transfer_s if timeline else 0.0,
-            device_memory_peak=self.machine.memory.peak,
-        )
+        metrics = accuracies if network.head == "softmax" else None
+        loop, recorder = self._run_fit(step, callbacks, rng, metrics=metrics)
+        result = self._fit_result(loop, step, recorder, accuracies)
         self.network = network
         return result

@@ -24,6 +24,8 @@ from repro.errors import ConfigurationError
 from repro.nn.autoencoder import SparseAutoencoder
 from repro.nn.rbm import RBM
 from repro.phi.trace import TimingBreakdown
+from repro.train.callbacks import as_callback_list
+from repro.train.events import LayerEvent
 
 #: Table I's network: 1024 visible, then hidden layers 512, 256, 128.
 TABLE1_LAYER_SIZES = (1024, 512, 256, 128)
@@ -127,21 +129,37 @@ class DeepPretrainer:
             out.layers.append(LayerResult(i, v, h, trainer.simulate()))
         return out
 
-    def fit(self, x: np.ndarray, seed: Optional[int] = None) -> PretrainResult:
+    def fit(
+        self, x: np.ndarray, seed: Optional[int] = None, callbacks=None
+    ) -> PretrainResult:
         """Functional + timed pre-training: each layer trains for real and
-        feeds its hidden representation to the next (paper Fig. 1)."""
+        feeds its hidden representation to the next (paper Fig. 1).
+
+        ``callbacks`` (see :mod:`repro.train.callbacks`) observe every
+        layer's per-update/per-epoch events through the unified loop and
+        receive a :class:`~repro.train.events.LayerEvent` as each
+        building block completes — an :class:`~repro.train.EarlyStopping`
+        therefore gets a fresh plateau budget per layer.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.layer_sizes[0]:
             raise ConfigurationError(
                 f"x must be (n, {self.layer_sizes[0]}), got {x.shape}"
             )
+        monitor = as_callback_list(callbacks)
         out = PretrainResult()
         current = x
         for i, (v, h) in enumerate(zip(self.layer_sizes[:-1], self.layer_sizes[1:])):
             config = self._layer_config(v, h)
             trainer = self._make_trainer(config)
-            result = trainer.fit(current)
+            result = trainer.fit(current, callbacks=monitor)
             out.layers.append(LayerResult(i, v, h, result))
+            metric = (
+                result.reconstruction_errors[-1]
+                if result.reconstruction_errors
+                else float("nan")
+            )
+            monitor.on_layer(LayerEvent(i, float(metric), out.total_seconds))
             model = trainer.model
             if isinstance(model, SparseAutoencoder):
                 current = model.encode(current)

@@ -12,14 +12,38 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core._simbase import SimulatedTrainerBase, _F64
+from repro.core._simbase import SimulatedTrainerBase, SimulatedTrainStep, _F64
 from repro.core.config import TrainingConfig
 from repro.core.oplist import rbm_step_levels
 from repro.core.results import TrainingRunResult
 from repro.errors import ShapeError
 from repro.nn.rbm import RBM
-from repro.phi.trace import TimingBreakdown
 from repro.utils.rng import as_generator
+
+
+class _RBMFitStep(SimulatedTrainStep):
+    """Serial CD-k kernels + simulated-time charge for the unified loop.
+
+    Draws the Gibbs samples from the same generator the loop shuffles
+    with, preserving the historical RNG call order (one permutation per
+    epoch, then the CD draws batch by batch).
+    """
+
+    kind = "RBM"
+
+    def __init__(self, trainer, model, x, learning_rate, cd_k, rng):
+        super().__init__(trainer, x)
+        self.model = model
+        self.learning_rate = learning_rate
+        self.cd_k = cd_k
+        self.rng = rng
+
+    def compute(self, batch):
+        stats = self.model.contrastive_divergence(batch, k=self.cd_k, rng=self.rng)
+        return stats.reconstruction_error, stats
+
+    def apply(self, stats) -> None:
+        self.model.apply_update(stats, self.learning_rate)
 
 
 class RBMTrainer(SimulatedTrainerBase):
@@ -78,54 +102,9 @@ class RBMTrainer(SimulatedTrainerBase):
             model = RBM(cfg.n_visible, cfg.n_hidden, seed=cfg.seed)
         self._ensure_device_allocations()
         rng = as_generator(cfg.seed)
-        from repro.core.callbacks import EpochEvent, UpdateEvent, as_callback_list
-
-        monitor = as_callback_list(callbacks)
-
-        losses: List[float] = []
+        step = _RBMFitStep(self, model, x, cfg.learning_rate, self.cd_k, rng)
         epoch_errors: List[float] = []
-        sim_seconds = 0.0
-        n_updates = 0
-        breakdown = TimingBreakdown()
-        for epoch in range(cfg.epochs):
-            order = rng.permutation(x.shape[0])
-            epoch_sum, epoch_batches = 0.0, 0
-            for start in range(0, x.shape[0], cfg.batch_size):
-                batch = x[order[start : start + cfg.batch_size]]
-                stats = model.contrastive_divergence(batch, k=self.cd_k, rng=rng)
-                model.apply_update(stats, cfg.learning_rate)
-                seconds, bd = self._update_cost(batch.shape[0])
-                sim_seconds += seconds
-                breakdown = breakdown + bd
-                losses.append(stats.reconstruction_error)
-                epoch_sum += stats.reconstruction_error
-                epoch_batches += 1
-                n_updates += 1
-                monitor.on_update(
-                    UpdateEvent(n_updates, epoch, stats.reconstruction_error, sim_seconds)
-                )
-                if monitor.stop_requested:
-                    break
-            epoch_errors.append(epoch_sum / max(epoch_batches, 1))
-            monitor.on_epoch(EpochEvent(epoch, epoch_errors[-1], sim_seconds))
-            if monitor.stop_requested:
-                break
-
-        timeline = self._simulate_transfers(sim_seconds)
-        transfer_total = timeline.transfer_total_s if timeline else 0.0
-        transfer_exposed = timeline.exposed_transfer_s if timeline else 0.0
-        total = timeline.total_s if timeline else sim_seconds
-        result = TrainingRunResult(
-            machine_name=cfg.machine.name,
-            backend_name=cfg.effective_backend.name,
-            simulated_seconds=total,
-            breakdown=breakdown,
-            n_updates=n_updates,
-            losses=losses,
-            reconstruction_errors=epoch_errors,
-            transfer_seconds_total=transfer_total,
-            transfer_seconds_exposed=transfer_exposed,
-            device_memory_peak=self.machine.memory.peak,
-        )
+        loop, recorder = self._run_fit(step, callbacks, rng, metrics=epoch_errors)
+        result = self._fit_result(loop, step, recorder, epoch_errors)
         self.model = model
         return result

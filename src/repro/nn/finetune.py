@@ -10,7 +10,7 @@ comparison used by the examples and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,8 @@ from repro.runtime.checkpoint import (
     restore_rng_into,
 )
 from repro.runtime.workspace import Workspace
+from repro.train.callbacks import TrainingCallback
+from repro.train.loop import EVENT_LOG_KEY, EventLog, TrainLoop, TrainStep
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_int, check_positive
 
@@ -44,6 +46,68 @@ class FinetuneResult:
         return self.losses[-1] if self.losses else float("nan")
 
 
+class _SupervisedStep(TrainStep):
+    """Back-propagation kernels for the unified loop (serial + engine)."""
+
+    kind = "deep network"
+
+    def __init__(self, network, x, targets, learning_rate, ws, labels):
+        self.network = network
+        self.x = x
+        self.targets = targets
+        self.learning_rate = learning_rate
+        self.ws = ws
+        self.labels = labels  # integer ids for the accuracy metric
+
+    def n_examples(self) -> int:
+        return int(self.x.shape[0])
+
+    def load(self, idx):
+        return (self.x[idx], self.targets[idx])
+
+    def compute(self, batch):
+        xb, tb = batch
+        loss, grads = self.network.gradients_into(xb, tb, self.ws)
+        return loss, grads
+
+    def apply(self, grads) -> None:
+        self.network.apply_update(grads, self.learning_rate, workspace=self.ws)
+
+    def engine_compute(self, engine, batch):
+        xb, tb = batch
+        return engine.supervised_gradients(self.network, xb, tb)
+
+    def engine_apply(self, engine, grads) -> None:
+        self.network.apply_update(
+            grads, self.learning_rate, workspace=engine.coordinator_workspace
+        )
+
+    def epoch_metric(self, epoch_losses) -> float:
+        if self.network.head == "softmax":
+            return float(self.network.accuracy(self.x, self.labels))
+        return super().epoch_metric(epoch_losses)
+
+
+class _ResultRecorder(TrainingCallback):
+    """Mirrors loop events into the legacy :class:`FinetuneResult` fields.
+
+    Attached *after* any checkpoint-log replay, so restored histories are
+    not double-counted.
+    """
+
+    def __init__(self, result: "FinetuneResult", softmax: bool):
+        self.result = result
+        self.softmax = softmax
+
+    def on_update(self, event) -> None:
+        self.result.losses.append(event.loss)
+        self.result.n_updates += 1
+
+    def on_epoch(self, event) -> None:
+        if self.softmax:
+            self.result.train_accuracy.append(event.metric)
+
+
 def _network_meta(network: DeepNetwork) -> dict:
     return {
         "layer_sizes": list(network.layer_sizes),
@@ -59,6 +123,7 @@ def _save_finetune_checkpoint(
     rng: np.random.Generator,
     engine,
     result: "FinetuneResult",
+    loop: TrainLoop,
 ) -> None:
     header = {
         "kind": "finetune",
@@ -73,7 +138,7 @@ def _save_finetune_checkpoint(
         "train_accuracy": [float(v) for v in result.train_accuracy],
         "n_updates": result.n_updates,
     }
-    arrays = {}
+    arrays = {EVENT_LOG_KEY: loop.log.to_array()}
     for i, layer in enumerate(network.layers):
         arrays[f"w{i}"] = layer.w
         arrays[f"b{i}"] = layer.b
@@ -86,7 +151,7 @@ def _restore_finetune(
     rng: np.random.Generator,
     engine,
     result: "FinetuneResult",
-) -> int:
+) -> Tuple[int, EventLog]:
     path = resolve_resume_path(resume_from)
     header, arrays = load_npz(path)
     if header.get("kind") != "finetune":
@@ -115,7 +180,7 @@ def _restore_finetune(
     result.losses = [float(v) for v in header["losses"]]
     result.train_accuracy = [float(v) for v in header["train_accuracy"]]
     result.n_updates = int(header["n_updates"])
-    return int(header["epochs_done"])
+    return int(header["epochs_done"]), EventLog.from_array(arrays.get(EVENT_LOG_KEY))
 
 
 def finetune(
@@ -129,6 +194,8 @@ def finetune(
     engine=None,
     checkpoint=None,
     resume_from=None,
+    callbacks=None,
+    chunks=None,
 ) -> FinetuneResult:
     """Mini-batch supervised training of ``network`` on (x, labels).
 
@@ -149,6 +216,15 @@ def finetune(
     and continues, bit-identical to an uninterrupted run at the same
     seed, execution mode, and worker count.  When ``seed`` is a live
     ``Generator``, resuming rewinds that generator in place.
+
+    ``callbacks`` (a :class:`~repro.train.TrainingCallback`, a list of
+    them, or a :class:`~repro.train.CallbackList`) observe the unified
+    loop's structured events; on resume the persisted event log is
+    replayed through them first, so a restored :class:`History` matches
+    an uninterrupted run.  ``chunks`` (a
+    :class:`~repro.train.ChunkSchedule`) stages each epoch through the
+    background chunk prefetcher (paper Fig. 5) without changing the
+    update sequence.
     """
     check_positive(learning_rate, "learning_rate")
     check_int(batch_size, "batch_size", minimum=1)
@@ -169,29 +245,35 @@ def finetune(
     rng = as_generator(seed)
     store = as_store(checkpoint)
     result = FinetuneResult(network=network)
+    loop = TrainLoop(engine=engine, callbacks=callbacks)
     start_epoch = 0
     if resume_from is not None:
-        start_epoch = _restore_finetune(network, resume_from, rng, engine, result)
+        start_epoch, log = _restore_finetune(network, resume_from, rng, engine, result)
+        loop.resume_from_log(log)
+    # The recorder mirrors loop events into the legacy result fields; it
+    # is attached after replay because _restore_finetune already reloaded
+    # the persisted history.
+    loop.monitor.callbacks.append(_ResultRecorder(result, network.head == "softmax"))
     # Workspace-backed steps: same arithmetic as network.gradients, zero
     # steady-state allocations (one buffer set per distinct batch shape).
     ws = Workspace(name="finetune")
-    for _epoch in range(start_epoch, epochs):
-        order = rng.permutation(x.shape[0])
-        for start in range(0, x.shape[0], batch_size):
-            idx = order[start : start + batch_size]
-            if engine is not None:
-                loss = engine.supervised_step(
-                    network, x[idx], targets[idx], learning_rate
-                )
-            else:
-                loss, grads = network.gradients_into(x[idx], targets[idx], ws)
-                network.apply_update(grads, learning_rate, workspace=ws)
-            result.losses.append(float(loss))
-            result.n_updates += 1
-        if network.head == "softmax":
-            result.train_accuracy.append(network.accuracy(x, labels))
+    step = _SupervisedStep(network, x, targets, learning_rate, ws, labels)
+
+    def _epoch_end(epochs_done: int, _metrics) -> None:
         if store is not None:
-            _save_finetune_checkpoint(store, network, _epoch + 1, rng, engine, result)
+            _save_finetune_checkpoint(
+                store, network, epochs_done, rng, engine, result, loop
+            )
+
+    loop.run_epochs(
+        step,
+        epochs=epochs,
+        batch_size=batch_size,
+        rng=rng,
+        start_epoch=start_epoch,
+        epoch_end=_epoch_end,
+        chunks=chunks,
+    )
     return result
 
 

@@ -38,6 +38,7 @@ from repro.runtime.checkpoint import (
     restore_rng_into,
 )
 from repro.runtime.workspace import Workspace
+from repro.train.loop import EVENT_LOG_KEY, EventLog, TrainLoop, TrainStep
 from repro.utils.rng import SeedLike, spawn_generators
 from repro.utils.validation import check_matrix_shapes
 
@@ -62,11 +63,75 @@ class LayerSpec:
             raise ConfigurationError("epochs and batch_size must be >= 1")
 
 
-def _minibatches(x: np.ndarray, batch_size: int, rng: np.random.Generator):
-    """Yield shuffled mini-batch views of ``x`` for one epoch."""
-    order = rng.permutation(x.shape[0])
-    for start in range(0, x.shape[0], batch_size):
-        yield x[order[start : start + batch_size]]
+class _BlockStep(TrainStep):
+    """Shared :class:`~repro.train.loop.TrainStep` plumbing for one block."""
+
+    def __init__(self, block, x: np.ndarray, spec: LayerSpec, ws: Workspace):
+        self.block = block
+        self.x = x
+        self.spec = spec
+        self.ws = ws
+
+    def n_examples(self) -> int:
+        return int(self.x.shape[0])
+
+    def load(self, idx: np.ndarray) -> np.ndarray:
+        return self.x[idx]
+
+
+class _SAEBlockStep(_BlockStep):
+    """Sparse-autoencoder block kernels (serial + parallel engine)."""
+
+    kind = "sparse autoencoder block"
+
+    def compute(self, batch):
+        loss, grads = self.block.gradients_into(batch, self.ws)
+        return loss, grads
+
+    def apply(self, grads) -> None:
+        self.block.apply_update(grads, self.spec.learning_rate, workspace=self.ws)
+
+    def engine_compute(self, engine, batch):
+        return engine.sae_gradients(self.block, batch)
+
+    def engine_apply(self, engine, grads) -> None:
+        self.block.apply_update(
+            grads, self.spec.learning_rate, workspace=engine.coordinator_workspace
+        )
+
+    def epoch_metric(self, epoch_losses) -> float:
+        return float(self.block.reconstruction_error(self.x))
+
+
+class _RBMBlockStep(_BlockStep):
+    """RBM CD-k block kernels.  Serial Gibbs chains draw from the shuffle
+    generator (the historical contract); engine chains draw from the
+    engine's per-worker streams."""
+
+    kind = "RBM block"
+
+    def __init__(self, block, x, spec, ws, cd_k: int, rng: np.random.Generator):
+        super().__init__(block, x, spec, ws)
+        self.cd_k = cd_k
+        self.rng = rng
+
+    def compute(self, batch):
+        stats = self.block.contrastive_divergence(
+            batch, k=self.cd_k, rng=self.rng, workspace=self.ws
+        )
+        return stats.reconstruction_error, stats
+
+    def apply(self, stats) -> None:
+        self.block.apply_update(stats, self.spec.learning_rate, workspace=self.ws)
+
+    def engine_compute(self, engine, batch):
+        stats = engine.cd_gradients(self.block, batch, k=self.cd_k)
+        return stats.reconstruction_error, stats
+
+    def engine_apply(self, engine, stats) -> None:
+        self.block.apply_update(
+            stats, self.spec.learning_rate, workspace=engine.coordinator_workspace
+        )
 
 
 def _spec_meta(specs: Sequence[LayerSpec]) -> list:
@@ -113,10 +178,8 @@ class _GreedyStack:
     def _make_block(self, n_in: int, spec: LayerSpec, rng):
         raise NotImplementedError
 
-    def _train_block_epoch(
-        self, block, x, spec: LayerSpec, rng, engine, ws: Workspace
-    ) -> float:
-        """One epoch of mini-batch updates; returns the epoch's error metric."""
+    def _block_step(self, block, x, spec: LayerSpec, rng, ws: Workspace) -> TrainStep:
+        """The block's :class:`~repro.train.loop.TrainStep` kernels."""
         raise NotImplementedError
 
     def _block_transform(self, block, x) -> np.ndarray:
@@ -140,6 +203,7 @@ class _GreedyStack:
         current_errors: List[float],
         rngs,
         engine,
+        loop: TrainLoop,
     ) -> None:
         header = {
             "kind": self._ckpt_kind,
@@ -157,12 +221,14 @@ class _GreedyStack:
             "layer_errors": [list(e) for e in self.layer_errors],
             "current_errors": [float(e) for e in current_errors],
         }
-        arrays = {}
+        arrays = {EVENT_LOG_KEY: loop.log.to_array()}
         for j, block in enumerate(self.blocks):
             arrays.update(self._block_arrays(j, block))
         store.save(header, arrays, tag=f"block{block_index}-epoch{epochs_done}")
 
-    def _restore_pretrain(self, resume_from, rngs, engine) -> Tuple[int, int, List[float]]:
+    def _restore_pretrain(
+        self, resume_from, rngs, engine
+    ) -> Tuple[int, int, List[float], EventLog]:
         """Rebuild state from a snapshot; returns (block, epoch, current errors)."""
         path = resolve_resume_path(resume_from)
         header, arrays = load_npz(path)
@@ -206,7 +272,15 @@ class _GreedyStack:
             self.blocks.append(self._block_from_arrays(n_in, spec, arrays, j))
             n_in = spec.n_hidden
         self.layer_errors = [list(e) for e in header["layer_errors"]]
-        return block_index, epochs_done, [float(e) for e in header["current_errors"]]
+        # Legacy checkpoints (pre repro.train) carry no event log; resume
+        # still works, with an empty replayed history.
+        log = EventLog.from_array(arrays.get(EVENT_LOG_KEY))
+        return (
+            block_index,
+            epochs_done,
+            [float(e) for e in header["current_errors"]],
+            log,
+        )
 
     # -- the greedy cascade ----------------------------------------------
     def pretrain(
@@ -216,11 +290,33 @@ class _GreedyStack:
         engine=None,
         checkpoint=None,
         resume_from=None,
+        callbacks=None,
+        chunks=None,
     ) -> "_GreedyStack":
         """Run the greedy layer-wise procedure of paper Fig. 1.
 
         ``callback(layer_index, block, per_epoch_errors)`` fires after each
         block finishes, letting callers monitor the cascade.
+
+        ``callbacks`` — ``None``, a single
+        :class:`~repro.train.callbacks.TrainingCallback`, or a sequence —
+        receives the unified loop's structured events
+        (:class:`~repro.train.events.UpdateEvent` per parameter update,
+        :class:`~repro.train.events.EpochEvent` per epoch,
+        :class:`~repro.train.events.LayerEvent` per completed block) on
+        the serial and parallel paths alike.  An
+        :class:`~repro.train.callbacks.EarlyStopping` stop request ends
+        the *current block's* remaining epochs; the cascade then moves on
+        to the next block.  Checkpointed runs persist the event log and
+        replay it on resume, so a resumed run's recorded
+        :class:`~repro.train.callbacks.History` equals an uninterrupted
+        run's.
+
+        ``chunks`` — a :class:`~repro.train.loop.ChunkSchedule` — stages
+        every epoch's shuffled data chunk-by-chunk through a background
+        :class:`~repro.runtime.executor.ChunkPrefetcher` (the paper's
+        Fig. 5 loading/training overlap), bit-identical to unchunked
+        iteration because chunk boundaries align with batch boundaries.
 
         ``engine`` — a :class:`repro.runtime.executor.ParallelGradientEngine`
         — runs every mini-batch update data-parallel across its workers
@@ -248,11 +344,13 @@ class _GreedyStack:
         rngs = spawn_generators(self._seed, 2 * n_layers)
         self.blocks = []
         self.layer_errors = []
+        loop = TrainLoop(engine=engine, callbacks=callbacks)
         start_block, start_epoch, current_errors = 0, 0, []
         if resume_from is not None:
-            start_block, start_epoch, current_errors = self._restore_pretrain(
+            start_block, start_epoch, current_errors, log = self._restore_pretrain(
                 resume_from, rngs, engine
             )
+            loop.resume_from_log(log)
         # The input of the resumed block is a pure function of the completed
         # blocks, so it is recomputed rather than checkpointed.
         current = x
@@ -271,16 +369,24 @@ class _GreedyStack:
             # One arena per block: after the first full batch and the first
             # ragged tail batch every serial step is allocation-free.
             ws = Workspace(name=f"{self._ckpt_kind}-block{i}")
-            first_epoch = start_epoch if i == start_block else 0
-            for epoch in range(first_epoch, spec.epochs):
-                errors.append(
-                    self._train_block_epoch(block, current, spec, rngs[2 * i + 1], engine, ws)
+            step = self._block_step(block, current, spec, rngs[2 * i + 1], ws)
+            epoch_end = None
+            if store is not None:
+                epoch_end = lambda done, metrics, _i=i: self._save_pretrain_checkpoint(
+                    store, _i, done, metrics, rngs, engine, loop
                 )
-                if store is not None:
-                    self._save_pretrain_checkpoint(
-                        store, i, epoch + 1, errors, rngs, engine
-                    )
+            loop.run_epochs(
+                step,
+                epochs=spec.epochs,
+                batch_size=spec.batch_size,
+                rng=rngs[2 * i + 1],
+                start_epoch=start_epoch if i == start_block else 0,
+                metrics=errors,
+                epoch_end=epoch_end,
+                chunks=chunks,
+            )
             self.layer_errors.append(errors)
+            loop.end_layer(i, errors[-1] if errors else float("nan"))
             if callback is not None:
                 callback(i, block, errors)
             # The output dataset of this block becomes the next training set
@@ -334,15 +440,8 @@ class StackedAutoencoder(_GreedyStack):
     def _make_block(self, n_in, spec, rng):
         return SparseAutoencoder(n_in, spec.n_hidden, cost=self.cost, seed=rng)
 
-    def _train_block_epoch(self, block: SparseAutoencoder, x, spec, rng, engine, ws):
-        if engine is not None:
-            for batch in _minibatches(x, spec.batch_size, rng):
-                engine.sae_step(block, batch, spec.learning_rate)
-            return block.reconstruction_error(x)
-        for batch in _minibatches(x, spec.batch_size, rng):
-            _, grads = block.gradients_into(batch, ws)
-            block.apply_update(grads, spec.learning_rate, workspace=ws)
-        return block.reconstruction_error(x)
+    def _block_step(self, block: SparseAutoencoder, x, spec, rng, ws):
+        return _SAEBlockStep(block, x, spec, ws)
 
     def _block_transform(self, block: SparseAutoencoder, x):
         return block.encode(x)
@@ -403,25 +502,8 @@ class DeepBeliefNetwork(_GreedyStack):
     def _make_block(self, n_in, spec, rng):
         return RBM(n_in, spec.n_hidden, seed=rng)
 
-    def _train_block_epoch(self, block: RBM, x, spec, rng, engine, ws):
-        epoch_err = 0.0
-        n_batches = 0
-        if engine is not None:
-            # Gibbs sampling draws from the engine's per-worker streams:
-            # reproducible at fixed worker count, ``rng`` only shuffles.
-            for batch in _minibatches(x, spec.batch_size, rng):
-                stats = engine.cd_step(block, batch, spec.learning_rate, k=self.cd_k)
-                epoch_err += stats.reconstruction_error
-                n_batches += 1
-            return epoch_err / max(n_batches, 1)
-        for batch in _minibatches(x, spec.batch_size, rng):
-            stats = block.contrastive_divergence(
-                batch, k=self.cd_k, rng=rng, workspace=ws
-            )
-            block.apply_update(stats, spec.learning_rate, workspace=ws)
-            epoch_err += stats.reconstruction_error
-            n_batches += 1
-        return epoch_err / max(n_batches, 1)
+    def _block_step(self, block: RBM, x, spec, rng, ws):
+        return _RBMBlockStep(block, x, spec, ws, cd_k=self.cd_k, rng=rng)
 
     def _block_transform(self, block: RBM, x):
         return block.transform(x)

@@ -212,6 +212,18 @@ class ParallelGradientEngine:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def coordinator_workspace(self) -> Workspace:
+        """The coordinator-thread arena used for synchronized updates.
+
+        ``*_step`` apply through this workspace; callers that split a
+        step into ``*_gradients`` + ``apply_update`` (the unified
+        :class:`repro.train.loop.TrainLoop` does, to time the apply
+        phase separately) must use the same arena to stay allocation-free
+        and bit-identical to the fused ``*_step`` calls.
+        """
+        return self._coord_ws
+
     def _check_open(self) -> None:
         if self._closed:
             raise ExecutorClosedError(f"{self.name} has been closed")

@@ -1,0 +1,185 @@
+"""Training callbacks: monitoring, early stopping, progress.
+
+The unified :class:`repro.train.loop.TrainLoop` accepts a list of
+callbacks; each receives per-update, per-epoch, and per-layer events and
+may request a stop (early stopping on a plateau — the practical answer
+to "how many of the paper's 200 iterations per layer were needed?").
+
+Every training entry point in the repository shares this surface: the
+simulated+functional trainers of :mod:`repro.core`, the functional
+stacks (:meth:`repro.nn.stacked._GreedyStack.pretrain`), supervised
+:func:`repro.nn.finetune.finetune`, serial or parallel-engine alike.
+Checkpointed runs persist the emitted event log and replay it through
+the callbacks on resume, so a resumed run's :class:`History` (and an
+:class:`EarlyStopping`'s internal state) equals an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.train.events import EpochEvent, LayerEvent, UpdateEvent
+from repro.utils.logging import get_logger
+
+
+class TrainingCallback:
+    """Base class; override what you need.  ``stop_requested`` is polled
+    after every update and epoch and halts the current run (for greedy
+    stacks: the current layer — see :meth:`on_layer`)."""
+
+    stop_requested: bool = False
+
+    def on_update(self, event: UpdateEvent) -> None:  # pragma: no cover - default
+        pass
+
+    def on_epoch(self, event: EpochEvent) -> None:  # pragma: no cover - default
+        pass
+
+    def on_layer(self, event: LayerEvent) -> None:  # pragma: no cover - default
+        pass
+
+
+class CallbackList(TrainingCallback):
+    """Composite: fans events out, stops when any member asks to."""
+
+    def __init__(self, callbacks: Optional[Sequence[TrainingCallback]] = None):
+        self.callbacks: List[TrainingCallback] = list(callbacks or [])
+
+    @property
+    def stop_requested(self) -> bool:  # type: ignore[override]
+        return any(cb.stop_requested for cb in self.callbacks)
+
+    def on_update(self, event: UpdateEvent) -> None:
+        for cb in self.callbacks:
+            cb.on_update(event)
+
+    def on_epoch(self, event: EpochEvent) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch(event)
+
+    def on_layer(self, event: LayerEvent) -> None:
+        for cb in self.callbacks:
+            cb.on_layer(event)
+
+
+class History(TrainingCallback):
+    """Records every event (the default notebook-style monitor)."""
+
+    def __init__(self):
+        self.updates: List[UpdateEvent] = []
+        self.epochs: List[EpochEvent] = []
+        self.layers: List[LayerEvent] = []
+
+    def on_update(self, event: UpdateEvent) -> None:
+        self.updates.append(event)
+
+    def on_epoch(self, event: EpochEvent) -> None:
+        self.epochs.append(event)
+
+    def on_layer(self, event: LayerEvent) -> None:
+        self.layers.append(event)
+
+    @property
+    def losses(self) -> List[float]:
+        return [e.loss for e in self.updates]
+
+    @property
+    def epoch_metrics(self) -> List[float]:
+        return [e.metric for e in self.epochs]
+
+
+class EarlyStopping(TrainingCallback):
+    """Stop when the epoch metric fails to improve for ``patience`` epochs.
+
+    In a greedy layer-wise stack the stopper is **per layer**: a
+    :class:`~repro.train.events.LayerEvent` resets its state, so each
+    building block gets its own plateau budget and a block that stops
+    early does not silence the blocks after it.
+
+    Parameters
+    ----------
+    patience:
+        Epochs without improvement tolerated before stopping.
+    min_delta:
+        Required improvement (in the minimised metric) to reset patience.
+    mode:
+        ``"min"`` for losses/errors, ``"max"`` for accuracies.
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0, mode: str = "min"):
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        if min_delta < 0:
+            raise ConfigurationError(f"min_delta must be >= 0, got {min_delta}")
+        if mode not in ("min", "max"):
+            raise ConfigurationError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.stale_epochs = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def _improved(self, metric: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "min":
+            return metric < self.best - self.min_delta
+        return metric > self.best + self.min_delta
+
+    def on_epoch(self, event: EpochEvent) -> None:
+        if self._improved(event.metric):
+            self.best = event.metric
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+            if self.stale_epochs >= self.patience:
+                self.stop_requested = True
+                self.stopped_epoch = event.epoch
+
+    def on_layer(self, event: LayerEvent) -> None:
+        # Fresh plateau budget for the next building block.
+        self.best = None
+        self.stale_epochs = 0
+        self.stop_requested = False
+
+
+class ProgressLogger(TrainingCallback):
+    """Logs every Nth update through the package logger."""
+
+    def __init__(self, every: int = 100):
+        if every < 1:
+            raise ConfigurationError(f"every must be >= 1, got {every}")
+        self.every = int(every)
+        self._log = get_logger("train")
+
+    def on_update(self, event: UpdateEvent) -> None:
+        if event.step % self.every == 0:
+            self._log.info(
+                "update %d (epoch %d): loss=%.6f sim=%.3fs",
+                event.step, event.epoch, event.loss, event.simulated_seconds,
+            )
+
+    def on_epoch(self, event: EpochEvent) -> None:
+        self._log.info(
+            "epoch %d: metric=%.6f sim=%.3fs",
+            event.epoch, event.metric, event.simulated_seconds,
+        )
+
+    def on_layer(self, event: LayerEvent) -> None:
+        self._log.info(
+            "layer %d done: metric=%.6f sim=%.3fs",
+            event.layer, event.metric, event.simulated_seconds,
+        )
+
+
+def as_callback_list(callbacks) -> CallbackList:
+    """Coerce None / a single callback / a sequence into a CallbackList."""
+    if callbacks is None:
+        return CallbackList()
+    if isinstance(callbacks, CallbackList):
+        return callbacks
+    if isinstance(callbacks, TrainingCallback):
+        return CallbackList([callbacks])
+    return CallbackList(list(callbacks))

@@ -1,0 +1,66 @@
+"""The import-layering lint passes on the real tree and catches violations."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_layering  # noqa: E402
+
+
+class TestRealTree:
+    def test_src_tree_is_clean(self):
+        assert check_layering.check(REPO / "src") == []
+
+    def test_cli_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_layering.py"), "src"],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "import layering OK" in proc.stdout
+
+
+class TestDetection:
+    def _tree(self, tmp_path, body):
+        pkg = tmp_path / "repro" / "train"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "loop.py").write_text(body)
+        return tmp_path
+
+    def test_flags_module_level_violation(self, tmp_path):
+        root = self._tree(tmp_path, "from repro.phi.spec import XEON_PHI_5110P\n")
+        violations = check_layering.check(root)
+        assert len(violations) == 1
+        _, lineno, mod, imported, banned = violations[0]
+        assert (lineno, mod, imported, banned) == (
+            1, "repro.train.loop", "repro.phi.spec", "repro.phi"
+        )
+
+    def test_flags_function_level_violation(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "def f():\n    import repro.nn.mlp\n",
+        )
+        violations = check_layering.check(root)
+        assert [v[3] for v in violations] == ["repro.nn.mlp"]
+
+    def test_allows_permitted_imports(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "import numpy\nfrom repro.runtime.executor import ChunkPrefetcher\n",
+        )
+        assert check_layering.check(root) == []
+
+    def test_nn_must_not_import_core(self, tmp_path):
+        pkg = tmp_path / "repro" / "nn"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "bad.py").write_text("from repro.core import TrainingConfig\n")
+        violations = check_layering.check(tmp_path)
+        assert [v[4] for v in violations] == ["repro.core"]

@@ -1,0 +1,164 @@
+"""Checkpoint + callback interaction: resume restores the event history.
+
+A checkpointed run persists its event log; resuming replays it through
+the registered callbacks before training continues.  The recorded curve
+of (interrupt → resume → finish) must therefore equal an uninterrupted
+run's, event for event.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synth_digits import digit_dataset
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.finetune import finetune
+from repro.nn.mlp import DeepNetwork
+from repro.nn.stacked import LayerSpec, StackedAutoencoder
+from repro.runtime.checkpoint import CheckpointStore
+from repro.train import History, TrainingCallback
+
+
+class _Kill(RuntimeError):
+    pass
+
+
+class _Killer(TrainingCallback):
+    """Raise (simulating a crash) on the Nth update event."""
+
+    def __init__(self, after_updates: int):
+        self.after_updates = after_updates
+        self.seen = 0
+
+    def on_update(self, event) -> None:
+        self.seen += 1
+        if self.seen >= self.after_updates:
+            raise _Kill(f"crash at update {event.step}")
+
+
+@pytest.fixture()
+def data():
+    x, labels = digit_dataset(64, size=5, seed=21)
+    return np.asarray(x, dtype=np.float64), labels
+
+
+def _specs():
+    return [
+        LayerSpec(10, epochs=3, batch_size=16),
+        LayerSpec(6, epochs=3, batch_size=16),
+    ]
+
+
+def _stack():
+    return StackedAutoencoder(
+        25, _specs(), cost=SparseAutoencoderCost(weight_decay=1e-3), seed=31
+    )
+
+
+class TestStackedResumeHistory:
+    def test_resumed_curve_equals_uninterrupted(self, data, tmp_path):
+        x, _ = data
+
+        uninterrupted = History()
+        _stack().pretrain(x, callbacks=[uninterrupted])
+
+        # Crash mid-stack: block 0 (12 updates) completes, block 1 dies
+        # during its second epoch (update 18 of 24).
+        store = CheckpointStore(tmp_path / "sae", keep=3)
+        with pytest.raises(_Kill):
+            _stack().pretrain(x, checkpoint=store, callbacks=[_Killer(18)])
+
+        resumed = History()
+        final = _stack()
+        final.pretrain(
+            x, checkpoint=store, resume_from=store.directory,
+            callbacks=[resumed],
+        )
+        assert resumed.updates == uninterrupted.updates
+        assert resumed.epochs == uninterrupted.epochs
+        assert resumed.layers == uninterrupted.layers
+        # And the model itself matches an uninterrupted run bit-for-bit.
+        reference = _stack()
+        reference.pretrain(x)
+        for got, want in zip(final.blocks, reference.blocks):
+            np.testing.assert_array_equal(got.w1, want.w1)
+
+    def test_replayed_prefix_precedes_live_tail(self, data, tmp_path):
+        x, _ = data
+        store = CheckpointStore(tmp_path / "sae", keep=3)
+        with pytest.raises(_Kill):
+            _stack().pretrain(x, checkpoint=store, callbacks=[_Killer(18)])
+
+        resumed = History()
+        _stack().pretrain(
+            x, checkpoint=store, resume_from=store.directory,
+            callbacks=[resumed],
+        )
+        steps = [e.step for e in resumed.updates]
+        assert steps == sorted(steps)
+        assert steps == list(range(1, len(steps) + 1))
+
+
+class TestFinetuneResumeHistory:
+    def test_resumed_curve_equals_uninterrupted(self, data, tmp_path):
+        x, labels = data
+
+        def net():
+            return DeepNetwork([25, 10, 10], head="softmax", seed=17)
+
+        uninterrupted = History()
+        ref = net()
+        full = finetune(ref, x, labels, epochs=4, batch_size=16, seed=17,
+                        callbacks=[uninterrupted])
+
+        store = CheckpointStore(tmp_path / "ft", keep=3)
+        with pytest.raises(_Kill):
+            finetune(net(), x, labels, epochs=4, batch_size=16, seed=17,
+                     checkpoint=store, callbacks=[_Killer(10)])
+
+        resumed = History()
+        resumed_net = net()
+        result = finetune(
+            resumed_net, x, labels, epochs=4, batch_size=16, seed=17,
+            checkpoint=store, resume_from=store.directory,
+            callbacks=[resumed],
+        )
+        assert resumed.updates == uninterrupted.updates
+        assert resumed.epochs == uninterrupted.epochs
+        # Legacy result fields are restored too, without double counting.
+        assert result.losses == full.losses
+        assert result.train_accuracy == full.train_accuracy
+        assert result.n_updates == full.n_updates
+        for got, want in zip(resumed_net.layers, ref.layers):
+            np.testing.assert_array_equal(got.w, want.w)
+
+    def test_legacy_checkpoint_without_event_log_still_resumes(
+        self, data, tmp_path
+    ):
+        """Checkpoints written before event logging (no ``evlog`` array)
+        load fine — the replayed history is just empty."""
+        from repro.train.loop import EVENT_LOG_KEY
+
+        x, labels = data
+        store = CheckpointStore(tmp_path / "legacy", keep=3)
+        net = DeepNetwork([25, 10, 10], head="softmax", seed=17)
+        finetune(net, x, labels, epochs=2, batch_size=16, seed=17,
+                 checkpoint=store)
+
+        # Strip the event log from the newest snapshot to fake a legacy file.
+        from repro.runtime.checkpoint import load_npz, resolve_resume_path
+
+        path = resolve_resume_path(store.directory)
+        header, arrays = load_npz(path)
+        arrays.pop(EVENT_LOG_KEY, None)
+        legacy = CheckpointStore(tmp_path / "stripped", keep=3)
+        legacy.save(header, arrays, tag="legacy")
+
+        resumed = History()
+        result = finetune(
+            DeepNetwork([25, 10, 10], head="softmax", seed=17),
+            x, labels, epochs=3, batch_size=16, seed=17,
+            resume_from=legacy.directory, callbacks=[resumed],
+        )
+        # No replayed prefix, but training continues and records epoch 3.
+        assert [e.epoch for e in resumed.epochs] == [2]
+        assert result.n_updates == 3 * (64 // 16)
