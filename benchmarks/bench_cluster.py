@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Cluster drills: saturation scaling, hedging, swap, kill, autoscale.
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py                 # full drills
+    PYTHONPATH=src python benchmarks/bench_cluster.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/bench_cluster.py --out BENCH_cluster.json
+    PYTHONPATH=src python benchmarks/bench_cluster.py --validate BENCH_cluster.json
+    PYTHONPATH=src python benchmarks/bench_cluster.py --quick --gates \
+        --baseline BENCH_cluster.json --max-regression 0.25
+
+Exit status: 0 on success, 1 on schema violation, failed acceptance gate,
+or baseline regression.  The clock is simulated, so every number is
+machine-independent and the regression gate is tight, not advisory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short drill windows (CI smoke run; same gates)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="fleet sizes for the saturation sweep (default: 1 2 4)",
+    )
+    parser.add_argument("--out", metavar="PATH", help="write the JSON report")
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing report against the schema and exit",
+    )
+    parser.add_argument(
+        "--gates",
+        action="store_true",
+        help="enforce the acceptance gates (scaling, hedge, swap, kill)",
+    )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=3.0,
+        help="saturation-throughput floor for the largest fleet (default 3.0x)",
+    )
+    parser.add_argument(
+        "--min-hedge-gain",
+        type=float,
+        default=1.5,
+        help="p99 improvement floor for the hedging drill (default 1.5x)",
+    )
+    parser.add_argument(
+        "--max-p99-ratio",
+        type=float,
+        default=1.25,
+        help="allowed p99 inflation at the largest fleet (default 1.25)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed baseline report to compare headline ratios against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression vs baseline (default 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.cluster.benchrun import (
+        compare_to_baseline,
+        enforce_gates,
+        load_report,
+        run_cluster_bench,
+        validate_report,
+        write_report,
+    )
+    from repro.errors import ConfigurationError
+
+    if args.validate:
+        try:
+            validate_report(load_report(args.validate))
+        except (ConfigurationError, ValueError) as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema OK")
+        return 0
+
+    report = run_cluster_bench(
+        replica_counts=tuple(args.replicas), quick=args.quick, seed=args.seed
+    )
+    for row in report["rows"]:
+        kind = row["kind"]
+        if kind == "saturation":
+            print(
+                f"saturation N={row['n_replicas']}: "
+                f"{row['throughput_rps']:,.0f} rps "
+                f"({row['speedup_vs_1']:.2f}x, p99 {row['p99_ms']:.2f} ms)"
+            )
+        elif kind == "hedge":
+            print(
+                f"hedge: p99 {row['p99_off_ms']:.1f} -> {row['p99_on_ms']:.1f} ms "
+                f"({row['p99_gain']:.2f}x gain, "
+                f"{row['hedges_launched']} launched / {row['hedges_won']} won)"
+            )
+        elif kind == "swap":
+            print(
+                f"swap: {row['completed']}/{row['offered']} served, "
+                f"failed={row['failed']} shed={row['shed']} "
+                f"drained={row['drained']} -> {row['post_swap_model']}"
+            )
+        elif kind == "kill":
+            print(
+                f"kill: {row['completed']}/{row['offered']} served, "
+                f"deaths={row['deaths']} rerouted={row['rerouted']} "
+                f"failed={row['failed']}"
+            )
+        elif kind == "autoscale":
+            print(
+                f"autoscale: peak {row['peak_replicas']} replicas "
+                f"({row['scale_ups']} up / {row['scale_downs']} down), "
+                f"final {row['replicas_final']}"
+            )
+
+    if args.out:
+        print(f"wrote {write_report(report, args.out)}")
+
+    status = 0
+    if args.gates:
+        failures = enforce_gates(
+            report,
+            min_scaling=args.min_scaling,
+            min_hedge_gain=args.min_hedge_gain,
+            max_p99_ratio=args.max_p99_ratio,
+        )
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(
+                f"gates passed (scaling >= {args.min_scaling:.2f}x, "
+                f"hedge >= {args.min_hedge_gain:.2f}x, swap/kill clean)"
+            )
+
+    if args.baseline:
+        failures = compare_to_baseline(
+            report, load_report(args.baseline), max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"no regression vs {args.baseline}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,3 +46,47 @@ def test_serve_throughput_sweep(benchmark, show, servable):
     assert light_32["throughput_rps"] == pytest.approx(
         light_1["throughput_rps"], rel=0.05
     )
+
+
+def test_cluster_saturation_curve(benchmark, show, servable):
+    """Multi-replica extension: fleet scaling at saturating load.
+
+    The cluster analogue of the batch-size study one level up — the same
+    saturating arrival process against N ∈ {1, 2, 4} replica fleets.
+    The gate is the tentpole acceptance criterion: N=4 reaches >= 3x the
+    single-replica saturation throughput at (approximately) equal p99.
+    """
+    from repro.cluster.benchrun import run_saturation_sweep
+
+    rows = benchmark(
+        run_saturation_sweep,
+        servable=servable,
+        replica_counts=(1, 2, 4),
+        duration_s=0.05,
+        seed=0,
+    )
+    show(format_table(rows, title="Cluster saturation: throughput vs fleet size"))
+
+    by_n = {r["n_replicas"]: r for r in rows}
+    assert by_n[4]["speedup_vs_1"] >= 3.0
+    assert by_n[4]["p99_ratio_vs_1"] <= 1.25
+    # Saturation means the bounded queues shed the excess, not fail it.
+    assert all(r["failed"] == 0 for r in rows)
+    assert by_n[1]["shed"] > by_n[4]["shed"] > 0
+
+
+def test_cluster_hedging_beats_straggler(benchmark, show, servable):
+    """Multi-replica extension: hedged p99 under an injected straggler.
+
+    One replica serves 20x slow via a ``replica.serve`` fault; hedging
+    must cut client p99 by >= 1.5x on the identical seeded workload.
+    """
+    from repro.cluster.benchrun import run_hedge_drill
+
+    row = benchmark(run_hedge_drill, servable=servable, duration_s=0.06, seed=0)
+    show(format_table([row], title="Cluster hedging vs straggler"))
+
+    assert row["p99_gain"] >= 1.5
+    assert row["hedges_launched"] > 0
+    assert row["completed"] == row["offered"]
+    assert row["failed"] == 0

@@ -28,7 +28,10 @@ Sub-packages:
 * :mod:`repro.runtime` — backends, parallel-for, task graphs, fusion,
   the offload pipeline;
 * :mod:`repro.core` — the paper's trainers and pre-training driver;
-* :mod:`repro.bench` — workloads + harness for every table and figure.
+* :mod:`repro.bench` — workloads + harness for every table and figure;
+* :mod:`repro.serve` — micro-batched inference serving (one engine);
+* :mod:`repro.cluster` — sharded multi-replica serving: router, hedging,
+  zero-downtime swap, autoscaler.
 """
 
 from repro.errors import (
@@ -133,8 +136,9 @@ from repro.bench import (
 
 __version__ = "1.0.0"
 
-# Serving layer (repro.serve) — resolved lazily via __getattr__ below so
-# training-only users pay no import cost for the serving subsystem.
+# Serving (repro.serve) and cluster (repro.cluster) layers — resolved
+# lazily via __getattr__ below so training-only users pay no import cost
+# for the deployment subsystems.
 _SERVE_EXPORTS = frozenset(
     {
         "BatchPolicy",
@@ -156,11 +160,36 @@ _SERVE_EXPORTS = frozenset(
 )
 
 
+_CLUSTER_EXPORTS = frozenset(
+    {
+        "Autoscaler",
+        "AutoscalerConfig",
+        "ClusterLoadHarness",
+        "ClusterLoadReport",
+        "ClusterMetrics",
+        "ConsistentHashPolicy",
+        "HedgePolicy",
+        "LeastLoadedPolicy",
+        "Replica",
+        "ReplicaConfig",
+        "ReplicatedRegistry",
+        "RoundRobinPolicy",
+        "Router",
+        "SwapTicket",
+        "run_cluster_bench",
+    }
+)
+
+
 def __getattr__(name: str):
     if name in _SERVE_EXPORTS:
         import repro.serve as _serve
 
         return getattr(_serve, name)
+    if name in _CLUSTER_EXPORTS:
+        import repro.cluster as _cluster
+
+        return getattr(_cluster, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
@@ -251,5 +280,13 @@ __all__ = [
     "PoissonArrivals",
     "BurstArrivals",
     "run_serve_bench",
+    # cluster (lazy — see __getattr__)
+    "Router",
+    "ReplicatedRegistry",
+    "Autoscaler",
+    "ClusterLoadHarness",
+    "HedgePolicy",
+    "ConsistentHashPolicy",
+    "run_cluster_bench",
     "__version__",
 ]

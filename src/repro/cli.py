@@ -8,6 +8,7 @@
     python -m repro cores                  # core-count scaling extension
     python -m repro roofline               # roofline of one SAE step
     python -m repro serve-bench            # inference serving sweep
+    python -m repro cluster-bench [--quick]  # multi-replica cluster drills
     python -m repro hotpath [--quick]      # fused-kernel wall-clock bench
     python -m repro parallel-bench [--quick]  # thread-parallel executor bench
     python -m repro chaos [--quick]        # fault-injection + resume drill
@@ -79,6 +80,18 @@ def _rows_for(command: str, model: str, args=None):
             duration_s=duration, seed=0 if seed is None else seed
         )
         return rows, "Serving sweep: batch policy x arrival rate (simulated Phi)"
+    if command == "cluster-bench":
+        from repro.cluster import run_cluster_bench
+
+        report = run_cluster_bench(
+            quick=bool(getattr(args, "quick", False)),
+            seed=getattr(args, "seed", None) or 0,
+        )
+        return (
+            report["rows"],
+            "Cluster drills: saturation, hedging, swap, kill, autoscale "
+            "(simulated clock)",
+        )
     if command == "hotpath":
         from repro.bench.hotpath import QUICK_SHAPES, run_hotpath_bench
 
@@ -121,12 +134,12 @@ def _rows_for(command: str, model: str, args=None):
 
 _COMMANDS = [
     "table1", "fig7", "fig8", "fig9", "fig10", "overlap", "headline",
-    "cores", "roofline", "serve-bench", "hotpath", "parallel-bench",
-    "verify", "chaos", "all",
+    "cores", "roofline", "serve-bench", "cluster-bench", "hotpath",
+    "parallel-bench", "verify", "chaos", "all",
 ]
 
 #: commands too slow / machine-dependent to fold into ``all``
-_EXCLUDED_FROM_ALL = {"hotpath", "parallel-bench", "chaos"}
+_EXCLUDED_FROM_ALL = {"hotpath", "parallel-bench", "chaos", "cluster-bench"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,8 +176,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help=(
-            "hotpath / parallel-bench / chaos: small shapes + fewer trials "
-            "(CI smoke run)"
+            "hotpath / parallel-bench / chaos / cluster-bench: small shapes "
+            "+ fewer trials (CI smoke run)"
         ),
     )
     parser.add_argument(

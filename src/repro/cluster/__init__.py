@@ -1,0 +1,64 @@
+"""repro.cluster — sharded, multi-replica serving on top of repro.serve.
+
+The production tier the ROADMAP's "millions of users" north star asks
+for, built the way the paper builds training throughput: many modest
+engines behind a careful coordination layer.  A front-door
+:class:`Router` spreads requests over N independent
+:class:`~repro.serve.engine.ServingEngine` replicas (round-robin,
+least-loaded, or consistent-hash routing), sheds load only when every
+replica's admission control refuses, hedges tail-latency stragglers,
+fails over dead replicas, rolls new model versions with zero downtime
+(:class:`ReplicatedRegistry`), and grows/shrinks the fleet from the
+serving metrics it already emits (:class:`Autoscaler`).
+
+Everything composes with the discrete-event simulation the serving
+layer already uses — ``submit(payload, now)`` / ``poll(now)`` /
+``next_event_time()`` — so cluster-scale behaviour (saturation curves,
+chaos drills, swap drills) is deterministic and seedable.
+
+Quick tour::
+
+    from repro.cluster import ClusterLoadHarness, ConsistentHashPolicy, Router
+    from repro.serve import ModelRegistry, PoissonArrivals
+
+    servable = ModelRegistry().load("encoder", "encoder.npz")
+    router = Router(servable, n_replicas=4, policy=ConsistentHashPolicy())
+    report = ClusterLoadHarness(router, PoissonArrivals(20_000.0), seed=0).run()
+    print(report.throughput_rps, report.latency_p99_s)
+"""
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.benchrun import run_cluster_bench
+from repro.cluster.loadtest import ClusterLoadHarness, ClusterLoadReport
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.registry import ReplicatedRegistry, SwapTicket
+from repro.cluster.replica import Replica, ReplicaConfig
+from repro.cluster.router import (
+    NO_HEDGING,
+    ClusterRequest,
+    ConsistentHashPolicy,
+    HedgePolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    Router,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ClusterLoadHarness",
+    "ClusterLoadReport",
+    "ClusterMetrics",
+    "ClusterRequest",
+    "ConsistentHashPolicy",
+    "HedgePolicy",
+    "LeastLoadedPolicy",
+    "NO_HEDGING",
+    "Replica",
+    "ReplicaConfig",
+    "ReplicatedRegistry",
+    "RoundRobinPolicy",
+    "Router",
+    "SwapTicket",
+    "run_cluster_bench",
+]

@@ -1,0 +1,218 @@
+"""Deterministic cluster load testing through the discrete-event simulator.
+
+The cluster analogue of :mod:`repro.serve.loadtest`: a seeded arrival
+process drives the :class:`~repro.cluster.router.Router` through
+:class:`~repro.phi.events.EventSimulator`, so every routing decision,
+hedge, swap, scaling action, and latency number is a pure function of
+the seed.  Forward passes still execute for real; only *time* is
+simulated.
+
+Two extensions over the single-engine harness:
+
+* **scheduled actions** — ``(at_s, callable)`` pairs fired mid-run (a
+  model promotion, a manual scale event), used by the zero-downtime
+  swap and chaos drills;
+* **autoscaler ticks** — when an :class:`~repro.cluster.autoscaler.Autoscaler`
+  is attached, it is evaluated on a fixed simulated cadence during the
+  arrival window and the drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.autoscaler import Autoscaler
+from repro.cluster.router import ClusterRequest, Router
+from repro.errors import ConfigurationError, ServingError
+from repro.phi.events import EventSimulator
+from repro.serve.loadtest import PoissonArrivals
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+@dataclass
+class ClusterLoadReport:
+    """Summary of one cluster load-test run (simulated seconds)."""
+
+    offered: int
+    completed: int
+    shed: int
+    failed: int
+    rerouted: int
+    cache_hits: int
+    hedges_launched: int
+    hedges_won: int
+    makespan_s: float
+    throughput_rps: float
+    goodput_fraction: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    replicas_final: int
+    replica_deaths: int
+    swaps: int
+    scale_ups: int
+    scale_downs: int
+    latency_buckets: tuple
+
+    def row(self) -> Dict[str, object]:
+        """One table row (the sweep benchmarks stack these)."""
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.latency_p50_s * 1e3,
+            "p99_ms": self.latency_p99_s * 1e3,
+            "replicas": self.replicas_final,
+        }
+
+
+class ClusterLoadHarness:
+    """Replays a seeded arrival process against a router.
+
+    Parameters
+    ----------
+    router:
+        A fresh :class:`Router` (one harness run per router — routers
+        carry metrics state).
+    arrivals:
+        The arrival process generating request instants.
+    duration_s:
+        Length of the arrival window; the run then drains.
+    seed:
+        Master seed; spawns independent streams for arrival times,
+        payload contents, and payload selection.
+    payload_pool:
+        Number of distinct payload vectors requests draw from (reuse is
+        what gives per-replica caches and consistent hashing their value).
+    autoscaler:
+        Optional autoscaler evaluated on ``autoscaler_tick_s`` cadence.
+    actions:
+        ``(at_s, callable)`` pairs fired at the given simulated times
+        (e.g. a registry promotion for the swap drill).
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        arrivals: PoissonArrivals,
+        duration_s: float = 1.0,
+        seed: SeedLike = 0,
+        payload_pool: int = 64,
+        payloads: Optional[np.ndarray] = None,
+        autoscaler: Optional[Autoscaler] = None,
+        autoscaler_tick_s: float = 0.02,
+        actions: Sequence[Tuple[float, Callable[[float], object]]] = (),
+    ):
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration_s must be > 0, got {duration_s}")
+        if payload_pool < 1:
+            raise ConfigurationError(f"payload_pool must be >= 1, got {payload_pool}")
+        if autoscaler_tick_s <= 0:
+            raise ConfigurationError(
+                f"autoscaler_tick_s must be > 0, got {autoscaler_tick_s}"
+            )
+        self.router = router
+        self.arrivals = arrivals
+        self.duration_s = float(duration_s)
+        self.seed = seed
+        self.payload_pool = int(payload_pool)
+        self.payloads = payloads
+        self.autoscaler = autoscaler
+        self.autoscaler_tick_s = float(autoscaler_tick_s)
+        self.actions = sorted(actions, key=lambda pair: pair[0])
+        self._ran = False
+
+    def run(self) -> ClusterLoadReport:
+        """Simulate the full workload; returns the summary report."""
+        if self._ran:
+            raise ServingError(
+                "a ClusterLoadHarness (and its router) is single-use; "
+                "build a fresh router+harness per run"
+            )
+        self._ran = True
+        arrival_rng, payload_rng, pick_rng = spawn_generators(self.seed, 3)
+        pool = self.payloads
+        n_inputs = self.router.servable.n_inputs
+        if pool is None:
+            pool = payload_rng.random((self.payload_pool, n_inputs))
+        else:
+            pool = np.asarray(pool, dtype=np.float64)
+            if pool.ndim != 2 or pool.shape[1] != n_inputs:
+                raise ConfigurationError(
+                    f"payloads must be (n, {n_inputs}), got {pool.shape}"
+                )
+        times = self.arrivals.arrival_times(self.duration_s, arrival_rng)
+        picks = pick_rng.integers(0, pool.shape[0], size=len(times))
+
+        sim = EventSimulator()
+        completed: List[ClusterRequest] = []
+        next_wake = [None]  # earliest pending wakeup time, or None
+
+        def drive():
+            completed.extend(self.router.poll(sim.now))
+            if next_wake[0] is not None and next_wake[0] <= sim.now + 1e-12:
+                next_wake[0] = None  # that wakeup just fired (or is stale)
+            upcoming = self.router.next_event_time()
+            if upcoming is None:
+                return
+            upcoming = max(upcoming, sim.now)
+            if next_wake[0] is None or upcoming < next_wake[0] - 1e-12:
+                next_wake[0] = upcoming
+                sim.schedule_at(upcoming, drive)
+
+        def arrive(index: int):
+            self.router.submit(pool[picks[index]], sim.now)
+            drive()
+
+        def act(index: int):
+            self.actions[index][1](sim.now)
+            drive()
+
+        def tick():
+            self.autoscaler.evaluate(sim.now)
+            drive()
+
+        for i, t in enumerate(times):
+            sim.schedule_at(t, arrive, i)
+        for i, (at_s, _) in enumerate(self.actions):
+            sim.schedule_at(at_s, act, i)
+        if self.autoscaler is not None:
+            # Tick through the arrival window and one drain's worth past it.
+            t = 0.0
+            while t < self.duration_s * 2.0:
+                sim.schedule_at(t, tick)
+                t += self.autoscaler_tick_s
+        makespan = sim.run()
+        return self._report(len(times), makespan)
+
+    # ------------------------------------------------------------------
+    def _report(self, offered: int, makespan: float) -> ClusterLoadReport:
+        metrics = self.router.metrics
+        makespan = max(makespan, self.duration_s)
+        return ClusterLoadReport(
+            offered=offered,
+            completed=metrics.completed,
+            shed=metrics.shed,
+            failed=metrics.failed,
+            rerouted=metrics.rerouted,
+            cache_hits=metrics.cache_hits,
+            hedges_launched=metrics.hedges_launched,
+            hedges_won=metrics.hedges_won,
+            makespan_s=makespan,
+            throughput_rps=metrics.completed / makespan if makespan > 0 else 0.0,
+            goodput_fraction=metrics.completed / offered if offered else 0.0,
+            latency_p50_s=metrics.latency.percentile(50),
+            latency_p95_s=metrics.latency.percentile(95),
+            latency_p99_s=metrics.latency.percentile(99),
+            replicas_final=self.router.n_live,
+            replica_deaths=metrics.replica_deaths,
+            swaps=metrics.swaps,
+            scale_ups=metrics.scale_ups,
+            scale_downs=metrics.scale_downs,
+            latency_buckets=metrics.latency.bucket_counts(),
+        )

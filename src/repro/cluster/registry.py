@@ -1,0 +1,170 @@
+"""Versioned model registry replicated across serving fleets.
+
+A production cluster never serves exactly one model build: the next
+version is always somewhere between "trained" and "everywhere".  The
+:class:`ReplicatedRegistry` makes that lifecycle explicit with the
+four-step zero-downtime protocol:
+
+1. **register** — :meth:`publish` files a new immutable version
+   (``name@v2``) next to the live one; nothing routes to it yet;
+2. **drain** — :meth:`promote` tells every attached
+   :class:`~repro.cluster.router.Router` to swap: new requests run on
+   the new version while each replica's old engine finishes its queued
+   and in-flight work;
+3. **atomically flip** — the registry's active pointer for ``name``
+   moves to the new version via :meth:`ModelRegistry.replace` (one
+   dictionary assignment, old or new, never half);
+4. **unregister** — once every fleet reports
+   :attr:`~repro.cluster.router.Router.swap_complete`, the
+   :class:`SwapTicket` retires the old version's archive entry.
+
+Zero failed requests is the contract: old engines drain rather than
+abort, and the drills in :mod:`repro.cluster.benchrun` assert it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, ServingError
+from repro.serve.registry import ModelRegistry, ServableModel
+
+
+def _version_name(name: str, version: int) -> str:
+    return f"{name}@v{version}"
+
+
+class SwapTicket:
+    """Tracks one promotion until every attached fleet has drained."""
+
+    def __init__(self, registry: "ReplicatedRegistry", name: str,
+                 old_version: Optional[int], new_version: int):
+        self.registry = registry
+        self.name = name
+        self.old_version = old_version
+        self.new_version = new_version
+        self._finalized = False
+
+    @property
+    def drained(self) -> bool:
+        """Has every attached router finished draining its old engines?"""
+        return all(r.swap_complete for r in self.registry.routers(self.name))
+
+    def finalize(self) -> bool:
+        """Unregister the old version once the drain is complete.
+
+        Returns True when the old version was (or already had been)
+        retired; False while some fleet is still draining.
+        """
+        if self._finalized:
+            return True
+        if not self.drained:
+            return False
+        if self.old_version is not None:
+            self.registry.retire(self.name, self.old_version)
+        self._finalized = True
+        return True
+
+
+class ReplicatedRegistry:
+    """Versioned registry + swap coordinator over attached routers."""
+
+    def __init__(self):
+        self._registry = ModelRegistry()
+        self._versions: Dict[str, List[int]] = {}
+        self._active: Dict[str, int] = {}
+        self._routers: Dict[str, List] = {}
+
+    # -- versioned publication ------------------------------------------
+    def publish(self, name: str, model) -> int:
+        """File a new version of ``name``; returns its version number.
+
+        The first publication also sets the active pointer (there is
+        nothing to drain); later ones only register — traffic moves when
+        :meth:`promote` is called.
+        """
+        if not name:
+            raise ServingError("a replicated model needs a non-empty name")
+        versions = self._versions.setdefault(name, [])
+        version = (versions[-1] + 1) if versions else 1
+        # Always (re)wrap the raw model so the servable carries the
+        # versioned name — replicas report which build they serve.
+        raw = model.model if isinstance(model, ServableModel) else model
+        servable = self._registry.register(_version_name(name, version), raw)
+        versions.append(version)
+        if name not in self._active:
+            self._registry.register(name, servable)
+            self._active[name] = version
+        return version
+
+    def active(self, name: str) -> ServableModel:
+        """The servable currently receiving traffic for ``name``."""
+        return self._registry.get(name)
+
+    def active_version(self, name: str) -> int:
+        if name not in self._active:
+            self._registry.get(name)  # raises ModelNotFoundError with names
+        return self._active[name]
+
+    def versions(self, name: str) -> List[int]:
+        """Registered (not yet retired) version numbers of ``name``."""
+        return list(self._versions.get(name, []))
+
+    def get_version(self, name: str, version: int) -> ServableModel:
+        return self._registry.get(_version_name(name, version))
+
+    # -- fleet attachment ------------------------------------------------
+    def attach(self, name: str, router) -> None:
+        """Subscribe a router: future :meth:`promote` calls swap it."""
+        self.active(name)  # validates the name
+        fleet = self._routers.setdefault(name, [])
+        if router not in fleet:
+            fleet.append(router)
+
+    def routers(self, name: str) -> List:
+        return list(self._routers.get(name, []))
+
+    # -- the swap protocol ----------------------------------------------
+    def promote(self, name: str, version: int, now: float = 0.0) -> SwapTicket:
+        """Move ``name``'s traffic to ``version`` with zero downtime.
+
+        New requests route to the new version immediately; every
+        attached router's replicas drain their old engines in place.
+        Returns a :class:`SwapTicket` — call :meth:`SwapTicket.finalize`
+        after polling the fleets to retire the old version's entry.
+        """
+        if version not in self._versions.get(name, []):
+            known = ", ".join(str(v) for v in self._versions.get(name, [])) or "(none)"
+            raise ConfigurationError(
+                f"cannot promote {name!r} to unknown version {version} "
+                f"(registered: {known})"
+            )
+        old_version: Optional[int] = self._active.get(name)
+        if version == old_version:
+            raise ConfigurationError(
+                f"{name!r} is already serving version {version}"
+            )
+        servable = self.get_version(name, version)
+        # Atomic flip of the active pointer (ModelRegistry.replace is the
+        # single-assignment primitive), then the fleets start draining.
+        self._registry.replace(name, servable)
+        self._active[name] = version
+        for router in self._routers.get(name, []):
+            router.swap(servable, now)
+        return SwapTicket(self, name, old_version, version)
+
+    def retire(self, name: str, version: int) -> None:
+        """Unregister an old version's archive entry (protocol step 4)."""
+        if version == self._active.get(name):
+            raise ConfigurationError(
+                f"cannot retire the active version {version} of {name!r}"
+            )
+        self._registry.unregister(_version_name(name, version))
+        self._versions[name].remove(version)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{name}@v{self._active[name]} ({len(versions)} version(s))"
+            for name, versions in sorted(self._versions.items())
+        )
+        return f"ReplicatedRegistry({parts or 'empty'})"

@@ -38,3 +38,22 @@ class SchedulingError(ReproError):
 
 class ServingError(ReproError):
     """The inference serving engine was misused or driven into an invalid state."""
+
+
+class ModelNotFoundError(ServingError, KeyError):
+    """A registry lookup named a model that is not registered.
+
+    Subclasses :class:`KeyError` so callers doing dictionary-style
+    handling keep working, while the message lists every registered name
+    (a bare ``KeyError`` repr-quotes its argument and hides them).
+    """
+
+    def __init__(self, name: str, registered):
+        self.name = name
+        self.registered = sorted(registered)
+        known = ", ".join(self.registered) or "(none)"
+        # Bypass KeyError.__str__'s repr() of the first argument.
+        ServingError.__init__(self, f"unknown model {name!r}; registered: {known}")
+
+    def __str__(self) -> str:
+        return self.args[0]

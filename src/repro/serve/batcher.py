@@ -102,6 +102,19 @@ class MicroBatcher:
         self._queue.append(request)
         return True
 
+    def remove(self, request: Request) -> bool:
+        """Withdraw a queued request; False when it is no longer queued.
+
+        Matches by identity (requests hold ndarray payloads, so ``==``
+        would broadcast); O(queue) but only hedging's loser-cancel path
+        calls it.
+        """
+        for i, queued in enumerate(self._queue):
+            if queued is request:
+                del self._queue[i]
+                return True
+        return False
+
     def oldest_deadline(self) -> Optional[float]:
         """Absolute time the oldest queued request's wait budget expires."""
         if not self._queue:

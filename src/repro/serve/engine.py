@@ -198,11 +198,24 @@ class ServingEngine:
                 self.metrics.on_cache_hit()
                 self.metrics.on_served(0.0, 0.0, 0.0)
                 return request
+            self.metrics.on_cache_miss()
         if not self.batcher.offer(request):
             self.metrics.on_rejected()
             return None
         self.metrics.on_queue_depth(self.batcher.queue_depth)
         return request
+
+    def cancel(self, request: Request, now: float) -> bool:
+        """Withdraw a still-queued request (hedging's loser-cancel path).
+
+        True when the request was removed before dispatch; False when it
+        already rode a batch (in-flight work cannot be recalled from the
+        device) or already completed.
+        """
+        if not self.batcher.remove(request):
+            return False
+        self.metrics.on_cancelled()
+        return True
 
     def poll(self, now: float) -> List[Request]:
         """Advance the engine to ``now``: retire finished batches and
@@ -233,6 +246,22 @@ class ServingEngine:
         """Synchronous batch inference, bypassing the queue (admin path)."""
         return self.servable.predict(x)
 
+    # -- load surface (read by the cluster router / autoscaler) --------
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the micro-batcher queue."""
+        return self.batcher.queue_depth
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently riding dispatched (unretired) batches."""
+        return sum(len(b.requests) for b in self._inflight)
+
+    @property
+    def outstanding(self) -> int:
+        """Queued + in-flight requests: the engine's backpressure signal."""
+        return self.queue_depth + self.in_flight
+
     # ------------------------------------------------------------------
     def _dispatch(self, batch: Sequence[Request], worker: int, now: float) -> None:
         x = np.vstack([r.payload for r in batch])
@@ -261,4 +290,6 @@ class ServingEngine:
                 if self.cache is not None:
                     self.cache.put(request.payload, request.result)
                 completed.append(request)
+        if self.cache is not None:
+            self.metrics.on_evictions(self.cache.evictions)
         return completed

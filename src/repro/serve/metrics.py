@@ -93,7 +93,10 @@ class ServingMetrics:
         self.received = 0
         self.rejected = 0
         self.served = 0
+        self.cancelled = 0
         self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
         self.batches = 0
         self.batch_sizes: List[int] = []
         self.max_queue_depth = 0
@@ -108,8 +111,22 @@ class ServingMetrics:
     def on_rejected(self) -> None:
         self.rejected += 1
 
+    def on_cancelled(self) -> None:
+        self.cancelled += 1
+
     def on_cache_hit(self) -> None:
         self.cache_hits += 1
+
+    def on_cache_miss(self) -> None:
+        self.cache_misses += 1
+
+    def on_evictions(self, total: int) -> None:
+        """Record the cache's cumulative eviction count (a gauge)."""
+        if total < self.cache_evictions:
+            raise ConfigurationError(
+                f"eviction gauge cannot decrease ({self.cache_evictions} -> {total})"
+            )
+        self.cache_evictions = int(total)
 
     def on_queue_depth(self, depth: int) -> None:
         self.max_queue_depth = max(self.max_queue_depth, depth)
@@ -129,13 +146,23 @@ class ServingMetrics:
     def mean_batch_size(self) -> float:
         return sum(self.batch_sizes) / len(self.batch_sizes) if self.batch_sizes else 0.0
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hit fraction over all cache lookups (0.0 when the cache is cold)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
     def rows(self) -> List[Dict[str, object]]:
         """Counter + percentile rows for :func:`repro.bench.report.format_table`."""
         return [
             {"metric": "requests_received", "value": self.received},
             {"metric": "requests_served", "value": self.served},
             {"metric": "requests_rejected", "value": self.rejected},
+            {"metric": "requests_cancelled", "value": self.cancelled},
             {"metric": "cache_hits", "value": self.cache_hits},
+            {"metric": "cache_misses", "value": self.cache_misses},
+            {"metric": "cache_hit_rate", "value": self.cache_hit_rate},
+            {"metric": "cache_evictions", "value": self.cache_evictions},
             {"metric": "batches_dispatched", "value": self.batches},
             {"metric": "mean_batch_size", "value": self.mean_batch_size},
             {"metric": "max_queue_depth", "value": self.max_queue_depth},

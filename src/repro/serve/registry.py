@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ServingError
+from repro.errors import ModelNotFoundError, ServingError
 from repro.phi.kernels import Kernel, elementwise, gemm
 from repro.utils.validation import check_matrix_shapes
 
@@ -129,9 +129,23 @@ class ModelRegistry:
 
     def get(self, name: str) -> ServableModel:
         if name not in self._models:
-            known = ", ".join(sorted(self._models)) or "(none)"
-            raise ServingError(f"unknown model {name!r}; registered: {known}")
+            raise ModelNotFoundError(name, self._models)
         return self._models[name]
+
+    def replace(self, name: str, model) -> ServableModel:
+        """Atomically swap the servable filed under an *existing* name.
+
+        The replacement is fully constructed (and therefore validated)
+        before the single dictionary assignment that flips the name, so
+        concurrent readers see either the old or the new servable —
+        never a partially built one.  This is the primitive the
+        zero-downtime swap path in :mod:`repro.cluster` builds on.
+        """
+        if name not in self._models:
+            raise ModelNotFoundError(name, self._models)
+        servable = model if isinstance(model, ServableModel) else ServableModel(name, model)
+        self._models[name] = servable
+        return servable
 
     def unregister(self, name: str) -> None:
         self.get(name)

@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.testing.faults import FaultPlan, inject, registered_sites
 
-# The complete kill-anywhere surface as of the repro.train refactor.
+# The complete kill-anywhere surface as of the repro.cluster tier.
 EXPECTED_SITES = {
     "engine.worker",
     "engine.reduce",
@@ -18,6 +18,8 @@ EXPECTED_SITES = {
     "prefetch.chunk",
     "taskgraph.node",
     "offload.chunk",
+    "router.dispatch",
+    "replica.serve",
 }
 
 
@@ -26,6 +28,10 @@ def _import_instrumented_modules():
     import repro.runtime.executor  # noqa: F401
     import repro.runtime.offload  # noqa: F401
     import repro.runtime.taskgraph  # noqa: F401
+
+    # The cluster tier registers its own sites on import.
+    import repro.cluster.replica  # noqa: F401
+    import repro.cluster.router  # noqa: F401
 
 
 class TestRegisteredSites:

@@ -1,0 +1,52 @@
+"""Shared fixtures for the cluster suite: fast constant-time replicas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.engine import ConstantServiceModel
+from repro.serve.registry import ServableModel
+from repro.cluster.replica import ReplicaConfig
+
+#: Constant-time service model: dispatch 10 ms + 1 ms per example.
+BASE_S = 0.01
+PER_EXAMPLE_S = 0.001
+
+
+def fast_config(**kwargs) -> ReplicaConfig:
+    """Replica config with a cheap analytic service model (no roofline)."""
+    kwargs.setdefault(
+        "policy", BatchPolicy(max_batch_size=4, max_wait_s=0.01, max_queue_depth=8)
+    )
+    kwargs.setdefault("n_workers", 1)
+    kwargs.setdefault("cache_entries", 0)
+    kwargs.setdefault(
+        "service_model_factory",
+        lambda servable: ConstantServiceModel(
+            base_s=BASE_S, per_example_s=PER_EXAMPLE_S
+        ),
+    )
+    return ReplicaConfig(**kwargs)
+
+
+class PreferLowestId:
+    """Deterministic policy pinning traffic to the lowest-id candidate.
+
+    Used to force spillover/hedging/fail-over scenarios onto a known
+    replica (round-robin would spread the set-up traffic around).
+    """
+
+    def choose(self, request, candidates):
+        return min(candidates, key=lambda r: r.id)
+
+
+@pytest.fixture
+def servable(small_ae):
+    return ServableModel("ae", small_ae)
+
+
+@pytest.fixture
+def servable_b(small_ae):
+    """A second wrapper of the same weights — a distinct 'version'."""
+    return ServableModel("ae-v2", small_ae)

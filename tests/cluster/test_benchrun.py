@@ -1,0 +1,166 @@
+"""Tests for repro.cluster.benchrun — schema, gates, baseline compare."""
+
+import pytest
+
+from repro.cluster.benchrun import (
+    SCHEMA,
+    compare_to_baseline,
+    drill_replica_config,
+    enforce_gates,
+    load_report,
+    replica_capacity_rps,
+    run_saturation_sweep,
+    validate_report,
+    write_report,
+)
+from repro.errors import ConfigurationError
+
+
+def saturation_row(n, speedup, p99_ratio=1.0):
+    return {
+        "kind": "saturation", "n_replicas": n, "rate_rps": 1e5,
+        "offered": 1000, "completed": 900, "shed": 100, "failed": 0,
+        "throughput_rps": 1e5 * speedup, "p99_ms": 2.0,
+        "speedup_vs_1": speedup, "p99_ratio_vs_1": p99_ratio,
+    }
+
+
+def synthetic_report(
+    scaling=3.5, p99_ratio=1.0, hedge_gain=2.0,
+    swap_failed=0, kill_failed=0, deaths=1, scale_ups=2,
+):
+    return {
+        "schema": SCHEMA,
+        "seed": 0,
+        "quick": True,
+        "rows": [
+            saturation_row(1, 1.0),
+            saturation_row(4, scaling, p99_ratio),
+            {"kind": "hedge", "n_replicas": 4, "slow_factor": 20.0,
+             "offered": 500, "completed": 500, "failed": 0,
+             "p99_off_ms": 50.0, "p99_on_ms": 50.0 / hedge_gain,
+             "p99_gain": hedge_gain, "hedges_launched": 40, "hedges_won": 39},
+            {"kind": "swap", "n_replicas": 2, "offered": 500, "completed": 500,
+             "failed": swap_failed, "shed": 0, "swaps": 1, "drained": True,
+             "old_version_retired": True, "post_swap_model": "drill@v2",
+             "active_version": 2},
+            {"kind": "kill", "n_replicas": 3, "victim": 1, "offered": 500,
+             "completed": 500, "failed": kill_failed, "shed": 0,
+             "deaths": deaths, "rerouted": 10, "replicas_final": 2},
+            {"kind": "autoscale", "offered": 500, "completed": 480, "failed": 0,
+             "scale_ups": scale_ups, "scale_downs": 1, "replicas_final": 1,
+             "peak_replicas": 3},
+        ],
+    }
+
+
+class TestValidation:
+    def test_valid_report_passes(self):
+        validate_report(synthetic_report())
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            validate_report({"schema": "other/v9", "rows": [{}]})
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError, match="no rows"):
+            validate_report({"schema": SCHEMA, "rows": []})
+
+    def test_unknown_kind_rejected(self):
+        report = synthetic_report()
+        report["rows"][0]["kind"] = "mystery"
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            validate_report(report)
+
+    def test_missing_key_rejected(self):
+        report = synthetic_report()
+        del report["rows"][2]["p99_gain"]
+        with pytest.raises(ConfigurationError, match="p99_gain"):
+            validate_report(report)
+
+    def test_missing_drill_kind_rejected(self):
+        report = synthetic_report()
+        report["rows"] = [r for r in report["rows"] if r["kind"] != "autoscale"]
+        with pytest.raises(ConfigurationError, match="autoscale"):
+            validate_report(report)
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(synthetic_report(), path)
+        validate_report(load_report(path))
+
+
+class TestGates:
+    def test_clean_report_passes(self):
+        assert enforce_gates(synthetic_report()) == []
+
+    def test_scaling_floor(self):
+        failures = enforce_gates(synthetic_report(scaling=2.4))
+        assert any("speedup" in f for f in failures)
+
+    def test_p99_inflation(self):
+        failures = enforce_gates(synthetic_report(p99_ratio=1.5))
+        assert any("p99 ratio" in f for f in failures)
+
+    def test_hedge_floor(self):
+        failures = enforce_gates(synthetic_report(hedge_gain=1.2))
+        assert any("hedge" in f for f in failures)
+
+    def test_swap_contract(self):
+        failures = enforce_gates(synthetic_report(swap_failed=3))
+        assert any("zero-downtime" in f for f in failures)
+
+    def test_kill_contract(self):
+        failures = enforce_gates(synthetic_report(kill_failed=1))
+        assert any("fail-over" in f for f in failures)
+        failures = enforce_gates(synthetic_report(deaths=0))
+        assert any("deaths=0" in f for f in failures)
+
+    def test_autoscale_contract(self):
+        failures = enforce_gates(synthetic_report(scale_ups=0))
+        assert any("autoscale" in f for f in failures)
+
+
+class TestBaselineCompare:
+    def test_no_regression(self):
+        assert compare_to_baseline(synthetic_report(), synthetic_report()) == []
+
+    def test_scaling_regression_flagged(self):
+        current = synthetic_report(scaling=2.0)
+        failures = compare_to_baseline(current, synthetic_report(scaling=3.5))
+        assert any("saturation speedup [4]" in f for f in failures)
+
+    def test_hedge_regression_flagged(self):
+        current = synthetic_report(hedge_gain=1.0)
+        failures = compare_to_baseline(current, synthetic_report(hedge_gain=2.0))
+        assert any("hedge p99 gain" in f for f in failures)
+
+    def test_within_allowance_passes(self):
+        current = synthetic_report(scaling=3.0)
+        assert compare_to_baseline(
+            current, synthetic_report(scaling=3.5), max_regression=0.25
+        ) == []
+
+
+class TestRealDrillPlumbing:
+    def test_capacity_is_positive_and_batch_bound(self, servable):
+        capacity = replica_capacity_rps(servable)
+        assert capacity > 0
+        config = drill_replica_config(cache_entries=16)
+        assert config.cache_entries == 16
+        assert drill_replica_config().cache_entries == 0
+
+    def test_tiny_saturation_sweep_shape(self, servable):
+        rows = run_saturation_sweep(
+            servable, replica_counts=(1, 2), duration_s=0.002, seed=0
+        )
+        assert [r["n_replicas"] for r in rows] == [1, 2]
+        assert rows[0]["speedup_vs_1"] == 1.0
+        assert rows[1]["completed"] > rows[0]["completed"]
+        assert all(r["failed"] == 0 for r in rows)
+
+    def test_saturation_rejects_bad_counts(self, servable):
+        with pytest.raises(ConfigurationError):
+            run_saturation_sweep(servable, replica_counts=())
+        with pytest.raises(ConfigurationError):
+            run_saturation_sweep(servable, replica_counts=(0, 2))

@@ -1,0 +1,29 @@
+"""Smoke tests: repro.cluster is reachable from `repro` without import-time cost."""
+
+import subprocess
+import sys
+
+import repro
+
+
+class TestLazyClusterExports:
+    def test_import_repro_does_not_import_cluster(self):
+        """Training- and serve-only users must not pay for the cluster tier."""
+        code = (
+            "import sys; import repro; "
+            "sys.exit(1 if any(m.startswith('repro.cluster') for m in sys.modules) else 0)"
+        )
+        proc = subprocess.run([sys.executable, "-c", code])
+        assert proc.returncode == 0, "importing repro eagerly imported repro.cluster"
+
+    def test_cluster_names_resolve_lazily(self):
+        assert repro.Router is not None
+        assert repro.ReplicatedRegistry is not None
+        assert repro.HedgePolicy(multiplier=2.0, min_deadline_s=0.01).multiplier == 2.0
+        from repro.cluster import Router
+
+        assert repro.Router is Router
+
+    def test_lazy_names_in_all(self):
+        for name in ("Router", "ReplicatedRegistry", "Autoscaler", "run_cluster_bench"):
+            assert name in repro.__all__

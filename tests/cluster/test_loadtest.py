@@ -1,0 +1,78 @@
+"""Tests for repro.cluster.loadtest — determinism, actions, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.loadtest import ClusterLoadHarness
+from repro.cluster.router import NO_HEDGING, LeastLoadedPolicy, Router
+from repro.errors import ConfigurationError, ServingError
+from repro.serve.loadtest import PoissonArrivals
+
+from tests.cluster.conftest import fast_config
+
+
+def make_harness(servable, n=2, rate=800.0, duration=0.05, seed=0, **kwargs):
+    router = Router(
+        servable,
+        n_replicas=n,
+        replica_config=fast_config(),
+        policy=LeastLoadedPolicy(),
+        hedge=NO_HEDGING,
+    )
+    return ClusterLoadHarness(
+        router, PoissonArrivals(rate), duration_s=duration, seed=seed, **kwargs
+    )
+
+
+class TestHarness:
+    def test_accounting_consistent(self, servable):
+        report = make_harness(servable).run()
+        assert report.offered == report.completed + report.shed + report.failed
+        assert report.failed == 0
+        assert report.throughput_rps > 0
+        assert report.latency_p50_s <= report.latency_p99_s
+
+    def test_deterministic_across_runs(self, servable):
+        a = make_harness(servable, seed=42).run()
+        b = make_harness(servable, seed=42).run()
+        assert a.latency_buckets == b.latency_buckets
+        assert (a.offered, a.completed, a.shed) == (b.offered, b.completed, b.shed)
+        assert a.makespan_s == b.makespan_s
+
+    def test_different_seeds_differ(self, servable):
+        a = make_harness(servable, seed=1).run()
+        b = make_harness(servable, seed=2).run()
+        assert a.latency_buckets != b.latency_buckets
+
+    def test_single_use(self, servable):
+        harness = make_harness(servable)
+        harness.run()
+        with pytest.raises(ServingError, match="single-use"):
+            harness.run()
+
+    def test_actions_fire_at_scheduled_times(self, servable):
+        fired = []
+        harness = make_harness(
+            servable, actions=[(0.02, fired.append), (0.01, fired.append)]
+        )
+        harness.run()
+        assert fired == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_explicit_payloads_validated(self, servable):
+        with pytest.raises(ConfigurationError, match="payloads"):
+            make_harness(servable, payloads=np.zeros((4, 7))).run()
+
+    def test_bad_parameters(self, servable):
+        with pytest.raises(ConfigurationError):
+            make_harness(servable, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            make_harness(servable, payload_pool=0)
+        with pytest.raises(ConfigurationError):
+            make_harness(servable, autoscaler_tick_s=0.0)
+
+    def test_report_row_shape(self, servable):
+        row = make_harness(servable).run().row()
+        assert set(row) == {
+            "offered", "completed", "shed", "failed",
+            "throughput_rps", "p50_ms", "p99_ms", "replicas",
+        }

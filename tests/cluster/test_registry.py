@@ -1,0 +1,127 @@
+"""Tests for repro.cluster.registry — versions, promotion, swap tickets."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.registry import ReplicatedRegistry
+from repro.cluster.router import NO_HEDGING, Router
+from repro.errors import ConfigurationError, ModelNotFoundError, ServingError
+
+from tests.cluster.conftest import PreferLowestId, fast_config
+
+
+def make_router(servable, n=1):
+    return Router(
+        servable,
+        n_replicas=n,
+        replica_config=fast_config(),
+        policy=PreferLowestId(),
+        hedge=NO_HEDGING,
+    )
+
+
+@pytest.fixture
+def registry(small_ae):
+    reg = ReplicatedRegistry()
+    reg.publish("enc", small_ae)
+    return reg
+
+
+class TestVersioning:
+    def test_first_publish_becomes_active(self, registry):
+        assert registry.active_version("enc") == 1
+        assert registry.versions("enc") == [1]
+        assert registry.active("enc").name == "enc@v1"
+
+    def test_later_publishes_do_not_move_traffic(self, registry, small_ae):
+        v2 = registry.publish("enc", small_ae)
+        assert v2 == 2
+        assert registry.active_version("enc") == 1
+        assert registry.versions("enc") == [1, 2]
+        assert registry.get_version("enc", 2).name == "enc@v2"
+
+    def test_publish_rewraps_servables_under_versioned_name(self, registry, servable):
+        # Passing an already-wrapped ServableModel must not leak its old
+        # name into the version archive.
+        v = registry.publish("enc", servable)
+        assert registry.get_version("enc", v).name == f"enc@v{v}"
+
+    def test_empty_name_rejected(self, small_ae):
+        with pytest.raises(ServingError, match="non-empty"):
+            ReplicatedRegistry().publish("", small_ae)
+
+    def test_unknown_name_lists_registered(self, registry):
+        with pytest.raises(ModelNotFoundError, match="enc"):
+            registry.active("missing")
+        with pytest.raises(ModelNotFoundError):
+            registry.active_version("missing")
+
+    def test_retire_active_version_refused(self, registry):
+        with pytest.raises(ConfigurationError, match="active"):
+            registry.retire("enc", 1)
+
+
+class TestPromotion:
+    def test_promote_unknown_version_refused(self, registry):
+        with pytest.raises(ConfigurationError, match="unknown version"):
+            registry.promote("enc", 7)
+
+    def test_promote_current_version_refused(self, registry):
+        with pytest.raises(ConfigurationError, match="already serving"):
+            registry.promote("enc", 1)
+
+    def test_promote_flips_active_pointer_atomically(self, registry, small_ae):
+        v2 = registry.publish("enc", small_ae)
+        ticket = registry.promote("enc", v2)
+        assert registry.active_version("enc") == 2
+        assert registry.active("enc").name == "enc@v2"
+        assert (ticket.old_version, ticket.new_version) == (1, 2)
+
+    def test_attach_requires_known_name(self, registry, servable):
+        with pytest.raises(ModelNotFoundError):
+            registry.attach("missing", make_router(servable))
+
+    def test_promote_swaps_attached_routers(self, registry, small_ae):
+        router = make_router(registry.active("enc"))
+        registry.attach("enc", router)
+        v2 = registry.publish("enc", small_ae)
+        registry.promote("enc", v2, now=0.0)
+        assert all(r.servable.name == "enc@v2" for r in router.replicas)
+        assert router.metrics.swaps == 1
+
+    def test_ticket_waits_for_drain_then_retires_old(self, registry, small_ae, rng):
+        router = make_router(registry.active("enc"))
+        registry.attach("enc", router)
+        v2 = registry.publish("enc", small_ae)
+
+        router.submit(rng.random(25), 0.0)
+        router.poll(0.01)  # in flight on v1's engine
+        ticket = registry.promote("enc", v2, now=0.012)
+        assert ticket.drained is False
+        assert ticket.finalize() is False
+        assert registry.versions("enc") == [1, 2]
+
+        t = 0.02
+        while not router.swap_complete:
+            router.poll(t)
+            t += 0.005
+        assert ticket.finalize() is True
+        assert ticket.finalize() is True  # idempotent
+        assert registry.versions("enc") == [2]
+        with pytest.raises(ModelNotFoundError):
+            registry.get_version("enc", 1)
+
+    def test_idle_fleet_drains_immediately(self, registry, small_ae):
+        router = make_router(registry.active("enc"))
+        registry.attach("enc", router)
+        v2 = registry.publish("enc", small_ae)
+        ticket = registry.promote("enc", v2)
+        assert ticket.drained is True
+        assert ticket.finalize() is True
+        assert registry.versions("enc") == [2]
+
+    def test_attach_is_idempotent(self, registry, servable):
+        router = make_router(registry.active("enc"))
+        registry.attach("enc", router)
+        registry.attach("enc", router)
+        assert registry.routers("enc") == [router]

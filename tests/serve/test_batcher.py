@@ -68,6 +68,33 @@ class TestMicroBatcher:
         assert not batcher.offer(make_request(2, 0.0))
         assert batcher.queue_depth == 2
 
+    def test_remove_withdraws_exact_instance(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=10.0))
+        a, b = make_request(0, 0.0), make_request(1, 0.0)
+        batcher.offer(a)
+        batcher.offer(b)
+        assert batcher.remove(a)
+        assert batcher.queue_depth == 1
+        # Identity, not equality: a's twin payload (b) must stay queued.
+        assert not batcher.remove(a)
+        assert batcher.remove(b)
+        assert batcher.queue_depth == 0
+
+    def test_remove_matches_identity_not_payload_value(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=10.0))
+        twin_a, twin_b = make_request(0, 0.0), make_request(0, 0.0)
+        batcher.offer(twin_a)
+        assert not batcher.remove(twin_b)  # equal fields, different object
+        assert batcher.queue_depth == 1
+
+    def test_remove_frees_queue_capacity(self):
+        batcher = MicroBatcher(BatchPolicy(max_queue_depth=1))
+        first = make_request(0, 0.0)
+        batcher.offer(first)
+        assert not batcher.offer(make_request(1, 0.0))
+        batcher.remove(first)
+        assert batcher.offer(make_request(2, 0.0))
+
 
 class TestRequestTimings:
     def test_latency_properties(self):

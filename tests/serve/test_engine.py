@@ -58,6 +58,33 @@ class TestWorkerPool:
         with pytest.raises(ConfigurationError):
             WorkerPool(0)
 
+    def test_fresh_pool_is_immediately_free(self):
+        pool = WorkerPool(3)
+        assert pool.n_workers == 3
+        assert pool.next_free_time() == 0.0
+        assert pool.acquire(0.0) == 0  # lowest index wins
+
+    def test_acquire_at_exact_free_boundary(self):
+        pool = WorkerPool(1)
+        pool.busy_until(0, 2.0)
+        assert pool.acquire(1.999) is None
+        assert pool.acquire(2.0) == 0  # boundary counts as free
+
+    def test_simultaneous_frees_pick_lowest_index(self):
+        pool = WorkerPool(3)
+        for w in range(3):
+            pool.busy_until(w, 5.0)
+        assert pool.next_free_time() == 5.0
+        assert pool.acquire(5.0) == 0
+
+    def test_full_occupancy_reports_earliest_release(self):
+        pool = WorkerPool(2)
+        pool.busy_until(0, 9.0)
+        pool.busy_until(1, 4.0)
+        assert pool.acquire(3.0) is None
+        assert pool.next_free_time() == 4.0
+        assert pool.acquire(4.5) == 1
+
 
 class TestServingEngine:
     def test_requires_servable_wrapper(self, small_ae):
@@ -140,6 +167,63 @@ class TestServingEngine:
         assert second.complete_s == 2.0
         np.testing.assert_array_equal(second.result, first.result)
         assert engine.metrics.cache_hits == 1
+
+    def test_cache_miss_counted_and_hit_rate_tracks(self, servable, rng):
+        engine = make_engine(
+            servable, policy=BatchPolicy(max_batch_size=1, max_wait_s=0.0),
+            cache=FeatureCache(),
+        )
+        payload = rng.random(25)
+        engine.submit(payload, now=0.0)
+        engine.poll(0.0)
+        engine.poll(1.0)
+        assert engine.metrics.cache_misses == 1
+        assert engine.metrics.cache_hit_rate == 0.0
+        engine.submit(payload, now=2.0)
+        assert engine.metrics.cache_hit_rate == pytest.approx(0.5)
+
+    def test_cache_evictions_surface_in_metrics(self, servable, rng):
+        engine = make_engine(
+            servable, policy=BatchPolicy(max_batch_size=4, max_wait_s=0.0),
+            cache=FeatureCache(max_entries=2),
+        )
+        for i in range(4):
+            engine.submit(rng.random(25), now=0.0)
+        engine.poll(0.0)
+        engine.poll(1.0)  # retiring 4 distinct entries evicts 2
+        assert engine.metrics.cache_evictions == 2
+
+    def test_cancel_withdraws_queued_request(self, servable, rng):
+        engine = make_engine(
+            servable, policy=BatchPolicy(max_batch_size=8, max_wait_s=10.0)
+        )
+        request = engine.submit(rng.random(25), now=0.0)
+        assert engine.cancel(request, 0.1)
+        assert engine.metrics.cancelled == 1
+        assert engine.queue_depth == 0
+        assert not engine.cancel(request, 0.2)  # already gone
+
+    def test_cancel_cannot_recall_in_flight_work(self, servable, rng):
+        engine = make_engine(
+            servable, policy=BatchPolicy(max_batch_size=1, max_wait_s=0.0)
+        )
+        request = engine.submit(rng.random(25), now=0.0)
+        engine.poll(0.0)  # dispatched to the device
+        assert not engine.cancel(request, 0.001)
+        assert engine.metrics.cancelled == 0
+
+    def test_load_surface_tracks_lifecycle(self, servable, rng):
+        engine = make_engine(
+            servable, policy=BatchPolicy(max_batch_size=2, max_wait_s=10.0)
+        )
+        assert engine.outstanding == 0
+        engine.submit(rng.random(25), now=0.0)
+        assert (engine.queue_depth, engine.in_flight, engine.outstanding) == (1, 0, 1)
+        engine.submit(rng.random(25), now=0.0)
+        engine.poll(0.0)  # full batch dispatches
+        assert (engine.queue_depth, engine.in_flight, engine.outstanding) == (0, 2, 2)
+        engine.poll(1.0)
+        assert engine.outstanding == 0
 
     def test_idle_engine_has_no_next_event(self, servable):
         assert make_engine(servable).next_event_time() is None

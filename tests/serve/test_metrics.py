@@ -80,3 +80,34 @@ class TestServingMetrics:
         text = format_table(metrics.rows(), title="serving")
         assert "latency_p99_s" in text
         assert "requests_served" in text
+
+    def test_cache_accounting_in_rows(self):
+        metrics = ServingMetrics()
+        metrics.on_cache_hit()
+        metrics.on_cache_miss()
+        metrics.on_cache_miss()
+        metrics.on_cache_miss()
+        metrics.on_evictions(5)
+        by_name = {row["metric"]: row["value"] for row in metrics.rows()}
+        assert by_name["cache_hits"] == 1
+        assert by_name["cache_misses"] == 3
+        assert by_name["cache_hit_rate"] == pytest.approx(0.25)
+        assert by_name["cache_evictions"] == 5
+
+    def test_cold_cache_hit_rate_is_zero(self):
+        assert ServingMetrics().cache_hit_rate == 0.0
+
+    def test_eviction_gauge_monotone(self):
+        metrics = ServingMetrics()
+        metrics.on_evictions(3)
+        metrics.on_evictions(3)  # no change is fine
+        metrics.on_evictions(7)
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            metrics.on_evictions(2)
+
+    def test_cancelled_counter_in_rows(self):
+        metrics = ServingMetrics()
+        metrics.on_cancelled()
+        metrics.on_cancelled()
+        by_name = {row["metric"]: row["value"] for row in metrics.rows()}
+        assert by_name["requests_cancelled"] == 2

@@ -102,6 +102,51 @@ class TestModelRegistry:
         with pytest.raises(ServingError, match="ae"):
             registry.get("missing")
 
+    def test_unknown_name_raises_typed_error(self, small_ae):
+        from repro.errors import ModelNotFoundError
+
+        registry = ModelRegistry()
+        registry.register("zeta", small_ae)
+        registry.register("alpha", small_ae)
+        with pytest.raises(ModelNotFoundError) as excinfo:
+            registry.get("missing")
+        # Dictionary-style handlers keep working...
+        assert isinstance(excinfo.value, KeyError)
+        # ...and the message lists every registered name, sorted.
+        assert "alpha, zeta" in str(excinfo.value)
+        assert excinfo.value.name == "missing"
+
+    def test_empty_registry_error_says_none(self):
+        from repro.errors import ModelNotFoundError
+
+        with pytest.raises(ModelNotFoundError, match=r"\(none\)"):
+            ModelRegistry().get("anything")
+
+    def test_replace_swaps_existing_name(self, small_ae, rng):
+        registry = ModelRegistry()
+        old = registry.register("ae", small_ae)
+        from repro.nn.autoencoder import SparseAutoencoder
+
+        new_model = SparseAutoencoder(25, 9, seed=99)
+        new = registry.replace("ae", new_model)
+        assert registry.get("ae") is new
+        assert registry.get("ae") is not old
+        assert len(registry) == 1
+
+    def test_replace_unknown_name_rejected(self, small_ae):
+        from repro.errors import ModelNotFoundError
+
+        with pytest.raises(ModelNotFoundError):
+            ModelRegistry().replace("ae", small_ae)
+
+    def test_replace_validates_before_flipping(self, small_ae):
+        registry = ModelRegistry()
+        old = registry.register("ae", small_ae)
+        with pytest.raises(ServingError, match="cannot serve"):
+            registry.replace("ae", object())
+        # The failed replace never touched the registered entry.
+        assert registry.get("ae") is old
+
     def test_unregister(self, small_ae):
         registry = ModelRegistry()
         registry.register("ae", small_ae)

@@ -64,3 +64,38 @@ class TestDetection:
         (pkg / "bad.py").write_text("from repro.core import TrainingConfig\n")
         violations = check_layering.check(tmp_path)
         assert [v[4] for v in violations] == ["repro.core"]
+
+    def _pkg(self, tmp_path, dotted, filename, body):
+        pkg = tmp_path / Path(*dotted.split("."))
+        pkg.mkdir(parents=True)
+        for parent in [pkg, *pkg.parents]:
+            if parent == tmp_path:
+                break
+            (parent / "__init__.py").write_text("")
+        (pkg / filename).write_text(body)
+        return tmp_path
+
+    def test_serve_must_not_import_cluster(self, tmp_path):
+        root = self._pkg(
+            tmp_path, "repro.serve", "bad.py",
+            "from repro.cluster.router import Router\n",
+        )
+        violations = check_layering.check(root)
+        assert [v[4] for v in violations] == ["repro.cluster"]
+
+    def test_cluster_must_not_reach_model_internals(self, tmp_path):
+        root = self._pkg(
+            tmp_path, "repro.cluster", "bad.py",
+            "from repro.nn.mlp import DeepNetwork\n"
+            "def f():\n    import repro.train.loop\n",
+        )
+        violations = check_layering.check(root)
+        assert sorted(v[4] for v in violations) == ["repro.nn", "repro.train"]
+
+    def test_cluster_may_import_serve(self, tmp_path):
+        root = self._pkg(
+            tmp_path, "repro.cluster", "ok.py",
+            "from repro.serve.engine import ServingEngine\n"
+            "from repro.serve.registry import ServableModel\n",
+        )
+        assert check_layering.check(root) == []

@@ -10,7 +10,12 @@ fails the build when a package reaches *down* the wrong way:
   ``repro.phi`` / ``repro.serve`` — models plug into the loop through
   the ``TrainStep`` adapter, never the other way around;
 * ``repro.nn`` must not import ``repro.core`` / ``repro.serve``;
-* ``repro.data`` imports nothing above the utility layer.
+* ``repro.data`` imports nothing above the utility layer;
+* ``repro.serve`` must not import ``repro.cluster`` — the cluster tier
+  composes engines, a single engine never knows it is replicated;
+* ``repro.cluster`` reaches models only *through* the serve layer's
+  ``ServableModel`` boundary — never ``repro.train`` / ``repro.nn`` /
+  ``repro.core`` / ``repro.data`` internals directly.
 
 Every import statement counts, module-level or function-level, so a
 "lazy" import cannot smuggle a forbidden edge in.
@@ -32,10 +37,12 @@ FORBIDDEN = {
         "repro.core",
         "repro.phi",
         "repro.serve",
+        "repro.cluster",
     ),
     "repro.nn": (
         "repro.core",
         "repro.serve",
+        "repro.cluster",
     ),
     "repro.data": (
         "repro.nn",
@@ -44,6 +51,16 @@ FORBIDDEN = {
         "repro.phi",
         "repro.core",
         "repro.serve",
+        "repro.cluster",
+    ),
+    "repro.serve": (
+        "repro.cluster",
+    ),
+    "repro.cluster": (
+        "repro.train",
+        "repro.nn",
+        "repro.core",
+        "repro.data",
     ),
 }
 
