@@ -52,6 +52,17 @@ def main(argv=None) -> int:
         metavar="W",
         help="worker counts to measure (must include 1; default: 1 2)",
     )
+    parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=None,
+        choices=["thread", "process"],
+        metavar="ENGINE",
+        help=(
+            "gradient-engine backends to measure (default: thread process; "
+            "process is auto-skipped where shared memory is unavailable)"
+        ),
+    )
     parser.add_argument("--out", metavar="PATH", help="write the JSON report")
     parser.add_argument(
         "--validate",
@@ -80,6 +91,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     from repro.bench.parallel import (
+        ENGINES,
         PAPER_SHAPES,
         QUICK_SHAPES,
         compare_to_baseline,
@@ -115,30 +127,38 @@ def main(argv=None) -> int:
         inner=inner,
         n_chunks=n_chunks,
         seed=args.seed,
+        engines=tuple(args.engines) if args.engines else ENGINES,
     )
     print(
         f"cores={report['n_cores']} blas={report['have_blas']} "
-        f"threadpoolctl={report['have_threadpoolctl']}"
+        f"threadpoolctl={report['have_threadpoolctl']} "
+        f"blas_budget={report['blas_budget_active']} "
+        f"gil={report['gil_enabled']} "
+        f"engines={','.join(report['engines'])}"
     )
-    header = f"{'row':<34} {'ms':>9} {'speedup':>8} {'max|diff|':>10}"
+    header = (
+        f"{'row':<42} {'ms':>9} {'speedup':>8} {'vs_serial':>9} {'max|diff|':>10}"
+    )
     print(header)
     print("-" * len(header))
     for row in report["rows"]:
         if row["kind"] == "workers":
             label = (
-                f"sae W={row['n_workers']} "
+                f"sae {row['engine']} W={row['n_workers']} "
                 f"({row['batch']},{row['n_visible']}->{row['n_hidden']})"
             )
             ms = row["ms"]
+            vs_serial = f"{row['vs_serial']:>8.2f}x"
         else:
             label = (
                 f"prefetch {row['n_chunks']}x chunks "
                 f"({row['n_buffers']} buffers)"
             )
             ms = row["overlapped_ms"]
+            vs_serial = f"{'-':>9}"
         print(
-            f"{label:<34} {ms:>9.1f} {row['speedup']:>7.2f}x "
-            f"{row['max_abs_diff']:>10.1e}"
+            f"{label:<42} {ms:>9.1f} {row['speedup']:>7.2f}x "
+            f"{vs_serial} {row['max_abs_diff']:>10.1e}"
         )
 
     if args.out:

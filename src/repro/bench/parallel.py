@@ -1,12 +1,19 @@
-"""Wall-clock benchmark for the real parallel training executor.
+"""Wall-clock benchmark for the real parallel training executors.
 
 Two families of rows, mirroring the paper's two concurrency mechanisms:
 
-* ``kind="workers"`` — the SAE gradient step through
-  :class:`~repro.runtime.executor.ParallelGradientEngine` at W=1 vs W>1
+* ``kind="workers"`` — the SAE gradient step through a gradient engine
+  (``engine="thread"`` →
+  :class:`~repro.runtime.executor.ParallelGradientEngine`,
+  ``engine="process"`` →
+  :class:`~repro.runtime.procexec.ProcessGradientEngine`) at W=1 vs W>1
   with BLAS pinned to one thread per worker (the honest protocol: the
   speedup measures *worker-level* data parallelism, not BLAS's own pool).
-  Every row carries the max absolute difference between the reduced
+  Each row carries two ratios: ``speedup`` (vs the same engine at W=1,
+  the scaling curve) and ``vs_serial`` (vs the engine-free fused serial
+  step, the "was parallelism worth it at all?" number that motivated the
+  process engine — the committed thread rows sat at 0.76–0.82× serial).
+  Every row also carries the max absolute difference between the reduced
   parallel gradient and the serial full-batch gradient, so the report
   doubles as the ≤1e-10 equivalence gate.
 
@@ -18,16 +25,26 @@ Two families of rows, mirroring the paper's two concurrency mechanisms:
   this is Fig. 5's "loading thread hides the PCIe transfer" made
   executable.
 
-Speedup gates are machine-aware: the W≥2 worker gate only binds on
-machines with ≥2 usable cores (a single-core host *cannot* exhibit
+Speedup gates are machine- and engine-aware: W≥2 worker gates only bind
+on machines with ≥2 usable cores (a single-core host *cannot* exhibit
 compute-parallel speedup; the committed report records the core count so
-CI — which runs multi-core — still enforces the floor), while the
-prefetch gate binds everywhere.
+CI — which runs multi-core — still enforces the floors).  Thread rows
+gate on ``speedup`` (the historical contract), process rows gate on
+``vs_serial`` (the process engine must beat *serial*, not just its own
+W=1).  The prefetch gate binds everywhere.
+
+Metadata records the concurrency regime of the measurement:
+``gil_enabled``/``free_threaded`` (PEP 703 audit, see
+:mod:`repro.runtime.freethreading`) and ``blas_budget_active`` (whether
+BLAS pools were actually cappable — threadpoolctl loaded, or the env
+fallback pinned before NumPy import).  ``validate_report`` rejects a
+report claiming threadpoolctl was importable but budgeting inactive.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,7 +52,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-SCHEMA_ID = "repro.bench_parallel/v1"
+SCHEMA_ID = "repro.bench_parallel/v2"
 
 #: (batch, n_visible, n_hidden) — paper-scale layer for the full run.
 PAPER_SHAPES: Tuple[Tuple[int, int, int], ...] = ((100, 4096, 1024),)
@@ -50,7 +67,13 @@ EQUIV_TOL = 1e-10
 #: Speedup floor enforced by the CI gate (W=2 and prefetch rows).
 MIN_SPEEDUP = 1.3
 
-_WORKER_KEYS = ("kind", "model", "batch", "n_visible", "n_hidden", "n_workers")
+#: Engine backends measured by default (process is dropped with a
+#: metadata note on platforms without POSIX shared memory).
+ENGINES: Tuple[str, ...] = ("thread", "process")
+
+_WORKER_KEYS = (
+    "kind", "engine", "model", "batch", "n_visible", "n_hidden", "n_workers"
+)
 _PREFETCH_KEYS = ("kind", "n_chunks", "n_buffers", "batch", "n_visible", "n_hidden")
 
 
@@ -67,7 +90,43 @@ def _time_min(fn, trials: int, inner: int) -> float:
     return best * 1e3
 
 
+def blas_budget_active() -> bool:
+    """Can this process actually cap the BLAS pools?
+
+    True when threadpoolctl is importable (limits apply to live pools) or
+    when every BLAS env knob was pinned — which only bites if it happened
+    before NumPy loaded, as ``benchmarks/bench_parallel.py`` does.
+    """
+    from repro.runtime.threads import BLAS_ENV_VARS, HAVE_THREADPOOLCTL
+
+    if HAVE_THREADPOOLCTL:
+        return True
+    return all(var in os.environ for var in BLAS_ENV_VARS)
+
+
+def _serial_ms(
+    batch: int, n_visible: int, n_hidden: int, trials: int, inner: int, seed: int
+) -> float:
+    """Engine-free fused serial step time — the ``vs_serial`` baseline."""
+    from repro.nn.autoencoder import SparseAutoencoder
+    from repro.runtime.workspace import Workspace
+
+    rng = np.random.default_rng(seed)
+    x = rng.random((batch, n_visible))
+    sae = SparseAutoencoder(n_visible, n_hidden, seed=seed)
+    ws = Workspace(name="bench-serial")
+    lr = 1e-12  # parameters effectively frozen across timing reps
+
+    def step() -> None:
+        _, grads = sae.gradients_into(x, ws)
+        sae.apply_update(grads, lr, workspace=ws)
+
+    return _time_min(step, trials, inner)
+
+
 def _worker_rows(
+    engine: str,
+    serial_ms: float,
     batch: int,
     n_visible: int,
     n_hidden: int,
@@ -78,40 +137,49 @@ def _worker_rows(
 ) -> List[Dict]:
     from repro.nn.autoencoder import SparseAutoencoder
     from repro.runtime.executor import ParallelGradientEngine
+    from repro.runtime.procexec import ProcessGradientEngine
 
+    engine_cls = {
+        "thread": ParallelGradientEngine,
+        "process": ProcessGradientEngine,
+    }[engine]
     rng = np.random.default_rng(seed)
     x = rng.random((batch, n_visible))
     sae = SparseAutoencoder(n_visible, n_hidden, seed=seed)
     _, g_ref = sae.gradients(x)
 
-    lr = 1e-12  # parameters effectively frozen across timing reps
+    lr = 1e-12
     rows: List[Dict] = []
     ms_w1: Optional[float] = None
     for w in workers:
-        with ParallelGradientEngine(
-            n_workers=w, blas_threads=1, seed=seed, name=f"bench-w{w}"
-        ) as engine:
-            _, g_par = engine.sae_gradients(sae, x)
+        with engine_cls(
+            n_workers=w, blas_threads=1, seed=seed, name=f"bench-{engine}-w{w}"
+        ) as eng:
+            _, g_par = eng.sae_gradients(sae, x)
             diff = max(
                 float(np.max(np.abs(g_ref.w1 - g_par.w1))),
                 float(np.max(np.abs(g_ref.b1 - g_par.b1))),
                 float(np.max(np.abs(g_ref.w2 - g_par.w2))),
                 float(np.max(np.abs(g_ref.b2 - g_par.b2))),
             )
-            ms = _time_min(lambda: engine.sae_step(sae, x, lr), trials, inner)
+            ms = _time_min(lambda: eng.sae_step(sae, x, lr), trials, inner)
         if ms_w1 is None:
             ms_w1 = ms
         rows.append(
             {
                 "kind": "workers",
+                "engine": engine,
                 "model": "sae",
                 "batch": batch,
                 "n_visible": n_visible,
                 "n_hidden": n_hidden,
                 "n_workers": w,
                 "ms": round(ms, 3),
-                # ratio of the *rounded* fields so the report is self-consistent
+                "serial_ms": round(serial_ms, 3),
+                # ratios of the *rounded* fields so the report is
+                # self-consistent
                 "speedup": round(round(ms_w1, 3) / round(ms, 3), 4),
+                "vs_serial": round(round(serial_ms, 3) / round(ms, 3), 4),
                 "max_abs_diff": diff,
             }
         )
@@ -187,27 +255,54 @@ def run_parallel_bench(
     inner: int = 3,
     n_chunks: int = 6,
     seed: int = 0,
+    engines: Sequence[str] = ENGINES,
 ) -> Dict:
     """Run the parallel benchmark and return the versioned report dict."""
+    from repro.runtime.freethreading import free_threaded_build, gil_enabled
     from repro.runtime.linalg import HAVE_BLAS
+    from repro.runtime.procexec import process_engine_available
     from repro.runtime.threads import HAVE_THREADPOOLCTL, available_cores
 
     if shapes is None:
         shapes = PAPER_SHAPES
     if sorted(set(workers))[:1] != [1]:
         raise ConfigurationError("workers must include 1 (the speedup baseline)")
+    engines = tuple(engines)
+    unknown = set(engines) - set(ENGINES)
+    if unknown or not engines:
+        raise ConfigurationError(
+            f"engines must be a non-empty subset of {ENGINES}, got {engines}"
+        )
+    shm_ok = process_engine_available()
+    measured = tuple(
+        e for e in engines if e != "process" or shm_ok
+    )
+    if "thread" not in measured:
+        raise ConfigurationError(
+            "engines must include 'thread' (always-available reference backend)"
+        )
     rows: List[Dict] = []
     for batch, n_visible, n_hidden in shapes:
-        rows.extend(
-            _worker_rows(batch, n_visible, n_hidden, workers, trials, inner, seed)
-        )
+        serial = _serial_ms(batch, n_visible, n_hidden, trials, inner, seed)
+        for engine in measured:
+            rows.extend(
+                _worker_rows(
+                    engine, serial, batch, n_visible, n_hidden,
+                    workers, trials, inner, seed,
+                )
+            )
         rows.append(_prefetch_row(n_chunks, 2, batch, n_visible, n_hidden, seed))
     return {
         "schema": SCHEMA_ID,
         "n_cores": available_cores(),
         "have_blas": bool(HAVE_BLAS),
         "have_threadpoolctl": bool(HAVE_THREADPOOLCTL),
+        "blas_budget_active": blas_budget_active(),
         "blas_threads_per_worker": 1,
+        "gil_enabled": gil_enabled(),
+        "free_threaded": free_threaded_build(),
+        "engines": list(measured),
+        "process_engine_available": shm_ok,
         "equiv_tol": EQUIV_TOL,
         "rows": rows,
     }
@@ -222,6 +317,13 @@ def _row_key(row: Dict) -> Tuple:
     return tuple(row.get(k) for k in keys)
 
 
+def _gate_metric(row: Dict) -> Tuple[str, float]:
+    """Which ratio a worker row is gated (and baseline-compared) on."""
+    if row.get("kind") == "workers" and row.get("engine") == "process":
+        return "vs_serial", row["vs_serial"]
+    return "speedup", row["speedup"]
+
+
 def validate_report(report: Dict) -> None:
     """Raise :class:`ConfigurationError` unless ``report`` matches the schema."""
     if not isinstance(report, dict):
@@ -233,25 +335,46 @@ def validate_report(report: Dict) -> None:
         )
     if not (isinstance(report.get("n_cores"), int) and report["n_cores"] >= 1):
         raise ConfigurationError("parallel report must record a positive 'n_cores'")
+    for flag in ("gil_enabled", "free_threaded", "blas_budget_active"):
+        if not isinstance(report.get(flag), bool):
+            raise ConfigurationError(
+                f"parallel report must record boolean {flag!r}"
+            )
+    if report.get("have_threadpoolctl") and not report["blas_budget_active"]:
+        raise ConfigurationError(
+            "report claims threadpoolctl is available but BLAS budgeting "
+            "inactive — the budget must be asserted when the tool is present"
+        )
     rows = report.get("rows")
     if not isinstance(rows, list) or not rows:
         raise ConfigurationError("parallel report must carry a non-empty 'rows' list")
     tol = report.get("equiv_tol", EQUIV_TOL)
     kinds = set()
+    engines_seen = set()
     for i, row in enumerate(rows):
         kind = row.get("kind")
         if kind not in ("workers", "prefetch"):
             raise ConfigurationError(f"rows[{i}] has unknown kind {kind!r}")
         kinds.add(kind)
+        if kind == "workers":
+            if row.get("engine") not in ENGINES:
+                raise ConfigurationError(
+                    f"rows[{i}] has unknown engine {row.get('engine')!r}"
+                )
+            engines_seen.add(row["engine"])
         required = (
-            _WORKER_KEYS + ("ms", "speedup", "max_abs_diff")
+            _WORKER_KEYS + ("ms", "serial_ms", "speedup", "vs_serial", "max_abs_diff")
             if kind == "workers"
             else _PREFETCH_KEYS + ("serial_ms", "overlapped_ms", "speedup", "max_abs_diff")
         )
         for field in required:
             if field not in row:
                 raise ConfigurationError(f"rows[{i}] missing field {field!r}")
-        timing_fields = ("ms",) if kind == "workers" else ("serial_ms", "overlapped_ms")
+        timing_fields = (
+            ("ms", "serial_ms", "vs_serial")
+            if kind == "workers"
+            else ("serial_ms", "overlapped_ms")
+        )
         for field in timing_fields + ("speedup",):
             if not (isinstance(row[field], (int, float)) and row[field] > 0):
                 raise ConfigurationError(
@@ -266,6 +389,10 @@ def validate_report(report: Dict) -> None:
         raise ConfigurationError(
             f"parallel report must carry both row kinds, got {sorted(kinds)}"
         )
+    if "thread" not in engines_seen:
+        raise ConfigurationError(
+            "parallel report must carry thread-engine worker rows"
+        )
 
 
 def enforce_gates(report: Dict, min_speedup: float = MIN_SPEEDUP) -> Tuple[List[str], List[str]]:
@@ -275,7 +402,10 @@ def enforce_gates(report: Dict, min_speedup: float = MIN_SPEEDUP) -> Tuple[List[
       with a sleeping loader does not need a second core);
     * ``n_workers >= 2`` rows must reach ``min_speedup`` only when the
       report was measured on ≥2 cores — on a single-core host the rows
-      are recorded but the gate is reported as skipped.
+      are recorded but the gate is reported as skipped.  Thread rows gate
+      on ``speedup`` (vs the same engine at W=1); process rows gate on
+      ``vs_serial`` (the process engine must beat the engine-free serial
+      step, the claim this backend exists to make).
     """
     validate_report(report)
     failures: List[str] = []
@@ -285,19 +415,20 @@ def enforce_gates(report: Dict, min_speedup: float = MIN_SPEEDUP) -> Tuple[List[
         if row["kind"] == "workers":
             if row["n_workers"] < 2:
                 continue
+            metric, value = _gate_metric(row)
             label = (
-                f"workers W={row['n_workers']} "
+                f"{row['engine']} workers W={row['n_workers']} "
                 f"({row['batch']},{row['n_visible']}->{row['n_hidden']})"
             )
             if not multicore:
                 skipped.append(
-                    f"{label}: speedup gate skipped — report measured on "
+                    f"{label}: {metric} gate skipped — report measured on "
                     f"{report['n_cores']} core(s); compute-parallel speedup "
                     "needs >= 2"
                 )
-            elif row["speedup"] < min_speedup:
+            elif value < min_speedup:
                 failures.append(
-                    f"{label}: speedup {row['speedup']:.2f}x < required "
+                    f"{label}: {metric} {value:.2f}x < required "
                     f"{min_speedup:.2f}x"
                 )
         else:
@@ -313,12 +444,14 @@ def enforce_gates(report: Dict, min_speedup: float = MIN_SPEEDUP) -> Tuple[List[
 def compare_to_baseline(
     report: Dict, baseline: Dict, max_regression: float = 0.25
 ) -> List[str]:
-    """Flag rows whose speedup ratio regressed vs the committed baseline.
+    """Flag rows whose gated ratio regressed vs the committed baseline.
 
     Worker rows are only compared when *both* reports were measured on ≥2
     cores (single-core ratios are ~1.0 by construction and carry no
-    signal); prefetch rows are always compared.  Returns human-readable
-    failure strings, empty when everything is within ``max_regression``.
+    signal); prefetch rows are always compared.  Each row is compared on
+    the same metric its gate uses (:func:`_gate_metric`).  Returns
+    human-readable failure strings, empty when everything is within
+    ``max_regression``.
     """
     validate_report(report)
     validate_report(baseline)
@@ -330,13 +463,14 @@ def compare_to_baseline(
             continue
         base = base_by_key.get(_row_key(row))
         if base is None:
-            continue  # new shape, nothing to regress against
-        floor = base["speedup"] * (1.0 - max_regression)
-        if row["speedup"] < floor:
+            continue  # new shape/engine, nothing to regress against
+        metric, value = _gate_metric(row)
+        floor = base[metric] * (1.0 - max_regression)
+        if value < floor:
             failures.append(
-                f"{row['kind']} {_row_key(row)[1:]}: speedup "
-                f"{row['speedup']:.2f}x < floor {floor:.2f}x "
-                f"(baseline {base['speedup']:.2f}x, allowed regression "
+                f"{row['kind']} {_row_key(row)[1:]}: {metric} "
+                f"{value:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base[metric]:.2f}x, allowed regression "
                 f"{max_regression:.0%})"
             )
     return failures

@@ -10,7 +10,7 @@
     python -m repro serve-bench            # inference serving sweep
     python -m repro cluster-bench [--quick]  # multi-replica cluster drills
     python -m repro hotpath [--quick]      # fused-kernel wall-clock bench
-    python -m repro parallel-bench [--quick]  # thread-parallel executor bench
+    python -m repro parallel-bench [--quick]  # thread+process executor bench
     python -m repro chaos [--quick]        # fault-injection + resume drill
     python -m repro all                    # everything (except wall-clock benches)
     python -m repro table1 --csv out.csv   # export rows
@@ -115,7 +115,8 @@ def _rows_for(command: str, model: str, args=None):
             seed=getattr(args, "seed", None) or 0,
         )
         title = (
-            "Parallel executor: gradient workers + chunk prefetcher "
+            "Parallel executors: gradient workers "
+            f"({'+'.join(report['engines'])}) + chunk prefetcher "
             f"(wall clock, {report['n_cores']} core(s))"
         )
         return report["rows"], title

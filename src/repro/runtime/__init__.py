@@ -54,6 +54,18 @@ from repro.runtime.executor import (
     ParallelGradientEngine,
     PrefetchError,
 )
+from repro.runtime.procexec import (
+    EngineError,
+    ProcessGradientEngine,
+    SHM_PREFIX,
+    make_engine,
+    process_engine_available,
+)
+from repro.runtime.freethreading import (
+    free_threaded_build,
+    free_threading_report,
+    gil_enabled,
+)
 from repro.runtime.checkpoint import (
     CheckpointError,
     CheckpointStore,
@@ -107,6 +119,14 @@ __all__ = [
     "ExecutorClosedError",
     "ParallelGradientEngine",
     "PrefetchError",
+    "EngineError",
+    "ProcessGradientEngine",
+    "SHM_PREFIX",
+    "make_engine",
+    "process_engine_available",
+    "free_threaded_build",
+    "free_threading_report",
+    "gil_enabled",
     "CheckpointError",
     "CheckpointStore",
     "atomic_save_npz",

@@ -27,9 +27,32 @@ class TestRun:
         assert report["n_cores"] >= 1
         assert report["equiv_tol"] == bp.EQUIV_TOL
 
+    def test_concurrency_regime_metadata(self, report):
+        for flag in ("gil_enabled", "free_threaded", "blas_budget_active"):
+            assert isinstance(report[flag], bool)
+        assert isinstance(report["process_engine_available"], bool)
+        assert "thread" in report["engines"]
+
     def test_row_kinds_present(self, report):
         kinds = {row["kind"] for row in report["rows"]}
         assert kinds == {"workers", "prefetch"}
+
+    def test_both_engines_measured_when_process_available(self, report):
+        engines = {r["engine"] for r in report["rows"] if r["kind"] == "workers"}
+        if report["process_engine_available"]:
+            assert engines == {"thread", "process"}
+        else:
+            assert engines == {"thread"}
+        assert set(report["engines"]) == engines
+
+    def test_worker_rows_carry_serial_baseline(self, report):
+        for row in report["rows"]:
+            if row["kind"] != "workers":
+                continue
+            assert row["serial_ms"] > 0
+            assert row["vs_serial"] == pytest.approx(
+                row["serial_ms"] / row["ms"], rel=1e-3
+            )
 
     def test_equivalence_within_tolerance(self, report):
         for row in report["rows"]:
@@ -42,6 +65,24 @@ class TestRun:
     def test_workers_must_include_one(self):
         with pytest.raises(ConfigurationError):
             bp.run_parallel_bench(shapes=[(8, 6, 4)], workers=(2, 4), trials=1, inner=1)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError, match="engines"):
+            bp.run_parallel_bench(
+                shapes=[(8, 6, 4)], trials=1, inner=1, engines=("thread", "gpu")
+            )
+
+    def test_rejects_empty_engine_list(self):
+        with pytest.raises(ConfigurationError, match="engines"):
+            bp.run_parallel_bench(
+                shapes=[(8, 6, 4)], trials=1, inner=1, engines=()
+            )
+
+    def test_rejects_engine_list_without_thread(self):
+        with pytest.raises(ConfigurationError, match="thread"):
+            bp.run_parallel_bench(
+                shapes=[(8, 6, 4)], trials=1, inner=1, engines=("process",)
+            )
 
 
 class TestValidation:
@@ -84,6 +125,41 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="positive"):
             bp.validate_report(bad)
 
+    def test_rejects_missing_regime_flags(self, report):
+        for flag in ("gil_enabled", "free_threaded", "blas_budget_active"):
+            bad = copy.deepcopy(report)
+            del bad[flag]
+            with pytest.raises(ConfigurationError, match=flag):
+                bp.validate_report(bad)
+
+    def test_rejects_threadpoolctl_claim_without_active_budget(self, report):
+        bad = copy.deepcopy(report)
+        bad["have_threadpoolctl"] = True
+        bad["blas_budget_active"] = False
+        with pytest.raises(ConfigurationError, match="threadpoolctl"):
+            bp.validate_report(bad)
+
+    def test_rejects_unknown_engine_in_row(self, report):
+        bad = copy.deepcopy(report)
+        for row in bad["rows"]:
+            if row["kind"] == "workers":
+                row["engine"] = "gpu"
+                break
+        with pytest.raises(ConfigurationError, match="engine"):
+            bp.validate_report(bad)
+
+    def test_rejects_report_without_thread_rows(self, report):
+        bad = copy.deepcopy(report)
+        bad["rows"] = [
+            r
+            for r in bad["rows"]
+            if not (r["kind"] == "workers" and r["engine"] == "thread")
+        ]
+        if not any(r["kind"] == "workers" for r in bad["rows"]):
+            pytest.skip("no process rows on this platform")
+        with pytest.raises(ConfigurationError, match="thread"):
+            bp.validate_report(bad)
+
 
 class TestGates:
     def test_single_core_skips_worker_gate(self, report):
@@ -103,12 +179,32 @@ class TestGates:
         r["n_cores"] = 4
         for row in r["rows"]:
             row["speedup"] = 2.0
+            if row["kind"] == "workers":
+                row["vs_serial"] = 2.0
         for row in r["rows"]:
             if row["kind"] == "workers" and row["n_workers"] >= 2:
                 row["speedup"] = 1.1
+                row["vs_serial"] = 1.1
         failures, skipped = bp.enforce_gates(r, min_speedup=1.3)
         assert skipped == []
         assert failures and "W=2" in failures[0]
+
+    def test_process_rows_gate_on_vs_serial(self, report):
+        if not report["process_engine_available"]:
+            pytest.skip("no process rows on this platform")
+        r = copy.deepcopy(report)
+        r["n_cores"] = 4
+        for row in r["rows"]:
+            row["speedup"] = 2.0  # every per-engine scaling curve is fine
+            if row["kind"] == "workers":
+                row["vs_serial"] = 2.0
+        for row in r["rows"]:
+            # ... but the process engine loses to serial: must still fail.
+            if row["kind"] == "workers" and row["engine"] == "process":
+                row["vs_serial"] = 0.9
+        failures, _ = bp.enforce_gates(r, min_speedup=1.3)
+        assert failures and all("vs_serial" in f for f in failures)
+        assert all("process" in f for f in failures)
 
     def test_prefetch_floor_applies_on_any_core_count(self, report):
         r = copy.deepcopy(report)
@@ -127,6 +223,8 @@ class TestGates:
         for row in r["rows"]:
             if row.get("n_workers") != 1:
                 row["speedup"] = 1.8
+            if row["kind"] == "workers":
+                row["vs_serial"] = 1.8
         failures, skipped = bp.enforce_gates(r, min_speedup=1.3)
         assert failures == [] and skipped == []
 
@@ -161,6 +259,18 @@ class TestBaselineComparison:
                 row["speedup"] = row["speedup"] * 0.1
         failures = bp.compare_to_baseline(current, base, max_regression=0.25)
         assert failures
+
+    def test_process_regression_flagged_on_vs_serial(self, report):
+        if not report["process_engine_available"]:
+            pytest.skip("no process rows on this platform")
+        base = copy.deepcopy(report)
+        base["n_cores"] = 4
+        current = copy.deepcopy(base)
+        for row in current["rows"]:
+            if row["kind"] == "workers" and row["engine"] == "process":
+                row["vs_serial"] = row["vs_serial"] * 0.1
+        failures = bp.compare_to_baseline(current, base, max_regression=0.25)
+        assert failures and all("vs_serial" in f for f in failures)
 
     def test_unknown_shape_is_not_compared(self, report):
         current = copy.deepcopy(report)

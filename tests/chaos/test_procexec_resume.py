@@ -1,0 +1,141 @@
+"""Kill-anywhere invariant on the process engine.
+
+The chaos drills in ``test_checkpoint_resume.py`` pin the contract for
+the *thread* engine; this file proves the process engine honours the same
+contract at the same fault sites with zero training-loop changes: kill at
+``engine.worker`` or ``engine.reduce``, resume from the last snapshot,
+and the final parameters are bit-identical to an uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.cost import SparseAutoencoderCost
+from repro.nn.stacked import DeepBeliefNetwork, LayerSpec, StackedAutoencoder
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.procexec import ProcessGradientEngine, process_engine_available
+from repro.testing.faults import FaultError, FaultPlan, inject
+
+pytestmark = pytest.mark.skipif(
+    not process_engine_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+N_WORKERS = 2
+SPECS = [LayerSpec(8, epochs=2, batch_size=16), LayerSpec(5, epochs=2, batch_size=16)]
+
+
+@pytest.fixture
+def x(digits_25):
+    return digits_25[:48]
+
+
+def _engine():
+    return ProcessGradientEngine(N_WORKERS, blas_threads=None, seed=0)
+
+
+def _sae(n_visible, seed=3):
+    cost = SparseAutoencoderCost(
+        weight_decay=1e-3, sparsity_target=0.1, sparsity_weight=0.3
+    )
+    return StackedAutoencoder(n_visible, SPECS, cost=cost, seed=seed)
+
+
+def _dbn(n_visible, seed=3):
+    return DeepBeliefNetwork(n_visible, [LayerSpec(7, epochs=3, batch_size=12)],
+                             seed=seed)
+
+
+def _assert_blocks_equal(a, b, names):
+    for i, (ba, bb) in enumerate(zip(a.blocks, b.blocks)):
+        for name in names:
+            assert np.array_equal(getattr(ba, name), getattr(bb, name)), (
+                f"block {i} array {name!r} not bit-identical after resume"
+            )
+
+
+class TestKillAnywhereSAE:
+    # Same kill schedule as the thread-engine drills: the process engine
+    # fires engine.worker once per shard dispatch and engine.reduce once
+    # per reduction, so the visit numbering lines up exactly.
+    PLANS = [
+        pytest.param(lambda: FaultPlan.kill_worker(0, nth=8), id="worker0-epoch2"),
+        pytest.param(lambda: FaultPlan.kill_worker(1, nth=11), id="worker1-late"),
+        pytest.param(lambda: FaultPlan.fail("engine.reduce", nth=6), id="reduce"),
+    ]
+
+    @pytest.mark.parametrize("make_plan", PLANS)
+    def test_engine_kill_then_resume_bit_identical(self, x, tmp_path, make_plan):
+        with _engine() as eng:
+            baseline = _sae(x.shape[1]).pretrain(x, engine=eng)
+        store = CheckpointStore(tmp_path, keep=3)
+        with _engine() as eng:
+            with pytest.raises(FaultError):
+                with inject(make_plan()):
+                    _sae(x.shape[1]).pretrain(x, engine=eng, checkpoint=store)
+        assert store.latest() is not None, "crash left no snapshot to resume from"
+        with _engine() as eng:
+            resumed = _sae(x.shape[1]).pretrain(
+                x, engine=eng, checkpoint=store, resume_from=tmp_path
+            )
+        _assert_blocks_equal(baseline, resumed, ("w1", "b1", "w2", "b2"))
+        assert baseline.layer_errors == resumed.layer_errors
+
+    def test_fault_raises_from_the_registered_site(self, x):
+        plan = FaultPlan.kill_worker(1, nth=8)
+        with _engine() as eng:
+            with inject(plan):
+                with pytest.raises(FaultError) as exc_info:
+                    _sae(x.shape[1]).pretrain(x, engine=eng)
+        assert exc_info.value.site == "engine.worker"
+        assert plan.fired("engine.worker") == 1
+
+
+class TestKillAnywhereDBN:
+    # CD sampling is stochastic — exact resume additionally proves the
+    # worker RNG stream states survive the pipe round-trip and the
+    # checkpoint capture/restore cycle bit-for-bit.
+    PLANS = [
+        pytest.param(lambda: FaultPlan.kill_worker(1, nth=4), id="worker1"),
+        pytest.param(lambda: FaultPlan.fail("engine.reduce", nth=9), id="reduce"),
+    ]
+
+    @pytest.mark.parametrize("make_plan", PLANS)
+    def test_engine_kill_then_resume_bit_identical(self, x, tmp_path, make_plan):
+        v = (x > 0.5).astype(np.float64)
+        with _engine() as eng:
+            baseline = _dbn(x.shape[1]).pretrain(v, engine=eng)
+        store = CheckpointStore(tmp_path, keep=3)
+        with _engine() as eng:
+            with pytest.raises(FaultError):
+                with inject(make_plan()):
+                    _dbn(x.shape[1]).pretrain(v, engine=eng, checkpoint=store)
+        assert store.latest() is not None
+        with _engine() as eng:
+            resumed = _dbn(x.shape[1]).pretrain(
+                v, engine=eng, checkpoint=store, resume_from=tmp_path
+            )
+        _assert_blocks_equal(baseline, resumed, ("w", "b", "c"))
+
+
+class TestCrossEngineResume:
+    def test_thread_crash_resumes_on_process_engine(self, x, tmp_path):
+        # The snapshot records worker count and stream states, not the
+        # backend: a run killed on the thread engine must resume
+        # bit-identically on the process engine (and vice versa), because
+        # the two are arithmetically interchangeable at fixed W.
+        from repro.runtime.executor import ParallelGradientEngine
+
+        v = (x > 0.5).astype(np.float64)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            baseline = _dbn(x.shape[1]).pretrain(v, engine=eng)
+        store = CheckpointStore(tmp_path, keep=3)
+        with ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=0) as eng:
+            with pytest.raises(FaultError):
+                with inject(FaultPlan.kill_worker(1, nth=4)):
+                    _dbn(x.shape[1]).pretrain(v, engine=eng, checkpoint=store)
+        with _engine() as eng:
+            resumed = _dbn(x.shape[1]).pretrain(
+                v, engine=eng, checkpoint=store, resume_from=tmp_path
+            )
+        _assert_blocks_equal(baseline, resumed, ("w", "b", "c"))

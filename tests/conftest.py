@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import glob
+import os
 import threading
 import time
 
@@ -40,6 +42,39 @@ def _thread_leak_guard():
         pytest.fail(
             "test leaked non-daemon thread(s): "
             + ", ".join(sorted(t.name for t in leaked))
+        )
+
+
+def _repro_shm_segments():
+    """Names of live repro-owned POSIX shared-memory segments."""
+    from repro.runtime.procexec import SHM_PREFIX
+
+    if not os.path.isdir("/dev/shm"):  # non-POSIX-shm platform: nothing to scan
+        return set()
+    return {
+        os.path.basename(p) for p in glob.glob(f"/dev/shm/{SHM_PREFIX}-*")
+    }
+
+
+@pytest.fixture(autouse=True)
+def _shm_leak_guard():
+    """Fail any test that orphans a repro shared-memory segment.
+
+    The process engine names every segment ``repro-shm-<pid>-<run>-<i>``,
+    so the guard can scan /dev/shm without false positives from other
+    software.  A grace window covers engines whose teardown (worker join
+    + unlink) is still finishing when the test body returns.
+    """
+    before = _repro_shm_segments()
+    yield
+    deadline = time.monotonic() + 2.0
+    leaked = _repro_shm_segments() - before
+    while leaked and time.monotonic() < deadline:
+        time.sleep(0.02)
+        leaked = _repro_shm_segments() - before
+    if leaked:
+        pytest.fail(
+            "test leaked shared-memory segment(s): " + ", ".join(sorted(leaked))
         )
 
 

@@ -1,0 +1,50 @@
+"""PEP 703 readiness audit: detection helpers and audit inventory shape."""
+
+import importlib
+
+from repro.runtime.freethreading import (
+    GIL_AUDIT,
+    audit_rows,
+    free_threaded_build,
+    free_threading_report,
+    gil_enabled,
+)
+
+
+class TestDetection:
+    def test_flags_are_booleans(self):
+        assert isinstance(free_threaded_build(), bool)
+        assert isinstance(gil_enabled(), bool)
+
+    def test_gil_is_on_for_standard_builds(self):
+        # On a normal (non --disable-gil) interpreter the GIL can never be
+        # off; only free-threaded builds may report False.
+        if not free_threaded_build():
+            assert gil_enabled() is True
+
+
+class TestAuditInventory:
+    def test_entries_are_well_formed(self):
+        assert len(GIL_AUDIT) >= 4
+        for entry in GIL_AUDIT:
+            assert entry["risk"] in ("safe", "guarded", "needs-work")
+            assert entry["note"].strip()
+            assert entry["symbol"].strip()
+
+    def test_audited_modules_exist(self):
+        # The audit must not drift from the codebase: every module it
+        # names has to be importable.
+        for entry in GIL_AUDIT:
+            importlib.import_module(entry["module"])
+
+    def test_report_counts_match_inventory(self):
+        report = free_threading_report()
+        assert report["free_threaded_build"] == free_threaded_build()
+        assert report["gil_enabled"] == gil_enabled()
+        assert sum(report["risk_counts"].values()) == len(GIL_AUDIT)
+        assert report["audit"] == [dict(e) for e in GIL_AUDIT]
+
+    def test_rows_are_copies(self):
+        rows = audit_rows()
+        rows[0]["risk"] = "mutated"
+        assert GIL_AUDIT[0]["risk"] != "mutated"
