@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Wall-clock + convergence benchmark: pipelined vs greedy pre-training.
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py                 # paper scale
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --out BENCH_pipeline.json
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --validate BENCH_pipeline.json
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick \
+        --min-speedup 1.3 --baseline BENCH_pipeline.json --max-regression 0.25
+
+Exit status: 0 on success, 1 on schema violation, failed gate, or baseline
+regression.  The wall-clock speedup gate is skipped (with a notice) on
+single-core machines — stage overlap needs >= 2 cores; the convergence
+gate applies everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small stack + fewer trials (CI smoke run)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="timing trials per strategy (min-of-trials; default 2, quick 1)",
+    )
+    parser.add_argument("--out", metavar="PATH", help="write the JSON report")
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing report against the schema and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed baseline report to compare the speedup against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="enforce the wall-clock floor (e.g. 1.3) on >=2-core machines",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.bench.pipeline import (
+        compare_to_baseline,
+        enforce_gates,
+        load_report,
+        run_pipeline_bench,
+        validate_report,
+        write_report,
+    )
+    from repro.errors import ConfigurationError
+
+    if args.validate:
+        try:
+            validate_report(load_report(args.validate))
+        except (ConfigurationError, ValueError) as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema OK")
+        return 0
+
+    trials = args.trials if args.trials is not None else (1 if args.quick else 2)
+    report = run_pipeline_bench(quick=args.quick, seed=args.seed, trials=trials)
+    print(
+        f"cores={report['n_cores']} quick={report['quick']} "
+        f"trials={report['trials']} gil={report['gil_enabled']}"
+    )
+    header = f"{'row':<46} {'greedy':>9} {'pipelined':>10} {'ratio':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in report["rows"]:
+        if row["kind"] == "walltime":
+            label = (
+                f"walltime {row['n_examples']}x{row['n_visible']} "
+                f"layers={row['layers']} E={row['epochs']}"
+            )
+            print(
+                f"{label:<46} {row['greedy_s']:>8.2f}s {row['pipelined_s']:>9.2f}s "
+                f"{row['speedup']:>7.2f}x  (ideal {row['ideal_speedup']:.2f}x, "
+                f"scaling expected: {row['expected_scaling']})"
+            )
+        else:
+            label = f"convergence layer {row['layer']}"
+            print(
+                f"{label:<46} {row['greedy_loss']:>9.4f} "
+                f"{row['pipelined_loss']:>10.4f} "
+                f"{row['rel_diff']:>7.4f}  (tol {row['tol']:.2f}, "
+                f"within: {row['within_tol']})"
+            )
+
+    if args.out:
+        print(f"wrote {write_report(report, args.out)}")
+
+    status = 0
+    if args.min_speedup is not None:
+        failures, skipped = enforce_gates(report, min_speedup=args.min_speedup)
+        for note in skipped:
+            print(f"SKIPPED: {note}")
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        elif not skipped:
+            print(f"gates passed (floor {args.min_speedup:.2f}x)")
+
+    if args.baseline:
+        failures, skipped = compare_to_baseline(
+            report, load_report(args.baseline), max_regression=args.max_regression
+        )
+        for note in skipped:
+            print(f"SKIPPED: {note}")
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"no speedup regression vs {args.baseline}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,13 +25,15 @@ Two families of rows, mirroring the paper's two concurrency mechanisms:
   this is Fig. 5's "loading thread hides the PCIe transfer" made
   executable.
 
-Speedup gates are machine- and engine-aware: W≥2 worker gates only bind
-on machines with ≥2 usable cores (a single-core host *cannot* exhibit
-compute-parallel speedup; the committed report records the core count so
-CI — which runs multi-core — still enforces the floors).  Thread rows
-gate on ``speedup`` (the historical contract), process rows gate on
-``vs_serial`` (the process engine must beat *serial*, not just its own
-W=1).  The prefetch gate binds everywhere.
+Speedup gates are machine- and engine-aware: every worker row is tagged
+``expected_scaling`` (``n_cores >= n_workers`` at measurement time —
+a single-core host *cannot* exhibit compute-parallel speedup, and its
+W=2 rows would otherwise read like regressions).  Gates and baseline
+comparisons skip untagged rows **explicitly**, reporting a note per
+skip, never silently.  Thread rows gate on ``speedup`` (the historical
+contract), process rows gate on ``vs_serial`` (the process engine must
+beat *serial*, not just its own W=1).  The prefetch gate binds
+everywhere — overlapping a sleeping loader needs no second core.
 
 Metadata records the concurrency regime of the measurement:
 ``gil_enabled``/``free_threaded`` (PEP 703 audit, see
@@ -52,7 +54,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-SCHEMA_ID = "repro.bench_parallel/v2"
+SCHEMA_ID = "repro.bench_parallel/v3"
 
 #: (batch, n_visible, n_hidden) — paper-scale layer for the full run.
 PAPER_SHAPES: Tuple[Tuple[int, int, int], ...] = ((100, 4096, 1024),)
@@ -134,6 +136,7 @@ def _worker_rows(
     trials: int,
     inner: int,
     seed: int,
+    n_cores: int,
 ) -> List[Dict]:
     from repro.nn.autoencoder import SparseAutoencoder
     from repro.runtime.executor import ParallelGradientEngine
@@ -181,6 +184,9 @@ def _worker_rows(
                 "speedup": round(round(ms_w1, 3) / round(ms, 3), 4),
                 "vs_serial": round(round(serial_ms, 3) / round(ms, 3), 4),
                 "max_abs_diff": diff,
+                # Compute-parallel scaling is only physically possible
+                # with one core per worker; gates skip untagged rows.
+                "expected_scaling": bool(n_cores >= w),
             }
         )
     return rows
@@ -281,6 +287,7 @@ def run_parallel_bench(
         raise ConfigurationError(
             "engines must include 'thread' (always-available reference backend)"
         )
+    n_cores = available_cores()
     rows: List[Dict] = []
     for batch, n_visible, n_hidden in shapes:
         serial = _serial_ms(batch, n_visible, n_hidden, trials, inner, seed)
@@ -288,13 +295,13 @@ def run_parallel_bench(
             rows.extend(
                 _worker_rows(
                     engine, serial, batch, n_visible, n_hidden,
-                    workers, trials, inner, seed,
+                    workers, trials, inner, seed, n_cores,
                 )
             )
         rows.append(_prefetch_row(n_chunks, 2, batch, n_visible, n_hidden, seed))
     return {
         "schema": SCHEMA_ID,
-        "n_cores": available_cores(),
+        "n_cores": n_cores,
         "have_blas": bool(HAVE_BLAS),
         "have_threadpoolctl": bool(HAVE_THREADPOOLCTL),
         "blas_budget_active": blas_budget_active(),
@@ -370,6 +377,11 @@ def validate_report(report: Dict) -> None:
         for field in required:
             if field not in row:
                 raise ConfigurationError(f"rows[{i}] missing field {field!r}")
+        if kind == "workers" and not isinstance(row.get("expected_scaling"), bool):
+            raise ConfigurationError(
+                f"rows[{i}] must record boolean 'expected_scaling' "
+                f"(n_cores >= n_workers at measurement time)"
+            )
         timing_fields = (
             ("ms", "serial_ms", "vs_serial")
             if kind == "workers"
@@ -400,17 +412,17 @@ def enforce_gates(report: Dict, min_speedup: float = MIN_SPEEDUP) -> Tuple[List[
 
     * prefetch rows must reach ``min_speedup`` on every machine (overlap
       with a sleeping loader does not need a second core);
-    * ``n_workers >= 2`` rows must reach ``min_speedup`` only when the
-      report was measured on ≥2 cores — on a single-core host the rows
-      are recorded but the gate is reported as skipped.  Thread rows gate
-      on ``speedup`` (vs the same engine at W=1); process rows gate on
-      ``vs_serial`` (the process engine must beat the engine-free serial
-      step, the claim this backend exists to make).
+    * ``n_workers >= 2`` rows must reach ``min_speedup`` only when tagged
+      ``expected_scaling`` (measured with at least one core per worker) —
+      other rows are recorded but the gate is reported as skipped, never
+      silently dropped.  Thread rows gate on ``speedup`` (vs the same
+      engine at W=1); process rows gate on ``vs_serial`` (the process
+      engine must beat the engine-free serial step, the claim this
+      backend exists to make).
     """
     validate_report(report)
     failures: List[str] = []
     skipped: List[str] = []
-    multicore = report["n_cores"] >= 2
     for row in report["rows"]:
         if row["kind"] == "workers":
             if row["n_workers"] < 2:
@@ -420,11 +432,12 @@ def enforce_gates(report: Dict, min_speedup: float = MIN_SPEEDUP) -> Tuple[List[
                 f"{row['engine']} workers W={row['n_workers']} "
                 f"({row['batch']},{row['n_visible']}->{row['n_hidden']})"
             )
-            if not multicore:
+            if not row["expected_scaling"]:
                 skipped.append(
-                    f"{label}: {metric} gate skipped — report measured on "
-                    f"{report['n_cores']} core(s); compute-parallel speedup "
-                    "needs >= 2"
+                    f"{label}: {metric} gate skipped — row tagged "
+                    f"expected_scaling=false (measured on "
+                    f"{report['n_cores']} core(s) < {row['n_workers']} "
+                    f"workers)"
                 )
             elif value < min_speedup:
                 failures.append(
@@ -443,37 +456,47 @@ def enforce_gates(report: Dict, min_speedup: float = MIN_SPEEDUP) -> Tuple[List[
 
 def compare_to_baseline(
     report: Dict, baseline: Dict, max_regression: float = 0.25
-) -> List[str]:
+) -> Tuple[List[str], List[str]]:
     """Flag rows whose gated ratio regressed vs the committed baseline.
 
-    Worker rows are only compared when *both* reports were measured on ≥2
-    cores (single-core ratios are ~1.0 by construction and carry no
-    signal); prefetch rows are always compared.  Each row is compared on
-    the same metric its gate uses (:func:`_gate_metric`).  Returns
-    human-readable failure strings, empty when everything is within
-    ``max_regression``.
+    Returns ``(failures, skipped_notes)``.  A worker row is only compared
+    when **both** the current and the baseline row are tagged
+    ``expected_scaling`` (an under-cored measurement's ratios hover
+    around 1.0 and carry no regression signal) — skipped rows are
+    reported with a note naming which side lacked scaling, never dropped
+    silently.  Prefetch rows are always compared.  Each row is compared
+    on the same metric its gate uses (:func:`_gate_metric`).
     """
     validate_report(report)
     validate_report(baseline)
-    both_multicore = report["n_cores"] >= 2 and baseline["n_cores"] >= 2
     base_by_key = {_row_key(row): row for row in baseline["rows"]}
     failures: List[str] = []
+    skipped: List[str] = []
     for row in report["rows"]:
-        if row["kind"] == "workers" and not both_multicore:
-            continue
         base = base_by_key.get(_row_key(row))
         if base is None:
             continue  # new shape/engine, nothing to regress against
         metric, value = _gate_metric(row)
+        label = f"{row['kind']} {_row_key(row)[1:]}"
+        if row["kind"] == "workers" and not (
+            row["expected_scaling"] and base["expected_scaling"]
+        ):
+            source = "report" if not row["expected_scaling"] else "baseline"
+            skipped.append(
+                f"{label}: baseline comparison skipped — {source} row "
+                f"tagged expected_scaling=false (measured on fewer cores "
+                f"than workers)"
+            )
+            continue
         floor = base[metric] * (1.0 - max_regression)
         if value < floor:
             failures.append(
-                f"{row['kind']} {_row_key(row)[1:]}: {metric} "
+                f"{label}: {metric} "
                 f"{value:.2f}x < floor {floor:.2f}x "
                 f"(baseline {base[metric]:.2f}x, allowed regression "
                 f"{max_regression:.0%})"
             )
-    return failures
+    return failures, skipped
 
 
 def load_report(path: str) -> Dict:

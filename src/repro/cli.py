@@ -11,6 +11,7 @@
     python -m repro cluster-bench [--quick]  # multi-replica cluster drills
     python -m repro hotpath [--quick]      # fused-kernel wall-clock bench
     python -m repro parallel-bench [--quick]  # thread+process executor bench
+    python -m repro pipeline-bench [--quick]  # pipelined vs greedy pretrain
     python -m repro chaos [--quick]        # fault-injection + resume drill
     python -m repro all                    # everything (except wall-clock benches)
     python -m repro table1 --csv out.csv   # export rows
@@ -120,6 +121,46 @@ def _rows_for(command: str, model: str, args=None):
             f"(wall clock, {report['n_cores']} core(s))"
         )
         return report["rows"], title
+    if command == "pipeline-bench":
+        from repro.bench.pipeline import run_pipeline_bench
+
+        quick = bool(getattr(args, "quick", False))
+        report = run_pipeline_bench(
+            quick=quick,
+            seed=getattr(args, "seed", None) or 0,
+            trials=1 if quick else 2,
+        )
+        title = (
+            "Pipelined vs greedy pre-training (wall clock + convergence, "
+            f"{report['n_cores']} core(s))"
+        )
+        # Flatten the two row kinds into one display shape (format_table
+        # derives its columns from the first row).
+        display = []
+        for row in report["rows"]:
+            if row["kind"] == "walltime":
+                display.append({
+                    "row": (
+                        f"walltime {row['n_examples']}x{row['n_visible']} "
+                        f"layers={row['layers']} E={row['epochs']}"
+                    ),
+                    "greedy": f"{row['greedy_s']:.2f}s",
+                    "pipelined": f"{row['pipelined_s']:.2f}s",
+                    "ratio": f"{row['speedup']:.2f}x",
+                    "note": (
+                        f"ideal {row['ideal_speedup']:.2f}x, scaling "
+                        f"expected: {row['expected_scaling']}"
+                    ),
+                })
+            else:
+                display.append({
+                    "row": f"convergence layer {row['layer']} (final loss)",
+                    "greedy": f"{row['greedy_loss']:.4f}",
+                    "pipelined": f"{row['pipelined_loss']:.4f}",
+                    "ratio": f"rel {row['rel_diff']:.4f}",
+                    "note": f"tol {row['tol']:.2f}, within: {row['within_tol']}",
+                })
+        return display, title
     if command == "chaos":
         from repro.testing.chaos import run_chaos
 
@@ -136,11 +177,13 @@ def _rows_for(command: str, model: str, args=None):
 _COMMANDS = [
     "table1", "fig7", "fig8", "fig9", "fig10", "overlap", "headline",
     "cores", "roofline", "serve-bench", "cluster-bench", "hotpath",
-    "parallel-bench", "verify", "chaos", "all",
+    "parallel-bench", "pipeline-bench", "verify", "chaos", "all",
 ]
 
 #: commands too slow / machine-dependent to fold into ``all``
-_EXCLUDED_FROM_ALL = {"hotpath", "parallel-bench", "chaos", "cluster-bench"}
+_EXCLUDED_FROM_ALL = {
+    "hotpath", "parallel-bench", "pipeline-bench", "chaos", "cluster-bench",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,14 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed",
         type=int,
         default=None,
-        help="serve-bench / hotpath / parallel-bench: workload seed (default 0)",
+        help=(
+            "serve-bench / hotpath / parallel-bench / pipeline-bench: "
+            "workload seed (default 0)"
+        ),
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help=(
-            "hotpath / parallel-bench / chaos / cluster-bench: small shapes "
-            "+ fewer trials (CI smoke run)"
+            "hotpath / parallel-bench / pipeline-bench / chaos / "
+            "cluster-bench: small shapes + fewer trials (CI smoke run)"
         ),
     )
     parser.add_argument(

@@ -237,6 +237,12 @@ class _GreedyStack:
                 f"{path}: not a {self._ckpt_kind} pretrain checkpoint "
                 f"(found kind={header.get('kind')!r}, phase={header.get('phase')!r})"
             )
+        if header.get("strategy") is not None:
+            raise CheckpointError(
+                f"{path}: checkpoint was written by the "
+                f"{header['strategy'].get('name')!r} strategy; resume with the "
+                f"same strategy= it was taken under"
+            )
         if header.get("model") != self._ckpt_model_meta():
             raise CheckpointError(
                 f"{path}: checkpoint hyper-parameters do not match this stack"
@@ -282,7 +288,7 @@ class _GreedyStack:
             log,
         )
 
-    # -- the greedy cascade ----------------------------------------------
+    # -- the layer-wise cascade ------------------------------------------
     def pretrain(
         self,
         x: np.ndarray,
@@ -292,6 +298,12 @@ class _GreedyStack:
         resume_from=None,
         callbacks=None,
         chunks=None,
+        strategy: str = "greedy",
+        sync: str = "synchronized",
+        engine_mode: str = "serial",
+        n_workers: Optional[int] = None,
+        queue_slots: Optional[int] = None,
+        checkpoint_every: int = 1,
     ) -> "_GreedyStack":
         """Run the greedy layer-wise procedure of paper Fig. 1.
 
@@ -337,7 +349,61 @@ class _GreedyStack:
         match (all four are validated).  For a block that was checkpointed
         complete but whose ``callback`` may already have fired before the
         crash, the callback fires again on resume.
+
+        ``strategy`` — ``"greedy"`` (the sequential cascade above) or
+        ``"pipelined"`` (Santara et al.: every layer trains concurrently
+        on the evolving representation of the layer below, see
+        :mod:`repro.train.pipeline` and ``docs/pipeline.md``).  The
+        pipelined strategy takes ``sync`` (``"synchronized"`` epoch
+        barriers or ``"free"`` run-ahead), per-stage engines built with
+        :func:`repro.runtime.procexec.make_engine` from ``engine_mode`` /
+        ``n_workers`` (instead of a borrowed ``engine=``), an optional
+        activation ``queue_slots`` capacity, and a ``checkpoint_every``
+        snapshot period in epochs.  Checkpoints are strategy-tagged and
+        only resume under the strategy that wrote them; within the
+        pipelined strategy, kill-anywhere resume is bit-identical per
+        layer at a fixed seed (``sync="synchronized"`` only).
         """
+        if strategy not in ("greedy", "pipelined"):
+            raise ConfigurationError(
+                f"strategy must be 'greedy' or 'pipelined', got {strategy!r}"
+            )
+        if strategy == "pipelined":
+            if engine is not None:
+                raise ConfigurationError(
+                    "strategy='pipelined' builds one engine per stage from "
+                    "engine_mode/n_workers; a borrowed engine= cannot be "
+                    "shared across stage threads"
+                )
+            if chunks is not None:
+                raise ConfigurationError(
+                    "strategy='pipelined' does not compose with chunks=: "
+                    "upper stages train from in-memory activation buffers, "
+                    "not file-backed chunks"
+                )
+            return self._pretrain_pipelined(
+                x,
+                callback=callback,
+                checkpoint=checkpoint,
+                resume_from=resume_from,
+                callbacks=callbacks,
+                sync=sync,
+                engine_mode=engine_mode,
+                n_workers=n_workers,
+                queue_slots=queue_slots,
+                checkpoint_every=checkpoint_every,
+            )
+        if (
+            sync != "synchronized"
+            or engine_mode != "serial"
+            or n_workers is not None
+            or queue_slots is not None
+            or checkpoint_every != 1
+        ):
+            raise ConfigurationError(
+                "sync=, engine_mode=, n_workers=, queue_slots= and "
+                "checkpoint_every= only apply to strategy='pipelined'"
+            )
         x = check_matrix_shapes(x, self.n_visible, "x")
         store = as_store(checkpoint)
         n_layers = len(self.layer_specs)
@@ -395,6 +461,233 @@ class _GreedyStack:
             current = self._block_transform(block, current)
             n_in = spec.n_hidden
         return self
+
+    # -- the pipelined cascade (Santara et al., arXiv:1603.02836) --------
+    def _pretrain_pipelined(
+        self,
+        x: np.ndarray,
+        *,
+        callback,
+        checkpoint,
+        resume_from,
+        callbacks,
+        sync: str,
+        engine_mode: str,
+        n_workers: Optional[int],
+        queue_slots: Optional[int],
+        checkpoint_every: int,
+    ) -> "_GreedyStack":
+        """All layers at once: one stage per block, queues in between."""
+        # Lazy imports keep the nn → runtime.procexec edge off the module
+        # import path (the pipeline is an opt-in strategy).
+        from repro.runtime.procexec import make_engine
+        from repro.train.pipeline import PipelinedPretrainer, StagePlan
+
+        x = check_matrix_shapes(x, self.n_visible, "x")
+        epoch_counts = {s.epochs for s in self.layer_specs}
+        if len(epoch_counts) != 1:
+            raise ConfigurationError(
+                f"strategy='pipelined' needs the same LayerSpec.epochs on "
+                f"every layer (the stages train in epoch lock-step), got "
+                f"{sorted(epoch_counts)}; use strategy='greedy' for "
+                f"heterogeneous per-layer epochs"
+            )
+        store = as_store(checkpoint)
+        n_layers = len(self.layer_specs)
+        rngs = spawn_generators(self._seed, 2 * n_layers)
+        engines = [
+            make_engine(
+                engine_mode,
+                n_workers=n_workers,
+                seed=i,
+                name=f"{self._ckpt_kind}-stage{i}",
+            )
+            for i in range(n_layers)
+        ]
+        try:
+            start_epoch, buffers, metrics, event_logs = 0, None, None, None
+            if resume_from is not None:
+                start_epoch, buffers, metrics, event_logs = self._restore_pipelined(
+                    resume_from, rngs, engines, sync, engine_mode
+                )
+            else:
+                # Same generator layout as greedy (block i inits from
+                # rngs[2i]), so stage 0 is bit-identical to greedy block 0.
+                self.blocks = []
+                for i, spec in enumerate(self.layer_specs):
+                    self.blocks.append(
+                        self._make_block(self.layer_sizes[i], spec, rngs[2 * i])
+                    )
+            plans = []
+            for i, spec in enumerate(self.layer_specs):
+                block = self.blocks[i]
+
+                def make_step(buffer, _i=i, _block=block, _spec=spec):
+                    # Called on the stage thread: the workspace arena (and
+                    # the engine's coordinator workspace) pin to it.
+                    ws = Workspace(name=f"{self._ckpt_kind}-stage{_i}")
+                    return self._block_step(_block, buffer, _spec, rngs[2 * _i + 1], ws)
+
+                plans.append(
+                    StagePlan(
+                        index=i,
+                        epochs=spec.epochs,
+                        batch_size=spec.batch_size,
+                        out_width=spec.n_hidden,
+                        make_step=make_step,
+                        encode=lambda rows, _b=block: self._block_transform(_b, rows),
+                        rng=rngs[2 * i + 1],
+                        engine=engines[i],
+                    )
+                )
+            pretrainer = PipelinedPretrainer(
+                plans,
+                sync=sync,
+                queue_slots=queue_slots,
+                callbacks=callbacks,
+                checkpoint_every=checkpoint_every,
+            )
+            on_snapshot = None
+            if store is not None:
+                on_snapshot = lambda epochs_done: self._save_pipelined_checkpoint(
+                    store, epochs_done, pretrainer, rngs, engines,
+                    sync, engine_mode, checkpoint_every,
+                )
+            metrics = pretrainer.run(
+                x,
+                start_epoch=start_epoch,
+                buffers=buffers,
+                metrics=metrics,
+                event_logs=event_logs,
+                on_snapshot=on_snapshot,
+            )
+        finally:
+            for eng in engines:
+                if eng is not None:
+                    eng.close()
+        self.layer_errors = [list(m) for m in metrics]
+        if callback is not None:
+            for i, block in enumerate(self.blocks):
+                callback(i, block, self.layer_errors[i])
+        return self
+
+    def _save_pipelined_checkpoint(
+        self,
+        store: CheckpointStore,
+        epochs_done: int,
+        pretrainer,
+        rngs,
+        engines,
+        sync: str,
+        engine_mode: str,
+        checkpoint_every: int,
+    ) -> None:
+        """Snapshot inside a checkpoint window: every stage parked, every
+        activation queue provably empty, so per-stage state is the whole
+        state — block parameters, all RNG streams, the upper stages'
+        input buffers, and each stage's event log."""
+        header = {
+            "kind": self._ckpt_kind,
+            "phase": "pretrain",
+            "strategy": {
+                "name": "pipelined",
+                "sync": sync,
+                "engine_mode": engine_mode,
+                "checkpoint_every": checkpoint_every,
+            },
+            "model": self._ckpt_model_meta(),
+            "epochs_done": int(epochs_done),
+            "rng_states": [capture_rng(g) for g in rngs],
+            "engines": [
+                None
+                if eng is None
+                else {
+                    "n_workers": eng.n_workers,
+                    "streams": eng.capture_rng_streams(),
+                }
+                for eng in engines
+            ],
+            "metrics": [[float(v) for v in m] for m in pretrainer.metrics],
+            "queues": [
+                {"pushed": q.pushed, "popped": q.popped} for q in pretrainer.queues
+            ],
+        }
+        arrays = {}
+        for j, block in enumerate(self.blocks):
+            arrays.update(self._block_arrays(j, block))
+        for k in range(1, len(self.blocks)):
+            arrays[f"pipebuf_{k}"] = pretrainer.buffers[k]
+        for k, loop in enumerate(pretrainer.loops):
+            arrays[f"evlog_{k}"] = loop.log.to_array()
+        store.save(header, arrays, tag=f"pipeline-epoch{epochs_done}")
+
+    def _restore_pipelined(
+        self, resume_from, rngs, engines, sync: str, engine_mode: str
+    ):
+        """Rebuild every stage's state from a pipelined snapshot; returns
+        ``(start_epoch, buffers, metrics, event_logs)``."""
+        path = resolve_resume_path(resume_from)
+        header, arrays = load_npz(path)
+        if header.get("kind") != self._ckpt_kind or header.get("phase") != "pretrain":
+            raise CheckpointError(
+                f"{path}: not a {self._ckpt_kind} pretrain checkpoint "
+                f"(found kind={header.get('kind')!r}, phase={header.get('phase')!r})"
+            )
+        strategy = header.get("strategy") or {}
+        if strategy.get("name") != "pipelined":
+            raise CheckpointError(
+                f"{path}: checkpoint was written by the greedy strategy; "
+                f"resume with strategy='greedy'"
+            )
+        for key, value in (("sync", sync), ("engine_mode", engine_mode)):
+            if strategy.get(key) != value:
+                raise CheckpointError(
+                    f"checkpoint was taken with {key}={strategy.get(key)!r} "
+                    f"but this run uses {key}={value!r}; bit-identical resume "
+                    f"requires the same pipeline configuration"
+                )
+        if header.get("model") != self._ckpt_model_meta():
+            raise CheckpointError(
+                f"{path}: checkpoint hyper-parameters do not match this stack"
+            )
+        engine_metas = header["engines"]
+        for k, (meta, eng) in enumerate(zip(engine_metas, engines)):
+            if (meta is None) != (eng is None):
+                raise CheckpointError(
+                    f"stage {k}: resume must use the same execution mode as "
+                    f"the checkpointed run (engine vs serial)"
+                )
+            if eng is not None:
+                if meta["n_workers"] != eng.n_workers:
+                    raise CheckpointError(
+                        f"stage {k}: checkpoint was taken at n_workers="
+                        f"{meta['n_workers']} but the engine has "
+                        f"{eng.n_workers}; bit-identical resume requires the "
+                        f"same worker count"
+                    )
+                eng.restore_rng_streams(meta["streams"])
+        states = header["rng_states"]
+        if len(states) != len(rngs):
+            raise CheckpointError(
+                f"checkpoint carries {len(states)} RNG streams, expected {len(rngs)}"
+            )
+        for gen, state in zip(rngs, states):
+            restore_rng_into(gen, state)
+        self.blocks = []
+        for j, spec in enumerate(self.layer_specs):
+            self.blocks.append(
+                self._block_from_arrays(self.layer_sizes[j], spec, arrays, j)
+            )
+        buffers = [None] + [
+            arrays[f"pipebuf_{k}"] for k in range(1, len(self.layer_specs))
+        ]
+        metrics = [[float(v) for v in m] for m in header["metrics"]]
+        event_logs = [
+            EventLog.from_array(arrays.get(f"evlog_{k}"))
+            for k in range(len(self.layer_specs))
+        ]
+        self.layer_errors = [list(m) for m in metrics]
+        return int(header["epochs_done"]), buffers, metrics, event_logs
 
     def transform(self, x: np.ndarray, n_layers: Optional[int] = None) -> np.ndarray:
         """Propagate ``x`` through the first ``n_layers`` trained blocks."""

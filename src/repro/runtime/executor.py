@@ -50,6 +50,12 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.runtime.linalg import axpy_into
 from repro.runtime.offload import ChunkEvent, OffloadTimeline
+from repro.runtime.slotqueue import (
+    BoundedSlotQueue,
+    SlotQueueClosed,
+    SlotQueueProducerDead,
+    SlotQueueProducerFailed,
+)
 from repro.runtime.threads import (
     available_cores,
     blas_thread_limit,
@@ -612,9 +618,6 @@ class PrefetchError(ConfigurationError):
     """The loader thread raised; re-raised on the consumer side."""
 
 
-_SENTINEL_ERROR = object()
-
-
 class ChunkPrefetcher:
     """Background loader thread with a bounded multi-buffer chunk queue.
 
@@ -672,10 +675,11 @@ class ChunkPrefetcher:
         self.retry_backoff_s = float(retry_backoff_s)
         self.load_attempts = 0
         self._clock = clock
-        self._slots = threading.Semaphore(self.n_buffers)
-        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
-        self._stop = threading.Event()
-        self._error: Optional[BaseException] = None
+        # The slot/semaphore discipline lives in the shared
+        # BoundedSlotQueue (extracted from this class — see
+        # repro.runtime.slotqueue); the prefetcher keeps the chunk
+        # bookkeeping, retries, and timeline measurement.
+        self._sq = BoundedSlotQueue(self.n_buffers, name=f"{self.name}-slots")
         self._thread: Optional[threading.Thread] = None
         self._t0: Optional[float] = None
         self._consumed = 0
@@ -710,7 +714,7 @@ class ChunkPrefetcher:
             except Exception:
                 # Only plain Exceptions are considered transient; the last
                 # attempt's failure propagates to the consumer unchanged.
-                if attempt == self.retries or self._stop.is_set():
+                if attempt == self.retries or self._sq.closed:
                     raise
                 time.sleep(delay)
                 delay *= 2.0
@@ -723,21 +727,19 @@ class ChunkPrefetcher:
         # the consumer blocks on queue.get() forever.
         try:
             for i in range(self.n_chunks):
-                # Poll the slot semaphore so close() can interrupt a stalled
+                # The polled slot acquire lets close() interrupt a stalled
                 # loader (consumer gone, all buffers full).
-                while not self._slots.acquire(timeout=0.05):
-                    if self._stop.is_set():
-                        return
-                if self._stop.is_set():
+                if not self._sq.acquire():
+                    return
+                if self._sq.closed:
                     return
                 self._transfer_start[i] = self._now()
                 data = self._load_with_retries(i)
                 data = fault_transform(SITE_PREFETCH_CHUNK, data, chunk=i)
                 self._transfer_end[i] = self._now()
-                self._queue.put((i, data))
+                self._sq.put((i, data))
         except BaseException as exc:
-            self._error = exc
-            self._queue.put(_SENTINEL_ERROR)
+            self._sq.put_error(exc)
 
     def __enter__(self) -> "ChunkPrefetcher":
         return self.start()
@@ -747,7 +749,7 @@ class ChunkPrefetcher:
 
     def close(self) -> None:
         """Stop the loader (releasing it from any stall) and join it."""
-        self._stop.set()
+        self._sq.close()
         if self._thread is not None:
             self._thread.join()
 
@@ -755,41 +757,38 @@ class ChunkPrefetcher:
     def _next_item(self):
         """Blocking queue get that cannot outlive the loader thread.
 
-        Polls with a timeout and, when the loader is found dead with the
-        queue empty (it should be impossible to die without publishing the
-        error sentinel, but a hard kill can do it), raises
-        :class:`PrefetchError` instead of blocking forever.
+        The underlying :class:`~repro.runtime.slotqueue.BoundedSlotQueue`
+        polls with a timeout and detects a loader found dead with the
+        queue empty (it should be impossible to die without publishing
+        the error sentinel, but a hard kill can do it); both failure
+        shapes are translated to :class:`PrefetchError` here instead of
+        blocking forever.
         """
-        while True:
-            try:
-                return self._queue.get(timeout=0.05)
-            except queue.Empty:
-                if self._thread is not None and not self._thread.is_alive():
-                    try:  # drain a publish that raced with the death check
-                        return self._queue.get_nowait()
-                    except queue.Empty:
-                        raise PrefetchError(
-                            f"{self.name} loader thread died without publishing "
-                            f"chunk {self._consumed}"
-                        ) from self._error
+        alive = None if self._thread is None else self._thread.is_alive
+        try:
+            return self._sq.get(producer_alive=alive)
+        except SlotQueueProducerFailed:
+            raise PrefetchError(
+                f"{self.name} loader failed on chunk "
+                f"{self._consumed}: {self._sq.error!r}"
+            ) from self._sq.error
+        except (SlotQueueProducerDead, SlotQueueClosed):
+            raise PrefetchError(
+                f"{self.name} loader thread died without publishing "
+                f"chunk {self._consumed}"
+            ) from self._sq.error
 
     def __iter__(self):
         self.start()
         for _ in range(self.n_chunks):
-            item = self._next_item()
-            if item is _SENTINEL_ERROR:
-                raise PrefetchError(
-                    f"{self.name} loader failed on chunk "
-                    f"{self._consumed}: {self._error!r}"
-                ) from self._error
-            index, data = item
+            index, data = self._next_item()
             self._compute_start[index] = self._now()
             try:
                 yield data
             finally:
                 self._compute_end[index] = self._now()
                 self._consumed += 1
-                self._slots.release()
+                self._sq.release()
 
     # ------------------------------------------------------------------
     @property

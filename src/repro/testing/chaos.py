@@ -38,14 +38,20 @@ N_WORKERS = 2
 
 
 def _shapes(quick: bool):
+    # "pipe" specs keep epochs uniform across layers — the pipelined
+    # strategy trains every stage in epoch lock-step.
     if quick:
         return dict(size=5, n=48, sae=[LayerSpec(10, epochs=2, batch_size=16),
                                        LayerSpec(6, epochs=2, batch_size=16)],
                     dbn=[LayerSpec(8, epochs=2, batch_size=12)],
+                    pipe=[LayerSpec(10, epochs=2, batch_size=16),
+                          LayerSpec(6, epochs=2, batch_size=16)],
                     ft_hidden=12, ft_epochs=3)
     return dict(size=8, n=128, sae=[LayerSpec(32, epochs=3, batch_size=32),
                                     LayerSpec(16, epochs=2, batch_size=32)],
                 dbn=[LayerSpec(24, epochs=3, batch_size=32)],
+                pipe=[LayerSpec(32, epochs=3, batch_size=32),
+                      LayerSpec(16, epochs=3, batch_size=32)],
                 ft_hidden=24, ft_epochs=5)
 
 
@@ -217,6 +223,52 @@ def _drill_taskgraph_node(seed) -> dict:
                 "failure propagated through the wavefront join")
 
 
+def _drill_pipeline_kill(x, sh, seed, ckpt_root: Path, site: str,
+                         plan_factory) -> dict:
+    """Shared body for the two pipelined-pretrain kill scenarios: kill at
+    the named site, resume from the last checkpoint window, and demand
+    bit-identical parameters versus an uninterrupted pipelined run."""
+    scenario = f"pipelined pretrain: kill at {site}, resume"
+
+    def fresh():
+        return StackedAutoencoder(x.shape[1], sh["pipe"], seed=seed)
+
+    baseline = fresh().pretrain(x, strategy="pipelined")
+    store = CheckpointStore(ckpt_root / f"pipeline-{site.split('.')[-1]}", keep=2)
+    fired = 0
+    try:
+        with inject(plan_factory()) as plan:
+            fresh().pretrain(x, strategy="pipelined", checkpoint=store)
+    except FaultError:
+        fired = plan.fired()
+    if not fired or store.latest() is None:
+        return _row(scenario, site, fired, False, "fault did not fire")
+    resumed = fresh().pretrain(x, strategy="pipelined", checkpoint=store,
+                               resume_from=store.directory)
+    diff = _max_diff(baseline.blocks, resumed.blocks, ("w1", "b1", "w2", "b2"))
+    return _row(scenario, site, fired, diff == 0.0,
+                f"max |Δparam| after resume = {diff:.1e}")
+
+
+def _drill_pipeline_stage_kill(x, sh, seed, ckpt_root: Path) -> dict:
+    # Stage 1's second epoch visit: deterministically after the first
+    # checkpoint window, regardless of thread interleaving.
+    return _drill_pipeline_kill(
+        x, sh, seed, ckpt_root, "pipeline.stage",
+        lambda: FaultPlan.fail("pipeline.stage", match={"stage": 1}, nth=1),
+    )
+
+
+def _drill_pipeline_queue_kill(x, sh, seed, ckpt_root: Path) -> dict:
+    # Stage 0's sixth push lands in epoch 1 for both drill shapes —
+    # again strictly after the first window.
+    return _drill_pipeline_kill(
+        x, sh, seed, ckpt_root, "pipeline.queue",
+        lambda: FaultPlan.fail("pipeline.queue",
+                               match={"op": "push", "stage": 0}, nth=5),
+    )
+
+
 # ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
@@ -249,6 +301,15 @@ def resume_drill(checkpoint_dir, quick: bool = True, seed: int = 0) -> List[dict
                          resume_from=dbn_store)
         rows.append(_row("resume DBN pretrain from disk", "-", 0, True,
                          f"final reconstruction error {dbn.layer_errors[-1][-1]:.4f}"))
+    for sub in ("pipeline-stage", "pipeline-queue"):
+        pipe_store = root / sub
+        if CheckpointStore(pipe_store).latest() is not None:
+            stack = StackedAutoencoder(x.shape[1], sh["pipe"], seed=seed)
+            stack.pretrain(x, strategy="pipelined", resume_from=pipe_store)
+            rows.append(_row(f"resume pipelined pretrain from disk ({sub})",
+                             "-", 0, True,
+                             f"final reconstruction error "
+                             f"{stack.layer_errors[-1][-1]:.4f}"))
     ft_store = root / "finetune"
     if CheckpointStore(ft_store).latest() is not None:
         net = DeepNetwork([x.shape[1], sh["ft_hidden"], 10], head="softmax", seed=seed)
@@ -288,6 +349,8 @@ def run_chaos(
             _drill_sae_worker_kill(x, sh, seed, root),
             _drill_dbn_reduce_kill(x, sh, seed, root),
             _drill_finetune_kill(x, labels, sh, seed, root),
+            _drill_pipeline_stage_kill(x, sh, seed, root),
+            _drill_pipeline_queue_kill(x, sh, seed, root),
             _drill_prefetch_retry(seed),
             _drill_prefetch_hard_failure(seed),
             _drill_chunk_corruption(seed),

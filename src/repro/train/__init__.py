@@ -13,7 +13,11 @@ every stack in the repository:
 * :mod:`repro.train.callbacks` — :class:`History`,
   :class:`EarlyStopping`, :class:`ProgressLogger`, the composite
   :class:`CallbackList`;
-* :mod:`repro.train.batches` — the one copy of mini-batch shuffling.
+* :mod:`repro.train.batches` — the one copy of mini-batch shuffling;
+* :mod:`repro.train.pipeline` — :class:`PipelinedPretrainer`: one
+  :class:`TrainLoop` per layer running concurrently, connected by
+  bounded :class:`ActivationQueue` hand-offs (Santara et al.'s
+  synchronized layer-wise pre-training).
 
 Layering: this package sits between the model substrate
 (:mod:`repro.nn`, which defines the concrete steps) and the execution
@@ -44,6 +48,12 @@ from repro.train.loop import (
     TrainLoop,
     TrainStep,
 )
+from repro.train.pipeline import (
+    ActivationQueue,
+    PipelineError,
+    PipelinedPretrainer,
+    StagePlan,
+)
 
 __all__ = [
     "batch_bounds",
@@ -65,4 +75,8 @@ __all__ = [
     "EventLog",
     "TrainLoop",
     "TrainStep",
+    "ActivationQueue",
+    "PipelineError",
+    "PipelinedPretrainer",
+    "StagePlan",
 ]

@@ -62,6 +62,13 @@ class TestRun:
         w1 = [r for r in report["rows"] if r.get("n_workers") == 1]
         assert w1 and all(r["speedup"] == 1.0 for r in w1)
 
+    def test_worker_rows_are_core_count_tagged(self, report):
+        for row in report["rows"]:
+            if row["kind"] == "workers":
+                assert row["expected_scaling"] == (
+                    report["n_cores"] >= row["n_workers"]
+                )
+
     def test_workers_must_include_one(self):
         with pytest.raises(ConfigurationError):
             bp.run_parallel_bench(shapes=[(8, 6, 4)], workers=(2, 4), trials=1, inner=1)
@@ -139,6 +146,14 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="threadpoolctl"):
             bp.validate_report(bad)
 
+    def test_rejects_missing_scaling_tag(self, report):
+        bad = copy.deepcopy(report)
+        for row in bad["rows"]:
+            if row["kind"] == "workers":
+                del row["expected_scaling"]
+        with pytest.raises(ConfigurationError, match="expected_scaling"):
+            bp.validate_report(bad)
+
     def test_rejects_unknown_engine_in_row(self, report):
         bad = copy.deepcopy(report)
         for row in bad["rows"]:
@@ -161,10 +176,19 @@ class TestValidation:
             bp.validate_report(bad)
 
 
+def _retag(r, expected_scaling):
+    """Force the scaling tag on every worker row (simulated core counts)."""
+    for row in r["rows"]:
+        if row["kind"] == "workers":
+            row["expected_scaling"] = expected_scaling
+    return r
+
+
 class TestGates:
-    def test_single_core_skips_worker_gate(self, report):
+    def test_untagged_worker_rows_skip_gate_with_note(self, report):
         r = copy.deepcopy(report)
         r["n_cores"] = 1
+        _retag(r, False)
         for row in r["rows"]:
             row["speedup"] = 2.0  # prefetch safely above the floor
         for row in r["rows"]:
@@ -172,11 +196,13 @@ class TestGates:
                 row["speedup"] = 0.5  # would fail — but must be skipped
         failures, skipped = bp.enforce_gates(r, min_speedup=1.3)
         assert failures == []
-        assert skipped and "1 core" in skipped[0]
+        assert skipped and "expected_scaling=false" in skipped[0]
+        assert "1 core" in skipped[0]
 
     def test_multicore_enforces_worker_floor(self, report):
         r = copy.deepcopy(report)
         r["n_cores"] = 4
+        _retag(r, True)
         for row in r["rows"]:
             row["speedup"] = 2.0
             if row["kind"] == "workers":
@@ -194,6 +220,7 @@ class TestGates:
             pytest.skip("no process rows on this platform")
         r = copy.deepcopy(report)
         r["n_cores"] = 4
+        _retag(r, True)
         for row in r["rows"]:
             row["speedup"] = 2.0  # every per-engine scaling curve is fine
             if row["kind"] == "workers":
@@ -209,6 +236,7 @@ class TestGates:
     def test_prefetch_floor_applies_on_any_core_count(self, report):
         r = copy.deepcopy(report)
         r["n_cores"] = 1
+        _retag(r, False)
         for row in r["rows"]:
             row["speedup"] = 2.0
         for row in r["rows"]:
@@ -220,6 +248,7 @@ class TestGates:
     def test_all_gates_pass_on_good_multicore_report(self, report):
         r = copy.deepcopy(report)
         r["n_cores"] = 4
+        _retag(r, True)
         for row in r["rows"]:
             if row.get("n_workers") != 1:
                 row["speedup"] = 1.8
@@ -231,45 +260,66 @@ class TestGates:
 
 class TestBaselineComparison:
     def test_no_regression_against_self(self, report):
-        assert bp.compare_to_baseline(report, report) == []
+        failures, _ = bp.compare_to_baseline(report, report)
+        assert failures == []
 
     def test_flags_prefetch_regression(self, report):
         current = copy.deepcopy(report)
         for row in current["rows"]:
             if row["kind"] == "prefetch":
                 row["speedup"] = row["speedup"] * 0.5
-        failures = bp.compare_to_baseline(current, report, max_regression=0.25)
+        failures, _ = bp.compare_to_baseline(current, report, max_regression=0.25)
         assert failures and "prefetch" in failures[0]
 
-    def test_worker_rows_skipped_when_either_side_single_core(self, report):
+    def test_untagged_worker_rows_skipped_with_note(self, report):
         current = copy.deepcopy(report)
-        current["n_cores"] = 1
+        _retag(current, False)
         for row in current["rows"]:
             if row["kind"] == "workers":
-                row["speedup"] = 0.1  # huge regression — must be ignored
-        failures = bp.compare_to_baseline(current, report, max_regression=0.25)
+                row["speedup"] = 0.1  # huge regression — must be skipped
+        failures, skipped = bp.compare_to_baseline(
+            current, report, max_regression=0.25
+        )
         assert all("workers" not in f for f in failures)
+        assert skipped and all("expected_scaling=false" in n for n in skipped)
+        assert all("report" in n for n in skipped)  # names which side
 
-    def test_worker_rows_compared_when_both_multicore(self, report):
+    def test_untagged_baseline_rows_skipped_with_note(self, report):
+        base = copy.deepcopy(report)
+        _retag(base, False)
+        current = copy.deepcopy(report)
+        _retag(current, True)
+        failures, skipped = bp.compare_to_baseline(
+            current, base, max_regression=0.25
+        )
+        assert all("workers" not in f for f in failures)
+        assert skipped and all("baseline" in n for n in skipped)
+
+    def test_worker_rows_compared_when_both_tagged(self, report):
         base = copy.deepcopy(report)
         base["n_cores"] = 4
+        _retag(base, True)
         current = copy.deepcopy(base)
         for row in current["rows"]:
             if row["kind"] == "workers" and row["n_workers"] >= 2:
                 row["speedup"] = row["speedup"] * 0.1
-        failures = bp.compare_to_baseline(current, base, max_regression=0.25)
+        failures, skipped = bp.compare_to_baseline(
+            current, base, max_regression=0.25
+        )
         assert failures
+        assert skipped == []
 
     def test_process_regression_flagged_on_vs_serial(self, report):
         if not report["process_engine_available"]:
             pytest.skip("no process rows on this platform")
         base = copy.deepcopy(report)
         base["n_cores"] = 4
+        _retag(base, True)
         current = copy.deepcopy(base)
         for row in current["rows"]:
             if row["kind"] == "workers" and row["engine"] == "process":
                 row["vs_serial"] = row["vs_serial"] * 0.1
-        failures = bp.compare_to_baseline(current, base, max_regression=0.25)
+        failures, _ = bp.compare_to_baseline(current, base, max_regression=0.25)
         assert failures and all("vs_serial" in f for f in failures)
 
     def test_unknown_shape_is_not_compared(self, report):
@@ -277,7 +327,7 @@ class TestBaselineComparison:
         for row in current["rows"]:
             row["n_chunks"] = row.get("n_chunks", 0) + 99
             row["batch"] = row["batch"] + 99
-        assert bp.compare_to_baseline(current, report) == []
+        assert bp.compare_to_baseline(current, report) == ([], [])
 
 
 class TestRoundTrip:

@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.testing.faults import FaultPlan, inject, registered_sites
 
-# The complete kill-anywhere surface as of the repro.cluster tier.
+# The complete kill-anywhere surface as of the pipelined-pretrain tier.
 EXPECTED_SITES = {
     "engine.worker",
     "engine.reduce",
@@ -20,6 +20,8 @@ EXPECTED_SITES = {
     "offload.chunk",
     "router.dispatch",
     "replica.serve",
+    "pipeline.stage",
+    "pipeline.queue",
 }
 
 
@@ -32,6 +34,9 @@ def _import_instrumented_modules():
     # The cluster tier registers its own sites on import.
     import repro.cluster.replica  # noqa: F401
     import repro.cluster.router  # noqa: F401
+
+    # The pipelined pre-training stages register theirs.
+    import repro.train.pipeline  # noqa: F401
 
 
 class TestRegisteredSites:

@@ -1,0 +1,146 @@
+"""Kill-anywhere resume for the pipelined pre-training strategy.
+
+The invariant (docs/pipeline.md, "Determinism contract"): kill a
+pipelined run at **any** visit of ``pipeline.stage`` or
+``pipeline.queue`` after the first checkpoint window, resume from the
+newest snapshot, and every block's parameters are bit-identical to an
+uninterrupted pipelined run at the same seed — and a stage death never
+hangs the other stages (the typed teardown path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.stacked import LayerSpec, StackedAutoencoder
+from repro.runtime.checkpoint import CheckpointError, CheckpointStore
+from repro.testing.faults import FaultError, FaultPlan, inject
+
+N_VISIBLE = 20
+SPECS = [
+    LayerSpec(10, epochs=3, batch_size=16),
+    LayerSpec(6, epochs=3, batch_size=16),
+]
+ARRAYS = ("w1", "b1", "w2", "b2")
+
+
+@pytest.fixture(scope="module")
+def x():
+    rng = np.random.default_rng(0)
+    return rng.random((48, N_VISIBLE))
+
+
+@pytest.fixture(scope="module")
+def baseline(x):
+    return _fresh().pretrain(x, strategy="pipelined")
+
+
+def _fresh():
+    return StackedAutoencoder(N_VISIBLE, SPECS, seed=7)
+
+
+def _assert_identical(stack_a, stack_b):
+    for k, (a, b) in enumerate(zip(stack_a.blocks, stack_b.blocks)):
+        for name in ARRAYS:
+            assert np.array_equal(getattr(a, name), getattr(b, name)), (
+                f"block {k} array {name} differs after resume"
+            )
+
+
+def _kill_and_resume(x, store, plan):
+    with pytest.raises(FaultError):
+        with inject(plan):
+            _fresh().pretrain(x, strategy="pipelined", checkpoint=store)
+    assert plan.fired() >= 1
+    assert store.latest() is not None, "no snapshot before the kill"
+    return _fresh().pretrain(
+        x, strategy="pipelined", checkpoint=store, resume_from=store.directory
+    )
+
+
+class TestStageKills:
+    # Every (stage, epoch) visit after the first checkpoint window:
+    # stage s's epoch-e visit with e >= 1 happens after the epoch-1 cut.
+    @pytest.mark.parametrize("stage", [0, 1])
+    @pytest.mark.parametrize("nth", [1, 2])
+    def test_kill_any_stage_any_epoch(self, x, baseline, tmp_path, stage, nth):
+        store = CheckpointStore(tmp_path / f"s{stage}n{nth}", keep=2)
+        plan = FaultPlan.fail("pipeline.stage", match={"stage": stage}, nth=nth)
+        resumed = _kill_and_resume(x, store, plan)
+        _assert_identical(baseline, resumed)
+        assert resumed.layer_errors == baseline.layer_errors
+
+
+class TestQueueKills:
+    # 48 examples / batch 16 → 4 pushes per epoch (3 rows + 1 marker);
+    # visits 4.. are epoch ≥ 1, after the first window.
+    @pytest.mark.parametrize("nth", [4, 6, 7])
+    def test_kill_push_mid_epoch(self, x, baseline, tmp_path, nth):
+        store = CheckpointStore(tmp_path / f"push{nth}", keep=2)
+        plan = FaultPlan.fail(
+            "pipeline.queue", match={"op": "push", "stage": 0}, nth=nth
+        )
+        resumed = _kill_and_resume(x, store, plan)
+        _assert_identical(baseline, resumed)
+
+    @pytest.mark.parametrize("nth", [5, 8])
+    def test_kill_pop_mid_epoch(self, x, baseline, tmp_path, nth):
+        store = CheckpointStore(tmp_path / f"pop{nth}", keep=2)
+        plan = FaultPlan.fail(
+            "pipeline.queue", match={"op": "pop", "stage": 0}, nth=nth
+        )
+        resumed = _kill_and_resume(x, store, plan)
+        _assert_identical(baseline, resumed)
+
+
+class TestTeardownShape:
+    def test_stage_death_does_not_hang_and_is_typed(self, x):
+        """An uncheckpointed kill still tears down every thread: the
+        FaultError surfaces on the caller and pretrain returns promptly
+        (pytest-level timeout = the suite simply completing)."""
+        plan = FaultPlan.fail("pipeline.stage", match={"stage": 1}, nth=0)
+        with pytest.raises(FaultError) as exc_info:
+            with inject(plan):
+                _fresh().pretrain(x, strategy="pipelined")
+        assert exc_info.value.site == "pipeline.stage"
+
+    def test_sparser_windows_still_resume_identically(self, x, baseline, tmp_path):
+        """checkpoint_every=2 cuts at epoch 2 only; a later kill resumes
+        from that cut bit-identically."""
+        store = CheckpointStore(tmp_path / "sparse", keep=2)
+        plan = FaultPlan.fail("pipeline.stage", match={"stage": 0}, nth=2)
+        with pytest.raises(FaultError):
+            with inject(plan):
+                _fresh().pretrain(
+                    x, strategy="pipelined", checkpoint=store, checkpoint_every=2
+                )
+        assert store.latest() is not None
+        resumed = _fresh().pretrain(
+            x, strategy="pipelined", checkpoint=store,
+            resume_from=store.directory, checkpoint_every=2,
+        )
+        _assert_identical(baseline, resumed)
+
+
+class TestStrategyCrossChecks:
+    def test_greedy_resume_rejects_pipelined_checkpoint(self, x, tmp_path):
+        store = CheckpointStore(tmp_path / "pipe", keep=2)
+        _fresh().pretrain(x, strategy="pipelined", checkpoint=store)
+        with pytest.raises(CheckpointError, match="strategy"):
+            _fresh().pretrain(x, resume_from=store.directory)
+
+    def test_pipelined_resume_rejects_greedy_checkpoint(self, x, tmp_path):
+        store = CheckpointStore(tmp_path / "greedy", keep=2)
+        _fresh().pretrain(x, checkpoint=store)
+        with pytest.raises(CheckpointError, match="greedy"):
+            _fresh().pretrain(
+                x, strategy="pipelined", resume_from=store.directory
+            )
+
+    def test_resume_rejects_different_engine_mode(self, x, tmp_path):
+        store = CheckpointStore(tmp_path / "serial", keep=2)
+        _fresh().pretrain(x, strategy="pipelined", checkpoint=store)
+        with pytest.raises(CheckpointError, match="engine_mode"):
+            _fresh().pretrain(
+                x, strategy="pipelined", engine_mode="thread", n_workers=2,
+                resume_from=store.directory,
+            )

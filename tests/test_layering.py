@@ -49,6 +49,18 @@ class TestDetection:
         violations = check_layering.check(root)
         assert [v[3] for v in violations] == ["repro.nn.mlp"]
 
+    def test_flags_pipeline_module_reaching_into_nn(self, tmp_path):
+        """repro.train.pipeline schedules opaque StagePlans — a model
+        import there is a boundary break the lint must catch."""
+        root = self._pkg(
+            tmp_path, "repro.train", "pipeline.py",
+            "from repro.nn.stacked import StackedAutoencoder\n",
+        )
+        violations = check_layering.check(root)
+        assert [(v[2], v[4]) for v in violations] == [
+            ("repro.train.pipeline", "repro.nn")
+        ]
+
     def test_allows_permitted_imports(self, tmp_path):
         root = self._tree(
             tmp_path,

@@ -8,7 +8,10 @@ fails the build when a package reaches *down* the wrong way:
 
 * ``repro.train`` must not import ``repro.nn`` / ``repro.core`` /
   ``repro.phi`` / ``repro.serve`` — models plug into the loop through
-  the ``TrainStep`` adapter, never the other way around;
+  the ``TrainStep`` adapter, never the other way around.  This covers
+  :mod:`repro.train.pipeline` too: the pipelined pre-trainer schedules
+  opaque ``StagePlan`` objects, and the model-aware stage construction
+  lives on the nn side (``StackedNetwork._pretrain_pipelined``);
 * ``repro.nn`` must not import ``repro.core`` / ``repro.serve``;
 * ``repro.data`` imports nothing above the utility layer;
 * ``repro.serve`` must not import ``repro.cluster`` — the cluster tier
