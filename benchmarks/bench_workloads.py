@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Trace-driven workload replays with per-pattern SLO gates.
+
+    PYTHONPATH=src python benchmarks/bench_workloads.py                # full traces
+    PYTHONPATH=src python benchmarks/bench_workloads.py --quick        # CI smoke
+    PYTHONPATH=src python benchmarks/bench_workloads.py --quick --out BENCH_workloads.json
+    PYTHONPATH=src python benchmarks/bench_workloads.py --validate BENCH_workloads.json
+    PYTHONPATH=src python benchmarks/bench_workloads.py --quick --gates \
+        --baseline BENCH_workloads.json --max-regression 0.25
+
+Exit status: 0 on success, 1 on schema violation, SLO/acceptance gate
+failure, or baseline regression.  The clock is simulated, so every
+number is machine-independent; same-shape runs are bit-identical and
+the regression gate is exact, not advisory.  The committed
+``BENCH_workloads.json`` baseline is a ``--quick`` run (the shape CI
+replays); full-size results live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized traces (same patterns, same gates)",
+    )
+    parser.add_argument("--out", metavar="PATH", help="write the JSON report")
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing report against the schema and exit",
+    )
+    parser.add_argument(
+        "--gates",
+        action="store_true",
+        help="enforce the per-pattern SLO + acceptance gates",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed baseline report to compare throughput/p99 against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression vs baseline (default 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.bench.slobench import (
+        compare_to_baseline,
+        enforce_gates,
+        load_report,
+        run_workloads_bench,
+        validate_report,
+        write_report,
+    )
+    from repro.errors import ConfigurationError
+
+    if args.validate:
+        try:
+            validate_report(load_report(args.validate))
+        except (ConfigurationError, ValueError) as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema OK")
+        return 0
+
+    report = run_workloads_bench(quick=args.quick, seed=args.seed)
+    for row in report["rows"]:
+        slo = "SLO ok" if row["slo_ok"] else "SLO VIOLATED"
+        extra = ""
+        if row["kind"] == "mixed_train_serve":
+            extra = (
+                f", train {row['train_steps']} step(s) "
+                f"/ {row['train_failures']} failed"
+            )
+        print(
+            f"{row['kind']}: {row['completed']}/{row['offered']} served "
+            f"(shed {row['shed']}, errors {row['errors']}), "
+            f"{row['throughput_rps']:,.0f} rps, "
+            f"p99 {row['p99_ms']:.2f} ms, "
+            f"cache hit rate {row['cache_hit_rate']:.2f}, {slo}{extra}"
+        )
+        for violation in row["slo_failures"]:
+            print(f"  - {violation}")
+
+    if args.out:
+        print(f"wrote {write_report(report, args.out)}")
+
+    status = 0
+    if args.gates:
+        failures = enforce_gates(report)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILED: {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print("gates passed (per-pattern SLOs + cache/train contracts)")
+    if args.baseline:
+        failures = compare_to_baseline(
+            report, load_report(args.baseline), args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"no regression vs {args.baseline}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,9 @@ Sub-packages:
 * :mod:`repro.bench` — workloads + harness for every table and figure;
 * :mod:`repro.serve` — micro-batched inference serving (one engine);
 * :mod:`repro.cluster` — sharded multi-replica serving: router, hedging,
-  zero-downtime swap, autoscaler.
+  zero-downtime swap, autoscaler;
+* :mod:`repro.workloads` — replayable workload traces, the pattern
+  catalog, the trace replayer, and SLO gates.
 """
 
 from repro.errors import (
@@ -181,6 +183,19 @@ _CLUSTER_EXPORTS = frozenset(
 )
 
 
+_WORKLOADS_EXPORTS = frozenset(
+    {
+        "Trace",
+        "TraceEvent",
+        "TraceReplayer",
+        "ReplayReport",
+        "SLOGate",
+        "trace_from_arrivals",
+        "generate_trace",
+    }
+)
+
+
 def __getattr__(name: str):
     if name in _SERVE_EXPORTS:
         import repro.serve as _serve
@@ -190,6 +205,12 @@ def __getattr__(name: str):
         import repro.cluster as _cluster
 
         return getattr(_cluster, name)
+    if name in _WORKLOADS_EXPORTS:
+        import repro.workloads as _workloads
+
+        if name == "generate_trace":  # avoid shadowing a generic name
+            return _workloads.generate
+        return getattr(_workloads, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
@@ -288,5 +309,13 @@ __all__ = [
     "HedgePolicy",
     "ConsistentHashPolicy",
     "run_cluster_bench",
+    # workloads (lazy — see __getattr__)
+    "Trace",
+    "TraceEvent",
+    "TraceReplayer",
+    "ReplayReport",
+    "SLOGate",
+    "trace_from_arrivals",
+    "generate_trace",
     "__version__",
 ]

@@ -13,6 +13,9 @@
     python -m repro parallel-bench [--quick]  # thread+process executor bench
     python -m repro pipeline-bench [--quick]  # pipelined vs greedy pretrain
     python -m repro chaos [--quick]        # fault-injection + resume drill
+    python -m repro chaos --under-load mixed_train_serve  # faults mid-replay
+    python -m repro trace-gen --pattern diurnal --out d.jsonl  # save a trace
+    python -m repro slo-bench [--quick]    # workload patterns vs SLO gates
     python -m repro all                    # everything (except wall-clock benches)
     python -m repro table1 --csv out.csv   # export rows
 
@@ -164,25 +167,83 @@ def _rows_for(command: str, model: str, args=None):
     if command == "chaos":
         from repro.testing.chaos import run_chaos
 
+        under_load = getattr(args, "under_load", None)
         rows = run_chaos(
             quick=bool(getattr(args, "quick", False)),
             checkpoint_dir=getattr(args, "checkpoint_dir", None),
             resume=bool(getattr(args, "resume", False)),
             seed=getattr(args, "seed", None) or 0,
+            under_load=under_load,
         )
-        return rows, "Chaos drill: injected faults, recovery, bit-identical resume"
+        title = (
+            "Chaos under load: faults injected mid-replay, SLO budget held"
+            if under_load
+            else "Chaos drill: injected faults, recovery, bit-identical resume"
+        )
+        return rows, title
+    if command == "trace-gen":
+        from repro.errors import ConfigurationError
+        from repro.workloads import generate
+
+        out = getattr(args, "out", None)
+        if out is None:
+            raise ConfigurationError("trace-gen requires --out PATH")
+        trace = generate(
+            getattr(args, "pattern", None) or "diurnal",
+            seed=getattr(args, "seed", None) or 0,
+            quick=bool(getattr(args, "quick", False)),
+        )
+        path = trace.save(out)
+        row = {
+            "pattern": trace.pattern,
+            "seed": trace.seed,
+            "duration_s": trace.duration_s,
+            "requests": trace.n_requests,
+            "train": trace.n_train,
+            "payload_pool": trace.payload_pool,
+            "fingerprint": trace.fingerprint()[:16],
+            "path": str(path),
+        }
+        return [row], "Trace generated (replay with chaos --under-load PATH)"
+    if command == "slo-bench":
+        from repro.bench.slobench import run_workloads_bench, write_report
+
+        report = run_workloads_bench(
+            quick=bool(getattr(args, "quick", False)),
+            seed=getattr(args, "seed", None) or 0,
+        )
+        out = getattr(args, "out", None)
+        if out:
+            write_report(report, out)
+        rows = [
+            {
+                "pattern": row["kind"],
+                "served": f"{row['completed']}/{row['offered']}",
+                "shed": row["shed"],
+                "errors": row["errors"],
+                "rps": f"{row['throughput_rps']:,.0f}",
+                "p99_ms": f"{row['p99_ms']:.2f}",
+                "hit_rate": f"{row['cache_hit_rate']:.2f}",
+                "slo_ok": row["slo_ok"],
+                "note": "; ".join(row["slo_failures"]) or "-",
+            }
+            for row in report["rows"]
+        ]
+        return rows, "Workload patterns vs per-pattern SLO gates (simulated clock)"
     raise ValueError(f"unknown command {command!r}")
 
 
 _COMMANDS = [
     "table1", "fig7", "fig8", "fig9", "fig10", "overlap", "headline",
     "cores", "roofline", "serve-bench", "cluster-bench", "hotpath",
-    "parallel-bench", "pipeline-bench", "verify", "chaos", "all",
+    "parallel-bench", "pipeline-bench", "verify", "chaos", "trace-gen",
+    "slo-bench", "all",
 ]
 
 #: commands too slow / machine-dependent to fold into ``all``
 _EXCLUDED_FROM_ALL = {
     "hotpath", "parallel-bench", "pipeline-bench", "chaos", "cluster-bench",
+    "trace-gen", "slo-bench",
 }
 
 
@@ -238,6 +299,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="chaos: finish an interrupted drill from --checkpoint-dir snapshots",
     )
+    parser.add_argument(
+        "--under-load",
+        metavar="TRACE",
+        default=None,
+        help=(
+            "chaos: inject faults mid-replay of TRACE (a workload pattern "
+            "name or a saved trace file) and assert the SLO budget holds"
+        ),
+    )
+    parser.add_argument(
+        "--pattern",
+        metavar="NAME",
+        default=None,
+        help="trace-gen: workload pattern to sample (default diurnal)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="trace-gen: trace file to write; slo-bench: JSON report to write",
+    )
     return parser
 
 
@@ -261,6 +343,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if command == "verify" and any(r.get("status") == "FAIL" for r in rows):
             status = 1
         if command == "chaos" and any(not r.get("ok", False) for r in rows):
+            status = 1
+        if command == "slo-bench" and any(not r.get("slo_ok", False) for r in rows):
             status = 1
     if args.csv:
         print(f"wrote {write_csv(all_rows, args.csv)}")

@@ -44,7 +44,7 @@ from repro.cluster.router import (
 from repro.errors import ConfigurationError
 from repro.serve.batcher import BatchPolicy
 from repro.serve.engine import SimulatedServiceModel
-from repro.serve.loadtest import PoissonArrivals
+from repro.workloads.arrivals import PoissonArrivals
 from repro.serve.registry import ServableModel
 from repro.testing.faults import FaultPlan, inject
 

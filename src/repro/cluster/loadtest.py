@@ -7,7 +7,11 @@ hedge, swap, scaling action, and latency number is a pure function of
 the seed.  Forward passes still execute for real; only *time* is
 simulated.
 
-Two extensions over the single-engine harness:
+Since the trace refactor this harness is a *trace consumer*: the
+arrival process is sampled into a :class:`repro.workloads.Trace` and
+replayed by :class:`repro.workloads.TraceReplayer` (pass ``trace=`` to
+replay a pre-built or on-disk workload directly).  Two extensions over
+the single-engine harness:
 
 * **scheduled actions** — ``(at_s, callable)`` pairs fired mid-run (a
   model promotion, a manual scale event), used by the zero-downtime
@@ -25,11 +29,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.autoscaler import Autoscaler
-from repro.cluster.router import ClusterRequest, Router
+from repro.cluster.router import Router
 from repro.errors import ConfigurationError, ServingError
-from repro.phi.events import EventSimulator
-from repro.serve.loadtest import PoissonArrivals
 from repro.utils.rng import SeedLike, spawn_generators
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.replay import ReplayReport, TraceReplayer
+from repro.workloads.trace import Trace, trace_from_streams
 
 
 @dataclass
@@ -72,7 +77,7 @@ class ClusterLoadReport:
 
 
 class ClusterLoadHarness:
-    """Replays a seeded arrival process against a router.
+    """Replays a seeded arrival process (or a trace) against a router.
 
     Parameters
     ----------
@@ -80,7 +85,8 @@ class ClusterLoadHarness:
         A fresh :class:`Router` (one harness run per router — routers
         carry metrics state).
     arrivals:
-        The arrival process generating request instants.
+        The arrival process generating request instants.  Mutually
+        exclusive with ``trace``.
     duration_s:
         Length of the arrival window; the run then drains.
     seed:
@@ -89,6 +95,10 @@ class ClusterLoadHarness:
     payload_pool:
         Number of distinct payload vectors requests draw from (reuse is
         what gives per-replica caches and consistent hashing their value).
+    trace:
+        A pre-built :class:`~repro.workloads.Trace` to replay instead
+        of sampling ``arrivals`` (request events only; payloads rebuilt
+        from the trace's seed unless ``payloads`` is given).
     autoscaler:
         Optional autoscaler evaluated on ``autoscaler_tick_s`` cadence.
     actions:
@@ -99,15 +109,20 @@ class ClusterLoadHarness:
     def __init__(
         self,
         router: Router,
-        arrivals: PoissonArrivals,
+        arrivals: Optional[PoissonArrivals] = None,
         duration_s: float = 1.0,
         seed: SeedLike = 0,
         payload_pool: int = 64,
         payloads: Optional[np.ndarray] = None,
+        trace: Optional[Trace] = None,
         autoscaler: Optional[Autoscaler] = None,
         autoscaler_tick_s: float = 0.02,
         actions: Sequence[Tuple[float, Callable[[float], object]]] = (),
     ):
+        if (arrivals is None) == (trace is None):
+            raise ConfigurationError(
+                "pass exactly one of arrivals= or trace="
+            )
         if duration_s <= 0:
             raise ConfigurationError(f"duration_s must be > 0, got {duration_s}")
         if payload_pool < 1:
@@ -122,6 +137,7 @@ class ClusterLoadHarness:
         self.seed = seed
         self.payload_pool = int(payload_pool)
         self.payloads = payloads
+        self.trace = trace
         self.autoscaler = autoscaler
         self.autoscaler_tick_s = float(autoscaler_tick_s)
         self.actions = sorted(actions, key=lambda pair: pair[0])
@@ -135,67 +151,59 @@ class ClusterLoadHarness:
                 "build a fresh router+harness per run"
             )
         self._ran = True
-        arrival_rng, payload_rng, pick_rng = spawn_generators(self.seed, 3)
-        pool = self.payloads
         n_inputs = self.router.servable.n_inputs
-        if pool is None:
-            pool = payload_rng.random((self.payload_pool, n_inputs))
-        else:
+        pool = self.payloads
+        if pool is not None:
             pool = np.asarray(pool, dtype=np.float64)
             if pool.ndim != 2 or pool.shape[1] != n_inputs:
                 raise ConfigurationError(
                     f"payloads must be (n, {n_inputs}), got {pool.shape}"
                 )
-        times = self.arrivals.arrival_times(self.duration_s, arrival_rng)
-        picks = pick_rng.integers(0, pool.shape[0], size=len(times))
+        if self.trace is not None:
+            trace = self.trace
+            window = trace.duration_s
+        else:
+            # Preserve the historical stream layout: one spawn of
+            # (arrival, payload, pick), with the payload pool drawn here
+            # from stream 1 so seeded runs stay bit-identical to the
+            # pre-trace harness.
+            arrival_rng, payload_rng, pick_rng = spawn_generators(self.seed, 3)
+            if pool is None:
+                pool = payload_rng.random((self.payload_pool, n_inputs))
+            trace = trace_from_streams(
+                self.arrivals,
+                self.duration_s,
+                arrival_rng,
+                pick_rng,
+                pool.shape[0],
+                seed=self.seed if isinstance(self.seed, int) else 0,
+                name="cluster-loadtest",
+            )
+            window = self.duration_s
 
-        sim = EventSimulator()
-        completed: List[ClusterRequest] = []
-        next_wake = [None]  # earliest pending wakeup time, or None
-
-        def drive():
-            completed.extend(self.router.poll(sim.now))
-            if next_wake[0] is not None and next_wake[0] <= sim.now + 1e-12:
-                next_wake[0] = None  # that wakeup just fired (or is stale)
-            upcoming = self.router.next_event_time()
-            if upcoming is None:
-                return
-            upcoming = max(upcoming, sim.now)
-            if next_wake[0] is None or upcoming < next_wake[0] - 1e-12:
-                next_wake[0] = upcoming
-                sim.schedule_at(upcoming, drive)
-
-        def arrive(index: int):
-            self.router.submit(pool[picks[index]], sim.now)
-            drive()
-
-        def act(index: int):
-            self.actions[index][1](sim.now)
-            drive()
-
-        def tick():
-            self.autoscaler.evaluate(sim.now)
-            drive()
-
-        for i, t in enumerate(times):
-            sim.schedule_at(t, arrive, i)
-        for i, (at_s, _) in enumerate(self.actions):
-            sim.schedule_at(at_s, act, i)
+        # Replayer actions fire after same-time trace events, matching
+        # the historical arrivals → actions → ticks schedule order.
+        actions: List[Tuple[float, Callable[[float], object]]] = list(self.actions)
         if self.autoscaler is not None:
             # Tick through the arrival window and one drain's worth past it.
+            def tick(now: float):
+                self.autoscaler.evaluate(now)
+
             t = 0.0
-            while t < self.duration_s * 2.0:
-                sim.schedule_at(t, tick)
+            while t < window * 2.0:
+                actions.append((t, tick))
                 t += self.autoscaler_tick_s
-        makespan = sim.run()
-        return self._report(len(times), makespan)
+        replay = TraceReplayer(
+            self.router, trace, payloads=pool, actions=actions
+        ).run()
+        return self._report(replay)
 
     # ------------------------------------------------------------------
-    def _report(self, offered: int, makespan: float) -> ClusterLoadReport:
+    def _report(self, replay: ReplayReport) -> ClusterLoadReport:
         metrics = self.router.metrics
-        makespan = max(makespan, self.duration_s)
+        makespan = replay.makespan_s
         return ClusterLoadReport(
-            offered=offered,
+            offered=replay.offered,
             completed=metrics.completed,
             shed=metrics.shed,
             failed=metrics.failed,
@@ -205,7 +213,7 @@ class ClusterLoadHarness:
             hedges_won=metrics.hedges_won,
             makespan_s=makespan,
             throughput_rps=metrics.completed / makespan if makespan > 0 else 0.0,
-            goodput_fraction=metrics.completed / offered if offered else 0.0,
+            goodput_fraction=metrics.completed / replay.offered if replay.offered else 0.0,
             latency_p50_s=metrics.latency.percentile(50),
             latency_p95_s=metrics.latency.percentile(95),
             latency_p99_s=metrics.latency.percentile(99),

@@ -8,73 +8,35 @@ determines every latency histogram and two runs with the same seed are
 bit-identical.  Forward passes still execute for real; only *time* is
 simulated.
 
-Two arrival processes cover the interesting regimes:
-
-* :class:`PoissonArrivals` — memoryless steady traffic at a fixed rate;
-* :class:`BurstArrivals` — a base rate punctuated by periodic bursts
-  (the flash-crowd shape that stresses admission control).
+Since the trace refactor this harness is a *trace consumer*: the
+arrival process is sampled into a :class:`repro.workloads.Trace` and
+replayed by :class:`repro.workloads.TraceReplayer` — pass ``trace=`` to
+replay a pre-built or on-disk workload directly.  The arrival classes
+(:class:`PoissonArrivals`, :class:`BurstArrivals`) live in
+:mod:`repro.workloads.arrivals` and are re-exported here for
+compatibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ServingError
-from repro.phi.events import EventSimulator
 from repro.serve.engine import ServingEngine
 from repro.utils.rng import SeedLike, spawn_generators
+from repro.workloads.arrivals import BurstArrivals, PoissonArrivals
+from repro.workloads.replay import ReplayReport, TraceReplayer
+from repro.workloads.trace import Trace, trace_from_streams
 
-
-class PoissonArrivals:
-    """Memoryless arrivals at ``rate_rps`` requests per second."""
-
-    def __init__(self, rate_rps: float):
-        if rate_rps <= 0:
-            raise ConfigurationError(f"rate_rps must be > 0, got {rate_rps}")
-        self.rate_rps = float(rate_rps)
-
-    def _rate_at(self, t: float) -> float:
-        return self.rate_rps
-
-    def arrival_times(self, duration_s: float, rng: np.random.Generator) -> List[float]:
-        """Arrival instants in [0, duration_s), oldest first."""
-        if duration_s <= 0:
-            raise ConfigurationError(f"duration_s must be > 0, got {duration_s}")
-        times: List[float] = []
-        t = float(rng.exponential(1.0 / self._rate_at(0.0)))
-        while t < duration_s:
-            times.append(t)
-            t += rng.exponential(1.0 / self._rate_at(t))
-        return times
-
-
-class BurstArrivals(PoissonArrivals):
-    """Piecewise-Poisson traffic: periodic bursts over a base rate.
-
-    Every ``period_s`` the rate jumps from ``rate_rps`` to ``burst_rps``
-    for ``burst_len_s`` seconds (the burst opens each period).
-    """
-
-    def __init__(self, rate_rps: float, burst_rps: float, period_s: float, burst_len_s: float):
-        super().__init__(rate_rps)
-        if burst_rps < rate_rps:
-            raise ConfigurationError(
-                f"burst_rps ({burst_rps}) must be >= base rate ({rate_rps})"
-            )
-        if period_s <= 0 or not 0 < burst_len_s <= period_s:
-            raise ConfigurationError(
-                "need period_s > 0 and 0 < burst_len_s <= period_s, got "
-                f"period_s={period_s}, burst_len_s={burst_len_s}"
-            )
-        self.burst_rps = float(burst_rps)
-        self.period_s = float(period_s)
-        self.burst_len_s = float(burst_len_s)
-
-    def _rate_at(self, t: float) -> float:
-        return self.burst_rps if (t % self.period_s) < self.burst_len_s else self.rate_rps
+__all__ = [
+    "BurstArrivals",
+    "PoissonArrivals",
+    "LoadTestHarness",
+    "LoadTestReport",
+]
 
 
 @dataclass
@@ -112,7 +74,7 @@ class LoadTestReport:
 
 
 class LoadTestHarness:
-    """Replays a seeded arrival process against a serving engine.
+    """Replays a seeded arrival process (or a trace) against an engine.
 
     Parameters
     ----------
@@ -120,7 +82,8 @@ class LoadTestHarness:
         A fresh :class:`ServingEngine` (one harness run per engine —
         engines carry metrics state).
     arrivals:
-        The arrival process generating request instants.
+        The arrival process generating request instants.  Mutually
+        exclusive with ``trace``.
     duration_s:
         Length of the arrival window; the run then drains the queue.
     seed:
@@ -129,17 +92,26 @@ class LoadTestHarness:
     payload_pool:
         Number of distinct payload vectors requests draw from (reuse is
         what gives a :class:`~repro.serve.cache.FeatureCache` its hits).
+    trace:
+        A pre-built :class:`~repro.workloads.Trace` to replay instead
+        of sampling ``arrivals`` (request events only; payloads rebuilt
+        from the trace's seed unless ``payloads`` is given).
     """
 
     def __init__(
         self,
         engine: ServingEngine,
-        arrivals: PoissonArrivals,
+        arrivals: Optional[PoissonArrivals] = None,
         duration_s: float = 1.0,
         seed: SeedLike = 0,
         payload_pool: int = 64,
         payloads: Optional[np.ndarray] = None,
+        trace: Optional[Trace] = None,
     ):
+        if (arrivals is None) == (trace is None):
+            raise ConfigurationError(
+                "pass exactly one of arrivals= or trace="
+            )
         if duration_s <= 0:
             raise ConfigurationError(f"duration_s must be > 0, got {duration_s}")
         if payload_pool < 1:
@@ -150,6 +122,7 @@ class LoadTestHarness:
         self.seed = seed
         self.payload_pool = int(payload_pool)
         self.payloads = payloads
+        self.trace = trace
         self._ran = False
 
     def run(self) -> LoadTestReport:
@@ -160,58 +133,49 @@ class LoadTestHarness:
                 "build a fresh engine+harness per run"
             )
         self._ran = True
-        arrival_rng, payload_rng, pick_rng = spawn_generators(self.seed, 3)
+        n_inputs = self.engine.servable.n_inputs
         pool = self.payloads
-        if pool is None:
-            pool = payload_rng.random((self.payload_pool, self.engine.servable.n_inputs))
-        else:
+        if pool is not None:
             pool = np.asarray(pool, dtype=np.float64)
-            if pool.ndim != 2 or pool.shape[1] != self.engine.servable.n_inputs:
+            if pool.ndim != 2 or pool.shape[1] != n_inputs:
                 raise ConfigurationError(
-                    f"payloads must be (n, {self.engine.servable.n_inputs}), "
-                    f"got {pool.shape}"
+                    f"payloads must be (n, {n_inputs}), got {pool.shape}"
                 )
-        times = self.arrivals.arrival_times(self.duration_s, arrival_rng)
-        picks = pick_rng.integers(0, pool.shape[0], size=len(times))
-
-        sim = EventSimulator()
-        completed: List = []
-        next_wake = [None]  # earliest pending wakeup time, or None
-
-        def drive():
-            completed.extend(self.engine.poll(sim.now))
-            if next_wake[0] is not None and next_wake[0] <= sim.now + 1e-12:
-                next_wake[0] = None  # that wakeup just fired (or is stale)
-            upcoming = self.engine.next_event_time()
-            if upcoming is None:
-                return
-            upcoming = max(upcoming, sim.now)
-            if next_wake[0] is None or upcoming < next_wake[0] - 1e-12:
-                next_wake[0] = upcoming
-                sim.schedule_at(upcoming, drive)
-
-        def arrive(index: int):
-            self.engine.submit(pool[picks[index]], sim.now)
-            drive()
-
-        for i, t in enumerate(times):
-            sim.schedule_at(t, arrive, i)
-        makespan = sim.run()
-        return self._report(len(times), completed, makespan)
+        if self.trace is not None:
+            trace = self.trace
+        else:
+            # Preserve the historical stream layout: one spawn of
+            # (arrival, payload, pick), with the payload pool drawn here
+            # from stream 1 so seeded runs stay bit-identical to the
+            # pre-trace harness.
+            arrival_rng, payload_rng, pick_rng = spawn_generators(self.seed, 3)
+            if pool is None:
+                pool = payload_rng.random((self.payload_pool, n_inputs))
+            trace = trace_from_streams(
+                self.arrivals,
+                self.duration_s,
+                arrival_rng,
+                pick_rng,
+                pool.shape[0],
+                seed=self.seed if isinstance(self.seed, int) else 0,
+                name="loadtest",
+            )
+        replay = TraceReplayer(self.engine, trace, payloads=pool).run()
+        return self._report(replay)
 
     # ------------------------------------------------------------------
-    def _report(self, offered: int, completed: List, makespan: float) -> LoadTestReport:
+    def _report(self, replay: ReplayReport) -> LoadTestReport:
         metrics = self.engine.metrics
         served = metrics.served
-        makespan = max(makespan, self.duration_s)
+        makespan = replay.makespan_s
         return LoadTestReport(
-            offered=offered,
+            offered=replay.offered,
             served=served,
             rejected=metrics.rejected,
             cache_hits=metrics.cache_hits,
             makespan_s=makespan,
             throughput_rps=served / makespan if makespan > 0 else 0.0,
-            goodput_fraction=served / offered if offered else 0.0,
+            goodput_fraction=served / replay.offered if replay.offered else 0.0,
             mean_batch_size=metrics.mean_batch_size,
             latency_p50_s=metrics.latency.percentile(50),
             latency_p95_s=metrics.latency.percentile(95),

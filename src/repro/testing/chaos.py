@@ -270,6 +270,142 @@ def _drill_pipeline_queue_kill(x, sh, seed, ckpt_root: Path) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# chaos under load
+# ---------------------------------------------------------------------------
+
+def run_chaos_under_load(
+    trace_spec: str = "mixed_train_serve",
+    quick: bool = True,
+    seed: int = 0,
+) -> List[dict]:
+    """Inject faults mid-replay and assert the SLO error budget holds.
+
+    ``trace_spec`` is either a catalog pattern name
+    (:data:`repro.workloads.PATTERNS`) or a path to a saved trace file.
+    The trace replays against a three-replica router while faults fire
+    on ``router.dispatch`` (absorbed by spillover), ``replica.serve``
+    (a replica dies mid-run and must fail over), and — when the trace
+    carries ``train`` events — ``engine.worker`` (the co-located
+    training engine dies; its blast radius must not reach serving).
+    """
+    from repro.cluster.replica import ReplicaConfig
+    from repro.cluster.router import NO_HEDGING, RoundRobinPolicy, Router
+    from repro.serve.batcher import BatchPolicy
+    from repro.serve.engine import ConstantServiceModel
+    from repro.serve.registry import ServableModel
+    from repro.testing.faults import FaultRule
+    from repro.workloads import SLOGate, Trace, TraceReplayer, generate
+    from repro.workloads.patterns import PATTERNS
+
+    path = Path(trace_spec)
+    if trace_spec in PATTERNS:
+        trace = generate(trace_spec, seed=seed, quick=quick)
+    elif path.is_file():
+        trace = Trace.load(path)
+    else:
+        return [_row(
+            "chaos under load", "-", 0, False,
+            f"unknown trace {trace_spec!r}: not a catalog pattern "
+            f"({sorted(PATTERNS)}) or an existing file",
+        )]
+
+    from repro.nn.autoencoder import SparseAutoencoder
+
+    servable = ServableModel(
+        "chaos-under-load", SparseAutoencoder(25, 12, seed=seed)
+    )
+    router = Router(
+        servable,
+        n_replicas=3,
+        replica_config=ReplicaConfig(
+            policy=BatchPolicy(max_batch_size=16, max_wait_s=2e-3,
+                               max_queue_depth=256),
+            n_workers=1,
+            cache_entries=0,
+            service_model_factory=lambda s: ConstantServiceModel(
+                base_s=1e-3, per_example_s=5e-5
+            ),
+        ),
+        policy=RoundRobinPolicy(),
+        hedge=NO_HEDGING,
+    )
+
+    rules = [
+        # Three dispatch attempts hit a faulty path; the router must
+        # absorb every one by spilling over to the next candidate.
+        FaultRule("router.dispatch", nth=5, times=3),
+        # Replica 1 dies on its 9th batch; outstanding legs fail over.
+        FaultRule("replica.serve", nth=8, match={"replica": 1}),
+    ]
+    trainer = None
+    engine = None
+    if trace.n_train:
+        from repro.bench.slobench import TrainLoopDriver
+
+        engine = ParallelGradientEngine(N_WORKERS, blas_threads=None, seed=seed)
+        trainer = TrainLoopDriver(seed=seed, gradient_engine=engine)
+        # Kill training worker 1 on its second shard task: the training
+        # tier fails while serving must keep its SLO.
+        rules.append(FaultRule("engine.worker", nth=1, match={"worker": 1}))
+
+    gate = SLOGate(p99_ms=60.0, error_budget=0.0, shed_budget=0.15)
+    plan = FaultPlan(tuple(rules))
+    try:
+        with inject(plan):
+            report = TraceReplayer(router, trace, trainer=trainer).run()
+    finally:
+        if engine is not None:
+            engine.close()
+
+    metrics = router.metrics
+    rows = [
+        _row(
+            f"under load [{trace.name}]: dispatch faults absorbed by spillover",
+            "router.dispatch",
+            plan.fired("router.dispatch"),
+            plan.fired("router.dispatch") >= 1 and metrics.dispatch_faults >= 1,
+            f"{metrics.dispatch_faults} dispatch fault(s), "
+            f"{report.completed}/{report.offered} completed",
+        ),
+        _row(
+            f"under load [{trace.name}]: replica death fails over",
+            "replica.serve",
+            plan.fired("replica.serve"),
+            plan.fired("replica.serve") >= 1
+            and metrics.replica_deaths == 1
+            and metrics.failed == 0,
+            f"deaths={metrics.replica_deaths} rerouted={metrics.rerouted} "
+            f"failed={metrics.failed} ({router.n_live} replicas live)",
+        ),
+    ]
+    if trace.n_train:
+        rows.append(_row(
+            f"under load [{trace.name}]: training blast radius contained",
+            "engine.worker",
+            plan.fired("engine.worker"),
+            plan.fired("engine.worker") >= 1
+            and report.train_failures >= 1
+            and report.errors == 0,
+            f"train steps {report.train_steps} ok / "
+            f"{report.train_failures} failed; serving errors "
+            f"{report.errors} ({report.first_train_error or 'no error'})",
+        ))
+    slo_failures = gate.evaluate(report)
+    rows.append(_row(
+        f"under load [{trace.name}]: SLO held with faults injected",
+        "-",
+        plan.fired(),
+        not slo_failures,
+        "; ".join(slo_failures) if slo_failures else (
+            f"p99 {report.latency_p99_s * 1e3:.2f} ms, "
+            f"error rate {report.error_rate:.4f}, "
+            f"shed rate {report.shed_rate:.4f}"
+        ),
+    ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
 
@@ -329,8 +465,11 @@ def run_chaos(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     seed: int = 0,
+    under_load: Optional[str] = None,
 ) -> List[dict]:
     """Run the full drill; returns one row per scenario (``ok`` per row)."""
+    if under_load is not None:
+        return run_chaos_under_load(under_load, quick=quick, seed=seed)
     if resume:
         if checkpoint_dir is None:
             return [_row("resume from disk", "-", 0, False,

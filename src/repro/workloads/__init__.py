@@ -1,0 +1,53 @@
+"""Replayable workload traces, pattern suite, replayer, and SLO gates.
+
+The trace layer sits *below* serve/cluster/train in the import
+hierarchy (enforced by ``tools/check_layering.py``): traces are pure
+data, the :class:`TraceReplayer` drives targets through their
+duck-typed ``submit``/``poll`` surface, and the load harnesses in
+:mod:`repro.serve.loadtest` / :mod:`repro.cluster.loadtest` are trace
+consumers.  See ``docs/workloads.md``.
+"""
+
+from repro.workloads.arrivals import BurstArrivals, PoissonArrivals
+from repro.workloads.patterns import (
+    PATTERNS,
+    QUICK_OVERRIDES,
+    cache_busting,
+    diurnal,
+    flash_crowd,
+    generate,
+    mixed_train_serve,
+)
+from repro.workloads.replay import ReplayReport, TraceReplayer
+from repro.workloads.slo import SLOGate
+from repro.workloads.trace import (
+    EVENT_KINDS,
+    TRACE_SCHEMA,
+    Trace,
+    TraceEvent,
+    merge_events,
+    trace_from_arrivals,
+    trace_from_streams,
+)
+
+__all__ = [
+    "BurstArrivals",
+    "PoissonArrivals",
+    "PATTERNS",
+    "QUICK_OVERRIDES",
+    "cache_busting",
+    "diurnal",
+    "flash_crowd",
+    "generate",
+    "mixed_train_serve",
+    "ReplayReport",
+    "TraceReplayer",
+    "SLOGate",
+    "EVENT_KINDS",
+    "TRACE_SCHEMA",
+    "Trace",
+    "TraceEvent",
+    "merge_events",
+    "trace_from_arrivals",
+    "trace_from_streams",
+]

@@ -1,0 +1,281 @@
+"""Pattern catalog: named generators for replayable workload traces.
+
+Wiscsee-style pattern suite (ROADMAP: "Trace-driven workload suite").
+Each generator is a pure function of its seed and parameters and
+returns a :class:`~repro.workloads.trace.Trace`; generating twice with
+the same arguments yields event-for-event identical traces (tested).
+
+Patterns
+--------
+``diurnal``
+    A sinusoidal day/night rate curve (trough ``base_rps``, crest
+    ``peak_rps``) with power-law key skew — the steady-state shape a
+    cache loves.  Non-homogeneous Poisson sampling via thinning.
+``flash_crowd``
+    Steady base traffic with one sudden ``crowd_factor``× spike holding
+    for ``hold_s`` seconds, concentrated on a few hot keys — stresses
+    admission control, spillover, and autoscaling.
+``cache_busting``
+    Adversarial sequential key sweep over a pool much larger than any
+    cache: every key recurs only after ``payload_pool - 1`` others, so
+    LRU feature caches and consistent-hash locality win nothing.
+``mixed_train_serve``
+    Poisson serving traffic interleaved with periodic ``train`` events —
+    the paper's offload-pipeline overlap regime, where pre-training and
+    serving contend for the same cores under one replayable schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, spawn_generators
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.trace import Trace, TraceEvent, merge_events
+
+
+def _thinned_times(
+    rate_at: Callable[[float], float],
+    max_rate: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Non-homogeneous Poisson arrivals by thinning a rate-``max_rate`` stream."""
+    times: List[float] = []
+    t = float(rng.exponential(1.0 / max_rate))
+    while t < duration_s:
+        if rng.random() * max_rate <= rate_at(t):
+            times.append(t)
+        t += rng.exponential(1.0 / max_rate)
+    return times
+
+
+def _require_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be > 0, got {value}")
+
+
+# ----------------------------------------------------------------------
+def diurnal(
+    seed: SeedLike = 0,
+    *,
+    duration_s: float = 2.0,
+    base_rps: float = 200.0,
+    peak_rps: float = 2000.0,
+    period_s: float = 1.0,
+    payload_pool: int = 64,
+    skew: float = 2.0,
+) -> Trace:
+    """Sinusoidal day/night rate with power-law key popularity."""
+    _require_positive(
+        duration_s=duration_s, base_rps=base_rps, period_s=period_s, skew=skew
+    )
+    if peak_rps < base_rps:
+        raise ConfigurationError(
+            f"peak_rps ({peak_rps}) must be >= base_rps ({base_rps})"
+        )
+    if payload_pool < 1:
+        raise ConfigurationError(f"payload_pool must be >= 1, got {payload_pool}")
+
+    def rate_at(t: float) -> float:
+        # trough at t=0, crest at t=period_s/2
+        phase = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / period_s))
+        return base_rps + (peak_rps - base_rps) * phase
+
+    arrival_rng, _, pick_rng = spawn_generators(seed, 3)
+    times = _thinned_times(rate_at, peak_rps, duration_s, arrival_rng)
+    # u**skew concentrates mass near key 0 (popularity skew, skew > 1).
+    keys = np.minimum(
+        (pick_rng.random(len(times)) ** skew * payload_pool).astype(int),
+        payload_pool - 1,
+    )
+    events = tuple(
+        TraceEvent(t=t, kind="request", key=int(k)) for t, k in zip(times, keys)
+    )
+    return Trace(
+        name="diurnal",
+        seed=seed if isinstance(seed, int) else 0,
+        duration_s=float(duration_s),
+        payload_pool=int(payload_pool),
+        events=events,
+        pattern="diurnal",
+        params={
+            "base_rps": base_rps,
+            "peak_rps": peak_rps,
+            "period_s": period_s,
+            "skew": skew,
+        },
+    )
+
+
+def flash_crowd(
+    seed: SeedLike = 0,
+    *,
+    duration_s: float = 1.0,
+    base_rps: float = 400.0,
+    crowd_factor: float = 8.0,
+    at_s: float = 0.4,
+    hold_s: float = 0.2,
+    payload_pool: int = 64,
+    n_hot: int = 4,
+    hot_prob: float = 0.9,
+) -> Trace:
+    """Steady traffic with one sudden spike concentrated on hot keys."""
+    _require_positive(
+        duration_s=duration_s, base_rps=base_rps, hold_s=hold_s
+    )
+    if crowd_factor < 1.0:
+        raise ConfigurationError(
+            f"crowd_factor must be >= 1, got {crowd_factor}"
+        )
+    if not 0 <= at_s < duration_s:
+        raise ConfigurationError(
+            f"need 0 <= at_s < duration_s, got at_s={at_s}, duration_s={duration_s}"
+        )
+    if payload_pool < 1:
+        raise ConfigurationError(f"payload_pool must be >= 1, got {payload_pool}")
+    if not 1 <= n_hot <= payload_pool:
+        raise ConfigurationError(
+            f"need 1 <= n_hot <= payload_pool, got n_hot={n_hot}"
+        )
+    if not 0.0 <= hot_prob <= 1.0:
+        raise ConfigurationError(f"hot_prob must be in [0, 1], got {hot_prob}")
+
+    peak = base_rps * crowd_factor
+
+    def rate_at(t: float) -> float:
+        return peak if at_s <= t < at_s + hold_s else base_rps
+
+    arrival_rng, _, pick_rng = spawn_generators(seed, 3)
+    times = _thinned_times(rate_at, peak, duration_s, arrival_rng)
+    events = []
+    for t in times:
+        in_crowd = at_s <= t < at_s + hold_s
+        if in_crowd and pick_rng.random() < hot_prob:
+            key = int(pick_rng.integers(0, n_hot))
+        else:
+            key = int(pick_rng.integers(0, payload_pool))
+        events.append(TraceEvent(t=t, kind="request", key=key))
+    return Trace(
+        name="flash_crowd",
+        seed=seed if isinstance(seed, int) else 0,
+        duration_s=float(duration_s),
+        payload_pool=int(payload_pool),
+        events=tuple(events),
+        pattern="flash_crowd",
+        params={
+            "base_rps": base_rps,
+            "crowd_factor": crowd_factor,
+            "at_s": at_s,
+            "hold_s": hold_s,
+            "n_hot": n_hot,
+            "hot_prob": hot_prob,
+        },
+    )
+
+
+def cache_busting(
+    seed: SeedLike = 0,
+    *,
+    duration_s: float = 1.0,
+    rate_rps: float = 1500.0,
+    payload_pool: int = 4096,
+) -> Trace:
+    """Adversarial sequential key sweep: defeats LRU caches and hash locality.
+
+    Keys cycle ``0, 1, …, payload_pool-1, 0, …`` so each key recurs only
+    after every other key was touched — an LRU :class:`FeatureCache`
+    smaller than the pool evicts it first (hit rate ≈ 0), and the
+    consistent-hash ring sees a uniform key stream with no reuse
+    locality to exploit.
+    """
+    _require_positive(duration_s=duration_s, rate_rps=rate_rps)
+    if payload_pool < 1:
+        raise ConfigurationError(f"payload_pool must be >= 1, got {payload_pool}")
+    arrival_rng, _, _ = spawn_generators(seed, 3)
+    times = PoissonArrivals(rate_rps).arrival_times(duration_s, arrival_rng)
+    events = tuple(
+        TraceEvent(t=t, kind="request", key=i % payload_pool)
+        for i, t in enumerate(times)
+    )
+    return Trace(
+        name="cache_busting",
+        seed=seed if isinstance(seed, int) else 0,
+        duration_s=float(duration_s),
+        payload_pool=int(payload_pool),
+        events=events,
+        pattern="cache_busting",
+        params={"rate_rps": rate_rps},
+    )
+
+
+def mixed_train_serve(
+    seed: SeedLike = 0,
+    *,
+    duration_s: float = 1.0,
+    rate_rps: float = 800.0,
+    payload_pool: int = 64,
+    train_every_s: float = 0.05,
+) -> Trace:
+    """Poisson serving traffic interleaved with periodic training steps."""
+    _require_positive(
+        duration_s=duration_s, rate_rps=rate_rps, train_every_s=train_every_s
+    )
+    if payload_pool < 1:
+        raise ConfigurationError(f"payload_pool must be >= 1, got {payload_pool}")
+    arrival_rng, _, pick_rng = spawn_generators(seed, 3)
+    times = PoissonArrivals(rate_rps).arrival_times(duration_s, arrival_rng)
+    picks = pick_rng.integers(0, payload_pool, size=len(times))
+    requests = [
+        TraceEvent(t=t, kind="request", key=int(k))
+        for t, k in zip(times, picks)
+    ]
+    # Offset by half a period so training never lands exactly on t=0.
+    train = []
+    t = train_every_s / 2.0
+    while t < duration_s:
+        train.append(TraceEvent(t=t, kind="train"))
+        t += train_every_s
+    return Trace(
+        name="mixed_train_serve",
+        seed=seed if isinstance(seed, int) else 0,
+        duration_s=float(duration_s),
+        payload_pool=int(payload_pool),
+        events=merge_events(requests, train),
+        pattern="mixed_train_serve",
+        params={"rate_rps": rate_rps, "train_every_s": train_every_s},
+    )
+
+
+# ----------------------------------------------------------------------
+PATTERNS: Dict[str, Callable[..., Trace]] = {
+    "diurnal": diurnal,
+    "flash_crowd": flash_crowd,
+    "cache_busting": cache_busting,
+    "mixed_train_serve": mixed_train_serve,
+}
+
+#: parameter overrides applied by ``generate(..., quick=True)`` — small
+#: enough for CI smoke runs while keeping every pattern's character.
+QUICK_OVERRIDES: Dict[str, Dict[str, float]] = {
+    "diurnal": {"duration_s": 0.5, "period_s": 0.25, "peak_rps": 1200.0},
+    "flash_crowd": {"duration_s": 0.4, "at_s": 0.15, "hold_s": 0.1},
+    "cache_busting": {"duration_s": 0.4, "rate_rps": 1000.0, "payload_pool": 1024},
+    "mixed_train_serve": {"duration_s": 0.4, "rate_rps": 600.0},
+}
+
+
+def generate(name: str, seed: SeedLike = 0, quick: bool = False, **overrides) -> Trace:
+    """Generate a named pattern; ``quick=True`` applies CI-sized presets."""
+    if name not in PATTERNS:
+        raise ConfigurationError(
+            f"unknown pattern {name!r} (expected one of {sorted(PATTERNS)})"
+        )
+    params = dict(QUICK_OVERRIDES.get(name, {})) if quick else {}
+    params.update(overrides)
+    return PATTERNS[name](seed, **params)

@@ -76,3 +76,56 @@ class TestHarness:
             "offered", "completed", "shed", "failed",
             "throughput_rps", "p50_ms", "p99_ms", "replicas",
         }
+
+
+class TestTraceMode:
+    def make_trace_harness(self, servable, trace, **kwargs):
+        router = Router(
+            servable,
+            n_replicas=2,
+            replica_config=fast_config(),
+            policy=LeastLoadedPolicy(),
+            hedge=NO_HEDGING,
+        )
+        return ClusterLoadHarness(router, trace=trace, **kwargs)
+
+    def test_arrivals_and_trace_mutually_exclusive(self, servable):
+        from repro.workloads import trace_from_arrivals
+
+        trace = trace_from_arrivals(PoissonArrivals(200.0), 0.05, seed=0)
+        router = Router(servable, n_replicas=1, replica_config=fast_config())
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            ClusterLoadHarness(router, PoissonArrivals(200.0), trace=trace)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            ClusterLoadHarness(router)
+
+    def test_empty_trace_replays_cleanly(self, servable):
+        """A trace with zero events is a valid (degenerate) workload."""
+        from repro.workloads import Trace
+
+        empty = Trace(name="idle", seed=0, duration_s=0.05, payload_pool=4,
+                      events=())
+        report = self.make_trace_harness(servable, empty).run()
+        assert report.offered == 0
+        assert report.completed == 0
+        assert report.shed == 0
+        assert report.throughput_rps == 0.0
+        assert report.latency_p99_s == 0.0
+        assert report.makespan_s == pytest.approx(0.05)
+        assert report.goodput_fraction == 0.0
+
+    def test_trace_replay_matches_arrivals_mode(self, servable):
+        from repro.utils.rng import spawn_generators
+        from repro.workloads.trace import trace_from_streams
+
+        inline = make_harness(servable, seed=5).run()
+        arrival_rng, payload_rng, pick_rng = spawn_generators(5, 3)
+        pool = payload_rng.random((64, 25))
+        trace = trace_from_streams(
+            PoissonArrivals(800.0), 0.05, arrival_rng, pick_rng, 64,
+            seed=5, name="cluster-loadtest",
+        )
+        replayed = self.make_trace_harness(servable, trace, payloads=pool).run()
+        assert replayed.latency_buckets == inline.latency_buckets
+        assert replayed.completed == inline.completed
+        assert replayed.makespan_s == inline.makespan_s

@@ -116,6 +116,65 @@ class TestRoutingPolicies:
             ConsistentHashPolicy(n_vnodes=0)
 
 
+class TestPolicyContracts:
+    """Pure policy-level contracts, checked against lightweight fakes."""
+
+    class FakeReplica:
+        def __init__(self, rid, outstanding=0):
+            self.id = rid
+            self.outstanding = outstanding
+
+    class FakeRequest:
+        def __init__(self, key):
+            self.key = key
+
+    def keyset(self, n=300):
+        return [payload_key(payload(i)) for i in range(n)]
+
+    def assignments(self, policy, keys, ids):
+        replicas = [self.FakeReplica(rid) for rid in ids]
+        return {
+            k: policy.choose(self.FakeRequest(k), replicas).id for k in keys
+        }
+
+    def test_consistent_hash_add_replica_rebalance_bound(self):
+        """Adding one replica to N=4 remaps ≤ 2/N of a fixed keyset."""
+        policy = ConsistentHashPolicy()
+        keys = self.keyset()
+        before = self.assignments(policy, keys, [0, 1, 2, 3])
+        after = self.assignments(policy, keys, [0, 1, 2, 3, 4])
+        moved = sum(1 for k in keys if before[k] != after[k])
+        assert moved <= len(keys) * 2 / 4
+        # Every remapped key went TO the new member, never between old ones.
+        assert all(after[k] == 4 for k in keys if before[k] != after[k])
+
+    def test_consistent_hash_remove_replica_rebalance_bound(self):
+        """Removing one replica from N=5 remaps ≤ 2/N of a fixed keyset."""
+        policy = ConsistentHashPolicy()
+        keys = self.keyset()
+        before = self.assignments(policy, keys, [0, 1, 2, 3, 4])
+        after = self.assignments(policy, keys, [0, 1, 2, 3])
+        moved = sum(1 for k in keys if before[k] != after[k])
+        assert moved <= len(keys) * 2 / 5
+        # Only the departed member's keys moved; survivors kept theirs.
+        assert all(before[k] == 4 for k in keys if before[k] != after[k])
+
+    def test_least_loaded_tie_break_is_deterministic(self):
+        """Equal load ⇒ lowest id wins, whatever the candidate order."""
+        policy = LeastLoadedPolicy()
+        request = self.FakeRequest(0)
+        replicas = [self.FakeReplica(rid, outstanding=3) for rid in (2, 0, 1)]
+        for rotation in range(3):
+            rotated = replicas[rotation:] + replicas[:rotation]
+            assert policy.choose(request, rotated).id == 0
+
+    def test_least_loaded_prefers_lighter_queue_over_lower_id(self):
+        policy = LeastLoadedPolicy()
+        replicas = [self.FakeReplica(0, outstanding=5),
+                    self.FakeReplica(1, outstanding=2)]
+        assert policy.choose(self.FakeRequest(0), replicas).id == 1
+
+
 class TestBackpressure:
     def test_spillover_to_second_replica(self, servable):
         router = make_router(servable, n=2)

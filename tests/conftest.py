@@ -78,6 +78,36 @@ def _shm_leak_guard():
         )
 
 
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _root_trace_files():
+    return {
+        p for p in glob.glob(os.path.join(_REPO_ROOT, "*.jsonl"))
+    }
+
+
+@pytest.fixture(autouse=True)
+def _stray_trace_guard():
+    """Fail any test that drops a trace file in the repo root.
+
+    Trace-producing code (``trace-gen``, ``Trace.save``) must write to
+    tmp_path in tests; a stray ``*.jsonl`` in the checkout would get
+    committed by accident and silently become someone's baseline.  The
+    guard deletes the leak so one sloppy test doesn't cascade.
+    """
+    before = _root_trace_files()
+    yield
+    leaked = _root_trace_files() - before
+    if leaked:
+        for path in leaked:
+            os.remove(path)
+        pytest.fail(
+            "test left stray trace file(s) in the repo root: "
+            + ", ".join(sorted(os.path.basename(p) for p in leaked))
+        )
+
+
 @pytest.fixture
 def rng():
     """A deterministic generator per test."""

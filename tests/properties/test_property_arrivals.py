@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the arrival processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import BurstArrivals, PoissonArrivals
+
+rates = st.floats(min_value=1.0, max_value=5000.0,
+                  allow_nan=False, allow_infinity=False)
+durations = st.floats(min_value=0.01, max_value=2.0,
+                      allow_nan=False, allow_infinity=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestPoissonProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(rate=rates, duration=durations, seed=seeds)
+    def test_bit_identical_replay_at_fixed_seed(self, rate, duration, seed):
+        a = PoissonArrivals(rate).arrival_times(duration, np.random.default_rng(seed))
+        b = PoissonArrivals(rate).arrival_times(duration, np.random.default_rng(seed))
+        assert a == b
+
+    @settings(max_examples=40, deadline=None)
+    @given(rate=rates, duration=durations, seed=seeds)
+    def test_times_sorted_and_inside_window(self, rate, duration, seed):
+        times = PoissonArrivals(rate).arrival_times(
+            duration, np.random.default_rng(seed)
+        )
+        assert all(0.0 <= t < duration for t in times)
+        # Sorted ⇔ every inter-arrival gap is non-negative.
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(rate=st.floats(max_value=0.0, allow_nan=False))
+    def test_non_positive_rate_rejected(self, rate):
+        with pytest.raises(ConfigurationError, match="rate_rps"):
+            PoissonArrivals(rate)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rate=rates, duration=st.floats(max_value=0.0, allow_nan=False))
+    def test_non_positive_duration_rejected(self, rate, duration):
+        with pytest.raises(ConfigurationError, match="duration_s"):
+            PoissonArrivals(rate).arrival_times(duration, np.random.default_rng(0))
+
+
+burst_shapes = st.tuples(
+    rates,                                            # base
+    st.floats(min_value=1.0, max_value=10.0),         # burst multiplier
+    st.floats(min_value=0.05, max_value=1.0),         # period_s
+    st.floats(min_value=0.01, max_value=1.0),         # burst fraction of period
+)
+
+
+class TestBurstProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(shape=burst_shapes, seed=seeds)
+    def test_bit_identical_replay_at_fixed_seed(self, shape, seed):
+        base, mult, period, frac = shape
+        arrivals = BurstArrivals(base, base * mult, period_s=period,
+                                 burst_len_s=period * frac)
+        a = arrivals.arrival_times(0.5, np.random.default_rng(seed))
+        b = arrivals.arrival_times(0.5, np.random.default_rng(seed))
+        assert a == b
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=burst_shapes, t=st.floats(min_value=0.0, max_value=10.0))
+    def test_rate_never_below_base(self, shape, t):
+        base, mult, period, frac = shape
+        arrivals = BurstArrivals(base, base * mult, period_s=period,
+                                 burst_len_s=period * frac)
+        assert arrivals._rate_at(t) >= base
+
+    @settings(max_examples=40, deadline=None)
+    @given(shape=burst_shapes, seed=seeds)
+    def test_times_sorted_and_inside_window(self, shape, seed):
+        base, mult, period, frac = shape
+        arrivals = BurstArrivals(base, base * mult, period_s=period,
+                                 burst_len_s=period * frac)
+        times = arrivals.arrival_times(0.5, np.random.default_rng(seed))
+        assert all(0.0 <= t < 0.5 for t in times)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(base=rates, mult=st.floats(min_value=1.0, max_value=10.0),
+           period=st.floats(min_value=0.05, max_value=1.0), seed=seeds)
+    def test_burst_len_equal_to_period_is_constant_peak(self, base, mult,
+                                                        period, seed):
+        """burst_len_s == period_s is the valid boundary: the burst never
+        ends, so the process degenerates to plain Poisson at burst_rps."""
+        burst = BurstArrivals(base, base * mult, period_s=period,
+                              burst_len_s=period)
+        flat = PoissonArrivals(base * mult)
+        a = burst.arrival_times(0.5, np.random.default_rng(seed))
+        b = flat.arrival_times(0.5, np.random.default_rng(seed))
+        assert a == b
+
+    def test_burst_below_base_rejected(self):
+        with pytest.raises(ConfigurationError, match="burst_rps"):
+            BurstArrivals(100.0, 50.0, period_s=1.0, burst_len_s=0.1)
+
+    def test_burst_longer_than_period_rejected(self):
+        with pytest.raises(ConfigurationError, match="burst_len_s"):
+            BurstArrivals(100.0, 200.0, period_s=1.0, burst_len_s=1.5)

@@ -62,6 +62,21 @@ class TestArrivalProcesses:
         with pytest.raises(ConfigurationError):
             ctor()
 
+    def test_burst_len_equal_to_period_is_valid_boundary(self):
+        """burst_len_s == period_s: the burst never closes, so the
+        process degenerates to constant Poisson at burst_rps."""
+        burst = BurstArrivals(100.0, 800.0, period_s=0.25, burst_len_s=0.25)
+        a = burst.arrival_times(0.5, np.random.default_rng(5))
+        b = PoissonArrivals(800.0).arrival_times(0.5, np.random.default_rng(5))
+        assert a == b
+
+    def test_reexport_is_the_workloads_class(self):
+        """serve.loadtest re-exports the classes that moved to workloads."""
+        from repro.workloads import arrivals
+
+        assert PoissonArrivals is arrivals.PoissonArrivals
+        assert BurstArrivals is arrivals.BurstArrivals
+
 
 class TestLoadTestHarness:
     def test_report_accounting_consistent(self, servable):
@@ -131,3 +146,39 @@ class TestLoadTestHarness:
             LoadTestHarness(
                 engine, PoissonArrivals(100.0), payloads=np.zeros((4, 7))
             ).run()
+
+
+class TestTraceMode:
+    def test_arrivals_and_trace_mutually_exclusive(self, servable):
+        from repro.workloads import trace_from_arrivals
+
+        engine = ServingEngine(servable, service_model=ConstantServiceModel())
+        trace = trace_from_arrivals(PoissonArrivals(200.0), 0.1, seed=0)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            LoadTestHarness(engine, PoissonArrivals(200.0), trace=trace)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            LoadTestHarness(engine)
+
+    def test_trace_mode_matches_arrivals_mode(self, servable, small_ae):
+        """Replaying the trace the harness would sample gives the same
+        report as sampling it in-line — the refactor's bit-compat contract."""
+        from repro.serve.registry import ServableModel
+        from repro.utils.rng import spawn_generators
+        from repro.workloads.trace import trace_from_streams
+
+        inline = make_harness(servable, max_batch=8, rate=2000.0, seed=9).run()
+        arrival_rng, payload_rng, pick_rng = spawn_generators(9, 3)
+        pool = payload_rng.random((64, 25))
+        trace = trace_from_streams(
+            PoissonArrivals(2000.0), 0.5, arrival_rng, pick_rng, 64,
+            seed=9, name="loadtest",
+        )
+        engine = ServingEngine(
+            ServableModel("ae2", small_ae),
+            policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3),
+            service_model=ConstantServiceModel(base_s=1e-3, per_example_s=5e-5),
+        )
+        replayed = LoadTestHarness(engine, trace=trace, payloads=pool).run()
+        assert replayed.latency_buckets == inline.latency_buckets
+        assert replayed.served == inline.served
+        assert replayed.latency_p99_s == inline.latency_p99_s

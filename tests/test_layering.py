@@ -111,3 +111,28 @@ class TestDetection:
             "from repro.serve.registry import ServableModel\n",
         )
         assert check_layering.check(root) == []
+
+    def test_workloads_must_not_import_the_tiers_it_drives(self, tmp_path):
+        """Traces drive targets through the duck-typed submit/poll
+        surface — a serve/cluster import in repro.workloads would close
+        the dependency cycle the replayer exists to avoid."""
+        root = self._pkg(
+            tmp_path, "repro.workloads", "bad.py",
+            "from repro.serve.engine import ServingEngine\n"
+            "def f():\n    import repro.cluster.router\n"
+            "def g():\n    from repro.train.loop import TrainLoop\n",
+        )
+        violations = check_layering.check(root)
+        assert sorted(v[4] for v in violations) == [
+            "repro.cluster", "repro.serve", "repro.train"
+        ]
+
+    def test_workloads_may_import_utility_layers(self, tmp_path):
+        root = self._pkg(
+            tmp_path, "repro.workloads", "ok.py",
+            "import numpy\n"
+            "from repro.errors import ConfigurationError\n"
+            "from repro.utils.rng import spawn_generators\n"
+            "from repro.phi.events import EventSimulator\n",
+        )
+        assert check_layering.check(root) == []

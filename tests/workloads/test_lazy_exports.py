@@ -1,0 +1,35 @@
+"""Smoke tests: repro.workloads is reachable from `repro` without import cost."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestLazyWorkloadsExports:
+    def test_import_repro_does_not_import_workloads(self):
+        code = (
+            "import sys; import repro; "
+            "sys.exit(1 if any(m.startswith('repro.workloads') "
+            "for m in sys.modules) else 0)"
+        )
+        proc = subprocess.run([sys.executable, "-c", code])
+        assert proc.returncode == 0, "importing repro eagerly imported repro.workloads"
+
+    def test_workloads_names_resolve_lazily(self):
+        assert repro.Trace is not None
+        assert repro.SLOGate(p99_ms=10.0).p99_ms == 10.0
+        from repro.workloads import Trace, generate
+
+        assert repro.Trace is Trace
+        assert repro.generate_trace is generate  # aliased to avoid a generic name
+
+    def test_lazy_names_in_all(self):
+        for name in ("Trace", "TraceReplayer", "SLOGate", "generate_trace"):
+            assert name in repro.__all__
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing

@@ -1,0 +1,115 @@
+"""Tests for repro.workloads.patterns — the named workload catalog."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import (
+    PATTERNS,
+    QUICK_OVERRIDES,
+    cache_busting,
+    diurnal,
+    flash_crowd,
+    generate,
+    mixed_train_serve,
+)
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_generates_valid_trace(self, name):
+        trace = generate(name, seed=3, quick=True)
+        trace.validate()
+        assert trace.pattern == name
+        assert trace.n_requests > 0
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_bit_identical_at_fixed_seed(self, name):
+        """The acceptance criterion: every pattern replays bit-identically."""
+        a = generate(name, seed=11, quick=True)
+        b = generate(name, seed=11, quick=True)
+        assert a.events == b.events
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_seeds_decorrelate(self, name):
+        a = generate(name, seed=1, quick=True)
+        b = generate(name, seed=2, quick=True)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_quick_overrides_shrink_every_pattern(self):
+        assert set(QUICK_OVERRIDES) == set(PATTERNS)
+        for name in PATTERNS:
+            quick = generate(name, seed=0, quick=True)
+            full = generate(name, seed=0)
+            assert quick.duration_s < full.duration_s
+            assert quick.n_requests < full.n_requests
+
+    def test_overrides_compose_with_quick(self):
+        trace = generate("diurnal", seed=0, quick=True, payload_pool=16)
+        assert trace.payload_pool == 16
+        assert trace.duration_s == QUICK_OVERRIDES["diurnal"]["duration_s"]
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError, match="unknown pattern"):
+            generate("tsunami")
+
+
+class TestDiurnal:
+    def test_rate_tracks_the_curve(self):
+        trace = diurnal(seed=0, duration_s=1.0, base_rps=100.0,
+                        peak_rps=4000.0, period_s=1.0)
+        # Crest is the middle half-period; trough the outer quarters.
+        crest = sum(1 for e in trace.events if 0.25 <= e.t < 0.75)
+        trough = trace.n_requests - crest
+        assert crest > 2 * trough
+
+    def test_key_popularity_skewed(self):
+        trace = diurnal(seed=0, payload_pool=64, skew=2.0)
+        low = sum(1 for e in trace.events if e.key < 32)
+        # key < 32 ⇔ u² < 0.5 ⇔ u < 0.707: ~71% under skew, 50% uniform.
+        assert low > 0.6 * trace.n_requests
+
+    def test_peak_below_base_rejected(self):
+        with pytest.raises(ConfigurationError, match="peak_rps"):
+            diurnal(peak_rps=10.0, base_rps=100.0)
+
+
+class TestFlashCrowd:
+    def test_spike_dominates_its_window(self):
+        trace = flash_crowd(seed=0, duration_s=1.0, base_rps=200.0,
+                            crowd_factor=10.0, at_s=0.4, hold_s=0.2)
+        in_spike = sum(1 for e in trace.events if 0.4 <= e.t < 0.6)
+        outside = trace.n_requests - in_spike
+        # 0.2 s at 2000 rps ≈ 400 vs 0.8 s at 200 rps ≈ 160.
+        assert in_spike > outside
+
+    def test_spike_concentrates_on_hot_keys(self):
+        trace = flash_crowd(seed=0, n_hot=4, hot_prob=0.9)
+        spike = [e for e in trace.events if 0.4 <= e.t < 0.6]
+        hot = sum(1 for e in spike if e.key < 4)
+        assert hot > 0.7 * len(spike)
+
+    def test_spike_must_start_inside_window(self):
+        with pytest.raises(ConfigurationError, match="at_s"):
+            flash_crowd(at_s=2.0, duration_s=1.0)
+
+
+class TestCacheBusting:
+    def test_keys_sweep_sequentially(self):
+        trace = cache_busting(seed=0, duration_s=0.2, rate_rps=500.0,
+                              payload_pool=32)
+        keys = [e.key for e in trace.events]
+        assert keys == [i % 32 for i in range(len(keys))]
+
+
+class TestMixedTrainServe:
+    def test_train_cadence(self):
+        trace = mixed_train_serve(seed=0, duration_s=1.0, train_every_s=0.1)
+        train_ts = [e.t for e in trace.events if e.kind == "train"]
+        assert train_ts == pytest.approx([0.05 + 0.1 * i for i in range(10)])
+
+    def test_events_interleaved_in_order(self):
+        trace = generate("mixed_train_serve", seed=0, quick=True)
+        assert trace.n_train > 0
+        times = [e.t for e in trace.events]
+        assert times == sorted(times)

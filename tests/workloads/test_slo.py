@@ -1,0 +1,84 @@
+"""Tests for repro.workloads.slo — the SLO gate."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.replay import ReplayReport
+from repro.workloads.slo import SLOGate
+
+
+def report(offered=100, completed=95, shed=5, errors=0, p99_s=0.01):
+    return ReplayReport(
+        trace_name="t",
+        fingerprint="f",
+        offered=offered,
+        completed=completed,
+        shed=shed,
+        errors=errors,
+        cache_hits=0,
+        train_steps=0,
+        train_failures=0,
+        train_seconds=0.0,
+        makespan_s=1.0,
+        throughput_rps=float(completed),
+        goodput_fraction=completed / offered if offered else 0.0,
+        latency_p50_s=p99_s / 2,
+        latency_p95_s=p99_s * 0.9,
+        latency_p99_s=p99_s,
+    )
+
+
+class TestValidation:
+    def test_bad_p99(self):
+        with pytest.raises(ConfigurationError, match="p99_ms"):
+            SLOGate(p99_ms=0.0)
+
+    @pytest.mark.parametrize("field", ["error_budget", "shed_budget"])
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_budgets_must_be_fractions(self, field, value):
+        with pytest.raises(ConfigurationError, match=field):
+            SLOGate(p99_ms=10.0, **{field: value})
+
+
+class TestEvaluate:
+    def test_clean_report_passes(self):
+        gate = SLOGate(p99_ms=20.0, error_budget=0.0, shed_budget=0.1)
+        assert gate.evaluate(report()) == []
+        assert gate.check(report())
+
+    def test_p99_violation(self):
+        gate = SLOGate(p99_ms=5.0)
+        failures = gate.evaluate(report(p99_s=0.01))
+        assert len(failures) == 1
+        assert "p99" in failures[0]
+
+    def test_error_budget_violation(self):
+        gate = SLOGate(p99_ms=20.0, error_budget=0.01)
+        failures = gate.evaluate(report(completed=90, errors=5))
+        assert any("error rate" in f for f in failures)
+        assert not gate.check(report(completed=90, errors=5))
+
+    def test_shed_budget_violation(self):
+        gate = SLOGate(p99_ms=20.0, shed_budget=0.01)
+        assert any("shed rate" in f for f in gate.evaluate(report(shed=5)))
+
+    def test_all_three_reported_together(self):
+        gate = SLOGate(p99_ms=1.0, error_budget=0.0, shed_budget=0.0)
+        failures = gate.evaluate(report(completed=80, shed=10, errors=10,
+                                        p99_s=0.05))
+        assert len(failures) == 3
+
+    def test_empty_report_passes(self):
+        gate = SLOGate(p99_ms=1.0)
+        empty = report(offered=0, completed=0, shed=0, p99_s=0.0)
+        assert gate.check(empty)  # 0/0 rates are 0, p99 is 0
+
+
+class TestAsRow:
+    def test_row_fields(self):
+        row = SLOGate(p99_ms=30.0, error_budget=0.0, shed_budget=0.05).as_row()
+        assert row == {
+            "slo_p99_ms": 30.0,
+            "slo_error_budget": 0.0,
+            "slo_shed_budget": 0.05,
+        }

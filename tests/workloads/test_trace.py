@@ -1,0 +1,152 @@
+"""Tests for repro.workloads.trace — format, validation, round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.trace import (
+    TRACE_SCHEMA,
+    Trace,
+    TraceEvent,
+    merge_events,
+    trace_from_arrivals,
+)
+
+
+def make_trace(events=None, **overrides):
+    kwargs = dict(
+        name="t",
+        seed=0,
+        duration_s=1.0,
+        payload_pool=8,
+        events=tuple(events or (TraceEvent(0.1, "request", 3),
+                                TraceEvent(0.2, "train"),
+                                TraceEvent(0.2, "request", 7))),
+    )
+    kwargs.update(overrides)
+    return Trace(**kwargs)
+
+
+class TestEventJson:
+    def test_request_round_trip(self):
+        e = TraceEvent(0.125, "request", 42)
+        assert TraceEvent.from_json(e.to_json()) == e
+
+    def test_train_omits_key(self):
+        e = TraceEvent(0.5, "train")
+        obj = json.loads(e.to_json())
+        assert "key" not in obj
+        assert TraceEvent.from_json(e.to_json()) == e
+
+
+class TestValidation:
+    def test_valid_trace_passes(self):
+        make_trace().validate()
+
+    def test_unknown_schema(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            make_trace(schema="repro.trace/v99").validate()
+
+    def test_bad_duration(self):
+        with pytest.raises(ConfigurationError, match="duration_s"):
+            make_trace(duration_s=0.0).validate()
+
+    def test_bad_pool(self):
+        with pytest.raises(ConfigurationError, match="payload_pool"):
+            make_trace(payload_pool=0).validate()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            make_trace(events=(TraceEvent(0.1, "teleport"),)).validate()
+
+    def test_negative_time(self):
+        with pytest.raises(ConfigurationError, match="negative time"):
+            make_trace(events=(TraceEvent(-0.1),)).validate()
+
+    def test_out_of_order_times(self):
+        events = (TraceEvent(0.2), TraceEvent(0.1))
+        with pytest.raises(ConfigurationError, match="precedes"):
+            make_trace(events=events).validate()
+
+    def test_key_outside_pool(self):
+        with pytest.raises(ConfigurationError, match="outside payload pool"):
+            make_trace(events=(TraceEvent(0.1, "request", 8),)).validate()
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, tmp_path):
+        trace = make_trace(params={"rate_rps": 100.0}, pattern="p")
+        path = trace.save(tmp_path / "t.trace.jsonl")
+        loaded = Trace.load(path)
+        assert loaded == trace
+        assert loaded.fingerprint() == trace.fingerprint()
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="empty"):
+            Trace.load(path)
+
+    def test_load_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "raw.jsonl"
+        path.write_text('{"t": 0.1, "kind": "request", "key": 0}\n')
+        with pytest.raises(ConfigurationError, match="schema header"):
+            Trace.load(path)
+
+    def test_load_rejects_event_count_mismatch(self, tmp_path):
+        trace = make_trace()
+        path = trace.save(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one event
+        with pytest.raises(ConfigurationError, match="declares"):
+            Trace.load(path)
+
+    def test_load_validate_flag(self, tmp_path):
+        bad = make_trace(events=(TraceEvent(0.2), TraceEvent(0.1)))
+        path = bad.save(tmp_path / "bad.jsonl")
+        with pytest.raises(ConfigurationError):
+            Trace.load(path)
+        assert Trace.load(path, validate=False).n_requests == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_fingerprint(self):
+        a = trace_from_arrivals(PoissonArrivals(500.0), 0.5, seed=7)
+        b = trace_from_arrivals(PoissonArrivals(500.0), 0.5, seed=7)
+        assert a.events == b.events
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seed_differs(self):
+        a = trace_from_arrivals(PoissonArrivals(500.0), 0.5, seed=1)
+        b = trace_from_arrivals(PoissonArrivals(500.0), 0.5, seed=2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_sensitive_to_header(self):
+        a = make_trace()
+        b = make_trace(name="other")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_counts(self):
+        trace = make_trace()
+        assert trace.n_requests == 2
+        assert trace.n_train == 1
+
+    def test_bad_pool_rejected_up_front(self):
+        with pytest.raises(ConfigurationError, match="payload_pool"):
+            trace_from_arrivals(PoissonArrivals(10.0), 0.5, payload_pool=0)
+
+
+class TestMerge:
+    def test_time_ordered(self):
+        a = [TraceEvent(0.1), TraceEvent(0.3)]
+        b = [TraceEvent(0.2, "train")]
+        merged = merge_events(a, b)
+        assert [e.t for e in merged] == [0.1, 0.2, 0.3]
+
+    def test_ties_keep_group_order(self):
+        requests = [TraceEvent(0.5, "request", 1)]
+        train = [TraceEvent(0.5, "train")]
+        assert merge_events(requests, train)[0].kind == "request"
+        assert merge_events(train, requests)[0].kind == "train"

@@ -18,7 +18,11 @@ fails the build when a package reaches *down* the wrong way:
   composes engines, a single engine never knows it is replicated;
 * ``repro.cluster`` reaches models only *through* the serve layer's
   ``ServableModel`` boundary — never ``repro.train`` / ``repro.nn`` /
-  ``repro.core`` / ``repro.data`` internals directly.
+  ``repro.core`` / ``repro.data`` internals directly;
+* ``repro.workloads`` is pure data + replay: traces drive engines and
+  routers through their duck-typed ``submit``/``poll`` surface, so the
+  package must never import the serve / cluster / train / nn tiers it
+  exercises (the bench layer composes them instead).
 
 Every import statement counts, module-level or function-level, so a
 "lazy" import cannot smuggle a forbidden edge in.
@@ -64,6 +68,15 @@ FORBIDDEN = {
         "repro.nn",
         "repro.core",
         "repro.data",
+    ),
+    "repro.workloads": (
+        "repro.serve",
+        "repro.cluster",
+        "repro.train",
+        "repro.nn",
+        "repro.core",
+        "repro.data",
+        "repro.runtime",
     ),
 }
 
