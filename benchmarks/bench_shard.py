@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Model-parallel shard drills: parity, resume, scatter-gather, shard kill.
+
+    PYTHONPATH=src python benchmarks/bench_shard.py                 # full drills
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/bench_shard.py --out BENCH_shard.json
+    PYTHONPATH=src python benchmarks/bench_shard.py --validate BENCH_shard.json
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick --gates \
+        --baseline BENCH_shard.json --max-regression 0.25
+
+Exit status: 0 on success, 1 on schema violation, failed acceptance gate,
+or baseline regression.  Parity rows compare the sharded forward pass and
+one training step against the dropout-masked full-model oracle, so the
+gate is exact (<= 1e-10), not statistical; the serving clock is simulated,
+so the p99 gate is machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short drills (CI smoke run; same gates)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="shard counts for the parity rows (default: 1 2 4)",
+    )
+    parser.add_argument("--out", metavar="PATH", help="write the JSON report")
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing report against the schema and exit",
+    )
+    parser.add_argument(
+        "--gates",
+        action="store_true",
+        help="enforce the acceptance gates (parity, resume, serving, kill)",
+    )
+    parser.add_argument(
+        "--parity-tol",
+        type=float,
+        default=1e-10,
+        help="parity / resume max-abs ceiling (default 1e-10)",
+    )
+    parser.add_argument(
+        "--max-p99-ratio",
+        type=float,
+        default=1.25,
+        help="allowed sharded-vs-whole-model p99 inflation (default 1.25)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed baseline report to compare headline ratios against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression vs baseline (default 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.bench.shardbench import (
+        compare_to_baseline,
+        enforce_gates,
+        load_report,
+        run_shard_bench,
+        validate_report,
+        write_report,
+    )
+    from repro.errors import ConfigurationError
+
+    if args.validate:
+        try:
+            validate_report(load_report(args.validate))
+        except (ConfigurationError, ValueError) as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema OK")
+        return 0
+
+    report = run_shard_bench(
+        shard_counts=tuple(args.shards), quick=args.quick, seed=args.seed
+    )
+    for row in report["rows"]:
+        kind = row["kind"]
+        if kind == "parity":
+            print(
+                f"parity {row['family']} N={row['n_shards']}: "
+                f"forward {row['forward_max_abs']:.1e} "
+                f"step {row['step_max_abs']:.1e} "
+                f"roundtrip {row['roundtrip_max_abs']:.1e}"
+            )
+        elif kind == "pretrain":
+            print(
+                f"pretrain N={row['n_shards']} exchange_every="
+                f"{row['exchange_every']}: {row['snapshots']} snapshots, "
+                f"resume diff {row['resume_max_abs']:.1e}"
+            )
+        elif kind == "serving":
+            print(
+                f"serving N={row['n_shards']}: {row['completed']}/"
+                f"{row['offered']} served, failed={row['failed']}, "
+                f"p99 {row['p99_single_ms']:.2f} -> "
+                f"{row['p99_sharded_ms']:.2f} ms "
+                f"({row['p99_ratio']:.2f}x)"
+            )
+        elif kind == "shard_kill":
+            print(
+                f"shard-kill N={row['n_shards']} victim="
+                f"{row['victim_shard']}: {row['completed']}/{row['offered']} "
+                f"served, failed={row['failed']}, deaths={row['deaths']}, "
+                f"degraded={row['degraded_requests']}"
+            )
+
+    if args.out:
+        print(f"wrote {write_report(report, args.out)}")
+
+    status = 0
+    if args.gates:
+        failures = enforce_gates(
+            report,
+            parity_tol=args.parity_tol,
+            max_p99_ratio=args.max_p99_ratio,
+        )
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(
+                f"gates passed (parity <= {args.parity_tol:g}, "
+                f"p99 <= {args.max_p99_ratio:.2f}x, kill degrades cleanly)"
+            )
+
+    if args.baseline:
+        failures = compare_to_baseline(
+            report, load_report(args.baseline), max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"no regression vs {args.baseline}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

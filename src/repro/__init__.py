@@ -32,6 +32,8 @@ Sub-packages:
 * :mod:`repro.serve` — micro-batched inference serving (one engine);
 * :mod:`repro.cluster` — sharded multi-replica serving: router, hedging,
   zero-downtime swap, autoscaler;
+* :mod:`repro.shard` — dropout-decoupled model parallelism: column
+  partitioner, deterministic mask streams, per-shard checkpoints;
 * :mod:`repro.workloads` — replayable workload traces, the pattern
   catalog, the trace replayer, and SLO gates.
 """
@@ -183,6 +185,25 @@ _CLUSTER_EXPORTS = frozenset(
 )
 
 
+_SHARD_EXPORTS = frozenset(
+    {
+        "Partition",
+        "CrossBlock",
+        "ModelShard",
+        "partition_model",
+        "merge_shards",
+        "mask_streams",
+        "gather_outputs",
+        "shard_servables",
+        "save_shard_checkpoint",
+        "read_shard_checkpoint",
+        "ShardRouter",
+        "sharded_pretrain",
+        "run_shard_bench",
+    }
+)
+
+
 _WORKLOADS_EXPORTS = frozenset(
     {
         "Trace",
@@ -205,6 +226,24 @@ def __getattr__(name: str):
         import repro.cluster as _cluster
 
         return getattr(_cluster, name)
+    if name in _SHARD_EXPORTS:
+        if name == "ShardRouter":
+            from repro.cluster import ShardRouter
+
+            return ShardRouter
+        if name in ("sharded_pretrain", "run_shard_bench"):
+            import repro.bench.shardbench as _shardbench
+
+            return getattr(_shardbench, name)
+        import repro.shard as _shard
+
+        # partition/merge get explicit names at the top level: "partition"
+        # alone would read as a generic verb next to the training API.
+        if name == "partition_model":
+            return _shard.partition
+        if name == "merge_shards":
+            return _shard.merge
+        return getattr(_shard, name)
     if name in _WORKLOADS_EXPORTS:
         import repro.workloads as _workloads
 
@@ -309,6 +348,20 @@ __all__ = [
     "HedgePolicy",
     "ConsistentHashPolicy",
     "run_cluster_bench",
+    # shard (lazy — see __getattr__)
+    "Partition",
+    "CrossBlock",
+    "ModelShard",
+    "partition_model",
+    "merge_shards",
+    "mask_streams",
+    "gather_outputs",
+    "shard_servables",
+    "save_shard_checkpoint",
+    "read_shard_checkpoint",
+    "ShardRouter",
+    "sharded_pretrain",
+    "run_shard_bench",
     # workloads (lazy — see __getattr__)
     "Trace",
     "TraceEvent",

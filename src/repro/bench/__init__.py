@@ -41,6 +41,21 @@ from repro.bench.report import (
 from repro.bench.sweep import simulate_seconds, sweep
 from repro.bench.hotpath import run_hotpath_bench
 
+# The shard bench pulls in the serving + cluster tiers; keep it lazy so
+# `import repro` (which imports repro.bench eagerly) stays cluster-free.
+_SHARDBENCH_EXPORTS = ("run_shard_bench", "sharded_pretrain", "shardbench")
+
+
+def __getattr__(name):
+    if name in _SHARDBENCH_EXPORTS:
+        import importlib
+
+        module = importlib.import_module("repro.bench.shardbench")
+        if name == "shardbench":
+            return module
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "FIG7_NETWORKS",
     "FIG8_DATASET_SIZES",
@@ -69,4 +84,7 @@ __all__ = [
     "sweep",
     "simulate_seconds",
     "run_hotpath_bench",
+    "run_shard_bench",
+    "sharded_pretrain",
+    "shardbench",
 ]

@@ -9,11 +9,13 @@
     python -m repro roofline               # roofline of one SAE step
     python -m repro serve-bench            # inference serving sweep
     python -m repro cluster-bench [--quick]  # multi-replica cluster drills
+    python -m repro shard-bench [--quick]  # model-parallel shard drills
     python -m repro hotpath [--quick]      # fused-kernel wall-clock bench
     python -m repro parallel-bench [--quick]  # thread+process executor bench
     python -m repro pipeline-bench [--quick]  # pipelined vs greedy pretrain
     python -m repro chaos [--quick]        # fault-injection + resume drill
     python -m repro chaos --under-load mixed_train_serve  # faults mid-replay
+    python -m repro chaos --shard          # shard kill + exchange-kill drills
     python -m repro trace-gen --pattern diurnal --out d.jsonl  # save a trace
     python -m repro slo-bench [--quick]    # workload patterns vs SLO gates
     python -m repro all                    # everything (except wall-clock benches)
@@ -96,6 +98,63 @@ def _rows_for(command: str, model: str, args=None):
             "Cluster drills: saturation, hedging, swap, kill, autoscale "
             "(simulated clock)",
         )
+    if command == "shard-bench":
+        from repro.bench.shardbench import run_shard_bench
+
+        report = run_shard_bench(
+            quick=bool(getattr(args, "quick", False)),
+            seed=getattr(args, "seed", None) or 0,
+        )
+        display = []
+        for row in report["rows"]:
+            kind = row["kind"]
+            if kind == "parity":
+                display.append({
+                    "drill": f"parity {row['family']} N={row['n_shards']}",
+                    "result": (
+                        f"forward {row['forward_max_abs']:.1e} "
+                        f"step {row['step_max_abs']:.1e}"
+                    ),
+                    "note": f"roundtrip {row['roundtrip_max_abs']:.1e}",
+                })
+            elif kind == "pretrain":
+                display.append({
+                    "drill": f"pretrain resume N={row['n_shards']}",
+                    "result": f"diff {row['resume_max_abs']:.1e}",
+                    "note": (
+                        f"{row['snapshots']} snapshots, "
+                        f"exchange every {row['exchange_every']}"
+                    ),
+                })
+            elif kind == "serving":
+                display.append({
+                    "drill": f"serving N={row['n_shards']}",
+                    "result": (
+                        f"{row['completed']}/{row['offered']} served, "
+                        f"failed={row['failed']}"
+                    ),
+                    "note": (
+                        f"p99 {row['p99_single_ms']:.2f} -> "
+                        f"{row['p99_sharded_ms']:.2f} ms "
+                        f"({row['p99_ratio']:.2f}x)"
+                    ),
+                })
+            elif kind == "shard_kill":
+                display.append({
+                    "drill": f"shard-kill N={row['n_shards']}",
+                    "result": (
+                        f"{row['completed']}/{row['offered']} served, "
+                        f"failed={row['failed']}"
+                    ),
+                    "note": (
+                        f"deaths={row['deaths']}, "
+                        f"degraded={row['degraded_requests']}"
+                    ),
+                })
+        return display, (
+            "Shard drills: masked-oracle parity, resume, scatter-gather, "
+            "shard kill (simulated clock)"
+        )
     if command == "hotpath":
         from repro.bench.hotpath import QUICK_SHAPES, run_hotpath_bench
 
@@ -168,18 +227,21 @@ def _rows_for(command: str, model: str, args=None):
         from repro.testing.chaos import run_chaos
 
         under_load = getattr(args, "under_load", None)
+        shard = bool(getattr(args, "shard", False))
         rows = run_chaos(
             quick=bool(getattr(args, "quick", False)),
             checkpoint_dir=getattr(args, "checkpoint_dir", None),
             resume=bool(getattr(args, "resume", False)),
             seed=getattr(args, "seed", None) or 0,
             under_load=under_load,
+            shard=shard,
         )
-        title = (
-            "Chaos under load: faults injected mid-replay, SLO budget held"
-            if under_load
-            else "Chaos drill: injected faults, recovery, bit-identical resume"
-        )
+        if shard:
+            title = "Shard chaos: degraded serving + exchange-kill resume"
+        elif under_load:
+            title = "Chaos under load: faults injected mid-replay, SLO budget held"
+        else:
+            title = "Chaos drill: injected faults, recovery, bit-identical resume"
         return rows, title
     if command == "trace-gen":
         from repro.errors import ConfigurationError
@@ -235,15 +297,15 @@ def _rows_for(command: str, model: str, args=None):
 
 _COMMANDS = [
     "table1", "fig7", "fig8", "fig9", "fig10", "overlap", "headline",
-    "cores", "roofline", "serve-bench", "cluster-bench", "hotpath",
-    "parallel-bench", "pipeline-bench", "verify", "chaos", "trace-gen",
-    "slo-bench", "all",
+    "cores", "roofline", "serve-bench", "cluster-bench", "shard-bench",
+    "hotpath", "parallel-bench", "pipeline-bench", "verify", "chaos",
+    "trace-gen", "slo-bench", "all",
 ]
 
 #: commands too slow / machine-dependent to fold into ``all``
 _EXCLUDED_FROM_ALL = {
     "hotpath", "parallel-bench", "pipeline-bench", "chaos", "cluster-bench",
-    "trace-gen", "slo-bench",
+    "shard-bench", "trace-gen", "slo-bench",
 }
 
 
@@ -307,6 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
             "chaos: inject faults mid-replay of TRACE (a workload pattern "
             "name or a saved trace file) and assert the SLO budget holds"
         ),
+    )
+    parser.add_argument(
+        "--shard",
+        action="store_true",
+        help="chaos: run the model-parallel shard drills instead",
     )
     parser.add_argument(
         "--pattern",

@@ -42,6 +42,7 @@ from repro.cluster.router import (
     RoundRobinPolicy,
     Router,
 )
+from repro.cluster.shardrouter import ShardedRequest, ShardRouter, place_shards
 
 __all__ = [
     "Autoscaler",
@@ -59,6 +60,9 @@ __all__ = [
     "ReplicatedRegistry",
     "RoundRobinPolicy",
     "Router",
+    "ShardRouter",
+    "ShardedRequest",
     "SwapTicket",
+    "place_shards",
     "run_cluster_bench",
 ]

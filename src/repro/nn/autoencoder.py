@@ -134,30 +134,61 @@ class SparseAutoencoder:
         rho_hat = hidden.mean(axis=0)
         return self.cost.total(recon, x, self.w1, self.w2, rho_hat)
 
-    def gradients(self, x: np.ndarray) -> Tuple[float, AutoencoderGradients]:
+    def _masked_rho(self, rho_hat: np.ndarray, hidden_mask) -> np.ndarray:
+        """ρ̂ with dropped units pinned to the sparsity target.
+
+        ``KL(ρ‖ρ)`` and its derivative are exactly ``0.0``, so pinning a
+        masked unit's mean activation to ρ removes it from both the
+        sparsity loss and the sparsity delta without a special code path
+        (a dropped unit's ρ̂ is 0, where the KL term would blow up).
+        """
+        return np.where(hidden_mask == 0.0, self.cost.sparsity_target, rho_hat)
+
+    def gradients(
+        self,
+        x: np.ndarray,
+        hidden_mask: Optional[np.ndarray] = None,
+        visible_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[float, AutoencoderGradients]:
         """Back-propagation gradient of the objective on batch ``x``.
 
         Returns ``(loss, grads)``.  The four GEMMs here (two forward, the
         delta back-projection, and the two outer-product weight gradients)
         are the kernels the paper's Fig. 6-style dependency analysis
         schedules on the coprocessor.
+
+        ``hidden_mask`` / ``visible_mask`` are per-unit float keep-masks
+        (``{0, 1}`` for the shard partitioner's structural dropout):
+        ``y = mask ⊙ s(W₁x + b₁)``, ``z = mask ⊙ s'(W₂y + b₂)``.  Units
+        with mask 0 contribute nothing to any gradient, and masked hidden
+        units are excluded from the KL sparsity term (their ρ̂ would be 0).
+        With a ``visible_mask`` the input ``x`` is expected to be masked
+        the same way.
         """
         x = check_matrix_shapes(x, self.n_visible, "x")
         m = x.shape[0]
 
-        # forward
-        hidden = self.hidden_activation.forward(x @ self.w1.T + self.b1)
-        recon = self.output_activation.forward(hidden @ self.w2.T + self.b2)
+        # forward (raw activations kept for the derivative under a mask)
+        hidden_raw = self.hidden_activation.forward(x @ self.w1.T + self.b1)
+        hidden = hidden_raw if hidden_mask is None else hidden_raw * hidden_mask
+        recon_raw = self.output_activation.forward(hidden @ self.w2.T + self.b2)
+        recon = recon_raw if visible_mask is None else recon_raw * visible_mask
         rho_hat = hidden.mean(axis=0)
-        loss = self.cost.total(recon, x, self.w1, self.w2, rho_hat)
+        rho_eff = rho_hat if hidden_mask is None else self._masked_rho(rho_hat, hidden_mask)
+        loss = self.cost.total(recon, x, self.w1, self.w2, rho_eff)
 
-        # output deltas: δ₃ = (z − x) ⊙ s'(z)
-        delta3 = (recon - x) * self.output_activation.grad_from_output(recon)
+        # output deltas: δ₃ = (z − x) ⊙ mask ⊙ s'(z)
+        delta3 = (recon - x) * self.output_activation.grad_from_output(recon_raw)
+        if visible_mask is not None:
+            delta3 = delta3 * visible_mask
 
-        # hidden deltas: δ₂ = (δ₃W₂ + sparsity term) ⊙ s'(y)
+        # hidden deltas: δ₂ = (δ₃W₂ + sparsity term) ⊙ mask ⊙ s'(y)
         back = delta3 @ self.w2
-        sparse_term = self.cost.sparsity_delta(rho_hat)  # per-unit, batch mean
-        delta2 = (back + sparse_term) * self.hidden_activation.grad_from_output(hidden)
+        sparse_term = self.cost.sparsity_delta(rho_eff)  # per-unit, batch mean
+        pre = back + sparse_term
+        if hidden_mask is not None:
+            pre = pre * hidden_mask
+        delta2 = pre * self.hidden_activation.grad_from_output(hidden_raw)
 
         grad_w2 = delta3.T @ hidden / m + self.cost.weight_decay * self.w2
         grad_b2 = delta3.mean(axis=0)
@@ -200,6 +231,8 @@ class SparseAutoencoder:
         workspace,
         out: Optional[AutoencoderGradients] = None,
         rho_hat: Optional[np.ndarray] = None,
+        hidden_mask: Optional[np.ndarray] = None,
+        visible_mask: Optional[np.ndarray] = None,
     ) -> Tuple[float, AutoencoderGradients]:
         """Fused, zero-allocation variant of :meth:`gradients` (paper §IV.B).
 
@@ -219,6 +252,11 @@ class SparseAutoencoder:
         global batch mean here (combined from per-shard
         :meth:`mean_hidden_into` results) so that shard gradients reduce to
         exactly the serial full-batch gradient.
+
+        ``hidden_mask`` / ``visible_mask`` follow the :meth:`gradients`
+        contract (per-unit float keep-masks); the masked copies live in
+        dedicated workspace buffers so the masked path is allocation-free
+        in steady state too.
         """
         ws = workspace
         x = check_matrix_shapes(x, self.n_visible, "x")
@@ -234,25 +272,47 @@ class SparseAutoencoder:
                 ws.buf("sae.grad_b2", (v,)),
             )
 
-        hidden = ws.buf("sae.hidden", (m, h))
+        hidden_raw = ws.buf("sae.hidden", (m, h))
         mask_h = ws.buf("sae.mask_h", (m, h), bool)
         scr_h = ws.buf("sae.scr_h", (m, h))
-        np.dot(x, self.w1.T, out=hidden)
-        hidden += ws.broadcast("sae.b1_full", self.b1, (m, h))
-        self.hidden_activation.forward_into(hidden, hidden, mask=mask_h, scratch=scr_h)
+        np.dot(x, self.w1.T, out=hidden_raw)
+        hidden_raw += ws.broadcast("sae.b1_full", self.b1, (m, h))
+        self.hidden_activation.forward_into(
+            hidden_raw, hidden_raw, mask=mask_h, scratch=scr_h
+        )
+        if hidden_mask is None:
+            hidden = hidden_raw
+        else:
+            hm_full = ws.broadcast("sae.hmask_full", hidden_mask, (m, h))
+            hidden = ws.buf("sae.hidden_m", (m, h))
+            np.multiply(hidden_raw, hm_full, out=hidden)
 
-        recon = ws.buf("sae.recon", (m, v))
+        recon_raw = ws.buf("sae.recon", (m, v))
         mask_v = ws.buf("sae.mask_v", (m, v), bool)
         scr_v = ws.buf("sae.scr_v", (m, v))
-        np.dot(hidden, self.w2.T, out=recon)
-        recon += ws.broadcast("sae.b2_full", self.b2, (m, v))
-        self.output_activation.forward_into(recon, recon, mask=mask_v, scratch=scr_v)
+        np.dot(hidden, self.w2.T, out=recon_raw)
+        recon_raw += ws.broadcast("sae.b2_full", self.b2, (m, v))
+        self.output_activation.forward_into(
+            recon_raw, recon_raw, mask=mask_v, scratch=scr_v
+        )
+        if visible_mask is None:
+            recon = recon_raw
+        else:
+            vm_full = ws.broadcast("sae.vmask_full", visible_mask, (m, v))
+            recon = ws.buf("sae.recon_m", (m, v))
+            np.multiply(recon_raw, vm_full, out=recon)
 
         rho = ws.buf("sae.rho", (h,))
         if rho_hat is None:
             np.mean(hidden, axis=0, out=rho)
         else:
             np.copyto(rho, rho_hat)
+        if hidden_mask is not None:
+            # dropped units pinned to the target: KL(ρ‖ρ) ≡ 0, so they
+            # vanish from both the sparsity loss and the sparsity delta
+            zero_h = ws.buf("sae.hmask_zero", (h,), bool)
+            np.equal(hidden_mask, 0.0, out=zero_h)
+            np.copyto(rho, self.cost.sparsity_target, where=zero_h)
 
         diff = ws.buf("sae.diff", (m, v))
         np.subtract(recon, x, out=diff)
@@ -264,8 +324,10 @@ class SparseAutoencoder:
         rho_scr2 = ws.buf("sae.rho_scr2", (h,))
         loss += self.cost.sparsity(rho, out=rho_scr1, scratch=rho_scr2)
 
-        # δ₃ = (z − x) ⊙ s'(z), fused into ``diff``
-        self.output_activation.mul_grad_into(diff, recon, scratch=scr_v)
+        # δ₃ = (z − x) ⊙ mask ⊙ s'(z), fused into ``diff``
+        self.output_activation.mul_grad_into(diff, recon_raw, scratch=scr_v)
+        if visible_mask is not None:
+            diff *= vm_full
         delta3 = diff
 
         # weight-shaped scratch is only materialised for the non-BLAS fallback
@@ -276,13 +338,15 @@ class SparseAutoencoder:
         axpy_into(self.w2, out.w2, self.cost.weight_decay, scratch=scr_w2)
         np.mean(delta3, axis=0, out=out.b2)
 
-        # δ₂ = (δ₃W₂ + sparsity term) ⊙ s'(y), fused into ``back``
+        # δ₂ = (δ₃W₂ + sparsity term) ⊙ mask ⊙ s'(y), fused into ``back``
         back = ws.buf("sae.back", (m, h))
         np.dot(delta3, self.w2, out=back)
         if self.cost.sparsity_weight > 0.0:
             self.cost.sparsity_delta(rho, out=rho_scr1, scratch=rho_scr2)
             back += ws.broadcast("sae.rho_full", rho_scr1, (m, h))
-        self.hidden_activation.mul_grad_into(back, hidden, scratch=scr_h)
+        if hidden_mask is not None:
+            back *= hm_full
+        self.hidden_activation.mul_grad_into(back, hidden_raw, scratch=scr_h)
         delta2 = back
 
         gemm_into(delta2.T, x, out.w1, alpha=1.0 / m)

@@ -165,24 +165,93 @@ class DeepNetwork:
     # ------------------------------------------------------------------
     # forward
     # ------------------------------------------------------------------
-    def _forward(self, x: np.ndarray) -> List[np.ndarray]:
+    def _check_dropout_masks(self, dropout_masks) -> None:
+        if dropout_masks is None:
+            return
+        if len(dropout_masks) != self.n_layers - 1:
+            raise ConfigurationError(
+                f"dropout_masks needs one entry per hidden layer "
+                f"({self.n_layers - 1}), got {len(dropout_masks)}"
+            )
+
+    def sample_dropout_masks(
+        self, dropout: float, rng: SeedLike = None
+    ) -> List[np.ndarray]:
+        """Inverted-dropout masks, one per hidden layer.
+
+        Each mask is a per-unit float vector with entries in
+        ``{0, 1/(1-dropout)}``: kept units carry the inverse-keep scale at
+        train time, so the evaluation forward pass needs no rescaling.
+        """
+        if not 0.0 <= dropout < 1.0:
+            raise ConfigurationError(f"dropout must be in [0, 1), got {dropout}")
+        gen = as_generator(rng)
+        keep = 1.0 - dropout
+        masks = []
+        for size in self.layer_sizes[1:-1]:
+            mask = (gen.random(size) < keep).astype(np.float64)
+            mask /= keep
+            masks.append(mask)
+        return masks
+
+    def _forward(
+        self,
+        x: np.ndarray,
+        dropout_masks: Optional[Sequence[np.ndarray]] = None,
+        collect_fed: bool = False,
+    ):
         """All layer activations, input first; softmax head returns
-        probabilities as the last entry."""
+        probabilities as the last entry.
+
+        ``dropout_masks`` — one float mask per *hidden* layer, shaped
+        ``(n_units,)`` (per-unit, broadcast over the batch) or
+        ``(m, n_units)`` — multiplies that layer's activation before it
+        feeds the next layer.  The stored activations stay unmasked (the
+        backward pass needs them for the activation derivative); with
+        ``collect_fed`` the masked values actually propagated are returned
+        as a second list.
+        """
+        self._check_dropout_masks(dropout_masks)
         activations = [x]
-        out = x
+        fed = [x]
+        cur = x
         for i, layer in enumerate(self.layers):
-            z = out @ layer.w.T + layer.b
+            z = cur @ layer.w.T + layer.b
             if self.head == "softmax" and i == self.n_layers - 1:
                 out = softmax(z)
             else:
                 out = layer.activation.forward(z)
             activations.append(out)
+            if dropout_masks is not None and i < self.n_layers - 1:
+                cur = out * dropout_masks[i]
+            else:
+                cur = out
+            fed.append(cur)
+        if collect_fed:
+            return activations, fed
         return activations
 
-    def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        """Network outputs (class probabilities for the softmax head)."""
+    def predict_proba(
+        self,
+        x: np.ndarray,
+        dropout: float = 0.0,
+        rng: SeedLike = None,
+        training: bool = False,
+        dropout_masks: Optional[Sequence[np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Network outputs (class probabilities for the softmax head).
+
+        ``dropout`` uses inverted scaling: with ``training=True`` fresh
+        masks with entries ``{0, 1/(1-dropout)}`` are sampled from ``rng``;
+        at evaluation time (the default) dropout is a no-op — no output
+        rescaling is needed because the scale was paid during training.
+        Pass ``dropout_masks`` to pin the masks explicitly (fixed-mask
+        parity tests, shard keep-masks).
+        """
         x = check_matrix_shapes(x, self.n_in, "x")
-        return self._forward(x)[-1]
+        if dropout_masks is None and training and dropout > 0.0:
+            dropout_masks = self.sample_dropout_masks(dropout, rng)
+        return self._forward(x, dropout_masks)[-1]
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Argmax class labels (softmax head) or raw outputs otherwise."""
@@ -215,16 +284,26 @@ class DeepNetwork:
         decay = 0.5 * self.weight_decay * sum(float(np.sum(l.w * l.w)) for l in self.layers)
         return data_loss + decay
 
-    def gradients(self, x: np.ndarray, targets: np.ndarray):
+    def gradients(
+        self,
+        x: np.ndarray,
+        targets: np.ndarray,
+        dropout_masks: Optional[Sequence[np.ndarray]] = None,
+    ):
         """(loss, [(dW, db) per layer]) by back-propagation.
 
         For the softmax head the output delta is the classic ``p − t``;
         for regression heads it is ``(out − t)·s'(out)``.
+
+        With ``dropout_masks`` the forward pass feeds masked activations
+        (see :meth:`_forward`) and the backward pass routes each layer's
+        delta through the same mask, so a unit dropped forward contributes
+        nothing backward either.
         """
         x = check_matrix_shapes(x, self.n_in, "x")
         targets = check_matrix_shapes(targets, self.n_out, "targets")
         m = x.shape[0]
-        activations = self._forward(x)
+        activations, fed = self._forward(x, dropout_masks, collect_fed=True)
         out = activations[-1]
 
         if self.head == "softmax":
@@ -241,19 +320,27 @@ class DeepNetwork:
         grads: List[Tuple[np.ndarray, np.ndarray]] = [None] * self.n_layers
         for i in range(self.n_layers - 1, -1, -1):
             layer = self.layers[i]
-            a_prev = activations[i]
+            a_prev = fed[i]
             grads[i] = (
                 delta.T @ a_prev + self.weight_decay * layer.w,
                 delta.sum(axis=0),
             )
             if i > 0:
                 back = delta @ layer.w
+                if dropout_masks is not None:
+                    back = back * dropout_masks[i - 1]
                 delta = back * self.layers[i - 1].activation.grad_from_output(
                     activations[i]
                 )
         return loss, grads
 
-    def gradients_into(self, x: np.ndarray, targets: np.ndarray, workspace):
+    def gradients_into(
+        self,
+        x: np.ndarray,
+        targets: np.ndarray,
+        workspace,
+        dropout_masks: Optional[Sequence[np.ndarray]] = None,
+    ):
         """Fused, zero-allocation variant of :meth:`gradients` (paper §IV.B).
 
         All GEMMs run ``np.dot(..., out=)`` into ``workspace`` buffers and
@@ -262,16 +349,31 @@ class DeepNetwork:
         Produces bit-identical losses and gradients to :meth:`gradients`,
         which stays as the reference oracle.  The returned gradient arrays
         alias workspace buffers — apply them before the next call.
+
+        ``dropout_masks`` follows the :meth:`gradients` contract; masked
+        activations land in dedicated workspace buffers, so the dropout
+        path stays allocation-free in steady state too.
         """
         ws = workspace
+        self._check_dropout_masks(dropout_masks)
         x = check_matrix_shapes(x, self.n_in, "x")
         targets = check_matrix_shapes(targets, self.n_out, "targets")
         if not x.flags["C_CONTIGUOUS"]:
             x = np.ascontiguousarray(x)
         m = x.shape[0]
 
-        # forward, one buffer per layer (kept for the backward pass)
+        def drop_full(i: int, n_out: int) -> np.ndarray:
+            mk = dropout_masks[i]
+            if mk.ndim == 1:
+                return ws.broadcast(f"mlp.drop{i}_full", mk, (m, n_out))
+            return mk
+
+        # forward, one buffer per layer (kept for the backward pass);
+        # with dropout the masked copy actually fed onward lives in its
+        # own buffer so the unmasked activation survives for the backward
+        # derivative
         activations = [x]
+        fed = [x]
         cur = x
         for i, layer in enumerate(self.layers):
             a = ws.buf(f"mlp.a{i}", (m, layer.n_out))
@@ -291,7 +393,13 @@ class DeepNetwork:
                 scr = ws.buf(f"mlp.scr{i}", (m, layer.n_out))
                 layer.activation.forward_into(a, a, mask=mask, scratch=scr)
             activations.append(a)
-            cur = a
+            if dropout_masks is not None and i < self.n_layers - 1:
+                f = ws.buf(f"mlp.fed{i}", (m, layer.n_out))
+                np.multiply(a, drop_full(i, layer.n_out), out=f)
+                cur = f
+            else:
+                cur = a
+            fed.append(cur)
         out = activations[-1]
 
         # loss and output delta
@@ -323,7 +431,7 @@ class DeepNetwork:
         for i in range(self.n_layers - 1, -1, -1):
             layer = self.layers[i]
             gw = ws.buf(f"mlp.gw{i}", layer.w.shape)
-            np.dot(delta.T, activations[i], out=gw)
+            np.dot(delta.T, fed[i], out=gw)
             scr_w = ws.buf(f"mlp.scr_w{i}", layer.w.shape)
             np.multiply(layer.w, self.weight_decay, out=scr_w)
             gw += scr_w
@@ -333,6 +441,8 @@ class DeepNetwork:
             if i > 0:
                 back = ws.buf(f"mlp.delta{i - 1}", (m, layer.n_in))
                 np.dot(delta, layer.w, out=back)
+                if dropout_masks is not None:
+                    back *= drop_full(i - 1, layer.n_in)
                 self.layers[i - 1].activation.mul_grad_into(
                     back, activations[i], scratch=ws.buf(f"mlp.scr{i - 1}", back.shape)
                 )
@@ -397,6 +507,20 @@ class DeepNetwork:
             [np.concatenate([dw.ravel(), db.ravel()]) for dw, db in grads]
         )
         return loss, flat
+
+    # ------------------------------------------------------------------
+    # model parallelism (repro.shard)
+    # ------------------------------------------------------------------
+    def partition(self, n_shards: int):
+        """Split into ``n_shards`` dropout-decoupled :class:`ModelShard`\\ s.
+
+        Delegates to :func:`repro.shard.partition` (imported lazily so the
+        model substrate carries no hard dependency on the shard layer);
+        :func:`repro.shard.merge` reconstructs this network exactly.
+        """
+        from repro.shard.shards import partition as _partition
+
+        return _partition(self, n_shards)
 
     def __repr__(self) -> str:
         return f"DeepNetwork(layer_sizes={self.layer_sizes}, head={self.head!r})"

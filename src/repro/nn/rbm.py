@@ -168,6 +168,8 @@ class RBM:
         rng=None,
         sample_visible: bool = False,
         workspace=None,
+        hidden_mask: Optional[np.ndarray] = None,
+        visible_mask: Optional[np.ndarray] = None,
     ) -> CDStatistics:
         """CD-k sufficient statistics for a mini-batch ``v0``.
 
@@ -186,26 +188,41 @@ class RBM:
             bit-identical Gibbs chain (same RNG stream, same comparisons).
             The returned statistics alias workspace buffers — apply or copy
             them before the next call.
+        hidden_mask, visible_mask:
+            Per-unit ``{0, 1}`` float keep-masks (the shard partitioner's
+            structural dropout).  Every conditional probability is
+            multiplied by its layer's mask, so a dropped unit's probability
+            is 0, it never samples on, and it contributes nothing to the
+            statistics.  ``v0`` is expected to respect ``visible_mask``.
+            The Gibbs chain still draws uniforms for *all* units, keeping
+            the stream layout independent of the mask.
         """
         v0 = check_matrix_shapes(v0, self.n_visible, "v0")
         k = check_int(k, "k", minimum=1)
         gen = self._rng if rng is None else as_generator(rng)
         if workspace is not None:
             return self._contrastive_divergence_fused(
-                v0, k, gen, sample_visible, workspace
+                v0, k, gen, sample_visible, workspace, hidden_mask, visible_mask
             )
         m = v0.shape[0]
 
-        h0_probs, h_samples = self.sample_hidden(v0, gen)
+        h0_probs = self.hidden_probabilities(v0)
+        if hidden_mask is not None:
+            h0_probs = h0_probs * hidden_mask
+        h_samples = (gen.random(h0_probs.shape) < h0_probs).astype(np.float64)
         vk = v0
         hk_probs = h0_probs
         for _ in range(k):
             v_probs = self.visible_probabilities(h_samples)
+            if visible_mask is not None:
+                v_probs = v_probs * visible_mask
             if sample_visible:
                 vk = (gen.random(v_probs.shape) < v_probs).astype(np.float64)
             else:
                 vk = v_probs
             hk_probs = self.hidden_probabilities(vk)
+            if hidden_mask is not None:
+                hk_probs = hk_probs * hidden_mask
             h_samples = (gen.random(hk_probs.shape) < hk_probs).astype(np.float64)
 
         # positive/negative phase statistics, normalised by batch size
@@ -216,7 +233,9 @@ class RBM:
         return CDStatistics(grad_w, grad_b, grad_c, err)
 
     def _contrastive_divergence_fused(
-        self, v0: np.ndarray, k: int, gen, sample_visible: bool, ws
+        self, v0: np.ndarray, k: int, gen, sample_visible: bool, ws,
+        hidden_mask: Optional[np.ndarray] = None,
+        visible_mask: Optional[np.ndarray] = None,
     ) -> CDStatistics:
         """Workspace-backed CD-k: every kernel writes through ``out=``.
 
@@ -239,6 +258,14 @@ class RBM:
         scr_h = ws.buf("rbm.scr_h", (m, nh))
         mask_v = ws.buf("rbm.mask_v", (m, nv), bool)
         scr_v = ws.buf("rbm.scr_v", (m, nv))
+        hm_full = (
+            None if hidden_mask is None
+            else ws.broadcast("rbm.hmask_full", hidden_mask, (m, nh))
+        )
+        vm_full = (
+            None if visible_mask is None
+            else ws.broadcast("rbm.vmask_full", visible_mask, (m, nv))
+        )
 
         # bias rows materialised once per call: same-shape adds skip the
         # temporary NumPy allocates for broadcast operands
@@ -249,6 +276,8 @@ class RBM:
         np.dot(v0, self.w.T, out=h0)
         h0 += c_full
         sigmoid_into(h0, h0, mask=mask_h, scratch=scr_h)
+        if hm_full is not None:
+            h0 *= hm_full
         gen.random(out=rand_h)
         np.less(rand_h, h0, out=hs)           # bool result cast into float64
 
@@ -256,6 +285,8 @@ class RBM:
             np.dot(hs, self.w, out=vk)
             vk += b_full
             sigmoid_into(vk, vk, mask=mask_v, scratch=scr_v)
+            if vm_full is not None:
+                vk *= vm_full
             if sample_visible:
                 rand_v = ws.buf("rbm.rand_v", (m, nv))
                 gen.random(out=rand_v)
@@ -263,6 +294,8 @@ class RBM:
             np.dot(vk, self.w.T, out=hk)
             hk += c_full
             sigmoid_into(hk, hk, mask=mask_h, scratch=scr_h)
+            if hm_full is not None:
+                hk *= hm_full
             gen.random(out=rand_h)
             np.less(rand_h, hk, out=hs)
 

@@ -689,8 +689,46 @@ class _GreedyStack:
         self.layer_errors = [list(m) for m in metrics]
         return int(header["epochs_done"]), buffers, metrics, event_logs
 
-    def transform(self, x: np.ndarray, n_layers: Optional[int] = None) -> np.ndarray:
-        """Propagate ``x`` through the first ``n_layers`` trained blocks."""
+    def sample_dropout_masks(
+        self, dropout: float, rng=None
+    ) -> List[np.ndarray]:
+        """Inverted-dropout masks, one per trained block's hidden layer.
+
+        Entries are ``{0, 1/(1-dropout)}`` per unit: the inverse-keep scale
+        is paid at train time so the evaluation forward needs none.
+        """
+        if not 0.0 <= dropout < 1.0:
+            raise ConfigurationError(f"dropout must be in [0, 1), got {dropout}")
+        from repro.utils.rng import as_generator
+
+        gen = as_generator(rng)
+        keep = 1.0 - dropout
+        masks = []
+        for spec in self.layer_specs:
+            mask = (gen.random(spec.n_hidden) < keep).astype(np.float64)
+            mask /= keep
+            masks.append(mask)
+        return masks
+
+    def transform(
+        self,
+        x: np.ndarray,
+        n_layers: Optional[int] = None,
+        dropout: float = 0.0,
+        rng=None,
+        training: bool = False,
+        dropout_masks: Optional[Sequence[np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Propagate ``x`` through the first ``n_layers`` trained blocks.
+
+        ``dropout`` uses inverted scaling: with ``training=True`` each
+        block's output is multiplied by a fresh per-unit mask with entries
+        ``{0, 1/(1-dropout)}`` drawn from ``rng``; at evaluation time (the
+        default) dropout is a no-op, so a trained encoder serves unscaled.
+        ``dropout_masks`` pins the per-layer masks explicitly (fixed-mask
+        parity tests, shard keep-masks); an entry may be ``None`` to leave
+        that layer unmasked.
+        """
         if not self.blocks:
             raise ConfigurationError("stack has not been pre-trained yet")
         x = check_matrix_shapes(x, self.n_visible, "x")
@@ -699,10 +737,30 @@ class _GreedyStack:
             raise ConfigurationError(
                 f"n_layers must be in [0, {len(self.blocks)}], got {n_layers}"
             )
+        if dropout_masks is None and training and dropout > 0.0:
+            dropout_masks = self.sample_dropout_masks(dropout, rng)
+        if dropout_masks is not None and len(dropout_masks) < depth:
+            raise ConfigurationError(
+                f"dropout_masks needs one entry per transformed layer "
+                f"({depth}), got {len(dropout_masks)}"
+            )
         out = x
-        for block in self.blocks[:depth]:
+        for i, block in enumerate(self.blocks[:depth]):
             out = self._block_transform(block, out)
+            if dropout_masks is not None and dropout_masks[i] is not None:
+                out = out * dropout_masks[i]
         return out
+
+    def partition(self, n_shards: int):
+        """Split into ``n_shards`` dropout-decoupled :class:`ModelShard`\\ s.
+
+        Delegates to :func:`repro.shard.partition` (imported lazily so the
+        model substrate carries no hard dependency on the shard layer);
+        :func:`repro.shard.merge` reconstructs this stack exactly.
+        """
+        from repro.shard.shards import partition as _partition
+
+        return _partition(self, n_shards)
 
 
 class StackedAutoencoder(_GreedyStack):

@@ -73,6 +73,7 @@ from repro.runtime.checkpoint import (
     capture_rng,
     load_npz,
     restore_rng,
+    require_shard_count,
     resolve_resume_path,
     retry_transient,
 )
@@ -133,6 +134,7 @@ __all__ = [
     "capture_rng",
     "load_npz",
     "restore_rng",
+    "require_shard_count",
     "resolve_resume_path",
     "retry_transient",
 ]

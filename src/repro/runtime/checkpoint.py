@@ -257,6 +257,26 @@ class CheckpointStore:
         )
 
 
+def require_shard_count(header: dict, n_shards: int) -> None:
+    """Reject resuming a sharded snapshot under a different shard count.
+
+    Repartitioning changes every shard's parameter blocks and mask
+    streams, so a bit-identical resume is impossible across a
+    shard-count change; sharded checkpoint headers are tagged with
+    ``n_shards`` and cross-loading fails loudly here.
+    """
+    found = header.get("n_shards")
+    if found is None:
+        raise CheckpointError(
+            "checkpoint carries no shard count — not a sharded snapshot"
+        )
+    if int(found) != int(n_shards):
+        raise CheckpointError(
+            f"checkpoint was written with n_shards={found} but this run uses "
+            f"n_shards={n_shards}; repartitioning cannot resume bit-identically"
+        )
+
+
 def resolve_resume_path(resume_from: PathLike) -> Path:
     """Accept a checkpoint file or a directory (→ its newest snapshot)."""
     path = Path(resume_from)

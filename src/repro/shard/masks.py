@@ -1,0 +1,80 @@
+"""Seed-deterministic dropout mask streams for model shards.
+
+Each shard owns one :class:`numpy.random.Generator` spawned from a shared
+seed via :func:`repro.utils.rng.spawn_streams`, so stream ``k`` is a pure
+function of ``(seed, k)`` — independent of how many draws the *other*
+shards made.  The periodic mask-resample exchange in
+:class:`repro.train.ShardedTrainStep` advances every stream in lockstep,
+and the generator states round-trip through checkpoints, which is what
+makes kill-anywhere resume bit-identical.
+
+A resample always draws one uniform block per layer, even at
+``dropout=0.0`` (the mask is then all ones): the stream position depends
+only on how many exchanges have happened, never on the dropout rate, so
+a run can change ``dropout`` without perturbing the RNG layout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, spawn_streams
+
+__all__ = ["mask_streams", "resample_masks", "structural_and_dropout"]
+
+
+def mask_streams(seed: SeedLike, n_shards: int) -> List[np.random.Generator]:
+    """One independent, reconstructible mask generator per shard."""
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    return spawn_streams(seed, n_shards)
+
+
+def resample_masks(
+    stream: np.random.Generator,
+    sizes: Sequence[int],
+    dropout: float,
+) -> List[np.ndarray]:
+    """Draw one inverted-scale dropout mask per layer width in ``sizes``.
+
+    Masks hold ``1/(1 - dropout)`` for kept units and ``0.0`` for dropped
+    ones, so the train-time forward needs no eval-time rescale.  The
+    uniform block is drawn unconditionally to keep the stream position a
+    pure function of the resample count.
+    """
+    if not 0.0 <= dropout < 1.0:
+        raise ConfigurationError(f"dropout must be in [0, 1), got {dropout}")
+    keep = 1.0 - dropout
+    masks: List[np.ndarray] = []
+    for size in sizes:
+        u = stream.random(int(size))
+        if dropout <= 0.0:
+            masks.append(np.ones(int(size), dtype=np.float64))
+        else:
+            mask = (u < keep).astype(np.float64)
+            mask /= keep
+            masks.append(mask)
+    return masks
+
+
+def structural_and_dropout(
+    keep_masks: Sequence[np.ndarray],
+    dropout_masks: Optional[Sequence[np.ndarray]] = None,
+) -> List[np.ndarray]:
+    """Compose a shard's structural {0, 1} masks with sampled dropout masks.
+
+    The product zeroes everything outside the shard *and* the units the
+    dropout draw discarded; surviving units keep the inverted scale of
+    the dropout mask (a structural 1 is exact, so the product introduces
+    no rounding).
+    """
+    if dropout_masks is None:
+        return [m.copy() for m in keep_masks]
+    if len(dropout_masks) != len(keep_masks):
+        raise ConfigurationError(
+            f"expected {len(keep_masks)} dropout masks, got {len(dropout_masks)}"
+        )
+    return [k * d for k, d in zip(keep_masks, dropout_masks)]

@@ -1,0 +1,151 @@
+"""Column/neuron partitioning of layer widths across model shards.
+
+A :class:`Partition` assigns every unit of every *partitioned* layer to
+exactly one of ``n_shards`` shards, using balanced contiguous ranges
+(shard ``k`` gets ``w // n`` units, plus one extra when ``k < w % n``).
+Unpartitioned layers (a network's input and a classifier's output) are
+replicated on every shard.
+
+The assignment is a pure function of ``(layer_sizes, n_shards)``, so two
+processes that agree on the model agree on the partition without any
+coordination — the property the checkpoint header's shard-count tag and
+the consistent-hash placement in :mod:`repro.cluster` both lean on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """Balanced contiguous assignment of layer units to ``n_shards`` shards.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Full-model widths, ``[n_in, h1, …, n_out]``.
+    n_shards:
+        Number of shards; every partitioned layer must have at least
+        this many units.
+    partitioned:
+        Indices into ``layer_sizes`` of the layers that are split.
+        Defaults to every interior layer (MLP semantics); greedy stacks
+        pass ``range(1, len(layer_sizes))`` so the top code layer is
+        split too.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        n_shards: int,
+        partitioned: Sequence[int] = None,
+    ):
+        self.layer_sizes: List[int] = [int(s) for s in layer_sizes]
+        if len(self.layer_sizes) < 2:
+            raise ConfigurationError("need at least [n_in, n_out] to partition")
+        if any(s < 1 for s in self.layer_sizes):
+            raise ConfigurationError(f"layer sizes must be >= 1: {self.layer_sizes}")
+        self.n_shards = int(n_shards)
+        if self.n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if partitioned is None:
+            partitioned = range(1, len(self.layer_sizes) - 1)
+        self.partitioned: Tuple[int, ...] = tuple(sorted({int(i) for i in partitioned}))
+        if not self.partitioned:
+            raise ConfigurationError("at least one layer must be partitioned")
+        for li in self.partitioned:
+            if not 0 <= li < len(self.layer_sizes):
+                raise ConfigurationError(
+                    f"partitioned layer index {li} out of range for "
+                    f"{len(self.layer_sizes)} layers"
+                )
+            if self.layer_sizes[li] < self.n_shards:
+                raise ConfigurationError(
+                    f"layer {li} has {self.layer_sizes[li]} units; "
+                    f"cannot split into {self.n_shards} non-empty shards"
+                )
+
+    # ------------------------------------------------------------------
+    def is_partitioned(self, layer: int) -> bool:
+        return layer in self.partitioned
+
+    def bounds(self, layer: int, shard: int) -> Tuple[int, int]:
+        """Half-open ``[lo, hi)`` unit range of ``shard`` in ``layer``."""
+        self._check(layer, shard)
+        w = self.layer_sizes[layer]
+        if not self.is_partitioned(layer):
+            return 0, w
+        base, extra = divmod(w, self.n_shards)
+        lo = shard * base + min(shard, extra)
+        hi = lo + base + (1 if shard < extra else 0)
+        return lo, hi
+
+    def units(self, layer: int, shard: int) -> np.ndarray:
+        """Unit indices of ``shard`` in ``layer`` (all units if replicated)."""
+        lo, hi = self.bounds(layer, shard)
+        return np.arange(lo, hi)
+
+    def width(self, layer: int, shard: int) -> int:
+        lo, hi = self.bounds(layer, shard)
+        return hi - lo
+
+    def keep_mask(self, layer: int, shard: int) -> np.ndarray:
+        """Structural {0, 1} float mask selecting ``shard``'s units.
+
+        Applied as a dropout mask on the full model, it zeroes every
+        other shard's units — the dropout-decoupling oracle the parity
+        tests compare against.
+        """
+        lo, hi = self.bounds(layer, shard)
+        mask = np.zeros(self.layer_sizes[layer], dtype=np.float64)
+        mask[lo:hi] = 1.0
+        return mask
+
+    def shard_layer_sizes(self, shard: int) -> List[int]:
+        """The sub-model widths of ``shard`` (replicated layers full-size)."""
+        return [self.width(li, shard) for li in range(len(self.layer_sizes))]
+
+    # ------------------------------------------------------------------
+    def meta(self) -> dict:
+        """JSON-safe description for checkpoint headers."""
+        return {
+            "layer_sizes": list(self.layer_sizes),
+            "n_shards": self.n_shards,
+            "partitioned": list(self.partitioned),
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "Partition":
+        return cls(meta["layer_sizes"], meta["n_shards"], meta["partitioned"])
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return (
+            self.layer_sizes == other.layer_sizes
+            and self.n_shards == other.n_shards
+            and self.partitioned == other.partitioned
+        )
+
+    def __hash__(self):
+        return hash((tuple(self.layer_sizes), self.n_shards, self.partitioned))
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(layer_sizes={self.layer_sizes}, "
+            f"n_shards={self.n_shards}, partitioned={list(self.partitioned)})"
+        )
+
+    def _check(self, layer: int, shard: int) -> None:
+        if not 0 <= layer < len(self.layer_sizes):
+            raise ConfigurationError(f"layer index {layer} out of range")
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard index {shard} out of range for {self.n_shards} shards"
+            )

@@ -406,6 +406,130 @@ def run_chaos_under_load(
 
 
 # ---------------------------------------------------------------------------
+# model-parallel shard drills
+# ---------------------------------------------------------------------------
+
+def run_shard_chaos(quick: bool = True, seed: int = 0) -> List[dict]:
+    """Chaos drills for the model-parallel shard tier.
+
+    Three scenarios, mirroring the sharding design's two fault surfaces:
+
+    * a scatter leg lost to the ``shard.exchange`` fault site degrades
+      the request (ensemble answer from the survivors) — never fails it;
+    * a shard replica killed mid-replay (``replica.serve``) drops every
+      outstanding leg on that shard, again with zero client-visible
+      failures;
+    * a sharded pre-training run killed at the ``shard.exchange``
+      synchronisation point resumes from its last epoch snapshot
+      **bit-identically** versus an uninterrupted run.
+    """
+    from repro.bench.shardbench import _model_params, sharded_pretrain
+    from repro.cluster.benchrun import drill_replica_config, replica_capacity_rps
+    from repro.cluster.loadtest import ClusterLoadHarness
+    from repro.cluster.shardrouter import ShardRouter
+    from repro.serve.benchrun import train_demo_servable
+    from repro.shard import partition
+    from repro.testing.faults import SHARD_EXCHANGE_SITE
+    from repro.workloads.arrivals import PoissonArrivals
+
+    rows: List[dict] = []
+    servable = train_demo_servable(
+        n_examples=96 if quick else 192,
+        epochs=2 if quick else 3,
+        seed=seed,
+    )
+    rate = 0.5 * replica_capacity_rps(servable)
+    duration = 0.05 if quick else 0.1
+
+    # -- scatter leg lost at shard.exchange -------------------------------
+    router = ShardRouter(
+        partition(servable.model, 2), replica_config=drill_replica_config()
+    )
+    plan = FaultPlan.fail(SHARD_EXCHANGE_SITE, nth=4, times=3,
+                          match={"phase": "scatter"})
+    with inject(plan):
+        report = ClusterLoadHarness(
+            router, PoissonArrivals(rate), duration_s=duration, seed=seed
+        ).run()
+    ok = (
+        plan.fired() >= 1
+        and report.failed == 0
+        and router.degraded_requests >= 1
+    )
+    rows.append(_row(
+        "sharded serving: scatter legs lost, requests degrade",
+        SHARD_EXCHANGE_SITE, plan.fired(), ok,
+        f"{report.completed}/{report.offered} served, failed={report.failed}, "
+        f"degraded={router.degraded_requests}",
+    ))
+
+    # -- shard replica killed mid-replay ----------------------------------
+    router = ShardRouter(
+        partition(servable.model, 2), replica_config=drill_replica_config()
+    )
+    victim = router.placement[1]
+    plan = FaultPlan.fail("replica.serve", nth=3, match={"replica": victim})
+    with inject(plan):
+        report = ClusterLoadHarness(
+            router, PoissonArrivals(rate), duration_s=duration, seed=seed
+        ).run()
+    ok = (
+        plan.fired() >= 1
+        and report.failed == 0
+        and report.replica_deaths == 1
+        and router.degraded_requests >= 1
+    )
+    rows.append(_row(
+        "sharded serving: shard replica killed, survivors answer",
+        "replica.serve", plan.fired(), ok,
+        f"{report.completed}/{report.offered} served, failed={report.failed}, "
+        f"deaths={report.replica_deaths}, degraded={router.degraded_requests}",
+    ))
+
+    # -- pre-training killed at the exchange point -------------------------
+    rng = np.random.default_rng(seed)
+    x = rng.random((48, 12))
+    specs = [LayerSpec(8, epochs=2, batch_size=16),
+             LayerSpec(6, epochs=2, batch_size=16)]
+
+    def fresh():
+        return StackedAutoencoder(12, specs, seed=seed)
+
+    kwargs = dict(exchange_every=2, dropout=0.25, mask_seed=seed)
+    baseline = fresh()
+    shards_base = sharded_pretrain(baseline, x, 2, **kwargs)
+    with tempfile.TemporaryDirectory(prefix="repro-shard-chaos-") as tmp:
+        store = CheckpointStore(tmp, keep=8)
+        fired = 0
+        try:
+            with inject(FaultPlan.fail(SHARD_EXCHANGE_SITE, nth=2)) as plan:
+                sharded_pretrain(fresh(), x, 2, checkpoint=store, **kwargs)
+        except FaultError:
+            fired = plan.fired()
+        if not fired or store.latest() is None:
+            rows.append(_row(
+                "sharded pretrain: kill at shard.exchange, resume",
+                SHARD_EXCHANGE_SITE, fired, False, "fault did not fire",
+            ))
+            return rows
+        shards_resumed = sharded_pretrain(
+            fresh(), x, 2, resume_from=store, **kwargs
+        )
+    diff = 0.0
+    for a, b in zip(shards_base, shards_resumed):
+        for pa, pb in zip(_model_params(a.model), _model_params(b.model)):
+            diff = max(diff, float(np.abs(pa - pb).max()))
+        for ca, cb in zip(a.cross, b.cross):
+            diff = max(diff, float(np.abs(ca.values - cb.values).max()))
+    rows.append(_row(
+        "sharded pretrain: kill at shard.exchange, resume",
+        SHARD_EXCHANGE_SITE, fired, diff == 0.0,
+        f"max |Δparam| after resume = {diff:.1e}",
+    ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
 
@@ -466,8 +590,11 @@ def run_chaos(
     resume: bool = False,
     seed: int = 0,
     under_load: Optional[str] = None,
+    shard: bool = False,
 ) -> List[dict]:
     """Run the full drill; returns one row per scenario (``ok`` per row)."""
+    if shard:
+        return run_shard_chaos(quick=quick, seed=seed)
     if under_load is not None:
         return run_chaos_under_load(under_load, quick=quick, seed=seed)
     if resume:

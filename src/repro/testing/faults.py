@@ -78,6 +78,23 @@ def registered_sites() -> Dict[str, str]:
     return dict(_SITES)
 
 
+# Model-parallel shard sites.  Declared here (rather than in their host
+# modules) because two layers share them: the scatter-gather serving path
+# (repro.cluster.shardrouter) and the sharded training exchange
+# (repro.train.ShardedTrainStep) — registering in either would make the
+# other's drills depend on an unrelated import.
+SHARD_EXCHANGE_SITE = register_fault_site(
+    "shard.exchange",
+    "sharded training: the periodic mask-resample/bias-sync exchange "
+    "between model shards (kill here to test bit-identical resume)",
+)
+SHARD_GATHER_SITE = register_fault_site(
+    "shard.gather",
+    "sharded serving: combining per-shard partial outputs into one "
+    "answer (kill one leg to exercise dropout-degraded mode)",
+)
+
+
 # ---------------------------------------------------------------------------
 # fault plans
 # ---------------------------------------------------------------------------

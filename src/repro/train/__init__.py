@@ -54,6 +54,7 @@ from repro.train.pipeline import (
     PipelinedPretrainer,
     StagePlan,
 )
+from repro.train.shardstep import ShardedTrainStep
 
 __all__ = [
     "batch_bounds",
@@ -79,4 +80,5 @@ __all__ = [
     "PipelineError",
     "PipelinedPretrainer",
     "StagePlan",
+    "ShardedTrainStep",
 ]

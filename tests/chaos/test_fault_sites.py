@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.testing.faults import FaultPlan, inject, registered_sites
 
-# The complete kill-anywhere surface as of the pipelined-pretrain tier.
+# The complete kill-anywhere surface as of the model-parallel shard tier.
 EXPECTED_SITES = {
     "engine.worker",
     "engine.reduce",
@@ -22,6 +22,8 @@ EXPECTED_SITES = {
     "replica.serve",
     "pipeline.stage",
     "pipeline.queue",
+    "shard.exchange",
+    "shard.gather",
 }
 
 

@@ -1,0 +1,176 @@
+"""Inference-mode inverted dropout on the MLP and the stacked encoders.
+
+Inverted scaling pays the ``1/(1-p)`` rescale at train time, so the
+evaluation path (``training=False``, the default) must be a strict
+no-op — a trained model serves unscaled.  The masked forward/backward
+is also the substrate of the shard subsystem (structural keep-masks ride
+the same ``dropout_masks=`` arguments), so determinism and the fused
+parity here are load-bearing beyond regularisation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.mlp import DeepNetwork, one_hot
+from repro.nn.stacked import LayerSpec, StackedAutoencoder
+from repro.runtime.workspace import Workspace
+
+
+@pytest.fixture(scope="module")
+def x():
+    return np.random.default_rng(0).random((24, 12))
+
+
+@pytest.fixture(scope="module")
+def net():
+    return DeepNetwork([12, 10, 8, 5], seed=0)
+
+
+@pytest.fixture(scope="module")
+def sae(x):
+    model = StackedAutoencoder(
+        12,
+        [LayerSpec(10, epochs=1, batch_size=8), LayerSpec(8, epochs=1, batch_size=8)],
+        seed=0,
+    )
+    model.pretrain(x)
+    return model
+
+
+class TestMaskSampling:
+    def test_entries_are_zero_or_inverse_keep(self, net):
+        masks = net.sample_dropout_masks(0.25, rng=3)
+        assert len(masks) == 2  # one per hidden layer
+        for mask, width in zip(masks, (10, 8)):
+            assert mask.shape == (width,)
+            assert set(np.unique(mask)) <= {0.0, 1.0 / 0.75}
+
+    def test_deterministic_in_the_rng(self, net):
+        a = net.sample_dropout_masks(0.5, rng=11)
+        b = net.sample_dropout_masks(0.5, rng=11)
+        assert all(np.array_equal(m, n) for m, n in zip(a, b))
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_dropout_out_of_range_rejected(self, net, bad):
+        with pytest.raises(ConfigurationError, match="dropout"):
+            net.sample_dropout_masks(bad)
+
+    def test_stack_masks_match_block_widths(self, sae):
+        masks = sae.sample_dropout_masks(0.25, rng=3)
+        assert [m.shape for m in masks] == [(10,), (8,)]
+        for mask in masks:
+            assert set(np.unique(mask)) <= {0.0, 1.0 / 0.75}
+
+
+class TestEvalIsNoOp:
+    def test_mlp_eval_ignores_dropout_rate(self, net, x):
+        plain = net.predict_proba(x)
+        served = net.predict_proba(x, dropout=0.5, rng=1)  # training=False
+        assert np.array_equal(plain, served)
+
+    def test_stack_eval_ignores_dropout_rate(self, sae, x):
+        assert np.array_equal(
+            sae.transform(x), sae.transform(x, dropout=0.5, rng=1)
+        )
+
+    def test_training_true_zero_dropout_is_still_clean(self, net, x):
+        assert np.array_equal(
+            net.predict_proba(x), net.predict_proba(x, dropout=0.0, training=True)
+        )
+
+
+class TestTrainingForward:
+    def test_training_pass_is_deterministic_in_the_rng(self, net, x):
+        a = net.predict_proba(x, dropout=0.4, rng=7, training=True)
+        b = net.predict_proba(x, dropout=0.4, rng=7, training=True)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, net.predict_proba(x))
+
+    def test_explicit_masks_pin_the_forward(self, net, x):
+        masks = net.sample_dropout_masks(0.4, rng=7)
+        pinned = net.predict_proba(x, dropout_masks=masks)
+        sampled = net.predict_proba(x, dropout=0.4, rng=7, training=True)
+        assert np.array_equal(pinned, sampled)
+
+    def test_stack_training_matches_pinned_masks(self, sae, x):
+        masks = sae.sample_dropout_masks(0.3, rng=5)
+        assert np.array_equal(
+            sae.transform(x, dropout=0.3, rng=5, training=True),
+            sae.transform(x, dropout_masks=masks),
+        )
+
+    def test_stack_accepts_per_layer_none_entries(self, sae, x):
+        masks = sae.sample_dropout_masks(0.3, rng=5)
+        mixed = sae.transform(x, dropout_masks=[masks[0], None])
+        only_first = sae.transform(x, dropout_masks=[masks[0], np.ones(8)])
+        assert np.array_equal(mixed, only_first)
+
+    def test_mask_count_validated(self, net, sae, x):
+        with pytest.raises(ConfigurationError, match="dropout_masks"):
+            net.predict_proba(x, dropout_masks=[np.ones(10)])
+        with pytest.raises(ConfigurationError, match="dropout_masks"):
+            sae.transform(x, dropout_masks=[np.ones(10)])
+
+
+class TestMaskedGradients:
+    def _problem(self, net, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.random((16, net.n_in))
+        targets = one_hot(rng.integers(0, net.layers[-1].n_out, 16), net.layers[-1].n_out)
+        return x, targets
+
+    def test_dropped_unit_gets_no_gradient(self, net):
+        x, targets = self._problem(net)
+        masks = [np.ones(10), np.ones(8)]
+        masks[0][3] = 0.0  # drop hidden unit 3 of layer 1
+        _, grads = net.gradients(x, targets, dropout_masks=masks)
+        dw0, db0 = grads[0]
+        assert np.all(dw0[3] == net.weight_decay * net.layers[0].w[3])
+        assert db0[3] == 0.0
+
+    def test_fused_matches_reference_under_masks(self, net):
+        x, targets = self._problem(net, seed=2)
+        masks = net.sample_dropout_masks(0.4, rng=9)
+        loss_ref, g_ref = net.gradients(x, targets, dropout_masks=masks)
+        loss_fused, g_fused = net.gradients_into(
+            x, targets, Workspace(), dropout_masks=masks
+        )
+        assert loss_ref == loss_fused
+        for (dw_r, db_r), (dw_f, db_f) in zip(g_ref, g_fused):
+            assert np.max(np.abs(dw_r - dw_f)) <= 1e-10
+            assert np.max(np.abs(db_r - db_f)) <= 1e-10
+
+    def test_masked_gradient_is_the_masked_loss_gradient(self, net):
+        """Finite differences against the *masked* forward loss: the
+        backward pass must differentiate exactly the function the masked
+        forward computes."""
+        x, targets = self._problem(net, seed=4)
+        masks = net.sample_dropout_masks(0.3, rng=6)
+
+        def masked_loss():
+            out = net.predict_proba(x, dropout_masks=masks)
+            data = -float(np.sum(targets * np.log(np.clip(out, 1e-12, None))))
+            data /= x.shape[0]
+            decay = 0.5 * net.weight_decay * sum(
+                float(np.sum(l.w * l.w)) for l in net.layers
+            )
+            return data + decay
+
+        _, grads = net.gradients(x, targets, dropout_masks=masks)
+        eps = 1e-6
+        rng = np.random.default_rng(8)
+        for layer_index in range(len(net.layers)):
+            w = net.layers[layer_index].w
+            for _ in range(4):
+                i = int(rng.integers(w.shape[0]))
+                j = int(rng.integers(w.shape[1]))
+                orig = w[i, j]
+                w[i, j] = orig + eps
+                hi = masked_loss()
+                w[i, j] = orig - eps
+                lo = masked_loss()
+                w[i, j] = orig
+                numeric = (hi - lo) / (2 * eps)
+                analytic = grads[layer_index][0][i, j]
+                assert abs(numeric - analytic) < 1e-5

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the model-parallel shard layer.
+
+Randomised layer widths, shard counts and partition layouts: the column
+partition must tile every partitioned layer exactly (cover, disjoint,
+order-preserving), partition∘merge must be the identity on the model
+parameters bit-for-bit, and the shard-count checkpoint tag must reject
+every mismatched resume.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.mlp import DeepNetwork
+from repro.runtime.checkpoint import CheckpointError, require_shard_count
+from repro.shard.partition import Partition
+from repro.shard.shards import merge, partition
+
+shard_counts = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def partitions(draw):
+    """A Partition over random widths, every partitioned layer >= N."""
+    n = draw(shard_counts)
+    depth = draw(st.integers(min_value=3, max_value=5))
+    sizes = [
+        draw(st.integers(min_value=max(n, 1), max_value=16)) for _ in range(depth)
+    ]
+    interior = list(range(1, depth - 1))
+    chosen = draw(
+        st.sets(st.sampled_from(interior), min_size=1, max_size=len(interior))
+    )
+    return Partition(sizes, n, partitioned=sorted(chosen))
+
+
+@st.composite
+def mlps(draw):
+    """(DeepNetwork, n_shards) with every hidden layer wide enough."""
+    n = draw(shard_counts)
+    hidden = [
+        draw(st.integers(min_value=n, max_value=12))
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    ]
+    sizes = [draw(st.integers(min_value=2, max_value=8))] + hidden + [
+        draw(st.integers(min_value=2, max_value=6))
+    ]
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return DeepNetwork(sizes, seed=seed), n
+
+
+class TestPartitionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(part=partitions())
+    def test_bounds_tile_every_partitioned_layer(self, part):
+        for layer in part.partitioned:
+            width = part.layer_sizes[layer]
+            spans = [part.bounds(layer, k) for k in range(part.n_shards)]
+            # contiguous, ordered, disjoint cover of [0, width)
+            assert spans[0][0] == 0
+            assert spans[-1][1] == width
+            for (_, hi), (lo, _) in zip(spans, spans[1:]):
+                assert hi == lo
+            for lo, hi in spans:
+                assert hi >= lo
+
+    @settings(max_examples=60, deadline=None)
+    @given(part=partitions())
+    def test_units_concatenate_to_the_full_layer(self, part):
+        for layer in part.partitioned:
+            cat = np.concatenate(
+                [part.units(layer, k) for k in range(part.n_shards)]
+            )
+            assert np.array_equal(cat, np.arange(part.layer_sizes[layer]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(part=partitions())
+    def test_keep_masks_partition_unity(self, part):
+        """Summed over shards, every unit is owned exactly once."""
+        for layer in part.partitioned:
+            total = sum(part.keep_mask(layer, k) for k in range(part.n_shards))
+            assert np.array_equal(total, np.ones(part.layer_sizes[layer]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(part=partitions())
+    def test_widths_balanced_within_one(self, part):
+        for layer in part.partitioned:
+            widths = [part.width(layer, k) for k in range(part.n_shards)]
+            assert sum(widths) == part.layer_sizes[layer]
+            assert max(widths) - min(widths) <= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(part=partitions())
+    def test_meta_round_trips(self, part):
+        clone = Partition.from_meta(part.meta())
+        assert clone == part
+        assert hash(clone) == hash(part)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(pair=mlps())
+    def test_partition_merge_is_identity(self, pair):
+        net, n = pair
+        rebuilt = merge(partition(net, n))
+        assert rebuilt.layer_sizes == net.layer_sizes
+        for a, b in zip(net.layers, rebuilt.layers):
+            assert np.array_equal(a.w, b.w)
+            assert np.array_equal(a.b, b.b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=mlps(), seed=st.integers(min_value=0, max_value=2**16))
+    def test_masked_forward_parity_holds_for_random_widths(self, pair, seed):
+        # The shard runs a *sliced* GEMM (smaller inner dimension than the
+        # masked full model), so across arbitrary shapes BLAS may associate
+        # the identical nonzero terms differently: parity is exact maths,
+        # tight-tolerance floats.  The fixed-shape bench rows pin 0.0.
+        net, n = pair
+        x = np.random.default_rng(seed).random((8, net.layer_sizes[0]))
+        for shard in partition(net, n):
+            oracle = net.predict_proba(x, dropout_masks=shard.structural_masks())
+            assert np.max(np.abs(shard.partial_output(x) - oracle)) <= 1e-12
+
+
+class TestShardCountTag:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tagged=st.integers(min_value=1, max_value=64),
+        expected=st.integers(min_value=1, max_value=64),
+    )
+    def test_mismatched_counts_always_rejected(self, tagged, expected):
+        header = {"n_shards": tagged}
+        if tagged == expected:
+            require_shard_count(header, expected)
+        else:
+            with pytest.raises(CheckpointError, match="n_shards"):
+                require_shard_count(header, expected)
+
+    @settings(max_examples=10, deadline=None)
+    @given(expected=st.integers(min_value=1, max_value=64))
+    def test_untagged_header_always_rejected(self, expected):
+        with pytest.raises(CheckpointError):
+            require_shard_count({}, expected)

@@ -1,0 +1,79 @@
+"""Mask streams: seed determinism, inverted scaling, stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard.masks import mask_streams, resample_masks, structural_and_dropout
+
+
+class TestStreams:
+    def test_stream_k_is_pure_function_of_seed_and_k(self):
+        a = mask_streams(7, 4)
+        b = mask_streams(7, 4)
+        for ga, gb in zip(a, b):
+            assert np.array_equal(ga.random(16), gb.random(16))
+
+    def test_streams_independent_of_shard_count(self):
+        # Stream k must draw the same values whether 2 or 4 shards exist —
+        # a resharded run's shard 0 keeps its mask history.
+        two = mask_streams(7, 2)
+        four = mask_streams(7, 4)
+        assert np.array_equal(two[0].random(8), four[0].random(8))
+        assert np.array_equal(two[1].random(8), four[1].random(8))
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            mask_streams(0, 0)
+
+
+class TestResample:
+    def test_inverted_scale_values(self):
+        stream = mask_streams(3, 1)[0]
+        masks = resample_masks(stream, [1000], 0.25)
+        assert len(masks) == 1
+        values = set(np.unique(masks[0]))
+        assert values == {0.0, 1.0 / 0.75}
+        # keep rate concentrates near 0.75
+        assert 0.65 < np.mean(masks[0] > 0) < 0.85
+
+    def test_zero_dropout_is_all_ones_but_still_draws(self):
+        a = mask_streams(3, 1)[0]
+        b = mask_streams(3, 1)[0]
+        ones = resample_masks(a, [64], 0.0)
+        assert np.array_equal(ones[0], np.ones(64))
+        # the stream advanced exactly as it would at dropout > 0
+        resample_masks(b, [64], 0.5)
+        assert np.array_equal(a.random(8), b.random(8))
+
+    def test_one_draw_per_layer(self):
+        a = mask_streams(3, 1)[0]
+        b = mask_streams(3, 1)[0]
+        resample_masks(a, [8, 16, 4], 0.5)
+        b.random(8), b.random(16), b.random(4)
+        assert np.array_equal(a.random(8), b.random(8))
+
+    def test_rejects_bad_dropout(self):
+        stream = mask_streams(3, 1)[0]
+        with pytest.raises(ConfigurationError):
+            resample_masks(stream, [8], 1.0)
+        with pytest.raises(ConfigurationError):
+            resample_masks(stream, [8], -0.1)
+
+
+class TestCompose:
+    def test_structural_only_copies(self):
+        keep = [np.array([1.0, 0.0, 1.0])]
+        out = structural_and_dropout(keep)
+        assert np.array_equal(out[0], keep[0])
+        assert out[0] is not keep[0]
+
+    def test_product_zeroes_union_and_keeps_scale(self):
+        keep = [np.array([1.0, 1.0, 0.0, 0.0])]
+        drop = [np.array([2.0, 0.0, 2.0, 0.0])]
+        out = structural_and_dropout(keep, drop)
+        assert np.array_equal(out[0], [2.0, 0.0, 0.0, 0.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            structural_and_dropout([np.ones(3)], [np.ones(3), np.ones(3)])

@@ -1,0 +1,96 @@
+"""Partition: bounds arithmetic, masks, meta round-trip, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard.partition import Partition
+
+
+class TestBounds:
+    def test_contiguous_cover_without_overlap(self):
+        part = Partition([6, 10, 7], 3, partitioned=(1, 2))
+        for layer in (1, 2):
+            edges = [part.bounds(layer, k) for k in range(3)]
+            assert edges[0][0] == 0
+            assert edges[-1][1] == part.layer_sizes[layer]
+            for (_, hi), (lo, _) in zip(edges, edges[1:]):
+                assert hi == lo
+
+    def test_uneven_split_spreads_remainder_to_low_shards(self):
+        part = Partition([4, 10, 4], 3)
+        widths = [part.width(1, k) for k in range(3)]
+        assert widths == [4, 3, 3]
+        assert sum(widths) == 10
+
+    def test_unpartitioned_layer_is_full_width_for_every_shard(self):
+        part = Partition([6, 10, 7], 2, partitioned=(1,))
+        for k in range(2):
+            assert part.bounds(0, k) == (0, 6)
+            assert part.bounds(2, k) == (0, 7)
+            assert part.width(2, k) == 7
+        assert not part.is_partitioned(2)
+        assert part.is_partitioned(1)
+
+    def test_mlp_default_partitions_interior_layers_only(self):
+        part = Partition([6, 10, 8, 5], 2)
+        assert part.partitioned == (1, 2)
+
+    def test_units_match_bounds(self):
+        part = Partition([6, 9], 2, partitioned=(1,))
+        for k in range(2):
+            lo, hi = part.bounds(1, k)
+            assert np.array_equal(part.units(1, k), np.arange(lo, hi))
+
+    def test_keep_mask_is_structural(self):
+        part = Partition([6, 9], 2, partitioned=(1,))
+        masks = [part.keep_mask(1, k) for k in range(2)]
+        assert np.array_equal(sum(masks), np.ones(9))
+        for k, mask in enumerate(masks):
+            lo, hi = part.bounds(1, k)
+            assert mask[lo:hi].sum() == hi - lo
+            assert set(np.unique(mask)) <= {0.0, 1.0}
+
+
+class TestValidation:
+    def test_rejects_more_shards_than_units(self):
+        with pytest.raises(ConfigurationError):
+            Partition([6, 2, 6], 3, partitioned=(1,))
+
+    def test_rejects_out_of_range_partitioned_index(self):
+        with pytest.raises(ConfigurationError):
+            Partition([6, 9], 2, partitioned=(5,))
+
+    def test_rejects_empty_partitioned_set(self):
+        with pytest.raises(ConfigurationError):
+            Partition([6, 9], 2)  # default interior set is empty here
+
+    def test_rejects_too_few_layers(self):
+        with pytest.raises(ConfigurationError):
+            Partition([6], 2)
+
+    def test_rejects_bad_indices(self):
+        part = Partition([6, 9], 2, partitioned=(1,))
+        with pytest.raises(ConfigurationError):
+            part.bounds(7, 0)
+        with pytest.raises(ConfigurationError):
+            part.bounds(1, 2)
+
+
+class TestMeta:
+    def test_meta_round_trip_and_equality(self):
+        part = Partition([6, 10, 7], 3, partitioned=(1, 2))
+        again = Partition.from_meta(part.meta())
+        assert again == part
+        assert hash(again) == hash(part)
+
+    def test_inequality_on_different_layout(self):
+        a = Partition([6, 10, 7], 3, partitioned=(1, 2))
+        assert a != Partition([6, 10, 7], 2, partitioned=(1, 2))
+        assert a != Partition([6, 10, 8], 3, partitioned=(1, 2))
+        assert a != Partition([6, 10, 7], 3, partitioned=(1,))
+
+    def test_shard_layer_sizes(self):
+        part = Partition([6, 10, 7], 2, partitioned=(1, 2))
+        assert part.shard_layer_sizes(0) == [6, 5, 4]
+        assert part.shard_layer_sizes(1) == [6, 5, 3]

@@ -1,0 +1,164 @@
+"""shard-bench report plumbing: schema, gates, baseline regression fence."""
+
+import copy
+
+import pytest
+
+from repro.bench.shardbench import (
+    SCHEMA,
+    compare_to_baseline,
+    enforce_gates,
+    load_report,
+    run_parity_rows,
+    run_pretrain_drill,
+    validate_report,
+    write_report,
+)
+from repro.errors import ConfigurationError
+
+
+def _report():
+    return {
+        "schema": SCHEMA,
+        "seed": 0,
+        "quick": True,
+        "rows": [
+            {
+                "kind": "parity", "family": "sae", "n_shards": 2,
+                "forward_max_abs": 0.0, "step_max_abs": 0.0,
+                "roundtrip_max_abs": 0.0,
+            },
+            {
+                "kind": "pretrain", "family": "sae", "n_shards": 2,
+                "exchange_every": 2, "dropout": 0.25, "snapshots": 4,
+                "exchanges_expected": 6, "resume_max_abs": 0.0,
+            },
+            {
+                "kind": "serving", "n_shards": 2, "offered": 100,
+                "completed": 100, "failed": 0, "shed": 0, "degraded": 0,
+                "p99_single_ms": 1.0, "p99_sharded_ms": 1.1,
+                "p99_ratio": 1.1, "throughput_rps": 5000.0,
+            },
+            {
+                "kind": "shard_kill", "n_shards": 2, "victim_shard": 1,
+                "offered": 100, "completed": 100, "failed": 0, "shed": 0,
+                "deaths": 1, "degraded_requests": 40, "degraded_legs": 40,
+            },
+        ],
+    }
+
+
+class TestValidate:
+    def test_complete_report_passes(self):
+        validate_report(_report())
+
+    def test_wrong_schema_rejected(self):
+        bad = dict(_report(), schema="cluster-bench/v1")
+        with pytest.raises(ConfigurationError, match="schema"):
+            validate_report(bad)
+
+    def test_unknown_kind_rejected(self):
+        bad = _report()
+        bad["rows"].append({"kind": "mystery"})
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            validate_report(bad)
+
+    def test_missing_key_rejected(self):
+        bad = _report()
+        del bad["rows"][0]["step_max_abs"]
+        with pytest.raises(ConfigurationError, match="missing keys"):
+            validate_report(bad)
+
+    def test_missing_drill_kind_rejected(self):
+        bad = _report()
+        bad["rows"] = [r for r in bad["rows"] if r["kind"] != "shard_kill"]
+        with pytest.raises(ConfigurationError, match="missing drill kinds"):
+            validate_report(bad)
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError, match="rows"):
+            validate_report({"schema": SCHEMA, "rows": []})
+
+
+class TestGates:
+    def test_clean_report_passes(self):
+        assert enforce_gates(_report()) == []
+
+    def test_parity_breach_fails(self):
+        bad = _report()
+        bad["rows"][0]["step_max_abs"] = 1e-6
+        failures = enforce_gates(bad)
+        assert any("step_max_abs" in f for f in failures)
+
+    def test_resume_divergence_fails(self):
+        bad = _report()
+        bad["rows"][1]["resume_max_abs"] = 1e-3
+        assert any("diverged" in f for f in enforce_gates(bad))
+
+    def test_serving_failure_and_p99_gate(self):
+        bad = _report()
+        bad["rows"][2]["failed"] = 3
+        bad["rows"][2]["p99_ratio"] = 2.0
+        failures = enforce_gates(bad)
+        assert any("request(s) failed" in f for f in failures)
+        assert any("p99" in f for f in failures)
+
+    def test_shard_kill_contract(self):
+        bad = _report()
+        bad["rows"][3]["degraded_requests"] = 0
+        assert any("degraded-mode" in f for f in enforce_gates(bad))
+
+
+class TestBaseline:
+    def test_within_fence_passes(self):
+        current = _report()
+        base = copy.deepcopy(current)
+        current["rows"][2]["p99_ratio"] = base["rows"][2]["p99_ratio"] * 1.1
+        current["rows"][2]["throughput_rps"] = (
+            base["rows"][2]["throughput_rps"] * 0.9
+        )
+        assert compare_to_baseline(current, base, max_regression=0.25) == []
+
+    def test_p99_regression_caught(self):
+        current = _report()
+        base = copy.deepcopy(current)
+        current["rows"][2]["p99_ratio"] = 2.0
+        failures = compare_to_baseline(current, base, max_regression=0.25)
+        assert any("p99" in f for f in failures)
+
+    def test_throughput_regression_caught(self):
+        current = _report()
+        base = copy.deepcopy(current)
+        current["rows"][2]["throughput_rps"] = 1000.0
+        failures = compare_to_baseline(current, base, max_regression=0.25)
+        assert any("throughput" in f for f in failures)
+
+
+class TestRoundTrip:
+    def test_write_then_load_then_validate(self, tmp_path):
+        path = tmp_path / "report.json"
+        write_report(_report(), path)
+        validate_report(load_report(path))
+
+    def test_committed_artifact_is_valid_and_gated(self):
+        from pathlib import Path
+
+        artifact = Path(__file__).resolve().parents[2] / "BENCH_shard.json"
+        report = load_report(artifact)
+        validate_report(report)
+        assert enforce_gates(report) == []
+
+
+class TestLiveRows:
+    def test_quick_parity_rows_are_exact(self):
+        rows = run_parity_rows(shard_counts=(2,), seed=0, quick=True)
+        assert {r["family"] for r in rows} == {"sae", "dbn", "mlp"}
+        for row in rows:
+            assert row["forward_max_abs"] == 0.0
+            assert row["step_max_abs"] == 0.0
+            assert row["roundtrip_max_abs"] == 0.0
+
+    def test_quick_pretrain_drill_resumes_exactly(self):
+        row = run_pretrain_drill(quick=True)
+        assert row["resume_max_abs"] == 0.0
+        assert row["snapshots"] >= 2

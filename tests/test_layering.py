@@ -136,3 +136,37 @@ class TestDetection:
             "from repro.phi.events import EventSimulator\n",
         )
         assert check_layering.check(root) == []
+
+    def test_shard_must_not_import_train_or_cluster(self, tmp_path):
+        """repro.shard is a model-substrate extension: the training loop
+        composes *it* (via ShardedTrainStep closures) and the cluster
+        tier wraps its servables — a reverse import is a cycle."""
+        root = self._pkg(
+            tmp_path, "repro.shard", "bad.py",
+            "from repro.train.loop import TrainLoop\n"
+            "def f():\n    import repro.cluster.shardrouter\n"
+            "def g():\n    from repro.workloads import Trace\n",
+        )
+        violations = check_layering.check(root)
+        assert sorted(v[4] for v in violations) == [
+            "repro.cluster", "repro.train", "repro.workloads"
+        ]
+
+    def test_shard_may_import_nn_and_serve(self, tmp_path):
+        """Slicing repro.nn models and wrapping them as repro.serve
+        servables is the package's job — both edges are legal."""
+        root = self._pkg(
+            tmp_path, "repro.shard", "ok.py",
+            "from repro.nn.mlp import DeepNetwork\n"
+            "from repro.serve.registry import ServableModel\n"
+            "from repro.runtime.checkpoint import CheckpointStore\n",
+        )
+        assert check_layering.check(root) == []
+
+    def test_cluster_may_import_shard(self, tmp_path):
+        root = self._pkg(
+            tmp_path, "repro.cluster", "ok2.py",
+            "from repro.shard.servables import gather_outputs\n"
+            "from repro.shard.shards import ModelShard\n",
+        )
+        assert check_layering.check(root) == []

@@ -22,7 +22,13 @@ fails the build when a package reaches *down* the wrong way:
 * ``repro.workloads`` is pure data + replay: traces drive engines and
   routers through their duck-typed ``submit``/``poll`` surface, so the
   package must never import the serve / cluster / train / nn tiers it
-  exercises (the bench layer composes them instead).
+  exercises (the bench layer composes them instead);
+* ``repro.shard`` is a model-substrate extension (it slices ``repro.nn``
+  models and wraps them as ``repro.serve`` servables), so it must never
+  import the training loop, the cluster tier, or the workloads layer
+  above it — ``repro.cluster`` may import ``repro.shard`` (the
+  ``ShardRouter`` composes shard servables), never the reverse, and the
+  sharded *training* driver lives in ``repro.bench.shardbench``.
 
 Every import statement counts, module-level or function-level, so a
 "lazy" import cannot smuggle a forbidden edge in.
@@ -77,6 +83,13 @@ FORBIDDEN = {
         "repro.core",
         "repro.data",
         "repro.runtime",
+    ),
+    "repro.shard": (
+        "repro.train",
+        "repro.cluster",
+        "repro.workloads",
+        "repro.core",
+        "repro.phi",
     ),
 }
 
